@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness binaries.
+ *
+ * Every bench binary regenerates one table or figure of the paper's
+ * evaluation (see DESIGN.md's per-experiment index).  The workload
+ * scale defaults to Small (rows capped at 8192, structure preserved);
+ * set SPASM_SCALE=full to regenerate at the paper's dimensions or
+ * SPASM_SCALE=tiny for a fast smoke pass.
+ */
+
+#ifndef SPASM_BENCH_BENCH_COMMON_HH
+#define SPASM_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sparse/coo.hh"
+#include "support/table.hh"
+#include "workloads/suite.hh"
+
+namespace spasm {
+namespace benchutil {
+
+inline Scale
+scale()
+{
+    return scaleFromEnv();
+}
+
+inline const char *
+scaleName()
+{
+    switch (scale()) {
+      case Scale::Tiny:
+        return "tiny";
+      case Scale::Small:
+        return "small";
+      case Scale::Full:
+        return "full";
+    }
+    return "?";
+}
+
+inline void
+printBanner(const char *experiment, const char *paper_ref)
+{
+    std::printf("== %s ==\n", experiment);
+    std::printf("reproduces : %s\n", paper_ref);
+    std::printf("scale      : %s (SPASM_SCALE=tiny|small|full)\n\n",
+                scaleName());
+}
+
+/** Generate one suite workload at the bench scale. */
+inline CooMatrix
+workload(const std::string &name)
+{
+    return generateWorkload(name, scale());
+}
+
+} // namespace benchutil
+} // namespace spasm
+
+#endif // SPASM_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Extension experiment: machine-learning pruning patterns.
+ *
+ * The paper's background (section II-A) lists DBB (density-bound
+ * block) and 2:4 structured sparsity among the local-pattern families
+ * SPASM's portfolio mechanism should capture.  This bench runs the
+ * full framework on pruned-weight-style matrices at several density
+ * bounds and reports which portfolio gets selected, the padding rate,
+ * storage vs COO, and throughput vs the Serpens_a24 / GPU baselines.
+ */
+
+#include <iostream>
+
+#include "baseline/baseline.hh"
+#include "bench_common.hh"
+#include "core/framework.hh"
+#include "workloads/generators.hh"
+
+int
+main()
+{
+    using namespace spasm;
+    benchutil::printBanner(
+        "Extension — DBB / 2:4 pruned weight matrices",
+        "paper section II-A (ML-domain local patterns: density-bound "
+        "blocks and 2:4 structured sparsity)");
+
+    const Index n = 2048;
+    struct Case
+    {
+        std::string name;
+        CooMatrix m;
+    };
+    std::vector<Case> cases;
+    for (int k : {2, 4, 8}) {
+        cases.push_back({std::string("dbb_4x4_") + std::to_string(k) + "of16",
+                         genDbbMatrix(n, n, 4, k, 11)});
+    }
+    cases.push_back({"sparsity_2to4", genTwoFourMatrix(n, n, 13)});
+
+    SpasmFramework framework;
+    SerpensModel serpens(24);
+    GpuCusparseModel gpu;
+
+    TextTable table;
+    table.setHeader({"Case", "nnz", "density", "portfolio", "pad%",
+                     "vs COO", "SPASM GF/s", "Serpens_a24", "GPU",
+                     "vs S24"});
+    for (auto &c : cases) {
+        c.m.setName(c.name);
+        const auto out = framework.run(c.m);
+        const auto csr = CsrMatrix::fromCoo(c.m);
+        const auto rs = serpens.run(csr);
+        const auto rg = gpu.run(csr);
+        const double vs_coo =
+            static_cast<double>(c.m.nnz()) * 12.0 /
+            static_cast<double>(out.pre.encoded.encodedBytes());
+        table.addRow(
+            {c.name,
+             TextTable::fmtSci(static_cast<double>(c.m.nnz()), 2),
+             TextTable::fmt(c.m.density(), 3),
+             std::string("P") + std::to_string(out.pre.portfolioId),
+             TextTable::fmt(
+                 100.0 * out.pre.encoded.paddingRate(), 1),
+             TextTable::fmtX(vs_coo),
+             TextTable::fmt(out.exec.stats.gflops, 1),
+             TextTable::fmt(rs.gflops, 1),
+             TextTable::fmt(rg.gflops, 1),
+             TextTable::fmtX(out.exec.stats.gflops / rs.gflops, 2)});
+    }
+    table.print(std::cout);
+    table.exportCsv("ext_dbb");
+
+    std::cout << "\nshape check: denser density bounds pad less "
+                 "(more cells per block covered by one template); "
+                 "SPASM keeps its advantage over the streaming "
+                 "baseline on pruning-structured inputs\n";
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Extension experiment: reordering as a preprocessing synergy.
+ *
+ * The paper's amortization argument (section V-E4) cites the SC'23
+ * reordering study [26]; this bench quantifies the interaction: a
+ * structured matrix whose rows/columns arrive in a shuffled order is
+ * nearly pattern-free, and an RCM pass restores the local patterns
+ * SPASM feeds on.  The streaming baseline also prefers the ordered
+ * matrix (x-gather locality) but has no format-level stake in it.
+ */
+
+#include <iostream>
+
+#include "baseline/baseline.hh"
+#include "bench_common.hh"
+#include "core/framework.hh"
+#include "sparse/reorder.hh"
+#include "support/random.hh"
+
+namespace {
+
+using namespace spasm;
+
+std::vector<Index>
+shufflePerm(Index n, std::uint64_t seed)
+{
+    std::vector<Index> perm(n);
+    for (Index i = 0; i < n; ++i)
+        perm[i] = i;
+    Rng rng(seed);
+    for (Index i = n - 1; i > 0; --i) {
+        std::swap(perm[i],
+                  perm[rng.nextBounded(static_cast<Index>(i) + 1)]);
+    }
+    return perm;
+}
+
+struct Row
+{
+    std::string label;
+    double paddingPct = 0.0;
+    double storageX = 0.0;
+    double spasmGf = 0.0;
+    double serpensGf = 0.0;
+    Index bandwidth = 0;
+};
+
+Row
+evaluate(const std::string &label, const CooMatrix &m)
+{
+    Row row;
+    row.label = label;
+    row.bandwidth = matrixBandwidth(m);
+
+    SpasmFramework framework;
+    const auto out = framework.run(m);
+    row.paddingPct = 100.0 * out.pre.encoded.paddingRate();
+    row.storageX = static_cast<double>(m.nnz()) * 12.0 /
+        static_cast<double>(out.pre.encoded.encodedBytes());
+    row.spasmGf = out.exec.stats.gflops;
+
+    SerpensModel serpens(24);
+    row.serpensGf = serpens.run(CsrMatrix::fromCoo(m)).gflops;
+    return row;
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::printBanner(
+        "Extension — reordering synergy (RCM + row-length sort)",
+        "section V-E4 / related work [26]: ordering as part of the "
+        "amortizable preprocessing");
+
+    // A banded-block matrix (cfd2-like) whose natural order has been
+    // lost (vertices arrive shuffled).
+    const auto natural =
+        benchutil::workload("cfd2");
+    const auto shuffled = permuteSymmetric(
+        natural, shufflePerm(natural.rows(), 99));
+    const auto rcm = permuteSymmetric(
+        shuffled, reverseCuthillMcKee(shuffled));
+
+    std::vector<Row> rows;
+    rows.push_back(evaluate("natural order", natural));
+    rows.push_back(evaluate("shuffled", shuffled));
+    rows.push_back(evaluate("shuffled + RCM", rcm));
+
+    TextTable table;
+    table.setHeader({"Ordering", "bandwidth", "SPASM pad%",
+                     "SPASM vs COO", "SPASM GF/s",
+                     "Serpens_a24 GF/s"});
+    for (const auto &r : rows) {
+        table.addRow({r.label, std::to_string(r.bandwidth),
+                      TextTable::fmt(r.paddingPct, 1),
+                      TextTable::fmtX(r.storageX),
+                      TextTable::fmt(r.spasmGf, 1),
+                      TextTable::fmt(r.serpensGf, 1)});
+    }
+    table.print(std::cout);
+    table.exportCsv("ext_reorder");
+
+    std::cout << "\nshape check: shuffling destroys the local "
+                 "patterns (padding explodes, SPASM storage falls "
+                 "below COO); RCM restores them, and the restored "
+                 "matrix matches the natural order.  Both "
+                 "accelerators lose throughput when shuffled (x "
+                 "locality), so ordering is a shared prerequisite, "
+                 "but only SPASM's format efficiency depends on it\n";
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Extension experiment: the top-n preprocessing shortcut.
+ *
+ * Algorithm 3 evaluates candidate portfolios only on the top-n
+ * histogram bins "since the top-n patterns hold significant
+ * importance ... enabling faster preprocessing" (section IV-B).
+ * This bench quantifies that tradeoff: selection time and selection
+ * quality (storage of the chosen portfolio over the FULL histogram)
+ * as n grows from 4 to the full pattern set.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "format/storage_model.hh"
+#include "pattern/analysis.hh"
+#include "pattern/selection.hh"
+#include "support/stats.hh"
+#include "support/timer.hh"
+
+int
+main()
+{
+    using namespace spasm;
+    benchutil::printBanner(
+        "Extension — top-n selection tradeoff",
+        "section IV-B: evaluating only the top-n patterns speeds up "
+        "template selection without hurting the choice");
+
+    const PatternGrid grid{4};
+    const auto candidates = allCandidatePortfolios(grid);
+    const std::vector<std::size_t> ns{4, 8, 16, 32, 64, 128, 0};
+
+    TextTable table;
+    {
+        std::vector<std::string> header{"n"};
+        header.push_back("mean select ms");
+        header.push_back("matrices where choice = full-n choice");
+        header.push_back("geomean storage vs full-n pick");
+        table.setHeader(std::move(header));
+    }
+
+    // Precompute histograms once.
+    std::vector<PatternHistogram> hists;
+    for (const auto &name : workloadNames()) {
+        hists.push_back(PatternHistogram::analyze(
+            benchutil::workload(name), grid));
+    }
+
+    // Reference: full-histogram selection per matrix.
+    std::vector<int> full_choice;
+    std::vector<double> full_bytes;
+    for (const auto &hist : hists) {
+        const auto sel = selectPortfolio(hist, candidates, 0);
+        full_choice.push_back(sel.bestCandidate);
+        full_bytes.push_back(static_cast<double>(
+            spasmBytesFromHistogram(hist,
+                                    candidates[sel.bestCandidate])));
+    }
+
+    for (std::size_t n : ns) {
+        double total_ms = 0.0;
+        int same = 0;
+        SummaryStats rel;
+        for (std::size_t i = 0; i < hists.size(); ++i) {
+            Timer timer;
+            const auto sel = selectPortfolio(hists[i], candidates, n);
+            total_ms += timer.elapsedMs();
+            same += sel.bestCandidate == full_choice[i];
+            const double bytes = static_cast<double>(
+                spasmBytesFromHistogram(
+                    hists[i], candidates[sel.bestCandidate]));
+            rel.add(full_bytes[i] / bytes);
+        }
+        table.addRow({n == 0 ? "all" : std::to_string(n),
+                      TextTable::fmt(total_ms / hists.size(), 2),
+                      std::to_string(same) + "/20",
+                      TextTable::fmtX(rel.geomean(), 3)});
+    }
+    table.print(std::cout);
+    table.exportCsv("ext_topn");
+
+    std::cout << "\nshape check: small n is much cheaper and almost "
+                 "always picks the same portfolio (storage within a "
+                 "fraction of a percent of the full evaluation)\n";
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fig. 2: the top-8 occurring local patterns and their frequencies
+ * for the cfd2 and Chebyshev4 matrices, rendered as ASCII 4x4 grids
+ * ('#' = non-zero), plus the cumulative share of the top-8.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "pattern/analysis.hh"
+
+namespace {
+
+void
+showMatrix(const char *name)
+{
+    using namespace spasm;
+    const CooMatrix m = benchutil::workload(name);
+    const PatternGrid grid{4};
+    const auto hist = PatternHistogram::analyze(m, grid);
+    const auto top = hist.topN(8);
+
+    std::printf("%s  (nnz %lld, %zu distinct local patterns)\n", name,
+                static_cast<long long>(m.nnz()),
+                hist.distinctPatterns());
+
+    // Render the eight patterns side by side, row by row.
+    for (int r = 0; r < 4; ++r) {
+        for (const auto &bin : top) {
+            for (int c = 0; c < 4; ++c) {
+                std::printf("%c", testBit(bin.mask, grid.bitOf(r, c))
+                                      ? '#'
+                                      : '.');
+            }
+            std::printf("   ");
+        }
+        std::printf("\n");
+    }
+    double cumulative = 0.0;
+    for (const auto &bin : top) {
+        const double pct = 100.0 * static_cast<double>(bin.freq) /
+            static_cast<double>(hist.totalOccurrences());
+        cumulative += pct;
+        std::printf("%4.1f%%  ", pct);
+    }
+    std::printf("\n=> top-8 cover %.2f%% of all occurrences "
+                "(paper: 48.21%% for cfd2)\n\n",
+                cumulative);
+}
+
+} // namespace
+
+int
+main()
+{
+    spasm::benchutil::printBanner(
+        "Fig. 2 — top-8 occurring local patterns",
+        "paper Fig. 2 (pattern grids + frequencies, cfd2 and "
+        "Chebyshev4)");
+    showMatrix("cfd2");
+    showMatrix("Chebyshev4");
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Fig. 12: SpMV throughput (GFLOP/s) and bandwidth efficiency
+ * ((GFLOP/s)/(GB/s)) of SPASM versus HiSparse, Serpens_a16,
+ * Serpens_a24 and cuSPARSE on the RTX 3090, over the whole workload
+ * suite, with per-matrix speedups and the geomean summary the paper
+ * headlines (6.74x / 3.21x / 2.81x / 0.75x).
+ */
+
+#include <iostream>
+
+#include "baseline/baseline.hh"
+#include "bench_common.hh"
+#include "core/framework.hh"
+#include "support/stats.hh"
+
+int
+main()
+{
+    using namespace spasm;
+    benchutil::printBanner(
+        "Fig. 12 — throughput and bandwidth efficiency",
+        "paper Fig. 12 + section V-E1/V-E2 (SPASM vs HiSparse, "
+        "Serpens_a16/_a24, RTX 3090)");
+
+    const auto baselines = makeAllBaselines();
+    SpasmFramework framework;
+
+    TextTable table;
+    table.setHeader({"Name", "SPASM cfg", "tile", "SPASM GF/s",
+                     "HiSparse", "Serpens_a16", "Serpens_a24",
+                     "RTX3090", "vs HiS", "vs S16", "vs S24",
+                     "vs GPU"});
+
+    SummaryStats sp_his, sp_s16, sp_s24, sp_gpu;
+    SummaryStats be_his, be_s16, be_s24, be_gpu;
+    double max_his = 0, max_s16 = 0, max_s24 = 0, max_gpu = 0;
+
+    for (const auto &name : workloadNames()) {
+        const CooMatrix m = benchutil::workload(name);
+        const auto out = framework.run(m);
+        const double spasm_gflops = out.exec.stats.gflops;
+        const double spasm_be =
+            spasm_gflops / out.pre.schedule.config.bandwidthGBs();
+
+        const CsrMatrix csr = CsrMatrix::fromCoo(m);
+        std::vector<BaselineResult> results;
+        for (const auto &b : baselines)
+            results.push_back(b->run(csr));
+
+        const double s_his = spasm_gflops / results[0].gflops;
+        const double s_s16 = spasm_gflops / results[1].gflops;
+        const double s_s24 = spasm_gflops / results[2].gflops;
+        const double s_gpu = spasm_gflops / results[3].gflops;
+        sp_his.add(s_his);
+        sp_s16.add(s_s16);
+        sp_s24.add(s_s24);
+        sp_gpu.add(s_gpu);
+        max_his = std::max(max_his, s_his);
+        max_s16 = std::max(max_s16, s_s16);
+        max_s24 = std::max(max_s24, s_s24);
+        max_gpu = std::max(max_gpu, s_gpu);
+
+        be_his.add(spasm_be / results[0].bandwidthEfficiency);
+        be_s16.add(spasm_be / results[1].bandwidthEfficiency);
+        be_s24.add(spasm_be / results[2].bandwidthEfficiency);
+        be_gpu.add(spasm_be / results[3].bandwidthEfficiency);
+
+        table.addRow({name, out.pre.schedule.config.name(),
+                      std::to_string(out.pre.schedule.tileSize),
+                      TextTable::fmt(spasm_gflops, 1),
+                      TextTable::fmt(results[0].gflops, 1),
+                      TextTable::fmt(results[1].gflops, 1),
+                      TextTable::fmt(results[2].gflops, 1),
+                      TextTable::fmt(results[3].gflops, 1),
+                      TextTable::fmtX(s_his, 1),
+                      TextTable::fmtX(s_s16, 1),
+                      TextTable::fmtX(s_s24, 1),
+                      TextTable::fmtX(s_gpu, 2)});
+    }
+    table.print(std::cout);
+    table.exportCsv("fig12_throughput");
+
+    TextTable summary("Speedup summary (geomean / max)");
+    summary.setHeader({"vs", "geomean", "max", "paper geomean",
+                       "paper max"});
+    summary.addRow({"HiSparse", TextTable::fmtX(sp_his.geomean()),
+                    TextTable::fmtX(max_his), "6.74x", "14.40x"});
+    summary.addRow({"Serpens_a16", TextTable::fmtX(sp_s16.geomean()),
+                    TextTable::fmtX(max_s16), "3.21x", "23.27x"});
+    summary.addRow({"Serpens_a24", TextTable::fmtX(sp_s24.geomean()),
+                    TextTable::fmtX(max_s24), "2.81x", "23.27x"});
+    summary.addRow({"RTX 3090", TextTable::fmtX(sp_gpu.geomean()),
+                    TextTable::fmtX(max_gpu), "0.75x", "2.51x"});
+    std::cout << '\n';
+    summary.print(std::cout);
+
+    TextTable be("Bandwidth efficiency improvement (geomean)");
+    be.setHeader({"vs", "geomean", "paper"});
+    be.addRow({"HiSparse", TextTable::fmtX(be_his.geomean()),
+               "4.18x"});
+    be.addRow({"Serpens_a16", TextTable::fmtX(be_s16.geomean()),
+               "2.21x"});
+    be.addRow({"Serpens_a24", TextTable::fmtX(be_s24.geomean()),
+               "2.71x"});
+    be.addRow({"RTX 3090", TextTable::fmtX(be_gpu.geomean()),
+               "1.68x"});
+    std::cout << '\n';
+    be.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fig. 13: percentage of peak bandwidth and peak computing power
+ * utilized by SPASM and each baseline platform across the suite.
+ */
+
+#include <iostream>
+
+#include "baseline/baseline.hh"
+#include "bench_common.hh"
+#include "core/framework.hh"
+#include "support/stats.hh"
+
+int
+main()
+{
+    using namespace spasm;
+    benchutil::printBanner(
+        "Fig. 13 — bandwidth and compute utilization",
+        "paper Fig. 13 (% of peak bandwidth / % of peak compute)");
+
+    const auto baselines = makeAllBaselines();
+    SpasmFramework framework;
+
+    TextTable table;
+    table.setHeader({"Name", "SPASM bw%", "SPASM comp%", "HiS bw%",
+                     "HiS comp%", "S16 bw%", "S16 comp%", "S24 bw%",
+                     "S24 comp%", "GPU bw%", "GPU comp%"});
+
+    SummaryStats bw[5], comp[5];
+    for (const auto &name : workloadNames()) {
+        const CooMatrix m = benchutil::workload(name);
+        const auto out = framework.run(m);
+        const CsrMatrix csr = CsrMatrix::fromCoo(m);
+
+        std::vector<double> bw_pct{
+            100.0 * out.exec.stats.bandwidthUtilization};
+        std::vector<double> comp_pct{
+            100.0 * out.exec.stats.computeUtilization};
+        for (const auto &b : baselines) {
+            const auto r = b->run(csr);
+            bw_pct.push_back(100.0 * r.bandwidthUtilization);
+            comp_pct.push_back(100.0 * r.computeUtilization);
+        }
+
+        std::vector<std::string> row{name};
+        for (std::size_t i = 0; i < bw_pct.size(); ++i) {
+            bw[i].add(bw_pct[i]);
+            comp[i].add(comp_pct[i]);
+            row.push_back(TextTable::fmt(bw_pct[i], 1));
+            row.push_back(TextTable::fmt(comp_pct[i], 1));
+        }
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+    table.exportCsv("fig13_utilization");
+
+    TextTable summary("Utilization summary (arithmetic mean)");
+    summary.setHeader({"Platform", "bandwidth %", "compute %"});
+    const char *names[5] = {"SPASM", "HiSparse", "Serpens_a16",
+                            "Serpens_a24", "RTX 3090"};
+    for (int i = 0; i < 5; ++i) {
+        summary.addRow({names[i], TextTable::fmt(bw[i].mean(), 1),
+                        TextTable::fmt(comp[i].mean(), 1)});
+    }
+    std::cout << '\n';
+    summary.print(std::cout);
+    std::cout << "\nshape check (paper V-E1): SPASM utilizes a much "
+                 "higher percentage of peak bandwidth and compute "
+                 "than the baselines\n";
+    return 0;
+}

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the framework's hot kernels:
+ * local pattern analysis, exact decomposition, brute-force
+ * decomposition (Listing 1), SPASM encoding, VALU evaluation and the
+ * cycle-level simulator itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "format/spasm_matrix.hh"
+#include "sparse/bsr.hh"
+#include "sparse/csr.hh"
+#include "hw/accelerator.hh"
+#include "pattern/analysis.hh"
+#include "pattern/decompose.hh"
+#include "support/random.hh"
+#include "workloads/generators.hh"
+
+namespace {
+
+using namespace spasm;
+
+const PatternGrid grid4{4};
+
+const CooMatrix &
+benchMatrix()
+{
+    static const CooMatrix m = genBandedBlocks(4096, 4, 3, 0.85, 99);
+    return m;
+}
+
+void
+BM_PatternAnalysis(benchmark::State &state)
+{
+    const auto &m = benchMatrix();
+    for (auto _ : state) {
+        auto hist = PatternHistogram::analyze(m, grid4);
+        benchmark::DoNotOptimize(hist.totalOccurrences());
+    }
+    state.SetItemsProcessed(state.iterations() * m.nnz());
+}
+BENCHMARK(BM_PatternAnalysis);
+
+void
+BM_DecomposeMemoized(benchmark::State &state)
+{
+    Decomposer d(candidatePortfolio(0, grid4));
+    Rng rng(1);
+    std::vector<PatternMask> masks(1024);
+    for (auto &mask : masks)
+        mask = static_cast<PatternMask>(1 + rng.nextBounded(0xFFFF));
+    for (auto _ : state) {
+        int total = 0;
+        for (PatternMask mask : masks)
+            total += d.paddings(mask);
+        benchmark::DoNotOptimize(total);
+    }
+    state.SetItemsProcessed(state.iterations() * masks.size());
+}
+BENCHMARK(BM_DecomposeMemoized);
+
+void
+BM_DecomposeBruteForce(benchmark::State &state)
+{
+    const auto p = candidatePortfolio(0, grid4);
+    Rng rng(2);
+    const PatternMask mask =
+        static_cast<PatternMask>(1 + rng.nextBounded(0xFFFF));
+    for (auto _ : state) {
+        auto d = bruteForceDecompose(mask, p);
+        benchmark::DoNotOptimize(d.paddings);
+    }
+}
+BENCHMARK(BM_DecomposeBruteForce);
+
+void
+BM_SpasmEncode(benchmark::State &state)
+{
+    const auto &m = benchMatrix();
+    const SpasmEncoder encoder(candidatePortfolio(0, grid4), 1024);
+    for (auto _ : state) {
+        auto enc = encoder.encode(m);
+        benchmark::DoNotOptimize(enc.numWords());
+    }
+    state.SetItemsProcessed(state.iterations() * m.nnz());
+}
+BENCHMARK(BM_SpasmEncode);
+
+void
+BM_ValuEvaluate(benchmark::State &state)
+{
+    const auto masks = allTemplateMasks(grid4);
+    std::vector<ValuOpcode> ops;
+    for (PatternMask mask : masks)
+        ops.push_back(compileOpcode(TemplatePattern(mask, grid4)));
+    const std::array<Value, 4> vals{1.0f, 2.0f, 3.0f, 4.0f};
+    const std::array<Value, 4> xlanes{0.5f, 0.25f, 2.0f, 1.0f};
+    for (auto _ : state) {
+        Value acc = 0.0f;
+        for (const auto &op : ops) {
+            const auto out = valuEvaluate(op, vals, xlanes);
+            acc += out[0] + out[1] + out[2] + out[3];
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * ops.size());
+}
+BENCHMARK(BM_ValuEvaluate);
+
+void
+BM_CycleSimulator(benchmark::State &state)
+{
+    const auto &m = benchMatrix();
+    const auto p = candidatePortfolio(0, grid4);
+    const auto enc = SpasmEncoder(p, 512).encode(m);
+    Accelerator accel(spasm41(), p);
+    std::vector<Value> x(m.cols(), 1.0f);
+    for (auto _ : state) {
+        std::vector<Value> y(m.rows(), 0.0f);
+        const auto stats = accel.run(enc, x, y);
+        benchmark::DoNotOptimize(stats.cycles);
+        state.counters["sim_cycles"] =
+            static_cast<double>(stats.cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * m.nnz());
+}
+BENCHMARK(BM_CycleSimulator);
+
+// ---------------------------------------------------------------------
+// Real wall-clock CPU SpMV in different formats: shows the SPASM
+// format is also a competitive *software* representation (its padded
+// vectorizable words trade extra FLOPs for regular access).
+// ---------------------------------------------------------------------
+
+void
+BM_CpuSpmvCsr(benchmark::State &state)
+{
+    const auto &m = benchMatrix();
+    const auto csr = CsrMatrix::fromCoo(m);
+    std::vector<Value> x(m.cols(), 1.0f), y(m.rows(), 0.0f);
+    for (auto _ : state) {
+        csr.spmv(x, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * m.nnz());
+}
+BENCHMARK(BM_CpuSpmvCsr);
+
+void
+BM_CpuSpmvSpasmFormat(benchmark::State &state)
+{
+    const auto &m = benchMatrix();
+    const auto enc =
+        SpasmEncoder(candidatePortfolio(0, grid4), 1024).encode(m);
+    std::vector<Value> x(m.cols(), 1.0f), y(m.rows(), 0.0f);
+    for (auto _ : state) {
+        enc.execute(x, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * m.nnz());
+}
+BENCHMARK(BM_CpuSpmvSpasmFormat);
+
+void
+BM_CpuSpmvBsr(benchmark::State &state)
+{
+    const auto &m = benchMatrix();
+    const auto bsr = BsrMatrix::fromCoo(m, 4);
+    std::vector<Value> x(m.cols(), 1.0f), y(m.rows(), 0.0f);
+    for (auto _ : state) {
+        bsr.spmv(x, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * m.nnz());
+}
+BENCHMARK(BM_CpuSpmvBsr);
+
+} // namespace
+
+BENCHMARK_MAIN();

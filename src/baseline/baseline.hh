@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Baseline SpMV accelerator models (section V-A2, Table III).
+ *
+ * The baselines are modeled analytically but structurally: every model
+ * derives its runtime from the same matrix properties the real
+ * accelerator is sensitive to (per-lane load imbalance, short-row
+ * overhead, x-gather locality, tile switching), with platform
+ * constants (frequency, bandwidth, peak throughput, power) taken from
+ * the papers / Table III and Table VII.  See DESIGN.md for the
+ * substitution rationale.
+ */
+
+#ifndef SPASM_BASELINE_BASELINE_HH
+#define SPASM_BASELINE_BASELINE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hh"
+
+namespace spasm {
+
+/** Static platform characteristics (Table III + Table VII). */
+struct PlatformSpec
+{
+    std::string name;
+    double freqMhz = 0.0;
+    double bandwidthGBs = 0.0;
+    double peakGflops = 0.0;
+    double powerW = 0.0;
+};
+
+/** Result of one baseline SpMV execution. */
+struct BaselineResult
+{
+    std::string platform;
+    double seconds = 0.0;
+
+    /** Paper metric: (2*nnz + rows) / time, GFLOP/s. */
+    double gflops = 0.0;
+
+    double bytesMoved = 0.0;
+    double bandwidthUtilization = 0.0;
+    double computeUtilization = 0.0;
+
+    /** GFLOP/s per GB/s of platform bandwidth. */
+    double bandwidthEfficiency = 0.0;
+
+    /** GFLOP/s per watt. */
+    double energyEfficiency = 0.0;
+};
+
+/** Common interface of all baseline models. */
+class BaselineModel
+{
+  public:
+    virtual ~BaselineModel() = default;
+
+    virtual const PlatformSpec &spec() const = 0;
+
+    /** Model y = A * x + y and return timing/efficiency figures. */
+    virtual BaselineResult run(const CsrMatrix &m) const = 0;
+
+  protected:
+    /** Fill the derived-metric fields from seconds + bytes. */
+    BaselineResult finish(const CsrMatrix &m, double seconds,
+                          double bytes) const;
+};
+
+/**
+ * HiSparse (FPGA '22): tiled streaming accelerator, 8 lanes, packed
+ * 8 B/nz format, per-tile x reload and shuffle-crossbar conflicts.
+ */
+class HiSparseModel : public BaselineModel
+{
+  public:
+    HiSparseModel();
+    const PlatformSpec &spec() const override { return spec_; }
+    BaselineResult run(const CsrMatrix &m) const override;
+
+  private:
+    PlatformSpec spec_;
+};
+
+/**
+ * Serpens (DAC '22): N HBM channels stream A at 8 B/nz into 8 lanes
+ * per channel; rows are distributed round-robin over all lanes, so a
+ * channel's stream length is its maximum lane length (shorter lanes
+ * are zero-padded).
+ */
+class SerpensModel : public BaselineModel
+{
+  public:
+    /** @param num_a_channels 16 (Serpens_a16) or 24 (Serpens_a24). */
+    explicit SerpensModel(int num_a_channels);
+    const PlatformSpec &spec() const override { return spec_; }
+    BaselineResult run(const CsrMatrix &m) const override;
+
+  private:
+    PlatformSpec spec_;
+    int numAChannels_;
+};
+
+/**
+ * HiSpMV (FPGA '24, related work): hybrid row distribution with
+ * vector buffering, built specifically for imbalanced matrices —
+ * long rows are split across PEs and short rows packed, so the
+ * per-lane imbalance term of Serpens largely disappears at the cost
+ * of a merge stage and a lower clock.
+ */
+class HiSpmvModel : public BaselineModel
+{
+  public:
+    HiSpmvModel();
+    const PlatformSpec &spec() const override { return spec_; }
+    BaselineResult run(const CsrMatrix &m) const override;
+
+  private:
+    PlatformSpec spec_;
+};
+
+/** cuSPARSE CSR SpMV on an RTX 3090: memory roofline with an x-gather
+ *  locality term computed from the column structure. */
+class GpuCusparseModel : public BaselineModel
+{
+  public:
+    GpuCusparseModel();
+    const PlatformSpec &spec() const override { return spec_; }
+    BaselineResult run(const CsrMatrix &m) const override;
+
+  private:
+    PlatformSpec spec_;
+};
+
+/**
+ * Multicore CPU CSR SpMV (MKL-style), modeled on the paper's
+ * preprocessing host (Xeon E5-2650): per-core streaming bandwidth
+ * plus an x-gather cache term.  Not part of the paper's Fig. 12
+ * comparison; used by the related-work extension benches.
+ */
+class CpuCsrModel : public BaselineModel
+{
+  public:
+    CpuCsrModel();
+    const PlatformSpec &spec() const override { return spec_; }
+    BaselineResult run(const CsrMatrix &m) const override;
+
+  private:
+    PlatformSpec spec_;
+};
+
+/** All baselines in the paper's comparison order. */
+std::vector<std::unique_ptr<BaselineModel>> makeAllBaselines();
+
+} // namespace spasm
+
+#endif // SPASM_BASELINE_BASELINE_HH

@@ -1,0 +1,57 @@
+#include "core/deployment.hh"
+
+#include "perf/perf_model.hh"
+#include "support/logging.hh"
+
+namespace spasm {
+
+SpasmDeployment
+SpasmDeployment::build(const std::vector<const CooMatrix *> &matrices,
+                       std::size_t top_n)
+{
+    if (matrices.empty())
+        spasm_fatal("a deployment needs at least one expected matrix");
+    const PatternGrid grid{4};
+    std::vector<PatternHistogram> hists;
+    hists.reserve(matrices.size());
+    for (const CooMatrix *m : matrices)
+        hists.push_back(PatternHistogram::analyze(*m, grid));
+
+    const auto candidates = allCandidatePortfolios(grid);
+    const auto sel = selectPortfolioForSet(hists, candidates, top_n);
+    return SpasmDeployment(candidates[sel.bestCandidate]);
+}
+
+SpasmDeployment::SpasmDeployment(TemplatePortfolio portfolio)
+    : portfolio_(std::move(portfolio))
+{
+    if (portfolio_.grid().size != 4) {
+        spasm_fatal("deployments target the 4x4 hardware grid "
+                    "(got %dx%d)", portfolio_.grid().size,
+                    portfolio_.grid().size);
+    }
+}
+
+PreparedMatrix
+SpasmDeployment::prepare(const CooMatrix &m) const
+{
+    PreparedMatrix prepared;
+    const SubmatrixProfile profile = buildProfile(m, portfolio_);
+    prepared.schedule = exploreSchedule(profile, allHwConfigs());
+    prepared.encoded =
+        SpasmEncoder(portfolio_, prepared.schedule.tileSize)
+            .encode(m);
+    prepared.paddingRate = prepared.encoded.paddingRate();
+    return prepared;
+}
+
+RunStats
+SpasmDeployment::execute(const PreparedMatrix &prepared,
+                         const std::vector<Value> &x,
+                         std::vector<Value> &y) const
+{
+    Accelerator accel(prepared.schedule.config, portfolio_);
+    return accel.run(prepared.encoded, x, y);
+}
+
+} // namespace spasm

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * SpasmDeployment: the abstract's deployment model made concrete.
+ *
+ * A deployment fixes ONE template portfolio (and thus one opcode LUT
+ * content) for a set of expected input matrices — chosen with the
+ * multi-matrix Algorithm 3 — and then prepares/executes arbitrary
+ * matrices under that shared portfolio: expected inputs run at full
+ * efficiency, unexpected ones still run, just with more padding.
+ */
+
+#ifndef SPASM_CORE_DEPLOYMENT_HH
+#define SPASM_CORE_DEPLOYMENT_HH
+
+#include <vector>
+
+#include "core/framework.hh"
+
+namespace spasm {
+
+/** A matrix prepared for execution under a deployment. */
+struct PreparedMatrix
+{
+    SpasmMatrix encoded;
+    ScheduleChoice schedule;
+
+    /** Padding rate under the deployment's (shared) portfolio. */
+    double paddingRate = 0.0;
+};
+
+/** A fixed-portfolio SPASM deployment. */
+class SpasmDeployment
+{
+  public:
+    /**
+     * Build a deployment for the expected @p matrices: select the
+     * portfolio with the multi-matrix Algorithm 3.
+     *
+     * @param top_n Per-matrix top-n bins used by the selection.
+     */
+    static SpasmDeployment build(
+        const std::vector<const CooMatrix *> &matrices,
+        std::size_t top_n = 64);
+
+    /** Build around an explicitly chosen portfolio. */
+    explicit SpasmDeployment(TemplatePortfolio portfolio);
+
+    const TemplatePortfolio &portfolio() const { return portfolio_; }
+
+    /**
+     * Prepare any matrix (expected or not) under the deployment's
+     * portfolio: profile, explore the schedule, encode.
+     */
+    PreparedMatrix prepare(const CooMatrix &m) const;
+
+    /**
+     * Execute y = A * x + y for a prepared matrix on the bitstream
+     * its schedule selected.
+     */
+    RunStats execute(const PreparedMatrix &prepared,
+                     const std::vector<Value> &x,
+                     std::vector<Value> &y) const;
+
+  private:
+    TemplatePortfolio portfolio_;
+};
+
+} // namespace spasm
+
+#endif // SPASM_CORE_DEPLOYMENT_HH

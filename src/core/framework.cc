@@ -1,0 +1,125 @@
+#include "core/framework.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "perf/perf_model.hh"
+#include "support/logging.hh"
+#include "support/timer.hh"
+
+namespace spasm {
+
+SpasmFramework::SpasmFramework(FrameworkOptions options)
+    : options_(std::move(options))
+{
+    spasm_assert(!options_.configs.empty());
+    spasm_assert(!options_.tileSizes.empty());
+}
+
+PreprocessResult
+SpasmFramework::preprocess(const CooMatrix &m) const
+{
+    const PatternGrid grid{4};
+    PreprocessResult pre;
+    Timer timer;
+
+    // (1) Local pattern analysis (Algorithm 2).
+    timer.reset();
+    pre.histogram = PatternHistogram::analyze(m, grid);
+    pre.timings.analysisMs = timer.elapsedMs();
+
+    // (2) Template pattern selection (Algorithm 3).
+    timer.reset();
+    if (options_.dynamicTemplateSelection) {
+        const auto candidates = allCandidatePortfolios(grid);
+        const SelectionResult sel = selectPortfolio(
+            pre.histogram, candidates, options_.selectionTopN);
+        pre.portfolioId = sel.bestCandidate;
+        pre.portfolio = candidates[sel.bestCandidate];
+    } else {
+        pre.portfolioId = 0;
+        pre.portfolio = candidatePortfolio(0, grid);
+    }
+    pre.timings.selectionMs = timer.elapsedMs();
+
+    // (3) Local pattern decomposition: decompose every occurring
+    // submatrix against the chosen portfolio (also produces the
+    // tile-size-independent profile the exploration needs).
+    timer.reset();
+    const SubmatrixProfile profile = buildProfile(m, pre.portfolio);
+    pre.timings.decompositionMs = timer.elapsedMs();
+
+    // (4)+(5) Global composition analysis + workload schedule
+    // exploration (Algorithm 4), then materialize the encoding at the
+    // chosen tile size.
+    timer.reset();
+    if (options_.scheduleExploration) {
+        pre.policy = SchedulePolicy::LoadBalanced;
+        pre.schedule = exploreSchedule(profile, options_.configs,
+                                       options_.tileSizes, pre.policy);
+    } else {
+        // Fixed baseline of the ablation study: SPASM_4_1 bitstream,
+        // tile size 1024.  The word-balanced placement is a property
+        // of the merge-unit hardware, not of the exploration, so it
+        // stays on.
+        pre.policy = SchedulePolicy::LoadBalanced;
+        pre.schedule.config = spasm41();
+        pre.schedule.tileSize = 1024;
+        const GlobalComposition gc = gcGen(profile, 1024);
+        pre.schedule.estCycles =
+            estimateCycles(gc, pre.schedule.config, pre.policy);
+        pre.schedule.estSeconds =
+            estimateSeconds(gc, pre.schedule.config, pre.policy);
+    }
+    const SpasmEncoder encoder(pre.portfolio, pre.schedule.tileSize);
+    pre.encoded = encoder.encode(m);
+    pre.timings.scheduleMs = timer.elapsedMs();
+    return pre;
+}
+
+ExecutionResult
+SpasmFramework::execute(const PreprocessResult &pre, const CooMatrix &m,
+                        const std::vector<Value> &x,
+                        std::vector<Value> &y) const
+{
+    ExecutionResult result;
+    Accelerator accel(pre.schedule.config, pre.portfolio);
+    result.stats = accel.run(pre.encoded, x, y, pre.policy);
+
+    // Golden-model check against the reference SpMV.  The accelerator
+    // reorders FP additions, so allow a relative tolerance.
+    std::vector<Value> ref(y.size(), 0.0f);
+    m.spmv(x, ref);
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        max_err = std::max(
+            max_err, std::abs(static_cast<double>(y[i]) - ref[i]));
+    }
+    result.maxAbsError = max_err;
+    return result;
+}
+
+FrameworkOutcome
+SpasmFramework::run(const CooMatrix &m) const
+{
+    FrameworkOutcome outcome;
+    outcome.pre = preprocess(m);
+    const std::vector<Value> x = defaultX(m.cols());
+    std::vector<Value> y(m.rows(), 0.0f);
+    outcome.exec = execute(outcome.pre, m, x, y);
+    return outcome;
+}
+
+std::vector<Value>
+SpasmFramework::defaultX(Index cols)
+{
+    std::vector<Value> x(cols);
+    for (Index i = 0; i < cols; ++i) {
+        // Bounded, non-repeating, deterministic.
+        x[i] = 0.5f + 0.5f * static_cast<Value>(
+            std::sin(0.1 * static_cast<double>(i)));
+    }
+    return x;
+}
+
+} // namespace spasm

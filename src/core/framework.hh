@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The SPASM framework facade (section IV, Fig. 6): the end-to-end
+ * pipeline of (1) local pattern analysis, (2) template pattern
+ * selection, (3) local pattern decomposition, (4) global composition
+ * analysis, (5) workload schedule exploration and (6) hardware
+ * execution, with per-step wall-clock timing (Table VIII).
+ */
+
+#ifndef SPASM_CORE_FRAMEWORK_HH
+#define SPASM_CORE_FRAMEWORK_HH
+
+#include <vector>
+
+#include "baseline/baseline.hh"
+#include "format/spasm_matrix.hh"
+#include "hw/accelerator.hh"
+#include "pattern/analysis.hh"
+#include "pattern/selection.hh"
+#include "perf/schedule.hh"
+
+namespace spasm {
+
+/** Knobs of the framework; defaults reproduce the full system.  The
+ *  ablation study (Fig. 14) turns the two feature flags off. */
+struct FrameworkOptions
+{
+    /** Step (2): pick the best candidate portfolio per matrix; when
+     *  false, the fixed template pattern set 0 is used. */
+    bool dynamicTemplateSelection = true;
+
+    /** Step (5): explore tile sizes and bitstreams; when false, the
+     *  fixed SPASM_4_1 / tile 1024 baseline of the ablation study is
+     *  used, with naive round-robin tile-row placement. */
+    bool scheduleExploration = true;
+
+    /** Algorithm 3 evaluates only the top-n histogram bins. */
+    std::size_t selectionTopN = 64;
+
+    /** Bitstream library available to the exploration. */
+    std::vector<HwConfig> configs = allHwConfigs();
+
+    /** Tile-size candidates for the exploration. */
+    std::vector<Index> tileSizes = defaultTileSizes();
+};
+
+/** Wall-clock cost of each preprocessing step, in milliseconds. */
+struct PreprocessTimings
+{
+    double analysisMs = 0.0;      ///< (1) local pattern analysis
+    double selectionMs = 0.0;     ///< (2) template pattern selection
+    double decompositionMs = 0.0; ///< (3) local pattern decomposition
+    double scheduleMs = 0.0;      ///< (4)+(5) composition + schedule
+    double totalMs() const
+    {
+        return analysisMs + selectionMs + decompositionMs + scheduleMs;
+    }
+};
+
+/** Everything produced by preprocessing one matrix. */
+struct PreprocessResult
+{
+    PatternHistogram histogram;
+    TemplatePortfolio portfolio;
+    int portfolioId = -1; ///< Table V candidate id (or 0 when fixed)
+    ScheduleChoice schedule;
+    SpasmMatrix encoded;
+    SchedulePolicy policy = SchedulePolicy::LoadBalanced;
+    PreprocessTimings timings;
+};
+
+/** Result of executing one SpMV on the simulated accelerator. */
+struct ExecutionResult
+{
+    RunStats stats;
+
+    /** Max |y_sim - y_ref| over all rows (golden-model check). */
+    double maxAbsError = 0.0;
+};
+
+/** End-to-end outcome for one matrix. */
+struct FrameworkOutcome
+{
+    PreprocessResult pre;
+    ExecutionResult exec;
+};
+
+/** The SPASM hardware-software framework. */
+class SpasmFramework
+{
+  public:
+    explicit SpasmFramework(FrameworkOptions options = {});
+
+    const FrameworkOptions &options() const { return options_; }
+
+    /** Steps (1)-(5): analyze, select, decompose, schedule, encode. */
+    PreprocessResult preprocess(const CooMatrix &m) const;
+
+    /**
+     * Step (6): run y = A * x + y on the simulated accelerator chosen
+     * by the preprocessing result, and check against the reference.
+     */
+    ExecutionResult execute(const PreprocessResult &pre,
+                            const CooMatrix &m,
+                            const std::vector<Value> &x,
+                            std::vector<Value> &y) const;
+
+    /**
+     * Convenience end-to-end run with a deterministic x vector and
+     * y initialized to zero.
+     */
+    FrameworkOutcome run(const CooMatrix &m) const;
+
+    /** The deterministic x vector used by run(). */
+    static std::vector<Value> defaultX(Index cols);
+
+  private:
+    FrameworkOptions options_;
+};
+
+} // namespace spasm
+
+#endif // SPASM_CORE_FRAMEWORK_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The 32-bit SPASM position-encoding word (section III, Fig. 5).
+ *
+ * Field layout (LSB first):
+ *   [12:0]  c_idx : column index of the 4-wide submatrix inside the tile
+ *   [25:13] r_idx : row index of the 4-tall submatrix inside the tile
+ *   [26]    CE    : last word of the current tile (switch x buffer)
+ *   [27]    RE    : last word of the current tile row (flush y psums)
+ *   [31:28] t_idx : template identifier (selects the VALU opcode)
+ *
+ * One word is shared by a set of four values, so a template instance
+ * costs (4 + 1) * 4 bytes.  The 13-bit submatrix indices bound the tile
+ * size at 2^13 * 4 = 32768.
+ */
+
+#ifndef SPASM_FORMAT_POSITION_ENCODING_HH
+#define SPASM_FORMAT_POSITION_ENCODING_HH
+
+#include <cstdint>
+
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace spasm {
+
+/** Maximum tile edge length representable by the 13-bit indices. */
+constexpr std::int64_t kMaxTileSize = (1 << 13) * 4; // 32768
+
+/** Packed 32-bit position-encoding word. */
+class PositionEncoding
+{
+  public:
+    PositionEncoding() = default;
+
+    /** Pack the fields; all must be in range (library bug if not). */
+    PositionEncoding(std::uint32_t c_idx, std::uint32_t r_idx, bool ce,
+                     bool re, std::uint32_t t_idx)
+    {
+        spasm_assert(c_idx < (1u << 13));
+        spasm_assert(r_idx < (1u << 13));
+        spasm_assert(t_idx < (1u << 4));
+        word_ = c_idx | (r_idx << 13) |
+            (static_cast<std::uint32_t>(ce) << 26) |
+            (static_cast<std::uint32_t>(re) << 27) | (t_idx << 28);
+    }
+
+    /** Reinterpret a raw word (e.g. from a value stream). */
+    static PositionEncoding
+    fromRaw(std::uint32_t word)
+    {
+        PositionEncoding pe;
+        pe.word_ = word;
+        return pe;
+    }
+
+    std::uint32_t raw() const { return word_; }
+
+    std::uint32_t cIdx() const { return bitField(word_, 0, 13); }
+    std::uint32_t rIdx() const { return bitField(word_, 13, 13); }
+    bool ce() const { return testBit(word_, 26); }
+    bool re() const { return testBit(word_, 27); }
+    std::uint32_t tIdx() const { return bitField(word_, 28, 4); }
+
+    /** Copy with the CE/RE bits replaced (encoder finalization). */
+    PositionEncoding
+    withFlags(bool ce, bool re) const
+    {
+        PositionEncoding pe;
+        pe.word_ = insertBitField(word_, 26, 1, ce ? 1 : 0);
+        pe.word_ = insertBitField(pe.word_, 27, 1, re ? 1 : 0);
+        return pe;
+    }
+
+    friend bool
+    operator==(const PositionEncoding &a, const PositionEncoding &b)
+    {
+        return a.word_ == b.word_;
+    }
+
+  private:
+    std::uint32_t word_ = 0;
+};
+
+} // namespace spasm
+
+#endif // SPASM_FORMAT_POSITION_ENCODING_HH

@@ -1,0 +1,167 @@
+#include "format/serialize.hh"
+
+#include <cstring>
+#include <fstream>
+
+#include "support/logging.hh"
+
+namespace spasm {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'P', 'S', 'M'};
+
+template <typename T>
+void
+writePod(std::ostream &out, const T &v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+T
+readPod(std::istream &in, const std::string &name)
+{
+    T v{};
+    in.read(reinterpret_cast<char *>(&v), sizeof(T));
+    if (!in)
+        spasm_fatal("%s: truncated .spasm file", name.c_str());
+    return v;
+}
+
+} // namespace
+
+void
+writeSpasmFile(const SpasmMatrix &m, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        spasm_fatal("cannot open '%s' for writing", path.c_str());
+    writeSpasmFile(m, out);
+    if (!out)
+        spasm_fatal("I/O error writing '%s'", path.c_str());
+}
+
+void
+writeSpasmFile(const SpasmMatrix &m, std::ostream &out)
+{
+    out.write(kMagic, sizeof(kMagic));
+    writePod(out, kSpasmFileVersion);
+
+    writePod<std::int32_t>(out, m.rows());
+    writePod<std::int32_t>(out, m.cols());
+    writePod<std::int32_t>(out, m.tileSize());
+    writePod<std::int64_t>(out, m.nnz());
+    writePod<std::int64_t>(out, m.numWords());
+    writePod<std::int64_t>(out, m.paddings());
+
+    const auto &portfolio = m.portfolio();
+    writePod<std::int32_t>(out, portfolio.id());
+    writePod<std::uint32_t>(
+        out, static_cast<std::uint32_t>(portfolio.name().size()));
+    out.write(portfolio.name().data(),
+              static_cast<std::streamsize>(portfolio.name().size()));
+    writePod<std::int32_t>(out, portfolio.grid().size);
+    writePod<std::uint32_t>(
+        out, static_cast<std::uint32_t>(portfolio.size()));
+    for (const auto &t : portfolio.templates())
+        writePod<std::uint16_t>(out, t.mask());
+
+    writePod<std::uint64_t>(out, m.tiles().size());
+    for (const auto &tile : m.tiles()) {
+        writePod<std::int32_t>(out, tile.tileRowIdx);
+        writePod<std::int32_t>(out, tile.tileColIdx);
+        writePod<std::uint64_t>(out, tile.words.size());
+        for (const auto &word : tile.words) {
+            writePod<std::uint32_t>(out, word.pos.raw());
+            for (Value v : word.vals)
+                writePod<float>(out, v);
+        }
+    }
+}
+
+SpasmMatrix
+readSpasmFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        spasm_fatal("cannot open .spasm file '%s'", path.c_str());
+    return readSpasmFile(in, path);
+}
+
+SpasmMatrix
+readSpasmFile(std::istream &in, const std::string &name)
+{
+    char magic[4] = {};
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        spasm_fatal("%s: not a .spasm file (bad magic)", name.c_str());
+    const auto version = readPod<std::uint32_t>(in, name);
+    if (version != kSpasmFileVersion) {
+        spasm_fatal("%s: unsupported .spasm version %u (expected %u)",
+                    name.c_str(), version, kSpasmFileVersion);
+    }
+
+    SpasmMatrix m;
+    m.rows_ = readPod<std::int32_t>(in, name);
+    m.cols_ = readPod<std::int32_t>(in, name);
+    m.tileSize_ = readPod<std::int32_t>(in, name);
+    m.nnz_ = readPod<std::int64_t>(in, name);
+    m.numWords_ = readPod<std::int64_t>(in, name);
+    m.paddings_ = readPod<std::int64_t>(in, name);
+    if (m.rows_ < 0 || m.cols_ < 0 || m.tileSize_ < 0 ||
+        m.tileSize_ > kMaxTileSize || m.nnz_ < 0 ||
+        m.numWords_ < 0 || m.paddings_ < 0) {
+        spasm_fatal("%s: corrupt header", name.c_str());
+    }
+
+    const auto portfolio_id = readPod<std::int32_t>(in, name);
+    const auto name_len = readPod<std::uint32_t>(in, name);
+    if (name_len > 4096)
+        spasm_fatal("%s: corrupt portfolio name", name.c_str());
+    std::string portfolio_name(name_len, '\0');
+    in.read(portfolio_name.data(), name_len);
+    const auto grid_size = readPod<std::int32_t>(in, name);
+    if (grid_size < 2 || grid_size > 4)
+        spasm_fatal("%s: corrupt grid size", name.c_str());
+    const auto num_templates = readPod<std::uint32_t>(in, name);
+    if (num_templates == 0 || num_templates > 16)
+        spasm_fatal("%s: corrupt template count", name.c_str());
+    std::vector<PatternMask> masks;
+    masks.reserve(num_templates);
+    for (std::uint32_t i = 0; i < num_templates; ++i)
+        masks.push_back(readPod<std::uint16_t>(in, name));
+    m.portfolio_ = TemplatePortfolio(
+        portfolio_id, std::move(portfolio_name), std::move(masks),
+        PatternGrid{grid_size});
+
+    const auto num_tiles = readPod<std::uint64_t>(in, name);
+    m.tiles_.reserve(num_tiles);
+    std::int64_t words_seen = 0;
+    for (std::uint64_t t = 0; t < num_tiles; ++t) {
+        SpasmTile tile;
+        tile.tileRowIdx = readPod<std::int32_t>(in, name);
+        tile.tileColIdx = readPod<std::int32_t>(in, name);
+        const auto num_words = readPod<std::uint64_t>(in, name);
+        tile.words.reserve(num_words);
+        for (std::uint64_t w = 0; w < num_words; ++w) {
+            EncodedWord word;
+            word.pos = PositionEncoding::fromRaw(
+                readPod<std::uint32_t>(in, name));
+            for (auto &v : word.vals)
+                v = readPod<float>(in, name);
+            tile.words.push_back(word);
+        }
+        words_seen += static_cast<std::int64_t>(num_words);
+        m.tiles_.push_back(std::move(tile));
+    }
+    if (words_seen != m.numWords_) {
+        spasm_fatal("%s: word count mismatch (header %lld, body %lld)",
+                    name.c_str(),
+                    static_cast<long long>(m.numWords_),
+                    static_cast<long long>(words_seen));
+    }
+    return m;
+}
+
+} // namespace spasm

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Binary serialization of SPASM-encoded matrices (.spasm files).
+ *
+ * Preprocessing is the expensive part of the SPASM workflow
+ * (Table VIII); persisting the encoded stream lets deployments pay it
+ * once per matrix and reload in milliseconds — the amortization model
+ * the paper's section V-E4 argues for.
+ *
+ * Layout (little-endian):
+ *   magic "SPSM" | u32 version
+ *   i32 rows, cols, tileSize | i64 nnz, numWords, paddings
+ *   portfolio: i32 id | u32 name length + bytes | i32 grid size |
+ *              u32 template count | u16 masks[]
+ *   u64 tile count | per tile: i32 tileRowIdx, tileColIdx |
+ *              u64 word count | words (u32 pos + 4 x f32 values)
+ */
+
+#ifndef SPASM_FORMAT_SERIALIZE_HH
+#define SPASM_FORMAT_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "format/spasm_matrix.hh"
+
+namespace spasm {
+
+/** Current .spasm file format version. */
+constexpr std::uint32_t kSpasmFileVersion = 1;
+
+/** Write @p m to @p path; fatal() on I/O failure. */
+void writeSpasmFile(const SpasmMatrix &m, const std::string &path);
+
+/** Write to a stream. */
+void writeSpasmFile(const SpasmMatrix &m, std::ostream &out);
+
+/** Read a .spasm file; fatal() on malformed input. */
+SpasmMatrix readSpasmFile(const std::string &path);
+
+/** Read from a stream (name used in diagnostics). */
+SpasmMatrix readSpasmFile(std::istream &in, const std::string &name);
+
+} // namespace spasm
+
+#endif // SPASM_FORMAT_SERIALIZE_HH

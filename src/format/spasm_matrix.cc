@@ -1,0 +1,258 @@
+#include "format/spasm_matrix.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "pattern/decompose.hh"
+#include "support/logging.hh"
+
+namespace spasm {
+
+double
+SpasmMatrix::paddingRate() const
+{
+    const Count stored =
+        numWords_ * static_cast<Count>(portfolio_.grid().size);
+    if (stored == 0)
+        return 0.0;
+    return static_cast<double>(paddings_) / static_cast<double>(stored);
+}
+
+std::int64_t
+SpasmMatrix::encodedBytes() const
+{
+    const int P = portfolio_.grid().size;
+    return numWords_ * static_cast<std::int64_t>(P + 1) * 4;
+}
+
+std::int64_t
+SpasmMatrix::tileIndexBytes() const
+{
+    return static_cast<std::int64_t>(tiles_.size()) * 8;
+}
+
+Index
+SpasmMatrix::numTileRows() const
+{
+    if (tileSize_ == 0)
+        return 0;
+    return static_cast<Index>(ceilDiv(rows_, tileSize_));
+}
+
+void
+SpasmMatrix::execute(const std::vector<Value> &x,
+                     std::vector<Value> &y) const
+{
+    spasm_assert(static_cast<Index>(x.size()) == cols_);
+    spasm_assert(static_cast<Index>(y.size()) == rows_);
+    const int P = portfolio_.grid().size;
+    for (const auto &tile : tiles_) {
+        const Index row_base = tile.tileRowIdx * tileSize_;
+        const Index col_base = tile.tileColIdx * tileSize_;
+        for (const auto &word : tile.words) {
+            const auto &temp =
+                portfolio_.templates()[word.pos.tIdx()];
+            const Index sub_row =
+                row_base + static_cast<Index>(word.pos.rIdx()) * P;
+            const Index sub_col =
+                col_base + static_cast<Index>(word.pos.cIdx()) * P;
+            for (int j = 0; j < temp.length(); ++j) {
+                const auto &cell = temp.cells()[j];
+                const Index r = sub_row + cell.row;
+                const Index c = sub_col + cell.col;
+                // Template cells may overhang the matrix edge when a
+                // dimension is not a multiple of the grid size; those
+                // lanes are zero paddings by construction (only
+                // actual entries get responsibility cells).
+                if (r >= rows_ || c >= cols_) {
+                    spasm_assert(word.vals[j] == 0.0f);
+                    continue;
+                }
+                y[r] += word.vals[j] * x[c];
+            }
+        }
+    }
+}
+
+CooMatrix
+SpasmMatrix::toCoo() const
+{
+    std::vector<Triplet> triplets;
+    triplets.reserve(static_cast<std::size_t>(nnz_));
+    const int P = portfolio_.grid().size;
+    for (const auto &tile : tiles_) {
+        const Index row_base = tile.tileRowIdx * tileSize_;
+        const Index col_base = tile.tileColIdx * tileSize_;
+        for (const auto &word : tile.words) {
+            const auto &temp =
+                portfolio_.templates()[word.pos.tIdx()];
+            const Index sub_row =
+                row_base + static_cast<Index>(word.pos.rIdx()) * P;
+            const Index sub_col =
+                col_base + static_cast<Index>(word.pos.cIdx()) * P;
+            for (int j = 0; j < temp.length(); ++j) {
+                if (word.vals[j] == 0.0f)
+                    continue;
+                const auto &cell = temp.cells()[j];
+                triplets.emplace_back(sub_row + cell.row,
+                                      sub_col + cell.col, word.vals[j]);
+            }
+        }
+    }
+    return CooMatrix::fromTriplets(rows_, cols_, std::move(triplets));
+}
+
+SpasmEncoder::SpasmEncoder(TemplatePortfolio portfolio, Index tile_size,
+                           bool interleave_rows)
+    : portfolio_(std::move(portfolio)), tileSize_(tile_size),
+      interleaveRows_(interleave_rows)
+{
+    const int P = portfolio_.grid().size;
+    if (tile_size <= 0 || tile_size % P != 0) {
+        spasm_fatal("tile size %d must be a positive multiple of the "
+                    "grid size %d", tile_size, P);
+    }
+    if (tile_size / P > (1 << 13)) {
+        spasm_fatal("tile size %d exceeds the 13-bit submatrix index "
+                    "range (max %ld)", tile_size,
+                    static_cast<long>(kMaxTileSize));
+    }
+}
+
+SpasmMatrix
+SpasmEncoder::encode(const CooMatrix &m) const
+{
+    const int P = portfolio_.grid().size;
+    const Index T = tileSize_;
+    const Index num_tile_cols =
+        static_cast<Index>(ceilDiv(std::max<Index>(m.cols(), 1), T));
+
+    SpasmMatrix out;
+    out.rows_ = m.rows();
+    out.cols_ = m.cols();
+    out.tileSize_ = T;
+    out.nnz_ = m.nnz();
+    out.portfolio_ = portfolio_;
+
+    // Sort entry indices by (tile, submatrix) so tiles stream in
+    // row-block-major order and submatrix cells are contiguous.
+    const auto &entries = m.entries();
+    auto key_of = [&](const Triplet &t) -> std::uint64_t {
+        const std::uint64_t tile =
+            static_cast<std::uint64_t>(t.row / T) * num_tile_cols +
+            static_cast<std::uint64_t>(t.col / T);
+        spasm_assert(tile < (1ULL << 37));
+        const std::uint64_t sub_r = (t.row % T) / P;
+        const std::uint64_t sub_c = (t.col % T) / P;
+        return (tile << 26) | (sub_r << 13) | sub_c;
+    };
+    std::vector<std::uint32_t> order(entries.size());
+    for (std::uint32_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  return key_of(entries[a]) < key_of(entries[b]);
+              });
+
+    Decomposer decomposer(portfolio_);
+    const PatternGrid &grid = portfolio_.grid();
+
+    SpasmTile current;
+    bool tile_open = false;
+    Value cell_vals[16];
+
+    auto close_tile = [&](bool row_end) {
+        if (!tile_open)
+            return;
+        spasm_assert(!current.words.empty());
+        if (interleaveRows_) {
+            // Hazard-aware word scheduling: bucket the tile's words
+            // by r_idx and emit round-robin across buckets, so
+            // back-to-back words update different partial-sum rows.
+            std::map<std::uint32_t, std::vector<EncodedWord>> rows;
+            for (const auto &word : current.words)
+                rows[word.pos.rIdx()].push_back(word);
+            std::vector<EncodedWord> reordered;
+            reordered.reserve(current.words.size());
+            bool emitted = true;
+            for (std::size_t k = 0; emitted; ++k) {
+                emitted = false;
+                for (auto &[r, bucket] : rows) {
+                    if (k < bucket.size()) {
+                        reordered.push_back(bucket[k]);
+                        emitted = true;
+                    }
+                }
+            }
+            spasm_assert(reordered.size() == current.words.size());
+            current.words = std::move(reordered);
+        }
+        auto &last = current.words.back();
+        last.pos = last.pos.withFlags(true, row_end);
+        out.tiles_.push_back(std::move(current));
+        current = SpasmTile{};
+        tile_open = false;
+    };
+
+    std::size_t i = 0;
+    while (i < order.size()) {
+        const Triplet &head = entries[order[i]];
+        const Index tr = head.row / T;
+        const Index tc = head.col / T;
+        const Index sub_r = (head.row % T) / P;
+        const Index sub_c = (head.col % T) / P;
+
+        // Gather this submatrix's occupancy mask and cell values.
+        PatternMask mask = 0;
+        std::size_t j = i;
+        while (j < order.size()) {
+            const Triplet &t = entries[order[j]];
+            if (t.row / T != tr || t.col / T != tc ||
+                (t.row % T) / P != sub_r || (t.col % T) / P != sub_c) {
+                break;
+            }
+            const int bit = grid.bitOf(t.row % P, t.col % P);
+            mask = static_cast<PatternMask>(mask | (1u << bit));
+            cell_vals[bit] = t.val;
+            ++j;
+        }
+        i = j;
+
+        // Tile boundary bookkeeping: previous tile (if any) is closed
+        // with CE, and additionally RE when its tile row ended.
+        if (tile_open &&
+            (current.tileRowIdx != tr || current.tileColIdx != tc)) {
+            close_tile(current.tileRowIdx != tr);
+        }
+        if (!tile_open) {
+            current.tileRowIdx = tr;
+            current.tileColIdx = tc;
+            tile_open = true;
+        }
+
+        for (const auto &inst : decomposer.instances(mask)) {
+            const auto &temp = portfolio_.templates()[inst.templateId];
+            EncodedWord word;
+            word.pos = PositionEncoding(
+                static_cast<std::uint32_t>(sub_c),
+                static_cast<std::uint32_t>(sub_r), false, false,
+                inst.templateId);
+            for (int k = 0; k < temp.length(); ++k) {
+                const auto &cell = temp.cells()[k];
+                const int bit = grid.bitOf(cell.row, cell.col);
+                if (testBit(inst.responsibility, bit)) {
+                    word.vals[k] = cell_vals[bit];
+                } else {
+                    word.vals[k] = 0.0f;
+                    ++out.paddings_;
+                }
+            }
+            current.words.push_back(word);
+            ++out.numWords_;
+        }
+    }
+    close_tile(true);
+    return out;
+}
+
+} // namespace spasm

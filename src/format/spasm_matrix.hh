@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The SPASM sparse data format (section III): a two-level tiling of the
+ * matrix into COO-indexed tiles of template-instance streams.
+ */
+
+#ifndef SPASM_FORMAT_SPASM_MATRIX_HH
+#define SPASM_FORMAT_SPASM_MATRIX_HH
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "format/position_encoding.hh"
+#include "pattern/template_library.hh"
+#include "sparse/coo.hh"
+#include "sparse/types.hh"
+
+namespace spasm {
+
+class SpasmMatrix;
+
+/** Defined in serialize.hh; declared here for the friend grant. */
+SpasmMatrix readSpasmFile(std::istream &in, const std::string &name);
+
+/** One position-encoding word plus its four shared values. */
+struct EncodedWord
+{
+    PositionEncoding pos;
+    std::array<Value, 4> vals{0.0f, 0.0f, 0.0f, 0.0f};
+};
+
+/** One non-empty tile: global COO coordinates + its word stream. */
+struct SpasmTile
+{
+    Index tileRowIdx = 0;
+    Index tileColIdx = 0;
+    std::vector<EncodedWord> words;
+};
+
+/**
+ * A matrix encoded in the SPASM format.
+ *
+ * Tiles are ordered row-block-major (all tiles of tile row 0 left to
+ * right, then tile row 1, ...), matching the accelerator's streaming
+ * order: within a tile row the partial-sum buffer accumulates across
+ * tiles; CE marks tile boundaries (x-buffer switch) and RE marks tile-
+ * row boundaries (partial-sum flush).
+ */
+class SpasmMatrix
+{
+  public:
+    SpasmMatrix() = default;
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+    Index tileSize() const { return tileSize_; }
+    Count nnz() const { return nnz_; }
+
+    const TemplatePortfolio &portfolio() const { return portfolio_; }
+    const std::vector<SpasmTile> &tiles() const { return tiles_; }
+
+    /** Total template instances (= encoded words). */
+    Count numWords() const { return numWords_; }
+
+    /** Total zero paddings across all instances. */
+    Count paddings() const { return paddings_; }
+
+    /** Fraction of stored values that are paddings. */
+    double paddingRate() const;
+
+    /**
+     * Second-level storage footprint: (P+1)*4 bytes per word.  The
+     * first-level tile COO adds 8 bytes per tile, reported separately
+     * because the paper's comparison ignores it for all formats.
+     */
+    std::int64_t encodedBytes() const;
+    std::int64_t tileIndexBytes() const;
+
+    /**
+     * Software reference execution of the encoded stream:
+     * y = A * x + y.  Used to validate the encoder and as the golden
+     * model for the cycle-level simulator.
+     */
+    void execute(const std::vector<Value> &x,
+                 std::vector<Value> &y) const;
+
+    /** Reconstruct the plain COO matrix (drops paddings). */
+    CooMatrix toCoo() const;
+
+    /** Number of tile rows (= ceil(rows / tileSize)). */
+    Index numTileRows() const;
+
+  private:
+    friend class SpasmEncoder;
+    friend SpasmMatrix readSpasmFile(std::istream &in,
+                                     const std::string &name);
+
+    Index rows_ = 0;
+    Index cols_ = 0;
+    Index tileSize_ = 0;
+    Count nnz_ = 0;
+    Count numWords_ = 0;
+    Count paddings_ = 0;
+    TemplatePortfolio portfolio_;
+    std::vector<SpasmTile> tiles_;
+};
+
+/**
+ * Steps (3)+(4) of the workflow: decompose local patterns against a
+ * portfolio and tile the result into the SPASM format.
+ */
+class SpasmEncoder
+{
+  public:
+    /**
+     * @param tile_size       Tile edge length; must be a positive
+     *                        multiple of the grid size and at most
+     *                        kMaxTileSize.
+     * @param interleave_rows Reorder each tile's word stream so that
+     *                        consecutive words hit different
+     *                        partial-sum rows (round-robin across
+     *                        r_idx buckets) — hazard-aware scheduling
+     *                        for accumulator pipelines with a
+     *                        multi-cycle read-modify-write latency.
+     *                        Functionally neutral (order-independent
+     *                        accumulation).
+     */
+    SpasmEncoder(TemplatePortfolio portfolio, Index tile_size,
+                 bool interleave_rows = false);
+
+    /** Encode @p m; fatal() if the portfolio grid is not 4 (the
+     *  hardware VALU width) when @p require_hw_grid is true. */
+    SpasmMatrix encode(const CooMatrix &m) const;
+
+    Index tileSize() const { return tileSize_; }
+    bool interleaveRows() const { return interleaveRows_; }
+
+  private:
+    TemplatePortfolio portfolio_;
+    Index tileSize_;
+    bool interleaveRows_;
+};
+
+} // namespace spasm
+
+#endif // SPASM_FORMAT_SPASM_MATRIX_HH

@@ -1,0 +1,104 @@
+#include "format/storage_model.hh"
+
+#include "pattern/selection.hh"
+#include "sparse/bsr.hh"
+#include "sparse/csr.hh"
+#include "sparse/dia.hh"
+#include "sparse/ell.hh"
+#include "support/logging.hh"
+
+namespace spasm {
+
+std::string
+storageFormatName(StorageFormat f)
+{
+    switch (f) {
+      case StorageFormat::COO:
+        return "COO";
+      case StorageFormat::CSR:
+        return "CSR";
+      case StorageFormat::BSR:
+        return "BSR";
+      case StorageFormat::ELL:
+        return "ELL";
+      case StorageFormat::DIA:
+        return "DIA";
+      case StorageFormat::HiSparseSerpens:
+        return "HiSparse&Serpens";
+      case StorageFormat::SPASM:
+        return "SPASM";
+    }
+    spasm_panic("unknown storage format");
+}
+
+std::int64_t
+storageBytes(const CooMatrix &m, StorageFormat f, Index bsr_block_size)
+{
+    const std::int64_t nnz = m.nnz();
+    switch (f) {
+      case StorageFormat::COO:
+        // 32-bit row + 32-bit col + fp32 value.
+        return nnz * 12;
+      case StorageFormat::CSR:
+        // 32-bit col + fp32 value per nnz, 32-bit row pointer per row.
+        return nnz * 8 + (static_cast<std::int64_t>(m.rows()) + 1) * 4;
+      case StorageFormat::BSR: {
+        const BsrMatrix bsr = BsrMatrix::fromCoo(m, bsr_block_size);
+        // Dense BxB values + 32-bit block col index per block, 32-bit
+        // pointer per block row.
+        return bsr.numBlocks() *
+                   (static_cast<std::int64_t>(bsr_block_size) *
+                        bsr_block_size * 4 + 4) +
+               (static_cast<std::int64_t>(bsr.blockRows()) + 1) * 4;
+      }
+      case StorageFormat::ELL: {
+        const EllMatrix ell = EllMatrix::fromCoo(m);
+        // 32-bit col + fp32 value per slot, rows x width slots.
+        return ell.storedValues() * 8;
+      }
+      case StorageFormat::DIA: {
+        const DiaMatrix dia = DiaMatrix::fromCoo(m);
+        // fp32 per slot plus a 32-bit offset per diagonal.
+        return dia.storedValues() * 4 +
+               static_cast<std::int64_t>(dia.numDiagonals()) * 4;
+      }
+      case StorageFormat::HiSparseSerpens:
+        // Both stream 8 bytes per non-zero (packed 16-bit row index +
+        // 16-bit column offset + fp32 value); first-level tile indices
+        // ignored per the paper.
+        return nnz * 8;
+      case StorageFormat::SPASM:
+        spasm_panic("SPASM storage needs an encoding or a histogram; "
+                    "use the dedicated overloads");
+    }
+    spasm_panic("unknown storage format");
+}
+
+std::int64_t
+storageBytes(const SpasmMatrix &m)
+{
+    return m.encodedBytes();
+}
+
+std::int64_t
+spasmBytesFromHistogram(const PatternHistogram &hist,
+                        const TemplatePortfolio &portfolio)
+{
+    const std::uint64_t instances = weightedInstances(hist, portfolio);
+    const int P = portfolio.grid().size;
+    return static_cast<std::int64_t>(instances) * (P + 1) * 4;
+}
+
+double
+improvementOverCoo(const CooMatrix &m, StorageFormat f,
+                   Index bsr_block_size)
+{
+    const double coo = static_cast<double>(
+        storageBytes(m, StorageFormat::COO));
+    const double other =
+        static_cast<double>(storageBytes(m, f, bsr_block_size));
+    spasm_assert(other > 0.0);
+    return coo / other;
+}
+
+} // namespace spasm

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Storage-cost models for the format comparison (Fig. 11, Table VI).
+ *
+ * Conventions follow section V-D of the paper: indices in COO/CSR/BSR
+ * are 32-bit ints, values are fp32, the HiSparse/Serpens streaming
+ * formats cost 8 bytes per non-zero, and first-level tile indices are
+ * ignored for every two-level format (they are negligible).
+ */
+
+#ifndef SPASM_FORMAT_STORAGE_MODEL_HH
+#define SPASM_FORMAT_STORAGE_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "format/spasm_matrix.hh"
+#include "pattern/analysis.hh"
+#include "sparse/coo.hh"
+
+namespace spasm {
+
+/** Identifiers for the formats in the comparison. */
+enum class StorageFormat
+{
+    COO,
+    CSR,
+    BSR,
+    ELL,
+    DIA,
+    HiSparseSerpens,
+    SPASM,
+};
+
+/** Display name of a format. */
+std::string storageFormatName(StorageFormat f);
+
+/** Byte cost of @p m in the classic formats (not SPASM). */
+std::int64_t storageBytes(const CooMatrix &m, StorageFormat f,
+                          Index bsr_block_size = 2);
+
+/** Byte cost of an already-encoded SPASM matrix. */
+std::int64_t storageBytes(const SpasmMatrix &m);
+
+/**
+ * Byte cost of the SPASM encoding implied by a pattern histogram and a
+ * portfolio, without materializing the encoding: instances * (P+1) * 4.
+ * Used for the tile-size-free studies (Fig. 9 / Fig. 10).
+ */
+std::int64_t spasmBytesFromHistogram(const PatternHistogram &hist,
+                                     const TemplatePortfolio &portfolio);
+
+/** Storage improvement of @p f over COO (paper's normalization). */
+double improvementOverCoo(const CooMatrix &m, StorageFormat f,
+                          Index bsr_block_size = 2);
+
+} // namespace spasm
+
+#endif // SPASM_FORMAT_STORAGE_MODEL_HH

@@ -1,0 +1,609 @@
+#include "hw/accelerator.hh"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <cstdio>
+#include <ostream>
+
+#include "hw/hbm.hh"
+#include "support/logging.hh"
+
+namespace spasm {
+
+namespace {
+
+/** Extra cycles for pipeline fill/drain at run boundaries. */
+constexpr std::uint64_t kPipelineOverhead = 32;
+
+/** Max pending partial-sum flushes per drain queue. */
+constexpr std::size_t kMaxPendingFlushes = 8;
+
+/**
+ * HBM read latency in cycles, paid by the request at the head of an
+ * idle bulk queue (back-to-back requests pipeline behind it).
+ */
+constexpr int kHbmReadLatency = 12;
+
+/**
+ * One contiguous slice of a tile's word stream assigned to a PE.
+ * A whole tile is the common case; heavy tiles are split across PEs
+ * (each with its own x-buffer copy), which the partial-sum merge
+ * unit makes legal.
+ */
+struct WorkRange
+{
+    std::size_t tile = 0;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+};
+
+/** Per-PE simulation state. */
+struct PeState
+{
+    /** Assigned word ranges, in stream order. */
+    std::vector<WorkRange> work;
+
+    std::size_t cur = 0;       ///< current range (index into work)
+    std::size_t word = 0;      ///< next word within the current range
+    int slice = 0;             ///< next batch vector for this word
+    std::size_t loaded = 0;    ///< ranges whose x slice is resident
+    std::size_t requested = 0; ///< ranges enqueued to the x loader
+    bool done = false;
+
+    /** Cycle at which the current range issued its first word. */
+    std::uint64_t rangeStart = 0;
+
+    /** Recent psum writes (r_idx, cycle, slice) for hazard checks. */
+    static constexpr int kHazardRing = 8;
+    std::uint32_t hazRIdx[kHazardRing] = {};
+    std::uint64_t hazCycle[kHazardRing] = {};
+    int hazSlice[kHazardRing] = {};
+    int hazHead = 0;
+
+    /** Partial-sum buffer (tileSize entries). */
+    std::vector<Value> psum;
+};
+
+/** A pending bulk transfer (x prefetch or psum/y drain). */
+struct BulkReq
+{
+    int pe = -1;
+    double remaining = 0.0;
+    int latency = 0; ///< cycles before the first byte arrives
+};
+
+} // namespace
+
+Accelerator::Accelerator(const HwConfig &config,
+                         const TemplatePortfolio &portfolio)
+    : config_(config), portfolio_(portfolio)
+{
+    if (portfolio_.grid().size != kValuLanes) {
+        spasm_fatal("the VALU processes %d-cell templates; portfolio "
+                    "grid is %dx%d", kValuLanes, portfolio_.grid().size,
+                    portfolio_.grid().size);
+    }
+    opcodeLut_.reserve(portfolio_.templates().size());
+    for (const auto &t : portfolio_.templates())
+        opcodeLut_.push_back(compileOpcode(t));
+}
+
+RunStats
+Accelerator::run(const SpasmMatrix &m, const std::vector<Value> &x,
+                 std::vector<Value> &y, SchedulePolicy policy)
+{
+    const std::vector<const std::vector<Value> *> xs{&x};
+    const std::vector<std::vector<Value> *> ys{&y};
+    return runImpl(m, xs, ys, policy);
+}
+
+RunStats
+Accelerator::runBatch(const SpasmMatrix &m,
+                      const std::vector<std::vector<Value>> &xs,
+                      std::vector<std::vector<Value>> &ys,
+                      SchedulePolicy policy)
+{
+    spasm_assert(!xs.empty() && xs.size() == ys.size());
+    std::vector<const std::vector<Value> *> xp;
+    std::vector<std::vector<Value> *> yp;
+    for (std::size_t b = 0; b < xs.size(); ++b) {
+        xp.push_back(&xs[b]);
+        yp.push_back(&ys[b]);
+    }
+    return runImpl(m, xp, yp, policy);
+}
+
+RunStats
+Accelerator::runImpl(const SpasmMatrix &m,
+                     const std::vector<const std::vector<Value> *> &xs,
+                     const std::vector<std::vector<Value> *> &ys,
+                     SchedulePolicy policy)
+{
+    const int batch = static_cast<int>(xs.size());
+    for (int b = 0; b < batch; ++b) {
+        spasm_assert(static_cast<Index>(xs[b]->size()) == m.cols());
+        spasm_assert(static_cast<Index>(ys[b]->size()) == m.rows());
+    }
+    bool same_portfolio = m.portfolio().templates().size() ==
+        portfolio_.templates().size();
+    for (std::size_t i = 0;
+         same_portfolio && i < portfolio_.templates().size(); ++i) {
+        same_portfolio = m.portfolio().templates()[i].mask() ==
+            portfolio_.templates()[i].mask();
+    }
+    if (!same_portfolio) {
+        spasm_fatal("matrix was encoded with a different portfolio "
+                    "than the accelerator's opcode LUT");
+    }
+
+    const Index T = m.tileSize();
+    if (static_cast<long>(T) * batch > config_.maxTileSizeOnChip()) {
+        spasm_fatal("tile size %d x batch %d exceeds the on-chip "
+                    "buffer budget of %s (max %ld)", T, batch,
+                    config_.name().c_str(),
+                    config_.maxTileSizeOnChip());
+    }
+    const int num_pes = config_.numPes();
+    const int num_groups = config_.numPeGroups;
+    const double bpc = config_.channelBytesPerCycle();
+    const auto &tiles = m.tiles();
+
+    // ---- Schedule: distribute the word stream over PEs.  Different
+    // PEs may process different tiles of the same tile row — or even
+    // different slices of the same tile — because the partial-sum
+    // merge unit combines their flushed contributions into y
+    // (section IV-D3).
+    //
+    // LoadBalanced keeps the stream order and cuts it into contiguous
+    // word-balanced chunks at exact word boundaries (same-row words
+    // stay together, minimising flush and x-reload traffic, while a
+    // heavy tile is split across PEs).  RoundRobin is the ablation
+    // study's naive tile-granular placement.
+    std::uint64_t total_words = 0;
+    for (const auto &t : tiles)
+        total_words += t.words.size();
+
+    std::vector<PeState> pes(num_pes);
+    if (policy == SchedulePolicy::RoundRobin) {
+        for (std::size_t i = 0; i < tiles.size(); ++i) {
+            pes[i % num_pes].work.push_back(
+                {i, 0, tiles[i].words.size()});
+        }
+    } else {
+        std::uint64_t cum = 0;
+        int p = 0;
+        for (std::size_t i = 0; i < tiles.size(); ++i) {
+            std::size_t off = 0;
+            const std::size_t w = tiles[i].words.size();
+            while (off < w) {
+                const std::uint64_t boundary =
+                    total_words * (p + 1) / num_pes;
+                if (boundary <= cum && p + 1 < num_pes) {
+                    ++p;
+                    continue;
+                }
+                const std::uint64_t room = p + 1 < num_pes
+                    ? boundary - cum
+                    : static_cast<std::uint64_t>(w - off);
+                const std::size_t take = static_cast<std::size_t>(
+                    std::min<std::uint64_t>(w - off, room));
+                pes[p].work.push_back({i, off, off + take});
+                off += take;
+                cum += take;
+            }
+        }
+    }
+    for (auto &pe : pes) {
+        pe.done = pe.work.empty();
+        if (!pe.done) {
+            pe.psum.assign(static_cast<std::size_t>(T) * batch,
+                           0.0f);
+        }
+    }
+
+    // ---- HBM subsystem.
+    std::vector<HbmChannel> val_ch;   // 4 per group, 4 PEs each
+    std::vector<HbmChannel> pos_ch;   // 1 per group
+    std::vector<HbmChannel> x_ch;     // pooled: X channels per group
+    std::vector<HbmChannel> drain_ch; // 1 per group (psum drain)
+    for (int g = 0; g < num_groups; ++g) {
+        for (int c = 0; c < kPesPerGroup / kPesPerValueChannel; ++c)
+            val_ch.emplace_back(bpc);
+        pos_ch.emplace_back(bpc);
+        x_ch.emplace_back(bpc * config_.numXvecCh);
+        drain_ch.emplace_back(bpc);
+    }
+    HbmChannel y_ch(bpc);
+
+    std::vector<std::deque<BulkReq>> x_queue(num_groups);
+    std::vector<std::deque<BulkReq>> drain_queue(num_groups);
+    std::deque<BulkReq> y_queue;
+    std::vector<bool> y_row_seen(m.numTileRows(), false);
+
+    auto group_of = [&](int pe) { return pe / kPesPerGroup; };
+    auto val_ch_of = [&](int pe) {
+        return pe / kPesPerValueChannel;
+    };
+
+    auto enqueue_prefetch = [&](int pe_id) {
+        auto &pe = pes[pe_id];
+        const std::size_t horizon =
+            std::min(pe.cur + 2, pe.work.size());
+        while (pe.requested < horizon) {
+            // Each work range stages its tile's x slice; a tile split
+            // across PEs is loaded once per PE (no broadcast path).
+            auto &q = x_queue[group_of(pe_id)];
+            q.push_back({pe_id,
+                         static_cast<double>(T) * 4.0 * batch,
+                         q.empty() ? kHbmReadLatency : 0});
+            ++pe.requested;
+        }
+    };
+    for (int p = 0; p < num_pes; ++p) {
+        if (!pes[p].done)
+            enqueue_prefetch(p);
+    }
+
+    if (traceSink_)
+        traceSink_->clear();
+
+    RunStats stats;
+    stats.totalWords = static_cast<std::uint64_t>(m.numWords());
+    stats.hbmChannels = config_.hbmChannels();
+    stats.bandwidthGBs = config_.bandwidthGBs();
+    stats.peakGflops = config_.peakGflops();
+
+    const std::uint64_t watchdog = 1000000ULL +
+        1000ULL * (stats.totalWords * batch + tiles.size() + 1);
+
+    // Occupancy sampling: geometric bucket widening keeps the
+    // timeline at <= 128 entries for any run length.
+    std::vector<std::uint64_t> occ_buckets;
+    std::uint64_t occ_width = 16;
+    std::uint64_t occ_acc = 0;
+    std::uint64_t occ_fill = 0;
+    std::uint64_t occ_prev_busy = 0;
+
+    std::uint64_t cycle = 0;
+    int rr = 0; // rotating PE priority
+    for (;; ++cycle) {
+        bool all_done = true;
+        for (const auto &pe : pes)
+            all_done = all_done && pe.done;
+        bool queues_empty = y_queue.empty();
+        for (int g = 0; g < num_groups; ++g) {
+            queues_empty = queues_empty && drain_queue[g].empty() &&
+                x_queue[g].empty();
+        }
+        if (all_done && queues_empty)
+            break;
+        if (cycle > watchdog) {
+            spasm_panic("simulator watchdog: no forward progress "
+                        "after %llu cycles",
+                        static_cast<unsigned long long>(cycle));
+        }
+
+        for (auto &ch : val_ch)
+            ch.beginCycle();
+        for (auto &ch : pos_ch)
+            ch.beginCycle();
+        for (auto &ch : x_ch)
+            ch.beginCycle();
+        for (auto &ch : drain_ch)
+            ch.beginCycle();
+        y_ch.beginCycle();
+
+        // Serve bulk queues (x prefetch, psum drain, y merge).
+        for (int g = 0; g < num_groups; ++g) {
+            auto &q = x_queue[g];
+            while (!q.empty()) {
+                if (q.front().latency > 0) {
+                    --q.front().latency;
+                    break;
+                }
+                const double granted =
+                    x_ch[g].consumeUpTo(q.front().remaining);
+                q.front().remaining -= granted;
+                if (q.front().remaining > 1e-9)
+                    break;
+                ++pes[q.front().pe].loaded;
+                q.pop_front();
+            }
+            auto &dq = drain_queue[g];
+            while (!dq.empty()) {
+                if (dq.front().latency > 0) {
+                    --dq.front().latency;
+                    break;
+                }
+                const double granted =
+                    drain_ch[g].consumeUpTo(dq.front().remaining);
+                dq.front().remaining -= granted;
+                if (dq.front().remaining > 1e-9)
+                    break;
+                dq.pop_front();
+            }
+        }
+        while (!y_queue.empty()) {
+            if (y_queue.front().latency > 0) {
+                --y_queue.front().latency;
+                break;
+            }
+            const double granted =
+                y_ch.consumeUpTo(y_queue.front().remaining);
+            y_queue.front().remaining -= granted;
+            if (y_queue.front().remaining > 1e-9)
+                break;
+            y_queue.pop_front();
+        }
+
+        // PEs, in rotating priority order for channel fairness.
+        for (int k = 0; k < num_pes; ++k) {
+            const int p = (k + rr) % num_pes;
+            auto &pe = pes[p];
+            if (pe.done)
+                continue;
+
+            const WorkRange &range = pe.work[pe.cur];
+            const SpasmTile &tile = tiles[range.tile];
+            if (pe.loaded <= pe.cur) {
+                ++stats.stallX;
+                continue;
+            }
+            const EncodedWord &word =
+                tile.words[range.begin + pe.word];
+            const bool range_end =
+                range.begin + pe.word + 1 == range.end;
+            const bool last_slice = pe.slice + 1 == batch;
+            // The PE flushes its partial sums when its next assigned
+            // range starts a different tile row (or it is finished);
+            // the merge unit accumulates flushes from all PEs into y.
+            const bool will_flush = range_end && last_slice &&
+                (pe.cur + 1 >= pe.work.size() ||
+                 tiles[pe.work[pe.cur + 1].tile].tileRowIdx !=
+                     tile.tileRowIdx);
+            const int g = group_of(p);
+            if (will_flush &&
+                (drain_queue[g].size() >= kMaxPendingFlushes ||
+                 y_queue.size() >=
+                     kMaxPendingFlushes * num_groups)) {
+                ++stats.stallY;
+                continue;
+            }
+            if (psumHazardLatency_ > 0) {
+                bool hazard = false;
+                for (int h = 0; h < PeState::kHazardRing; ++h) {
+                    if (pe.hazRIdx[h] == word.pos.rIdx() &&
+                        pe.hazSlice[h] == pe.slice &&
+                        pe.hazCycle[h] +
+                                static_cast<std::uint64_t>(
+                                    psumHazardLatency_) >
+                            cycle &&
+                        pe.hazCycle[h] != 0) {
+                        hazard = true;
+                        break;
+                    }
+                }
+                if (hazard) {
+                    ++stats.stallHazard;
+                    continue;
+                }
+            }
+            // The word's stream bytes are fetched once; later batch
+            // slices reuse the latched word without channel traffic.
+            if (pe.slice == 0) {
+                if (!pos_ch[g].available(4.0)) {
+                    ++stats.stallPos;
+                    continue;
+                }
+                if (!val_ch[val_ch_of(p)].tryConsume(16.0)) {
+                    ++stats.stallValue;
+                    continue;
+                }
+                const bool pos_ok = pos_ch[g].tryConsume(4.0);
+                spasm_assert(pos_ok);
+            }
+
+            if (traceSink_ && pe.word == 0 && pe.slice == 0)
+                pe.rangeStart = cycle;
+
+            // ---- Execute one batch slice on the VALU datapath.
+            const Index col_base = tile.tileColIdx * T +
+                static_cast<Index>(word.pos.cIdx()) * kValuLanes;
+            const std::vector<Value> &xv = *xs[pe.slice];
+            std::array<Value, 4> xlanes;
+            for (int l = 0; l < kValuLanes; ++l) {
+                const Index c = col_base + l;
+                xlanes[l] = c < m.cols() ? xv[c] : 0.0f;
+            }
+            const auto out = valuEvaluate(opcodeLut_[word.pos.tIdx()],
+                                          word.vals, xlanes);
+            const Index psum_base =
+                static_cast<Index>(word.pos.rIdx()) * kValuLanes;
+            Value *psum = pe.psum.data() +
+                static_cast<std::size_t>(pe.slice) * T;
+            for (int r = 0; r < kValuLanes; ++r)
+                psum[psum_base + r] += out[r];
+
+            if (psumHazardLatency_ > 0) {
+                pe.hazRIdx[pe.hazHead] = word.pos.rIdx();
+                pe.hazCycle[pe.hazHead] = cycle;
+                pe.hazSlice[pe.hazHead] = pe.slice;
+                pe.hazHead = (pe.hazHead + 1) % PeState::kHazardRing;
+            }
+
+            ++stats.busyPeCycles;
+            if (!last_slice) {
+                ++pe.slice;
+                continue;
+            }
+            pe.slice = 0;
+            ++pe.word;
+
+            if (will_flush) {
+                // Flush the partial-sum buffers: drain to the merge
+                // unit (group channel), then y read-modify-write on
+                // the global channel, once per batch vector.
+                const Index row_base = tile.tileRowIdx * T;
+                for (int b = 0; b < batch; ++b) {
+                    Value *pb = pe.psum.data() +
+                        static_cast<std::size_t>(b) * T;
+                    std::vector<Value> &yv = *ys[b];
+                    for (Index i = 0; i < T; ++i) {
+                        const Index row = row_base + i;
+                        if (row < m.rows())
+                            yv[row] += pb[i];
+                        pb[i] = 0.0f;
+                    }
+                }
+                const Index valid = std::min<Index>(
+                    T, std::max<Index>(0, m.rows() - row_base));
+                drain_queue[g].push_back(
+                    {p, static_cast<double>(valid) * 4.0 * batch,
+                     drain_queue[g].empty() ? kHbmReadLatency : 0});
+                // The merge unit combines flushes on chip; the global
+                // y channel reads and writes each y element once per
+                // vector, on the first flush touching its tile row.
+                if (!y_row_seen[tile.tileRowIdx]) {
+                    y_row_seen[tile.tileRowIdx] = true;
+                    y_queue.push_back(
+                        {p, static_cast<double>(valid) * 8.0 * batch,
+                         y_queue.empty() ? kHbmReadLatency : 0});
+                }
+            }
+            if (range_end) {
+                if (traceSink_) {
+                    traceSink_->push_back(
+                        {p, tile.tileRowIdx, tile.tileColIdx,
+                         static_cast<std::uint64_t>(range.begin),
+                         static_cast<std::uint64_t>(range.end -
+                                                    range.begin),
+                         pe.rangeStart, cycle, will_flush});
+                }
+                ++pe.cur;
+                pe.word = 0;
+                if (pe.cur >= pe.work.size()) {
+                    pe.done = true;
+                } else {
+                    enqueue_prefetch(p);
+                }
+            }
+        }
+        rr = (rr + 1) % num_pes;
+
+        occ_acc += stats.busyPeCycles - occ_prev_busy;
+        occ_prev_busy = stats.busyPeCycles;
+        if (++occ_fill == occ_width) {
+            occ_buckets.push_back(occ_acc);
+            occ_acc = 0;
+            occ_fill = 0;
+            if (occ_buckets.size() > 128) {
+                for (std::size_t i = 0; i < occ_buckets.size() / 2;
+                     ++i) {
+                    occ_buckets[i] = occ_buckets[2 * i] +
+                        occ_buckets[2 * i + 1];
+                }
+                occ_buckets.resize(occ_buckets.size() / 2);
+                occ_width *= 2;
+            }
+        }
+    }
+
+    stats.occupancyBucketCycles = occ_width;
+    stats.occupancyTimeline.reserve(occ_buckets.size() + 1);
+    for (std::uint64_t b : occ_buckets) {
+        stats.occupancyTimeline.push_back(
+            static_cast<double>(b) /
+            (static_cast<double>(occ_width) * num_pes));
+    }
+    if (occ_fill > 0) {
+        stats.occupancyTimeline.push_back(
+            static_cast<double>(occ_acc) /
+            (static_cast<double>(occ_fill) * num_pes));
+    }
+
+    stats.cycles = cycle + kPipelineOverhead;
+    stats.seconds = static_cast<double>(stats.cycles) /
+        (config_.freqMhz * 1e6);
+    stats.gflops = (2.0 * static_cast<double>(m.nnz()) +
+                    static_cast<double>(m.rows())) * batch /
+        stats.seconds / 1e9;
+
+    for (const auto &ch : val_ch)
+        stats.bytesValues += ch.totalBytes();
+    for (const auto &ch : pos_ch)
+        stats.bytesPos += ch.totalBytes();
+    for (const auto &ch : x_ch)
+        stats.bytesX += ch.totalBytes();
+    double drain_bytes = 0.0;
+    for (const auto &ch : drain_ch)
+        drain_bytes += ch.totalBytes();
+    stats.bytesY = y_ch.totalBytes() + drain_bytes;
+
+    const double moved = stats.bytesValues + stats.bytesPos +
+        stats.bytesX + stats.bytesY;
+    const double capacity = static_cast<double>(stats.cycles) *
+        config_.hbmChannels() * bpc;
+    stats.bandwidthUtilization = capacity > 0.0 ? moved / capacity
+                                                : 0.0;
+    const double useful_flops =
+        2.0 * static_cast<double>(m.nnz()) * batch;
+    const double peak_flops = static_cast<double>(stats.cycles) *
+        config_.numPes() * kValuLanes * 2;
+    stats.computeUtilization =
+        peak_flops > 0.0 ? useful_flops / peak_flops : 0.0;
+    return stats;
+}
+
+
+void
+printStats(std::ostream &os, const RunStats &stats)
+{
+    auto line = [&](const char *name, double value,
+                    const char *desc) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf), "%-28s %18.6g  # %s\n", name,
+                      value, desc);
+        os << buf;
+    };
+    line("sim.cycles", static_cast<double>(stats.cycles),
+         "total execution cycles");
+    line("sim.seconds", stats.seconds, "execution time (s)");
+    line("sim.gflops", stats.gflops,
+         "(2*nnz + rows) / time, GFLOP/s");
+    line("sim.total_words", static_cast<double>(stats.totalWords),
+         "template instances processed");
+    line("sim.busy_pe_cycles",
+         static_cast<double>(stats.busyPeCycles),
+         "PE-cycles issuing a word");
+    line("sim.stall.value", static_cast<double>(stats.stallValue),
+         "PE-cycles stalled on the value channels");
+    line("sim.stall.position", static_cast<double>(stats.stallPos),
+         "PE-cycles stalled on the position channel");
+    line("sim.stall.xvec", static_cast<double>(stats.stallX),
+         "PE-cycles stalled on x-vector prefetch");
+    line("sim.stall.flush", static_cast<double>(stats.stallY),
+         "PE-cycles stalled on partial-sum drain");
+    line("sim.stall.hazard", static_cast<double>(stats.stallHazard),
+         "PE-cycles stalled on psum accumulation hazards");
+    line("hbm.bytes.values", stats.bytesValues,
+         "sparse-value stream bytes");
+    line("hbm.bytes.position", stats.bytesPos,
+         "position-encoding stream bytes");
+    line("hbm.bytes.xvec", stats.bytesX, "x-vector prefetch bytes");
+    line("hbm.bytes.y", stats.bytesY,
+         "partial-sum drain + y merge bytes");
+    line("util.bandwidth", stats.bandwidthUtilization,
+         "moved bytes / channel capacity");
+    line("util.compute", stats.computeUtilization,
+         "useful FLOPs / peak FLOPs");
+    line("hw.hbm_channels", static_cast<double>(stats.hbmChannels),
+         "HBM channels (1 + G*(X+6))");
+    line("hw.bandwidth_gbs", stats.bandwidthGBs,
+         "aggregate bandwidth (GB/s)");
+    line("hw.peak_gflops", stats.peakGflops,
+         "peak throughput (GFLOP/s)");
+}
+
+} // namespace spasm
+

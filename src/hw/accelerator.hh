@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Cycle-level simulator of the SPASM accelerator (section IV-D).
+ *
+ * The simulator models the full microarchitecture each clock cycle:
+ *  - per-PE word processing (one template instance per cycle at most),
+ *    with the VALU executed literally from the compiled opcode LUT;
+ *  - the HBM subsystem: per-group value channels (4 PEs each), one
+ *    position-encoding channel per group, pooled x-vector load
+ *    channels per group, and the global y read-modify-write channel;
+ *  - double-buffered x-vector tiles with prefetch;
+ *  - partial-sum buffers flushed to the merge unit whenever a PE's
+ *    assigned work leaves the current tile row (the stream-order RE
+ *    flag marks the same boundary for an unsplit stream).
+ *
+ * Functional output is produced by the same datapath, so every run is
+ * also an end-to-end correctness check against the reference SpMV.
+ */
+
+#ifndef SPASM_HW_ACCELERATOR_HH
+#define SPASM_HW_ACCELERATOR_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "format/spasm_matrix.hh"
+#include "hw/config.hh"
+#include "hw/opcode.hh"
+
+namespace spasm {
+
+/** How the word stream is distributed over the PEs. */
+enum class SchedulePolicy
+{
+    RoundRobin,   ///< whole tile i -> PE (i mod numPes)
+    LoadBalanced, ///< contiguous word-balanced chunks (tiles split)
+};
+
+/** One scheduling event for trace-driven analysis/visualization. */
+struct TraceEvent
+{
+    int pe = 0;
+    Index tileRowIdx = 0;
+    Index tileColIdx = 0;
+    std::uint64_t firstWord = 0; ///< range start within the tile
+    std::uint64_t numWords = 0;
+    std::uint64_t startCycle = 0;
+    std::uint64_t endCycle = 0;
+    bool flushed = false; ///< this range ended with a psum flush
+};
+
+/** Statistics of one accelerator run. */
+struct RunStats
+{
+    std::uint64_t cycles = 0;
+    double seconds = 0.0;
+
+    /** Paper metric: (2*nnz + rows) / time, in GFLOP/s. */
+    double gflops = 0.0;
+
+    std::uint64_t totalWords = 0;
+
+    double bytesValues = 0.0;
+    double bytesPos = 0.0;
+    double bytesX = 0.0;
+    double bytesY = 0.0;
+
+    /** Aggregate PE-cycles stalled, by cause. */
+    std::uint64_t stallValue = 0;
+    std::uint64_t stallPos = 0;
+    std::uint64_t stallX = 0;
+    std::uint64_t stallY = 0;
+    std::uint64_t stallHazard = 0;
+    std::uint64_t busyPeCycles = 0;
+
+    /** Moved bytes / (cycles * aggregate bytes-per-cycle). */
+    double bandwidthUtilization = 0.0;
+
+    /** Useful FLOPs / (cycles * peak FLOPs-per-cycle). */
+    double computeUtilization = 0.0;
+
+    int hbmChannels = 0;
+    double bandwidthGBs = 0.0;
+    double peakGflops = 0.0;
+
+    /**
+     * PE-occupancy timeline: fraction of PEs issuing a word per
+     * sampling bucket (buckets widen geometrically so the timeline
+     * stays ~128 entries regardless of run length).  Useful for
+     * spotting warm-up, drain and imbalance phases.
+     */
+    std::vector<double> occupancyTimeline;
+
+    /** Cycles per occupancyTimeline bucket. */
+    std::uint64_t occupancyBucketCycles = 0;
+};
+
+/**
+ * Dump a RunStats block in gem5-style "name value # description"
+ * lines (consumed by the CLI's --stats flag and by log scrapers).
+ */
+void printStats(std::ostream &os, const RunStats &stats);
+
+/** The SPASM accelerator instance. */
+class Accelerator
+{
+  public:
+    /**
+     * Builds the opcode look-up table from @p portfolio (initialization
+     * stage of section IV-D2).  The portfolio grid must be 4x4 (the
+     * VALU width); other sizes are a user error.
+     */
+    Accelerator(const HwConfig &config,
+                const TemplatePortfolio &portfolio);
+
+    const HwConfig &config() const { return config_; }
+
+    /**
+     * Run y = A * x + y on the simulated hardware.
+     *
+     * @param m      Matrix encoded with the same portfolio this
+     *               accelerator was built with.
+     * @param x      Dense input vector (size = cols).
+     * @param y      Dense in/out vector (size = rows).
+     * @param policy Tile-row scheduling policy.
+     */
+    RunStats run(const SpasmMatrix &m, const std::vector<Value> &x,
+                 std::vector<Value> &y,
+                 SchedulePolicy policy = SchedulePolicy::LoadBalanced);
+
+    /**
+     * Model a floating-point accumulation hazard on the partial-sum
+     * buffer: a word whose submatrix row (r_idx) was written by the
+     * same PE within the last @p cycles cycles stalls until the
+     * accumulator pipeline drains.  0 (default) models the
+     * ideal/interleaved accumulators of the HLS design; non-zero
+     * values are for sensitivity analysis (bench_ext_sim_sensitivity)
+     * and for evaluating hazard-aware word interleaving in the
+     * encoder.
+     */
+    void setPsumHazardLatency(int cycles)
+    {
+        psumHazardLatency_ = cycles;
+    }
+
+    /**
+     * Enable event tracing: subsequent runs record one TraceEvent
+     * per executed work range into @p sink (cleared first).  Pass
+     * nullptr to disable.  The CLI's `simulate --trace out.csv`
+     * exposes this as a CSV for timeline visualization.
+     */
+    void setTraceSink(std::vector<TraceEvent> *sink)
+    {
+        traceSink_ = sink;
+    }
+
+    /**
+     * Multi-vector extension (SpMM-style): Y[b] = A * X[b] + Y[b]
+     * for every vector of the batch, streaming the encoded matrix
+     * through the PEs ONCE.  A word occupies its PE for `batch`
+     * cycles (one vector slice per cycle) but its value/position
+     * bytes are fetched a single time, so the A-stream bandwidth is
+     * amortized and throughput approaches the compute roof.  The
+     * on-chip x and partial-sum buffers hold `batch` slices, so
+     * tileSize * batch must fit the tile budget.
+     */
+    RunStats runBatch(const SpasmMatrix &m,
+                      const std::vector<std::vector<Value>> &xs,
+                      std::vector<std::vector<Value>> &ys,
+                      SchedulePolicy policy =
+                          SchedulePolicy::LoadBalanced);
+
+  private:
+    RunStats runImpl(const SpasmMatrix &m,
+                     const std::vector<const std::vector<Value> *> &xs,
+                     const std::vector<std::vector<Value> *> &ys,
+                     SchedulePolicy policy);
+
+    HwConfig config_;
+    TemplatePortfolio portfolio_;
+    std::vector<ValuOpcode> opcodeLut_;
+    std::vector<TraceEvent> *traceSink_ = nullptr;
+    int psumHazardLatency_ = 0;
+};
+
+} // namespace spasm
+
+#endif // SPASM_HW_ACCELERATOR_HH

@@ -1,0 +1,53 @@
+#include "hw/config.hh"
+
+#include <algorithm>
+
+#include "format/position_encoding.hh"
+
+namespace spasm {
+
+std::string
+HwConfig::name() const
+{
+    return std::string("SPASM_") + std::to_string(numPeGroups) + "_" +
+        std::to_string(numXvecCh);
+}
+
+long
+HwConfig::maxTileSizeOnChip() const
+{
+    // Per PE: two x buffers (4 bytes per column) + one partial-sum
+    // buffer (4 bytes per row) => 12 bytes per tile dimension unit.
+    const double per_unit = 12.0 * numPes();
+    long t = static_cast<long>(kOnChipRamBytes / per_unit);
+    t -= t % 4;
+    return std::min<long>(t, kMaxTileSize);
+}
+
+HwConfig
+spasm41()
+{
+    return {4, 1, 252.0};
+}
+
+HwConfig
+spasm34()
+{
+    return {3, 4, 265.0};
+}
+
+HwConfig
+spasm32()
+{
+    return {3, 2, 251.0};
+}
+
+const std::vector<HwConfig> &
+allHwConfigs()
+{
+    static const std::vector<HwConfig> configs = {spasm41(), spasm34(),
+                                                  spasm32()};
+    return configs;
+}
+
+} // namespace spasm

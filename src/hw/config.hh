@@ -1,0 +1,94 @@
+/**
+ * @file
+ * SPASM accelerator configuration (section IV-D3, Table IV).
+ *
+ * The accelerator is parameterized by NUM_PE_GROUP (G) and NUM_XVEC_CH
+ * (X).  Each PE group holds 16 PEs and consumes 6 fixed HBM channels
+ * (4 value channels at 4 PEs each, 1 position-encoding channel, 1
+ * partial-sum drain channel) plus X x-vector channels; one global
+ * channel loads/updates y.  Total channels: 1 + G * (X + 6).
+ *
+ * On the Alveo U280 (460 GB/s over 32 HBM pseudo-channels) a channel
+ * sustains 14.375 GB/s; the formula reproduces Table IV's bandwidth
+ * column exactly.  Frequencies are per-bitstream synthesis results,
+ * taken from Table IV.
+ */
+
+#ifndef SPASM_HW_CONFIG_HH
+#define SPASM_HW_CONFIG_HH
+
+#include <string>
+#include <vector>
+
+namespace spasm {
+
+/** Sustained bandwidth of one U280 HBM pseudo-channel (GB/s). */
+constexpr double kHbmChannelGBs = 460.0 / 32.0; // 14.375
+
+/** PEs per PE group (fixed by the architecture). */
+constexpr int kPesPerGroup = 16;
+
+/** Vector lanes (multipliers) per PE / VALU. */
+constexpr int kValuLanes = 4;
+
+/** PEs sharing one sparse-value HBM channel. */
+constexpr int kPesPerValueChannel = 4;
+
+/** On-chip RAM budget of the U280 (bytes), bounds tile buffers. */
+constexpr double kOnChipRamBytes = 34.0 * 1024 * 1024;
+
+/** One synthesizable hardware configuration. */
+struct HwConfig
+{
+    int numPeGroups = 4;
+    int numXvecCh = 1;
+    double freqMhz = 252.0;
+
+    /** "SPASM_{G}_{X}" per the paper's naming. */
+    std::string name() const;
+
+    int numPes() const { return numPeGroups * kPesPerGroup; }
+
+    /** HBM channels consumed: 1 + G * (X + 6). */
+    int hbmChannels() const
+    {
+        return 1 + numPeGroups * (numXvecCh + 6);
+    }
+
+    /** Aggregate bandwidth (GB/s). */
+    double bandwidthGBs() const
+    {
+        return hbmChannels() * kHbmChannelGBs;
+    }
+
+    /** Peak throughput: G * 16 PEs * 4 MACs * 2 flops * f (GFLOP/s). */
+    double peakGflops() const
+    {
+        return numPes() * kValuLanes * 2 * freqMhz / 1e3;
+    }
+
+    /** Bytes one HBM channel delivers per accelerator clock cycle. */
+    double
+    channelBytesPerCycle() const
+    {
+        return kHbmChannelGBs * 1e9 / (freqMhz * 1e6);
+    }
+
+    /**
+     * Largest tile size whose buffers (double-buffered x + partial
+     * sums, 12 bytes per tile row/col per PE) fit on chip.
+     */
+    long maxTileSizeOnChip() const;
+};
+
+/** The three evaluated bitstreams of Table IV. */
+HwConfig spasm41();
+HwConfig spasm34();
+HwConfig spasm32();
+
+/** All pre-synthesized configurations (bitstream library). */
+const std::vector<HwConfig> &allHwConfigs();
+
+} // namespace spasm
+
+#endif // SPASM_HW_CONFIG_HH

@@ -1,0 +1,51 @@
+#include "hw/hbm.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace spasm {
+
+HbmChannel::HbmChannel(double bytes_per_cycle, double burst_cycles)
+    : bytesPerCycle_(bytes_per_cycle),
+      maxCredit_(bytes_per_cycle * burst_cycles)
+{
+    spasm_assert(bytes_per_cycle > 0.0 && burst_cycles >= 1.0);
+}
+
+void
+HbmChannel::beginCycle()
+{
+    credit_ = std::min(credit_ + bytesPerCycle_, maxCredit_);
+    ++cycles_;
+}
+
+bool
+HbmChannel::tryConsume(double bytes)
+{
+    if (credit_ < bytes)
+        return false;
+    credit_ -= bytes;
+    totalBytes_ += bytes;
+    return true;
+}
+
+double
+HbmChannel::consumeUpTo(double bytes)
+{
+    const double granted = std::min(bytes, std::max(credit_, 0.0));
+    credit_ -= granted;
+    totalBytes_ += granted;
+    return granted;
+}
+
+double
+HbmChannel::utilization() const
+{
+    if (cycles_ == 0)
+        return 0.0;
+    return totalBytes_ /
+        (bytesPerCycle_ * static_cast<double>(cycles_));
+}
+
+} // namespace spasm

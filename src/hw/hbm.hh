@@ -1,0 +1,64 @@
+/**
+ * @file
+ * HBM pseudo-channel bandwidth model.
+ *
+ * A channel accrues a byte budget every cycle (sustained bandwidth,
+ * with a small burst cap) and grants requests while budget lasts.
+ * Contention between the units sharing a channel is resolved by the
+ * callers polling in rotating priority order each cycle.
+ */
+
+#ifndef SPASM_HW_HBM_HH
+#define SPASM_HW_HBM_HH
+
+#include <cstdint>
+#include <string>
+
+namespace spasm {
+
+/** One HBM pseudo-channel. */
+class HbmChannel
+{
+  public:
+    /**
+     * @param bytes_per_cycle Sustained delivery rate.
+     * @param burst_cycles    Budget accumulation cap, in cycles worth
+     *                        of bandwidth (models a small prefetch
+     *                        FIFO in front of the consumer).
+     */
+    explicit HbmChannel(double bytes_per_cycle,
+                        double burst_cycles = 4.0);
+
+    /** Advance one cycle: accrue budget. */
+    void beginCycle();
+
+    /** Try to consume @p bytes this cycle; false if over budget. */
+    bool tryConsume(double bytes);
+
+    /**
+     * Consume up to @p bytes (bulk streaming, e.g. x-vector loads).
+     * @return bytes actually granted this cycle.
+     */
+    double consumeUpTo(double bytes);
+
+    /** Whether at least @p bytes of budget are available. */
+    bool available(double bytes) const { return credit_ >= bytes; }
+
+    double bytesPerCycle() const { return bytesPerCycle_; }
+    std::uint64_t cycles() const { return cycles_; }
+    double totalBytes() const { return totalBytes_; }
+
+    /** Delivered bytes / theoretical capacity so far. */
+    double utilization() const;
+
+  private:
+    double bytesPerCycle_;
+    double maxCredit_;
+    double credit_ = 0.0;
+    double totalBytes_ = 0.0;
+    std::uint64_t cycles_ = 0;
+};
+
+} // namespace spasm
+
+#endif // SPASM_HW_HBM_HH

@@ -1,0 +1,160 @@
+#include "hw/opcode.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace spasm {
+
+namespace {
+
+/** The 6 unordered product pairs, indexed by 3-bit code. */
+constexpr std::uint8_t kPairTable[6][2] = {
+    {0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3},
+};
+
+std::uint8_t
+pairCode(std::uint8_t a, std::uint8_t b)
+{
+    if (a > b)
+        std::swap(a, b);
+    for (std::uint8_t code = 0; code < 6; ++code) {
+        if (kPairTable[code][0] == a && kPairTable[code][1] == b)
+            return code;
+    }
+    spasm_panic("invalid product pair (%d, %d)", a, b);
+}
+
+} // namespace
+
+std::uint32_t
+ValuOpcode::pack() const
+{
+    std::uint32_t w = 0;
+    for (int j = 0; j < 4; ++j)
+        w = insertBitField(w, 2 * j, 2, mulSel[j]);
+    w = insertBitField(w, 8, 3, pairCode(add0a, add0b));
+    w = insertBitField(w, 11, 3, pairCode(add1a, add1b));
+    w = insertBitField(w, 14, 3, add2Sel);
+    for (int r = 0; r < 4; ++r)
+        w = insertBitField(w, 17 + 3 * r, 3, outSel[r]);
+    return w;
+}
+
+ValuOpcode
+ValuOpcode::unpack(std::uint32_t word)
+{
+    ValuOpcode op;
+    for (int j = 0; j < 4; ++j) {
+        op.mulSel[j] =
+            static_cast<std::uint8_t>(bitField(word, 2 * j, 2));
+    }
+    const std::uint32_t p0 = bitField(word, 8, 3);
+    const std::uint32_t p1 = bitField(word, 11, 3);
+    spasm_assert(p0 < 6 && p1 < 6);
+    op.add0a = kPairTable[p0][0];
+    op.add0b = kPairTable[p0][1];
+    op.add1a = kPairTable[p1][0];
+    op.add1b = kPairTable[p1][1];
+    op.add2Sel = static_cast<std::uint8_t>(bitField(word, 14, 3));
+    for (int r = 0; r < 4; ++r) {
+        op.outSel[r] =
+            static_cast<std::uint8_t>(bitField(word, 17 + 3 * r, 3));
+    }
+    return op;
+}
+
+ValuOpcode
+compileOpcode(const TemplatePattern &temp)
+{
+    spasm_assert(temp.length() == 4);
+    ValuOpcode op;
+
+    // Multiplier j takes the x lane of cell j's column.
+    for (int j = 0; j < 4; ++j) {
+        op.mulSel[j] =
+            static_cast<std::uint8_t>(temp.cells()[j].col);
+    }
+
+    // Group products by output row.
+    std::vector<std::vector<std::uint8_t>> groups(4);
+    for (std::uint8_t j = 0; j < 4; ++j)
+        groups[temp.cells()[j].row].push_back(j);
+
+    // Allocate the adder tree.  Possible group-size partitions of the
+    // four products: {4}, {3,1}, {2,2}, {2,1,1}, {1,1,1,1}; at most
+    // one group needs >= 3 products and at most two need >= 2, so the
+    // 3-adder network below always suffices.
+    bool a0_used = false, a1_used = false;
+    for (int row = 0; row < 4; ++row) {
+        const auto &g = groups[row];
+        switch (g.size()) {
+          case 0:
+            op.outSel[row] = kNodeZero;
+            break;
+          case 1:
+            op.outSel[row] = g[0]; // kNodeP0..P3
+            break;
+          case 2:
+            if (!a0_used) {
+                op.add0a = g[0];
+                op.add0b = g[1];
+                op.outSel[row] = kNodeA0;
+                a0_used = true;
+            } else {
+                spasm_assert(!a1_used);
+                op.add1a = g[0];
+                op.add1b = g[1];
+                op.outSel[row] = kNodeA1;
+                a1_used = true;
+            }
+            break;
+          case 3:
+            spasm_assert(!a0_used && !a1_used);
+            op.add0a = g[0];
+            op.add0b = g[1];
+            op.add2Sel = g[2];
+            op.outSel[row] = kNodeA2;
+            a0_used = true;
+            break;
+          case 4:
+            op.add0a = g[0];
+            op.add0b = g[1];
+            op.add1a = g[2];
+            op.add1b = g[3];
+            op.add2Sel = 4; // a1
+            op.outSel[row] = kNodeA2;
+            a0_used = a1_used = true;
+            break;
+          default:
+            spasm_panic("impossible row group size %zu", g.size());
+        }
+    }
+    return op;
+}
+
+std::array<Value, 4>
+valuEvaluate(const ValuOpcode &op, const std::array<Value, 4> &vals,
+             const std::array<Value, 4> &xlanes)
+{
+    // Stage 1: multipliers.
+    std::array<Value, 4> p;
+    for (int j = 0; j < 4; ++j)
+        p[j] = vals[j] * xlanes[op.mulSel[j]];
+
+    // Stage 2: adders.
+    const Value a0 = p[op.add0a] + p[op.add0b];
+    const Value a1 = p[op.add1a] + p[op.add1b];
+    const Value a2 = a0 + (op.add2Sel < 4 ? p[op.add2Sel] : a1);
+
+    // Stage 3: the four 8-to-1 output muxes.
+    const Value nodes[8] = {p[0], p[1], p[2], p[3], a0, a1, a2, 0.0f};
+    std::array<Value, 4> out;
+    for (int r = 0; r < 4; ++r)
+        out[r] = nodes[op.outSel[r]];
+    return out;
+}
+
+} // namespace spasm

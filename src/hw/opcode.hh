@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The VALU opcode: compiled control word for one template pattern
+ * (section IV-D1, Fig. 8).
+ *
+ * The VALU holds 4 multipliers, 3 adders and a mux network.  For a
+ * template with cells (r_j, c_j), multiplier j computes
+ * p_j = val_j * x[c_j]; the adder tree sums products that share a row;
+ * output lane r receives the sum for row r (or zero).
+ *
+ * Packed layout (29 of the 30 opcode bits used):
+ *   [7:0]   mulSel   : four 2-bit x-lane selects (c_j of each cell)
+ *   [10:8]  add0Pair : unordered product pair of adder 0 (6 codes)
+ *   [13:11] add1Pair : unordered product pair of adder 1 (6 codes)
+ *   [16:14] add2Sel  : adder 2 second input: 0-3 = product, 4 = a1
+ *                      (first input is hard-wired to a0)
+ *   [28:17] outSel   : four 3-bit output-mux selects over
+ *                      {p0, p1, p2, p3, a0, a1, a2, zero}
+ *
+ * Any partition of 4 cells into row groups ({4}, {3,1}, {2,2},
+ * {2,1,1}, {1,1,1,1}) maps onto this network; compileOpcode() performs
+ * the allocation and a parameterized test sweeps all 1820 templates to
+ * prove datapath output == per-row sums.
+ */
+
+#ifndef SPASM_HW_OPCODE_HH
+#define SPASM_HW_OPCODE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "pattern/local_pattern.hh"
+#include "sparse/types.hh"
+
+namespace spasm {
+
+/** Output-mux node indices. */
+enum ValuNode : std::uint8_t
+{
+    kNodeP0 = 0,
+    kNodeP1 = 1,
+    kNodeP2 = 2,
+    kNodeP3 = 3,
+    kNodeA0 = 4,
+    kNodeA1 = 5,
+    kNodeA2 = 6,
+    kNodeZero = 7,
+};
+
+/** Decoded VALU control word. */
+struct ValuOpcode
+{
+    /** x-lane (column) select of each multiplier. */
+    std::array<std::uint8_t, 4> mulSel{0, 0, 0, 0};
+
+    /** Product pair of adder 0 / adder 1 (first < second). */
+    std::uint8_t add0a = 0, add0b = 1;
+    std::uint8_t add1a = 2, add1b = 3;
+
+    /** Adder 2: a0 + (add2Sel < 4 ? p[add2Sel] : a1). */
+    std::uint8_t add2Sel = 4;
+
+    /** Output mux select per lane (ValuNode). */
+    std::array<std::uint8_t, 4> outSel{kNodeZero, kNodeZero, kNodeZero,
+                                       kNodeZero};
+
+    /** Pack into the 30-bit control word. */
+    std::uint32_t pack() const;
+
+    /** Unpack from a control word. */
+    static ValuOpcode unpack(std::uint32_t word);
+
+    friend bool
+    operator==(const ValuOpcode &a, const ValuOpcode &b)
+    {
+        return a.pack() == b.pack();
+    }
+};
+
+/**
+ * Compile the VALU opcode for @p temp (a 4-cell template on the 4x4
+ * grid).  Values arrive in template-cell order; multiplier j handles
+ * cell j.
+ */
+ValuOpcode compileOpcode(const TemplatePattern &temp);
+
+/**
+ * Execute the VALU datapath literally (multipliers, adders, muxes).
+ *
+ * @param vals   The four sparse values of the template instance.
+ * @param xlanes The four packed x-vector lanes of the submatrix column.
+ * @return One update per output lane (row of the 4x4 submatrix).
+ */
+std::array<Value, 4> valuEvaluate(const ValuOpcode &op,
+                                  const std::array<Value, 4> &vals,
+                                  const std::array<Value, 4> &xlanes);
+
+} // namespace spasm
+
+#endif // SPASM_HW_OPCODE_HH

@@ -1,0 +1,172 @@
+#include "pattern/analysis.hh"
+
+#include <algorithm>
+#include <thread>
+#include <unordered_map>
+
+#include "support/logging.hh"
+
+namespace spasm {
+
+namespace {
+
+/**
+ * Histogram the submatrix bands covering entries [begin, end) of the
+ * row-major-sorted entry list.  The caller guarantees the range is
+ * band-aligned (does not split a P-row band).
+ */
+void
+analyzeRange(const std::vector<Triplet> &entries, std::size_t begin,
+             std::size_t end, const PatternGrid &grid,
+             std::unordered_map<PatternMask, std::uint64_t> &counts)
+{
+    const int P = grid.size;
+    struct BandEntry
+    {
+        Index blockCol;
+        std::uint8_t bit;
+        bool
+        operator<(const BandEntry &o) const
+        {
+            return blockCol < o.blockCol;
+        }
+    };
+    std::vector<BandEntry> band;
+    std::size_t i = begin;
+    while (i < end) {
+        const Index band_row = entries[i].row / P;
+        band.clear();
+        while (i < end && entries[i].row / P == band_row) {
+            const auto &t = entries[i];
+            band.push_back({t.col / P,
+                            static_cast<std::uint8_t>(
+                                grid.bitOf(t.row % P, t.col % P))});
+            ++i;
+        }
+        std::sort(band.begin(), band.end());
+        std::size_t j = 0;
+        while (j < band.size()) {
+            const Index bc = band[j].blockCol;
+            PatternMask mask = 0;
+            while (j < band.size() && band[j].blockCol == bc) {
+                mask = static_cast<PatternMask>(
+                    mask | (1u << band[j].bit));
+                ++j;
+            }
+            ++counts[mask];
+        }
+    }
+}
+
+/** Advance @p pos to the next P-row band boundary at or after it. */
+std::size_t
+alignToBand(const std::vector<Triplet> &entries, std::size_t pos,
+            int P)
+{
+    if (pos == 0 || pos >= entries.size())
+        return std::min(pos, entries.size());
+    const Index band = entries[pos - 1].row / P;
+    while (pos < entries.size() && entries[pos].row / P == band)
+        ++pos;
+    return pos;
+}
+
+} // namespace
+
+PatternHistogram
+PatternHistogram::analyze(const CooMatrix &m, const PatternGrid &grid,
+                          int num_threads)
+{
+    spasm_assert(grid.size >= 2 && grid.size <= 4);
+    spasm_assert(num_threads >= 1);
+    PatternHistogram hist;
+    hist.grid_ = grid;
+
+    const auto &entries = m.entries();
+    std::unordered_map<PatternMask, std::uint64_t> counts;
+
+    if (num_threads == 1 || entries.size() < 1u << 16) {
+        analyzeRange(entries, 0, entries.size(), grid, counts);
+    } else {
+        // Split at band boundaries; bands are independent, so the
+        // merged histogram is exact.
+        const int workers = num_threads;
+        std::vector<std::size_t> cuts{0};
+        for (int w = 1; w < workers; ++w) {
+            cuts.push_back(alignToBand(
+                entries, entries.size() * w / workers, grid.size));
+        }
+        cuts.push_back(entries.size());
+
+        std::vector<std::unordered_map<PatternMask, std::uint64_t>>
+            partial(workers);
+        std::vector<std::thread> threads;
+        for (int w = 0; w < workers; ++w) {
+            threads.emplace_back([&, w] {
+                analyzeRange(entries, cuts[w], cuts[w + 1], grid,
+                             partial[w]);
+            });
+        }
+        for (auto &t : threads)
+            t.join();
+        for (const auto &p : partial) {
+            for (const auto &[mask, freq] : p)
+                counts[mask] += freq;
+        }
+    }
+
+    hist.bins_.reserve(counts.size());
+    for (const auto &[mask, freq] : counts) {
+        hist.bins_.push_back({mask, freq});
+        hist.total_ += freq;
+        hist.totalNnz_ +=
+            freq * static_cast<std::uint64_t>(popcount(mask));
+    }
+    std::sort(hist.bins_.begin(), hist.bins_.end(),
+              [](const PatternFreq &a, const PatternFreq &b) {
+                  if (a.freq != b.freq)
+                      return a.freq > b.freq;
+                  return a.mask < b.mask;
+              });
+    return hist;
+}
+
+std::vector<PatternFreq>
+PatternHistogram::topN(std::size_t n) const
+{
+    const std::size_t k = std::min(n, bins_.size());
+    return {bins_.begin(), bins_.begin() + static_cast<long>(k)};
+}
+
+std::vector<double>
+PatternHistogram::cdf(std::size_t k) const
+{
+    std::vector<double> out;
+    out.reserve(k);
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+        if (i < bins_.size())
+            acc += bins_[i].freq;
+        out.push_back(total_ ? static_cast<double>(acc) /
+                                   static_cast<double>(total_)
+                             : 0.0);
+    }
+    return out;
+}
+
+std::size_t
+PatternHistogram::topNForCoverage(double coverage) const
+{
+    spasm_assert(coverage > 0.0 && coverage <= 1.0);
+    std::uint64_t acc = 0;
+    const auto target = static_cast<std::uint64_t>(
+        coverage * static_cast<double>(total_));
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        acc += bins_[i].freq;
+        if (acc >= target)
+            return i + 1;
+    }
+    return bins_.size();
+}
+
+} // namespace spasm

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Step (1) of the SPASM workflow: local pattern analysis (Algorithm 2).
+ *
+ * The matrix is tiled into PxP submatrices; each non-empty submatrix
+ * contributes one occurrence of its occupancy bitmask to the pattern
+ * histogram.  The histogram drives template selection (Algorithm 3),
+ * the frequency figures (Fig. 2) and the CDF study (Fig. 3).
+ */
+
+#ifndef SPASM_PATTERN_ANALYSIS_HH
+#define SPASM_PATTERN_ANALYSIS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "pattern/local_pattern.hh"
+#include "sparse/coo.hh"
+
+namespace spasm {
+
+/** One histogram bin: a local pattern and its occurrence count. */
+struct PatternFreq
+{
+    PatternMask mask = 0;
+    std::uint64_t freq = 0;
+};
+
+/**
+ * Histogram of local patterns in one matrix at one grid size.
+ * Bins are kept sorted by descending frequency (ties: ascending mask).
+ */
+class PatternHistogram
+{
+  public:
+    PatternHistogram() = default;
+
+    /**
+     * Run Algorithm 2 over @p m with the given grid.
+     *
+     * Complexity O(nnz log nnz); memory O(nnz) transient.
+     *
+     * @param num_threads Band-parallel workers; 1 (the default)
+     *        reproduces the paper's single-core preprocessing
+     *        (Table VIII), higher values split the row bands across
+     *        threads and merge the partial histograms (bit-identical
+     *        result, counts are exact).
+     */
+    static PatternHistogram analyze(const CooMatrix &m,
+                                    const PatternGrid &grid,
+                                    int num_threads = 1);
+
+    const PatternGrid &grid() const { return grid_; }
+
+    /** Bins sorted by descending frequency. */
+    const std::vector<PatternFreq> &bins() const { return bins_; }
+
+    /** Number of distinct local patterns observed. */
+    std::size_t distinctPatterns() const { return bins_.size(); }
+
+    /** Total occurrences (= number of non-empty PxP submatrices). */
+    std::uint64_t totalOccurrences() const { return total_; }
+
+    /** Total non-zeros covered (sum of freq * popcount(mask)). */
+    std::uint64_t totalNonZeros() const { return totalNnz_; }
+
+    /** The top @p n bins (fewer if not that many exist). */
+    std::vector<PatternFreq> topN(std::size_t n) const;
+
+    /**
+     * Cumulative occurrence fraction of the top-n patterns, n = 1..k
+     * (Fig. 3 series).  Entry i is the fraction covered by the top i+1.
+     */
+    std::vector<double> cdf(std::size_t k) const;
+
+    /**
+     * Smallest n such that the top-n patterns cover at least
+     * @p coverage (in (0, 1]) of all occurrences.
+     */
+    std::size_t topNForCoverage(double coverage) const;
+
+  private:
+    PatternGrid grid_;
+    std::vector<PatternFreq> bins_;
+    std::uint64_t total_ = 0;
+    std::uint64_t totalNnz_ = 0;
+};
+
+} // namespace spasm
+
+#endif // SPASM_PATTERN_ANALYSIS_HH

@@ -1,0 +1,165 @@
+#include "pattern/decompose.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace spasm {
+
+Decomposer::Decomposer(const TemplatePortfolio &portfolio)
+    : portfolio_(portfolio), cells_(portfolio.grid().cells()),
+      minCount_(1u << cells_, kUnknown), choice_(1u << cells_, 0),
+      templatesForBit_(cells_)
+{
+    const auto &temps = portfolio_.templates();
+    spasm_assert(!temps.empty());
+    for (std::size_t t = 0; t < temps.size(); ++t) {
+        for (int b = 0; b < cells_; ++b) {
+            if (testBit(temps[t].mask(), b)) {
+                templatesForBit_[b].push_back(
+                    static_cast<std::uint8_t>(t));
+            }
+        }
+    }
+    minCount_[0] = 0;
+}
+
+void
+Decomposer::solve(std::uint32_t mask)
+{
+    if (minCount_[mask] != kUnknown)
+        return;
+
+    const int b = lowestSetBit(mask);
+    std::uint8_t best = kUnknown;
+    std::uint8_t best_t = 0;
+    // Every feasible cover must cover bit b, so branching only on the
+    // templates containing b preserves optimality.
+    for (std::uint8_t t : templatesForBit_[b]) {
+        const std::uint32_t rest =
+            mask & ~static_cast<std::uint32_t>(
+                portfolio_.templates()[t].mask());
+        solve(rest);
+        const std::uint8_t sub = minCount_[rest];
+        if (sub != kUnknown && sub + 1 < best) {
+            best = static_cast<std::uint8_t>(sub + 1);
+            best_t = t;
+        }
+    }
+    // The portfolio constructor guarantees full grid coverage, so a
+    // cover always exists.
+    spasm_assert(best != kUnknown);
+    minCount_[mask] = best;
+    choice_[mask] = best_t;
+}
+
+Decomposition
+Decomposer::decompose(PatternMask pattern)
+{
+    spasm_assert(pattern != 0);
+    solve(pattern);
+
+    Decomposition d;
+    d.feasible = true;
+    d.numInstances = minCount_[pattern];
+    d.paddings = d.numInstances * portfolio_.grid().size -
+        popcount(pattern);
+    d.templateIds.reserve(d.numInstances);
+    std::uint32_t remain = pattern;
+    while (remain != 0) {
+        const std::uint8_t t = choice_[remain];
+        d.templateIds.push_back(t);
+        remain &= ~static_cast<std::uint32_t>(
+            portfolio_.templates()[t].mask());
+    }
+    spasm_assert(static_cast<int>(d.templateIds.size()) ==
+                 d.numInstances);
+    return d;
+}
+
+int
+Decomposer::paddings(PatternMask pattern)
+{
+    return numInstances(pattern) * portfolio_.grid().size -
+        popcount(pattern);
+}
+
+int
+Decomposer::numInstances(PatternMask pattern)
+{
+    spasm_assert(pattern != 0);
+    solve(pattern);
+    return minCount_[pattern];
+}
+
+std::vector<TemplateInstance>
+Decomposer::instances(PatternMask pattern)
+{
+    spasm_assert(pattern != 0);
+    solve(pattern);
+
+    std::vector<TemplateInstance> out;
+    std::uint32_t remain = pattern;
+    while (remain != 0) {
+        const std::uint8_t t = choice_[remain];
+        const PatternMask tmask = portfolio_.templates()[t].mask();
+        TemplateInstance inst;
+        inst.templateId = t;
+        // The instance is responsible for the still-uncovered pattern
+        // cells it touches; everything else it touches is padding.
+        inst.responsibility =
+            static_cast<PatternMask>(tmask & remain);
+        out.push_back(inst);
+        remain &= ~static_cast<std::uint32_t>(tmask);
+    }
+    return out;
+}
+
+Decomposition
+bruteForceDecompose(PatternMask pattern,
+                    const TemplatePortfolio &portfolio)
+{
+    spasm_assert(pattern != 0);
+    const auto &temps = portfolio.templates();
+    const int n = portfolio.size();
+    spasm_assert(n <= 16);
+
+    Decomposition best;
+    int best_paddings = portfolio.grid().cells() * n + 1;
+
+    for (std::uint32_t subset = 1; subset < (1u << n); ++subset) {
+        std::uint32_t remain = pattern;
+        std::uint32_t overlap = 0;
+        int num_padding = 0;
+        for (int t = 0; t < n; ++t) {
+            if (!(subset & (1u << t)))
+                continue;
+            const std::uint32_t tmask = temps[t].mask();
+            const std::uint32_t padding = (~remain | overlap) & tmask;
+            overlap |= tmask;
+            remain &= ~tmask;
+            num_padding += popcount(padding);
+        }
+        // Fidelity fix over the paper's listing: the subset must
+        // actually cover the pattern to be a valid decomposition.
+        if (remain != 0)
+            continue;
+        if (num_padding < best_paddings) {
+            best_paddings = num_padding;
+            best.feasible = true;
+            best.paddings = num_padding;
+            best.templateIds.clear();
+            for (int t = 0; t < n; ++t) {
+                if (subset & (1u << t)) {
+                    best.templateIds.push_back(
+                        static_cast<std::uint8_t>(t));
+                }
+            }
+            best.numInstances =
+                static_cast<int>(best.templateIds.size());
+        }
+    }
+    return best;
+}
+
+} // namespace spasm

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Step (3) of the SPASM workflow: local pattern decomposition.
+ *
+ * Every observed local pattern must be expressed as a combination of
+ * template patterns from the active portfolio; template cells that fall
+ * on empty positions, or on positions already covered by an earlier
+ * template, become zero paddings (Fig. 4).
+ *
+ * Because each template carries exactly P cells and a feasible
+ * decomposition covers every pattern cell at least once,
+ *
+ *     paddings = P * (#templates used) - popcount(pattern),
+ *
+ * so minimising paddings is exactly minimising the number of templates
+ * used: a minimum set cover over at most 16 candidate sets.  Decomposer
+ * solves it exactly with a memoized branch on the lowest uncovered cell;
+ * bruteForceDecompose() is the paper's Listing 1 (all 2^n subsets) kept
+ * as a cross-check oracle.  One fidelity fix over the listing: a subset
+ * is only a valid decomposition if it actually covers the pattern
+ * (remain == 0); the paper's pseudo-code omits that check.
+ */
+
+#ifndef SPASM_PATTERN_DECOMPOSE_HH
+#define SPASM_PATTERN_DECOMPOSE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "pattern/local_pattern.hh"
+#include "pattern/template_library.hh"
+
+namespace spasm {
+
+/** Result of decomposing one local pattern. */
+struct Decomposition
+{
+    /** False only if the portfolio cannot cover the pattern. */
+    bool feasible = false;
+
+    /** Number of template instances used. */
+    int numInstances = 0;
+
+    /** Zero paddings = P * numInstances - popcount(pattern). */
+    int paddings = 0;
+
+    /** t_idx of each instance, in cover order. */
+    std::vector<std::uint8_t> templateIds;
+};
+
+/**
+ * One emitted template instance: which template, and which pattern
+ * cells this instance is responsible for carrying (each non-zero is
+ * assigned to exactly one instance so SpMV does not double-count;
+ * the remaining cells of the template are zero paddings).
+ */
+struct TemplateInstance
+{
+    std::uint8_t templateId = 0;
+    PatternMask responsibility = 0;
+};
+
+/**
+ * Exact minimum-padding decomposer for one portfolio.  Memoizes over
+ * the 2^(P*P) possible residual patterns, so repeated queries (the
+ * common case: a matrix has few distinct patterns but they are queried
+ * per occurrence) are O(popcount) lookups.
+ */
+class Decomposer
+{
+  public:
+    explicit Decomposer(const TemplatePortfolio &portfolio);
+
+    const TemplatePortfolio &portfolio() const { return portfolio_; }
+
+    /** Decompose @p pattern (pattern != 0). */
+    Decomposition decompose(PatternMask pattern);
+
+    /** Just the padding count (pattern != 0). */
+    int paddings(PatternMask pattern);
+
+    /** Just the instance count (pattern != 0). */
+    int numInstances(PatternMask pattern);
+
+    /**
+     * Emit the template instances for @p pattern with disjoint
+     * responsibility masks whose union is the pattern.
+     */
+    std::vector<TemplateInstance> instances(PatternMask pattern);
+
+  private:
+    /** Ensure the memo entries along @p mask's cover path exist. */
+    void solve(std::uint32_t mask);
+
+    TemplatePortfolio portfolio_;
+    int cells_;
+
+    static constexpr std::uint8_t kUnknown = 0xFF;
+
+    /** Minimum #templates covering the key mask; kUnknown = not yet. */
+    std::vector<std::uint8_t> minCount_;
+
+    /** Template id chosen for the lowest set bit at the optimum. */
+    std::vector<std::uint8_t> choice_;
+
+    /** templatesForBit_[b]: ids of templates containing bit b. */
+    std::vector<std::vector<std::uint8_t>> templatesForBit_;
+};
+
+/**
+ * Paper-faithful Listing 1: iterate all 2^n template subsets, track
+ * paddings, return the feasible subset with the fewest paddings.
+ * Exponential in portfolio size; use Decomposer outside of tests.
+ */
+Decomposition bruteForceDecompose(PatternMask pattern,
+                                  const TemplatePortfolio &portfolio);
+
+} // namespace spasm
+
+#endif // SPASM_PATTERN_DECOMPOSE_HH

@@ -1,0 +1,76 @@
+#include "pattern/local_pattern.hh"
+
+#include "support/logging.hh"
+
+namespace spasm {
+
+std::vector<PatternCell>
+patternCells(PatternMask mask, const PatternGrid &grid)
+{
+    std::vector<PatternCell> cells;
+    cells.reserve(popcount(mask));
+    for (int bit = 0; bit < grid.cells(); ++bit) {
+        if (testBit(mask, bit))
+            cells.push_back({grid.rowOf(bit), grid.colOf(bit)});
+    }
+    return cells;
+}
+
+PatternMask
+maskFromCells(const std::vector<PatternCell> &cells,
+              const PatternGrid &grid)
+{
+    PatternMask mask = 0;
+    for (const auto &cell : cells) {
+        spasm_assert(cell.row >= 0 && cell.row < grid.size);
+        spasm_assert(cell.col >= 0 && cell.col < grid.size);
+        const int bit = grid.bitOf(cell.row, cell.col);
+        spasm_assert(!testBit(mask, bit));
+        mask = static_cast<PatternMask>(mask | (1u << bit));
+    }
+    return mask;
+}
+
+std::string
+renderPattern(PatternMask mask, const PatternGrid &grid)
+{
+    std::string out;
+    out.reserve(static_cast<std::size_t>(grid.cells()) + grid.size);
+    for (int r = 0; r < grid.size; ++r) {
+        for (int c = 0; c < grid.size; ++c)
+            out += testBit(mask, grid.bitOf(r, c)) ? '#' : '.';
+        if (r + 1 < grid.size)
+            out += '\n';
+    }
+    return out;
+}
+
+std::string
+renderPatternFlat(PatternMask mask, const PatternGrid &grid)
+{
+    std::string out;
+    out.reserve(grid.cells());
+    for (int bit = 0; bit < grid.cells(); ++bit)
+        out += testBit(mask, bit) ? '#' : '.';
+    return out;
+}
+
+TemplatePattern::TemplatePattern(PatternMask mask, const PatternGrid &grid)
+    : mask_(mask), cells_(patternCells(mask, grid))
+{
+    spasm_assert(popcount(mask) == grid.size);
+}
+
+std::vector<PatternMask>
+allTemplateMasks(const PatternGrid &grid)
+{
+    std::vector<PatternMask> masks;
+    const std::uint32_t limit = grid.maskCount();
+    for (std::uint32_t m = 1; m < limit; ++m) {
+        if (popcount(m) == grid.size)
+            masks.push_back(static_cast<PatternMask>(m));
+    }
+    return masks;
+}
+
+} // namespace spasm

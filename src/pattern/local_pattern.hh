@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Local patterns: bitmasks over a PxP submatrix grid.
+ *
+ * A local pattern is the occupancy bitmask of one PxP submatrix of the
+ * sparse matrix (paper section II-B); bit (r * P + c) is set iff cell
+ * (r, c) holds a non-zero.  The paper's main configuration is P = 4
+ * (65535 possible non-empty patterns); P = 2 and P = 3 are supported for
+ * the local-pattern-size study (Fig. 9).
+ *
+ * A template pattern is a local pattern with exactly P cells; the SPASM
+ * format decomposes every observed local pattern into a set of template
+ * patterns drawn from a portfolio of at most 16 (section II-C).
+ */
+
+#ifndef SPASM_PATTERN_LOCAL_PATTERN_HH
+#define SPASM_PATTERN_LOCAL_PATTERN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/bits.hh"
+
+namespace spasm {
+
+/** Bitmask type for patterns over grids up to 4x4. */
+using PatternMask = std::uint16_t;
+
+/** Grid geometry for local patterns. */
+struct PatternGrid
+{
+    /** Edge length P of the square grid (2, 3 or 4). */
+    int size = 4;
+
+    int cells() const { return size * size; }
+
+    /** Number of representable masks (including the empty one). */
+    std::uint32_t maskCount() const { return 1u << cells(); }
+
+    /** Bit index of cell (r, c). */
+    int bitOf(int r, int c) const { return r * size + c; }
+
+    int rowOf(int bit) const { return bit / size; }
+    int colOf(int bit) const { return bit % size; }
+};
+
+/** One cell coordinate within a pattern grid. */
+struct PatternCell
+{
+    int row = 0;
+    int col = 0;
+
+    friend bool
+    operator==(const PatternCell &a, const PatternCell &b)
+    {
+        return a.row == b.row && a.col == b.col;
+    }
+};
+
+/** List the set cells of @p mask in bit (row-major) order. */
+std::vector<PatternCell> patternCells(PatternMask mask,
+                                      const PatternGrid &grid);
+
+/** Build a mask from a cell list; cells must be in range and distinct. */
+PatternMask maskFromCells(const std::vector<PatternCell> &cells,
+                          const PatternGrid &grid);
+
+/**
+ * Render a mask as a multi-line ASCII grid ('#' non-zero, '.' zero),
+ * matching the paper's figure style.
+ */
+std::string renderPattern(PatternMask mask, const PatternGrid &grid);
+
+/** Render as a single row-major line of '#'/'.' (compact table cells). */
+std::string renderPatternFlat(PatternMask mask, const PatternGrid &grid);
+
+/**
+ * A template pattern: exactly grid.size cells.  Pre-extracts the cell
+ * list because the hardware opcode compiler and the encoder both need
+ * per-cell (row, col) coordinates.
+ */
+class TemplatePattern
+{
+  public:
+    TemplatePattern() = default;
+
+    /**
+     * @param mask Bitmask with exactly grid.size set bits; anything else
+     *             is a library-usage bug (panics).
+     */
+    TemplatePattern(PatternMask mask, const PatternGrid &grid);
+
+    PatternMask mask() const { return mask_; }
+    const std::vector<PatternCell> &cells() const { return cells_; }
+    int length() const { return static_cast<int>(cells_.size()); }
+
+    friend bool
+    operator==(const TemplatePattern &a, const TemplatePattern &b)
+    {
+        return a.mask_ == b.mask_;
+    }
+
+  private:
+    PatternMask mask_ = 0;
+    std::vector<PatternCell> cells_;
+};
+
+/** Enumerate all C(P*P, P) possible template masks for a grid. */
+std::vector<PatternMask> allTemplateMasks(const PatternGrid &grid);
+
+} // namespace spasm
+
+#endif // SPASM_PATTERN_LOCAL_PATTERN_HH

@@ -1,0 +1,161 @@
+#include "pattern/selection.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/logging.hh"
+
+namespace spasm {
+
+std::uint64_t
+weightedPaddings(const PatternHistogram &hist,
+                 const TemplatePortfolio &portfolio, std::size_t top_n)
+{
+    Decomposer decomposer(portfolio);
+    const auto &bins = hist.bins();
+    const std::size_t limit =
+        top_n == 0 ? bins.size() : std::min(top_n, bins.size());
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < limit; ++i) {
+        total += bins[i].freq * static_cast<std::uint64_t>(
+            decomposer.paddings(bins[i].mask));
+    }
+    return total;
+}
+
+std::uint64_t
+weightedInstances(const PatternHistogram &hist,
+                  const TemplatePortfolio &portfolio)
+{
+    Decomposer decomposer(portfolio);
+    std::uint64_t total = 0;
+    for (const auto &bin : hist.bins()) {
+        total += bin.freq * static_cast<std::uint64_t>(
+            decomposer.numInstances(bin.mask));
+    }
+    return total;
+}
+
+SelectionResult
+selectPortfolio(const PatternHistogram &hist,
+                const std::vector<TemplatePortfolio> &candidates,
+                std::size_t top_n)
+{
+    spasm_assert(!candidates.empty());
+    SelectionResult result;
+    result.candidatePaddings.reserve(candidates.size());
+    std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        const std::uint64_t paddings =
+            weightedPaddings(hist, candidates[i], top_n);
+        result.candidatePaddings.push_back(paddings);
+        if (paddings < best) {
+            best = paddings;
+            result.bestCandidate = static_cast<int>(i);
+            result.bestPaddings = paddings;
+        }
+    }
+    return result;
+}
+
+SelectionResult
+selectPortfolioForSet(const std::vector<PatternHistogram> &hists,
+                      const std::vector<TemplatePortfolio> &candidates,
+                      std::size_t top_n)
+{
+    spasm_assert(!hists.empty() && !candidates.empty());
+    SelectionResult result;
+    result.candidatePaddings.assign(candidates.size(), 0);
+
+    // Score in fixed-point normalized paddings (per-mille of each
+    // matrix's nnz) so every matrix carries equal weight.
+    std::vector<double> score(candidates.size(), 0.0);
+    for (const auto &hist : hists) {
+        const double nnz =
+            std::max<double>(1.0, static_cast<double>(
+                hist.totalNonZeros()));
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+            score[i] += static_cast<double>(weightedPaddings(
+                hist, candidates[i], top_n)) / nnz;
+        }
+    }
+    double best = score[0];
+    result.bestCandidate = 0;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        result.candidatePaddings[i] = static_cast<std::uint64_t>(
+            score[i] * 1000.0);
+        if (score[i] < best) {
+            best = score[i];
+            result.bestCandidate = static_cast<int>(i);
+        }
+    }
+    result.bestPaddings =
+        result.candidatePaddings[result.bestCandidate];
+    return result;
+}
+
+double
+paddingRate(const PatternHistogram &hist,
+            const TemplatePortfolio &portfolio)
+{
+    const std::uint64_t instances =
+        weightedInstances(hist, portfolio);
+    const std::uint64_t stored = instances *
+        static_cast<std::uint64_t>(portfolio.grid().size);
+    if (stored == 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(hist.totalNonZeros()) /
+        static_cast<double>(stored);
+}
+
+TemplatePortfolio
+greedyPortfolio(const PatternHistogram &hist, std::size_t top_n,
+                int max_templates)
+{
+    const PatternGrid grid = hist.grid();
+    spasm_assert(max_templates >= grid.size && max_templates <= 16);
+
+    // Seed with the row family: always covers the grid, so every
+    // intermediate portfolio is valid.
+    std::vector<PatternMask> chosen;
+    for (int r = 0; r < grid.size; ++r) {
+        PatternMask m = 0;
+        for (int c = 0; c < grid.size; ++c)
+            m = static_cast<PatternMask>(m | (1u << grid.bitOf(r, c)));
+        chosen.push_back(m);
+    }
+
+    const std::vector<PatternMask> candidates = allTemplateMasks(grid);
+    auto cost = [&](const std::vector<PatternMask> &masks) {
+        TemplatePortfolio p(-1, "greedy", masks, grid);
+        return weightedPaddings(hist, p, top_n);
+    };
+
+    std::uint64_t current = cost(chosen);
+    while (static_cast<int>(chosen.size()) < max_templates) {
+        std::uint64_t best = current;
+        PatternMask best_mask = 0;
+        bool improved = false;
+        for (PatternMask cand : candidates) {
+            if (std::find(chosen.begin(), chosen.end(), cand) !=
+                chosen.end()) {
+                continue;
+            }
+            std::vector<PatternMask> trial = chosen;
+            trial.push_back(cand);
+            const std::uint64_t c = cost(trial);
+            if (c < best) {
+                best = c;
+                best_mask = cand;
+                improved = true;
+            }
+        }
+        if (!improved)
+            break;
+        chosen.push_back(best_mask);
+        current = best;
+    }
+    return {-1, "greedy", std::move(chosen), grid};
+}
+
+} // namespace spasm

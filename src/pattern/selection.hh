@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Step (2) of the SPASM workflow: template pattern selection
+ * (Algorithm 3), plus a greedy per-matrix portfolio builder extension.
+ *
+ * Selection evaluates each candidate portfolio on the top-n bins of the
+ * pattern histogram (the tail contributes little; restricting to top-n
+ * is the paper's preprocessing speedup) and keeps the portfolio with
+ * the lowest weighted padding count.
+ */
+
+#ifndef SPASM_PATTERN_SELECTION_HH
+#define SPASM_PATTERN_SELECTION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "pattern/analysis.hh"
+#include "pattern/decompose.hh"
+#include "pattern/template_library.hh"
+
+namespace spasm {
+
+/** Outcome of Algorithm 3. */
+struct SelectionResult
+{
+    /** Index into the candidate list of the winning portfolio. */
+    int bestCandidate = -1;
+
+    /** Weighted paddings of the winner over the evaluated bins. */
+    std::uint64_t bestPaddings = 0;
+
+    /** Weighted paddings per candidate (Fig. 10 series). */
+    std::vector<std::uint64_t> candidatePaddings;
+};
+
+/**
+ * Weighted padding count of @p portfolio over the top @p top_n bins of
+ * @p hist (0 = all bins).
+ */
+std::uint64_t weightedPaddings(const PatternHistogram &hist,
+                               const TemplatePortfolio &portfolio,
+                               std::size_t top_n = 0);
+
+/**
+ * Weighted template-instance count of @p portfolio over all bins of
+ * @p hist; this directly determines the SPASM storage footprint.
+ */
+std::uint64_t weightedInstances(const PatternHistogram &hist,
+                                const TemplatePortfolio &portfolio);
+
+/**
+ * Algorithm 3: pick the candidate portfolio minimising weighted
+ * paddings over the top @p top_n histogram bins.
+ *
+ * @param top_n Number of top bins to evaluate; 0 evaluates all bins.
+ */
+SelectionResult selectPortfolio(
+    const PatternHistogram &hist,
+    const std::vector<TemplatePortfolio> &candidates,
+    std::size_t top_n = 64);
+
+/**
+ * Select one portfolio for a SET of expected input matrices (the
+ * paper's deployment model: customize the portfolio for the matrices
+ * a deployment expects, then run others at reduced efficiency).
+ *
+ * Each matrix contributes its padding count normalized by its
+ * non-zero count, so large matrices do not drown out small ones.
+ *
+ * @param top_n Per-matrix top-n bins evaluated; 0 = all bins.
+ */
+SelectionResult selectPortfolioForSet(
+    const std::vector<PatternHistogram> &hists,
+    const std::vector<TemplatePortfolio> &candidates,
+    std::size_t top_n = 64);
+
+/**
+ * Padding rate (paddings / stored values) of encoding the matrix
+ * described by @p hist with @p portfolio; the portability metric of
+ * running a matrix on a portfolio tuned for something else.
+ */
+double paddingRate(const PatternHistogram &hist,
+                   const TemplatePortfolio &portfolio);
+
+/**
+ * Extension: greedily build a custom portfolio for a matrix instead of
+ * choosing among fixed candidates.  Starting from the rows-only cover,
+ * repeatedly swap in the candidate template (from all C(P*P, P)) that
+ * most reduces weighted paddings on the top-n bins, until the 16-slot
+ * budget is exhausted or no candidate helps.
+ */
+TemplatePortfolio greedyPortfolio(const PatternHistogram &hist,
+                                  std::size_t top_n = 64,
+                                  int max_templates = 16);
+
+} // namespace spasm
+
+#endif // SPASM_PATTERN_SELECTION_HH

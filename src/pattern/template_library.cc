@@ -1,0 +1,289 @@
+#include "pattern/template_library.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace spasm {
+
+TemplatePortfolio::TemplatePortfolio(int id, std::string name,
+                                     std::vector<PatternMask> masks,
+                                     const PatternGrid &grid)
+    : id_(id), name_(std::move(name)), grid_(grid)
+{
+    if (masks.size() > 16) {
+        spasm_fatal("portfolio '%s' has %zu templates; t_idx is 4 bits "
+                    "(max 16)", name_.c_str(), masks.size());
+    }
+    PatternMask coverage = 0;
+    templates_.reserve(masks.size());
+    for (PatternMask m : masks) {
+        templates_.emplace_back(m, grid);
+        coverage = static_cast<PatternMask>(coverage | m);
+    }
+    const PatternMask full = static_cast<PatternMask>(
+        (1u << grid.cells()) - 1u);
+    if (coverage != full) {
+        spasm_fatal("portfolio '%s' does not cover the %dx%d grid; some "
+                    "local patterns would be unencodable",
+                    name_.c_str(), grid.size, grid.size);
+    }
+}
+
+PatternMask
+TemplatePortfolio::coverageMask() const
+{
+    PatternMask coverage = 0;
+    for (const auto &t : templates_)
+        coverage = static_cast<PatternMask>(coverage | t.mask());
+    return coverage;
+}
+
+namespace {
+
+const PatternGrid grid4{4};
+
+PatternMask
+maskOfCells(std::initializer_list<std::pair<int, int>> cells)
+{
+    PatternMask m = 0;
+    for (const auto &[r, c] : cells)
+        m = static_cast<PatternMask>(m | (1u << grid4.bitOf(r, c)));
+    return m;
+}
+
+std::vector<PatternMask>
+concat(std::initializer_list<std::vector<PatternMask>> parts)
+{
+    std::vector<PatternMask> out;
+    for (const auto &p : parts)
+        out.insert(out.end(), p.begin(), p.end());
+    return out;
+}
+
+/** 2x2 torus window anchored at (r, c) (wrapping modulo 4). */
+PatternMask
+torusBlock(int r, int c)
+{
+    return maskOfCells({{r, c},
+                        {r, (c + 1) % 4},
+                        {(r + 1) % 4, c},
+                        {(r + 1) % 4, (c + 1) % 4}});
+}
+
+} // namespace
+
+std::vector<PatternMask>
+rowTemplates4()
+{
+    std::vector<PatternMask> out;
+    for (int r = 0; r < 4; ++r) {
+        out.push_back(maskOfCells({{r, 0}, {r, 1}, {r, 2}, {r, 3}}));
+    }
+    return out;
+}
+
+std::vector<PatternMask>
+colTemplates4()
+{
+    std::vector<PatternMask> out;
+    for (int c = 0; c < 4; ++c) {
+        out.push_back(maskOfCells({{0, c}, {1, c}, {2, c}, {3, c}}));
+    }
+    return out;
+}
+
+std::vector<PatternMask>
+blockTemplatesAligned4()
+{
+    return {torusBlock(0, 0), torusBlock(0, 2), torusBlock(2, 0),
+            torusBlock(2, 2)};
+}
+
+std::vector<PatternMask>
+blockTemplatesShifted4()
+{
+    return {torusBlock(1, 1), torusBlock(1, 3), torusBlock(3, 1),
+            torusBlock(3, 3)};
+}
+
+std::vector<PatternMask>
+blockTemplatesTorus16()
+{
+    std::vector<PatternMask> out;
+    for (int r = 0; r < 4; ++r) {
+        for (int c = 0; c < 4; ++c)
+            out.push_back(torusBlock(r, c));
+    }
+    return out;
+}
+
+std::vector<PatternMask>
+diagTemplates4()
+{
+    std::vector<PatternMask> out;
+    for (int k = 0; k < 4; ++k) {
+        PatternMask m = 0;
+        for (int i = 0; i < 4; ++i) {
+            m = static_cast<PatternMask>(
+                m | (1u << grid4.bitOf(i, (i + k) % 4)));
+        }
+        out.push_back(m);
+    }
+    return out;
+}
+
+std::vector<PatternMask>
+antiDiagTemplates4()
+{
+    std::vector<PatternMask> out;
+    for (int k = 0; k < 4; ++k) {
+        PatternMask m = 0;
+        for (int i = 0; i < 4; ++i) {
+            m = static_cast<PatternMask>(
+                m | (1u << grid4.bitOf(i, ((k - i) % 4 + 4) % 4)));
+        }
+        out.push_back(m);
+    }
+    return out;
+}
+
+namespace {
+
+/** Row / column / wrapped-(anti)diagonal families for small grids. */
+std::vector<PatternMask>
+rowTemplatesP(int P)
+{
+    const PatternGrid grid{P};
+    std::vector<PatternMask> out;
+    for (int r = 0; r < P; ++r) {
+        PatternMask m = 0;
+        for (int c = 0; c < P; ++c)
+            m = static_cast<PatternMask>(m | (1u << grid.bitOf(r, c)));
+        out.push_back(m);
+    }
+    return out;
+}
+
+std::vector<PatternMask>
+colTemplatesP(int P)
+{
+    const PatternGrid grid{P};
+    std::vector<PatternMask> out;
+    for (int c = 0; c < P; ++c) {
+        PatternMask m = 0;
+        for (int r = 0; r < P; ++r)
+            m = static_cast<PatternMask>(m | (1u << grid.bitOf(r, c)));
+        out.push_back(m);
+    }
+    return out;
+}
+
+std::vector<PatternMask>
+diagTemplatesP(int P, bool anti)
+{
+    const PatternGrid grid{P};
+    std::vector<PatternMask> out;
+    for (int k = 0; k < P; ++k) {
+        PatternMask m = 0;
+        for (int i = 0; i < P; ++i) {
+            const int c = anti ? ((k - i) % P + P) % P : (i + k) % P;
+            m = static_cast<PatternMask>(m | (1u << grid.bitOf(i, c)));
+        }
+        out.push_back(m);
+    }
+    return out;
+}
+
+} // namespace
+
+int
+numCandidatePortfolios(const PatternGrid &grid)
+{
+    return grid.size == 4 ? 10 : 1;
+}
+
+TemplatePortfolio
+candidatePortfolio(int id, const PatternGrid &grid)
+{
+    if (grid.size != 4) {
+        // Small grids: one natural portfolio combining all families
+        // (already <= 16 templates for P = 2 and P = 3).
+        spasm_assert(id == 0);
+        auto masks = concat({rowTemplatesP(grid.size),
+                             colTemplatesP(grid.size),
+                             diagTemplatesP(grid.size, false),
+                             diagTemplatesP(grid.size, true)});
+        std::sort(masks.begin(), masks.end());
+        masks.erase(std::unique(masks.begin(), masks.end()),
+                    masks.end());
+        return {0, "RW+CW+DIAG+ADIAG", std::move(masks), grid};
+    }
+
+    switch (id) {
+      case 0:
+        return {0, "4RW+4CW+4BW+4DIAG",
+                concat({rowTemplates4(), colTemplates4(),
+                        blockTemplatesAligned4(), diagTemplates4()}),
+                grid};
+      case 1:
+        return {1, "4RW+4CW+4BW+4ADIAG",
+                concat({rowTemplates4(), colTemplates4(),
+                        blockTemplatesAligned4(), antiDiagTemplates4()}),
+                grid};
+      case 2:
+        return {2, "16BW", blockTemplatesTorus16(), grid};
+      case 3:
+        return {3, "4RW+4CW+8BW",
+                concat({rowTemplates4(), colTemplates4(),
+                        blockTemplatesAligned4(),
+                        blockTemplatesShifted4()}),
+                grid};
+      case 4:
+        return {4, "4RW+4CW+4DIAG+4ADIAG",
+                concat({rowTemplates4(), colTemplates4(),
+                        diagTemplates4(), antiDiagTemplates4()}),
+                grid};
+      case 5:
+        return {5, "8BW+4DIAG+4ADIAG",
+                concat({blockTemplatesAligned4(),
+                        blockTemplatesShifted4(), diagTemplates4(),
+                        antiDiagTemplates4()}),
+                grid};
+      case 6:
+        return {6, "4RW+8BW+4DIAG",
+                concat({rowTemplates4(), blockTemplatesAligned4(),
+                        blockTemplatesShifted4(), diagTemplates4()}),
+                grid};
+      case 7:
+        return {7, "4CW+8BW+4DIAG",
+                concat({colTemplates4(), blockTemplatesAligned4(),
+                        blockTemplatesShifted4(), diagTemplates4()}),
+                grid};
+      case 8:
+        return {8, "4RW+8BW+4ADIAG",
+                concat({rowTemplates4(), blockTemplatesAligned4(),
+                        blockTemplatesShifted4(), antiDiagTemplates4()}),
+                grid};
+      case 9:
+        return {9, "4CW+8BW+4ADIAG",
+                concat({colTemplates4(), blockTemplatesAligned4(),
+                        blockTemplatesShifted4(), antiDiagTemplates4()}),
+                grid};
+      default:
+        spasm_panic("unknown candidate portfolio id %d", id);
+    }
+}
+
+std::vector<TemplatePortfolio>
+allCandidatePortfolios(const PatternGrid &grid)
+{
+    std::vector<TemplatePortfolio> out;
+    const int n = numCandidatePortfolios(grid);
+    out.reserve(n);
+    for (int id = 0; id < n; ++id)
+        out.push_back(candidatePortfolio(id, grid));
+    return out;
+}
+
+} // namespace spasm

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The candidate template-pattern portfolios of Table V.
+ *
+ * A portfolio is an ordered list of at most 16 template patterns (the
+ * 4-bit t_idx of the position encoding addresses them).  Portfolios 0-9
+ * reproduce Table V for the 4x4 grid; smaller grids get the natural
+ * row / column / (anti-)diagonal families for the Fig. 9 study.
+ *
+ * Building blocks (4x4 grid):
+ *  - RW  : the 4 full rows;
+ *  - CW  : the 4 full columns;
+ *  - BW4 : the 4 aligned 2x2 blocks;
+ *  - BW8 : BW4 plus the 4 torus-shifted 2x2 blocks (offset (1,1));
+ *  - BW16: all 16 torus-wrapped 2x2 sampling windows;
+ *  - DIAG: the 4 wrapped diagonals, cell (i, (i+k) mod 4);
+ *  - ADIAG: the 4 wrapped anti-diagonals, cell (i, (k-i) mod 4).
+ */
+
+#ifndef SPASM_PATTERN_TEMPLATE_LIBRARY_HH
+#define SPASM_PATTERN_TEMPLATE_LIBRARY_HH
+
+#include <string>
+#include <vector>
+
+#include "pattern/local_pattern.hh"
+
+namespace spasm {
+
+/** An ordered portfolio of template patterns (t_idx = position). */
+class TemplatePortfolio
+{
+  public:
+    TemplatePortfolio() = default;
+
+    /**
+     * @param id    Stable identifier (Table V row, or -1 for custom).
+     * @param name  Human-readable description.
+     * @param masks Template masks; each must have exactly grid.size
+     *              bits and the union must cover the whole grid
+     *              (otherwise some local pattern is unencodable).
+     */
+    TemplatePortfolio(int id, std::string name,
+                      std::vector<PatternMask> masks,
+                      const PatternGrid &grid);
+
+    int id() const { return id_; }
+    const std::string &name() const { return name_; }
+    const PatternGrid &grid() const { return grid_; }
+    const std::vector<TemplatePattern> &templates() const
+    {
+        return templates_;
+    }
+    int size() const { return static_cast<int>(templates_.size()); }
+
+    /** Union of all template masks (must equal the full grid). */
+    PatternMask coverageMask() const;
+
+  private:
+    int id_ = -1;
+    std::string name_;
+    PatternGrid grid_;
+    std::vector<TemplatePattern> templates_;
+};
+
+/** Building-block families for the 4x4 grid. */
+std::vector<PatternMask> rowTemplates4();
+std::vector<PatternMask> colTemplates4();
+std::vector<PatternMask> blockTemplatesAligned4();
+std::vector<PatternMask> blockTemplatesShifted4();
+std::vector<PatternMask> blockTemplatesTorus16();
+std::vector<PatternMask> diagTemplates4();
+std::vector<PatternMask> antiDiagTemplates4();
+
+/** Number of fixed candidate portfolios (Table V rows). */
+int numCandidatePortfolios(const PatternGrid &grid);
+
+/** Fixed candidate portfolio @p id for the given grid. */
+TemplatePortfolio candidatePortfolio(int id, const PatternGrid &grid);
+
+/** All fixed candidate portfolios for the given grid. */
+std::vector<TemplatePortfolio> allCandidatePortfolios(
+    const PatternGrid &grid);
+
+} // namespace spasm
+
+#endif // SPASM_PATTERN_TEMPLATE_LIBRARY_HH

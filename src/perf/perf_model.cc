@@ -1,0 +1,259 @@
+#include "perf/perf_model.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "pattern/analysis.hh"
+#include "pattern/decompose.hh"
+#include "support/logging.hh"
+
+namespace spasm {
+
+SubmatrixProfile
+buildProfile(const CooMatrix &m, const TemplatePortfolio &portfolio)
+{
+    const int P = portfolio.grid().size;
+    spasm_assert(P == 4);
+
+    SubmatrixProfile profile;
+    profile.rows = m.rows();
+    profile.cols = m.cols();
+    profile.nnz = m.nnz();
+
+    Decomposer decomposer(portfolio);
+
+    // Same banded sweep as the histogram analysis: entries are sorted
+    // row-major, so a band of P rows is contiguous; sort each band by
+    // submatrix column to assemble masks.
+    struct BandEntry
+    {
+        Index subCol;
+        std::uint8_t bit;
+        bool
+        operator<(const BandEntry &o) const
+        {
+            return subCol < o.subCol;
+        }
+    };
+    std::vector<BandEntry> band;
+    const auto &entries = m.entries();
+    std::size_t i = 0;
+    while (i < entries.size()) {
+        const Index sub_row = entries[i].row / P;
+        band.clear();
+        while (i < entries.size() && entries[i].row / P == sub_row) {
+            const auto &t = entries[i];
+            band.push_back(
+                {t.col / P,
+                 static_cast<std::uint8_t>(
+                     portfolio.grid().bitOf(t.row % P, t.col % P))});
+            ++i;
+        }
+        std::sort(band.begin(), band.end());
+        std::size_t j = 0;
+        while (j < band.size()) {
+            const Index sc = band[j].subCol;
+            PatternMask mask = 0;
+            while (j < band.size() && band[j].subCol == sc) {
+                mask = static_cast<PatternMask>(
+                    mask | (1u << band[j].bit));
+                ++j;
+            }
+            const std::uint32_t words = static_cast<std::uint32_t>(
+                decomposer.numInstances(mask));
+            profile.subs.push_back({sub_row, sc, words});
+            profile.totalWords += words;
+        }
+    }
+    return profile;
+}
+
+GlobalComposition
+gcGen(const SubmatrixProfile &profile, Index tile_size)
+{
+    spasm_assert(tile_size > 0 && tile_size % 4 == 0);
+    GlobalComposition gc;
+    gc.tileSize = tile_size;
+    gc.rows = profile.rows;
+
+    const Index subs_per_tile = tile_size / 4;
+    const Index num_tile_cols = static_cast<Index>(
+        ceilDiv(std::max<Index>(profile.cols, 1), tile_size));
+
+    // Sort submatrix indices by (tile row, tile col).
+    std::vector<std::uint32_t> order(profile.subs.size());
+    std::iota(order.begin(), order.end(), 0);
+    auto tile_key = [&](const SubmatrixProfile::Sub &s) {
+        return static_cast<std::uint64_t>(s.subRow / subs_per_tile) *
+            num_tile_cols + (s.subCol / subs_per_tile);
+    };
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  return tile_key(profile.subs[a]) <
+                      tile_key(profile.subs[b]);
+              });
+
+    Index last_tr = -1;
+    for (std::uint32_t idx : order) {
+        const auto &s = profile.subs[idx];
+        const Index tr = s.subRow / subs_per_tile;
+        const Index tc = s.subCol / subs_per_tile;
+        if (gc.tiles.empty() || gc.tiles.back().tileRowIdx != tr ||
+            gc.tiles.back().tileColIdx != tc) {
+            gc.tiles.push_back({tr, tc, 0});
+            if (tr != last_tr) {
+                ++gc.numTileRows;
+                last_tr = tr;
+            }
+        }
+        gc.tiles.back().words += s.words;
+        gc.totalWords += s.words;
+    }
+    return gc;
+}
+
+std::vector<int>
+assignTiles(const std::vector<std::uint64_t> &tile_words, int num_pes,
+            SchedulePolicy policy)
+{
+    std::vector<int> pe_of(tile_words.size(), 0);
+    if (policy == SchedulePolicy::RoundRobin) {
+        for (std::size_t i = 0; i < tile_words.size(); ++i)
+            pe_of[i] = static_cast<int>(i % num_pes);
+        return pe_of;
+    }
+    std::uint64_t total = 0;
+    for (std::uint64_t w : tile_words)
+        total += w;
+    double cum = 0.0;
+    std::size_t i = 0;
+    for (int p = 0; p < num_pes && i < tile_words.size(); ++p) {
+        const double target =
+            static_cast<double>(total) * (p + 1) / num_pes;
+        bool took_one = false;
+        while (i < tile_words.size()) {
+            const double w = static_cast<double>(tile_words[i]);
+            if (took_one && cum + w / 2.0 > target)
+                break;
+            pe_of[i] = p;
+            took_one = true;
+            cum += w;
+            ++i;
+        }
+    }
+    for (; i < tile_words.size(); ++i)
+        pe_of[i] = num_pes - 1;
+    return pe_of;
+}
+
+std::uint64_t
+estimateCycles(const GlobalComposition &gc, const HwConfig &config,
+               SchedulePolicy policy)
+{
+    const int num_pes = config.numPes();
+    const double bpc = config.channelBytesPerCycle();
+    const Index T = gc.tileSize;
+
+    // Per-PE load: words, x prefetches (one per assigned work range)
+    // and partial-sum flushes (one per tile-row change), mirroring
+    // the simulator's schedule exactly.
+    std::uint64_t total_words = gc.totalWords;
+    std::vector<std::uint64_t> pe_words(num_pes, 0);
+    std::vector<std::uint64_t> pe_tiles(num_pes, 0);
+    std::vector<std::uint64_t> pe_rows(num_pes, 0);
+    std::vector<Index> pe_last_row(num_pes, -1);
+    auto account = [&](int p, std::uint64_t words, Index tile_row) {
+        pe_words[p] += words;
+        ++pe_tiles[p];
+        if (tile_row != pe_last_row[p]) {
+            ++pe_rows[p];
+            pe_last_row[p] = tile_row;
+        }
+    };
+    if (policy == SchedulePolicy::RoundRobin) {
+        for (std::size_t i = 0; i < gc.tiles.size(); ++i) {
+            account(static_cast<int>(i % num_pes),
+                    gc.tiles[i].words, gc.tiles[i].tileRowIdx);
+        }
+    } else {
+        // Contiguous word-balanced chunks, splitting inside tiles.
+        std::uint64_t cum = 0;
+        int p = 0;
+        for (std::size_t i = 0; i < gc.tiles.size(); ++i) {
+            std::uint64_t off = 0;
+            const std::uint64_t w = gc.tiles[i].words;
+            while (off < w) {
+                const std::uint64_t boundary =
+                    total_words * (p + 1) / num_pes;
+                if (boundary <= cum && p + 1 < num_pes) {
+                    ++p;
+                    continue;
+                }
+                const std::uint64_t room =
+                    p + 1 < num_pes ? boundary - cum : w - off;
+                const std::uint64_t take =
+                    std::min<std::uint64_t>(w - off, room);
+                account(p, take, gc.tiles[i].tileRowIdx);
+                off += take;
+                cum += take;
+            }
+        }
+    }
+
+    double bound = 0.0;
+    // Compute bound: one word per PE per cycle.
+    for (int p = 0; p < num_pes; ++p)
+        bound = std::max(bound, static_cast<double>(pe_words[p]));
+
+    // Channel bounds per group.
+    for (int g = 0; g < config.numPeGroups; ++g) {
+        std::uint64_t g_words = 0, g_tiles = 0, g_rows = 0;
+        for (int p = g * kPesPerGroup; p < (g + 1) * kPesPerGroup;
+             ++p) {
+            g_words += pe_words[p];
+            g_tiles += pe_tiles[p];
+            g_rows += pe_rows[p];
+        }
+        // Position-encoding channel: 4 bytes per word.
+        bound = std::max(bound,
+                         static_cast<double>(g_words) * 4.0 / bpc);
+        // Value channels: 16 bytes per word, 4 PEs each.
+        for (int c = 0; c < kPesPerGroup / kPesPerValueChannel; ++c) {
+            std::uint64_t c_words = 0;
+            for (int p = 0; p < kPesPerValueChannel; ++p) {
+                c_words += pe_words[g * kPesPerGroup +
+                                    c * kPesPerValueChannel + p];
+            }
+            bound = std::max(
+                bound, static_cast<double>(c_words) * 16.0 / bpc);
+        }
+        // x-vector prefetch pool: T*4 bytes per (PE, tile).
+        bound = std::max(bound,
+                         static_cast<double>(g_tiles) * T * 4.0 /
+                             (bpc * config.numXvecCh));
+        // Partial-sum drain: T*4 bytes per tile row.
+        bound = std::max(bound,
+                         static_cast<double>(g_rows) * T * 4.0 / bpc);
+    }
+    // Global y merge channel: the merge unit combines per-PE flushes
+    // on chip, so y is read and written once per covered row.
+    bound = std::max(bound, static_cast<double>(gc.numTileRows) * T *
+                     8.0 / bpc);
+
+    // Warm-up latency: the double buffers of a group's PEs fill
+    // through the X x-vector channels before full-rate processing.
+    const double startup = 2.0 * kPesPerGroup * T * 4.0 /
+        (bpc * config.numXvecCh);
+
+    return static_cast<std::uint64_t>(bound + startup) + 32;
+}
+
+double
+estimateSeconds(const GlobalComposition &gc, const HwConfig &config,
+                SchedulePolicy policy)
+{
+    return static_cast<double>(estimateCycles(gc, config, policy)) /
+        (config.freqMhz * 1e6);
+}
+
+} // namespace spasm

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Steps (4)+(5) of the SPASM workflow: global composition analysis and
+ * the analytic performance model used by the workload-schedule
+ * exploration (Algorithm 4).
+ *
+ * The tile-size sweep cannot afford to re-encode the matrix for every
+ * candidate: instead we profile the matrix once at 4x4-submatrix
+ * granularity (instance counts are tile-size independent) and
+ * aggregate the profile into per-tile statistics for each candidate
+ * tile size (GC_GEN).  PERF_MODEL then mirrors the simulator's
+ * bottlenecks: per-PE word throughput, value/position channel
+ * bandwidth, x-vector prefetch bandwidth and partial-sum drain.
+ */
+
+#ifndef SPASM_PERF_PERF_MODEL_HH
+#define SPASM_PERF_PERF_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/accelerator.hh"
+#include "hw/config.hh"
+#include "pattern/template_library.hh"
+#include "sparse/coo.hh"
+
+namespace spasm {
+
+/** Tile-size-independent decomposition profile of one matrix. */
+struct SubmatrixProfile
+{
+    Index rows = 0;
+    Index cols = 0;
+    Count nnz = 0;
+
+    struct Sub
+    {
+        Index subRow = 0; ///< row / 4
+        Index subCol = 0; ///< col / 4
+        std::uint32_t words = 0;
+    };
+
+    /** Non-empty 4x4 submatrices, row-major sorted. */
+    std::vector<Sub> subs;
+
+    std::uint64_t totalWords = 0;
+};
+
+/** Decompose every submatrix of @p m against @p portfolio. */
+SubmatrixProfile buildProfile(const CooMatrix &m,
+                              const TemplatePortfolio &portfolio);
+
+/** Per-tile statistics at one tile size (the global composition). */
+struct GlobalComposition
+{
+    Index tileSize = 0;
+
+    struct TileStat
+    {
+        Index tileRowIdx = 0;
+        Index tileColIdx = 0;
+        std::uint64_t words = 0;
+    };
+
+    /** Non-empty tiles, row-block-major. */
+    std::vector<TileStat> tiles;
+
+    std::uint64_t totalWords = 0;
+    std::size_t numTileRows = 0; ///< non-empty tile rows
+    Index rows = 0;              ///< matrix rows (for y traffic)
+};
+
+/** GC_GEN of Algorithm 4: aggregate the profile at @p tile_size. */
+GlobalComposition gcGen(const SubmatrixProfile &profile,
+                        Index tile_size);
+
+/**
+ * Tile-granular assignment utility: LoadBalanced cuts the stream into
+ * contiguous word-balanced chunks at tile boundaries, RoundRobin
+ * interleaves.  Note that the simulator's LoadBalanced schedule is
+ * finer — it splits heavy tiles at word granularity (see
+ * Accelerator::run); estimateCycles mirrors that split directly.
+ * @return the PE index of each tile.
+ */
+std::vector<int> assignTiles(
+    const std::vector<std::uint64_t> &tile_words, int num_pes,
+    SchedulePolicy policy);
+
+/**
+ * PERF_MODEL of Algorithm 4: estimated execution cycles of @p gc on
+ * @p config.  Mirrors the cycle simulator's bottleneck structure; a
+ * test suite checks correlation against the simulator.
+ */
+std::uint64_t estimateCycles(const GlobalComposition &gc,
+                             const HwConfig &config,
+                             SchedulePolicy policy =
+                                 SchedulePolicy::LoadBalanced);
+
+/** Estimated runtime in seconds (cycles / frequency). */
+double estimateSeconds(const GlobalComposition &gc,
+                       const HwConfig &config,
+                       SchedulePolicy policy =
+                           SchedulePolicy::LoadBalanced);
+
+} // namespace spasm
+
+#endif // SPASM_PERF_PERF_MODEL_HH

@@ -1,0 +1,54 @@
+#include "perf/schedule.hh"
+
+#include <limits>
+
+#include "support/logging.hh"
+
+namespace spasm {
+
+const std::vector<Index> &
+defaultTileSizes()
+{
+    static const std::vector<Index> sizes = {256,  512,  1024, 2048,
+                                             4096, 8192, 16384};
+    return sizes;
+}
+
+ScheduleChoice
+exploreSchedule(const SubmatrixProfile &profile,
+                const std::vector<HwConfig> &configs,
+                const std::vector<Index> &tile_sizes,
+                SchedulePolicy policy)
+{
+    spasm_assert(!configs.empty() && !tile_sizes.empty());
+    ScheduleChoice best;
+    double best_seconds = std::numeric_limits<double>::infinity();
+    bool found = false;
+
+    for (Index tile_size : tile_sizes) {
+        // Changing the tile size regenerates the global composition
+        // (the paper's (4) -> (5) feedback loop).
+        const GlobalComposition gc = gcGen(profile, tile_size);
+        for (const auto &config : configs) {
+            if (tile_size > config.maxTileSizeOnChip())
+                continue;
+            const double seconds =
+                estimateSeconds(gc, config, policy);
+            if (seconds < best_seconds) {
+                best_seconds = seconds;
+                best.config = config;
+                best.tileSize = tile_size;
+                best.estCycles = estimateCycles(gc, config, policy);
+                best.estSeconds = seconds;
+                found = true;
+            }
+        }
+    }
+    if (!found) {
+        spasm_fatal("no feasible (tile size, hardware config) "
+                    "combination");
+    }
+    return best;
+}
+
+} // namespace spasm

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Algorithm 4: workload-schedule exploration — the joint sweep over
+ * candidate tile sizes and pre-synthesized hardware configurations.
+ */
+
+#ifndef SPASM_PERF_SCHEDULE_HH
+#define SPASM_PERF_SCHEDULE_HH
+
+#include <vector>
+
+#include "hw/config.hh"
+#include "perf/perf_model.hh"
+
+namespace spasm {
+
+/** Outcome of the exploration for one matrix. */
+struct ScheduleChoice
+{
+    HwConfig config;
+    Index tileSize = 0;
+    std::uint64_t estCycles = 0;
+    double estSeconds = 0.0;
+};
+
+/** Default tile-size candidate set (powers of two up to the format
+ *  maximum; entries above a config's on-chip budget are skipped). */
+const std::vector<Index> &defaultTileSizes();
+
+/**
+ * Explore every (tile size, hardware configuration) combination and
+ * return the one minimising estimated runtime.  Matches Algorithm 4:
+ * each tile size regenerates the global composition (GC_GEN), every
+ * configuration is evaluated with PERF_MODEL.
+ */
+ScheduleChoice exploreSchedule(
+    const SubmatrixProfile &profile,
+    const std::vector<HwConfig> &configs,
+    const std::vector<Index> &tile_sizes = defaultTileSizes(),
+    SchedulePolicy policy = SchedulePolicy::LoadBalanced);
+
+} // namespace spasm
+
+#endif // SPASM_PERF_SCHEDULE_HH

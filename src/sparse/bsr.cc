@@ -1,0 +1,147 @@
+#include "sparse/bsr.hh"
+
+#include <algorithm>
+
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace spasm {
+
+BsrMatrix::BsrMatrix(Index rows, Index cols, Index block_size)
+    : rows_(rows), cols_(cols), blockSize_(block_size),
+      blockRows_(static_cast<Index>(ceilDiv(rows, std::max<Index>(
+          block_size, 1))))
+{
+    spasm_assert(block_size >= 1);
+    blockRowPtr_.assign(blockRows_ + 1, 0);
+}
+
+BsrMatrix
+BsrMatrix::fromCoo(const CooMatrix &coo, Index block_size)
+{
+    BsrMatrix m(coo.rows(), coo.cols(), block_size);
+    m.nnz_ = coo.nnz();
+
+    // Pass 1: identify distinct (block_row, block_col) pairs.  The COO
+    // entries are row-major sorted, which does not sort block coordinates,
+    // so collect and sort explicitly.
+    struct BlockCoord
+    {
+        Index br;
+        Index bc;
+        bool
+        operator<(const BlockCoord &o) const
+        {
+            return br != o.br ? br < o.br : bc < o.bc;
+        }
+        bool
+        operator==(const BlockCoord &o) const
+        {
+            return br == o.br && bc == o.bc;
+        }
+    };
+    std::vector<BlockCoord> coords;
+    coords.reserve(coo.nnz());
+    for (const auto &t : coo.entries())
+        coords.push_back({t.row / block_size, t.col / block_size});
+    std::sort(coords.begin(), coords.end());
+    coords.erase(std::unique(coords.begin(), coords.end()), coords.end());
+
+    m.blockColIdx_.reserve(coords.size());
+    for (const auto &bc : coords) {
+        ++m.blockRowPtr_[bc.br + 1];
+        m.blockColIdx_.push_back(bc.bc);
+    }
+    for (Index r = 0; r < m.blockRows_; ++r)
+        m.blockRowPtr_[r + 1] += m.blockRowPtr_[r];
+
+    // Pass 2: scatter values into the dense block storage.
+    const std::size_t bsq =
+        static_cast<std::size_t>(block_size) * block_size;
+    m.blockVals_.assign(coords.size() * bsq, 0.0f);
+    for (const auto &t : coo.entries()) {
+        const Index br = t.row / block_size;
+        const Index bc = t.col / block_size;
+        // Binary search for the block slot within the block row.
+        const auto begin = m.blockColIdx_.begin() + m.blockRowPtr_[br];
+        const auto end = m.blockColIdx_.begin() + m.blockRowPtr_[br + 1];
+        const auto it = std::lower_bound(begin, end, bc);
+        spasm_assert(it != end && *it == bc);
+        const std::size_t slot = static_cast<std::size_t>(
+            it - m.blockColIdx_.begin());
+        const Index lr = t.row % block_size;
+        const Index lc = t.col % block_size;
+        m.blockVals_[slot * bsq + static_cast<std::size_t>(lr) *
+            block_size + lc] = t.val;
+    }
+    return m;
+}
+
+double
+BsrMatrix::fillRatio() const
+{
+    if (storedValues() == 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(nnz_) /
+        static_cast<double>(storedValues());
+}
+
+void
+BsrMatrix::spmv(const std::vector<Value> &x, std::vector<Value> &y) const
+{
+    spasm_assert(static_cast<Index>(x.size()) == cols_);
+    spasm_assert(static_cast<Index>(y.size()) == rows_);
+    const Index b = blockSize_;
+    const std::size_t bsq = static_cast<std::size_t>(b) * b;
+    for (Index br = 0; br < blockRows_; ++br) {
+        for (Count blk = blockRowPtr_[br]; blk < blockRowPtr_[br + 1];
+             ++blk) {
+            const Index bc = blockColIdx_[blk];
+            const Value *vals =
+                blockVals_.data() + static_cast<std::size_t>(blk) * bsq;
+            for (Index lr = 0; lr < b; ++lr) {
+                const Index row = br * b + lr;
+                if (row >= rows_)
+                    break;
+                Value acc = 0.0f;
+                for (Index lc = 0; lc < b; ++lc) {
+                    const Index col = bc * b + lc;
+                    if (col >= cols_)
+                        break;
+                    acc += vals[static_cast<std::size_t>(lr) * b + lc] *
+                        x[col];
+                }
+                y[row] += acc;
+            }
+        }
+    }
+}
+
+CooMatrix
+BsrMatrix::toCoo() const
+{
+    std::vector<Triplet> triplets;
+    const Index b = blockSize_;
+    const std::size_t bsq = static_cast<std::size_t>(b) * b;
+    for (Index br = 0; br < blockRows_; ++br) {
+        for (Count blk = blockRowPtr_[br]; blk < blockRowPtr_[br + 1];
+             ++blk) {
+            const Index bc = blockColIdx_[blk];
+            const Value *vals =
+                blockVals_.data() + static_cast<std::size_t>(blk) * bsq;
+            for (Index lr = 0; lr < b; ++lr) {
+                for (Index lc = 0; lc < b; ++lc) {
+                    const Value v =
+                        vals[static_cast<std::size_t>(lr) * b + lc];
+                    if (v != 0.0f) {
+                        triplets.emplace_back(br * b + lr, bc * b + lc,
+                                              v);
+                    }
+                }
+            }
+        }
+    }
+    return CooMatrix::fromTriplets(rows_, cols_, std::move(triplets));
+}
+
+} // namespace spasm

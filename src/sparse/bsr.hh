@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Block Sparse Row (BSR) matrix with a square block size.
+ *
+ * The paper's storage comparison (Fig. 11) uses BSR with 2x2 blocks;
+ * blocks are stored dense (zero-filled), so BSR only wins on matrices
+ * whose non-zeros cluster into aligned blocks.
+ */
+
+#ifndef SPASM_SPARSE_BSR_HH
+#define SPASM_SPARSE_BSR_HH
+
+#include <vector>
+
+#include "sparse/coo.hh"
+#include "sparse/types.hh"
+
+namespace spasm {
+
+/** BSR matrix with BxB dense blocks. */
+class BsrMatrix
+{
+  public:
+    /** @param block_size Edge length B of the square blocks (B >= 1). */
+    explicit BsrMatrix(Index rows = 0, Index cols = 0,
+                       Index block_size = 2);
+
+    /** Convert from a canonical COO matrix. */
+    static BsrMatrix fromCoo(const CooMatrix &coo, Index block_size = 2);
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+    Index blockSize() const { return blockSize_; }
+    Index blockRows() const { return blockRows_; }
+
+    /** Number of stored (non-empty) blocks. */
+    Count numBlocks() const
+    {
+        return static_cast<Count>(blockColIdx_.size());
+    }
+
+    /** Stored values including explicit zeros inside blocks. */
+    Count
+    storedValues() const
+    {
+        return numBlocks() * static_cast<Count>(blockSize_) * blockSize_;
+    }
+
+    /** Original non-zero count (pre-padding). */
+    Count nnz() const { return nnz_; }
+
+    /** Fraction of stored values that are fill-in zeros. */
+    double fillRatio() const;
+
+    const std::vector<Count> &blockRowPtr() const { return blockRowPtr_; }
+    const std::vector<Index> &blockColIdx() const { return blockColIdx_; }
+    const std::vector<Value> &blockVals() const { return blockVals_; }
+
+    /** Reference SpMV: y = A * x + y. */
+    void spmv(const std::vector<Value> &x, std::vector<Value> &y) const;
+
+    /** Round-trip back to COO (drops the fill-in zeros). */
+    CooMatrix toCoo() const;
+
+  private:
+    Index rows_;
+    Index cols_;
+    Index blockSize_;
+    Index blockRows_;
+    Count nnz_ = 0;
+    std::vector<Count> blockRowPtr_;
+    std::vector<Index> blockColIdx_;
+    /** Row-major B*B values per block, concatenated in block order. */
+    std::vector<Value> blockVals_;
+};
+
+} // namespace spasm
+
+#endif // SPASM_SPARSE_BSR_HH

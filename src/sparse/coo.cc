@@ -1,0 +1,87 @@
+#include "sparse/coo.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace spasm {
+
+CooMatrix::CooMatrix(Index rows, Index cols)
+    : rows_(rows), cols_(cols)
+{
+    spasm_assert(rows >= 0 && cols >= 0);
+}
+
+CooMatrix
+CooMatrix::fromTriplets(Index rows, Index cols,
+                        std::vector<Triplet> triplets)
+{
+    CooMatrix m(rows, cols);
+    for (const auto &t : triplets) {
+        if (t.row < 0 || t.row >= rows || t.col < 0 || t.col >= cols) {
+            spasm_fatal("triplet (%d, %d) out of range for %dx%d matrix",
+                        t.row, t.col, rows, cols);
+        }
+    }
+    // Stable so that duplicate coordinates coalesce in insertion
+    // order: summation order (and thus the exact float result) is
+    // then deterministic and symmetric inputs stay bit-symmetric.
+    std::stable_sort(triplets.begin(), triplets.end());
+
+    // Coalesce duplicates by summation, dropping exact-zero results so
+    // the nnz count matches what a SuiteSparse loader would report.
+    m.entries_.reserve(triplets.size());
+    for (const auto &t : triplets) {
+        if (!m.entries_.empty() && m.entries_.back().row == t.row &&
+            m.entries_.back().col == t.col) {
+            m.entries_.back().val += t.val;
+        } else {
+            m.entries_.push_back(t);
+        }
+    }
+    std::erase_if(m.entries_,
+                  [](const Triplet &t) { return t.val == 0.0f; });
+    return m;
+}
+
+double
+CooMatrix::density() const
+{
+    if (rows_ == 0 || cols_ == 0)
+        return 0.0;
+    return static_cast<double>(nnz()) /
+           (static_cast<double>(rows_) * static_cast<double>(cols_));
+}
+
+void
+CooMatrix::spmv(const std::vector<Value> &x, std::vector<Value> &y) const
+{
+    spasm_assert(static_cast<Index>(x.size()) == cols_);
+    spasm_assert(static_cast<Index>(y.size()) == rows_);
+    for (const auto &t : entries_)
+        y[t.row] += t.val * x[t.col];
+}
+
+std::vector<Value>
+CooMatrix::toDense() const
+{
+    std::vector<Value> dense(static_cast<std::size_t>(rows_) * cols_,
+                             0.0f);
+    for (const auto &t : entries_)
+        dense[static_cast<std::size_t>(t.row) * cols_ + t.col] = t.val;
+    return dense;
+}
+
+CooMatrix
+CooMatrix::transposed() const
+{
+    std::vector<Triplet> flipped;
+    flipped.reserve(entries_.size());
+    for (const auto &t : entries_)
+        flipped.emplace_back(t.col, t.row, t.val);
+    CooMatrix m = fromTriplets(cols_, rows_, std::move(flipped));
+    m.setName(name_.empty() ? "" : name_ + "_T");
+    return m;
+}
+
+} // namespace spasm

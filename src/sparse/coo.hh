@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Coordinate-format (COO) sparse matrix.
+ *
+ * COO is the canonical interchange format in this repository: every other
+ * format converts to/from it, the workload generators emit it, and the
+ * storage-cost comparison of Fig. 11 normalizes to it.
+ */
+
+#ifndef SPASM_SPARSE_COO_HH
+#define SPASM_SPARSE_COO_HH
+
+#include <string>
+#include <vector>
+
+#include "sparse/types.hh"
+
+namespace spasm {
+
+/**
+ * A sparse matrix stored as a row-major sorted list of triplets.
+ *
+ * Invariants (established by the constructor / fromTriplets):
+ *  - entries are sorted row-major, no duplicate (row, col) pairs;
+ *  - all indices are within [0, rows) x [0, cols).
+ */
+class CooMatrix
+{
+  public:
+    /** Empty matrix of the given dimensions. */
+    CooMatrix(Index rows = 0, Index cols = 0);
+
+    /**
+     * Build from an arbitrary triplet stream.  Entries are sorted and
+     * duplicates are summed; out-of-range indices are a fatal error.
+     */
+    static CooMatrix fromTriplets(Index rows, Index cols,
+                                  std::vector<Triplet> triplets);
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+    Count nnz() const { return static_cast<Count>(entries_.size()); }
+
+    /** Fraction of cells that are non-zero. */
+    double density() const;
+
+    const std::vector<Triplet> &entries() const { return entries_; }
+
+    /** Reference SpMV: y = A * x + y.  x.size()==cols, y.size()==rows. */
+    void spmv(const std::vector<Value> &x, std::vector<Value> &y) const;
+
+    /** Dense row-major expansion (small matrices / tests only). */
+    std::vector<Value> toDense() const;
+
+    /** Transposed copy. */
+    CooMatrix transposed() const;
+
+    /** An optional human-readable name (workload label). */
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+    friend bool
+    operator==(const CooMatrix &a, const CooMatrix &b)
+    {
+        return a.rows_ == b.rows_ && a.cols_ == b.cols_ &&
+               a.entries_ == b.entries_;
+    }
+
+  private:
+    Index rows_;
+    Index cols_;
+    std::vector<Triplet> entries_;
+    std::string name_;
+};
+
+} // namespace spasm
+
+#endif // SPASM_SPARSE_COO_HH

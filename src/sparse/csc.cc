@@ -1,0 +1,58 @@
+#include "sparse/csc.hh"
+
+#include "support/logging.hh"
+
+namespace spasm {
+
+CscMatrix::CscMatrix(Index rows, Index cols)
+    : rows_(rows), cols_(cols), colPtr_(cols + 1, 0)
+{
+}
+
+CscMatrix
+CscMatrix::fromCoo(const CooMatrix &coo)
+{
+    CscMatrix m(coo.rows(), coo.cols());
+    for (const auto &t : coo.entries())
+        ++m.colPtr_[t.col + 1];
+    for (Index c = 0; c < m.cols_; ++c)
+        m.colPtr_[c + 1] += m.colPtr_[c];
+
+    m.rowIdx_.resize(coo.nnz());
+    m.vals_.resize(coo.nnz());
+    std::vector<Count> cursor(m.colPtr_.begin(), m.colPtr_.end() - 1);
+    for (const auto &t : coo.entries()) {
+        const Count slot = cursor[t.col]++;
+        m.rowIdx_[slot] = t.row;
+        m.vals_[slot] = t.val;
+    }
+    return m;
+}
+
+void
+CscMatrix::spmv(const std::vector<Value> &x, std::vector<Value> &y) const
+{
+    spasm_assert(static_cast<Index>(x.size()) == cols_);
+    spasm_assert(static_cast<Index>(y.size()) == rows_);
+    for (Index c = 0; c < cols_; ++c) {
+        const Value xv = x[c];
+        if (xv == 0.0f)
+            continue;
+        for (Count i = colPtr_[c]; i < colPtr_[c + 1]; ++i)
+            y[rowIdx_[i]] += vals_[i] * xv;
+    }
+}
+
+CooMatrix
+CscMatrix::toCoo() const
+{
+    std::vector<Triplet> triplets;
+    triplets.reserve(vals_.size());
+    for (Index c = 0; c < cols_; ++c) {
+        for (Count i = colPtr_[c]; i < colPtr_[c + 1]; ++i)
+            triplets.emplace_back(rowIdx_[i], c, vals_[i]);
+    }
+    return CooMatrix::fromTriplets(rows_, cols_, std::move(triplets));
+}
+
+} // namespace spasm

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Compressed Sparse Column (CSC) matrix.
+ */
+
+#ifndef SPASM_SPARSE_CSC_HH
+#define SPASM_SPARSE_CSC_HH
+
+#include <vector>
+
+#include "sparse/coo.hh"
+#include "sparse/types.hh"
+
+namespace spasm {
+
+/** CSC matrix: colPtr (cols+1), rowIdx and vals (nnz). */
+class CscMatrix
+{
+  public:
+    CscMatrix(Index rows = 0, Index cols = 0);
+
+    /** Convert from a canonical COO matrix. */
+    static CscMatrix fromCoo(const CooMatrix &coo);
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+    Count nnz() const { return static_cast<Count>(vals_.size()); }
+
+    const std::vector<Count> &colPtr() const { return colPtr_; }
+    const std::vector<Index> &rowIdx() const { return rowIdx_; }
+    const std::vector<Value> &vals() const { return vals_; }
+
+    /** Number of non-zeros in column c. */
+    Count colLength(Index c) const { return colPtr_[c + 1] - colPtr_[c]; }
+
+    /** Reference SpMV: y = A * x + y (scatter formulation). */
+    void spmv(const std::vector<Value> &x, std::vector<Value> &y) const;
+
+    /** Round-trip back to COO. */
+    CooMatrix toCoo() const;
+
+  private:
+    Index rows_;
+    Index cols_;
+    std::vector<Count> colPtr_;
+    std::vector<Index> rowIdx_;
+    std::vector<Value> vals_;
+};
+
+} // namespace spasm
+
+#endif // SPASM_SPARSE_CSC_HH

@@ -1,0 +1,64 @@
+#include "sparse/csr.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace spasm {
+
+CsrMatrix::CsrMatrix(Index rows, Index cols)
+    : rows_(rows), cols_(cols), rowPtr_(rows + 1, 0)
+{
+}
+
+CsrMatrix
+CsrMatrix::fromCoo(const CooMatrix &coo)
+{
+    CsrMatrix m(coo.rows(), coo.cols());
+    m.colIdx_.reserve(coo.nnz());
+    m.vals_.reserve(coo.nnz());
+    for (const auto &t : coo.entries()) {
+        ++m.rowPtr_[t.row + 1];
+        m.colIdx_.push_back(t.col);
+        m.vals_.push_back(t.val);
+    }
+    for (Index r = 0; r < m.rows_; ++r)
+        m.rowPtr_[r + 1] += m.rowPtr_[r];
+    return m;
+}
+
+Count
+CsrMatrix::maxRowLength() const
+{
+    Count best = 0;
+    for (Index r = 0; r < rows_; ++r)
+        best = std::max(best, rowLength(r));
+    return best;
+}
+
+void
+CsrMatrix::spmv(const std::vector<Value> &x, std::vector<Value> &y) const
+{
+    spasm_assert(static_cast<Index>(x.size()) == cols_);
+    spasm_assert(static_cast<Index>(y.size()) == rows_);
+    for (Index r = 0; r < rows_; ++r) {
+        Value acc = 0.0f;
+        for (Count i = rowPtr_[r]; i < rowPtr_[r + 1]; ++i)
+            acc += vals_[i] * x[colIdx_[i]];
+        y[r] += acc;
+    }
+}
+
+CooMatrix
+CsrMatrix::toCoo() const
+{
+    std::vector<Triplet> triplets;
+    triplets.reserve(vals_.size());
+    for (Index r = 0; r < rows_; ++r) {
+        for (Count i = rowPtr_[r]; i < rowPtr_[r + 1]; ++i)
+            triplets.emplace_back(r, colIdx_[i], vals_[i]);
+    }
+    return CooMatrix::fromTriplets(rows_, cols_, std::move(triplets));
+}
+
+} // namespace spasm

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Compressed Sparse Row (CSR) matrix, the baseline GPU/CPU format.
+ */
+
+#ifndef SPASM_SPARSE_CSR_HH
+#define SPASM_SPARSE_CSR_HH
+
+#include <vector>
+
+#include "sparse/coo.hh"
+#include "sparse/types.hh"
+
+namespace spasm {
+
+/** CSR matrix: rowPtr (rows+1), colIdx and vals (nnz). */
+class CsrMatrix
+{
+  public:
+    CsrMatrix(Index rows = 0, Index cols = 0);
+
+    /** Convert from a canonical COO matrix. */
+    static CsrMatrix fromCoo(const CooMatrix &coo);
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+    Count nnz() const { return static_cast<Count>(vals_.size()); }
+
+    const std::vector<Count> &rowPtr() const { return rowPtr_; }
+    const std::vector<Index> &colIdx() const { return colIdx_; }
+    const std::vector<Value> &vals() const { return vals_; }
+
+    /** Number of non-zeros in row r. */
+    Count rowLength(Index r) const { return rowPtr_[r + 1] - rowPtr_[r]; }
+
+    /** Longest row length (ELL width; load-imbalance metric). */
+    Count maxRowLength() const;
+
+    /** Reference SpMV: y = A * x + y. */
+    void spmv(const std::vector<Value> &x, std::vector<Value> &y) const;
+
+    /** Round-trip back to COO. */
+    CooMatrix toCoo() const;
+
+  private:
+    Index rows_;
+    Index cols_;
+    std::vector<Count> rowPtr_;
+    std::vector<Index> colIdx_;
+    std::vector<Value> vals_;
+};
+
+} // namespace spasm
+
+#endif // SPASM_SPARSE_CSR_HH

@@ -1,0 +1,76 @@
+#include "sparse/dia.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace spasm {
+
+DiaMatrix::DiaMatrix(Index rows, Index cols)
+    : rows_(rows), cols_(cols)
+{
+}
+
+DiaMatrix
+DiaMatrix::fromCoo(const CooMatrix &coo)
+{
+    DiaMatrix m(coo.rows(), coo.cols());
+    m.nnz_ = coo.nnz();
+
+    std::vector<Index> offsets;
+    offsets.reserve(coo.nnz());
+    for (const auto &t : coo.entries())
+        offsets.push_back(t.col - t.row);
+    std::sort(offsets.begin(), offsets.end());
+    offsets.erase(std::unique(offsets.begin(), offsets.end()),
+                  offsets.end());
+    m.offsets_ = std::move(offsets);
+
+    m.diagonals_.assign(m.offsets_.size() *
+                        static_cast<std::size_t>(m.rows_), 0.0f);
+    for (const auto &t : coo.entries()) {
+        const Index off = t.col - t.row;
+        const auto it = std::lower_bound(m.offsets_.begin(),
+                                         m.offsets_.end(), off);
+        const std::size_t d =
+            static_cast<std::size_t>(it - m.offsets_.begin());
+        m.diagonals_[d * m.rows_ + t.row] = t.val;
+    }
+    return m;
+}
+
+void
+DiaMatrix::spmv(const std::vector<Value> &x, std::vector<Value> &y) const
+{
+    spasm_assert(static_cast<Index>(x.size()) == cols_);
+    spasm_assert(static_cast<Index>(y.size()) == rows_);
+    for (std::size_t d = 0; d < offsets_.size(); ++d) {
+        const Index off = offsets_[d];
+        const Index r_lo = std::max<Index>(0, -off);
+        const Index r_hi = std::min<Index>(rows_, cols_ - off);
+        const Value *diag = diagonals_.data() + d * rows_;
+        for (Index r = r_lo; r < r_hi; ++r)
+            y[r] += diag[r] * x[r + off];
+    }
+}
+
+CooMatrix
+DiaMatrix::toCoo() const
+{
+    std::vector<Triplet> triplets;
+    triplets.reserve(static_cast<std::size_t>(nnz_));
+    for (std::size_t d = 0; d < offsets_.size(); ++d) {
+        const Index off = offsets_[d];
+        const Value *diag = diagonals_.data() + d * rows_;
+        for (Index r = 0; r < rows_; ++r) {
+            const Index c = r + off;
+            if (c < 0 || c >= cols_)
+                continue;
+            if (diag[r] != 0.0f)
+                triplets.emplace_back(r, c, diag[r]);
+        }
+    }
+    return CooMatrix::fromTriplets(rows_, cols_, std::move(triplets));
+}
+
+} // namespace spasm

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * DIAgonal (DIA) matrix: one dense array per occupied diagonal.
+ */
+
+#ifndef SPASM_SPARSE_DIA_HH
+#define SPASM_SPARSE_DIA_HH
+
+#include <vector>
+
+#include "sparse/coo.hh"
+#include "sparse/types.hh"
+
+namespace spasm {
+
+/**
+ * DIA matrix.  Each occupied diagonal (offset = col - row) is stored as
+ * a dense length-rows array; element r of diagonal d holds A[r][r + d].
+ * Efficient only when few diagonals are occupied.
+ */
+class DiaMatrix
+{
+  public:
+    DiaMatrix(Index rows = 0, Index cols = 0);
+
+    /** Convert from a canonical COO matrix (stores every occupied
+     *  diagonal; callers should check numDiagonals() for viability). */
+    static DiaMatrix fromCoo(const CooMatrix &coo);
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+    Count nnz() const { return nnz_; }
+    std::size_t numDiagonals() const { return offsets_.size(); }
+
+    /** Stored slot count (rows per diagonal, includes padding). */
+    Count
+    storedValues() const
+    {
+        return static_cast<Count>(offsets_.size()) * rows_;
+    }
+
+    const std::vector<Index> &offsets() const { return offsets_; }
+
+    /** Reference SpMV: y = A * x + y. */
+    void spmv(const std::vector<Value> &x, std::vector<Value> &y) const;
+
+    /** Round-trip back to COO (drops padding). */
+    CooMatrix toCoo() const;
+
+  private:
+    Index rows_;
+    Index cols_;
+    Count nnz_ = 0;
+    std::vector<Index> offsets_;
+    /** diagonals_[d * rows + r] = A[r][r + offsets_[d]]. */
+    std::vector<Value> diagonals_;
+};
+
+} // namespace spasm
+
+#endif // SPASM_SPARSE_DIA_HH

@@ -1,0 +1,79 @@
+#include "sparse/ell.hh"
+
+#include <algorithm>
+
+#include "sparse/csr.hh"
+#include "support/logging.hh"
+
+namespace spasm {
+
+EllMatrix::EllMatrix(Index rows, Index cols)
+    : rows_(rows), cols_(cols)
+{
+}
+
+EllMatrix
+EllMatrix::fromCoo(const CooMatrix &coo)
+{
+    const CsrMatrix csr = CsrMatrix::fromCoo(coo);
+    EllMatrix m(coo.rows(), coo.cols());
+    m.nnz_ = coo.nnz();
+    m.width_ = static_cast<Index>(csr.maxRowLength());
+    m.colIdx_.assign(static_cast<std::size_t>(m.rows_) * m.width_, -1);
+    m.vals_.assign(static_cast<std::size_t>(m.rows_) * m.width_, 0.0f);
+    for (Index r = 0; r < m.rows_; ++r) {
+        std::size_t slot = static_cast<std::size_t>(r) * m.width_;
+        for (Count i = csr.rowPtr()[r]; i < csr.rowPtr()[r + 1];
+             ++i, ++slot) {
+            m.colIdx_[slot] = csr.colIdx()[i];
+            m.vals_[slot] = csr.vals()[i];
+        }
+    }
+    return m;
+}
+
+double
+EllMatrix::paddingRatio() const
+{
+    if (storedValues() == 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(nnz_) /
+        static_cast<double>(storedValues());
+}
+
+void
+EllMatrix::spmv(const std::vector<Value> &x, std::vector<Value> &y) const
+{
+    spasm_assert(static_cast<Index>(x.size()) == cols_);
+    spasm_assert(static_cast<Index>(y.size()) == rows_);
+    for (Index r = 0; r < rows_; ++r) {
+        Value acc = 0.0f;
+        const std::size_t base = static_cast<std::size_t>(r) * width_;
+        for (Index k = 0; k < width_; ++k) {
+            const Index c = colIdx_[base + k];
+            if (c < 0)
+                break;
+            acc += vals_[base + k] * x[c];
+        }
+        y[r] += acc;
+    }
+}
+
+CooMatrix
+EllMatrix::toCoo() const
+{
+    std::vector<Triplet> triplets;
+    triplets.reserve(static_cast<std::size_t>(nnz_));
+    for (Index r = 0; r < rows_; ++r) {
+        const std::size_t base = static_cast<std::size_t>(r) * width_;
+        for (Index k = 0; k < width_; ++k) {
+            const Index c = colIdx_[base + k];
+            if (c < 0)
+                break;
+            triplets.emplace_back(r, c, vals_[base + k]);
+        }
+    }
+    return CooMatrix::fromTriplets(rows_, cols_, std::move(triplets));
+}
+
+} // namespace spasm

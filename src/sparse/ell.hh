@@ -1,0 +1,61 @@
+/**
+ * @file
+ * ELLPACK (ELL) matrix: every row padded to the same width.
+ */
+
+#ifndef SPASM_SPARSE_ELL_HH
+#define SPASM_SPARSE_ELL_HH
+
+#include <vector>
+
+#include "sparse/coo.hh"
+#include "sparse/types.hh"
+
+namespace spasm {
+
+/**
+ * ELL matrix.  Stores a rows x width slab of column indices and values;
+ * slots past a row's length use column index -1 and value 0.
+ */
+class EllMatrix
+{
+  public:
+    EllMatrix(Index rows = 0, Index cols = 0);
+
+    /** Convert from a canonical COO matrix; width = max row length. */
+    static EllMatrix fromCoo(const CooMatrix &coo);
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+    Index width() const { return width_; }
+    Count nnz() const { return nnz_; }
+
+    /** Stored slot count = rows * width (includes padding). */
+    Count
+    storedValues() const
+    {
+        return static_cast<Count>(rows_) * width_;
+    }
+
+    /** Fraction of stored slots that are padding. */
+    double paddingRatio() const;
+
+    /** Reference SpMV: y = A * x + y. */
+    void spmv(const std::vector<Value> &x, std::vector<Value> &y) const;
+
+    /** Round-trip back to COO (drops padding). */
+    CooMatrix toCoo() const;
+
+  private:
+    Index rows_;
+    Index cols_;
+    Index width_ = 0;
+    Count nnz_ = 0;
+    /** Row-major rows x width; -1 marks padding. */
+    std::vector<Index> colIdx_;
+    std::vector<Value> vals_;
+};
+
+} // namespace spasm
+
+#endif // SPASM_SPARSE_ELL_HH

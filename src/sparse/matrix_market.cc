@@ -1,0 +1,130 @@
+#include "sparse/matrix_market.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace spasm {
+
+namespace {
+
+std::string
+toLower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return s;
+}
+
+} // namespace
+
+CooMatrix
+readMatrixMarket(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        spasm_fatal("cannot open MatrixMarket file '%s'", path.c_str());
+    return readMatrixMarket(in, path);
+}
+
+CooMatrix
+readMatrixMarket(std::istream &in, const std::string &name)
+{
+    std::string line;
+    if (!std::getline(in, line))
+        spasm_fatal("%s: empty MatrixMarket file", name.c_str());
+
+    std::istringstream banner(line);
+    std::string tag, object, fmt, field, symmetry;
+    banner >> tag >> object >> fmt >> field >> symmetry;
+    if (tag != "%%MatrixMarket")
+        spasm_fatal("%s: missing MatrixMarket banner", name.c_str());
+    object = toLower(object);
+    fmt = toLower(fmt);
+    field = toLower(field);
+    symmetry = toLower(symmetry);
+    if (object != "matrix" || fmt != "coordinate")
+        spasm_fatal("%s: only coordinate matrices are supported",
+                    name.c_str());
+    const bool pattern = field == "pattern";
+    if (!pattern && field != "real" && field != "integer")
+        spasm_fatal("%s: unsupported field type '%s'", name.c_str(),
+                    field.c_str());
+    const bool symmetric = symmetry == "symmetric";
+    const bool skew = symmetry == "skew-symmetric";
+    if (!symmetric && !skew && symmetry != "general")
+        spasm_fatal("%s: unsupported symmetry '%s'", name.c_str(),
+                    symmetry.c_str());
+
+    // Skip comments, then read the size line.
+    while (std::getline(in, line)) {
+        if (!line.empty() && line[0] != '%')
+            break;
+    }
+    std::istringstream size_line(line);
+    long rows = 0, cols = 0, declared_nnz = 0;
+    size_line >> rows >> cols >> declared_nnz;
+    if (rows <= 0 || cols <= 0 || declared_nnz < 0)
+        spasm_fatal("%s: malformed size line '%s'", name.c_str(),
+                    line.c_str());
+
+    std::vector<Triplet> triplets;
+    triplets.reserve(static_cast<std::size_t>(declared_nnz) *
+                     (symmetric || skew ? 2 : 1));
+    long seen = 0;
+    while (seen < declared_nnz && std::getline(in, line)) {
+        if (line.empty() || line[0] == '%')
+            continue;
+        std::istringstream entry(line);
+        long r = 0, c = 0;
+        double v = 1.0;
+        entry >> r >> c;
+        if (!pattern)
+            entry >> v;
+        if (r < 1 || r > rows || c < 1 || c > cols) {
+            spasm_fatal("%s: entry (%ld, %ld) out of range", name.c_str(),
+                        r, c);
+        }
+        ++seen;
+        const Index ri = static_cast<Index>(r - 1);
+        const Index ci = static_cast<Index>(c - 1);
+        triplets.emplace_back(ri, ci, static_cast<Value>(v));
+        if ((symmetric || skew) && ri != ci) {
+            triplets.emplace_back(ci, ri,
+                                  static_cast<Value>(skew ? -v : v));
+        }
+    }
+    if (seen != declared_nnz) {
+        spasm_fatal("%s: expected %ld entries, found %ld", name.c_str(),
+                    declared_nnz, seen);
+    }
+    auto m = CooMatrix::fromTriplets(static_cast<Index>(rows),
+                                     static_cast<Index>(cols),
+                                     std::move(triplets));
+    m.setName(name);
+    return m;
+}
+
+void
+writeMatrixMarket(const CooMatrix &m, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        spasm_fatal("cannot open '%s' for writing", path.c_str());
+    writeMatrixMarket(m, out);
+}
+
+void
+writeMatrixMarket(const CooMatrix &m, std::ostream &out)
+{
+    out << "%%MatrixMarket matrix coordinate real general\n";
+    out << m.rows() << ' ' << m.cols() << ' ' << m.nnz() << '\n';
+    for (const auto &t : m.entries()) {
+        out << (t.row + 1) << ' ' << (t.col + 1) << ' ' << t.val << '\n';
+    }
+}
+
+} // namespace spasm

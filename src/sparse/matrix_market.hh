@@ -1,0 +1,35 @@
+/**
+ * @file
+ * MatrixMarket (.mtx) reader and writer.
+ *
+ * Supports the coordinate format with real / integer / pattern fields and
+ * general / symmetric / skew-symmetric symmetry, which covers the entire
+ * SuiteSparse collection the paper draws its workloads from.  This lets
+ * users substitute real SuiteSparse downloads for the synthetic suite.
+ */
+
+#ifndef SPASM_SPARSE_MATRIX_MARKET_HH
+#define SPASM_SPARSE_MATRIX_MARKET_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/coo.hh"
+
+namespace spasm {
+
+/** Read a MatrixMarket file; fatal() on malformed input. */
+CooMatrix readMatrixMarket(const std::string &path);
+
+/** Read MatrixMarket content from a stream (stream name for errors). */
+CooMatrix readMatrixMarket(std::istream &in, const std::string &name);
+
+/** Write a matrix in MatrixMarket coordinate/real/general form. */
+void writeMatrixMarket(const CooMatrix &m, const std::string &path);
+
+/** Write MatrixMarket content to a stream. */
+void writeMatrixMarket(const CooMatrix &m, std::ostream &out);
+
+} // namespace spasm
+
+#endif // SPASM_SPARSE_MATRIX_MARKET_HH

@@ -1,0 +1,163 @@
+#include "sparse/matrix_stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/logging.hh"
+
+namespace spasm {
+
+MatrixStats
+computeMatrixStats(const CooMatrix &m)
+{
+    MatrixStats s;
+    s.rows = m.rows();
+    s.cols = m.cols();
+    s.nnz = m.nnz();
+    s.density = m.density();
+    if (m.nnz() == 0 || m.rows() == 0)
+        return s;
+
+    std::vector<Count> row_len(m.rows(), 0);
+    std::unordered_map<Index, Count> diagonals;
+    std::unordered_map<Index, Count> anti_diagonals;
+    std::unordered_map<std::uint64_t, int> block_fill;
+
+    for (const auto &t : m.entries()) {
+        ++row_len[t.row];
+        s.bandwidth = std::max(
+            s.bandwidth, static_cast<Index>(std::abs(t.row - t.col)));
+        ++diagonals[t.col - t.row];
+        ++anti_diagonals[t.col + t.row];
+        ++block_fill[(static_cast<std::uint64_t>(t.row / 8) << 32) |
+                     static_cast<std::uint32_t>(t.col / 8)];
+    }
+
+    auto top32_mass = [&](const std::unordered_map<Index, Count> &h) {
+        std::vector<Count> counts;
+        counts.reserve(h.size());
+        for (const auto &[key, count] : h) {
+            (void)key;
+            counts.push_back(count);
+        }
+        const std::size_t k = std::min<std::size_t>(32, counts.size());
+        std::partial_sort(counts.begin(), counts.begin() + k,
+                          counts.end(), std::greater<>());
+        Count mass = 0;
+        for (std::size_t i = 0; i < k; ++i)
+            mass += counts[i];
+        return static_cast<double>(mass) /
+            static_cast<double>(m.nnz());
+    };
+    s.top32DiagonalMass = top32_mass(diagonals);
+    s.top32AntiDiagonalMass = top32_mass(anti_diagonals);
+
+    s.avgRowLength =
+        static_cast<double>(m.nnz()) / static_cast<double>(m.rows());
+    s.maxRowLength =
+        *std::max_element(row_len.begin(), row_len.end());
+    s.minRowLength =
+        *std::min_element(row_len.begin(), row_len.end());
+    double var = 0.0;
+    for (Count len : row_len) {
+        const double d = static_cast<double>(len) - s.avgRowLength;
+        var += d * d;
+    }
+    var /= static_cast<double>(m.rows());
+    s.rowLengthCv =
+        s.avgRowLength > 0.0 ? std::sqrt(var) / s.avgRowLength : 0.0;
+
+    s.occupiedDiagonals = static_cast<Count>(diagonals.size());
+
+    Count dense_blocks = 0;
+    for (const auto &[key, fill] : block_fill) {
+        (void)key;
+        if (fill >= 48) // at least 75% of an 8x8 block
+            ++dense_blocks;
+    }
+    s.denseBlockFraction = block_fill.empty()
+        ? 0.0
+        : static_cast<double>(dense_blocks) /
+            static_cast<double>(block_fill.size());
+
+    s.structurallySymmetric =
+        m.rows() == m.cols() && [&] {
+            std::unordered_set<std::uint64_t> pattern;
+            pattern.reserve(m.entries().size() * 2);
+            for (const auto &t : m.entries()) {
+                pattern.insert(
+                    (static_cast<std::uint64_t>(t.row) << 32) |
+                    static_cast<std::uint32_t>(t.col));
+            }
+            for (const auto &t : m.entries()) {
+                if (!pattern.count(
+                        (static_cast<std::uint64_t>(t.col) << 32) |
+                        static_cast<std::uint32_t>(t.row))) {
+                    return false;
+                }
+            }
+            return true;
+        }();
+    return s;
+}
+
+std::string
+globalCompositionName(GcClass gc)
+{
+    switch (gc) {
+      case GcClass::Diagonal:
+        return "diagonal";
+      case GcClass::Banded:
+        return "banded";
+      case GcClass::BlockDiagonal:
+        return "block-diagonal";
+      case GcClass::AntiDiagonal:
+        return "anti-diagonal";
+      case GcClass::RowDominated:
+        return "row-dominated";
+      case GcClass::Scattered:
+        return "scattered";
+    }
+    spasm_panic("unknown global composition");
+}
+
+GcClass
+classifyGlobalComposition(const CooMatrix &m)
+{
+    const MatrixStats s = computeMatrixStats(m);
+    if (s.nnz == 0)
+        return GcClass::Scattered;
+
+    // A handful of anti-diagonals carrying most of the mass.
+    if (s.top32AntiDiagonalMass > 0.55 &&
+        s.top32AntiDiagonalMass > s.top32DiagonalMass) {
+        return GcClass::AntiDiagonal;
+    }
+
+    // Dense blocks hugging the diagonal.
+    if (s.denseBlockFraction > 0.5 && s.bandwidth <= 16)
+        return GcClass::BlockDiagonal;
+
+    // A handful of diagonals carrying (nearly) all of the mass —
+    // and genuinely few of them (a staircase band also concentrates
+    // its mass but occupies a contiguous run of offsets).
+    if (s.top32DiagonalMass > 0.9 && s.occupiedDiagonals <= 32)
+        return GcClass::Diagonal;
+
+    // Everything within a narrow band of the diagonal.
+    const Index n = std::max(m.rows(), m.cols());
+    if (s.bandwidth <= std::max<Index>(16, n / 10))
+        return GcClass::Banded;
+
+    // A few giant rows dominating the population.
+    if (s.rowLengthCv > 3.0 &&
+        static_cast<double>(s.maxRowLength) >
+            32.0 * std::max(1.0, s.avgRowLength)) {
+        return GcClass::RowDominated;
+    }
+    return GcClass::Scattered;
+}
+
+} // namespace spasm

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Structural statistics and global-composition classification.
+ *
+ * Table II characterizes each workload by its *global composition* —
+ * the large-scale arrangement of its non-zeros (banded, block
+ * diagonal, scattered, ...).  classifyGlobalComposition reproduces
+ * that column mechanically from the matrix structure; MatrixStats
+ * collects the row/column/diagonal statistics the classifier (and
+ * the CLI's analyze command) reports.
+ */
+
+#ifndef SPASM_SPARSE_MATRIX_STATS_HH
+#define SPASM_SPARSE_MATRIX_STATS_HH
+
+#include <string>
+
+#include "sparse/coo.hh"
+
+namespace spasm {
+
+/** Aggregate structural statistics of a sparse matrix. */
+struct MatrixStats
+{
+    Index rows = 0;
+    Index cols = 0;
+    Count nnz = 0;
+    double density = 0.0;
+
+    double avgRowLength = 0.0;
+    Count maxRowLength = 0;
+    Count minRowLength = 0;
+    /** Coefficient of variation of row lengths (imbalance metric). */
+    double rowLengthCv = 0.0;
+
+    /** Max |row - col| over the non-zeros. */
+    Index bandwidth = 0;
+
+    /** Fraction of nnz on the 32 most-populated diagonals. */
+    double top32DiagonalMass = 0.0;
+    /** Fraction of nnz on the 32 most-populated anti-diagonals. */
+    double top32AntiDiagonalMass = 0.0;
+
+    /** Number of distinct occupied diagonals. */
+    Count occupiedDiagonals = 0;
+
+    /** Fraction of non-empty 8x8 blocks at least 75% full. */
+    double denseBlockFraction = 0.0;
+
+    /** Structurally symmetric (pattern of A equals pattern of A^T)? */
+    bool structurallySymmetric = false;
+};
+
+/** Compute the statistics in one pass (plus a transpose check). */
+MatrixStats computeMatrixStats(const CooMatrix &m);
+
+/** Coarse global-composition classes (Table II's GC column). */
+enum class GcClass
+{
+    Diagonal,      ///< few occupied diagonals, tight band
+    Banded,        ///< non-zeros concentrated near the diagonal
+    BlockDiagonal, ///< dense blocks clustered on the diagonal
+    AntiDiagonal,  ///< concentrated on the anti-diagonal
+    RowDominated,  ///< a few rows hold a large share of the nnz
+    Scattered,     ///< none of the above
+};
+
+/** Display name of a composition class. */
+std::string globalCompositionName(GcClass gc);
+
+/** Classify @p m from its statistics. */
+GcClass classifyGlobalComposition(const CooMatrix &m);
+
+} // namespace spasm
+
+#endif // SPASM_SPARSE_MATRIX_STATS_HH

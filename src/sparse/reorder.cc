@@ -1,0 +1,167 @@
+#include "sparse/reorder.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "sparse/csr.hh"
+#include "support/logging.hh"
+
+namespace spasm {
+
+bool
+isPermutation(const std::vector<Index> &perm)
+{
+    std::vector<bool> seen(perm.size(), false);
+    for (Index p : perm) {
+        if (p < 0 || p >= static_cast<Index>(perm.size()) || seen[p])
+            return false;
+        seen[p] = true;
+    }
+    return true;
+}
+
+std::vector<Index>
+invertPermutation(const std::vector<Index> &perm)
+{
+    spasm_assert(isPermutation(perm));
+    std::vector<Index> inv(perm.size());
+    for (std::size_t i = 0; i < perm.size(); ++i)
+        inv[perm[i]] = static_cast<Index>(i);
+    return inv;
+}
+
+CooMatrix
+permuteSymmetric(const CooMatrix &m, const std::vector<Index> &perm)
+{
+    if (m.rows() != m.cols()) {
+        spasm_fatal("symmetric permutation needs a square matrix "
+                    "(%d x %d)", m.rows(), m.cols());
+    }
+    spasm_assert(static_cast<Index>(perm.size()) == m.rows());
+    std::vector<Triplet> out;
+    out.reserve(m.entries().size());
+    for (const auto &t : m.entries())
+        out.emplace_back(perm[t.row], perm[t.col], t.val);
+    CooMatrix result =
+        CooMatrix::fromTriplets(m.rows(), m.cols(), std::move(out));
+    result.setName(m.name().empty() ? "" : m.name() + "_perm");
+    return result;
+}
+
+CooMatrix
+permuteRows(const CooMatrix &m, const std::vector<Index> &perm)
+{
+    spasm_assert(static_cast<Index>(perm.size()) == m.rows());
+    std::vector<Triplet> out;
+    out.reserve(m.entries().size());
+    for (const auto &t : m.entries())
+        out.emplace_back(perm[t.row], t.col, t.val);
+    return CooMatrix::fromTriplets(m.rows(), m.cols(),
+                                   std::move(out));
+}
+
+std::vector<Index>
+rowLengthOrder(const CooMatrix &m)
+{
+    std::vector<Count> len(m.rows(), 0);
+    for (const auto &t : m.entries())
+        ++len[t.row];
+    std::vector<Index> by_length(m.rows());
+    std::iota(by_length.begin(), by_length.end(), 0);
+    std::stable_sort(by_length.begin(), by_length.end(),
+                     [&](Index a, Index b) {
+                         return len[a] > len[b];
+                     });
+    // by_length[k] = old row at new position k; invert to the
+    // old -> new convention.
+    std::vector<Index> perm(m.rows());
+    for (Index k = 0; k < m.rows(); ++k)
+        perm[by_length[k]] = k;
+    return perm;
+}
+
+std::vector<Index>
+reverseCuthillMcKee(const CooMatrix &m)
+{
+    if (m.rows() != m.cols()) {
+        spasm_fatal("RCM needs a square matrix (%d x %d)", m.rows(),
+                    m.cols());
+    }
+    const Index n = m.rows();
+
+    // Symmetrized adjacency in CSR form.
+    std::vector<Triplet> sym;
+    sym.reserve(m.entries().size() * 2);
+    for (const auto &t : m.entries()) {
+        if (t.row != t.col) {
+            sym.emplace_back(t.row, t.col, 1.0f);
+            sym.emplace_back(t.col, t.row, 1.0f);
+        }
+    }
+    const CsrMatrix adj = CsrMatrix::fromCoo(
+        CooMatrix::fromTriplets(n, n, std::move(sym)));
+
+    std::vector<Index> order;
+    order.reserve(n);
+    std::vector<bool> visited(n, false);
+
+    // Visit components from lowest-degree unvisited seeds; within the
+    // BFS, neighbours are expanded in ascending-degree order
+    // (Cuthill-McKee), and the final order is reversed.
+    std::vector<Index> seeds(n);
+    std::iota(seeds.begin(), seeds.end(), 0);
+    std::stable_sort(seeds.begin(), seeds.end(),
+                     [&](Index a, Index b) {
+                         return adj.rowLength(a) < adj.rowLength(b);
+                     });
+
+    std::vector<Index> neighbours;
+    for (Index seed : seeds) {
+        if (visited[seed])
+            continue;
+        std::queue<Index> frontier;
+        frontier.push(seed);
+        visited[seed] = true;
+        while (!frontier.empty()) {
+            const Index v = frontier.front();
+            frontier.pop();
+            order.push_back(v);
+            neighbours.clear();
+            for (Count i = adj.rowPtr()[v]; i < adj.rowPtr()[v + 1];
+                 ++i) {
+                const Index u = adj.colIdx()[i];
+                if (!visited[u])
+                    neighbours.push_back(u);
+            }
+            std::stable_sort(neighbours.begin(), neighbours.end(),
+                             [&](Index a, Index b) {
+                                 return adj.rowLength(a) <
+                                     adj.rowLength(b);
+                             });
+            for (Index u : neighbours) {
+                visited[u] = true;
+                frontier.push(u);
+            }
+        }
+    }
+    spasm_assert(static_cast<Index>(order.size()) == n);
+    std::reverse(order.begin(), order.end());
+
+    // order[k] = old vertex at new position k; convert to old -> new.
+    std::vector<Index> perm(n);
+    for (Index k = 0; k < n; ++k)
+        perm[order[k]] = k;
+    return perm;
+}
+
+Index
+matrixBandwidth(const CooMatrix &m)
+{
+    Index bw = 0;
+    for (const auto &t : m.entries())
+        bw = std::max(bw, static_cast<Index>(std::abs(t.row - t.col)));
+    return bw;
+}
+
+} // namespace spasm

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Matrix reordering utilities.
+ *
+ * Reordering is the classic software-only complement to pattern-aware
+ * encoding (the paper cites the SC'23 reordering study [26] when
+ * arguing preprocessing amortization): a good ordering concentrates
+ * non-zeros into bands and blocks, which directly feeds SPASM's
+ * local-pattern extraction; a length-sorted ordering balances
+ * row-distributed streaming baselines.
+ *
+ * Conventions: a permutation `perm` maps old index -> new index, so
+ * entry (r, c) of the original lands at (perm[r], perm[c]) of the
+ * symmetric permutation P*A*P^T, and solving with the permuted matrix
+ * uses x'[perm[i]] = x[i].
+ */
+
+#ifndef SPASM_SPARSE_REORDER_HH
+#define SPASM_SPARSE_REORDER_HH
+
+#include <vector>
+
+#include "sparse/coo.hh"
+
+namespace spasm {
+
+/** True iff @p perm is a permutation of [0, n). */
+bool isPermutation(const std::vector<Index> &perm);
+
+/** Inverse permutation: out[perm[i]] = i. */
+std::vector<Index> invertPermutation(const std::vector<Index> &perm);
+
+/**
+ * Symmetric permutation P*A*P^T of a square matrix (rows and columns
+ * both reordered by @p perm).
+ */
+CooMatrix permuteSymmetric(const CooMatrix &m,
+                           const std::vector<Index> &perm);
+
+/** Row-only permutation P*A (any shape). */
+CooMatrix permuteRows(const CooMatrix &m,
+                      const std::vector<Index> &perm);
+
+/**
+ * Permutation sorting rows by descending non-zero count (the
+ * balance-friendly order for row-distributed accelerators).
+ */
+std::vector<Index> rowLengthOrder(const CooMatrix &m);
+
+/**
+ * Reverse Cuthill-McKee ordering of a square matrix (computed on the
+ * symmetrized adjacency A + A^T): a bandwidth-reducing ordering that
+ * pulls scattered structure into a band around the diagonal.
+ */
+std::vector<Index> reverseCuthillMcKee(const CooMatrix &m);
+
+/**
+ * Matrix bandwidth: max |r - c| over the non-zeros (0 for empty).
+ */
+Index matrixBandwidth(const CooMatrix &m);
+
+} // namespace spasm
+
+#endif // SPASM_SPARSE_REORDER_HH

@@ -1,0 +1,81 @@
+#include "sparse/spy.hh"
+
+#include <algorithm>
+#include <fstream>
+
+#include "support/logging.hh"
+
+namespace spasm {
+
+std::vector<double>
+spyRaster(const CooMatrix &m, int resolution)
+{
+    spasm_assert(resolution >= 1 && resolution <= 4096);
+    std::vector<double> raster(
+        static_cast<std::size_t>(resolution) * resolution, 0.0);
+    if (m.rows() == 0 || m.cols() == 0 || m.nnz() == 0)
+        return raster;
+
+    const double row_scale =
+        static_cast<double>(resolution) / m.rows();
+    const double col_scale =
+        static_cast<double>(resolution) / m.cols();
+    for (const auto &t : m.entries()) {
+        const int r = std::min<int>(resolution - 1,
+                                    static_cast<int>(t.row *
+                                                     row_scale));
+        const int c = std::min<int>(resolution - 1,
+                                    static_cast<int>(t.col *
+                                                     col_scale));
+        raster[static_cast<std::size_t>(r) * resolution + c] += 1.0;
+    }
+    const double peak =
+        *std::max_element(raster.begin(), raster.end());
+    if (peak > 0.0) {
+        for (double &v : raster)
+            v /= peak;
+    }
+    return raster;
+}
+
+void
+writeSpyPgm(const CooMatrix &m, const std::string &path,
+            int resolution)
+{
+    const auto raster = spyRaster(m, resolution);
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        spasm_fatal("cannot open '%s' for writing", path.c_str());
+    out << "P5\n" << resolution << ' ' << resolution << "\n255\n";
+    for (double v : raster) {
+        // Dark pixels for dense regions, like the paper's figures.
+        const unsigned char pixel = static_cast<unsigned char>(
+            255.0 * (1.0 - v) + 0.5);
+        out.put(static_cast<char>(pixel));
+    }
+    if (!out)
+        spasm_fatal("I/O error writing '%s'", path.c_str());
+}
+
+std::string
+spyAscii(const CooMatrix &m, int resolution)
+{
+    const auto raster = spyRaster(m, resolution);
+    static const char levels[] = {' ', '.', ':', '*', '#'};
+    std::string out;
+    out.reserve(static_cast<std::size_t>(resolution) *
+                (resolution + 1));
+    for (int r = 0; r < resolution; ++r) {
+        for (int c = 0; c < resolution; ++c) {
+            const double v =
+                raster[static_cast<std::size_t>(r) * resolution + c];
+            const int level = std::min<int>(
+                4, static_cast<int>(v > 0.0 ? 1 + v * 3.999 : 0.0));
+            out += levels[level];
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace spasm

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Spy plots: occupancy images of a sparse matrix (Table II's GC
+ * pictures).  Renders the matrix as a grayscale PGM (binary P5)
+ * raster or an ASCII thumbnail; each pixel's intensity reflects the
+ * non-zero density of the corresponding submatrix region.
+ */
+
+#ifndef SPASM_SPARSE_SPY_HH
+#define SPASM_SPARSE_SPY_HH
+
+#include <string>
+
+#include "sparse/coo.hh"
+
+namespace spasm {
+
+/**
+ * Render a resolution x resolution density raster of @p m:
+ * out[r * resolution + c] in [0, 1] is the relative density of the
+ * corresponding region (normalized by the densest region).
+ */
+std::vector<double> spyRaster(const CooMatrix &m, int resolution);
+
+/** Write the raster as a binary PGM image (dark = dense). */
+void writeSpyPgm(const CooMatrix &m, const std::string &path,
+                 int resolution = 256);
+
+/** ASCII thumbnail (rows of ' ', '.', ':', '*', '#'). */
+std::string spyAscii(const CooMatrix &m, int resolution = 32);
+
+} // namespace spasm
+
+#endif // SPASM_SPARSE_SPY_HH

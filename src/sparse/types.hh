@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Common scalar/index types and the triplet building block shared by all
+ * sparse-matrix formats in the repository.
+ */
+
+#ifndef SPASM_SPARSE_TYPES_HH
+#define SPASM_SPARSE_TYPES_HH
+
+#include <cstdint>
+
+namespace spasm {
+
+/** Row/column index type (32-bit, as assumed by the storage models). */
+using Index = std::int32_t;
+
+/** Count type for non-zeros (matrices in the suite reach 5.3e7 nnz). */
+using Count = std::int64_t;
+
+/** Value type; the paper's accelerator computes in fp32. */
+using Value = float;
+
+/** One (row, col, value) entry of a sparse matrix. */
+struct Triplet
+{
+    Index row = 0;
+    Index col = 0;
+    Value val = 0.0f;
+
+    Triplet() = default;
+    Triplet(Index r, Index c, Value v) : row(r), col(c), val(v) {}
+
+    /** Row-major ordering used to canonicalize COO streams. */
+    friend bool
+    operator<(const Triplet &a, const Triplet &b)
+    {
+        if (a.row != b.row)
+            return a.row < b.row;
+        return a.col < b.col;
+    }
+
+    friend bool
+    operator==(const Triplet &a, const Triplet &b)
+    {
+        return a.row == b.row && a.col == b.col && a.val == b.val;
+    }
+};
+
+} // namespace spasm
+
+#endif // SPASM_SPARSE_TYPES_HH

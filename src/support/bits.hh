@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Bit-manipulation helpers used throughout the pattern engine.
+ *
+ * Local patterns and template patterns are represented as bitmasks over a
+ * PxP grid (P <= 4), packed row-major into the low P*P bits of a 16-bit
+ * word: bit (r * P + c) is set iff cell (r, c) is non-zero.
+ */
+
+#ifndef SPASM_SUPPORT_BITS_HH
+#define SPASM_SUPPORT_BITS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace spasm {
+
+/** Count set bits. */
+inline int
+popcount(std::uint32_t v)
+{
+    return std::popcount(v);
+}
+
+/** Index of the lowest set bit; undefined for v == 0. */
+inline int
+lowestSetBit(std::uint32_t v)
+{
+    return std::countr_zero(v);
+}
+
+/** Extract the bit field [lo, lo+width) of v. */
+inline std::uint32_t
+bitField(std::uint32_t v, int lo, int width)
+{
+    return (v >> lo) & ((1u << width) - 1u);
+}
+
+/** Insert value into bit field [lo, lo+width) of v and return result. */
+inline std::uint32_t
+insertBitField(std::uint32_t v, int lo, int width, std::uint32_t value)
+{
+    const std::uint32_t mask = ((1u << width) - 1u) << lo;
+    return (v & ~mask) | ((value << lo) & mask);
+}
+
+/** Test bit i of v. */
+inline bool
+testBit(std::uint32_t v, int i)
+{
+    return (v >> i) & 1u;
+}
+
+/** Round x up to the next multiple of m (m > 0). */
+inline std::uint64_t
+roundUp(std::uint64_t x, std::uint64_t m)
+{
+    return (x + m - 1) / m * m;
+}
+
+/** Ceiling division for non-negative integers. */
+inline std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace spasm
+
+#endif // SPASM_SUPPORT_BITS_HH

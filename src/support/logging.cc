@@ -1,0 +1,81 @@
+#include "support/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace spasm {
+
+namespace {
+
+bool inform_enabled = true;
+
+void
+vreport(const char *tag, const char *file, int line, const char *fmt,
+        va_list args)
+{
+    std::fflush(stdout);
+    if (file) {
+        std::fprintf(stderr, "%s: %s:%d: ", tag, file, line);
+    } else {
+        std::fprintf(stderr, "%s: ", tag);
+    }
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+}
+
+} // namespace
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("panic", file, line, fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("fatal", file, line, fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("warn", nullptr, 0, fmt, args);
+    va_end(args);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (!inform_enabled)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vreport("info", nullptr, 0, fmt, args);
+    va_end(args);
+}
+
+void
+setInformEnabled(bool enabled)
+{
+    inform_enabled = enabled;
+}
+
+bool
+informEnabled()
+{
+    return inform_enabled;
+}
+
+} // namespace spasm

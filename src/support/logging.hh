@@ -1,0 +1,62 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * Two classes of error are distinguished, following the gem5 convention:
+ *  - panic():  something happened that should never happen regardless of
+ *              user input, i.e. a bug in this library.  Aborts.
+ *  - fatal():  the run cannot continue because of a user-level condition
+ *              (bad configuration, malformed input file).  Exits cleanly
+ *              with a non-zero status.
+ * Non-terminating channels: warn() and inform().
+ */
+
+#ifndef SPASM_SUPPORT_LOGGING_HH
+#define SPASM_SUPPORT_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace spasm {
+
+/** Terminate with a bug-level diagnostic (calls std::abort). */
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt,
+                            ...);
+
+/** Terminate with a user-level diagnostic (calls std::exit(1)). */
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt,
+                            ...);
+
+/** Print a non-fatal warning to stderr. */
+void warn(const char *fmt, ...);
+
+/** Print an informational message to stderr. */
+void inform(const char *fmt, ...);
+
+/** Enable/disable inform() output (benches silence it). */
+void setInformEnabled(bool enabled);
+
+/** @return whether inform() output is currently enabled. */
+bool informEnabled();
+
+} // namespace spasm
+
+#define spasm_panic(...) \
+    ::spasm::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+#define spasm_fatal(...) \
+    ::spasm::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/**
+ * Invariant check that is kept in release builds.  Use for cheap checks
+ * guarding internal invariants; violations are library bugs.
+ */
+#define spasm_assert(cond, ...)                                          \
+    do {                                                                 \
+        if (!(cond)) {                                                   \
+            ::spasm::panicImpl(__FILE__, __LINE__,                       \
+                               "assertion failed: %s", #cond);           \
+        }                                                                \
+    } while (0)
+
+#endif // SPASM_SUPPORT_LOGGING_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All synthetic workloads are generated from explicitly seeded xoshiro256**
+ * streams so that every experiment in the repository is bit-reproducible
+ * across runs and machines.  SplitMix64 is used to expand a single seed
+ * into the four xoshiro state words, per the reference implementations.
+ */
+
+#ifndef SPASM_SUPPORT_RANDOM_HH
+#define SPASM_SUPPORT_RANDOM_HH
+
+#include <cstdint>
+
+namespace spasm {
+
+/** SplitMix64 stepping function; used for seeding. */
+std::uint64_t splitMix64(std::uint64_t &state);
+
+/**
+ * xoshiro256** generator.  Small, fast, and deterministic; satisfies the
+ * UniformRandomBitGenerator requirements so it can also feed <random>
+ * distributions if ever needed.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x5eed5eedULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    /** Next raw 64-bit value. */
+    result_type operator()();
+
+    /** Uniform integer in [0, bound); bound must be > 0. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool nextBool(double p);
+
+    /** Approximate normal draw (sum of uniforms), mean 0, stddev 1. */
+    double nextGaussian();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace spasm
+
+#endif // SPASM_SUPPORT_RANDOM_HH

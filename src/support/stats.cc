@@ -1,0 +1,100 @@
+#include "support/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace spasm {
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        spasm_assert(v > 0.0);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+minOf(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    return *std::min_element(values.begin(), values.end());
+}
+
+double
+maxOf(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    return *std::max_element(values.begin(), values.end());
+}
+
+double
+stddev(const std::vector<double> &values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    const double m = mean(values);
+    double acc = 0.0;
+    for (double v : values)
+        acc += (v - m) * (v - m);
+    return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+void
+SummaryStats::add(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    sum_ += v;
+    logSum_ += std::log(v);
+    ++count_;
+}
+
+double
+SummaryStats::min() const
+{
+    return min_;
+}
+
+double
+SummaryStats::max() const
+{
+    return max_;
+}
+
+double
+SummaryStats::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+SummaryStats::geomean() const
+{
+    return count_ ? std::exp(logSum_ / static_cast<double>(count_)) : 0.0;
+}
+
+} // namespace spasm

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Summary-statistics helpers used by the benchmark harness.
+ */
+
+#ifndef SPASM_SUPPORT_STATS_HH
+#define SPASM_SUPPORT_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace spasm {
+
+/** Geometric mean of a list of positive values; 0 for an empty list. */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean; 0 for an empty list. */
+double mean(const std::vector<double> &values);
+
+/** Minimum; 0 for an empty list. */
+double minOf(const std::vector<double> &values);
+
+/** Maximum; 0 for an empty list. */
+double maxOf(const std::vector<double> &values);
+
+/** Population standard deviation; 0 for fewer than two values. */
+double stddev(const std::vector<double> &values);
+
+/**
+ * Streaming accumulator for min / max / mean / geomean over a sequence
+ * of positive samples.
+ */
+class SummaryStats
+{
+  public:
+    /** Add one sample (must be > 0 for the geomean to be meaningful). */
+    void add(double v);
+
+    std::size_t count() const { return count_; }
+    double min() const;
+    double max() const;
+    double mean() const;
+    double geomean() const;
+
+  private:
+    std::size_t count_ = 0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+    double logSum_ = 0.0;
+};
+
+} // namespace spasm
+
+#endif // SPASM_SUPPORT_STATS_HH

@@ -1,0 +1,140 @@
+#include "support/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "support/logging.hh"
+
+namespace spasm {
+
+TextTable::TextTable(std::string title)
+    : title_(std::move(title))
+{
+}
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (!header_.empty() && row.size() != header_.size()) {
+        spasm_panic("row width %zu does not match header width %zu",
+                    row.size(), header_.size());
+    }
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::fmtX(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*fx", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::fmtSci(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+    return buf;
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string> &row) {
+        if (widths.size() < row.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    if (!header_.empty())
+        grow(header_);
+    for (const auto &row : rows_)
+        grow(row);
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            os << row[i];
+            if (i + 1 < row.size()) {
+                os << std::string(widths[i] - row[i].size() + 2, ' ');
+            }
+        }
+        os << '\n';
+    };
+
+    if (!title_.empty()) {
+        os << title_ << '\n'
+           << std::string(title_.size(), '=') << '\n';
+    }
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < widths.size(); ++i)
+            total += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &row : rows_)
+        emit(row);
+    os.flush();
+}
+
+void
+TextTable::exportCsv(const std::string &stem) const
+{
+    const char *dir = std::getenv("SPASM_CSV_DIR");
+    if (!dir)
+        return;
+    CsvWriter csv(std::string(dir) + "/" + stem + ".csv");
+    if (!header_.empty())
+        csv.writeRow(header_);
+    for (const auto &row : rows_)
+        csv.writeRow(row);
+}
+
+struct CsvWriter::Impl
+{
+    std::ofstream out;
+};
+
+CsvWriter::CsvWriter(const std::string &path)
+    : impl_(new Impl)
+{
+    impl_->out.open(path);
+    if (!impl_->out)
+        spasm_fatal("cannot open CSV output file '%s'", path.c_str());
+}
+
+CsvWriter::~CsvWriter()
+{
+    delete impl_;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &row)
+{
+    for (std::size_t i = 0; i < row.size(); ++i) {
+        impl_->out << row[i];
+        if (i + 1 < row.size())
+            impl_->out << ',';
+    }
+    impl_->out << '\n';
+}
+
+} // namespace spasm

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Column-aligned text tables and CSV emission for the benchmark harness.
+ *
+ * Every bench binary prints the rows/series of the paper table or figure
+ * it reproduces; TextTable keeps that output readable and diffable.
+ */
+
+#ifndef SPASM_SUPPORT_TABLE_HH
+#define SPASM_SUPPORT_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace spasm {
+
+/** A simple column-aligned text table with an optional title. */
+class TextTable
+{
+  public:
+    /** @param title Printed above the table, underlined. */
+    explicit TextTable(std::string title = "");
+
+    /** Set the column headers; defines the column count. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one row; must match the header width if one is set. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string fmt(double v, int precision = 2);
+
+    /** Convenience: format as "N.NNx" speedup notation. */
+    static std::string fmtX(double v, int precision = 2);
+
+    /** Convenience: scientific notation like the paper's nnz column. */
+    static std::string fmtSci(double v, int precision = 2);
+
+    /** Render the table to a stream. */
+    void print(std::ostream &os) const;
+
+    /**
+     * Additionally write the table (header + rows) as CSV to
+     * `$SPASM_CSV_DIR/<stem>.csv` when that environment variable is
+     * set; a no-op otherwise.  Lets the bench harness double as a
+     * machine-readable figure exporter.
+     */
+    void exportCsv(const std::string &stem) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Write rows as CSV (no quoting; cells must not contain commas). */
+class CsvWriter
+{
+  public:
+    /** Open @p path for writing; fatal() on failure. */
+    explicit CsvWriter(const std::string &path);
+    ~CsvWriter();
+
+    CsvWriter(const CsvWriter &) = delete;
+    CsvWriter &operator=(const CsvWriter &) = delete;
+
+    /** Append one row. */
+    void writeRow(const std::vector<std::string> &row);
+
+  private:
+    struct Impl;
+    Impl *impl_;
+};
+
+} // namespace spasm
+
+#endif // SPASM_SUPPORT_TABLE_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Wall-clock timing for the preprocessing-cost experiments (Table VIII).
+ */
+
+#ifndef SPASM_SUPPORT_TIMER_HH
+#define SPASM_SUPPORT_TIMER_HH
+
+#include <chrono>
+
+namespace spasm {
+
+/** Simple wall-clock stopwatch. */
+class Timer
+{
+  public:
+    Timer() { reset(); }
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Elapsed time in milliseconds since construction or reset(). */
+    double
+    elapsedMs() const
+    {
+        const auto d = Clock::now() - start_;
+        return std::chrono::duration<double, std::milli>(d).count();
+    }
+
+    /** Elapsed time in seconds. */
+    double elapsedSec() const { return elapsedMs() / 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace spasm
+
+#endif // SPASM_SUPPORT_TIMER_HH

@@ -1,0 +1,362 @@
+#include "workloads/generators.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "support/logging.hh"
+#include "support/random.hh"
+
+namespace spasm {
+
+namespace {
+
+/** Non-zero value in (0.1, 1.1); avoids exact zeros being dropped. */
+Value
+randVal(Rng &rng)
+{
+    return static_cast<Value>(0.1 + rng.nextDouble());
+}
+
+} // namespace
+
+CooMatrix
+genBlockGrid(Index n, Index block, int blocks_per_row, double fill,
+             std::uint64_t seed, bool aligned)
+{
+    spasm_assert(n > 0 && block > 0 && blocks_per_row >= 1);
+    spasm_assert(fill > 0.0 && fill <= 1.0);
+    Rng rng(seed);
+    const Index nb = std::max<Index>(1, n / block);
+    std::vector<Triplet> triplets;
+    std::vector<Index> block_cols;
+    for (Index br = 0; br < nb; ++br) {
+        block_cols.clear();
+        block_cols.push_back(br * block); // the diagonal block
+        for (int k = 1; k < blocks_per_row; ++k) {
+            if (aligned) {
+                block_cols.push_back(static_cast<Index>(
+                    rng.nextBounded(nb)) * block);
+            } else {
+                block_cols.push_back(static_cast<Index>(rng.nextBounded(
+                    std::max<Index>(1, n - block))));
+            }
+        }
+        std::sort(block_cols.begin(), block_cols.end());
+        block_cols.erase(
+            std::unique(block_cols.begin(), block_cols.end()),
+            block_cols.end());
+        for (Index col0 : block_cols) {
+            for (Index r = 0; r < block; ++r) {
+                for (Index c = 0; c < block; ++c) {
+                    if (fill >= 1.0 || rng.nextBool(fill)) {
+                        const Index row = br * block + r;
+                        const Index col = col0 + c;
+                        if (row < n && col < n)
+                            triplets.emplace_back(row, col,
+                                                  randVal(rng));
+                    }
+                }
+            }
+        }
+    }
+    return CooMatrix::fromTriplets(n, n, std::move(triplets));
+}
+
+CooMatrix
+genBandedBlocks(Index n, Index block, int half_bandwidth, double fill,
+                std::uint64_t seed)
+{
+    spasm_assert(n > 0 && block > 0 && half_bandwidth >= 0);
+    Rng rng(seed);
+    const Index nb = std::max<Index>(1, n / block);
+    std::vector<Triplet> triplets;
+    for (Index br = 0; br < nb; ++br) {
+        const Index bc_lo = std::max<Index>(0, br - half_bandwidth);
+        const Index bc_hi = std::min<Index>(nb - 1, br + half_bandwidth);
+        for (Index bc = bc_lo; bc <= bc_hi; ++bc) {
+            for (Index r = 0; r < block; ++r) {
+                for (Index c = 0; c < block; ++c) {
+                    if (fill >= 1.0 || rng.nextBool(fill)) {
+                        const Index row = br * block + r;
+                        const Index col = bc * block + c;
+                        if (row < n && col < n)
+                            triplets.emplace_back(row, col,
+                                                  randVal(rng));
+                    }
+                }
+            }
+        }
+    }
+    return CooMatrix::fromTriplets(n, n, std::move(triplets));
+}
+
+CooMatrix
+genStencil(Index n, const std::vector<Index> &offsets)
+{
+    spasm_assert(n > 0);
+    std::vector<Triplet> triplets;
+    Rng rng(0x57e4c11ULL + static_cast<std::uint64_t>(n));
+    for (Index r = 0; r < n; ++r) {
+        for (Index off : offsets) {
+            const Index c = r + off;
+            if (c >= 0 && c < n)
+                triplets.emplace_back(r, c, randVal(rng));
+        }
+    }
+    return CooMatrix::fromTriplets(n, n, std::move(triplets));
+}
+
+CooMatrix
+genRowRuns(Index n, double nnz_per_row, double mean_run,
+           std::uint64_t seed)
+{
+    spasm_assert(n > 0 && nnz_per_row >= 1.0 && mean_run >= 1.0);
+    Rng rng(seed);
+    std::vector<Triplet> triplets;
+    const double p_stop = 1.0 / mean_run;
+    for (Index r = 0; r < n; ++r) {
+        double remaining = nnz_per_row;
+        while (remaining >= 1.0 ||
+               (remaining > 0.0 && rng.nextBool(remaining))) {
+            // Start of a geometric-length run at a random column.
+            Index c = static_cast<Index>(rng.nextBounded(n));
+            do {
+                if (c < n) {
+                    triplets.emplace_back(r, c, randVal(rng));
+                    remaining -= 1.0;
+                }
+                ++c;
+            } while (c < n && remaining > 0.0 && !rng.nextBool(p_stop));
+            if (remaining < 1.0)
+                break;
+        }
+    }
+    return CooMatrix::fromTriplets(n, n, std::move(triplets));
+}
+
+CooMatrix
+genAntiDiagonalBand(Index n, int half_width, double fill,
+                    double scatter_nnz_per_row, std::uint64_t seed,
+                    int scatter_cluster)
+{
+    spasm_assert(n > 0 && half_width >= 0);
+    Rng rng(seed);
+    std::vector<Triplet> triplets;
+    for (Index r = 0; r < n; ++r) {
+        const Index anti = n - 1 - r;
+        for (Index c = std::max<Index>(0, anti - half_width);
+             c <= std::min<Index>(n - 1, anti + half_width); ++c) {
+            if (fill >= 1.0 || rng.nextBool(fill))
+                triplets.emplace_back(r, c, randVal(rng));
+        }
+        double remaining = scatter_nnz_per_row;
+        while (remaining >= 1.0 ||
+               (remaining > 0.0 && rng.nextBool(remaining))) {
+            Index c = static_cast<Index>(rng.nextBounded(n));
+            for (int k = 0; k < scatter_cluster && c < n;
+                 ++k, ++c) {
+                triplets.emplace_back(r, c, randVal(rng));
+                remaining -= 1.0;
+            }
+        }
+    }
+    return CooMatrix::fromTriplets(n, n, std::move(triplets));
+}
+
+CooMatrix
+genAntiDiagonalLines(Index n, int num_lines, double fill,
+                     double scatter_nnz_per_row, std::uint64_t seed,
+                     int scatter_cluster)
+{
+    spasm_assert(n > 0 && num_lines >= 1);
+    Rng rng(seed);
+
+    // The main anti-diagonal plus lines at random offsets, kept at
+    // least 8 apart so their local patterns stay separate.
+    std::vector<Index> offsets{0};
+    int attempts = 0;
+    while (static_cast<int>(offsets.size()) < num_lines &&
+           attempts++ < num_lines * 64) {
+        const Index off = static_cast<Index>(rng.nextBounded(n)) -
+            n / 2;
+        bool ok = true;
+        for (Index o : offsets)
+            ok = ok && std::abs(o - off) >= 8;
+        if (ok)
+            offsets.push_back(off);
+    }
+
+    std::vector<Triplet> triplets;
+    for (Index r = 0; r < n; ++r) {
+        for (Index off : offsets) {
+            const Index c = n - 1 - r + off;
+            if (c >= 0 && c < n &&
+                (fill >= 1.0 || rng.nextBool(fill))) {
+                triplets.emplace_back(r, c, randVal(rng));
+            }
+        }
+        double remaining = scatter_nnz_per_row;
+        while (remaining >= 1.0 ||
+               (remaining > 0.0 && rng.nextBool(remaining))) {
+            Index c = static_cast<Index>(rng.nextBounded(n));
+            for (int k = 0; k < scatter_cluster && c < n;
+                 ++k, ++c) {
+                triplets.emplace_back(r, c, randVal(rng));
+                remaining -= 1.0;
+            }
+        }
+    }
+    return CooMatrix::fromTriplets(n, n, std::move(triplets));
+}
+
+CooMatrix
+genPowerLawGraph(Index n, Count target_nnz, double alpha,
+                 std::uint64_t seed)
+{
+    spasm_assert(n > 1 && target_nnz > 0);
+    Rng rng(seed);
+
+    // Normalize zipf weights so the expected stored-entry count
+    // (two per undirected edge) is about target_nnz.
+    std::vector<double> weight(n);
+    double wsum = 0.0;
+    for (Index v = 0; v < n; ++v) {
+        weight[v] = std::pow(static_cast<double>(v + 1), -alpha);
+        wsum += weight[v];
+    }
+    const double edges = static_cast<double>(target_nnz) / 2.0;
+
+    std::vector<Triplet> triplets;
+    triplets.reserve(static_cast<std::size_t>(target_nnz));
+    for (Index v = 0; v < n; ++v) {
+        const double expected_degree = edges * weight[v] / wsum * 2.0;
+        Count degree = static_cast<Count>(expected_degree);
+        if (rng.nextBool(expected_degree -
+                         static_cast<double>(degree))) {
+            ++degree;
+        }
+        for (Count k = 0; k < degree; ++k) {
+            // Preferential attachment flavour: half the endpoints are
+            // low-index hubs, half are uniform.
+            Index u;
+            if (rng.nextBool(0.5)) {
+                u = static_cast<Index>(
+                    rng.nextBounded(std::max<Index>(1, n / 16)));
+            } else {
+                u = static_cast<Index>(rng.nextBounded(n));
+            }
+            if (u == v)
+                continue;
+            const Value val = randVal(rng);
+            triplets.emplace_back(v, u, val);
+            triplets.emplace_back(u, v, val);
+        }
+    }
+    return CooMatrix::fromTriplets(n, n, std::move(triplets));
+}
+
+CooMatrix
+genScatteredLp(Index n, Count target_nnz, int dense_rows,
+               int dense_cols, std::uint64_t seed, int cluster)
+{
+    spasm_assert(n > 0 && target_nnz >= 0 && cluster >= 1);
+    Rng rng(seed);
+    std::vector<Triplet> triplets;
+    triplets.reserve(static_cast<std::size_t>(target_nnz));
+
+    const Count dense_budget =
+        static_cast<Count>(dense_rows + dense_cols) * n;
+    const Count scatter = std::max<Count>(0, target_nnz - dense_budget);
+    for (Count k = 0; k < scatter;) {
+        const Index r = static_cast<Index>(rng.nextBounded(n));
+        Index c = static_cast<Index>(rng.nextBounded(n));
+        for (int j = 0; j < cluster && c < n && k < scatter;
+             ++j, ++c, ++k) {
+            triplets.emplace_back(r, c, randVal(rng));
+        }
+    }
+    for (int d = 0; d < dense_rows; ++d) {
+        const Index r = static_cast<Index>(rng.nextBounded(n));
+        for (Index c = 0; c < n; ++c)
+            triplets.emplace_back(r, c, randVal(rng));
+    }
+    for (int d = 0; d < dense_cols; ++d) {
+        const Index c = static_cast<Index>(rng.nextBounded(n));
+        for (Index r = 0; r < n; ++r)
+            triplets.emplace_back(r, c, randVal(rng));
+    }
+    return CooMatrix::fromTriplets(n, n, std::move(triplets));
+}
+
+CooMatrix
+genUniformRandom(Index rows, Index cols, Count target_nnz,
+                 std::uint64_t seed)
+{
+    spasm_assert(rows > 0 && cols > 0 && target_nnz >= 0);
+    Rng rng(seed);
+    std::vector<Triplet> triplets;
+    triplets.reserve(static_cast<std::size_t>(target_nnz));
+    for (Count k = 0; k < target_nnz; ++k) {
+        triplets.emplace_back(
+            static_cast<Index>(rng.nextBounded(rows)),
+            static_cast<Index>(rng.nextBounded(cols)), randVal(rng));
+    }
+    return CooMatrix::fromTriplets(rows, cols, std::move(triplets));
+}
+
+CooMatrix
+genDbbMatrix(Index rows, Index cols, Index block, int nnz_per_block,
+             std::uint64_t seed)
+{
+    spasm_assert(rows > 0 && cols > 0 && block > 0);
+    spasm_assert(nnz_per_block >= 1 &&
+                 nnz_per_block <= block * block);
+    Rng rng(seed);
+    std::vector<Triplet> triplets;
+    const Index cells = block * block;
+    std::vector<Index> perm(cells);
+    for (Index br = 0; br * block < rows; ++br) {
+        for (Index bc = 0; bc * block < cols; ++bc) {
+            // Partial Fisher-Yates: pick nnz_per_block distinct
+            // in-block positions.
+            for (Index i = 0; i < cells; ++i)
+                perm[i] = i;
+            for (int k = 0; k < nnz_per_block; ++k) {
+                const Index j = static_cast<Index>(
+                    k + rng.nextBounded(cells - k));
+                std::swap(perm[k], perm[j]);
+                const Index r = br * block + perm[k] / block;
+                const Index c = bc * block + perm[k] % block;
+                if (r < rows && c < cols)
+                    triplets.emplace_back(r, c, randVal(rng));
+            }
+        }
+    }
+    return CooMatrix::fromTriplets(rows, cols, std::move(triplets));
+}
+
+CooMatrix
+genTwoFourMatrix(Index rows, Index cols, std::uint64_t seed)
+{
+    spasm_assert(rows > 0 && cols > 0);
+    Rng rng(seed);
+    std::vector<Triplet> triplets;
+    for (Index r = 0; r < rows; ++r) {
+        for (Index c0 = 0; c0 < cols; c0 += 4) {
+            // Choose 2 distinct positions out of the next 4.
+            const Index a = static_cast<Index>(rng.nextBounded(4));
+            Index b = static_cast<Index>(rng.nextBounded(3));
+            if (b >= a)
+                ++b;
+            for (Index pick : {a, b}) {
+                const Index c = c0 + pick;
+                if (c < cols)
+                    triplets.emplace_back(r, c, randVal(rng));
+            }
+        }
+    }
+    return CooMatrix::fromTriplets(rows, cols, std::move(triplets));
+}
+
+} // namespace spasm

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Structured sparse-matrix generators.
+ *
+ * These produce the synthetic stand-ins for the SuiteSparse workloads
+ * (see DESIGN.md, substitution table): each generator reproduces one of
+ * the structural families the paper's evaluation relies on — aligned
+ * dense blocks (FEM/CFD), banded block stencils, few-diagonal
+ * electromagnetics operators, dense row runs, anti-diagonal bands,
+ * power-law graphs and scattered LP matrices.  All generators are
+ * deterministic in their seed.
+ */
+
+#ifndef SPASM_WORKLOADS_GENERATORS_HH
+#define SPASM_WORKLOADS_GENERATORS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/coo.hh"
+
+namespace spasm {
+
+/**
+ * Dense BxB blocks on a B-aligned grid: each block row holds the
+ * diagonal block plus (blocks_per_row - 1) random off-diagonal blocks.
+ * With fill = 1 every 4x4 local pattern is the full block (raefsky3's
+ * 100% single-pattern histogram); fill < 1 knocks out individual
+ * cells.  With aligned = false the off-diagonal blocks land at
+ * arbitrary column offsets (FEM meshes whose nodal blocks do not
+ * align with the 4x4 analysis grid).
+ */
+CooMatrix genBlockGrid(Index n, Index block, int blocks_per_row,
+                       double fill, std::uint64_t seed,
+                       bool aligned = true);
+
+/**
+ * Block tridiagonal/banded matrix of dense BxB blocks with
+ * @p half_bandwidth blocks on each side of the diagonal.
+ */
+CooMatrix genBandedBlocks(Index n, Index block, int half_bandwidth,
+                          double fill, std::uint64_t seed);
+
+/**
+ * Point stencil: one entry per (row, row + offset) for each given
+ * diagonal offset (2D/3D finite-difference operators, tmt/t2em).
+ */
+CooMatrix genStencil(Index n, const std::vector<Index> &offsets);
+
+/**
+ * Dense row runs: each row carries runs of consecutive non-zeros with
+ * geometric run lengths (mean @p mean_run), totalling about
+ * @p nnz_per_row entries (Chebyshev-style row-wise patterns).
+ */
+CooMatrix genRowRuns(Index n, double nnz_per_row, double mean_run,
+                     std::uint64_t seed);
+
+/**
+ * Anti-diagonal band: entries clustered around the main anti-diagonal
+ * with the given band half-width plus light scatter (c-73's
+ * anti-diagonal-dominated structure).  Scatter entries are emitted in
+ * horizontal runs of @p scatter_cluster cells.
+ */
+CooMatrix genAntiDiagonalBand(Index n, int half_width,
+                              double fill, double scatter_nnz_per_row,
+                              std::uint64_t seed,
+                              int scatter_cluster = 1);
+
+/**
+ * Parallel anti-diagonal lines: @p num_lines anti-diagonals at
+ * spread-out offsets (the main one plus randomly placed others), each
+ * cell kept with probability @p fill, plus clustered scatter as in
+ * genAntiDiagonalBand.  Unlike a solid band, separated lines produce
+ * anti-diagonal-segment local patterns, the structure the paper
+ * reports for c-73.
+ */
+CooMatrix genAntiDiagonalLines(Index n, int num_lines, double fill,
+                               double scatter_nnz_per_row,
+                               std::uint64_t seed,
+                               int scatter_cluster = 1);
+
+/**
+ * Undirected power-law graph adjacency: degree of vertex v is
+ * proportional to (v+1)^(-alpha), scaled to hit about target_nnz
+ * stored entries (symmetric, no self loops added beyond diagonal).
+ */
+CooMatrix genPowerLawGraph(Index n, Count target_nnz, double alpha,
+                           std::uint64_t seed);
+
+/**
+ * Scattered LP/optimization matrix: uniform random scatter of about
+ * target_nnz entries plus @p dense_rows fully dense rows and
+ * @p dense_cols dense columns (mip1-style extreme imbalance).
+ * Scatter entries are emitted in horizontal runs of @p cluster cells
+ * (LP constraint matrices hit short index ranges, not lone cells).
+ */
+CooMatrix genScatteredLp(Index n, Count target_nnz, int dense_rows,
+                         int dense_cols, std::uint64_t seed,
+                         int cluster = 1);
+
+/** Uniform random sparse matrix with about target_nnz entries. */
+CooMatrix genUniformRandom(Index rows, Index cols, Count target_nnz,
+                           std::uint64_t seed);
+
+/**
+ * Density-Bound Block (DBB) pruned weight matrix (machine-learning
+ * domain, paper section II-A): every BxB block of the dense weight
+ * matrix keeps exactly @p nnz_per_block entries at random positions
+ * (the pruning constraint of bank-balanced / S2TA-style sparsity).
+ */
+CooMatrix genDbbMatrix(Index rows, Index cols, Index block,
+                       int nnz_per_block, std::uint64_t seed);
+
+/**
+ * 2:4 structured sparsity (NVIDIA sparse tensor core constraint):
+ * every aligned group of 4 consecutive row elements keeps exactly 2.
+ */
+CooMatrix genTwoFourMatrix(Index rows, Index cols,
+                           std::uint64_t seed);
+
+} // namespace spasm
+
+#endif // SPASM_WORKLOADS_GENERATORS_HH

@@ -1,0 +1,234 @@
+#include "workloads/suite.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+
+#include "support/logging.hh"
+#include "workloads/generators.hh"
+
+namespace spasm {
+
+Scale
+scaleFromEnv()
+{
+    const char *env = std::getenv("SPASM_SCALE");
+    if (!env)
+        return Scale::Small;
+    const std::string s(env);
+    if (s == "tiny")
+        return Scale::Tiny;
+    if (s == "small")
+        return Scale::Small;
+    if (s == "full")
+        return Scale::Full;
+    spasm_fatal("SPASM_SCALE must be tiny, small or full (got '%s')",
+                env);
+}
+
+Index
+scaleRowCap(Scale scale)
+{
+    switch (scale) {
+      case Scale::Tiny:
+        return 2048;
+      case Scale::Small:
+        return 8192;
+      case Scale::Full:
+        return 1 << 30;
+    }
+    spasm_panic("unknown scale");
+}
+
+namespace {
+
+/** Stable per-name seed. */
+std::uint64_t
+seedOf(const std::string &name)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : name) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+struct Recipe
+{
+    WorkloadInfo info;
+    /** Builds the matrix at the given (scaled) row count. */
+    std::function<CooMatrix(Index rows, std::uint64_t seed)> build;
+};
+
+std::vector<Index>
+stencilOffsets(Index rows, int points)
+{
+    const Index k = std::max<Index>(
+        4, static_cast<Index>(std::sqrt(static_cast<double>(rows))));
+    switch (points) {
+      case 5:
+        return {0, 1, -1, k, -k};
+      case 7:
+        return {0, 1, -1, k, -k, k + 1, -k - 1};
+      case 9:
+        return {0, 1, -1, k - 1, k, k + 1, -k + 1, -k, -k - 1};
+      default:
+        spasm_panic("unsupported stencil point count %d", points);
+    }
+}
+
+const std::vector<Recipe> &
+recipes()
+{
+    static const std::vector<Recipe> table = {
+        {{"mycielskian14", "graph problem", 3.70e6, 2.45e-2, 12287},
+         [](Index rows, std::uint64_t seed) {
+             return genPowerLawGraph(
+                 rows, static_cast<Count>(301.0 * rows), 0.7, seed);
+         }},
+        {{"ex11", "CFD", 1.10e6, 3.97e-3, 16614},
+         [](Index rows, std::uint64_t seed) {
+             return genBlockGrid(rows, 8, 9, 0.95, seed, false);
+         }},
+        {{"raefsky3", "CFD", 1.49e6, 3.31e-3, 21200},
+         [](Index rows, std::uint64_t seed) {
+             return genBlockGrid(rows, 8, 9, 1.0, seed);
+         }},
+        {{"mip1", "optimization problem", 1.04e7, 2.35e-3, 66463},
+         [](Index rows, std::uint64_t seed) {
+             const int dense_rows = std::max<int>(
+                 4, static_cast<int>(60.0 * rows / 66463.0));
+             return genScatteredLp(
+                 rows, static_cast<Count>(96.0 * rows), dense_rows,
+                 dense_rows / 2, seed, /*cluster=*/4);
+         }},
+        {{"rim", "CFD", 1.01e6, 1.99e-3, 22560},
+         [](Index rows, std::uint64_t seed) {
+             return genBandedBlocks(rows, 5, 4, 0.97, seed);
+         }},
+        {{"3dtube", "CFD", 3.24e6, 1.58e-3, 45330},
+         [](Index rows, std::uint64_t seed) {
+             return genBlockGrid(rows, 4, 18, 0.98, seed, false);
+         }},
+        {{"bbmat", "CFD", 1.77e6, 1.18e-3, 38744},
+         [](Index rows, std::uint64_t seed) {
+             return genBlockGrid(rows, 4, 13, 0.85, seed);
+         }},
+        {{"Chebyshev4", "structural problem", 5.38e6, 1.16e-3, 68121},
+         [](Index rows, std::uint64_t seed) {
+             return genRowRuns(rows, 79.0, 12.0, seed);
+         }},
+        {{"Goodwin_054", "CFD", 1.03e6, 9.75e-4, 32510},
+         [](Index rows, std::uint64_t seed) {
+             return genBandedBlocks(rows, 5, 3, 0.91, seed);
+         }},
+        {{"x104", "structural problem", 1.02e7, 8.66e-4, 108384},
+         [](Index rows, std::uint64_t seed) {
+             return genBlockGrid(rows, 3, 33, 0.95, seed);
+         }},
+        {{"cfd2", "CFD", 3.09e6, 2.03e-4, 123440},
+         [](Index rows, std::uint64_t seed) {
+             return genBandedBlocks(rows, 5, 2, 1.0, seed);
+         }},
+        {{"ML_Laplace", "structural problem", 2.77e7, 1.95e-4, 377002},
+         [](Index rows, std::uint64_t seed) {
+             return genBlockGrid(rows, 5, 15, 0.97, seed);
+         }},
+        {{"af_0_k101", "structural problem", 1.76e7, 6.92e-5, 503625},
+         [](Index rows, std::uint64_t seed) {
+             return genBandedBlocks(rows, 5, 3, 1.0, seed);
+         }},
+        {{"PFlow_742", "2D/3D problem", 3.71e7, 6.73e-5, 742793},
+         [](Index rows, std::uint64_t seed) {
+             return genBlockGrid(rows, 4, 13, 0.96, seed);
+         }},
+        {{"c-73", "optimization problem", 1.28e6, 4.46e-5, 169422},
+         [](Index rows, std::uint64_t seed) {
+             return genAntiDiagonalLines(rows, 5, 0.95, 2.8, seed,
+                                         /*scatter_cluster=*/3);
+         }},
+        {{"af_shell10", "structural problem", 5.27e7, 2.32e-5,
+          1508065},
+         [](Index rows, std::uint64_t seed) {
+             return genBandedBlocks(rows, 5, 3, 1.0, seed + 1);
+         }},
+        {{"tmt_sym", "electromagnetics problem", 5.08e6, 9.62e-6,
+          726713},
+         [](Index rows, std::uint64_t) {
+             return genStencil(rows, stencilOffsets(rows, 7));
+         }},
+        {{"tmt_unsym", "electromagnetics problem", 4.58e6, 5.44e-6,
+          917825},
+         [](Index rows, std::uint64_t) {
+             return genStencil(rows, stencilOffsets(rows, 5));
+         }},
+        {{"t2em", "electromagnetics problem", 4.59e6, 5.40e-6, 921632},
+         [](Index rows, std::uint64_t) {
+             return genStencil(rows, stencilOffsets(rows, 5));
+         }},
+        {{"stormG2_1000", "optimization problem", 3.46e6, 4.76e-6,
+          852646},
+         [](Index rows, std::uint64_t seed) {
+             return genScatteredLp(rows,
+                                   static_cast<Count>(4.1 * rows), 0,
+                                   0, seed, /*cluster=*/4);
+         }},
+    };
+    return table;
+}
+
+const Recipe &
+findRecipe(const std::string &name)
+{
+    for (const auto &r : recipes()) {
+        if (r.info.name == name)
+            return r;
+    }
+    spasm_fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace
+
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        for (const auto &r : recipes())
+            out.push_back(r.info.name);
+        return out;
+    }();
+    return names;
+}
+
+const WorkloadInfo &
+workloadInfo(const std::string &name)
+{
+    return findRecipe(name).info;
+}
+
+CooMatrix
+generateWorkload(const std::string &name, Scale scale)
+{
+    const Recipe &recipe = findRecipe(name);
+    Index rows = std::min(recipe.info.fullRows, scaleRowCap(scale));
+    // Keep rows a multiple of 8 so block generators stay aligned.
+    rows = std::max<Index>(64, rows - rows % 8);
+    CooMatrix m = recipe.build(rows, seedOf(name));
+    m.setName(name);
+    return m;
+}
+
+std::vector<CooMatrix>
+generateSuite(Scale scale)
+{
+    std::vector<CooMatrix> out;
+    out.reserve(workloadNames().size());
+    for (const auto &name : workloadNames())
+        out.push_back(generateWorkload(name, scale));
+    return out;
+}
+
+} // namespace spasm

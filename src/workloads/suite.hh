@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The 20-matrix benchmark suite of Table II, regenerated synthetically.
+ *
+ * Each named workload is produced by a structure-matched generator (see
+ * generators.hh and the DESIGN.md substitution table) whose full-scale
+ * dimensions and nnz/row reproduce the SuiteSparse original.  A scale
+ * knob shrinks the row count while preserving per-row structure so the
+ * whole evaluation runs on a laptop; EXPERIMENTS.md records results at
+ * the default (Small) scale.
+ */
+
+#ifndef SPASM_WORKLOADS_SUITE_HH
+#define SPASM_WORKLOADS_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "sparse/coo.hh"
+
+namespace spasm {
+
+/** Workload scale. */
+enum class Scale
+{
+    Tiny,  ///< rows capped at 2048 (unit/integration tests)
+    Small, ///< rows capped at 8192 (default benchmark scale)
+    Full,  ///< the paper's full dimensions
+};
+
+/** Parse SPASM_SCALE (tiny|small|full); default Small. */
+Scale scaleFromEnv();
+
+/** Row cap for a scale (Full returns a no-op cap). */
+Index scaleRowCap(Scale scale);
+
+/** Static metadata for one suite entry (paper's Table II row). */
+struct WorkloadInfo
+{
+    std::string name;
+    std::string domain;
+    double paperNnz = 0.0;
+    double paperDensity = 0.0;
+    Index fullRows = 0;
+};
+
+/** All 20 workload names in Table II order (descending density). */
+const std::vector<std::string> &workloadNames();
+
+/** Metadata for @p name; fatal() if unknown. */
+const WorkloadInfo &workloadInfo(const std::string &name);
+
+/**
+ * Generate workload @p name at @p scale.  Deterministic: the same
+ * (name, scale) always produces the same matrix.
+ */
+CooMatrix generateWorkload(const std::string &name, Scale scale);
+
+/** Generate every workload at @p scale, in suite order. */
+std::vector<CooMatrix> generateSuite(Scale scale);
+
+} // namespace spasm
+
+#endif // SPASM_WORKLOADS_SUITE_HH

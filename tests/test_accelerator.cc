@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Integration tests of the cycle-level accelerator: functional
+ * equivalence with the reference SpMV across hardware configurations,
+ * schedule policies, portfolios and tile sizes, plus statistics
+ * invariants and configuration arithmetic (Table IV).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "hw/accelerator.hh"
+#include "support/random.hh"
+#include "workloads/generators.hh"
+
+namespace spasm {
+namespace {
+
+const PatternGrid grid4{4};
+
+TEST(HwConfig, TableIvChannelAndBandwidthArithmetic)
+{
+    // 1 + G*(X+6) channels at 14.375 GB/s reproduces Table IV.
+    EXPECT_EQ(spasm41().hbmChannels(), 29);
+    EXPECT_EQ(spasm34().hbmChannels(), 31);
+    EXPECT_EQ(spasm32().hbmChannels(), 25);
+    EXPECT_NEAR(spasm41().bandwidthGBs(), 417.0, 1.0);
+    EXPECT_NEAR(spasm34().bandwidthGBs(), 446.0, 1.0);
+    EXPECT_NEAR(spasm32().bandwidthGBs(), 359.0, 1.0);
+}
+
+TEST(HwConfig, TableIvPeakPerformance)
+{
+    EXPECT_NEAR(spasm41().peakGflops(), 129.0, 1.0);
+    EXPECT_NEAR(spasm34().peakGflops(), 102.0, 1.0);
+    EXPECT_NEAR(spasm32().peakGflops(), 96.4, 1.0);
+}
+
+TEST(HwConfig, Names)
+{
+    EXPECT_EQ(spasm41().name(), "SPASM_4_1");
+    EXPECT_EQ(spasm34().name(), "SPASM_3_4");
+    EXPECT_EQ(spasm32().name(), "SPASM_3_2");
+}
+
+TEST(HwConfig, OnChipTileBudgetIsSane)
+{
+    for (const auto &cfg : allHwConfigs()) {
+        EXPECT_GE(cfg.maxTileSizeOnChip(), 1024);
+        EXPECT_LE(cfg.maxTileSizeOnChip(), kMaxTileSize);
+        EXPECT_EQ(cfg.maxTileSizeOnChip() % 4, 0);
+    }
+}
+
+TEST(AcceleratorDeath, RejectsMismatchedPortfolio)
+{
+    const auto m = genBlockGrid(128, 8, 2, 1.0, 1);
+    const auto p0 = candidatePortfolio(0, grid4);
+    const auto p1 = candidatePortfolio(1, grid4);
+    const auto enc = SpasmEncoder(p0, 64).encode(m);
+    Accelerator accel(spasm41(), p1);
+    std::vector<Value> x(m.cols(), 1.0f), y(m.rows(), 0.0f);
+    EXPECT_EXIT(accel.run(enc, x, y), ::testing::ExitedWithCode(1),
+                "different portfolio");
+}
+
+struct SimCase
+{
+    const char *name;
+    int config;       // 0..2 index into allHwConfigs()
+    int portfolio;
+    Index tileSize;
+    SchedulePolicy policy;
+};
+
+class AcceleratorProperty : public ::testing::TestWithParam<SimCase>
+{
+  protected:
+    static std::vector<CooMatrix>
+    matrices()
+    {
+        return {
+            genBlockGrid(1024, 8, 4, 1.0, 1),
+            genBandedBlocks(1024, 4, 3, 0.8, 2),
+            genStencil(1024, {0, 1, -1, 32, -32}),
+            genAntiDiagonalBand(768, 1, 0.9, 1.0, 3),
+            genPowerLawGraph(512, 8000, 0.8, 4),
+            genScatteredLp(1024, 5000, 2, 1, 5),
+        };
+    }
+};
+
+TEST_P(AcceleratorProperty, FunctionalEquivalenceWithReference)
+{
+    const auto &cfg = allHwConfigs()[GetParam().config];
+    const auto p = candidatePortfolio(GetParam().portfolio, grid4);
+    const SpasmEncoder encoder(p, GetParam().tileSize);
+    Accelerator accel(cfg, p);
+
+    Rng rng(77);
+    for (const auto &m : matrices()) {
+        const auto enc = encoder.encode(m);
+        std::vector<Value> x(m.cols());
+        for (auto &v : x)
+            v = static_cast<Value>(rng.nextDouble() * 2.0 - 1.0);
+        std::vector<Value> y(m.rows(), 0.5f);
+        std::vector<Value> ref(m.rows(), 0.5f);
+
+        accel.run(enc, x, y, GetParam().policy);
+        m.spmv(x, ref);
+
+        double max_ref = 1.0;
+        for (Value v : ref)
+            max_ref = std::max(max_ref,
+                               std::abs(static_cast<double>(v)));
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+            ASSERT_NEAR(y[i], ref[i], 1e-4 * max_ref)
+                << m.name() << " row " << i;
+        }
+    }
+}
+
+TEST_P(AcceleratorProperty, StatsInvariants)
+{
+    const auto &cfg = allHwConfigs()[GetParam().config];
+    const auto p = candidatePortfolio(GetParam().portfolio, grid4);
+    const SpasmEncoder encoder(p, GetParam().tileSize);
+    Accelerator accel(cfg, p);
+
+    const auto m = genBandedBlocks(1024, 4, 3, 0.8, 2);
+    const auto enc = encoder.encode(m);
+    std::vector<Value> x(m.cols(), 1.0f), y(m.rows(), 0.0f);
+    const RunStats s = accel.run(enc, x, y, GetParam().policy);
+
+    // Every word is processed exactly once.
+    EXPECT_EQ(s.busyPeCycles, s.totalWords);
+    EXPECT_EQ(s.totalWords,
+              static_cast<std::uint64_t>(enc.numWords()));
+
+    // A PE processes at most one word per cycle.
+    EXPECT_GE(static_cast<double>(s.cycles) * cfg.numPes(),
+              static_cast<double>(s.totalWords));
+
+    // Exact byte accounting for the word streams.
+    EXPECT_DOUBLE_EQ(s.bytesValues, 16.0 * s.totalWords);
+    EXPECT_DOUBLE_EQ(s.bytesPos, 4.0 * s.totalWords);
+
+    // Utilizations are proper fractions.
+    EXPECT_GT(s.bandwidthUtilization, 0.0);
+    EXPECT_LE(s.bandwidthUtilization, 1.0);
+    EXPECT_GT(s.computeUtilization, 0.0);
+    EXPECT_LE(s.computeUtilization, 1.0);
+
+    EXPECT_GT(s.seconds, 0.0);
+    EXPECT_GT(s.gflops, 0.0);
+    EXPECT_LE(s.gflops, cfg.peakGflops() * 1.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AcceleratorProperty,
+    ::testing::Values(
+        SimCase{"c41_p0_t256_lb", 0, 0, 256,
+                SchedulePolicy::LoadBalanced},
+        SimCase{"c41_p0_t1024_rr", 0, 0, 1024,
+                SchedulePolicy::RoundRobin},
+        SimCase{"c34_p1_t512_lb", 1, 1, 512,
+                SchedulePolicy::LoadBalanced},
+        SimCase{"c34_p4_t256_rr", 1, 4, 256,
+                SchedulePolicy::RoundRobin},
+        SimCase{"c32_p2_t128_lb", 2, 2, 128,
+                SchedulePolicy::LoadBalanced},
+        SimCase{"c32_p9_t2048_lb", 2, 9, 2048,
+                SchedulePolicy::LoadBalanced}),
+    [](const ::testing::TestParamInfo<SimCase> &info) {
+        return info.param.name;
+    });
+
+TEST(Accelerator, LoadBalancingHelpsImbalancedMatrix)
+{
+    // Crafted imbalance: alternating heavy/light tile columns whose
+    // period is commensurate with the PE count, the pathological case
+    // for naive round-robin placement (all heavy tiles land on the
+    // same PEs).  Word-balanced chunking must win.
+    Rng rng(9);
+    std::vector<Triplet> trip;
+    const Index T = 128, n = 4096;
+    for (Index tr = 0; tr < n / T; ++tr) {
+        for (Index tc = 0; tc < n / T; ++tc) {
+            const int k = tc % 2 == 0 ? 120 : 8;
+            for (int e = 0; e < k; ++e) {
+                trip.emplace_back(
+                    tr * T + static_cast<Index>(rng.nextBounded(T)),
+                    tc * T + static_cast<Index>(rng.nextBounded(T)),
+                    1.0f);
+            }
+        }
+    }
+    const auto m = CooMatrix::fromTriplets(n, n, std::move(trip));
+    const auto p = candidatePortfolio(0, grid4);
+    const auto enc = SpasmEncoder(p, T).encode(m);
+    Accelerator accel(spasm41(), p);
+
+    std::vector<Value> x(m.cols(), 1.0f);
+    std::vector<Value> y1(m.rows(), 0.0f), y2(m.rows(), 0.0f);
+    const auto balanced =
+        accel.run(enc, x, y1, SchedulePolicy::LoadBalanced);
+    const auto naive =
+        accel.run(enc, x, y2, SchedulePolicy::RoundRobin);
+    EXPECT_LT(balanced.cycles, naive.cycles);
+}
+
+TEST(Accelerator, MoreNnzMoreCycles)
+{
+    const auto p = candidatePortfolio(0, grid4);
+    const SpasmEncoder encoder(p, 256);
+    Accelerator accel(spasm41(), p);
+
+    const auto small = genBlockGrid(1024, 8, 2, 1.0, 3);
+    const auto large = genBlockGrid(1024, 8, 8, 1.0, 3);
+    std::vector<Value> x(1024, 1.0f);
+
+    std::vector<Value> y1(1024, 0.0f), y2(1024, 0.0f);
+    const auto s1 = accel.run(encoder.encode(small), x, y1);
+    const auto s2 = accel.run(encoder.encode(large), x, y2);
+    EXPECT_LT(s1.cycles, s2.cycles);
+}
+
+TEST(Accelerator, OccupancyTimelineIsConsistent)
+{
+    const auto m = genBlockGrid(1024, 8, 4, 1.0, 21);
+    const auto p = candidatePortfolio(0, grid4);
+    const auto enc = SpasmEncoder(p, 256).encode(m);
+    Accelerator accel(spasm41(), p);
+    std::vector<Value> x(m.cols(), 1.0f), y(m.rows(), 0.0f);
+    const auto s = accel.run(enc, x, y);
+
+    ASSERT_FALSE(s.occupancyTimeline.empty());
+    EXPECT_LE(s.occupancyTimeline.size(), 129u);
+    EXPECT_GE(s.occupancyBucketCycles, 16u);
+    double weighted_busy = 0.0;
+    for (double o : s.occupancyTimeline) {
+        EXPECT_GE(o, 0.0);
+        EXPECT_LE(o, 1.0);
+        weighted_busy += o;
+    }
+    // Total occupancy mass approximates busy / (cycles * pes).
+    const double mean_occ =
+        weighted_busy / s.occupancyTimeline.size();
+    const double true_occ = static_cast<double>(s.busyPeCycles) /
+        (static_cast<double>(s.cycles) * spasm41().numPes());
+    EXPECT_NEAR(mean_occ, true_occ, 0.15);
+}
+
+TEST(Accelerator, PrintStatsEmitsAllCounters)
+{
+    const auto m = genBandedBlocks(512, 4, 2, 0.9, 23);
+    const auto p = candidatePortfolio(0, grid4);
+    const auto enc = SpasmEncoder(p, 128).encode(m);
+    Accelerator accel(spasm32(), p);
+    std::vector<Value> x(m.cols(), 1.0f), y(m.rows(), 0.0f);
+    const auto s = accel.run(enc, x, y);
+
+    std::ostringstream os;
+    printStats(os, s);
+    const std::string out = os.str();
+    for (const char *key :
+         {"sim.cycles", "sim.gflops", "sim.stall.value",
+          "hbm.bytes.xvec", "util.bandwidth", "hw.hbm_channels"}) {
+        EXPECT_NE(out.find(key), std::string::npos) << key;
+    }
+}
+
+TEST(Accelerator, RepeatedRunsAreDeterministic)
+{
+    const auto m = genPowerLawGraph(512, 6000, 0.8, 13);
+    const auto p = candidatePortfolio(0, grid4);
+    const auto enc = SpasmEncoder(p, 128).encode(m);
+    Accelerator accel(spasm34(), p);
+    std::vector<Value> x(m.cols(), 0.5f);
+
+    std::vector<Value> y1(m.rows(), 0.0f), y2(m.rows(), 0.0f);
+    const auto s1 = accel.run(enc, x, y1);
+    const auto s2 = accel.run(enc, x, y2);
+    EXPECT_EQ(s1.cycles, s2.cycles);
+    EXPECT_EQ(y1, y2);
+}
+
+} // namespace
+} // namespace spasm

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the baseline accelerator models: platform constants
+ * (Table III / VII), metric consistency, and the structural
+ * sensitivities each model must exhibit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/baseline.hh"
+#include "workloads/generators.hh"
+
+namespace spasm {
+namespace {
+
+CsrMatrix
+csrOf(const CooMatrix &m)
+{
+    return CsrMatrix::fromCoo(m);
+}
+
+TEST(Baseline, TableIiiPlatformConstants)
+{
+    HiSparseModel hi;
+    EXPECT_EQ(hi.spec().name, "HiSparse");
+    EXPECT_NEAR(hi.spec().freqMhz, 237.0, 1e-9);
+    EXPECT_NEAR(hi.spec().bandwidthGBs, 273.0, 1e-9);
+    EXPECT_NEAR(hi.spec().peakGflops, 60.7, 1e-9);
+
+    SerpensModel s16(16), s24(24);
+    EXPECT_NEAR(s16.spec().bandwidthGBs, 288.0, 1e-9);
+    EXPECT_NEAR(s24.spec().bandwidthGBs, 403.0, 1e-9);
+    EXPECT_NEAR(s16.spec().peakGflops, 72.2, 1e-9);
+    EXPECT_NEAR(s24.spec().peakGflops, 106.0, 1e-9);
+
+    GpuCusparseModel gpu;
+    EXPECT_NEAR(gpu.spec().bandwidthGBs, 935.8, 1e-9);
+    EXPECT_NEAR(gpu.spec().powerW, 333.0, 1e-9);
+}
+
+TEST(Baseline, TableViiPowerConstants)
+{
+    EXPECT_NEAR(HiSparseModel().spec().powerW, 45.0, 1e-9);
+    EXPECT_NEAR(SerpensModel(16).spec().powerW, 48.0, 1e-9);
+}
+
+TEST(Baseline, MetricsAreConsistent)
+{
+    const auto csr = csrOf(genBandedBlocks(4096, 4, 3, 0.9, 3));
+    for (const auto &model : makeAllBaselines()) {
+        const auto r = model->run(csr);
+        EXPECT_GT(r.seconds, 0.0) << r.platform;
+        EXPECT_GT(r.gflops, 0.0) << r.platform;
+        EXPECT_LE(r.gflops, model->spec().peakGflops) << r.platform;
+        EXPECT_GT(r.bandwidthUtilization, 0.0) << r.platform;
+        EXPECT_LE(r.bandwidthUtilization, 1.0) << r.platform;
+        EXPECT_NEAR(r.bandwidthEfficiency,
+                    r.gflops / model->spec().bandwidthGBs, 1e-9);
+        EXPECT_NEAR(r.energyEfficiency,
+                    r.gflops / model->spec().powerW, 1e-9);
+    }
+}
+
+TEST(Baseline, SerpensA24FasterThanA16)
+{
+    const auto csr = csrOf(genBlockGrid(8192, 8, 6, 1.0, 5));
+    const auto r16 = SerpensModel(16).run(csr);
+    const auto r24 = SerpensModel(24).run(csr);
+    EXPECT_LT(r24.seconds, r16.seconds);
+}
+
+TEST(Baseline, SerpensSuffersFromRowImbalance)
+{
+    // Same nnz, one balanced and one with a few giant rows.
+    const Index n = 4096;
+    const auto balanced = genStencil(n, {0, 1, -1, 64, -64});
+    const Count nnz = balanced.nnz();
+    const auto skewed =
+        genScatteredLp(n, nnz, /*dense_rows=*/4, 0, 7);
+
+    const auto rb = SerpensModel(24).run(csrOf(balanced));
+    const auto rs = SerpensModel(24).run(csrOf(skewed));
+    EXPECT_GT(rb.gflops, rs.gflops);
+}
+
+TEST(Baseline, SerpensShortRowsCostThroughput)
+{
+    // Stencil with 5 nz/row vs block rows with ~40 nz/row at similar
+    // nnz: the per-row switch bubbles hurt the short-row matrix.
+    const auto short_rows = genStencil(8192, {0, 1, -1, 90, -90});
+    const auto long_rows = genBlockGrid(1024, 8, 5, 1.0, 11);
+    const auto rs = SerpensModel(16).run(csrOf(short_rows));
+    const auto rl = SerpensModel(16).run(csrOf(long_rows));
+    EXPECT_GT(rl.gflops, rs.gflops);
+}
+
+TEST(Baseline, HiSparsePaysForTileReloads)
+{
+    // Same row structure, wider matrix -> more column tiles -> slower
+    // per non-zero.
+    const auto narrow = genBandedBlocks(4096, 4, 3, 0.9, 13);
+    auto wide = genUniformRandom(4096, 4096, narrow.nnz(), 13);
+    const auto rn = HiSparseModel().run(csrOf(narrow));
+    const auto rw = HiSparseModel().run(csrOf(wide));
+    EXPECT_GE(rn.gflops, rw.gflops * 0.9);
+}
+
+TEST(Baseline, GpuBeatsFpgaBaselinesOnRegularMatrices)
+{
+    // With an order of magnitude more bandwidth, the 3090 outruns the
+    // FPGA baselines on a large regular matrix (Fig. 12's GPU line).
+    // The matrix must be big enough to amortize the kernel launch.
+    const auto csr = csrOf(genBlockGrid(32768, 8, 8, 1.0, 17));
+    const auto gpu = GpuCusparseModel().run(csr);
+    const auto serpens = SerpensModel(24).run(csr);
+    EXPECT_GT(gpu.gflops, serpens.gflops);
+}
+
+TEST(Baseline, GpuGatherLocalityMatters)
+{
+    // Equal nnz; contiguous columns vs scattered columns.
+    const auto local = genStencil(8192, {0, 1, 2, 3, 4});
+    const auto scattered =
+        genUniformRandom(8192, 8192, local.nnz(), 19);
+    const auto rl = GpuCusparseModel().run(csrOf(local));
+    const auto rs = GpuCusparseModel().run(csrOf(scattered));
+    EXPECT_GT(rl.gflops, rs.gflops);
+}
+
+TEST(Baseline, HiSpmvShrugsOffImbalance)
+{
+    // The imbalance that wrecks Serpens barely moves HiSpMV
+    // (hybrid row distribution), its design goal.
+    const Index n = 4096;
+    const auto balanced = genStencil(n, {0, 1, -1, 64, -64});
+    const auto skewed =
+        genScatteredLp(n, balanced.nnz(), 4, 0, 7);
+
+    SerpensModel serpens(16);
+    HiSpmvModel hispmv;
+    const double serpens_drop =
+        serpens.run(csrOf(balanced)).gflops /
+        serpens.run(csrOf(skewed)).gflops;
+    const double hispmv_drop =
+        hispmv.run(csrOf(balanced)).gflops /
+        hispmv.run(csrOf(skewed)).gflops;
+    EXPECT_LT(hispmv_drop, serpens_drop);
+}
+
+TEST(Baseline, HiSpmvMetricsConsistent)
+{
+    HiSpmvModel hispmv;
+    const auto r =
+        hispmv.run(csrOf(genBandedBlocks(2048, 4, 3, 0.9, 3)));
+    EXPECT_GT(r.gflops, 0.0);
+    EXPECT_LE(r.gflops, hispmv.spec().peakGflops);
+    EXPECT_LE(r.bandwidthUtilization, 1.0);
+}
+
+TEST(Baseline, AllBaselinesOrderedListMatchesPaper)
+{
+    const auto all = makeAllBaselines();
+    ASSERT_EQ(all.size(), 4u);
+    EXPECT_EQ(all[0]->spec().name, "HiSparse");
+    EXPECT_EQ(all[1]->spec().name, "Serpens_a16");
+    EXPECT_EQ(all[2]->spec().name, "Serpens_a24");
+    EXPECT_EQ(all[3]->spec().name, "RTX 3090");
+}
+
+} // namespace
+} // namespace spasm

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for pattern decomposition: the exact memoized set-cover
+ * decomposer, its equivalence with the paper's Listing 1 brute force,
+ * and the instance-emission invariants the encoder relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pattern/decompose.hh"
+#include "support/random.hh"
+
+namespace spasm {
+namespace {
+
+const PatternGrid grid4{4};
+const PatternGrid grid2{2};
+
+TemplatePortfolio
+portfolio(int id)
+{
+    return candidatePortfolio(id, grid4);
+}
+
+TEST(Decompose, SingleTemplateExactMatch)
+{
+    // A full row decomposes into exactly one row template, no padding.
+    auto p = portfolio(0);
+    Decomposer d(p);
+    const auto r = d.decompose(0x000F); // row 0
+    EXPECT_TRUE(r.feasible);
+    EXPECT_EQ(r.numInstances, 1);
+    EXPECT_EQ(r.paddings, 0);
+    ASSERT_EQ(r.templateIds.size(), 1u);
+    EXPECT_EQ(p.templates()[r.templateIds[0]].mask(), 0x000F);
+}
+
+TEST(Decompose, FullBlockNeedsFourTemplatesNoPadding)
+{
+    Decomposer d(portfolio(0));
+    const auto r = d.decompose(0xFFFF);
+    EXPECT_EQ(r.numInstances, 4);
+    EXPECT_EQ(r.paddings, 0);
+}
+
+TEST(Decompose, SingletonCostsThreePaddings)
+{
+    Decomposer d(portfolio(0));
+    const auto r = d.decompose(0x0001);
+    EXPECT_EQ(r.numInstances, 1);
+    EXPECT_EQ(r.paddings, 3);
+}
+
+TEST(Decompose, PaddingFormulaHolds)
+{
+    Decomposer d(portfolio(3));
+    Rng rng(31);
+    for (int i = 0; i < 500; ++i) {
+        const PatternMask m = static_cast<PatternMask>(
+            1 + rng.nextBounded(0xFFFF));
+        const auto r = d.decompose(m);
+        EXPECT_EQ(r.paddings, 4 * r.numInstances - popcount(m));
+    }
+}
+
+TEST(Decompose, MemoizedQueriesAreConsistent)
+{
+    Decomposer d(portfolio(4));
+    const PatternMask m = 0x1248; // anti-diagonal-ish
+    const auto first = d.decompose(m);
+    const auto second = d.decompose(m);
+    EXPECT_EQ(first.numInstances, second.numInstances);
+    EXPECT_EQ(first.templateIds, second.templateIds);
+    EXPECT_EQ(d.paddings(m), first.paddings);
+    EXPECT_EQ(d.numInstances(m), first.numInstances);
+}
+
+TEST(Decompose, AntiDiagonalPortfolioBeatsDiagOnAntiPattern)
+{
+    // The main anti-diagonal pattern.
+    const PatternMask anti = maskFromCells(
+        {{0, 3}, {1, 2}, {2, 1}, {3, 0}}, grid4);
+    Decomposer with_anti(portfolio(1));
+    Decomposer with_diag(portfolio(0));
+    EXPECT_EQ(with_anti.paddings(anti), 0);
+    EXPECT_GT(with_diag.paddings(anti), 0);
+}
+
+// ---------------------------------------------------------------------
+// Brute force (Listing 1) equivalence
+// ---------------------------------------------------------------------
+
+TEST(BruteForce, MatchesDecomposerOnSmallPortfolio)
+{
+    // All 15 non-empty patterns of the 2x2 grid against its
+    // 6-template portfolio: brute force is exhaustive and cheap.
+    const auto p = candidatePortfolio(0, grid2);
+    Decomposer d(p);
+    for (PatternMask m = 1; m < 16; ++m) {
+        const auto fast = d.decompose(m);
+        const auto brute = bruteForceDecompose(m, p);
+        ASSERT_TRUE(brute.feasible) << "mask " << m;
+        EXPECT_EQ(fast.paddings, brute.paddings) << "mask " << m;
+    }
+}
+
+class BruteForceEquivalence : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BruteForceEquivalence, RandomPatternsMatch)
+{
+    const auto p = portfolio(GetParam());
+    Decomposer d(p);
+    Rng rng(1000 + GetParam());
+    for (int i = 0; i < 40; ++i) {
+        const PatternMask m = static_cast<PatternMask>(
+            1 + rng.nextBounded(0xFFFF));
+        const auto fast = d.decompose(m);
+        const auto brute = bruteForceDecompose(m, p);
+        ASSERT_TRUE(fast.feasible);
+        ASSERT_TRUE(brute.feasible);
+        EXPECT_EQ(fast.paddings, brute.paddings)
+            << "portfolio " << GetParam() << " mask " << m;
+        EXPECT_EQ(fast.numInstances, brute.numInstances);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPortfolios, BruteForceEquivalence,
+                         ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------
+// Instance emission invariants (what the encoder depends on)
+// ---------------------------------------------------------------------
+
+class InstanceInvariants : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(InstanceInvariants, ResponsibilitiesPartitionThePattern)
+{
+    const auto p = portfolio(GetParam());
+    Decomposer d(p);
+    Rng rng(7 + GetParam());
+    for (int i = 0; i < 200; ++i) {
+        const PatternMask m = static_cast<PatternMask>(
+            1 + rng.nextBounded(0xFFFF));
+        const auto instances = d.instances(m);
+        ASSERT_FALSE(instances.empty());
+
+        PatternMask seen = 0;
+        for (const auto &inst : instances) {
+            const PatternMask tmask =
+                p.templates()[inst.templateId].mask();
+            // Responsibility cells belong to both the template and
+            // the pattern...
+            EXPECT_EQ(inst.responsibility & ~tmask, 0);
+            EXPECT_EQ(inst.responsibility & ~m, 0);
+            // ...and no cell is claimed twice.
+            EXPECT_EQ(inst.responsibility & seen, 0);
+            seen = static_cast<PatternMask>(
+                seen | inst.responsibility);
+        }
+        // Every pattern cell is claimed exactly once.
+        EXPECT_EQ(seen, m);
+        EXPECT_EQ(static_cast<int>(instances.size()),
+                  d.numInstances(m));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPortfolios, InstanceInvariants,
+                         ::testing::Range(0, 10));
+
+TEST(Decompose, ExhaustiveAllPatternsAgainstPortfolio0)
+{
+    // Full 65535-pattern sweep: optimal cover exists and the padding
+    // identity holds everywhere.
+    const auto p = portfolio(0);
+    Decomposer d(p);
+    for (std::uint32_t m = 1; m <= 0xFFFF; ++m) {
+        const auto mask = static_cast<PatternMask>(m);
+        const int k = d.numInstances(mask);
+        ASSERT_GE(k, 1);
+        ASSERT_LE(k, 4);
+        ASSERT_EQ(d.paddings(mask), 4 * k - popcount(mask));
+    }
+}
+
+} // namespace
+} // namespace spasm

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the SpasmDeployment facade (fixed-portfolio, multi-matrix
+ * deployment model).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/deployment.hh"
+#include "workloads/suite.hh"
+
+namespace spasm {
+namespace {
+
+TEST(Deployment, BuildsFromExpectedSetAndRunsMembers)
+{
+    const auto a = generateWorkload("cfd2", Scale::Tiny);
+    const auto b = generateWorkload("t2em", Scale::Tiny);
+    const auto dep = SpasmDeployment::build({&a, &b});
+
+    for (const CooMatrix *m : {&a, &b}) {
+        const auto prepared = dep.prepare(*m);
+        EXPECT_EQ(prepared.encoded.nnz(), m->nnz());
+        EXPECT_GE(prepared.paddingRate, 0.0);
+
+        const auto x = SpasmFramework::defaultX(m->cols());
+        std::vector<Value> y(m->rows(), 0.0f);
+        const auto stats = dep.execute(prepared, x, y);
+        EXPECT_GT(stats.gflops, 0.0);
+
+        std::vector<Value> ref(m->rows(), 0.0f);
+        m->spmv(x, ref);
+        double scale = 1.0;
+        for (Value v : ref)
+            scale = std::max(scale,
+                             std::abs(static_cast<double>(v)));
+        for (std::size_t i = 0; i < ref.size(); ++i)
+            ASSERT_NEAR(y[i], ref[i], 1e-4 * scale);
+    }
+}
+
+TEST(Deployment, ForeignMatrixStillRunsCorrectly)
+{
+    // Deployment tuned for block matrices; an anti-diagonal matrix
+    // is a foreign input: padding is worse than its own optimum,
+    // but execution stays correct.
+    const auto expected = generateWorkload("raefsky3", Scale::Tiny);
+    const auto dep = SpasmDeployment::build({&expected});
+
+    const auto foreign = generateWorkload("c-73", Scale::Tiny);
+    const auto prepared = dep.prepare(foreign);
+
+    const auto own_dep = SpasmDeployment::build({&foreign});
+    const auto own = own_dep.prepare(foreign);
+    EXPECT_GE(prepared.paddingRate, own.paddingRate);
+
+    const auto x = SpasmFramework::defaultX(foreign.cols());
+    std::vector<Value> y(foreign.rows(), 0.0f);
+    dep.execute(prepared, x, y);
+    std::vector<Value> ref(foreign.rows(), 0.0f);
+    foreign.spmv(x, ref);
+    for (std::size_t i = 0; i < ref.size(); ++i)
+        ASSERT_NEAR(y[i], ref[i], 1e-3);
+}
+
+TEST(Deployment, ExplicitPortfolioConstructor)
+{
+    const SpasmDeployment dep(
+        candidatePortfolio(2, PatternGrid{4}));
+    EXPECT_EQ(dep.portfolio().id(), 2);
+    const auto m = generateWorkload("bbmat", Scale::Tiny);
+    const auto prepared = dep.prepare(m);
+    EXPECT_TRUE(prepared.encoded.toCoo() == m);
+}
+
+TEST(DeploymentDeath, EmptySetIsFatal)
+{
+    EXPECT_EXIT(SpasmDeployment::build({}),
+                ::testing::ExitedWithCode(1), "at least one");
+}
+
+TEST(DeploymentDeath, SmallGridPortfolioIsFatal)
+{
+    EXPECT_EXIT(SpasmDeployment(
+                    candidatePortfolio(0, PatternGrid{2})),
+                ::testing::ExitedWithCode(1), "4x4");
+}
+
+} // namespace
+} // namespace spasm

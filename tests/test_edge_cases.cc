@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Degenerate-input edge cases across the stack: empty matrices,
+ * single-element matrices, single-column shapes, and tiles larger
+ * than the matrix.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/framework.hh"
+#include "hw/accelerator.hh"
+#include "workloads/generators.hh"
+
+namespace spasm {
+namespace {
+
+const PatternGrid grid4{4};
+
+TEST(EdgeCases, EmptyMatrixThroughAccelerator)
+{
+    const CooMatrix m(256, 256);
+    const auto p = candidatePortfolio(0, grid4);
+    const auto enc = SpasmEncoder(p, 64).encode(m);
+    Accelerator accel(spasm41(), p);
+    std::vector<Value> x(256, 1.0f), y(256, 3.0f);
+    const auto stats = accel.run(enc, x, y);
+    EXPECT_EQ(stats.totalWords, 0u);
+    EXPECT_EQ(stats.busyPeCycles, 0u);
+    for (Value v : y)
+        EXPECT_FLOAT_EQ(v, 3.0f); // y untouched
+}
+
+TEST(EdgeCases, SingleEntryMatrix)
+{
+    const auto m =
+        CooMatrix::fromTriplets(1, 1, {{0, 0, 2.5f}});
+    const auto p = candidatePortfolio(0, grid4);
+    const auto enc = SpasmEncoder(p, 64).encode(m);
+    EXPECT_EQ(enc.numWords(), 1);
+    EXPECT_EQ(enc.paddings(), 3);
+
+    Accelerator accel(spasm32(), p);
+    std::vector<Value> x{2.0f}, y{1.0f};
+    accel.run(enc, x, y);
+    EXPECT_FLOAT_EQ(y[0], 6.0f);
+}
+
+TEST(EdgeCases, SingleColumnMatrix)
+{
+    std::vector<Triplet> t;
+    for (Index r = 0; r < 37; ++r)
+        t.emplace_back(r, 0, 1.0f);
+    const auto m = CooMatrix::fromTriplets(37, 1, std::move(t));
+    const auto p = candidatePortfolio(0, grid4);
+    const auto enc = SpasmEncoder(p, 64).encode(m);
+    EXPECT_TRUE(enc.toCoo() == m);
+
+    Accelerator accel(spasm41(), p);
+    std::vector<Value> x{4.0f}, y(37, 0.0f);
+    accel.run(enc, x, y);
+    for (Value v : y)
+        EXPECT_FLOAT_EQ(v, 4.0f);
+}
+
+TEST(EdgeCases, TileLargerThanMatrix)
+{
+    const auto m = genBandedBlocks(96, 4, 1, 1.0, 3);
+    const auto p = candidatePortfolio(0, grid4);
+    const auto enc = SpasmEncoder(p, 1024).encode(m);
+    EXPECT_EQ(enc.tiles().size(), 1u);
+
+    Accelerator accel(spasm34(), p);
+    std::vector<Value> x(96, 1.0f), y(96, 0.0f), ref(96, 0.0f);
+    accel.run(enc, x, y);
+    m.spmv(x, ref);
+    for (Index i = 0; i < 96; ++i)
+        EXPECT_NEAR(y[i], ref[i], 1e-4);
+}
+
+TEST(EdgeCases, FrameworkOnTinyMatrix)
+{
+    // The full pipeline (selection, exploration, simulation) must
+    // hold up on a matrix far smaller than any tile size.
+    const auto m = genStencil(16, {0, 1, -1});
+    SpasmFramework fw;
+    const auto out = fw.run(m);
+    EXPECT_EQ(out.pre.encoded.nnz(), m.nnz());
+    EXPECT_LT(out.exec.maxAbsError, 1e-4);
+}
+
+TEST(EdgeCases, WideRectangularMatrix)
+{
+    const auto m = genUniformRandom(64, 4096, 2000, 7);
+    const auto p = candidatePortfolio(0, grid4);
+    const auto enc = SpasmEncoder(p, 256).encode(m);
+    EXPECT_TRUE(enc.toCoo() == m);
+
+    Accelerator accel(spasm41(), p);
+    std::vector<Value> x(4096, 0.5f), y(64, 0.0f), ref(64, 0.0f);
+    accel.run(enc, x, y);
+    m.spmv(x, ref);
+    double scale = 1.0;
+    for (Value v : ref)
+        scale = std::max(scale, std::abs(static_cast<double>(v)));
+    for (Index i = 0; i < 64; ++i)
+        EXPECT_NEAR(y[i], ref[i], 1e-4 * scale);
+}
+
+TEST(EdgeCases, TallRectangularMatrix)
+{
+    const auto m = genUniformRandom(4096, 64, 2000, 9);
+    const auto p = candidatePortfolio(4, grid4);
+    const auto enc = SpasmEncoder(p, 128).encode(m);
+    EXPECT_TRUE(enc.toCoo() == m);
+
+    Accelerator accel(spasm34(), p);
+    std::vector<Value> x(64, 1.5f), y(4096, 0.0f), ref(4096, 0.0f);
+    accel.run(enc, x, y);
+    m.spmv(x, ref);
+    double scale = 1.0;
+    for (Value v : ref)
+        scale = std::max(scale, std::abs(static_cast<double>(v)));
+    for (Index i = 0; i < 4096; ++i)
+        EXPECT_NEAR(y[i], ref[i], 1e-4 * scale);
+}
+
+} // namespace
+} // namespace spasm

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * End-to-end tests of the SPASM framework facade: the full
+ * (1)-(6) pipeline, ablation relationships and an iterative-solver
+ * integration test (preprocess once, execute many times).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/framework.hh"
+#include "workloads/suite.hh"
+
+namespace spasm {
+namespace {
+
+TEST(Framework, EndToEndOnStructuredMatrix)
+{
+    const auto m = generateWorkload("raefsky3", Scale::Tiny);
+    SpasmFramework fw;
+    const auto out = fw.run(m);
+
+    // Pure 8x8 dense blocks: zero paddings, portfolio with blocks.
+    EXPECT_EQ(out.pre.encoded.paddings(), 0);
+    EXPECT_EQ(out.pre.encoded.nnz(), m.nnz());
+
+    EXPECT_GT(out.exec.stats.cycles, 0u);
+    EXPECT_GT(out.exec.stats.gflops, 0.0);
+
+    // Functional correctness end to end.
+    double max_y = 1.0;
+    EXPECT_LT(out.exec.maxAbsError, 1e-3 * std::max(max_y, 1.0));
+}
+
+TEST(Framework, TimingsArePopulated)
+{
+    const auto m = generateWorkload("cfd2", Scale::Tiny);
+    SpasmFramework fw;
+    const auto pre = fw.preprocess(m);
+    EXPECT_GT(pre.timings.analysisMs, 0.0);
+    EXPECT_GT(pre.timings.selectionMs, 0.0);
+    EXPECT_GT(pre.timings.decompositionMs, 0.0);
+    EXPECT_GT(pre.timings.scheduleMs, 0.0);
+    EXPECT_NEAR(pre.timings.totalMs(),
+                pre.timings.analysisMs + pre.timings.selectionMs +
+                    pre.timings.decompositionMs +
+                    pre.timings.scheduleMs,
+                1e-9);
+}
+
+TEST(Framework, AblationFlagsChangeConfiguration)
+{
+    const auto m = generateWorkload("c-73", Scale::Tiny);
+
+    FrameworkOptions fixed;
+    fixed.dynamicTemplateSelection = false;
+    fixed.scheduleExploration = false;
+    const auto pre_fixed = SpasmFramework(fixed).preprocess(m);
+    EXPECT_EQ(pre_fixed.portfolioId, 0);
+    EXPECT_EQ(pre_fixed.schedule.config.name(), "SPASM_4_1");
+    EXPECT_EQ(pre_fixed.schedule.tileSize, 1024);
+
+    const auto pre_full = SpasmFramework().preprocess(m);
+    EXPECT_EQ(pre_full.policy, SchedulePolicy::LoadBalanced);
+    // c-73 is anti-diagonal dominated: dynamic selection must pick an
+    // ADIAG portfolio and encode with fewer paddings.
+    EXPECT_NE(pre_full.portfolio.name().find("ADIAG"),
+              std::string::npos);
+    EXPECT_LT(pre_full.encoded.paddings(),
+              pre_fixed.encoded.paddings());
+}
+
+TEST(Framework, FullPipelineNoSlowerThanAblationBaseline)
+{
+    // On the imbalanced mip1 stand-in, the full framework (schedule
+    // exploration + selection) must beat the fixed baseline.
+    const auto m = generateWorkload("mip1", Scale::Tiny);
+
+    FrameworkOptions fixed;
+    fixed.dynamicTemplateSelection = false;
+    fixed.scheduleExploration = false;
+
+    const auto full = SpasmFramework().run(m);
+    const auto base = SpasmFramework(fixed).run(m);
+    EXPECT_LE(full.exec.stats.seconds, base.exec.stats.seconds);
+}
+
+TEST(Framework, ExecutionIsCorrectAcrossSuiteSample)
+{
+    SpasmFramework fw;
+    for (const char *name :
+         {"raefsky3", "t2em", "c-73", "mycielskian14", "x104"}) {
+        const auto m = generateWorkload(name, Scale::Tiny);
+        const auto out = fw.run(m);
+
+        // Tolerance scaled by the largest |y| (float accumulation).
+        std::vector<Value> x = SpasmFramework::defaultX(m.cols());
+        std::vector<Value> ref(m.rows(), 0.0f);
+        m.spmv(x, ref);
+        double max_ref = 1.0;
+        for (Value v : ref)
+            max_ref = std::max(max_ref,
+                               std::abs(static_cast<double>(v)));
+        EXPECT_LT(out.exec.maxAbsError, 1e-4 * max_ref) << name;
+    }
+}
+
+TEST(Framework, PreprocessOnceExecuteMany)
+{
+    // The amortization story of Table VIII: one preprocess, many
+    // executions with different x vectors, all correct.
+    const auto m = generateWorkload("tmt_sym", Scale::Tiny);
+    SpasmFramework fw;
+    const auto pre = fw.preprocess(m);
+
+    std::vector<Value> x(m.cols(), 1.0f);
+    for (int iter = 0; iter < 5; ++iter) {
+        std::vector<Value> y(m.rows(), 0.0f);
+        const auto exec = fw.execute(pre, m, x, y);
+        EXPECT_LT(exec.maxAbsError, 1e-2) << "iter " << iter;
+        // Feed y back as the next x (power-iteration flavour), with
+        // normalization to avoid overflow.
+        double norm = 0.0;
+        for (Value v : y)
+            norm += static_cast<double>(v) * v;
+        norm = std::sqrt(std::max(norm, 1e-30));
+        for (Index i = 0;
+             i < std::min<Index>(m.cols(), m.rows()); ++i) {
+            x[i] = static_cast<Value>(y[i] / norm);
+        }
+    }
+}
+
+TEST(Framework, DefaultXIsDeterministicAndBounded)
+{
+    const auto a = SpasmFramework::defaultX(1000);
+    const auto b = SpasmFramework::defaultX(1000);
+    EXPECT_EQ(a, b);
+    for (Value v : a) {
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LE(v, 1.0f);
+    }
+}
+
+} // namespace
+} // namespace spasm

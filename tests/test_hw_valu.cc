@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the VALU opcode compiler and datapath (Fig. 8) and the HBM
+ * channel model.
+ *
+ * The headline property: for EVERY one of the 1820 possible 4-cell
+ * templates, executing the literal datapath (multiplier muxes, adder
+ * tree, output muxes) equals the per-row partial sums.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hw/hbm.hh"
+#include "hw/opcode.hh"
+#include "support/random.hh"
+
+namespace spasm {
+namespace {
+
+const PatternGrid grid4{4};
+
+std::array<Value, 4>
+expectedRowSums(const TemplatePattern &temp,
+                const std::array<Value, 4> &vals,
+                const std::array<Value, 4> &xlanes)
+{
+    std::array<Value, 4> out{0, 0, 0, 0};
+    for (int j = 0; j < temp.length(); ++j) {
+        const auto &cell = temp.cells()[j];
+        out[cell.row] += vals[j] * xlanes[cell.col];
+    }
+    return out;
+}
+
+TEST(ValuOpcode, PackUnpackRoundTrip)
+{
+    Rng rng(5);
+    for (const PatternMask mask : allTemplateMasks(grid4)) {
+        const ValuOpcode op =
+            compileOpcode(TemplatePattern(mask, grid4));
+        const ValuOpcode back = ValuOpcode::unpack(op.pack());
+        EXPECT_TRUE(op == back) << "mask " << mask;
+    }
+}
+
+TEST(ValuOpcode, PackFitsInThirtyBits)
+{
+    for (const PatternMask mask : allTemplateMasks(grid4)) {
+        const ValuOpcode op =
+            compileOpcode(TemplatePattern(mask, grid4));
+        EXPECT_LT(op.pack(), 1u << 30) << "mask " << mask;
+    }
+}
+
+TEST(ValuDatapath, AllTemplatesMatchRowSums)
+{
+    Rng rng(11);
+    for (const PatternMask mask : allTemplateMasks(grid4)) {
+        const TemplatePattern temp(mask, grid4);
+        const ValuOpcode op = compileOpcode(temp);
+        for (int trial = 0; trial < 3; ++trial) {
+            std::array<Value, 4> vals, xlanes;
+            for (int j = 0; j < 4; ++j) {
+                vals[j] = static_cast<Value>(
+                    rng.nextDouble() * 4.0 - 2.0);
+                xlanes[j] = static_cast<Value>(
+                    rng.nextDouble() * 4.0 - 2.0);
+            }
+            const auto got = valuEvaluate(op, vals, xlanes);
+            const auto want = expectedRowSums(temp, vals, xlanes);
+            for (int r = 0; r < 4; ++r) {
+                ASSERT_NEAR(got[r], want[r], 1e-5)
+                    << "mask " << mask << " row " << r;
+            }
+        }
+    }
+}
+
+TEST(ValuDatapath, ZeroValuesYieldZeroOutput)
+{
+    // Padding lanes carry zero values and must not disturb the sums.
+    const TemplatePattern temp(0x000F, grid4); // row 0
+    const ValuOpcode op = compileOpcode(temp);
+    const auto out = valuEvaluate(op, {0, 0, 0, 0}, {1, 2, 3, 4});
+    for (int r = 0; r < 4; ++r)
+        EXPECT_EQ(out[r], 0.0f);
+}
+
+TEST(ValuDatapath, RowTemplateSumsWholeRow)
+{
+    const TemplatePattern temp(0x00F0, grid4); // row 1
+    const ValuOpcode op = compileOpcode(temp);
+    const auto out = valuEvaluate(op, {1, 1, 1, 1}, {1, 2, 3, 4});
+    EXPECT_FLOAT_EQ(out[0], 0.0f);
+    EXPECT_FLOAT_EQ(out[1], 10.0f);
+    EXPECT_FLOAT_EQ(out[2], 0.0f);
+    EXPECT_FLOAT_EQ(out[3], 0.0f);
+}
+
+TEST(ValuDatapath, ColumnTemplateBroadcastsLane)
+{
+    // Column 2: each row gets val_j * x[2].
+    const PatternMask col2 = maskFromCells(
+        {{0, 2}, {1, 2}, {2, 2}, {3, 2}}, grid4);
+    const ValuOpcode op = compileOpcode(TemplatePattern(col2, grid4));
+    const auto out = valuEvaluate(op, {1, 2, 3, 4}, {9, 9, 5, 9});
+    EXPECT_FLOAT_EQ(out[0], 5.0f);
+    EXPECT_FLOAT_EQ(out[1], 10.0f);
+    EXPECT_FLOAT_EQ(out[2], 15.0f);
+    EXPECT_FLOAT_EQ(out[3], 20.0f);
+}
+
+// ---------------------------------------------------------------------
+// HBM channel model
+// ---------------------------------------------------------------------
+
+TEST(Hbm, GrantsWithinBudget)
+{
+    HbmChannel ch(10.0);
+    ch.beginCycle();
+    EXPECT_TRUE(ch.tryConsume(8.0));
+    EXPECT_FALSE(ch.tryConsume(8.0));
+    EXPECT_TRUE(ch.tryConsume(2.0));
+}
+
+TEST(Hbm, CreditCarriesAcrossCycles)
+{
+    HbmChannel ch(10.0);
+    ch.beginCycle();
+    EXPECT_TRUE(ch.tryConsume(4.0));
+    ch.beginCycle(); // 6 + 10 = 16 available
+    EXPECT_TRUE(ch.tryConsume(16.0));
+}
+
+TEST(Hbm, BurstCapLimitsAccumulation)
+{
+    HbmChannel ch(10.0, 2.0);
+    for (int i = 0; i < 10; ++i)
+        ch.beginCycle();
+    EXPECT_TRUE(ch.tryConsume(20.0));
+    EXPECT_FALSE(ch.tryConsume(1.0));
+}
+
+TEST(Hbm, ConsumeUpToStreams)
+{
+    HbmChannel ch(10.0);
+    ch.beginCycle();
+    EXPECT_DOUBLE_EQ(ch.consumeUpTo(25.0), 10.0);
+    EXPECT_DOUBLE_EQ(ch.consumeUpTo(25.0), 0.0);
+    ch.beginCycle();
+    EXPECT_DOUBLE_EQ(ch.consumeUpTo(3.0), 3.0);
+}
+
+TEST(Hbm, UtilizationAccounting)
+{
+    HbmChannel ch(10.0);
+    for (int i = 0; i < 10; ++i) {
+        ch.beginCycle();
+        ch.tryConsume(5.0);
+    }
+    EXPECT_EQ(ch.cycles(), 10u);
+    EXPECT_DOUBLE_EQ(ch.totalBytes(), 50.0);
+    EXPECT_NEAR(ch.utilization(), 0.5, 1e-12);
+}
+
+} // namespace
+} // namespace spasm

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the MatrixMarket reader/writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sparse/matrix_market.hh"
+#include "workloads/generators.hh"
+
+namespace spasm {
+namespace {
+
+TEST(MatrixMarket, ParsesGeneralReal)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% a comment line\n"
+        "3 4 3\n"
+        "1 1 1.5\n"
+        "2 3 -2\n"
+        "3 4 7\n");
+    const CooMatrix m = readMatrixMarket(in, "test");
+    EXPECT_EQ(m.rows(), 3);
+    EXPECT_EQ(m.cols(), 4);
+    ASSERT_EQ(m.nnz(), 3);
+    EXPECT_FLOAT_EQ(m.entries()[0].val, 1.5f);
+    EXPECT_EQ(m.entries()[1].row, 1);
+    EXPECT_EQ(m.entries()[1].col, 2);
+}
+
+TEST(MatrixMarket, ExpandsSymmetric)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 3\n"
+        "1 1 1\n"
+        "2 1 5\n"
+        "3 2 6\n");
+    const CooMatrix m = readMatrixMarket(in, "test");
+    // Diagonal stays single; off-diagonals mirrored.
+    EXPECT_EQ(m.nnz(), 5);
+    const auto dense = m.toDense();
+    EXPECT_FLOAT_EQ(dense[0 * 3 + 1], 5.0f);
+    EXPECT_FLOAT_EQ(dense[1 * 3 + 0], 5.0f);
+    EXPECT_FLOAT_EQ(dense[1 * 3 + 2], 6.0f);
+}
+
+TEST(MatrixMarket, ExpandsSkewSymmetric)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+        "2 2 1\n"
+        "2 1 3\n");
+    const CooMatrix m = readMatrixMarket(in, "test");
+    EXPECT_EQ(m.nnz(), 2);
+    const auto dense = m.toDense();
+    EXPECT_FLOAT_EQ(dense[1 * 2 + 0], 3.0f);
+    EXPECT_FLOAT_EQ(dense[0 * 2 + 1], -3.0f);
+}
+
+TEST(MatrixMarket, ParsesPatternField)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "2 2 2\n"
+        "1 2\n"
+        "2 1\n");
+    const CooMatrix m = readMatrixMarket(in, "test");
+    EXPECT_EQ(m.nnz(), 2);
+    EXPECT_FLOAT_EQ(m.entries()[0].val, 1.0f);
+}
+
+TEST(MatrixMarket, WriteReadRoundTrip)
+{
+    const CooMatrix m = genUniformRandom(50, 40, 200, 17);
+    std::ostringstream out;
+    writeMatrixMarket(m, out);
+    std::istringstream in(out.str());
+    const CooMatrix back = readMatrixMarket(in, "roundtrip");
+    EXPECT_EQ(back.rows(), m.rows());
+    EXPECT_EQ(back.cols(), m.cols());
+    ASSERT_EQ(back.nnz(), m.nnz());
+    for (Count i = 0; i < m.nnz(); ++i) {
+        EXPECT_EQ(back.entries()[i].row, m.entries()[i].row);
+        EXPECT_EQ(back.entries()[i].col, m.entries()[i].col);
+        EXPECT_NEAR(back.entries()[i].val, m.entries()[i].val, 1e-5);
+    }
+}
+
+TEST(MatrixMarketDeath, RejectsMissingBanner)
+{
+    std::istringstream in("3 3 0\n");
+    EXPECT_EXIT(readMatrixMarket(in, "bad"),
+                ::testing::ExitedWithCode(1), "banner");
+}
+
+TEST(MatrixMarketDeath, RejectsOutOfRangeEntry)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "3 1 1.0\n");
+    EXPECT_EXIT(readMatrixMarket(in, "bad"),
+                ::testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(MatrixMarketDeath, RejectsTruncatedFile)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 2\n"
+        "1 1 1.0\n");
+    EXPECT_EXIT(readMatrixMarket(in, "bad"),
+                ::testing::ExitedWithCode(1), "expected 2 entries");
+}
+
+} // namespace
+} // namespace spasm

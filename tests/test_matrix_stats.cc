@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for structural statistics, the global-composition classifier
+ * (Table II's GC column) and the spy-plot renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sparse/matrix_stats.hh"
+#include "sparse/spy.hh"
+#include "workloads/generators.hh"
+#include "workloads/suite.hh"
+
+namespace spasm {
+namespace {
+
+TEST(MatrixStats, BasicCounters)
+{
+    const auto m = genStencil(256, {0, 1, -1});
+    const auto s = computeMatrixStats(m);
+    EXPECT_EQ(s.rows, 256);
+    EXPECT_EQ(s.nnz, m.nnz());
+    EXPECT_EQ(s.bandwidth, 1);
+    EXPECT_EQ(s.occupiedDiagonals, 3);
+    EXPECT_NEAR(s.avgRowLength, 3.0, 0.1);
+    EXPECT_NEAR(s.top32DiagonalMass, 1.0, 1e-12);
+    EXPECT_TRUE(s.structurallySymmetric);
+}
+
+TEST(MatrixStats, DetectsAsymmetry)
+{
+    const auto m = CooMatrix::fromTriplets(
+        4, 4, {{0, 1, 1.0f}, {2, 2, 1.0f}});
+    EXPECT_FALSE(computeMatrixStats(m).structurallySymmetric);
+}
+
+TEST(MatrixStats, RowImbalanceMetric)
+{
+    const auto balanced = genStencil(512, {0, 1, -1, 9, -9});
+    const auto skewed = genScatteredLp(512, 2560, 4, 0, 3);
+    EXPECT_LT(computeMatrixStats(balanced).rowLengthCv, 0.5);
+    EXPECT_GT(computeMatrixStats(skewed).rowLengthCv, 2.0);
+}
+
+TEST(MatrixStats, EmptyMatrixIsSafe)
+{
+    const auto s = computeMatrixStats(CooMatrix(16, 16));
+    EXPECT_EQ(s.nnz, 0);
+    EXPECT_EQ(s.bandwidth, 0);
+}
+
+struct GcCase
+{
+    const char *name;
+    CooMatrix (*build)();
+    GcClass expected;
+};
+
+CooMatrix
+gcStencil()
+{
+    return genStencil(1024, {0, 1, -1, 32, -32});
+}
+CooMatrix
+gcBanded()
+{
+    return genBandedBlocks(1024, 5, 3, 1.0, 1);
+}
+CooMatrix
+gcBlockDiag()
+{
+    return genBlockGrid(1024, 8, 1, 1.0, 2); // diagonal blocks only
+}
+CooMatrix
+gcAnti()
+{
+    return genAntiDiagonalLines(1024, 3, 1.0, 0.0, 3);
+}
+CooMatrix
+gcRowDom()
+{
+    return genScatteredLp(2048, 10000, 4, 0, 4);
+}
+CooMatrix
+gcScatter()
+{
+    return genUniformRandom(1024, 1024, 8000, 5);
+}
+
+class GcClassifier : public ::testing::TestWithParam<GcCase>
+{
+};
+
+TEST_P(GcClassifier, MatchesExpectedClass)
+{
+    const auto m = GetParam().build();
+    EXPECT_EQ(classifyGlobalComposition(m), GetParam().expected)
+        << globalCompositionName(classifyGlobalComposition(m));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, GcClassifier,
+    ::testing::Values(
+        GcCase{"stencil", gcStencil, GcClass::Diagonal},
+        GcCase{"banded", gcBanded, GcClass::Banded},
+        GcCase{"blockdiag", gcBlockDiag,
+               GcClass::BlockDiagonal},
+        GcCase{"anti", gcAnti, GcClass::AntiDiagonal},
+        GcCase{"rowdom", gcRowDom, GcClass::RowDominated},
+        GcCase{"scatter", gcScatter, GcClass::Scattered}),
+    [](const auto &info) { return info.param.name; });
+
+TEST(GcClassifier, AllNamesDistinct)
+{
+    EXPECT_NE(globalCompositionName(GcClass::Diagonal),
+              globalCompositionName(GcClass::Banded));
+    EXPECT_EQ(globalCompositionName(GcClass::Scattered),
+              "scattered");
+}
+
+// ---------------------------------------------------------------------
+// Spy plots
+// ---------------------------------------------------------------------
+
+TEST(Spy, RasterHighlightsDiagonal)
+{
+    const auto m = genStencil(512, {0});
+    const auto raster = spyRaster(m, 16);
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_GT(raster[i * 16 + i], 0.9) << i;
+        if (i > 1) {
+            EXPECT_EQ(raster[i * 16 + 0], 0.0) << i;
+        }
+    }
+}
+
+TEST(Spy, RasterNormalizedToPeak)
+{
+    const auto m = genUniformRandom(512, 512, 4000, 9);
+    const auto raster = spyRaster(m, 8);
+    const double peak =
+        *std::max_element(raster.begin(), raster.end());
+    EXPECT_DOUBLE_EQ(peak, 1.0);
+}
+
+TEST(Spy, PgmFileIsWellFormed)
+{
+    const auto m = genBandedBlocks(256, 4, 2, 0.9, 11);
+    const std::string path = "/tmp/spasm_spy_test.pgm";
+    writeSpyPgm(m, path, 32);
+
+    std::ifstream in(path, std::ios::binary);
+    std::string magic;
+    int w = 0, h = 0, maxv = 0;
+    in >> magic >> w >> h >> maxv;
+    EXPECT_EQ(magic, "P5");
+    EXPECT_EQ(w, 32);
+    EXPECT_EQ(h, 32);
+    EXPECT_EQ(maxv, 255);
+    in.get(); // the single whitespace after the header
+    std::vector<char> pixels(32 * 32);
+    in.read(pixels.data(), pixels.size());
+    EXPECT_EQ(in.gcount(), 32 * 32);
+    std::remove(path.c_str());
+}
+
+TEST(Spy, AsciiThumbnailShape)
+{
+    const auto m = genStencil(256, {0});
+    const auto art = spyAscii(m, 8);
+    // 8 rows of 8 chars + newlines.
+    EXPECT_EQ(art.size(), 8u * 9u);
+    // The diagonal is the dense feature.
+    EXPECT_EQ(art[0], '#');
+}
+
+} // namespace
+} // namespace spasm

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Tests for local patterns, Algorithm 2 pattern analysis and the
+ * Table V template library.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pattern/analysis.hh"
+#include "pattern/local_pattern.hh"
+#include "pattern/template_library.hh"
+#include "workloads/generators.hh"
+
+namespace spasm {
+namespace {
+
+const PatternGrid grid4{4};
+const PatternGrid grid3{3};
+const PatternGrid grid2{2};
+
+TEST(LocalPattern, CellRoundTrip)
+{
+    const std::vector<PatternCell> cells{{0, 0}, {1, 2}, {3, 3}};
+    const PatternMask mask = maskFromCells(cells, grid4);
+    EXPECT_EQ(popcount(mask), 3);
+    EXPECT_EQ(patternCells(mask, grid4), cells);
+}
+
+TEST(LocalPattern, BitLayoutIsRowMajor)
+{
+    EXPECT_EQ(grid4.bitOf(0, 0), 0);
+    EXPECT_EQ(grid4.bitOf(0, 3), 3);
+    EXPECT_EQ(grid4.bitOf(1, 0), 4);
+    EXPECT_EQ(grid4.bitOf(3, 3), 15);
+    EXPECT_EQ(grid3.bitOf(2, 2), 8);
+}
+
+TEST(LocalPattern, Render)
+{
+    const PatternMask diag = maskFromCells(
+        {{0, 0}, {1, 1}, {2, 2}, {3, 3}}, grid4);
+    EXPECT_EQ(renderPattern(diag, grid4),
+              "#...\n.#..\n..#.\n...#");
+    EXPECT_EQ(renderPatternFlat(diag, grid4),
+              "#....#....#....#");
+}
+
+TEST(LocalPattern, AllTemplateMaskCounts)
+{
+    // C(16,4) = 1820, C(9,3) = 84, C(4,2) = 6 (section V-C).
+    EXPECT_EQ(allTemplateMasks(grid4).size(), 1820u);
+    EXPECT_EQ(allTemplateMasks(grid3).size(), 84u);
+    EXPECT_EQ(allTemplateMasks(grid2).size(), 6u);
+}
+
+TEST(TemplatePatternDeath, RejectsWrongPopcount)
+{
+    EXPECT_DEATH(TemplatePattern(0x3, grid4), "assertion");
+}
+
+// ---------------------------------------------------------------------
+// Algorithm 2
+// ---------------------------------------------------------------------
+
+TEST(Analysis, SingleDenseBlock)
+{
+    std::vector<Triplet> t;
+    for (Index r = 0; r < 4; ++r) {
+        for (Index c = 0; c < 4; ++c)
+            t.emplace_back(r, c, 1.0f);
+    }
+    auto m = CooMatrix::fromTriplets(8, 8, std::move(t));
+    const auto hist = PatternHistogram::analyze(m, grid4);
+    ASSERT_EQ(hist.distinctPatterns(), 1u);
+    EXPECT_EQ(hist.bins()[0].mask, 0xFFFF);
+    EXPECT_EQ(hist.bins()[0].freq, 1u);
+    EXPECT_EQ(hist.totalOccurrences(), 1u);
+    EXPECT_EQ(hist.totalNonZeros(), 16u);
+}
+
+TEST(Analysis, CountsMultipleSubmatrices)
+{
+    // Diagonal of 12 singletons at stride 4 -> 3 submatrices, each
+    // with a single-cell pattern at (0,0) (bit 0).
+    std::vector<Triplet> t;
+    for (Index i = 0; i < 3; ++i)
+        t.emplace_back(4 * i, 4 * i, 1.0f);
+    auto m = CooMatrix::fromTriplets(12, 12, std::move(t));
+    const auto hist = PatternHistogram::analyze(m, grid4);
+    ASSERT_EQ(hist.distinctPatterns(), 1u);
+    EXPECT_EQ(hist.bins()[0].mask, 1);
+    EXPECT_EQ(hist.bins()[0].freq, 3u);
+}
+
+TEST(Analysis, TotalNonZerosEqualsNnz)
+{
+    const auto m = genBandedBlocks(512, 4, 2, 0.7, 21);
+    for (int p = 2; p <= 4; ++p) {
+        const auto hist = PatternHistogram::analyze(m, PatternGrid{p});
+        EXPECT_EQ(hist.totalNonZeros(),
+                  static_cast<std::uint64_t>(m.nnz()))
+            << "grid " << p;
+    }
+}
+
+TEST(Analysis, BinsSortedByFrequency)
+{
+    const auto m = genPowerLawGraph(512, 8000, 0.8, 5);
+    const auto hist = PatternHistogram::analyze(m, grid4);
+    for (std::size_t i = 1; i < hist.bins().size(); ++i)
+        EXPECT_GE(hist.bins()[i - 1].freq, hist.bins()[i].freq);
+}
+
+TEST(Analysis, CdfMonotonicAndBounded)
+{
+    const auto m = genScatteredLp(512, 4000, 1, 1, 6);
+    const auto hist = PatternHistogram::analyze(m, grid4);
+    const auto cdf = hist.cdf(32);
+    ASSERT_EQ(cdf.size(), 32u);
+    for (std::size_t i = 1; i < cdf.size(); ++i)
+        EXPECT_GE(cdf[i], cdf[i - 1]);
+    EXPECT_LE(cdf.back(), 1.0 + 1e-12);
+    // Full CDF reaches exactly 1.
+    const auto full = hist.cdf(hist.distinctPatterns());
+    EXPECT_NEAR(full.back(), 1.0, 1e-12);
+}
+
+TEST(Analysis, TopNForCoverage)
+{
+    const auto m = genBlockGrid(256, 8, 4, 1.0, 9);
+    const auto hist = PatternHistogram::analyze(m, grid4);
+    // Fully dense blocks: a single pattern covers everything.
+    EXPECT_EQ(hist.topNForCoverage(0.99), 1u);
+}
+
+TEST(Analysis, TopNReturnsRequestedCount)
+{
+    const auto m = genUniformRandom(512, 512, 3000, 8);
+    const auto hist = PatternHistogram::analyze(m, grid4);
+    const auto top = hist.topN(8);
+    EXPECT_LE(top.size(), 8u);
+    if (hist.distinctPatterns() >= 8) {
+        EXPECT_EQ(top.size(), 8u);
+    }
+}
+
+
+TEST(Analysis, ParallelAnalysisIsExact)
+{
+    const auto m = genBlockGrid(2048, 8, 6, 0.9, 77);
+    const PatternGrid grid{4};
+    const auto serial = PatternHistogram::analyze(m, grid, 1);
+    for (int threads : {2, 3, 8}) {
+        const auto parallel =
+            PatternHistogram::analyze(m, grid, threads);
+        ASSERT_EQ(parallel.distinctPatterns(),
+                  serial.distinctPatterns())
+            << threads;
+        EXPECT_EQ(parallel.totalOccurrences(),
+                  serial.totalOccurrences());
+        EXPECT_EQ(parallel.totalNonZeros(), serial.totalNonZeros());
+        for (std::size_t i = 0; i < serial.bins().size(); ++i) {
+            EXPECT_EQ(parallel.bins()[i].mask, serial.bins()[i].mask);
+            EXPECT_EQ(parallel.bins()[i].freq, serial.bins()[i].freq);
+        }
+    }
+}
+
+TEST(Analysis, ParallelHandlesTinyMatrices)
+{
+    // Below the parallel threshold the serial path runs regardless.
+    const auto m = genStencil(64, {0, 1, -1});
+    const auto a = PatternHistogram::analyze(m, PatternGrid{4}, 8);
+    const auto b = PatternHistogram::analyze(m, PatternGrid{4}, 1);
+    EXPECT_EQ(a.totalOccurrences(), b.totalOccurrences());
+}
+
+// ---------------------------------------------------------------------
+// Template library (Table V)
+// ---------------------------------------------------------------------
+
+TEST(TemplateLibrary, FamiliesHaveExpectedSizes)
+{
+    EXPECT_EQ(rowTemplates4().size(), 4u);
+    EXPECT_EQ(colTemplates4().size(), 4u);
+    EXPECT_EQ(blockTemplatesAligned4().size(), 4u);
+    EXPECT_EQ(blockTemplatesShifted4().size(), 4u);
+    EXPECT_EQ(blockTemplatesTorus16().size(), 16u);
+    EXPECT_EQ(diagTemplates4().size(), 4u);
+    EXPECT_EQ(antiDiagTemplates4().size(), 4u);
+}
+
+TEST(TemplateLibrary, EveryTemplateHasFourCells)
+{
+    for (int id = 0; id < numCandidatePortfolios(grid4); ++id) {
+        const auto p = candidatePortfolio(id, grid4);
+        for (const auto &t : p.templates())
+            EXPECT_EQ(popcount(t.mask()), 4) << "portfolio " << id;
+    }
+}
+
+TEST(TemplateLibrary, PortfoliosCoverTheGrid)
+{
+    for (int id = 0; id < numCandidatePortfolios(grid4); ++id) {
+        const auto p = candidatePortfolio(id, grid4);
+        EXPECT_EQ(p.coverageMask(), 0xFFFF) << "portfolio " << id;
+        EXPECT_LE(p.size(), 16) << "portfolio " << id;
+    }
+}
+
+TEST(TemplateLibrary, TableVPortfolioSizes)
+{
+    EXPECT_EQ(candidatePortfolio(0, grid4).size(), 16);
+    EXPECT_EQ(candidatePortfolio(2, grid4).size(), 16);
+    EXPECT_EQ(candidatePortfolio(4, grid4).size(), 16);
+    EXPECT_EQ(candidatePortfolio(9, grid4).size(), 16);
+    EXPECT_EQ(numCandidatePortfolios(grid4), 10);
+}
+
+TEST(TemplateLibrary, TemplatesWithinPortfolioAreDistinct)
+{
+    for (int id = 0; id < numCandidatePortfolios(grid4); ++id) {
+        const auto p = candidatePortfolio(id, grid4);
+        std::set<PatternMask> seen;
+        for (const auto &t : p.templates())
+            seen.insert(t.mask());
+        EXPECT_EQ(seen.size(),
+                  static_cast<std::size_t>(p.size()))
+            << "portfolio " << id;
+    }
+}
+
+TEST(TemplateLibrary, RowTemplatesAreRows)
+{
+    const auto rows = rowTemplates4();
+    EXPECT_EQ(rows[0], 0x000F);
+    EXPECT_EQ(rows[3], 0xF000);
+}
+
+TEST(TemplateLibrary, DiagTemplateIsMainDiagonal)
+{
+    const auto diags = diagTemplates4();
+    EXPECT_EQ(diags[0], maskFromCells(
+        {{0, 0}, {1, 1}, {2, 2}, {3, 3}}, grid4));
+}
+
+TEST(TemplateLibrary, SmallGridPortfolios)
+{
+    const auto p2 = candidatePortfolio(0, grid2);
+    const auto p3 = candidatePortfolio(0, grid3);
+    EXPECT_LE(p2.size(), 16);
+    EXPECT_LE(p3.size(), 16);
+    EXPECT_EQ(p2.coverageMask(), 0xF);
+    EXPECT_EQ(p3.coverageMask(), 0x1FF);
+}
+
+TEST(TemplateLibraryDeath, UncoveringPortfolioIsFatal)
+{
+    // Rows 0 and 1 only: cells of rows 2-3 unencodable.
+    EXPECT_EXIT(TemplatePortfolio(-1, "bad", {0x000F, 0x00F0}, grid4),
+                ::testing::ExitedWithCode(1), "does not cover");
+}
+
+TEST(TemplateLibraryDeath, TooManyTemplatesIsFatal)
+{
+    auto masks = allTemplateMasks(grid4);
+    masks.resize(17);
+    EXPECT_EXIT(TemplatePortfolio(-1, "big", masks, grid4),
+                ::testing::ExitedWithCode(1), "t_idx");
+}
+
+} // namespace
+} // namespace spasm

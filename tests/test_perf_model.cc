@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Tests for the submatrix profile, GC_GEN, tile assignment, the
+ * analytic PERF_MODEL and the Algorithm 4 schedule exploration —
+ * including a correlation check of the model against the cycle-level
+ * simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/accelerator.hh"
+#include "perf/perf_model.hh"
+#include "perf/schedule.hh"
+#include "support/random.hh"
+#include "workloads/generators.hh"
+
+namespace spasm {
+namespace {
+
+const PatternGrid grid4{4};
+
+TEST(Profile, TotalWordsMatchEncoder)
+{
+    const auto m = genBandedBlocks(1024, 4, 3, 0.85, 41);
+    const auto p = candidatePortfolio(0, grid4);
+    const auto profile = buildProfile(m, p);
+    const auto enc = SpasmEncoder(p, 256).encode(m);
+    EXPECT_EQ(profile.totalWords,
+              static_cast<std::uint64_t>(enc.numWords()));
+    EXPECT_EQ(profile.nnz, m.nnz());
+}
+
+TEST(Profile, SubsAreSortedRowMajor)
+{
+    const auto m = genUniformRandom(512, 512, 3000, 43);
+    const auto profile =
+        buildProfile(m, candidatePortfolio(0, grid4));
+    for (std::size_t i = 1; i < profile.subs.size(); ++i) {
+        const auto &a = profile.subs[i - 1];
+        const auto &b = profile.subs[i];
+        EXPECT_TRUE(a.subRow < b.subRow ||
+                    (a.subRow == b.subRow && a.subCol < b.subCol));
+    }
+}
+
+TEST(GcGen, TotalsPreservedAcrossTileSizes)
+{
+    const auto m = genPowerLawGraph(1024, 12000, 0.8, 47);
+    const auto profile =
+        buildProfile(m, candidatePortfolio(0, grid4));
+    for (Index t : {64, 256, 1024, 4096}) {
+        const auto gc = gcGen(profile, t);
+        EXPECT_EQ(gc.totalWords, profile.totalWords) << "T=" << t;
+        EXPECT_GT(gc.tiles.size(), 0u);
+    }
+}
+
+TEST(GcGen, LargerTilesMeanFewerTiles)
+{
+    const auto m = genUniformRandom(2048, 2048, 20000, 53);
+    const auto profile =
+        buildProfile(m, candidatePortfolio(0, grid4));
+    const auto small = gcGen(profile, 128);
+    const auto large = gcGen(profile, 1024);
+    EXPECT_GT(small.tiles.size(), large.tiles.size());
+    EXPECT_GE(small.numTileRows, large.numTileRows);
+}
+
+TEST(GcGen, TilesMatchEncoderTiles)
+{
+    const auto m = genBandedBlocks(512, 4, 2, 0.9, 59);
+    const auto p = candidatePortfolio(0, grid4);
+    const auto profile = buildProfile(m, p);
+    const auto gc = gcGen(profile, 128);
+    const auto enc = SpasmEncoder(p, 128).encode(m);
+
+    ASSERT_EQ(gc.tiles.size(), enc.tiles().size());
+    for (std::size_t i = 0; i < gc.tiles.size(); ++i) {
+        EXPECT_EQ(gc.tiles[i].tileRowIdx,
+                  enc.tiles()[i].tileRowIdx);
+        EXPECT_EQ(gc.tiles[i].tileColIdx,
+                  enc.tiles()[i].tileColIdx);
+        EXPECT_EQ(gc.tiles[i].words, enc.tiles()[i].words.size());
+    }
+}
+
+TEST(AssignTiles, LoadBalancedChunksAreContiguousAndBalanced)
+{
+    std::vector<std::uint64_t> words(100, 10);
+    const auto pe_of =
+        assignTiles(words, 8, SchedulePolicy::LoadBalanced);
+    // Contiguous: PE ids are non-decreasing.
+    for (std::size_t i = 1; i < pe_of.size(); ++i)
+        EXPECT_GE(pe_of[i], pe_of[i - 1]);
+    // Balanced: uniform tiles split near-evenly.
+    std::vector<std::uint64_t> load(8, 0);
+    for (std::size_t i = 0; i < words.size(); ++i)
+        load[pe_of[i]] += words[i];
+    for (int p = 0; p < 8; ++p) {
+        EXPECT_GE(load[p], 100u);
+        EXPECT_LE(load[p], 150u);
+    }
+}
+
+TEST(AssignTiles, RoundRobinInterleaves)
+{
+    std::vector<std::uint64_t> words(10, 1);
+    const auto pe_of =
+        assignTiles(words, 4, SchedulePolicy::RoundRobin);
+    for (std::size_t i = 0; i < words.size(); ++i)
+        EXPECT_EQ(pe_of[i], static_cast<int>(i % 4));
+}
+
+TEST(AssignTiles, HeavyTileDoesNotStarveRest)
+{
+    std::vector<std::uint64_t> words{1000, 1, 1, 1, 1, 1, 1, 1};
+    const auto pe_of =
+        assignTiles(words, 4, SchedulePolicy::LoadBalanced);
+    // The heavy head tile must not drag all light tiles onto PE 0.
+    EXPECT_EQ(pe_of[0], 0);
+    EXPECT_GT(pe_of[1], 0);
+}
+
+TEST(PerfModel, MoreWordsMoreCycles)
+{
+    // Word counts must dominate the fixed x-prefetch/flush overheads
+    // for the monotonicity to be observable.
+    const auto p = candidatePortfolio(0, grid4);
+    const auto small =
+        gcGen(buildProfile(genBlockGrid(4096, 8, 4, 1.0, 3), p), 512);
+    const auto large =
+        gcGen(buildProfile(genBlockGrid(4096, 8, 16, 1.0, 3), p),
+              512);
+    EXPECT_LT(estimateCycles(small, spasm41()),
+              estimateCycles(large, spasm41()));
+}
+
+TEST(PerfModel, LoadBalancedBeatsRoundRobinOnPeriodicImbalance)
+{
+    // Alternating heavy/light tile columns commensurate with the PE
+    // count: round-robin piles all heavy tiles onto the same PEs.
+    Rng rng(9);
+    std::vector<Triplet> trip;
+    const Index T = 128, n = 4096;
+    for (Index tr = 0; tr < n / T; ++tr) {
+        for (Index tc = 0; tc < n / T; ++tc) {
+            // Heavy tiles must carry enough words that the word
+            // bound (not x prefetch) dominates the estimate.
+            const int k = tc % 2 == 0 ? 400 : 8;
+            for (int e = 0; e < k; ++e) {
+                trip.emplace_back(
+                    tr * T + static_cast<Index>(rng.nextBounded(T)),
+                    tc * T + static_cast<Index>(rng.nextBounded(T)),
+                    1.0f);
+            }
+        }
+    }
+    const auto m = CooMatrix::fromTriplets(n, n, std::move(trip));
+    const auto gc =
+        gcGen(buildProfile(m, candidatePortfolio(0, grid4)), T);
+    EXPECT_LT(
+        estimateCycles(gc, spasm41(), SchedulePolicy::LoadBalanced),
+        estimateCycles(gc, spasm41(), SchedulePolicy::RoundRobin));
+}
+
+struct CorrCase
+{
+    const char *name;
+    CooMatrix (*build)();
+    Index tileSize;
+    int config;
+};
+
+CooMatrix
+corrBlocks()
+{
+    return genBlockGrid(2048, 8, 5, 1.0, 61);
+}
+CooMatrix
+corrBanded()
+{
+    return genBandedBlocks(2048, 4, 4, 0.9, 67);
+}
+CooMatrix
+corrStencil()
+{
+    return genStencil(2048, {0, 1, -1, 45, -45});
+}
+CooMatrix
+corrScatter()
+{
+    return genUniformRandom(2048, 2048, 16000, 71);
+}
+
+class ModelSimCorrelation : public ::testing::TestWithParam<CorrCase>
+{
+};
+
+TEST_P(ModelSimCorrelation, ModelWithinFactorTwoOfSimulator)
+{
+    const auto m = GetParam().build();
+    const auto p = candidatePortfolio(0, grid4);
+    const auto &cfg = allHwConfigs()[GetParam().config];
+    const Index T = GetParam().tileSize;
+
+    const auto gc = gcGen(buildProfile(m, p), T);
+    const std::uint64_t est = estimateCycles(gc, cfg);
+
+    const auto enc = SpasmEncoder(p, T).encode(m);
+    Accelerator accel(cfg, p);
+    std::vector<Value> x(m.cols(), 1.0f), y(m.rows(), 0.0f);
+    const auto stats = accel.run(enc, x, y);
+
+    const double ratio = static_cast<double>(stats.cycles) /
+        static_cast<double>(est);
+    EXPECT_GT(ratio, 0.5) << "sim " << stats.cycles << " est " << est;
+    EXPECT_LT(ratio, 2.0) << "sim " << stats.cycles << " est " << est;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrices, ModelSimCorrelation,
+    ::testing::Values(CorrCase{"blocks_t256_c41", corrBlocks, 256, 0},
+                      CorrCase{"banded_t512_c34", corrBanded, 512, 1},
+                      CorrCase{"stencil_t1024_c32", corrStencil, 1024,
+                               2},
+                      CorrCase{"scatter_t512_c41", corrScatter, 512,
+                               0}),
+    [](const ::testing::TestParamInfo<CorrCase> &info) {
+        return info.param.name;
+    });
+
+TEST(Schedule, ExplorationReturnsMinimum)
+{
+    const auto m = genBandedBlocks(2048, 4, 3, 0.85, 73);
+    const auto profile =
+        buildProfile(m, candidatePortfolio(0, grid4));
+    const auto choice = exploreSchedule(profile, allHwConfigs());
+
+    // The winner is no slower than every explicitly evaluated combo.
+    for (Index t : defaultTileSizes()) {
+        const auto gc = gcGen(profile, t);
+        for (const auto &cfg : allHwConfigs()) {
+            if (t > cfg.maxTileSizeOnChip())
+                continue;
+            EXPECT_LE(choice.estSeconds,
+                      estimateSeconds(gc, cfg) * (1.0 + 1e-9))
+                << cfg.name() << " T=" << t;
+        }
+    }
+}
+
+TEST(Schedule, RespectsOnChipBudget)
+{
+    const auto m = genUniformRandom(1024, 1024, 6000, 79);
+    const auto profile =
+        buildProfile(m, candidatePortfolio(0, grid4));
+    const auto choice = exploreSchedule(profile, allHwConfigs());
+    EXPECT_LE(choice.tileSize,
+              choice.config.maxTileSizeOnChip());
+}
+
+} // namespace
+} // namespace spasm

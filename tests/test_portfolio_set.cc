@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for multi-matrix portfolio selection and the portability
+ * metric (the abstract's claim: a portfolio optimized for an expected
+ * set still runs other inputs, at reduced efficiency).
+ */
+
+#include <gtest/gtest.h>
+
+#include "format/spasm_matrix.hh"
+#include "pattern/selection.hh"
+#include "workloads/generators.hh"
+#include "workloads/suite.hh"
+
+namespace spasm {
+namespace {
+
+const PatternGrid grid4{4};
+
+PatternHistogram
+histOf(const CooMatrix &m)
+{
+    return PatternHistogram::analyze(m, grid4);
+}
+
+TEST(PortfolioSet, SingletonSetMatchesSingleSelection)
+{
+    const auto hist = histOf(genStencil(1024, {0, 1, -1, 32, -32}));
+    const auto candidates = allCandidatePortfolios(grid4);
+    const auto single = selectPortfolio(hist, candidates, 64);
+    const auto set = selectPortfolioForSet({hist}, candidates, 64);
+    EXPECT_EQ(set.bestCandidate, single.bestCandidate);
+}
+
+TEST(PortfolioSet, NormalizationGivesMatricesEqualWeight)
+{
+    // A huge diagonal-structured matrix and a small anti-diagonal
+    // one: without normalization the big one would dictate; with
+    // per-nnz normalization a compromise portfolio that serves both
+    // (diag+adiag, portfolio 4) should win or at least not lose to
+    // the diag-only choice on the combined score.
+    const auto big = histOf(genStencil(4096, {0, 17, -17}));
+    const auto small_m = genAntiDiagonalLines(512, 3, 1.0, 0.0, 7);
+    const auto small = histOf(small_m);
+    const auto candidates = allCandidatePortfolios(grid4);
+    const auto set =
+        selectPortfolioForSet({big, small}, candidates, 0);
+
+    // The winner must handle anti-diagonals: it should beat the
+    // DIAG-only portfolio 0 on the small matrix.
+    const auto &winner = candidates[set.bestCandidate];
+    EXPECT_LE(weightedPaddings(small, winner, 0),
+              weightedPaddings(small, candidates[0], 0));
+}
+
+TEST(PortfolioSet, ScoreIsMinimalAmongCandidates)
+{
+    std::vector<PatternHistogram> hists;
+    hists.push_back(histOf(generateWorkload("cfd2", Scale::Tiny)));
+    hists.push_back(histOf(generateWorkload("t2em", Scale::Tiny)));
+    hists.push_back(histOf(generateWorkload("c-73", Scale::Tiny)));
+    const auto candidates = allCandidatePortfolios(grid4);
+    const auto set = selectPortfolioForSet(hists, candidates, 64);
+    for (std::size_t i = 0; i < candidates.size(); ++i)
+        EXPECT_LE(set.bestPaddings, set.candidatePaddings[i]);
+}
+
+TEST(PortfolioSet, ForeignPortfolioIsNoBetterThanOwn)
+{
+    // Core of the portability claim: encoding a matrix with a
+    // portfolio selected for a DIFFERENT matrix can never beat the
+    // matrix's own dynamic selection (it is still encodable, just
+    // padded more).
+    const auto candidates = allCandidatePortfolios(grid4);
+    const std::vector<std::string> names{"raefsky3", "c-73", "t2em",
+                                         "mycielskian14"};
+    std::vector<PatternHistogram> hists;
+    for (const auto &n : names)
+        hists.push_back(histOf(generateWorkload(n, Scale::Tiny)));
+
+    for (std::size_t i = 0; i < hists.size(); ++i) {
+        const auto own = selectPortfolio(hists[i], candidates, 0);
+        for (std::size_t j = 0; j < hists.size(); ++j) {
+            const auto donor =
+                selectPortfolio(hists[j], candidates, 0);
+            EXPECT_GE(weightedPaddings(
+                          hists[i],
+                          candidates[donor.bestCandidate], 0),
+                      own.bestPaddings)
+                << names[i] << " with portfolio of " << names[j];
+        }
+    }
+}
+
+TEST(PortfolioSet, PaddingRateConsistentWithEncoder)
+{
+    const auto m = generateWorkload("bbmat", Scale::Tiny);
+    const auto hist = histOf(m);
+    const auto p = candidatePortfolio(3, grid4);
+    const double rate = paddingRate(hist, p);
+
+    const auto enc = SpasmEncoder(p, 256).encode(m);
+    EXPECT_NEAR(rate, enc.paddingRate(), 1e-12);
+}
+
+TEST(PortfolioSet, PaddingRateBounds)
+{
+    const auto hist = histOf(genUniformRandom(512, 512, 2000, 3));
+    for (const auto &p : allCandidatePortfolios(grid4)) {
+        const double r = paddingRate(hist, p);
+        EXPECT_GE(r, 0.0);
+        EXPECT_LT(r, 1.0);
+    }
+}
+
+} // namespace
+} // namespace spasm

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the reordering utilities: permutation algebra, SpMV
+ * equivalence under symmetric permutation, and RCM's bandwidth
+ * reduction on a shuffled banded matrix.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sparse/reorder.hh"
+#include "support/random.hh"
+#include "workloads/generators.hh"
+
+namespace spasm {
+namespace {
+
+std::vector<Index>
+randomPermutation(Index n, std::uint64_t seed)
+{
+    std::vector<Index> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    Rng rng(seed);
+    for (Index i = n - 1; i > 0; --i) {
+        std::swap(perm[i],
+                  perm[rng.nextBounded(static_cast<Index>(i) + 1)]);
+    }
+    return perm;
+}
+
+TEST(Reorder, IsPermutationDetectsDefects)
+{
+    EXPECT_TRUE(isPermutation({2, 0, 1}));
+    EXPECT_FALSE(isPermutation({0, 0, 1}));
+    EXPECT_FALSE(isPermutation({0, 3, 1}));
+    EXPECT_TRUE(isPermutation({}));
+}
+
+TEST(Reorder, InvertPermutationRoundTrips)
+{
+    const auto perm = randomPermutation(97, 3);
+    const auto inv = invertPermutation(perm);
+    for (Index i = 0; i < 97; ++i)
+        EXPECT_EQ(inv[perm[i]], i);
+}
+
+TEST(Reorder, SymmetricPermutationPreservesSpmv)
+{
+    const auto m = genBandedBlocks(256, 4, 2, 0.8, 5);
+    const auto perm = randomPermutation(m.rows(), 7);
+    const auto pm = permuteSymmetric(m, perm);
+    EXPECT_EQ(pm.nnz(), m.nnz());
+
+    // (P A P^T)(P x) = P (A x).
+    Rng rng(9);
+    std::vector<Value> x(m.cols());
+    for (auto &v : x)
+        v = static_cast<Value>(rng.nextDouble());
+    std::vector<Value> px(x.size());
+    for (Index i = 0; i < m.cols(); ++i)
+        px[perm[i]] = x[i];
+
+    std::vector<Value> y(m.rows(), 0.0f), py(m.rows(), 0.0f);
+    m.spmv(x, y);
+    pm.spmv(px, py);
+    for (Index i = 0; i < m.rows(); ++i)
+        EXPECT_NEAR(py[perm[i]], y[i], 1e-4);
+}
+
+TEST(Reorder, PermuteRowsMovesRows)
+{
+    const auto m = CooMatrix::fromTriplets(
+        3, 2, {{0, 0, 1.0f}, {1, 1, 2.0f}, {2, 0, 3.0f}});
+    const auto pm = permuteRows(m, {2, 0, 1});
+    const auto dense = pm.toDense();
+    EXPECT_FLOAT_EQ(dense[2 * 2 + 0], 1.0f);
+    EXPECT_FLOAT_EQ(dense[0 * 2 + 1], 2.0f);
+    EXPECT_FLOAT_EQ(dense[1 * 2 + 0], 3.0f);
+}
+
+TEST(Reorder, RowLengthOrderSortsDescending)
+{
+    const auto m = genScatteredLp(256, 1500, 2, 0, 11);
+    const auto perm = rowLengthOrder(m);
+    ASSERT_TRUE(isPermutation(perm));
+
+    std::vector<Count> len(m.rows(), 0);
+    for (const auto &t : m.entries())
+        ++len[t.row];
+    const auto inv = invertPermutation(perm);
+    for (Index k = 1; k < m.rows(); ++k)
+        EXPECT_GE(len[inv[k - 1]], len[inv[k]]);
+}
+
+TEST(Reorder, RcmRecoversBandFromShuffledBandedMatrix)
+{
+    // Start banded, shuffle symmetrically, then RCM: the recovered
+    // bandwidth must be far below the shuffled one.
+    const auto banded = genBandedBlocks(512, 4, 2, 1.0, 13);
+    const Index original_bw = matrixBandwidth(banded);
+
+    const auto shuffle = randomPermutation(banded.rows(), 17);
+    const auto shuffled = permuteSymmetric(banded, shuffle);
+    const Index shuffled_bw = matrixBandwidth(shuffled);
+    ASSERT_GT(shuffled_bw, original_bw * 4);
+
+    const auto rcm = reverseCuthillMcKee(shuffled);
+    ASSERT_TRUE(isPermutation(rcm));
+    const auto recovered = permuteSymmetric(shuffled, rcm);
+    EXPECT_LT(matrixBandwidth(recovered), shuffled_bw / 4);
+    EXPECT_EQ(recovered.nnz(), banded.nnz());
+}
+
+TEST(Reorder, RcmHandlesDisconnectedComponents)
+{
+    // Two unconnected blocks plus an isolated vertex.
+    const auto m = CooMatrix::fromTriplets(
+        5, 5,
+        {{0, 1, 1.0f}, {1, 0, 1.0f}, {3, 4, 1.0f}, {4, 3, 1.0f}});
+    const auto perm = reverseCuthillMcKee(m);
+    EXPECT_TRUE(isPermutation(perm));
+}
+
+TEST(Reorder, BandwidthOfDiagonalIsZero)
+{
+    const auto m = genStencil(64, {0});
+    EXPECT_EQ(matrixBandwidth(m), 0);
+    EXPECT_EQ(matrixBandwidth(genStencil(64, {0, 3, -3})), 3);
+}
+
+TEST(ReorderDeath, RcmRejectsRectangular)
+{
+    const auto m = genUniformRandom(10, 20, 30, 1);
+    EXPECT_EXIT(reverseCuthillMcKee(m),
+                ::testing::ExitedWithCode(1), "square");
+}
+
+} // namespace
+} // namespace spasm

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for Algorithm 3 template selection and the greedy portfolio
+ * builder extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pattern/selection.hh"
+#include "workloads/generators.hh"
+
+namespace spasm {
+namespace {
+
+const PatternGrid grid4{4};
+
+TEST(Selection, PicksArgminOfCandidatePaddings)
+{
+    const auto m = genAntiDiagonalBand(512, 1, 0.95, 0.5, 11);
+    const auto hist = PatternHistogram::analyze(m, grid4);
+    const auto candidates = allCandidatePortfolios(grid4);
+    const auto sel = selectPortfolio(hist, candidates, 64);
+
+    ASSERT_GE(sel.bestCandidate, 0);
+    ASSERT_EQ(sel.candidatePaddings.size(), candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i)
+        EXPECT_LE(sel.bestPaddings, sel.candidatePaddings[i]);
+    EXPECT_EQ(sel.candidatePaddings[sel.bestCandidate],
+              sel.bestPaddings);
+}
+
+TEST(Selection, AntiDiagonalMatrixPrefersAntiDiagonalTemplates)
+{
+    // c-73-style structure: dominated by anti-diagonal local patterns
+    // (the section V-F case study).  The winner must contain the
+    // anti-diagonal family; portfolio 0 (diagonal) must lose to
+    // portfolio 1 (anti-diagonal).
+    const auto m = genAntiDiagonalBand(1024, 0, 1.0, 0.0, 13);
+    const auto hist = PatternHistogram::analyze(m, grid4);
+    const auto candidates = allCandidatePortfolios(grid4);
+    const auto sel = selectPortfolio(hist, candidates, 0);
+    EXPECT_LT(sel.candidatePaddings[1], sel.candidatePaddings[0]);
+    const auto &name = candidates[sel.bestCandidate].name();
+    EXPECT_NE(name.find("ADIAG"), std::string::npos) << name;
+}
+
+TEST(Selection, BlockMatrixSelectsZeroPaddingPortfolio)
+{
+    const auto m = genBlockGrid(512, 8, 3, 1.0, 15);
+    const auto hist = PatternHistogram::analyze(m, grid4);
+    const auto sel =
+        selectPortfolio(hist, allCandidatePortfolios(grid4), 0);
+    EXPECT_EQ(sel.bestPaddings, 0u);
+}
+
+TEST(Selection, TopNZeroMeansAllBins)
+{
+    const auto m = genUniformRandom(512, 512, 2500, 19);
+    const auto hist = PatternHistogram::analyze(m, grid4);
+    const auto p = candidatePortfolio(0, grid4);
+    // Evaluating all bins can only find >= the top-64 paddings.
+    EXPECT_GE(weightedPaddings(hist, p, 0),
+              weightedPaddings(hist, p, 64));
+}
+
+TEST(Selection, WeightedInstancesConsistentWithPaddings)
+{
+    const auto m = genBandedBlocks(512, 4, 2, 0.8, 23);
+    const auto hist = PatternHistogram::analyze(m, grid4);
+    const auto p = candidatePortfolio(3, grid4);
+    // 4 * instances = nnz + paddings over all bins.
+    EXPECT_EQ(4 * weightedInstances(hist, p),
+              hist.totalNonZeros() + weightedPaddings(hist, p, 0));
+}
+
+TEST(GreedyPortfolio, ValidAndAtLeastAsGoodAsRowsOnly)
+{
+    const auto m = genStencil(512, {0, 1, -1, 23, -23});
+    const auto hist = PatternHistogram::analyze(m, grid4);
+    const auto greedy = greedyPortfolio(hist, 32, 16);
+
+    EXPECT_EQ(greedy.coverageMask(), 0xFFFF);
+    EXPECT_LE(greedy.size(), 16);
+
+    const TemplatePortfolio rows_only(-1, "rows", rowTemplates4(),
+                                      grid4);
+    EXPECT_LE(weightedPaddings(hist, greedy, 32),
+              weightedPaddings(hist, rows_only, 32));
+}
+
+TEST(GreedyPortfolio, CanBeatEveryFixedCandidate)
+{
+    // A structure mixing diagonal, anti-diagonal and scattered cells:
+    // the greedy custom portfolio must be at least as good as the
+    // best fixed candidate on the evaluated bins.
+    auto m = genAntiDiagonalBand(512, 0, 1.0, 2.0, 29);
+    const auto hist = PatternHistogram::analyze(m, grid4);
+    const auto candidates = allCandidatePortfolios(grid4);
+    const auto sel = selectPortfolio(hist, candidates, 32);
+    const auto greedy = greedyPortfolio(hist, 32, 16);
+    EXPECT_LE(weightedPaddings(hist, greedy, 32), sel.bestPaddings);
+}
+
+} // namespace
+} // namespace spasm

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for .spasm binary serialization: lossless round trips across
+ * portfolios and tile sizes, corruption detection, and execution
+ * equivalence after reload.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "format/serialize.hh"
+#include "hw/accelerator.hh"
+#include "workloads/generators.hh"
+
+namespace spasm {
+namespace {
+
+const PatternGrid grid4{4};
+
+SpasmMatrix
+encodeFixture(int portfolio_id, Index tile)
+{
+    const auto m = genBandedBlocks(512, 4, 2, 0.8, 77);
+    const auto p = candidatePortfolio(portfolio_id, grid4);
+    return SpasmEncoder(p, tile).encode(m);
+}
+
+bool
+sameEncoding(const SpasmMatrix &a, const SpasmMatrix &b)
+{
+    if (a.rows() != b.rows() || a.cols() != b.cols() ||
+        a.tileSize() != b.tileSize() || a.nnz() != b.nnz() ||
+        a.numWords() != b.numWords() ||
+        a.paddings() != b.paddings() ||
+        a.tiles().size() != b.tiles().size()) {
+        return false;
+    }
+    for (std::size_t t = 0; t < a.tiles().size(); ++t) {
+        const auto &ta = a.tiles()[t];
+        const auto &tb = b.tiles()[t];
+        if (ta.tileRowIdx != tb.tileRowIdx ||
+            ta.tileColIdx != tb.tileColIdx ||
+            ta.words.size() != tb.words.size()) {
+            return false;
+        }
+        for (std::size_t w = 0; w < ta.words.size(); ++w) {
+            if (!(ta.words[w].pos == tb.words[w].pos) ||
+                ta.words[w].vals != tb.words[w].vals) {
+                return false;
+            }
+        }
+    }
+    return a.portfolio().templates().size() ==
+        b.portfolio().templates().size();
+}
+
+class SerializeRoundTrip
+    : public ::testing::TestWithParam<std::pair<int, Index>>
+{
+};
+
+TEST_P(SerializeRoundTrip, Lossless)
+{
+    const auto enc =
+        encodeFixture(GetParam().first, GetParam().second);
+    std::stringstream buf;
+    writeSpasmFile(enc, buf);
+    const SpasmMatrix back = readSpasmFile(buf, "roundtrip");
+    EXPECT_TRUE(sameEncoding(enc, back));
+    EXPECT_EQ(back.portfolio().id(), enc.portfolio().id());
+    EXPECT_EQ(back.portfolio().name(), enc.portfolio().name());
+    for (int i = 0; i < enc.portfolio().size(); ++i) {
+        EXPECT_EQ(back.portfolio().templates()[i].mask(),
+                  enc.portfolio().templates()[i].mask());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SerializeRoundTrip,
+    ::testing::Values(std::make_pair(0, Index(64)),
+                      std::make_pair(1, Index(128)),
+                      std::make_pair(4, Index(256)),
+                      std::make_pair(9, Index(512))),
+    [](const auto &info) {
+        std::string name = "p";
+        name += std::to_string(info.param.first);
+        name += "_t";
+        name += std::to_string(info.param.second);
+        return name;
+    });
+
+TEST(Serialize, ReloadedEncodingExecutesIdentically)
+{
+    const auto enc = encodeFixture(0, 128);
+    std::stringstream buf;
+    writeSpasmFile(enc, buf);
+    const SpasmMatrix back = readSpasmFile(buf, "exec");
+
+    const auto p = candidatePortfolio(0, grid4);
+    Accelerator accel(spasm41(), p);
+    std::vector<Value> x(enc.cols(), 0.5f);
+    std::vector<Value> y1(enc.rows(), 0.0f), y2(enc.rows(), 0.0f);
+    const auto s1 = accel.run(enc, x, y1);
+    const auto s2 = accel.run(back, x, y2);
+    EXPECT_EQ(s1.cycles, s2.cycles);
+    EXPECT_EQ(y1, y2);
+}
+
+TEST(Serialize, EmptyMatrixRoundTrips)
+{
+    const auto p = candidatePortfolio(0, grid4);
+    const auto enc = SpasmEncoder(p, 64).encode(CooMatrix(256, 256));
+    std::stringstream buf;
+    writeSpasmFile(enc, buf);
+    const SpasmMatrix back = readSpasmFile(buf, "empty");
+    EXPECT_EQ(back.numWords(), 0);
+    EXPECT_EQ(back.rows(), 256);
+}
+
+TEST(SerializeDeath, RejectsBadMagic)
+{
+    std::stringstream buf;
+    buf << "NOPE garbage";
+    EXPECT_EXIT(readSpasmFile(buf, "bad"),
+                ::testing::ExitedWithCode(1), "bad magic");
+}
+
+TEST(SerializeDeath, RejectsTruncation)
+{
+    const auto enc = encodeFixture(0, 128);
+    std::stringstream buf;
+    writeSpasmFile(enc, buf);
+    const std::string full = buf.str();
+    std::stringstream cut;
+    cut.write(full.data(),
+              static_cast<std::streamsize>(full.size() / 2));
+    EXPECT_EXIT(readSpasmFile(cut, "cut"),
+                ::testing::ExitedWithCode(1), "truncated");
+}
+
+TEST(SerializeDeath, RejectsWrongVersion)
+{
+    const auto enc = encodeFixture(0, 128);
+    std::stringstream buf;
+    writeSpasmFile(enc, buf);
+    std::string bytes = buf.str();
+    bytes[4] = char(0x7F); // clobber the version field
+    std::stringstream bad(bytes);
+    EXPECT_EXIT(readSpasmFile(bad, "ver"),
+                ::testing::ExitedWithCode(1), "version");
+}
+
+} // namespace
+} // namespace spasm

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Unit and property tests for the sparse-matrix substrate: COO, CSR,
+ * CSC, BSR, ELL and DIA formats, their conversions and reference SpMV.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sparse/bsr.hh"
+#include "sparse/csc.hh"
+#include "sparse/csr.hh"
+#include "sparse/dia.hh"
+#include "sparse/ell.hh"
+#include "support/random.hh"
+#include "workloads/generators.hh"
+
+namespace spasm {
+namespace {
+
+CooMatrix
+smallFixture()
+{
+    // 4x5 matrix:
+    //   1 0 2 0 0
+    //   0 0 0 3 0
+    //   4 5 0 0 6
+    //   0 0 0 0 0
+    return CooMatrix::fromTriplets(
+        4, 5,
+        {{0, 0, 1}, {0, 2, 2}, {1, 3, 3}, {2, 0, 4}, {2, 1, 5},
+         {2, 4, 6}});
+}
+
+std::vector<Value>
+denseSpmv(const CooMatrix &m, const std::vector<Value> &x)
+{
+    std::vector<Value> y(m.rows(), 0.0f);
+    m.spmv(x, y);
+    return y;
+}
+
+TEST(Coo, FromTripletsSortsAndSums)
+{
+    auto m = CooMatrix::fromTriplets(
+        2, 2, {{1, 1, 2.0f}, {0, 0, 1.0f}, {1, 1, 3.0f}});
+    ASSERT_EQ(m.nnz(), 2);
+    EXPECT_EQ(m.entries()[0].row, 0);
+    EXPECT_EQ(m.entries()[1].val, 5.0f);
+}
+
+TEST(Coo, FromTripletsDropsCancellations)
+{
+    auto m = CooMatrix::fromTriplets(2, 2,
+                                     {{0, 0, 1.0f}, {0, 0, -1.0f}});
+    EXPECT_EQ(m.nnz(), 0);
+}
+
+TEST(Coo, DensityAndDims)
+{
+    auto m = smallFixture();
+    EXPECT_EQ(m.rows(), 4);
+    EXPECT_EQ(m.cols(), 5);
+    EXPECT_NEAR(m.density(), 6.0 / 20.0, 1e-12);
+}
+
+TEST(Coo, SpmvAccumulatesIntoY)
+{
+    auto m = smallFixture();
+    std::vector<Value> x{1, 1, 1, 1, 1};
+    std::vector<Value> y{10, 10, 10, 10};
+    m.spmv(x, y);
+    EXPECT_FLOAT_EQ(y[0], 13.0f);
+    EXPECT_FLOAT_EQ(y[1], 13.0f);
+    EXPECT_FLOAT_EQ(y[2], 25.0f);
+    EXPECT_FLOAT_EQ(y[3], 10.0f);
+}
+
+TEST(Coo, ToDenseMatchesEntries)
+{
+    auto m = smallFixture();
+    auto d = m.toDense();
+    EXPECT_FLOAT_EQ(d[0 * 5 + 2], 2.0f);
+    EXPECT_FLOAT_EQ(d[2 * 5 + 4], 6.0f);
+    EXPECT_FLOAT_EQ(d[3 * 5 + 0], 0.0f);
+}
+
+TEST(Coo, TransposedTwiceIsIdentity)
+{
+    auto m = smallFixture();
+    EXPECT_TRUE(m.transposed().transposed() == m);
+}
+
+TEST(Csr, RoundTripThroughCoo)
+{
+    auto m = smallFixture();
+    EXPECT_TRUE(CsrMatrix::fromCoo(m).toCoo() == m);
+}
+
+TEST(Csr, RowLengths)
+{
+    auto csr = CsrMatrix::fromCoo(smallFixture());
+    EXPECT_EQ(csr.rowLength(0), 2);
+    EXPECT_EQ(csr.rowLength(1), 1);
+    EXPECT_EQ(csr.rowLength(2), 3);
+    EXPECT_EQ(csr.rowLength(3), 0);
+    EXPECT_EQ(csr.maxRowLength(), 3);
+}
+
+TEST(Csc, RoundTripThroughCoo)
+{
+    auto m = smallFixture();
+    EXPECT_TRUE(CscMatrix::fromCoo(m).toCoo() == m);
+}
+
+TEST(Csc, ColLengths)
+{
+    auto csc = CscMatrix::fromCoo(smallFixture());
+    EXPECT_EQ(csc.colLength(0), 2);
+    EXPECT_EQ(csc.colLength(2), 1);
+    EXPECT_EQ(csc.colLength(3), 1);
+}
+
+TEST(Bsr, BlockCountAndFill)
+{
+    // Two dense 2x2 blocks on the diagonal -> no fill.
+    auto m = CooMatrix::fromTriplets(
+        4, 4,
+        {{0, 0, 1}, {0, 1, 1}, {1, 0, 1}, {1, 1, 1},
+         {2, 2, 1}, {2, 3, 1}, {3, 2, 1}, {3, 3, 1}});
+    auto bsr = BsrMatrix::fromCoo(m, 2);
+    EXPECT_EQ(bsr.numBlocks(), 2);
+    EXPECT_EQ(bsr.storedValues(), 8);
+    EXPECT_NEAR(bsr.fillRatio(), 0.0, 1e-12);
+}
+
+TEST(Bsr, ScatterCausesFill)
+{
+    // Isolated entries -> each costs a whole block.
+    auto m = CooMatrix::fromTriplets(4, 4, {{0, 0, 1}, {2, 2, 1}});
+    auto bsr = BsrMatrix::fromCoo(m, 2);
+    EXPECT_EQ(bsr.numBlocks(), 2);
+    EXPECT_NEAR(bsr.fillRatio(), 0.75, 1e-12);
+}
+
+TEST(Bsr, RoundTripThroughCoo)
+{
+    auto m = smallFixture();
+    EXPECT_TRUE(BsrMatrix::fromCoo(m, 2).toCoo() == m);
+    EXPECT_TRUE(BsrMatrix::fromCoo(m, 3).toCoo() == m);
+}
+
+TEST(Ell, WidthIsMaxRowLength)
+{
+    auto ell = EllMatrix::fromCoo(smallFixture());
+    EXPECT_EQ(ell.width(), 3);
+    EXPECT_EQ(ell.storedValues(), 12);
+    EXPECT_NEAR(ell.paddingRatio(), 0.5, 1e-12);
+}
+
+TEST(Ell, RoundTripThroughCoo)
+{
+    auto m = smallFixture();
+    EXPECT_TRUE(EllMatrix::fromCoo(m).toCoo() == m);
+}
+
+TEST(Dia, TridiagonalUsesThreeDiagonals)
+{
+    std::vector<Triplet> t;
+    for (Index i = 0; i < 6; ++i) {
+        t.emplace_back(i, i, 2.0f);
+        if (i > 0)
+            t.emplace_back(i, i - 1, -1.0f);
+        if (i < 5)
+            t.emplace_back(i, i + 1, -1.0f);
+    }
+    auto m = CooMatrix::fromTriplets(6, 6, std::move(t));
+    auto dia = DiaMatrix::fromCoo(m);
+    EXPECT_EQ(dia.numDiagonals(), 3u);
+    EXPECT_TRUE(dia.toCoo() == m);
+}
+
+TEST(Dia, RoundTripThroughCoo)
+{
+    auto m = smallFixture();
+    EXPECT_TRUE(DiaMatrix::fromCoo(m).toCoo() == m);
+}
+
+// ---------------------------------------------------------------------
+// Property suite: every format computes the same SpMV as COO on a
+// variety of structured matrices.
+// ---------------------------------------------------------------------
+
+struct GenCase
+{
+    const char *name;
+    CooMatrix (*build)();
+};
+
+CooMatrix
+buildBlocks()
+{
+    return genBlockGrid(256, 8, 4, 0.9, 1);
+}
+CooMatrix
+buildBanded()
+{
+    return genBandedBlocks(256, 4, 3, 0.8, 2);
+}
+CooMatrix
+buildStencil()
+{
+    return genStencil(300, {0, 1, -1, 17, -17});
+}
+CooMatrix
+buildAnti()
+{
+    return genAntiDiagonalBand(200, 2, 0.9, 1.5, 3);
+}
+CooMatrix
+buildGraph()
+{
+    return genPowerLawGraph(256, 4000, 0.8, 4);
+}
+CooMatrix
+buildLp()
+{
+    return genScatteredLp(256, 2000, 2, 1, 5);
+}
+CooMatrix
+buildRandom()
+{
+    return genUniformRandom(200, 300, 1500, 6);
+}
+CooMatrix
+buildRowRuns()
+{
+    return genRowRuns(256, 10.0, 4.0, 7);
+}
+
+class FormatSpmvProperty : public ::testing::TestWithParam<GenCase>
+{
+};
+
+TEST_P(FormatSpmvProperty, AllFormatsAgreeWithCoo)
+{
+    const CooMatrix m = GetParam().build();
+    ASSERT_GT(m.nnz(), 0);
+
+    Rng rng(99);
+    std::vector<Value> x(m.cols());
+    for (auto &v : x)
+        v = static_cast<Value>(rng.nextDouble() * 2.0 - 1.0);
+
+    const auto ref = denseSpmv(m, x);
+    const double scale = [&] {
+        double s = 1.0;
+        for (Value v : ref)
+            s = std::max(s, std::abs(static_cast<double>(v)));
+        return s;
+    }();
+
+    auto check = [&](const std::vector<Value> &got, const char *what) {
+        ASSERT_EQ(got.size(), ref.size());
+        for (std::size_t i = 0; i < got.size(); ++i) {
+            ASSERT_NEAR(got[i], ref[i], 1e-4 * scale)
+                << what << " row " << i;
+        }
+    };
+
+    {
+        std::vector<Value> y(m.rows(), 0.0f);
+        CsrMatrix::fromCoo(m).spmv(x, y);
+        check(y, "CSR");
+    }
+    {
+        std::vector<Value> y(m.rows(), 0.0f);
+        CscMatrix::fromCoo(m).spmv(x, y);
+        check(y, "CSC");
+    }
+    {
+        std::vector<Value> y(m.rows(), 0.0f);
+        BsrMatrix::fromCoo(m, 2).spmv(x, y);
+        check(y, "BSR2");
+    }
+    {
+        std::vector<Value> y(m.rows(), 0.0f);
+        BsrMatrix::fromCoo(m, 4).spmv(x, y);
+        check(y, "BSR4");
+    }
+    {
+        std::vector<Value> y(m.rows(), 0.0f);
+        EllMatrix::fromCoo(m).spmv(x, y);
+        check(y, "ELL");
+    }
+    {
+        std::vector<Value> y(m.rows(), 0.0f);
+        DiaMatrix::fromCoo(m).spmv(x, y);
+        check(y, "DIA");
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Generators, FormatSpmvProperty,
+    ::testing::Values(GenCase{"blocks", buildBlocks},
+                      GenCase{"banded", buildBanded},
+                      GenCase{"stencil", buildStencil},
+                      GenCase{"anti", buildAnti},
+                      GenCase{"graph", buildGraph},
+                      GenCase{"lp", buildLp},
+                      GenCase{"random", buildRandom},
+                      GenCase{"rowruns", buildRowRuns}),
+    [](const ::testing::TestParamInfo<GenCase> &info) {
+        return info.param.name;
+    });
+
+} // namespace
+} // namespace spasm

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Tests for the SPASM data format: position-encoding packing, the
+ * two-level tiled encoder, its software execution, CE/RE stream flags
+ * and the storage-cost accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "format/spasm_matrix.hh"
+#include "format/storage_model.hh"
+#include "pattern/selection.hh"
+#include "support/random.hh"
+#include "workloads/generators.hh"
+
+namespace spasm {
+namespace {
+
+const PatternGrid grid4{4};
+
+TEST(PositionEncoding, FieldRoundTrip)
+{
+    const PositionEncoding pe(1234, 4321, true, false, 11);
+    EXPECT_EQ(pe.cIdx(), 1234u);
+    EXPECT_EQ(pe.rIdx(), 4321u);
+    EXPECT_TRUE(pe.ce());
+    EXPECT_FALSE(pe.re());
+    EXPECT_EQ(pe.tIdx(), 11u);
+    EXPECT_EQ(PositionEncoding::fromRaw(pe.raw()).raw(), pe.raw());
+}
+
+TEST(PositionEncoding, ExtremeValues)
+{
+    const PositionEncoding pe(8191, 8191, true, true, 15);
+    EXPECT_EQ(pe.cIdx(), 8191u);
+    EXPECT_EQ(pe.rIdx(), 8191u);
+    EXPECT_EQ(pe.tIdx(), 15u);
+    EXPECT_TRUE(pe.ce());
+    EXPECT_TRUE(pe.re());
+}
+
+TEST(PositionEncoding, WithFlags)
+{
+    const PositionEncoding pe(10, 20, false, false, 3);
+    const PositionEncoding flagged = pe.withFlags(true, true);
+    EXPECT_TRUE(flagged.ce());
+    EXPECT_TRUE(flagged.re());
+    EXPECT_EQ(flagged.cIdx(), 10u);
+    EXPECT_EQ(flagged.tIdx(), 3u);
+}
+
+TEST(PositionEncoding, MaxTileSizeConstant)
+{
+    // 2^13 * 4 = 32768 (section III).
+    EXPECT_EQ(kMaxTileSize, 32768);
+}
+
+TEST(PositionEncodingDeath, RejectsOverflowingFields)
+{
+    EXPECT_DEATH(PositionEncoding(1 << 13, 0, false, false, 0),
+                 "assertion");
+    EXPECT_DEATH(PositionEncoding(0, 0, false, false, 16),
+                 "assertion");
+}
+
+TEST(Encoder, RejectsBadTileSizes)
+{
+    const auto p = candidatePortfolio(0, grid4);
+    EXPECT_EXIT(SpasmEncoder(p, 30), ::testing::ExitedWithCode(1),
+                "multiple");
+    EXPECT_EXIT(SpasmEncoder(p, 65536), ::testing::ExitedWithCode(1),
+                "13-bit");
+}
+
+TEST(Encoder, EmptyMatrixProducesNoTiles)
+{
+    const auto p = candidatePortfolio(0, grid4);
+    const auto enc = SpasmEncoder(p, 64).encode(CooMatrix(128, 128));
+    EXPECT_EQ(enc.tiles().size(), 0u);
+    EXPECT_EQ(enc.numWords(), 0);
+    EXPECT_EQ(enc.encodedBytes(), 0);
+}
+
+TEST(Encoder, PureBlockMatrixHasZeroPaddings)
+{
+    const auto m = genBlockGrid(256, 8, 3, 1.0, 77);
+    const auto p = candidatePortfolio(0, grid4);
+    const auto enc = SpasmEncoder(p, 64).encode(m);
+    EXPECT_EQ(enc.paddings(), 0);
+    EXPECT_EQ(enc.numWords() * 4, enc.nnz());
+    EXPECT_NEAR(enc.paddingRate(), 0.0, 1e-12);
+}
+
+TEST(Encoder, TilesAreRowBlockMajorAndFlagged)
+{
+    const auto m = genUniformRandom(512, 512, 3000, 3);
+    const auto p = candidatePortfolio(0, grid4);
+    const auto enc = SpasmEncoder(p, 128).encode(m);
+    ASSERT_GT(enc.tiles().size(), 1u);
+
+    for (std::size_t i = 0; i < enc.tiles().size(); ++i) {
+        const auto &tile = enc.tiles()[i];
+        ASSERT_FALSE(tile.words.empty());
+        // Every word except the last has CE=RE=0; the last has CE=1
+        // and RE=1 iff the tile row ends here.
+        for (std::size_t w = 0; w + 1 < tile.words.size(); ++w) {
+            EXPECT_FALSE(tile.words[w].pos.ce());
+            EXPECT_FALSE(tile.words[w].pos.re());
+        }
+        EXPECT_TRUE(tile.words.back().pos.ce());
+        const bool row_ends = i + 1 == enc.tiles().size() ||
+            enc.tiles()[i + 1].tileRowIdx != tile.tileRowIdx;
+        EXPECT_EQ(tile.words.back().pos.re(), row_ends);
+
+        if (i > 0) {
+            const auto &prev = enc.tiles()[i - 1];
+            const bool ordered =
+                prev.tileRowIdx < tile.tileRowIdx ||
+                (prev.tileRowIdx == tile.tileRowIdx &&
+                 prev.tileColIdx < tile.tileColIdx);
+            EXPECT_TRUE(ordered) << "tile " << i;
+        }
+    }
+}
+
+TEST(Encoder, StorageBytesFormula)
+{
+    const auto m = genBandedBlocks(256, 4, 2, 0.8, 5);
+    const auto p = candidatePortfolio(0, grid4);
+    const auto enc = SpasmEncoder(p, 64).encode(m);
+    EXPECT_EQ(enc.encodedBytes(), enc.numWords() * 20);
+    EXPECT_EQ(enc.tileIndexBytes(),
+              static_cast<std::int64_t>(enc.tiles().size()) * 8);
+}
+
+TEST(Encoder, HistogramPredictsEncodedBytes)
+{
+    // spasmBytesFromHistogram must equal the materialized encoding
+    // (instances are tile-size independent).
+    const auto m = genScatteredLp(512, 3000, 1, 1, 8);
+    const auto p = candidatePortfolio(0, grid4);
+    const auto hist = PatternHistogram::analyze(m, grid4);
+    const auto enc = SpasmEncoder(p, 256).encode(m);
+    EXPECT_EQ(spasmBytesFromHistogram(hist, p), enc.encodedBytes());
+}
+
+// ---------------------------------------------------------------------
+// Round-trip and execution properties across generators, portfolios
+// and tile sizes.
+// ---------------------------------------------------------------------
+
+struct EncodeCase
+{
+    const char *name;
+    int portfolio;
+    Index tileSize;
+};
+
+class EncoderProperty : public ::testing::TestWithParam<EncodeCase>
+{
+  protected:
+    std::vector<CooMatrix>
+    matrices() const
+    {
+        return {
+            genBlockGrid(300, 8, 3, 0.9, 1),
+            genBandedBlocks(256, 4, 2, 0.75, 2),
+            genStencil(320, {0, 1, -1, 18, -18}),
+            genAntiDiagonalBand(256, 1, 0.9, 1.0, 3),
+            genPowerLawGraph(256, 3000, 0.8, 4),
+            genUniformRandom(200, 280, 1200, 5),
+        };
+    }
+};
+
+TEST_P(EncoderProperty, RoundTripReconstructsMatrix)
+{
+    const auto p = candidatePortfolio(GetParam().portfolio, grid4);
+    const SpasmEncoder encoder(p, GetParam().tileSize);
+    for (const auto &m : matrices()) {
+        const auto enc = encoder.encode(m);
+        EXPECT_EQ(enc.nnz(), m.nnz());
+        EXPECT_TRUE(enc.toCoo() == m);
+    }
+}
+
+TEST_P(EncoderProperty, ExecuteMatchesReferenceSpmv)
+{
+    const auto p = candidatePortfolio(GetParam().portfolio, grid4);
+    const SpasmEncoder encoder(p, GetParam().tileSize);
+    Rng rng(17);
+    for (const auto &m : matrices()) {
+        const auto enc = encoder.encode(m);
+
+        std::vector<Value> x(m.cols());
+        for (auto &v : x)
+            v = static_cast<Value>(rng.nextDouble() * 2.0 - 1.0);
+        std::vector<Value> y_enc(m.rows(), 1.0f);
+        std::vector<Value> y_ref(m.rows(), 1.0f);
+        enc.execute(x, y_enc);
+        m.spmv(x, y_ref);
+
+        double max_ref = 1.0;
+        for (Value v : y_ref)
+            max_ref = std::max(max_ref,
+                               std::abs(static_cast<double>(v)));
+        for (std::size_t i = 0; i < y_ref.size(); ++i) {
+            ASSERT_NEAR(y_enc[i], y_ref[i], 1e-4 * max_ref)
+                << "row " << i;
+        }
+    }
+}
+
+TEST_P(EncoderProperty, PaddingAccountingConsistent)
+{
+    const auto p = candidatePortfolio(GetParam().portfolio, grid4);
+    const SpasmEncoder encoder(p, GetParam().tileSize);
+    for (const auto &m : matrices()) {
+        const auto enc = encoder.encode(m);
+        EXPECT_EQ(enc.numWords() * 4, enc.nnz() + enc.paddings());
+        EXPECT_GE(enc.paddingRate(), 0.0);
+        EXPECT_LT(enc.paddingRate(), 1.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EncoderProperty,
+    ::testing::Values(EncodeCase{"p0_t64", 0, 64},
+                      EncodeCase{"p0_t256", 0, 256},
+                      EncodeCase{"p1_t128", 1, 128},
+                      EncodeCase{"p2_t64", 2, 64},
+                      EncodeCase{"p4_t512", 4, 512},
+                      EncodeCase{"p5_t256", 5, 256},
+                      EncodeCase{"p9_t1024", 9, 1024}),
+    [](const ::testing::TestParamInfo<EncodeCase> &info) {
+        return info.param.name;
+    });
+
+} // namespace
+} // namespace spasm

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests pinning the storage-cost formulas of section V-D exactly:
+ * index widths, per-format byte accounting and the COO normalization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "format/storage_model.hh"
+#include "pattern/analysis.hh"
+#include "pattern/template_library.hh"
+#include "sparse/bsr.hh"
+#include "sparse/dia.hh"
+#include "sparse/ell.hh"
+#include "workloads/generators.hh"
+
+namespace spasm {
+namespace {
+
+const PatternGrid grid4{4};
+
+TEST(StorageModel, CooIsTwelveBytesPerNonZero)
+{
+    const auto m = genUniformRandom(128, 128, 500, 1);
+    EXPECT_EQ(storageBytes(m, StorageFormat::COO), m.nnz() * 12);
+}
+
+TEST(StorageModel, CsrAddsRowPointers)
+{
+    const auto m = genUniformRandom(100, 200, 700, 2);
+    EXPECT_EQ(storageBytes(m, StorageFormat::CSR),
+              m.nnz() * 8 + (m.rows() + 1) * 4);
+}
+
+TEST(StorageModel, BsrCountsDenseBlocksPlusIndices)
+{
+    const auto m = genBandedBlocks(128, 4, 1, 0.9, 3);
+    const auto bsr = BsrMatrix::fromCoo(m, 2);
+    EXPECT_EQ(storageBytes(m, StorageFormat::BSR, 2),
+              bsr.numBlocks() * (4 * 4 + 4) +
+                  (bsr.blockRows() + 1) * 4);
+}
+
+TEST(StorageModel, EllPaysForTheWidestRow)
+{
+    const auto m = genScatteredLp(64, 300, 1, 0, 5);
+    const auto ell = EllMatrix::fromCoo(m);
+    EXPECT_EQ(storageBytes(m, StorageFormat::ELL),
+              ell.storedValues() * 8);
+    // One dense row forces width = cols.
+    EXPECT_EQ(ell.width(), 64);
+}
+
+TEST(StorageModel, DiaPaysPerDiagonal)
+{
+    const auto m = genStencil(100, {0, 2, -5});
+    EXPECT_EQ(storageBytes(m, StorageFormat::DIA),
+              3 * 100 * 4 + 3 * 4);
+}
+
+TEST(StorageModel, StreamingFormatsAreEightBytesPerNonZero)
+{
+    const auto m = genUniformRandom(256, 256, 1000, 7);
+    EXPECT_EQ(storageBytes(m, StorageFormat::HiSparseSerpens),
+              m.nnz() * 8);
+    // Hence the constant 1.50x of Fig. 11.
+    EXPECT_NEAR(
+        improvementOverCoo(m, StorageFormat::HiSparseSerpens), 1.5,
+        1e-12);
+}
+
+TEST(StorageModel, SpasmBytesFollowInstanceFormula)
+{
+    const auto m = genBandedBlocks(256, 4, 2, 0.8, 9);
+    const auto hist = PatternHistogram::analyze(m, grid4);
+    const auto p = candidatePortfolio(0, grid4);
+    const auto bytes = spasmBytesFromHistogram(hist, p);
+    // (P+1)*4 = 20 bytes per instance; instances * 4 >= nnz.
+    EXPECT_EQ(bytes % 20, 0);
+    EXPECT_GE(bytes / 20 * 4, m.nnz());
+}
+
+TEST(StorageModel, ImprovementIsCooOverFormat)
+{
+    const auto m = genUniformRandom(128, 128, 600, 11);
+    const double expected =
+        static_cast<double>(storageBytes(m, StorageFormat::COO)) /
+        static_cast<double>(storageBytes(m, StorageFormat::CSR));
+    EXPECT_NEAR(improvementOverCoo(m, StorageFormat::CSR), expected,
+                1e-12);
+}
+
+TEST(StorageModel, NamesAreStable)
+{
+    EXPECT_EQ(storageFormatName(StorageFormat::COO), "COO");
+    EXPECT_EQ(storageFormatName(StorageFormat::HiSparseSerpens),
+              "HiSparse&Serpens");
+    EXPECT_EQ(storageFormatName(StorageFormat::SPASM), "SPASM");
+}
+
+TEST(StorageModelDeath, SpasmNeedsAnEncodingOrHistogram)
+{
+    const auto m = genUniformRandom(32, 32, 64, 13);
+    EXPECT_DEATH(storageBytes(m, StorageFormat::SPASM),
+                 "dedicated overloads");
+}
+
+TEST(StorageModel, RaefskyStyleBlocksReachPaperMaximum)
+{
+    // Fully dense aligned 8x8 blocks: zero padding, so the storage
+    // improvement hits the format's 2.40x ceiling (paper Table VI).
+    const auto m = genBlockGrid(512, 8, 4, 1.0, 15);
+    const auto hist = PatternHistogram::analyze(m, grid4);
+    const auto p = candidatePortfolio(0, grid4);
+    const double impr =
+        static_cast<double>(storageBytes(m, StorageFormat::COO)) /
+        static_cast<double>(spasmBytesFromHistogram(hist, p));
+    EXPECT_NEAR(impr, 2.4, 1e-9);
+}
+
+} // namespace
+} // namespace spasm

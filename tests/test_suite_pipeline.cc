@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Suite-wide pipeline sweep: every Table II workload (at Tiny scale)
+ * through analysis -> selection -> decomposition -> schedule ->
+ * encode -> simulate, with per-stage invariants:
+ *  - the encoding reconstructs the matrix exactly;
+ *  - the simulated result matches the reference SpMV;
+ *  - the analytic model stays within 2.5x of the simulator;
+ *  - the explored schedule is never slower (simulated) than a 3x
+ *    margin over the naive fixed configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/framework.hh"
+#include "perf/perf_model.hh"
+#include "workloads/suite.hh"
+
+namespace spasm {
+namespace {
+
+class SuitePipeline : public ::testing::TestWithParam<std::string>
+{
+};
+
+std::string
+safeName(const ::testing::TestParamInfo<std::string> &info)
+{
+    std::string n = info.param;
+    for (auto &c : n) {
+        if (c == '-')
+            c = '_';
+    }
+    return n;
+}
+
+TEST_P(SuitePipeline, EncodingReconstructsMatrix)
+{
+    const auto m = generateWorkload(GetParam(), Scale::Tiny);
+    SpasmFramework fw;
+    const auto pre = fw.preprocess(m);
+    EXPECT_EQ(pre.encoded.nnz(), m.nnz());
+    EXPECT_TRUE(pre.encoded.toCoo() == m);
+    EXPECT_EQ(pre.encoded.numWords() * 4,
+              pre.encoded.nnz() + pre.encoded.paddings());
+}
+
+TEST_P(SuitePipeline, SimulationMatchesReference)
+{
+    const auto m = generateWorkload(GetParam(), Scale::Tiny);
+    SpasmFramework fw;
+    const auto out = fw.run(m);
+
+    const auto x = SpasmFramework::defaultX(m.cols());
+    std::vector<Value> ref(m.rows(), 0.0f);
+    m.spmv(x, ref);
+    double scale = 1.0;
+    for (Value v : ref)
+        scale = std::max(scale, std::abs(static_cast<double>(v)));
+    EXPECT_LT(out.exec.maxAbsError, 1e-4 * scale);
+}
+
+TEST_P(SuitePipeline, ModelTracksSimulator)
+{
+    const auto m = generateWorkload(GetParam(), Scale::Tiny);
+    SpasmFramework fw;
+    const auto pre = fw.preprocess(m);
+
+    const auto x = SpasmFramework::defaultX(m.cols());
+    std::vector<Value> y(m.rows(), 0.0f);
+    Accelerator accel(pre.schedule.config, pre.portfolio);
+    const auto stats = accel.run(pre.encoded, x, y, pre.policy);
+
+    const double ratio = static_cast<double>(stats.cycles) /
+        static_cast<double>(pre.schedule.estCycles);
+    EXPECT_GT(ratio, 1.0 / 2.5)
+        << "sim " << stats.cycles << " est "
+        << pre.schedule.estCycles;
+    EXPECT_LT(ratio, 2.5)
+        << "sim " << stats.cycles << " est "
+        << pre.schedule.estCycles;
+}
+
+TEST_P(SuitePipeline, ExplorationNotMuchWorseThanFixed)
+{
+    // The explored schedule should essentially never lose badly to
+    // the fixed baseline when both are actually simulated.
+    const auto m = generateWorkload(GetParam(), Scale::Tiny);
+
+    FrameworkOptions fixed;
+    fixed.dynamicTemplateSelection = false;
+    fixed.scheduleExploration = false;
+
+    const auto full = SpasmFramework().run(m);
+    const auto base = SpasmFramework(fixed).run(m);
+    EXPECT_LT(full.exec.stats.seconds,
+              base.exec.stats.seconds * 1.3)
+        << "explored " << full.exec.stats.seconds << " fixed "
+        << base.exec.stats.seconds;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTwenty, SuitePipeline,
+                         ::testing::ValuesIn(workloadNames()),
+                         safeName);
+
+} // namespace
+} // namespace spasm

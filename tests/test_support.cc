@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Unit tests for the support substrate: bit utilities, deterministic
+ * RNG, summary statistics and table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "support/bits.hh"
+#include "support/random.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+
+namespace spasm {
+namespace {
+
+TEST(Bits, PopcountMatchesBuiltin)
+{
+    EXPECT_EQ(popcount(0u), 0);
+    EXPECT_EQ(popcount(1u), 1);
+    EXPECT_EQ(popcount(0xFFFFu), 16);
+    EXPECT_EQ(popcount(0xA5A5u), 8);
+}
+
+TEST(Bits, LowestSetBit)
+{
+    EXPECT_EQ(lowestSetBit(1u), 0);
+    EXPECT_EQ(lowestSetBit(8u), 3);
+    EXPECT_EQ(lowestSetBit(0x8000u), 15);
+    EXPECT_EQ(lowestSetBit(0b1010100u), 2);
+}
+
+TEST(Bits, BitFieldExtractInsertRoundTrip)
+{
+    const std::uint32_t word = 0xDEADBEEF;
+    for (int lo = 0; lo <= 24; lo += 3) {
+        const std::uint32_t field = bitField(word, lo, 5);
+        EXPECT_EQ(insertBitField(word, lo, 5, field), word);
+    }
+}
+
+TEST(Bits, InsertBitFieldMasksValue)
+{
+    // Values wider than the field must be truncated.
+    EXPECT_EQ(bitField(insertBitField(0, 4, 3, 0xFF), 4, 3), 7u);
+    EXPECT_EQ(insertBitField(0xFFFFFFFF, 0, 8, 0), 0xFFFFFF00);
+}
+
+TEST(Bits, TestBit)
+{
+    EXPECT_TRUE(testBit(0b100u, 2));
+    EXPECT_FALSE(testBit(0b100u, 1));
+}
+
+TEST(Bits, RoundUpAndCeilDiv)
+{
+    EXPECT_EQ(roundUp(0, 4), 0u);
+    EXPECT_EQ(roundUp(1, 4), 4u);
+    EXPECT_EQ(roundUp(8, 4), 8u);
+    EXPECT_EQ(ceilDiv(0, 4), 0u);
+    EXPECT_EQ(ceilDiv(1, 4), 1u);
+    EXPECT_EQ(ceilDiv(9, 4), 3u);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a() == b();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.nextBounded(17), 17u);
+    }
+}
+
+TEST(Rng, BoundedCoversRange)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.nextBounded(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(3);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng rng(5);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.nextBool(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(9);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.nextGaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Stats, GeomeanOfPowers)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0, 16.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0}), 2.0, 1e-12);
+    EXPECT_EQ(geomean({}), 0.0);
+}
+
+TEST(Stats, MeanMinMax)
+{
+    const std::vector<double> v{3.0, 1.0, 2.0};
+    EXPECT_NEAR(mean(v), 2.0, 1e-12);
+    EXPECT_EQ(minOf(v), 1.0);
+    EXPECT_EQ(maxOf(v), 3.0);
+}
+
+TEST(Stats, Stddev)
+{
+    EXPECT_NEAR(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.0,
+                1e-12);
+    EXPECT_EQ(stddev({1.0}), 0.0);
+}
+
+TEST(Stats, SummaryStatsMatchesBatch)
+{
+    SummaryStats s;
+    const std::vector<double> v{0.5, 2.0, 8.0, 3.0};
+    for (double x : v)
+        s.add(x);
+    EXPECT_EQ(s.count(), v.size());
+    EXPECT_NEAR(s.min(), minOf(v), 1e-12);
+    EXPECT_NEAR(s.max(), maxOf(v), 1e-12);
+    EXPECT_NEAR(s.mean(), mean(v), 1e-12);
+    EXPECT_NEAR(s.geomean(), geomean(v), 1e-12);
+}
+
+TEST(Table, AlignsColumnsAndCountsRows)
+{
+    TextTable t("Demo");
+    t.setHeader({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"bcd", "22"});
+    EXPECT_EQ(t.rows(), 2u);
+
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("Demo"), std::string::npos);
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("bcd"), std::string::npos);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::fmtX(2.5, 1), "2.5x");
+    EXPECT_EQ(TextTable::fmtSci(3700000.0, 2), "3.70e+06");
+}
+
+} // namespace
+} // namespace spasm

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the remaining support plumbing: CSV writer, logging
+ * toggles, the SPASM_SCALE environment parser and timer sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/table.hh"
+#include "support/timer.hh"
+#include "workloads/suite.hh"
+
+namespace spasm {
+namespace {
+
+TEST(CsvWriter, WritesRows)
+{
+    const std::string path = "/tmp/spasm_test_csv.csv";
+    {
+        CsvWriter csv(path);
+        csv.writeRow({"a", "b", "c"});
+        csv.writeRow({"1", "2", "3"});
+    }
+    std::ifstream in(path);
+    std::string line1, line2;
+    std::getline(in, line1);
+    std::getline(in, line2);
+    EXPECT_EQ(line1, "a,b,c");
+    EXPECT_EQ(line2, "1,2,3");
+    std::remove(path.c_str());
+}
+
+TEST(CsvWriterDeath, FatalOnUnwritablePath)
+{
+    EXPECT_EXIT(CsvWriter("/nonexistent-dir/x.csv"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(Logging, InformToggle)
+{
+    EXPECT_TRUE(informEnabled());
+    setInformEnabled(false);
+    EXPECT_FALSE(informEnabled());
+    inform("this must be suppressed %d", 42);
+    setInformEnabled(true);
+    EXPECT_TRUE(informEnabled());
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(spasm_panic("boom %d", 7), "boom 7");
+}
+
+TEST(LoggingDeath, FatalExitsWithOne)
+{
+    EXPECT_EXIT(spasm_fatal("bad config %s", "x"),
+                ::testing::ExitedWithCode(1), "bad config x");
+}
+
+TEST(Timer, MeasuresElapsedTime)
+{
+    Timer t;
+    // Burn a little CPU deterministically.
+    volatile double acc = 0.0;
+    for (int i = 0; i < 2000000; ++i)
+        acc = acc + static_cast<double>(i) * 1e-9;
+    EXPECT_GT(t.elapsedMs(), 0.0);
+    EXPECT_NEAR(t.elapsedSec(), t.elapsedMs() / 1e3, 1e-3);
+    const double first = t.elapsedMs();
+    t.reset();
+    EXPECT_LT(t.elapsedMs(), first + 1.0);
+}
+
+TEST(ScaleEnv, ParsesAllValues)
+{
+    ::setenv("SPASM_SCALE", "tiny", 1);
+    EXPECT_EQ(scaleFromEnv(), Scale::Tiny);
+    ::setenv("SPASM_SCALE", "small", 1);
+    EXPECT_EQ(scaleFromEnv(), Scale::Small);
+    ::setenv("SPASM_SCALE", "full", 1);
+    EXPECT_EQ(scaleFromEnv(), Scale::Full);
+    ::unsetenv("SPASM_SCALE");
+    EXPECT_EQ(scaleFromEnv(), Scale::Small);
+}
+
+TEST(ScaleEnvDeath, RejectsGarbage)
+{
+    ::setenv("SPASM_SCALE", "enormous", 1);
+    EXPECT_EXIT(scaleFromEnv(), ::testing::ExitedWithCode(1),
+                "SPASM_SCALE");
+    ::unsetenv("SPASM_SCALE");
+}
+
+TEST(TableDeath, PanicsOnRowWidthMismatch)
+{
+    TextTable t;
+    t.setHeader({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}
+
+TEST(Table, NoHeaderTableStillPrints)
+{
+    TextTable t;
+    t.addRow({"x", "y"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("x"), std::string::npos);
+}
+
+} // namespace
+} // namespace spasm

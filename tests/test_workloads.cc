@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Tests for the synthetic workload suite (Table II stand-ins) and the
+ * underlying structured generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "pattern/analysis.hh"
+#include "workloads/generators.hh"
+#include "workloads/suite.hh"
+
+namespace spasm {
+namespace {
+
+TEST(Generators, BlockGridProducesAlignedDenseBlocks)
+{
+    const auto m = genBlockGrid(128, 8, 3, 1.0, 1);
+    EXPECT_EQ(m.rows(), 128);
+    // Every entry lies inside an 8-aligned block; with fill=1 the
+    // diagonal blocks are complete, so nnz >= 16 * 64.
+    EXPECT_GE(m.nnz(), 16 * 64);
+    for (const auto &t : m.entries()) {
+        // The diagonal block of each block row must be full.
+        (void)t;
+    }
+    const auto hist =
+        PatternHistogram::analyze(m, PatternGrid{4});
+    // Fully dense 8x8 blocks -> only the full 4x4 pattern occurs.
+    ASSERT_EQ(hist.distinctPatterns(), 1u);
+    EXPECT_EQ(hist.bins()[0].mask, 0xFFFF);
+}
+
+TEST(Generators, BandedBlocksStayInBand)
+{
+    const int hb = 2;
+    const Index b = 4;
+    const auto m = genBandedBlocks(256, b, hb, 1.0, 2);
+    for (const auto &t : m.entries()) {
+        EXPECT_LE(std::abs(t.row / b - t.col / b), hb);
+    }
+}
+
+TEST(Generators, StencilHasExactOffsets)
+{
+    const std::vector<Index> offsets{0, 1, -1, 10, -10};
+    const auto m = genStencil(100, offsets);
+    std::set<Index> seen;
+    for (const auto &t : m.entries())
+        seen.insert(t.col - t.row);
+    EXPECT_EQ(seen.size(), offsets.size());
+    for (Index o : offsets)
+        EXPECT_TRUE(seen.count(o)) << o;
+}
+
+TEST(Generators, AntiDiagonalBandIsAntiDiagonal)
+{
+    const auto m = genAntiDiagonalBand(200, 1, 1.0, 0.0, 3);
+    for (const auto &t : m.entries()) {
+        EXPECT_LE(std::abs((t.row + t.col) - (m.rows() - 1)), 1);
+    }
+}
+
+TEST(Generators, PowerLawGraphIsSymmetricAndSkewed)
+{
+    const auto m = genPowerLawGraph(512, 8000, 0.8, 4);
+    EXPECT_TRUE(m.transposed() == m);
+
+    // Degree skew: the max degree greatly exceeds the mean.
+    std::vector<Count> degree(m.rows(), 0);
+    for (const auto &t : m.entries())
+        ++degree[t.row];
+    const Count max_deg =
+        *std::max_element(degree.begin(), degree.end());
+    const double mean_deg =
+        static_cast<double>(m.nnz()) / m.rows();
+    EXPECT_GT(static_cast<double>(max_deg), 4.0 * mean_deg);
+}
+
+TEST(Generators, ScatteredLpDenseRowsAreDense)
+{
+    const auto m = genScatteredLp(256, 2000, 2, 0, 5);
+    std::vector<Count> row_len(m.rows(), 0);
+    for (const auto &t : m.entries())
+        ++row_len[t.row];
+    const Count max_len =
+        *std::max_element(row_len.begin(), row_len.end());
+    EXPECT_EQ(max_len, 256);
+}
+
+TEST(Generators, UniformRandomHitsTargetApproximately)
+{
+    const auto m = genUniformRandom(1000, 1000, 5000, 6);
+    // Collisions only remove a tiny fraction.
+    EXPECT_GT(m.nnz(), 4900);
+    EXPECT_LE(m.nnz(), 5000);
+}
+
+TEST(Generators, RowRunsHitNnzBudget)
+{
+    const auto m = genRowRuns(512, 20.0, 6.0, 7);
+    const double per_row = static_cast<double>(m.nnz()) / 512.0;
+    EXPECT_NEAR(per_row, 20.0, 3.0);
+}
+
+TEST(Generators, DbbBlocksHoldExactBudget)
+{
+    const Index block = 4;
+    const int k = 5;
+    const auto m = genDbbMatrix(64, 64, block, k, 17);
+    EXPECT_EQ(m.nnz(), (64 / block) * (64 / block) * k);
+
+    std::vector<int> per_block((64 / block) * (64 / block), 0);
+    for (const auto &t : m.entries()) {
+        ++per_block[(t.row / block) * (64 / block) +
+                    t.col / block];
+    }
+    for (int count : per_block)
+        EXPECT_EQ(count, k);
+}
+
+TEST(Generators, DbbRejectsBadBudget)
+{
+    EXPECT_DEATH(genDbbMatrix(16, 16, 4, 0, 1), "assertion");
+    EXPECT_DEATH(genDbbMatrix(16, 16, 4, 17, 1), "assertion");
+}
+
+TEST(Generators, TwoFourKeepsTwoOfEveryFour)
+{
+    const auto m = genTwoFourMatrix(32, 64, 3);
+    EXPECT_EQ(m.nnz(), 32 * 64 / 2);
+    std::vector<int> group_count(32 * (64 / 4), 0);
+    for (const auto &t : m.entries())
+        ++group_count[t.row * (64 / 4) + t.col / 4];
+    for (int count : group_count)
+        EXPECT_EQ(count, 2);
+}
+
+TEST(Generators, Deterministic)
+{
+    EXPECT_TRUE(genBlockGrid(128, 8, 3, 0.9, 42) ==
+                genBlockGrid(128, 8, 3, 0.9, 42));
+    EXPECT_FALSE(genBlockGrid(128, 8, 3, 0.9, 42) ==
+                 genBlockGrid(128, 8, 3, 0.9, 43));
+}
+
+// ---------------------------------------------------------------------
+// Suite
+// ---------------------------------------------------------------------
+
+TEST(Suite, HasTwentyWorkloadsInTableOrder)
+{
+    const auto &names = workloadNames();
+    ASSERT_EQ(names.size(), 20u);
+    EXPECT_EQ(names.front(), "mycielskian14");
+    EXPECT_EQ(names.back(), "stormG2_1000");
+    // Table II is ordered by descending density.
+    for (std::size_t i = 1; i < names.size(); ++i) {
+        EXPECT_GE(workloadInfo(names[i - 1]).paperDensity,
+                  workloadInfo(names[i]).paperDensity);
+    }
+}
+
+TEST(Suite, InfoMatchesPaperTable)
+{
+    const auto &info = workloadInfo("raefsky3");
+    EXPECT_EQ(info.domain, "CFD");
+    EXPECT_NEAR(info.paperNnz, 1.49e6, 1e4);
+    EXPECT_NEAR(info.paperDensity, 3.31e-3, 1e-5);
+}
+
+TEST(Suite, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(workloadInfo("nonexistent"),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+TEST(Suite, ScaleCapsRows)
+{
+    const auto tiny = generateWorkload("cfd2", Scale::Tiny);
+    const auto small = generateWorkload("cfd2", Scale::Small);
+    EXPECT_LE(tiny.rows(), scaleRowCap(Scale::Tiny));
+    EXPECT_LE(small.rows(), scaleRowCap(Scale::Small));
+    EXPECT_LT(tiny.rows(), small.rows());
+}
+
+TEST(Suite, GenerationIsDeterministic)
+{
+    EXPECT_TRUE(generateWorkload("bbmat", Scale::Tiny) ==
+                generateWorkload("bbmat", Scale::Tiny));
+}
+
+class SuiteWorkloads : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SuiteWorkloads, GeneratesWithPlausibleNnzPerRow)
+{
+    const auto &info = workloadInfo(GetParam());
+    const auto m = generateWorkload(GetParam(), Scale::Tiny);
+    EXPECT_EQ(m.name(), GetParam());
+    ASSERT_GT(m.nnz(), 0);
+    ASSERT_GT(m.rows(), 0);
+
+    // nnz/row at reduced scale should track the paper's full-scale
+    // nnz/row within a factor of two (structure preservation).
+    const double paper_per_row = info.paperNnz / info.fullRows;
+    const double got_per_row =
+        static_cast<double>(m.nnz()) / m.rows();
+    EXPECT_GT(got_per_row, paper_per_row / 2.0);
+    EXPECT_LT(got_per_row, paper_per_row * 2.0);
+}
+
+TEST_P(SuiteWorkloads, PatternsAreAnalyzable)
+{
+    const auto m = generateWorkload(GetParam(), Scale::Tiny);
+    const auto hist =
+        PatternHistogram::analyze(m, PatternGrid{4});
+    EXPECT_GT(hist.distinctPatterns(), 0u);
+    EXPECT_EQ(hist.totalNonZeros(),
+              static_cast<std::uint64_t>(m.nnz()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTwenty, SuiteWorkloads,
+                         ::testing::ValuesIn(workloadNames()),
+                         [](const auto &info) {
+                             std::string n = info.param;
+                             for (auto &c : n) {
+                                 if (c == '-')
+                                     c = '_';
+                             }
+                             return n;
+                         });
+
+} // namespace
+} // namespace spasm

@@ -1,0 +1,420 @@
+/**
+ * @file
+ * spasm — command-line driver for the SPASM framework.
+ *
+ * Subcommands:
+ *   analyze  <input>                      local-pattern statistics,
+ *                                         global composition and
+ *                                         portfolio selection
+ *   encode   <input> -o out.spasm         preprocess + encode to a
+ *            [--tile N] [--portfolio N]   binary .spasm file
+ *   simulate <input> [--config NAME]      run SpMV on the cycle-level
+ *            [--tile N] [--iters N]       accelerator model; --stats,
+ *            [--stats] [--occupancy]      --occupancy and --trace
+ *            [--trace out.csv]            expose the counters
+ *   verify   <input>                      all portfolios x tile sizes
+ *                                         against the reference SpMV
+ *   spy      <input> [-o out.pgm]         occupancy plot
+ *   suite                                 list the built-in workloads
+ *
+ * <input> is a MatrixMarket path (*.mtx), a .spasm file (simulate
+ * only), or the name of a built-in Table II workload (generated at
+ * SPASM_SCALE, default small).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/framework.hh"
+#include "format/serialize.hh"
+#include "sparse/matrix_market.hh"
+#include "sparse/matrix_stats.hh"
+#include "sparse/spy.hh"
+#include "support/logging.hh"
+#include "support/table.hh"
+#include "workloads/suite.hh"
+
+namespace {
+
+using namespace spasm;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: spasm <command> [args]\n"
+        "  spasm analyze  <matrix.mtx | workload>\n"
+        "  spasm encode   <matrix.mtx | workload> -o <out.spasm>\n"
+        "                 [--tile N] [--portfolio 0-9]\n"
+        "  spasm simulate <matrix.mtx | workload | file.spasm>\n"
+        "                 [--config SPASM_4_1|SPASM_3_4|SPASM_3_2]\n"
+        "                 [--tile N] [--iters N] [--stats]\n"
+        "                 [--occupancy] [--trace out.csv]\n"
+        "  spasm verify   <matrix.mtx | workload>\n"
+        "  spasm spy      <matrix.mtx | workload> [-o out.pgm]\n"
+        "                 [--resolution N]\n"
+        "  spasm suite\n");
+    return 2;
+}
+
+bool
+endsWith(const std::string &s, const char *suffix)
+{
+    const std::size_t n = std::strlen(suffix);
+    return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+CooMatrix
+loadInput(const std::string &input)
+{
+    if (endsWith(input, ".mtx"))
+        return readMatrixMarket(input);
+    return generateWorkload(input, scaleFromEnv());
+}
+
+/** Find "--name value" in args; returns empty string if absent. */
+std::string
+optValue(const std::vector<std::string> &args, const char *name)
+{
+    for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+        if (args[i] == name)
+            return args[i + 1];
+    }
+    return "";
+}
+
+int
+cmdSuite()
+{
+    std::printf("%-15s %-26s %12s %12s\n", "name", "domain",
+                "paper nnz", "paper rows");
+    for (const auto &name : workloadNames()) {
+        const auto &info = workloadInfo(name);
+        std::printf("%-15s %-26s %12.3g %12d\n", name.c_str(),
+                    info.domain.c_str(), info.paperNnz,
+                    info.fullRows);
+    }
+    return 0;
+}
+
+int
+cmdAnalyze(const std::string &input)
+{
+    const CooMatrix m = loadInput(input);
+    std::printf("%s: %d x %d, %lld nnz, density %.3g\n",
+                m.name().c_str(), m.rows(), m.cols(),
+                static_cast<long long>(m.nnz()), m.density());
+
+    const PatternGrid grid{4};
+    const auto hist = PatternHistogram::analyze(m, grid);
+    std::printf("distinct 4x4 local patterns : %zu\n",
+                hist.distinctPatterns());
+    std::printf("occurrences (non-empty subs): %llu\n",
+                static_cast<unsigned long long>(
+                    hist.totalOccurrences()));
+    std::printf("top-8 coverage              : %.1f%%\n",
+                100.0 * hist.cdf(8).back());
+    std::printf("patterns for 90%% coverage   : %zu\n",
+                hist.topNForCoverage(0.9));
+
+    const auto candidates = allCandidatePortfolios(grid);
+    const auto sel = selectPortfolio(hist, candidates, 64);
+    const auto &portfolio = candidates[sel.bestCandidate];
+    std::printf("selected portfolio          : %d (%s)\n",
+                portfolio.id(), portfolio.name().c_str());
+    std::printf("padding rate                : %.1f%%\n",
+                100.0 * paddingRate(hist, portfolio));
+
+    const MatrixStats stats = computeMatrixStats(m);
+    std::printf("global composition          : %s\n",
+                globalCompositionName(classifyGlobalComposition(m))
+                    .c_str());
+    std::printf("row length avg/max          : %.1f / %lld (cv "
+                "%.2f)\n",
+                stats.avgRowLength,
+                static_cast<long long>(stats.maxRowLength),
+                stats.rowLengthCv);
+    std::printf("bandwidth / diagonals       : %d / %lld\n",
+                stats.bandwidth,
+                static_cast<long long>(stats.occupiedDiagonals));
+    std::printf("structurally symmetric      : %s\n\n",
+                stats.structurallySymmetric ? "yes" : "no");
+    std::printf("%s", spyAscii(m, 24).c_str());
+    return 0;
+}
+
+int
+cmdSpy(const std::string &input,
+       const std::vector<std::string> &args)
+{
+    const CooMatrix m = loadInput(input);
+    const std::string out = optValue(args, "-o");
+    if (out.empty()) {
+        std::printf("%s", spyAscii(m, 48).c_str());
+        return 0;
+    }
+    const std::string res_opt = optValue(args, "--resolution");
+    const int res = res_opt.empty() ? 256 : std::stoi(res_opt);
+    writeSpyPgm(m, out, res);
+    std::printf("wrote %dx%d spy plot of %s to %s\n", res, res,
+                m.name().c_str(), out.c_str());
+    return 0;
+}
+
+int
+cmdEncode(const std::string &input,
+          const std::vector<std::string> &args)
+{
+    const std::string out = optValue(args, "-o");
+    if (out.empty()) {
+        std::fprintf(stderr, "encode: missing -o <out.spasm>\n");
+        return 2;
+    }
+    const CooMatrix m = loadInput(input);
+
+    const PatternGrid grid{4};
+    const auto hist = PatternHistogram::analyze(m, grid);
+    const auto candidates = allCandidatePortfolios(grid);
+    int portfolio_id;
+    const std::string p_opt = optValue(args, "--portfolio");
+    if (p_opt.empty()) {
+        portfolio_id =
+            selectPortfolio(hist, candidates, 64).bestCandidate;
+    } else {
+        portfolio_id = std::stoi(p_opt);
+        if (portfolio_id < 0 ||
+            portfolio_id >= static_cast<int>(candidates.size())) {
+            spasm_fatal("--portfolio must be 0..%zu",
+                        candidates.size() - 1);
+        }
+    }
+
+    const std::string t_opt = optValue(args, "--tile");
+    Index tile = 1024;
+    if (!t_opt.empty()) {
+        tile = static_cast<Index>(std::stol(t_opt));
+    } else {
+        const auto profile =
+            buildProfile(m, candidates[portfolio_id]);
+        tile = exploreSchedule(profile, allHwConfigs()).tileSize;
+    }
+
+    const SpasmEncoder encoder(candidates[portfolio_id], tile);
+    const SpasmMatrix enc = encoder.encode(m);
+    writeSpasmFile(enc, out);
+    std::printf("encoded %s -> %s\n", m.name().c_str(), out.c_str());
+    std::printf("portfolio %d (%s), tile %d, %lld words, padding "
+                "%.1f%%, %.1f KiB\n",
+                portfolio_id,
+                candidates[portfolio_id].name().c_str(), tile,
+                static_cast<long long>(enc.numWords()),
+                100.0 * enc.paddingRate(),
+                static_cast<double>(enc.encodedBytes()) / 1024.0);
+    return 0;
+}
+
+int
+cmdSimulate(const std::string &input,
+            const std::vector<std::string> &args)
+{
+    const std::string iters_opt = optValue(args, "--iters");
+    const int iters = iters_opt.empty() ? 1 : std::stoi(iters_opt);
+    const std::string cfg_opt = optValue(args, "--config");
+
+    SpasmMatrix enc;
+    HwConfig config;
+    if (endsWith(input, ".spasm")) {
+        enc = readSpasmFile(input);
+        config = spasm41();
+    } else {
+        const CooMatrix m = loadInput(input);
+        const PatternGrid grid{4};
+        const auto hist = PatternHistogram::analyze(m, grid);
+        const auto candidates = allCandidatePortfolios(grid);
+        const auto sel = selectPortfolio(hist, candidates, 64);
+        const auto profile =
+            buildProfile(m, candidates[sel.bestCandidate]);
+        const auto choice = exploreSchedule(profile, allHwConfigs());
+        config = choice.config;
+        Index tile = choice.tileSize;
+        const std::string t_opt = optValue(args, "--tile");
+        if (!t_opt.empty())
+            tile = static_cast<Index>(std::stol(t_opt));
+        enc = SpasmEncoder(candidates[sel.bestCandidate], tile)
+                  .encode(m);
+    }
+    if (!cfg_opt.empty()) {
+        bool found = false;
+        for (const auto &c : allHwConfigs()) {
+            if (c.name() == cfg_opt) {
+                config = c;
+                found = true;
+            }
+        }
+        if (!found)
+            spasm_fatal("unknown --config '%s'", cfg_opt.c_str());
+    }
+
+    Accelerator accel(config, enc.portfolio());
+    const std::string trace_path = optValue(args, "--trace");
+    std::vector<TraceEvent> trace;
+    if (!trace_path.empty())
+        accel.setTraceSink(&trace);
+
+    const auto x = SpasmFramework::defaultX(enc.cols());
+    std::vector<Value> y(enc.rows(), 0.0f);
+    RunStats stats{};
+    double total_seconds = 0.0;
+    for (int i = 0; i < iters; ++i) {
+        std::fill(y.begin(), y.end(), 0.0f);
+        stats = accel.run(enc, x, y);
+        total_seconds += stats.seconds;
+    }
+
+    if (!trace_path.empty()) {
+        CsvWriter csv(trace_path);
+        csv.writeRow({"pe", "tile_row", "tile_col", "first_word",
+                      "num_words", "start_cycle", "end_cycle",
+                      "flushed"});
+        for (const auto &ev : trace) {
+            csv.writeRow({std::to_string(ev.pe),
+                          std::to_string(ev.tileRowIdx),
+                          std::to_string(ev.tileColIdx),
+                          std::to_string(ev.firstWord),
+                          std::to_string(ev.numWords),
+                          std::to_string(ev.startCycle),
+                          std::to_string(ev.endCycle),
+                          ev.flushed ? "1" : "0"});
+        }
+        std::printf("trace             : %zu events -> %s\n",
+                    trace.size(), trace_path.c_str());
+    }
+
+    std::printf("config            : %s (%d HBM ch, %.0f GB/s, "
+                "%.1f GFLOP/s peak)\n",
+                config.name().c_str(), config.hbmChannels(),
+                config.bandwidthGBs(), config.peakGflops());
+    std::printf("tile size         : %d\n", enc.tileSize());
+    std::printf("words / paddings  : %lld / %lld (%.1f%%)\n",
+                static_cast<long long>(enc.numWords()),
+                static_cast<long long>(enc.paddings()),
+                100.0 * enc.paddingRate());
+    std::printf("cycles            : %llu\n",
+                static_cast<unsigned long long>(stats.cycles));
+    std::printf("time              : %.3f us/iter (%d iters)\n",
+                total_seconds / iters * 1e6, iters);
+    std::printf("throughput        : %.2f GFLOP/s\n", stats.gflops);
+    std::printf("bandwidth util    : %.1f%%\n",
+                100.0 * stats.bandwidthUtilization);
+    std::printf("compute util      : %.1f%%\n",
+                100.0 * stats.computeUtilization);
+
+    bool want_stats = false;
+    bool want_occupancy = false;
+    for (const auto &a : args) {
+        want_stats = want_stats || a == "--stats";
+        want_occupancy = want_occupancy || a == "--occupancy";
+    }
+    if (want_stats) {
+        std::printf("\n");
+        printStats(std::cout, stats);
+    }
+    if (want_occupancy && !stats.occupancyTimeline.empty()) {
+        std::printf("\nPE occupancy timeline (%llu cycles/bucket):\n",
+                    static_cast<unsigned long long>(
+                        stats.occupancyBucketCycles));
+        for (double o : stats.occupancyTimeline) {
+            const int bars = static_cast<int>(o * 50.0 + 0.5);
+            std::printf("  %5.1f%% |%.*s\n", 100.0 * o, bars,
+                        "#################################"
+                        "#################");
+        }
+    }
+    return 0;
+}
+
+int
+cmdVerify(const std::string &input)
+{
+    // Full-pipeline verification: every portfolio x a spread of tile
+    // sizes, encode -> round-trip -> simulate -> compare against the
+    // reference SpMV.  Exit 0 iff everything agrees.
+    const CooMatrix m = loadInput(input);
+    std::printf("verifying %s: %d x %d, %lld nnz\n",
+                m.name().c_str(), m.rows(), m.cols(),
+                static_cast<long long>(m.nnz()));
+
+    const PatternGrid grid{4};
+    const auto candidates = allCandidatePortfolios(grid);
+    const auto x = SpasmFramework::defaultX(m.cols());
+    std::vector<Value> ref(m.rows(), 0.0f);
+    m.spmv(x, ref);
+    double scale = 1.0;
+    for (Value v : ref) {
+        scale = std::max(scale,
+                         std::abs(static_cast<double>(v)));
+    }
+
+    int checks = 0, failures = 0;
+    for (const auto &portfolio : candidates) {
+        for (Index tile : {Index(64), Index(512)}) {
+            const auto enc =
+                SpasmEncoder(portfolio, tile).encode(m);
+            bool ok = enc.toCoo() == m;
+
+            Accelerator accel(spasm41(), portfolio);
+            std::vector<Value> y(m.rows(), 0.0f);
+            accel.run(enc, x, y);
+            double max_err = 0.0;
+            for (std::size_t i = 0; i < ref.size(); ++i) {
+                max_err = std::max(
+                    max_err, std::abs(static_cast<double>(y[i]) -
+                                      ref[i]));
+            }
+            ok = ok && max_err < 1e-4 * scale;
+            ++checks;
+            if (!ok) {
+                ++failures;
+                std::printf("  FAIL portfolio %d tile %d "
+                            "(max err %.3g)\n",
+                            portfolio.id(), tile, max_err);
+            }
+        }
+    }
+    std::printf("%d/%d checks passed\n", checks - failures, checks);
+    std::printf(failures == 0 ? "PASS\n" : "FAIL\n");
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    std::vector<std::string> args;
+    for (int i = 2; i < argc; ++i)
+        args.emplace_back(argv[i]);
+
+    if (cmd == "suite")
+        return cmdSuite();
+    if (args.empty() && cmd != "suite")
+        return usage();
+    if (cmd == "analyze")
+        return cmdAnalyze(args[0]);
+    if (cmd == "encode")
+        return cmdEncode(args[0], args);
+    if (cmd == "simulate")
+        return cmdSimulate(args[0], args);
+    if (cmd == "verify")
+        return cmdVerify(args[0]);
+    if (cmd == "spy")
+        return cmdSpy(args[0], args);
+    return usage();
+}
