@@ -59,6 +59,21 @@ workload(const std::string &name)
     return generateWorkload(name, scale());
 }
 
+/**
+ * Export one result table in every machine-readable form the
+ * environment asks for: CSV to `$SPASM_CSV_DIR/<stem>.csv` and
+ * schema-versioned JSON ("spasm-bench-v1") to
+ * `$SPASM_JSON_DIR/<stem>.json`.  Each bench binary calls this once
+ * per table/figure so the whole harness doubles as a machine-readable
+ * results exporter (see docs/observability.md).
+ */
+inline void
+exportTable(const TextTable &table, const std::string &stem)
+{
+    table.exportCsv(stem);
+    table.exportJson(stem);
+}
+
 } // namespace benchutil
 } // namespace spasm
 

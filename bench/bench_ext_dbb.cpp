@@ -70,7 +70,7 @@ main()
              TextTable::fmtX(out.exec.stats.gflops / rs.gflops, 2)});
     }
     table.print(std::cout);
-    table.exportCsv("ext_dbb");
+    benchutil::exportTable(table, "ext_dbb");
 
     std::cout << "\nshape check: denser density bounds pad less "
                  "(more cells per block covered by one template); "

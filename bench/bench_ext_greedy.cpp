@@ -65,7 +65,7 @@ main()
                           100.0 * paddingRate(hist, greedy), 1)});
     }
     table.print(std::cout);
-    table.exportCsv("ext_greedy");
+    benchutil::exportTable(table, "ext_greedy");
 
     std::cout << "\ngeomean storage vs COO: Table V selection "
               << TextTable::fmtX(fixed_impr.geomean())

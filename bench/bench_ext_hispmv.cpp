@@ -60,7 +60,7 @@ main()
     add_case(stress);
 
     table.print(std::cout);
-    table.exportCsv("ext_hispmv");
+    benchutil::exportTable(table, "ext_hispmv");
 
     std::cout << "\ngeomeans: HiSpMV vs Serpens_a16 "
               << TextTable::fmtX(h_vs_s.geomean())

@@ -77,7 +77,7 @@ main()
         }
     }
     table.print(std::cout);
-    table.exportCsv("ext_hwparams");
+    benchutil::exportTable(table, "ext_hwparams");
 
     std::cout << "\nshape check: block-structured matrices want PE "
                  "groups (G), scattered matrices want x-vector "

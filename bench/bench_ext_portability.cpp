@@ -116,7 +116,7 @@ main()
              TextTable::fmt(foreign_gf / own_gf, 2)});
     }
     table.print(std::cout);
-    table.exportCsv("ext_portability");
+    benchutil::exportTable(table, "ext_portability");
 
     std::cout << "\ngeomean retained throughput: set-optimized "
               << TextTable::fmt(100.0 * set_loss.geomean(), 1)

@@ -101,7 +101,7 @@ main()
                       TextTable::fmt(r.serpensGf, 1)});
     }
     table.print(std::cout);
-    table.exportCsv("ext_reorder");
+    benchutil::exportTable(table, "ext_reorder");
 
     std::cout << "\nshape check: shuffling destroys the local "
                  "patterns (padding explodes, SPASM storage falls "

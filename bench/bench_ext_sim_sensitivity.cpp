@@ -72,7 +72,7 @@ main()
                       TextTable::fmt(100.0 * h8i / ideal, 0) + "%"});
     }
     table.print(std::cout);
-    table.exportCsv("ext_sim_sensitivity");
+    benchutil::exportTable(table, "ext_sim_sensitivity");
 
     std::cout << "\ngeomean of ideal throughput retained: "
               << TextTable::fmt(100.0 * loss8.geomean(), 1)

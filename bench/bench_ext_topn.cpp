@@ -79,7 +79,7 @@ main()
                       TextTable::fmtX(rel.geomean(), 3)});
     }
     table.print(std::cout);
-    table.exportCsv("ext_topn");
+    benchutil::exportTable(table, "ext_topn");
 
     std::cout << "\nshape check: small n is much cheaper and almost "
                  "always picks the same portfolio (storage within a "

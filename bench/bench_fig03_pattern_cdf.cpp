@@ -43,7 +43,7 @@ main()
         table.addRow(std::move(row));
     }
     table.print(std::cout);
-    table.exportCsv("fig03_pattern_cdf");
+    benchutil::exportTable(table, "fig03_pattern_cdf");
     std::cout << "\nshape check: most matrices are dominated by a "
                  "small number of patterns (paper section II-B)\n";
     return 0;

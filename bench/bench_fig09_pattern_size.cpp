@@ -65,7 +65,7 @@ main()
                   TextTable::fmtX(per_grid[1].geomean()),
                   TextTable::fmtX(per_grid[2].geomean()), ""});
     table.print(std::cout);
-    table.exportCsv("fig09_pattern_size");
+    benchutil::exportTable(table, "fig09_pattern_size");
 
     std::cout << "\nshape check (paper V-B): 2x2 and 4x4 are "
                  "marginally more efficient than 3x3; 4x4 is chosen "

@@ -76,7 +76,7 @@ main()
     summary.push_back("");
     table.addRow(std::move(summary));
     table.print(std::cout);
-    table.exportCsv("fig10_template_selection");
+    benchutil::exportTable(table, "fig10_template_selection");
 
     std::cout << "\nshape check (paper V-C): no one-fits-all "
                  "portfolio; dynamic per-matrix selection tracks the "

@@ -62,7 +62,7 @@ main()
                       TextTable::fmt(100.0 * padding_rate, 1) + "%"});
     }
     table.print(std::cout);
-    table.exportCsv("fig11_storage_formats");
+    benchutil::exportTable(table, "fig11_storage_formats");
 
     TextTable summary("Table VI — overall storage improvement");
     summary.setHeader({"Data format", "Min.", "Max.", "Average"});

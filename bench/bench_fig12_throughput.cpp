@@ -79,7 +79,7 @@ main()
                       TextTable::fmtX(s_gpu, 2)});
     }
     table.print(std::cout);
-    table.exportCsv("fig12_throughput");
+    benchutil::exportTable(table, "fig12_throughput");
 
     TextTable summary("Speedup summary (geomean / max)");
     summary.setHeader({"vs", "geomean", "max", "paper geomean",

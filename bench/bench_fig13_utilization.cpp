@@ -53,7 +53,7 @@ main()
         table.addRow(std::move(row));
     }
     table.print(std::cout);
-    table.exportCsv("fig13_utilization");
+    benchutil::exportTable(table, "fig13_utilization");
 
     TextTable summary("Utilization summary (arithmetic mean)");
     summary.setHeader({"Platform", "bandwidth %", "compute %"});

@@ -69,7 +69,7 @@ main()
                       TextTable::fmtX(g_total)});
     }
     table.print(std::cout);
-    table.exportCsv("fig14_ablation");
+    benchutil::exportTable(table, "fig14_ablation");
 
     std::cout << "\ngeomean gains: schedule exploration "
               << TextTable::fmtX(sched_gain.geomean())

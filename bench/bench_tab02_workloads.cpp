@@ -47,7 +47,7 @@ main()
                           classifyGlobalComposition(m))});
     }
     table.print(std::cout);
-    table.exportCsv("tab02_workloads");
+    benchutil::exportTable(table, "tab02_workloads");
 
     std::cout << "\npaper full-scale reference: nnz from "
               << TextTable::fmtSci(3.46e6, 2) << " (stormG2_1000) to "

@@ -32,7 +32,7 @@ main()
                       std::to_string(cfg.maxTileSizeOnChip())});
     }
     table.print(std::cout);
-    table.exportCsv("tab04_hw_configs");
+    benchutil::exportTable(table, "tab04_hw_configs");
 
     std::cout << "\npaper Table IV reference: SPASM_4_1 252 MHz / "
                  "417 GB/s / 129 GFLOP/s; SPASM_3_4 265 / 446 / 102; "

@@ -63,7 +63,7 @@ main()
                                  2),
                   "1.24"});
     table.print(std::cout);
-    table.exportCsv("tab07_energy");
+    benchutil::exportTable(table, "tab07_energy");
 
     std::cout << "\nshape check (paper V-E3): SPASM achieves 5.39x "
                  "the GPU's and 3.35x HiSparse's energy efficiency, "

@@ -57,7 +57,7 @@ main()
                       TextTable::fmt(serpens_ms, 3), amortize});
     }
     table.print(std::cout);
-    table.exportCsv("tab08_preprocessing");
+    benchutil::exportTable(table, "tab08_preprocessing");
 
     std::cout << "\npaper Table VIII reference (full scale, Xeon "
                  "E5-2650 single core): ML_Laplace 3258/190/1723/2095 "

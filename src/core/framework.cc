@@ -5,6 +5,7 @@
 
 #include "perf/perf_model.hh"
 #include "support/logging.hh"
+#include "support/obs.hh"
 #include "support/timer.hh"
 
 namespace spasm {
@@ -23,22 +24,33 @@ SpasmFramework::preprocess(const CooMatrix &m) const
     PreprocessResult pre;
     Timer timer;
 
+    obs::Span preprocess_span("framework.preprocess");
+    preprocess_span.tag("matrix", m.name());
+    obs::Registry::global().add("framework.matrices_preprocessed");
+
     // (1) Local pattern analysis (Algorithm 2).
     timer.reset();
-    pre.histogram = PatternHistogram::analyze(m, grid);
+    {
+        obs::Span span("framework.analysis");
+        pre.histogram = PatternHistogram::analyze(m, grid);
+    }
     pre.timings.analysisMs = timer.elapsedMs();
 
     // (2) Template pattern selection (Algorithm 3).
     timer.reset();
-    if (options_.dynamicTemplateSelection) {
-        const auto candidates = allCandidatePortfolios(grid);
-        const SelectionResult sel = selectPortfolio(
-            pre.histogram, candidates, options_.selectionTopN);
-        pre.portfolioId = sel.bestCandidate;
-        pre.portfolio = candidates[sel.bestCandidate];
-    } else {
-        pre.portfolioId = 0;
-        pre.portfolio = candidatePortfolio(0, grid);
+    {
+        obs::Span span("framework.selection");
+        if (options_.dynamicTemplateSelection) {
+            const auto candidates = allCandidatePortfolios(grid);
+            const SelectionResult sel = selectPortfolio(
+                pre.histogram, candidates, options_.selectionTopN);
+            pre.portfolioId = sel.bestCandidate;
+            pre.portfolio = candidates[sel.bestCandidate];
+        } else {
+            pre.portfolioId = 0;
+            pre.portfolio = candidatePortfolio(0, grid);
+        }
+        span.tag("portfolio", std::to_string(pre.portfolioId));
     }
     pre.timings.selectionMs = timer.elapsedMs();
 
@@ -46,33 +58,47 @@ SpasmFramework::preprocess(const CooMatrix &m) const
     // submatrix against the chosen portfolio (also produces the
     // tile-size-independent profile the exploration needs).
     timer.reset();
-    const SubmatrixProfile profile = buildProfile(m, pre.portfolio);
+    SubmatrixProfile profile;
+    {
+        obs::Span span("framework.decomposition");
+        profile = buildProfile(m, pre.portfolio);
+    }
     pre.timings.decompositionMs = timer.elapsedMs();
 
     // (4)+(5) Global composition analysis + workload schedule
     // exploration (Algorithm 4), then materialize the encoding at the
     // chosen tile size.
     timer.reset();
-    if (options_.scheduleExploration) {
-        pre.policy = SchedulePolicy::LoadBalanced;
-        pre.schedule = exploreSchedule(profile, options_.configs,
-                                       options_.tileSizes, pre.policy);
-    } else {
-        // Fixed baseline of the ablation study: SPASM_4_1 bitstream,
-        // tile size 1024.  The word-balanced placement is a property
-        // of the merge-unit hardware, not of the exploration, so it
-        // stays on.
-        pre.policy = SchedulePolicy::LoadBalanced;
-        pre.schedule.config = spasm41();
-        pre.schedule.tileSize = 1024;
-        const GlobalComposition gc = gcGen(profile, 1024);
-        pre.schedule.estCycles =
-            estimateCycles(gc, pre.schedule.config, pre.policy);
-        pre.schedule.estSeconds =
-            estimateSeconds(gc, pre.schedule.config, pre.policy);
+    {
+        obs::Span span("framework.schedule");
+        if (options_.scheduleExploration) {
+            pre.policy = SchedulePolicy::LoadBalanced;
+            pre.schedule =
+                exploreSchedule(profile, options_.configs,
+                                options_.tileSizes, pre.policy);
+        } else {
+            // Fixed baseline of the ablation study: SPASM_4_1
+            // bitstream, tile size 1024.  The word-balanced placement
+            // is a property of the merge-unit hardware, not of the
+            // exploration, so it stays on.
+            pre.policy = SchedulePolicy::LoadBalanced;
+            pre.schedule.config = spasm41();
+            pre.schedule.tileSize = 1024;
+            const GlobalComposition gc = gcGen(profile, 1024);
+            pre.schedule.estCycles =
+                estimateCycles(gc, pre.schedule.config, pre.policy);
+            pre.schedule.estSeconds =
+                estimateSeconds(gc, pre.schedule.config, pre.policy);
+        }
+        span.tag("config", pre.schedule.config.name());
+        span.tag("tile", std::to_string(pre.schedule.tileSize));
     }
-    const SpasmEncoder encoder(pre.portfolio, pre.schedule.tileSize);
-    pre.encoded = encoder.encode(m);
+    {
+        obs::Span span("framework.encode");
+        const SpasmEncoder encoder(pre.portfolio,
+                                   pre.schedule.tileSize);
+        pre.encoded = encoder.encode(m);
+    }
     pre.timings.scheduleMs = timer.elapsedMs();
     return pre;
 }
@@ -83,6 +109,8 @@ SpasmFramework::execute(const PreprocessResult &pre, const CooMatrix &m,
                         std::vector<Value> &y) const
 {
     ExecutionResult result;
+    obs::Span span("framework.execute");
+    span.tag("config", pre.schedule.config.name());
     Accelerator accel(pre.schedule.config, pre.portfolio);
     result.stats = accel.run(pre.encoded, x, y, pre.policy);
 

@@ -1,0 +1,215 @@
+#include "core/stats_json.hh"
+
+#include "support/json.hh"
+#include "support/obs.hh"
+#include "support/stats.hh"
+
+namespace spasm {
+
+namespace {
+
+void
+writeRunStats(JsonWriter &json, const RunStats &s)
+{
+    json.key("sim");
+    json.beginObject();
+    json.field("cycles", s.cycles);
+    json.field("seconds", s.seconds);
+    json.field("gflops", s.gflops);
+    json.field("total_words", s.totalWords);
+    json.field("busy_pe_cycles", s.busyPeCycles);
+    json.field("psum_flushes", s.psumFlushes);
+
+    json.key("stalls");
+    json.beginObject();
+    json.field("value", s.stallValue);
+    json.field("position", s.stallPos);
+    json.field("xvec", s.stallX);
+    json.field("flush", s.stallY);
+    json.field("hazard", s.stallHazard);
+    json.endObject();
+
+    json.key("bytes");
+    json.beginObject();
+    json.field("values", s.bytesValues);
+    json.field("position", s.bytesPos);
+    json.field("xvec", s.bytesX);
+    json.field("y", s.bytesY);
+    json.endObject();
+
+    json.key("utilization");
+    json.beginObject();
+    json.field("bandwidth", s.bandwidthUtilization);
+    json.field("compute", s.computeUtilization);
+    json.endObject();
+
+    json.key("occupancy");
+    json.beginObject();
+    json.field("bucket_cycles", s.occupancyBucketCycles);
+    json.field("p50", percentile(s.occupancyTimeline, 0.50));
+    json.field("p95", percentile(s.occupancyTimeline, 0.95));
+    json.field("p99", percentile(s.occupancyTimeline, 0.99));
+    json.key("timeline");
+    json.beginArray();
+    for (double v : s.occupancyTimeline)
+        json.value(v);
+    json.endArray();
+    json.endObject();
+
+    json.key("channels");
+    json.beginArray();
+    for (const auto &ch : s.channels) {
+        json.beginObject();
+        json.field("name", ch.name);
+        json.field("bytes", ch.bytes);
+        json.field("bytes_per_cycle", ch.bytesPerCycle);
+        json.field("utilization", ch.utilization);
+        if (!ch.timeline.empty()) {
+            json.field("occupancy_p50",
+                       percentile(ch.timeline, 0.50));
+            json.field("occupancy_p95",
+                       percentile(ch.timeline, 0.95));
+        }
+        json.endObject();
+    }
+    json.endArray();
+
+    if (!s.perPe.empty()) {
+        json.key("per_pe");
+        json.beginArray();
+        for (const auto &pe : s.perPe) {
+            json.beginObject();
+            json.field("busy", pe.busy);
+            json.field("words", pe.words);
+            json.field("flushes", pe.flushes);
+            json.key("stalls");
+            json.beginObject();
+            json.field("value", pe.stallValue);
+            json.field("position", pe.stallPos);
+            json.field("xvec", pe.stallX);
+            json.field("flush", pe.stallY);
+            json.field("hazard", pe.stallHazard);
+            json.endObject();
+            json.endObject();
+        }
+        json.endArray();
+    }
+    json.endObject();
+}
+
+void
+writeRegistry(JsonWriter &json, bool deterministic)
+{
+    const auto &reg = obs::Registry::global();
+
+    json.key("counters");
+    json.beginObject();
+    for (const auto &kv : reg.counters())
+        json.field(kv.first, kv.second);
+    json.endObject();
+
+    json.key("gauges");
+    json.beginObject();
+    for (const auto &kv : reg.gauges())
+        json.field(kv.first, kv.second);
+    json.endObject();
+
+    json.key("histograms");
+    json.beginObject();
+    for (const auto &kv : reg.histograms()) {
+        json.key(kv.first);
+        json.beginObject();
+        json.field("count", kv.second.count());
+        json.field("min", kv.second.min());
+        json.field("max", kv.second.max());
+        json.field("mean", kv.second.mean());
+        json.field("p50", kv.second.percentile(0.50));
+        json.field("p95", kv.second.percentile(0.95));
+        json.field("p99", kv.second.percentile(0.99));
+        json.endObject();
+    }
+    json.endObject();
+
+    json.key("spans");
+    json.beginArray();
+    for (const auto &span : reg.spans()) {
+        json.beginObject();
+        json.field("name", span.name);
+        json.field("start_us",
+                   deterministic ? std::uint64_t(0) : span.startUs);
+        json.field("dur_us",
+                   deterministic ? std::uint64_t(0) : span.durUs);
+        json.field("depth", span.depth);
+        if (!span.tags.empty()) {
+            json.key("tags");
+            json.beginObject();
+            for (const auto &kv : span.tags)
+                json.field(kv.first, kv.second);
+            json.endObject();
+        }
+        json.endObject();
+    }
+    json.endArray();
+}
+
+} // namespace
+
+void
+writeStatsJson(std::ostream &os, const StatsReport &report)
+{
+    JsonWriter json(os);
+    json.beginObject();
+    json.field("schema", kStatsJsonSchema);
+    json.field("generator", report.generator);
+
+    json.key("input");
+    json.beginObject();
+    json.field("name", report.inputName);
+    json.field("rows", static_cast<std::int64_t>(report.rows));
+    json.field("cols", static_cast<std::int64_t>(report.cols));
+    json.field("nnz", report.nnz);
+    json.endObject();
+
+    if (report.config != nullptr) {
+        json.key("config");
+        json.beginObject();
+        json.field("name", report.config->name());
+        json.field("pe_groups", report.config->numPeGroups);
+        json.field("xvec_channels", report.config->numXvecCh);
+        json.field("freq_mhz", report.config->freqMhz);
+        json.field("hbm_channels", report.config->hbmChannels());
+        json.field("bandwidth_gbs", report.config->bandwidthGBs());
+        json.field("peak_gflops", report.config->peakGflops());
+        json.field("tile_size",
+                   static_cast<std::int64_t>(report.tileSize));
+        json.field("portfolio", report.portfolioId);
+        json.endObject();
+    }
+
+    if (report.stats != nullptr)
+        writeRunStats(json, *report.stats);
+
+    if (report.timings != nullptr) {
+        json.key("preprocess");
+        json.beginObject();
+        const bool det = report.deterministic;
+        json.field("analysis_ms",
+                   det ? 0.0 : report.timings->analysisMs);
+        json.field("selection_ms",
+                   det ? 0.0 : report.timings->selectionMs);
+        json.field("decomposition_ms",
+                   det ? 0.0 : report.timings->decompositionMs);
+        json.field("schedule_ms",
+                   det ? 0.0 : report.timings->scheduleMs);
+        json.field("total_ms", det ? 0.0 : report.timings->totalMs());
+        json.endObject();
+    }
+
+    if (report.includeRegistry)
+        writeRegistry(json, report.deterministic);
+
+    json.endObject();
+    json.finish();
+}
+
+} // namespace spasm

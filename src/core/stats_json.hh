@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Schema-versioned JSON stats sink: serializes one run — simulator
+ * RunStats, preprocessing timings, and the observability registry's
+ * counters/gauges/histograms/spans — as a single machine-readable
+ * record tagged `"schema": "spasm-stats-v1"`.
+ *
+ * Wired into `spasm_cli simulate --stats-json out.json` and available
+ * to the bench harness; the full field list is documented in
+ * docs/observability.md.
+ */
+
+#ifndef SPASM_CORE_STATS_JSON_HH
+#define SPASM_CORE_STATS_JSON_HH
+
+#include <ostream>
+#include <string>
+
+#include "core/framework.hh"
+#include "hw/accelerator.hh"
+#include "hw/config.hh"
+
+namespace spasm {
+
+/** The schema tag emitted at the top of every stats record. */
+inline constexpr const char *kStatsJsonSchema = "spasm-stats-v1";
+
+/** Everything one stats record can carry; null members are omitted. */
+struct StatsReport
+{
+    std::string generator = "spasm_cli";
+
+    /** Input matrix identification. */
+    std::string inputName;
+    Index rows = 0;
+    Index cols = 0;
+    std::uint64_t nnz = 0;
+
+    /** Chosen hardware/encoding parameters; config may be null. */
+    const HwConfig *config = nullptr;
+    Index tileSize = 0;
+    int portfolioId = -1;
+
+    /** Simulator statistics; may be null (software-only runs). */
+    const RunStats *stats = nullptr;
+
+    /** Preprocessing wall-clock; may be null (.spasm inputs). */
+    const PreprocessTimings *timings = nullptr;
+
+    /** Serialize the observability registry's metrics and spans. */
+    bool includeRegistry = true;
+
+    /**
+     * Zero every wall-clock-derived field (preprocess timings, span
+     * timestamps/durations) so two identical runs emit byte-identical
+     * JSON.  Simulated-cycle metrics are deterministic already.
+     */
+    bool deterministic = false;
+};
+
+/** Write one schema-versioned stats record (pretty-printed JSON). */
+void writeStatsJson(std::ostream &os, const StatsReport &report);
+
+} // namespace spasm
+
+#endif // SPASM_CORE_STATS_JSON_HH

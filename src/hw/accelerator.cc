@@ -8,6 +8,7 @@
 
 #include "hw/hbm.hh"
 #include "support/logging.hh"
+#include "support/obs.hh"
 
 namespace spasm {
 
@@ -216,6 +217,34 @@ Accelerator::runImpl(const SpasmMatrix &m,
     }
     HbmChannel y_ch(bpc);
 
+    // Stable channel labels for per-channel occupancy reporting.
+    std::vector<const HbmChannel *> all_ch;
+    std::vector<std::string> ch_names;
+    {
+        const int vpg = kPesPerGroup / kPesPerValueChannel;
+        for (int g = 0; g < num_groups; ++g) {
+            for (int c = 0; c < vpg; ++c) {
+                all_ch.push_back(&val_ch[g * vpg + c]);
+                ch_names.push_back("hbm.val.g" + std::to_string(g) +
+                                   "c" + std::to_string(c));
+            }
+        }
+        for (int g = 0; g < num_groups; ++g) {
+            all_ch.push_back(&pos_ch[g]);
+            ch_names.push_back("hbm.pos.g" + std::to_string(g));
+        }
+        for (int g = 0; g < num_groups; ++g) {
+            all_ch.push_back(&x_ch[g]);
+            ch_names.push_back("hbm.x.g" + std::to_string(g));
+        }
+        for (int g = 0; g < num_groups; ++g) {
+            all_ch.push_back(&drain_ch[g]);
+            ch_names.push_back("hbm.drain.g" + std::to_string(g));
+        }
+        all_ch.push_back(&y_ch);
+        ch_names.push_back("hbm.y");
+    }
+
     std::vector<std::deque<BulkReq>> x_queue(num_groups);
     std::vector<std::deque<BulkReq>> drain_queue(num_groups);
     std::deque<BulkReq> y_queue;
@@ -264,6 +293,16 @@ Accelerator::runImpl(const SpasmMatrix &m,
     std::uint64_t occ_acc = 0;
     std::uint64_t occ_fill = 0;
     std::uint64_t occ_prev_busy = 0;
+
+    // Detailed attribution (per-PE stalls, per-channel delivered-byte
+    // timelines) is collected only when the observability registry is
+    // on; the plain-run hot loop keeps its seed cost.
+    const bool obs_detail = obs::enabled();
+    std::vector<PeStats> pe_stats(obs_detail ? num_pes : 0);
+    std::vector<std::vector<double>> ch_buckets(
+        obs_detail ? all_ch.size() : 0);
+    std::vector<double> ch_prev_bytes(
+        obs_detail ? all_ch.size() : 0, 0.0);
 
     std::uint64_t cycle = 0;
     int rr = 0; // rotating PE priority
@@ -348,6 +387,8 @@ Accelerator::runImpl(const SpasmMatrix &m,
             const SpasmTile &tile = tiles[range.tile];
             if (pe.loaded <= pe.cur) {
                 ++stats.stallX;
+                if (obs_detail)
+                    ++pe_stats[p].stallX;
                 continue;
             }
             const EncodedWord &word =
@@ -368,6 +409,8 @@ Accelerator::runImpl(const SpasmMatrix &m,
                  y_queue.size() >=
                      kMaxPendingFlushes * num_groups)) {
                 ++stats.stallY;
+                if (obs_detail)
+                    ++pe_stats[p].stallY;
                 continue;
             }
             if (psumHazardLatency_ > 0) {
@@ -386,6 +429,8 @@ Accelerator::runImpl(const SpasmMatrix &m,
                 }
                 if (hazard) {
                     ++stats.stallHazard;
+                    if (obs_detail)
+                        ++pe_stats[p].stallHazard;
                     continue;
                 }
             }
@@ -394,10 +439,14 @@ Accelerator::runImpl(const SpasmMatrix &m,
             if (pe.slice == 0) {
                 if (!pos_ch[g].available(4.0)) {
                     ++stats.stallPos;
+                    if (obs_detail)
+                        ++pe_stats[p].stallPos;
                     continue;
                 }
                 if (!val_ch[val_ch_of(p)].tryConsume(16.0)) {
                     ++stats.stallValue;
+                    if (obs_detail)
+                        ++pe_stats[p].stallValue;
                     continue;
                 }
                 const bool pos_ok = pos_ch[g].tryConsume(4.0);
@@ -433,14 +482,21 @@ Accelerator::runImpl(const SpasmMatrix &m,
             }
 
             ++stats.busyPeCycles;
+            if (obs_detail)
+                ++pe_stats[p].busy;
             if (!last_slice) {
                 ++pe.slice;
                 continue;
             }
             pe.slice = 0;
             ++pe.word;
+            if (obs_detail)
+                ++pe_stats[p].words;
 
             if (will_flush) {
+                ++stats.psumFlushes;
+                if (obs_detail)
+                    ++pe_stats[p].flushes;
                 // Flush the partial-sum buffers: drain to the merge
                 // unit (group channel), then y read-modify-write on
                 // the global channel, once per batch vector.
@@ -497,6 +553,15 @@ Accelerator::runImpl(const SpasmMatrix &m,
             occ_buckets.push_back(occ_acc);
             occ_acc = 0;
             occ_fill = 0;
+            if (obs_detail) {
+                // Per-channel delivered bytes on the same buckets.
+                for (std::size_t ci = 0; ci < all_ch.size(); ++ci) {
+                    const double total = all_ch[ci]->totalBytes();
+                    ch_buckets[ci].push_back(total -
+                                             ch_prev_bytes[ci]);
+                    ch_prev_bytes[ci] = total;
+                }
+            }
             if (occ_buckets.size() > 128) {
                 for (std::size_t i = 0; i < occ_buckets.size() / 2;
                      ++i) {
@@ -504,6 +569,11 @@ Accelerator::runImpl(const SpasmMatrix &m,
                         occ_buckets[2 * i + 1];
                 }
                 occ_buckets.resize(occ_buckets.size() / 2);
+                for (auto &cb : ch_buckets) {
+                    for (std::size_t i = 0; i < cb.size() / 2; ++i)
+                        cb[i] = cb[2 * i] + cb[2 * i + 1];
+                    cb.resize(cb.size() / 2);
+                }
                 occ_width *= 2;
             }
         }
@@ -552,6 +622,61 @@ Accelerator::runImpl(const SpasmMatrix &m,
         config_.numPes() * kValuLanes * 2;
     stats.computeUtilization =
         peak_flops > 0.0 ? useful_flops / peak_flops : 0.0;
+
+    // ---- Per-channel end-of-run summaries (cheap: totals already
+    // tracked by HbmChannel), plus detail collected while observing.
+    stats.channels.reserve(all_ch.size());
+    for (std::size_t ci = 0; ci < all_ch.size(); ++ci) {
+        ChannelStats cs;
+        cs.name = ch_names[ci];
+        cs.bytes = all_ch[ci]->totalBytes();
+        cs.bytesPerCycle = all_ch[ci]->bytesPerCycle();
+        cs.utilization = all_ch[ci]->utilization();
+        if (obs_detail) {
+            cs.timeline.reserve(ch_buckets[ci].size() + 1);
+            for (double b : ch_buckets[ci]) {
+                cs.timeline.push_back(
+                    b / (static_cast<double>(occ_width) *
+                         cs.bytesPerCycle));
+            }
+            if (occ_fill > 0) {
+                cs.timeline.push_back(
+                    (cs.bytes - ch_prev_bytes[ci]) /
+                    (static_cast<double>(occ_fill) *
+                     cs.bytesPerCycle));
+            }
+        }
+        stats.channels.push_back(std::move(cs));
+    }
+    if (obs_detail) {
+        stats.perPe = std::move(pe_stats);
+
+        auto &reg = obs::Registry::global();
+        reg.add("sim.runs");
+        reg.add("sim.cycles", stats.cycles);
+        reg.add("sim.words", stats.totalWords);
+        reg.add("sim.busy_pe_cycles", stats.busyPeCycles);
+        reg.add("sim.psum_flushes", stats.psumFlushes);
+        reg.add("sim.stall.value", stats.stallValue);
+        reg.add("sim.stall.position", stats.stallPos);
+        reg.add("sim.stall.xvec", stats.stallX);
+        reg.add("sim.stall.flush", stats.stallY);
+        reg.add("sim.stall.hazard", stats.stallHazard);
+        for (const auto &cs : stats.channels)
+            reg.set(cs.name + ".occupancy", cs.utilization);
+        const double cyc = static_cast<double>(stats.cycles);
+        for (const auto &pe : stats.perPe) {
+            reg.observe("sim.pe.busy_fraction",
+                        static_cast<double>(pe.busy) / cyc);
+            reg.observe("sim.pe.stall_fraction",
+                        static_cast<double>(
+                            pe.stallValue + pe.stallPos + pe.stallX +
+                            pe.stallY + pe.stallHazard) /
+                            cyc);
+        }
+        for (double o : stats.occupancyTimeline)
+            reg.observe("sim.occupancy", o);
+    }
     return stats;
 }
 
@@ -559,6 +684,16 @@ Accelerator::runImpl(const SpasmMatrix &m,
 void
 printStats(std::ostream &os, const RunStats &stats)
 {
+    // Integral counters are printed exactly: "%g" with 6 significant
+    // digits silently rounds long-run cycle/stall counts, corrupting
+    // values scraped from logs.
+    auto iline = [&](const char *name, std::uint64_t value,
+                     const char *desc) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf), "%-28s %18llu  # %s\n", name,
+                      static_cast<unsigned long long>(value), desc);
+        os << buf;
+    };
     auto line = [&](const char *name, double value,
                     const char *desc) {
         char buf[160];
@@ -566,26 +701,26 @@ printStats(std::ostream &os, const RunStats &stats)
                       value, desc);
         os << buf;
     };
-    line("sim.cycles", static_cast<double>(stats.cycles),
-         "total execution cycles");
+    iline("sim.cycles", stats.cycles, "total execution cycles");
     line("sim.seconds", stats.seconds, "execution time (s)");
     line("sim.gflops", stats.gflops,
          "(2*nnz + rows) / time, GFLOP/s");
-    line("sim.total_words", static_cast<double>(stats.totalWords),
-         "template instances processed");
-    line("sim.busy_pe_cycles",
-         static_cast<double>(stats.busyPeCycles),
-         "PE-cycles issuing a word");
-    line("sim.stall.value", static_cast<double>(stats.stallValue),
-         "PE-cycles stalled on the value channels");
-    line("sim.stall.position", static_cast<double>(stats.stallPos),
-         "PE-cycles stalled on the position channel");
-    line("sim.stall.xvec", static_cast<double>(stats.stallX),
-         "PE-cycles stalled on x-vector prefetch");
-    line("sim.stall.flush", static_cast<double>(stats.stallY),
-         "PE-cycles stalled on partial-sum drain");
-    line("sim.stall.hazard", static_cast<double>(stats.stallHazard),
-         "PE-cycles stalled on psum accumulation hazards");
+    iline("sim.total_words", stats.totalWords,
+          "template instances processed");
+    iline("sim.busy_pe_cycles", stats.busyPeCycles,
+          "PE-cycles issuing a word");
+    iline("sim.psum_flushes", stats.psumFlushes,
+          "partial-sum flushes to the merge unit");
+    iline("sim.stall.value", stats.stallValue,
+          "PE-cycles stalled on the value channels");
+    iline("sim.stall.position", stats.stallPos,
+          "PE-cycles stalled on the position channel");
+    iline("sim.stall.xvec", stats.stallX,
+          "PE-cycles stalled on x-vector prefetch");
+    iline("sim.stall.flush", stats.stallY,
+          "PE-cycles stalled on partial-sum drain");
+    iline("sim.stall.hazard", stats.stallHazard,
+          "PE-cycles stalled on psum accumulation hazards");
     line("hbm.bytes.values", stats.bytesValues,
          "sparse-value stream bytes");
     line("hbm.bytes.position", stats.bytesPos,
@@ -597,8 +732,9 @@ printStats(std::ostream &os, const RunStats &stats)
          "moved bytes / channel capacity");
     line("util.compute", stats.computeUtilization,
          "useful FLOPs / peak FLOPs");
-    line("hw.hbm_channels", static_cast<double>(stats.hbmChannels),
-         "HBM channels (1 + G*(X+6))");
+    iline("hw.hbm_channels",
+          static_cast<std::uint64_t>(stats.hbmChannels),
+          "HBM channels (1 + G*(X+6))");
     line("hw.bandwidth_gbs", stats.bandwidthGBs,
          "aggregate bandwidth (GB/s)");
     line("hw.peak_gflops", stats.peakGflops,

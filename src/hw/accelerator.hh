@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "format/spasm_matrix.hh"
@@ -48,6 +49,38 @@ struct TraceEvent
     std::uint64_t startCycle = 0;
     std::uint64_t endCycle = 0;
     bool flushed = false; ///< this range ended with a psum flush
+};
+
+/**
+ * Per-PE activity breakdown (collected only while the observability
+ * registry is enabled, so the hot loop stays untouched otherwise).
+ */
+struct PeStats
+{
+    std::uint64_t busy = 0;  ///< cycles issuing a word
+    std::uint64_t words = 0; ///< template instances executed
+    std::uint64_t flushes = 0;
+    std::uint64_t stallValue = 0;
+    std::uint64_t stallPos = 0;
+    std::uint64_t stallX = 0;
+    std::uint64_t stallY = 0;
+    std::uint64_t stallHazard = 0;
+};
+
+/** End-of-run summary of one HBM pseudo-channel. */
+struct ChannelStats
+{
+    std::string name;     ///< e.g. "hbm.val.g0c1", "hbm.x.g0", "hbm.y"
+    double bytes = 0.0;   ///< total delivered bytes
+    double bytesPerCycle = 0.0; ///< sustained rate (capacity basis)
+    double utilization = 0.0;   ///< delivered / capacity over the run
+
+    /**
+     * Per-bucket delivered-byte fractions of capacity, on the same
+     * geometric buckets as RunStats::occupancyTimeline.  Collected
+     * only while the observability registry is enabled.
+     */
+    std::vector<double> timeline;
 };
 
 /** Statistics of one accelerator run. */
@@ -94,6 +127,19 @@ struct RunStats
 
     /** Cycles per occupancyTimeline bucket. */
     std::uint64_t occupancyBucketCycles = 0;
+
+    /** Partial-sum buffer flushes to the merge unit. */
+    std::uint64_t psumFlushes = 0;
+
+    /** Per-channel end-of-run summaries (always populated). */
+    std::vector<ChannelStats> channels;
+
+    /**
+     * Per-PE stall/busy attribution.  Populated only when the
+     * observability registry (support/obs.hh) is enabled at run time;
+     * empty otherwise so the simulator hot loop stays branch-light.
+     */
+    std::vector<PeStats> perPe;
 };
 
 /**

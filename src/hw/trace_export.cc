@@ -1,0 +1,229 @@
+#include "hw/trace_export.hh"
+
+#include <algorithm>
+#include <istream>
+#include <sstream>
+
+#include "support/json.hh"
+#include "support/logging.hh"
+
+namespace spasm {
+
+const std::vector<std::string> kTraceCsvColumns = {
+    "pe",        "tile_row",    "tile_col",  "first_word",
+    "num_words", "start_cycle", "end_cycle", "flushed",
+};
+
+void
+writeTraceCsv(std::ostream &os, const std::vector<TraceEvent> &events)
+{
+    for (std::size_t i = 0; i < kTraceCsvColumns.size(); ++i) {
+        os << kTraceCsvColumns[i]
+           << (i + 1 < kTraceCsvColumns.size() ? ',' : '\n');
+    }
+    for (const auto &ev : events) {
+        os << ev.pe << ',' << ev.tileRowIdx << ',' << ev.tileColIdx
+           << ',' << ev.firstWord << ',' << ev.numWords << ','
+           << ev.startCycle << ',' << ev.endCycle << ','
+           << (ev.flushed ? 1 : 0) << '\n';
+    }
+}
+
+std::vector<TraceEvent>
+parseTraceCsv(std::istream &is)
+{
+    std::vector<TraceEvent> events;
+    std::string line;
+    if (!std::getline(is, line))
+        spasm_fatal("trace CSV: empty input");
+    {
+        std::string expect;
+        for (std::size_t i = 0; i < kTraceCsvColumns.size(); ++i) {
+            expect += kTraceCsvColumns[i];
+            if (i + 1 < kTraceCsvColumns.size())
+                expect += ',';
+        }
+        if (line != expect) {
+            spasm_fatal("trace CSV: bad header '%s' (expected '%s')",
+                        line.c_str(), expect.c_str());
+        }
+    }
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream row(line);
+        std::string cell;
+        std::vector<std::string> cells;
+        while (std::getline(row, cell, ','))
+            cells.push_back(cell);
+        if (cells.size() != kTraceCsvColumns.size()) {
+            spasm_fatal("trace CSV: row with %zu cells (expected "
+                        "%zu): '%s'", cells.size(),
+                        kTraceCsvColumns.size(), line.c_str());
+        }
+        TraceEvent ev;
+        ev.pe = std::stoi(cells[0]);
+        ev.tileRowIdx = static_cast<Index>(std::stol(cells[1]));
+        ev.tileColIdx = static_cast<Index>(std::stol(cells[2]));
+        ev.firstWord = std::stoull(cells[3]);
+        ev.numWords = std::stoull(cells[4]);
+        ev.startCycle = std::stoull(cells[5]);
+        ev.endCycle = std::stoull(cells[6]);
+        ev.flushed = cells[7] == "1";
+        events.push_back(ev);
+    }
+    return events;
+}
+
+namespace {
+
+constexpr int kPidSoftware = 1;
+constexpr int kPidSimulator = 2;
+
+void
+metaEvent(JsonWriter &json, int pid, int tid, const char *what,
+          const std::string &name)
+{
+    json.beginObject();
+    json.field("name", what);
+    json.field("ph", "M");
+    json.field("pid", pid);
+    if (tid >= 0)
+        json.field("tid", tid);
+    json.key("args");
+    json.beginObject();
+    json.field("name", name);
+    json.endObject();
+    json.endObject();
+}
+
+void
+counterEvent(JsonWriter &json, const std::string &track,
+             std::uint64_t ts, const char *series, double value)
+{
+    json.beginObject();
+    json.field("name", track);
+    json.field("ph", "C");
+    json.field("ts", ts);
+    json.field("pid", kPidSimulator);
+    json.field("tid", 0);
+    json.key("args");
+    json.beginObject();
+    json.field(series, value);
+    json.endObject();
+    json.endObject();
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os,
+                 const std::vector<TraceEvent> &events,
+                 const RunStats *stats,
+                 const std::vector<obs::SpanRecord> &spans,
+                 const ChromeTraceOptions &options)
+{
+    JsonWriter json(os);
+    json.beginObject();
+    json.field("displayTimeUnit", "ms");
+    json.key("otherData");
+    json.beginObject();
+    json.field("generator", "spasm");
+    json.field("cycleClockNote",
+               "pid 2 timestamps are simulated cycles, not "
+               "microseconds");
+    json.endObject();
+    json.key("traceEvents");
+    json.beginArray();
+
+    // Track naming metadata.
+    metaEvent(json, kPidSoftware, -1, "process_name",
+              "software (wall clock)");
+    metaEvent(json, kPidSoftware, 0, "thread_name", "pipeline");
+    metaEvent(json, kPidSimulator, -1, "process_name",
+              "accelerator (cycle clock)");
+    int max_pe = -1;
+    for (const auto &ev : events)
+        max_pe = std::max(max_pe, ev.pe);
+    for (int p = 0; p <= max_pe; ++p) {
+        metaEvent(json, kPidSimulator, p + 1, "thread_name",
+                  "PE " + std::to_string(p));
+    }
+
+    // Software spans: complete events on the wall-clock process.
+    for (const auto &span : spans) {
+        json.beginObject();
+        json.field("name", span.name);
+        json.field("ph", "X");
+        json.field("ts",
+                   options.deterministic ? std::uint64_t(0)
+                                         : span.startUs);
+        json.field("dur",
+                   options.deterministic ? std::uint64_t(0)
+                                         : span.durUs);
+        json.field("pid", kPidSoftware);
+        json.field("tid", 0);
+        if (!span.tags.empty()) {
+            json.key("args");
+            json.beginObject();
+            for (const auto &kv : span.tags)
+                json.field(kv.first, kv.second);
+            json.endObject();
+        }
+        json.endObject();
+    }
+
+    // Simulator work ranges: one thread per PE on the cycle clock.
+    for (const auto &ev : events) {
+        json.beginObject();
+        json.field("name",
+                   "tile " + std::to_string(ev.tileRowIdx) + "," +
+                       std::to_string(ev.tileColIdx));
+        json.field("ph", "X");
+        json.field("ts", ev.startCycle);
+        json.field("dur",
+                   std::max<std::uint64_t>(
+                       1, ev.endCycle - ev.startCycle));
+        json.field("pid", kPidSimulator);
+        json.field("tid", ev.pe + 1);
+        json.key("args");
+        json.beginObject();
+        json.field("first_word", ev.firstWord);
+        json.field("num_words", ev.numWords);
+        json.field("flushed", ev.flushed);
+        json.endObject();
+        json.endObject();
+        if (ev.flushed) {
+            json.beginObject();
+            json.field("name", "psum-flush");
+            json.field("ph", "i");
+            json.field("ts", ev.endCycle);
+            json.field("pid", kPidSimulator);
+            json.field("tid", ev.pe + 1);
+            json.field("s", "t");
+            json.endObject();
+        }
+    }
+
+    // Occupancy counter tracks on the cycle clock.
+    if (stats != nullptr) {
+        const std::uint64_t width = stats->occupancyBucketCycles;
+        for (std::size_t i = 0; i < stats->occupancyTimeline.size();
+             ++i) {
+            counterEvent(json, "pe_occupancy", i * width, "busy",
+                         stats->occupancyTimeline[i]);
+        }
+        for (const auto &ch : stats->channels) {
+            for (std::size_t i = 0; i < ch.timeline.size(); ++i) {
+                counterEvent(json, ch.name + ".occupancy", i * width,
+                             "busy", ch.timeline[i]);
+            }
+        }
+    }
+
+    json.endArray();
+    json.endObject();
+    json.finish();
+}
+
+} // namespace spasm

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Exporters for the simulator's TraceEvent stream: the CSV timeline
+ * consumed by spreadsheet tooling and a Chrome-trace-event / Perfetto
+ * JSON that merges software spans (wall clock) with the simulated
+ * cycle clock into one timeline (open it at https://ui.perfetto.dev).
+ *
+ * See docs/observability.md for the column schema and the trace
+ * track layout.
+ */
+
+#ifndef SPASM_HW_TRACE_EXPORT_HH
+#define SPASM_HW_TRACE_EXPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "hw/accelerator.hh"
+#include "support/obs.hh"
+
+namespace spasm {
+
+/**
+ * Column schema of the CSV trace (`spasm simulate --trace out.csv`),
+ * one row per executed work range:
+ *
+ *   pe          PE index that executed the range
+ *   tile_row    tile-row index of the range's tile
+ *   tile_col    tile-column index of the range's tile
+ *   first_word  range start offset within the tile's word stream
+ *   num_words   number of template instances in the range
+ *   start_cycle cycle the first word issued
+ *   end_cycle   cycle the last word issued
+ *   flushed     1 if the range ended with a partial-sum flush
+ */
+extern const std::vector<std::string> kTraceCsvColumns;
+
+/** Write the header row + one row per event. */
+void writeTraceCsv(std::ostream &os,
+                   const std::vector<TraceEvent> &events);
+
+/**
+ * One parsed row of the CSV trace (round-trip testing and scripted
+ * post-processing).
+ */
+std::vector<TraceEvent> parseTraceCsv(std::istream &is);
+
+/** Knobs of the Chrome trace exporter. */
+struct ChromeTraceOptions
+{
+    /**
+     * Zero out wall-clock span timestamps so two identical runs
+     * serialize byte-identically (simulated-cycle tracks are already
+     * deterministic).
+     */
+    bool deterministic = false;
+};
+
+/**
+ * Emit a Chrome trace-event JSON ("traceEvents" object form):
+ *
+ *  - pid 1 "software (wall clock)": one complete ("X") event per
+ *    observability span, ts/dur in real microseconds;
+ *  - pid 2 "accelerator (cycle clock)": one thread per PE with a
+ *    complete event per executed work range (1 ts unit == 1 cycle),
+ *    an instant ("i") event per partial-sum flush, plus counter
+ *    ("C") tracks for the PE-occupancy timeline and, when collected,
+ *    per-HBM-channel occupancy.
+ *
+ * @param events Simulator trace (may be empty).
+ * @param stats  Run statistics for the counter tracks; may be null.
+ * @param spans  Software spans (pass registry.spans(), may be empty).
+ */
+void writeChromeTrace(std::ostream &os,
+                      const std::vector<TraceEvent> &events,
+                      const RunStats *stats,
+                      const std::vector<obs::SpanRecord> &spans,
+                      const ChromeTraceOptions &options = {});
+
+} // namespace spasm
+
+#endif // SPASM_HW_TRACE_EXPORT_HH

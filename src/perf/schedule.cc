@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "support/logging.hh"
+#include "support/obs.hh"
 
 namespace spasm {
 
@@ -24,16 +25,30 @@ exploreSchedule(const SubmatrixProfile &profile,
     ScheduleChoice best;
     double best_seconds = std::numeric_limits<double>::infinity();
     bool found = false;
+    obs::SpanId best_span = 0;
+    auto &reg = obs::Registry::global();
 
     for (Index tile_size : tile_sizes) {
         // Changing the tile size regenerates the global composition
         // (the paper's (4) -> (5) feedback loop).
         const GlobalComposition gc = gcGen(profile, tile_size);
         for (const auto &config : configs) {
-            if (tile_size > config.maxTileSizeOnChip())
+            // One span per explored candidate, tagged with the
+            // estimate and the accept/reject decision ("accepted" is
+            // retagged onto the winner once the sweep finishes).
+            obs::Span span("schedule.candidate");
+            span.tag("config", config.name());
+            span.tag("tile", std::to_string(tile_size));
+            reg.add("schedule.candidates");
+            if (tile_size > config.maxTileSizeOnChip()) {
+                span.tag("decision", "infeasible");
+                reg.add("schedule.infeasible");
                 continue;
+            }
             const double seconds =
                 estimateSeconds(gc, config, policy);
+            span.tag("est_seconds", std::to_string(seconds));
+            reg.observe("schedule.est_seconds", seconds);
             if (seconds < best_seconds) {
                 best_seconds = seconds;
                 best.config = config;
@@ -41,6 +56,10 @@ exploreSchedule(const SubmatrixProfile &profile,
                 best.estCycles = estimateCycles(gc, config, policy);
                 best.estSeconds = seconds;
                 found = true;
+                span.tag("decision", "best-so-far");
+                best_span = span.id();
+            } else {
+                span.tag("decision", "rejected");
             }
         }
     }
@@ -48,6 +67,7 @@ exploreSchedule(const SubmatrixProfile &profile,
         spasm_fatal("no feasible (tile size, hardware config) "
                     "combination");
     }
+    reg.spanTag(best_span, "decision", "accepted");
     return best;
 }
 

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Minimal streaming JSON writer used by the observability exporters.
+ *
+ * Emits pretty-printed, deterministic JSON: keys are written in the
+ * order the caller provides them, doubles are formatted with a fixed
+ * "%.12g" so identical inputs produce byte-identical output, and
+ * non-finite values degrade to null (JSON has no NaN/Inf).
+ */
+
+#ifndef SPASM_SUPPORT_JSON_HH
+#define SPASM_SUPPORT_JSON_HH
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spasm {
+
+/** Stack-based JSON emitter; the caller drives structure. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os, int indent = 2)
+        : os_(os), indent_(indent)
+    {
+    }
+
+    void beginObject() { open('{'); }
+    void endObject() { close('}'); }
+    void beginArray() { open('['); }
+    void endArray() { close(']'); }
+
+    /** Write an object key; the next value/open call is its value. */
+    void key(std::string_view k)
+    {
+        comma();
+        writeString(k);
+        os_ << ": ";
+        keyPending_ = true;
+    }
+
+    void value(std::string_view v)
+    {
+        comma();
+        writeString(v);
+    }
+    void value(const char *v) { value(std::string_view(v)); }
+    void value(const std::string &v) { value(std::string_view(v)); }
+
+    void value(bool v)
+    {
+        comma();
+        os_ << (v ? "true" : "false");
+    }
+
+    void value(double v)
+    {
+        comma();
+        if (!std::isfinite(v)) {
+            os_ << "null";
+            return;
+        }
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.12g", v);
+        os_ << buf;
+    }
+
+    void value(std::uint64_t v)
+    {
+        comma();
+        os_ << v;
+    }
+    void value(std::int64_t v)
+    {
+        comma();
+        os_ << v;
+    }
+    void value(int v) { value(static_cast<std::int64_t>(v)); }
+    void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+
+    /** key + scalar value in one call. */
+    template <typename T>
+    void field(std::string_view k, const T &v)
+    {
+        key(k);
+        value(v);
+    }
+
+    /** Finish: emit the trailing newline (call once, at top level). */
+    void finish() { os_ << '\n'; }
+
+  private:
+    struct Level
+    {
+        bool first = true;
+    };
+
+    void open(char c)
+    {
+        comma();
+        os_ << c;
+        levels_.push_back({});
+    }
+
+    void close(char c)
+    {
+        const bool empty = levels_.back().first;
+        levels_.pop_back();
+        if (!empty) {
+            os_ << '\n';
+            pad(levels_.size());
+        }
+        os_ << c;
+    }
+
+    /** Separator + indentation before any value at the current level. */
+    void comma()
+    {
+        if (keyPending_) {
+            // Value directly follows its key on the same line.
+            keyPending_ = false;
+            return;
+        }
+        if (levels_.empty())
+            return;
+        if (!levels_.back().first)
+            os_ << ',';
+        levels_.back().first = false;
+        os_ << '\n';
+        pad(levels_.size());
+    }
+
+    void pad(std::size_t depth)
+    {
+        for (std::size_t i = 0; i < depth * indent_; ++i)
+            os_ << ' ';
+    }
+
+    void writeString(std::string_view s)
+    {
+        os_ << '"';
+        for (char c : s) {
+            switch (c) {
+              case '"':
+                os_ << "\\\"";
+                break;
+              case '\\':
+                os_ << "\\\\";
+                break;
+              case '\n':
+                os_ << "\\n";
+                break;
+              case '\t':
+                os_ << "\\t";
+                break;
+              case '\r':
+                os_ << "\\r";
+                break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    os_ << buf;
+                } else {
+                    os_ << c;
+                }
+            }
+        }
+        os_ << '"';
+    }
+
+    std::ostream &os_;
+    std::size_t indent_;
+    bool keyPending_ = false;
+    std::vector<Level> levels_;
+};
+
+} // namespace spasm
+
+#endif // SPASM_SUPPORT_JSON_HH

@@ -1,0 +1,177 @@
+#include "support/obs.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spasm {
+namespace obs {
+
+void
+HistogramData::observe(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    sum_ += v;
+    ++count_;
+
+    // Algorithm R reservoir sampling with a splitmix-style PRNG so
+    // identical sample sequences keep identical reservoirs (the JSON
+    // determinism test relies on this).
+    if (reservoir_.size() < kReservoirCap) {
+        reservoir_.push_back(v);
+        return;
+    }
+    rng_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = rng_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    const std::uint64_t slot = z % count_;
+    if (slot < kReservoirCap)
+        reservoir_[static_cast<std::size_t>(slot)] = v;
+}
+
+double
+HistogramData::percentile(double q) const
+{
+    if (reservoir_.empty())
+        return 0.0;
+    std::vector<double> sorted = reservoir_;
+    std::sort(sorted.begin(), sorted.end());
+    q = std::clamp(q, 0.0, 1.0);
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+Registry &
+Registry::global()
+{
+    static Registry instance;
+    return instance;
+}
+
+void
+Registry::setEnabled(bool enabled)
+{
+    if (enabled && !enabled_)
+        epoch_ = Clock::now();
+    enabled_ = enabled;
+}
+
+void
+Registry::clear()
+{
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+    spans_.clear();
+    stack_.clear();
+    epoch_ = Clock::now();
+}
+
+void
+Registry::add(std::string_view name, std::uint64_t delta)
+{
+    if (!enabled_)
+        return;
+    const auto it = counters_.find(name);
+    if (it != counters_.end())
+        it->second += delta;
+    else
+        counters_.emplace(std::string(name), delta);
+}
+
+void
+Registry::set(std::string_view name, double value)
+{
+    if (!enabled_)
+        return;
+    const auto it = gauges_.find(name);
+    if (it != gauges_.end())
+        it->second = value;
+    else
+        gauges_.emplace(std::string(name), value);
+}
+
+void
+Registry::observe(std::string_view name, double sample)
+{
+    if (!enabled_)
+        return;
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_.emplace(std::string(name), HistogramData{})
+                 .first;
+    }
+    it->second.observe(sample);
+}
+
+SpanId
+Registry::beginSpan(std::string_view name)
+{
+    if (!enabled_)
+        return 0;
+    SpanRecord rec;
+    rec.name = std::string(name);
+    rec.startUs = nowUs();
+    rec.depth = static_cast<int>(stack_.size());
+    rec.parent = stack_.empty() ? 0 : stack_.back();
+    spans_.push_back(std::move(rec));
+    const SpanId id = spans_.size();
+    stack_.push_back(id);
+    return id;
+}
+
+void
+Registry::endSpan(SpanId id)
+{
+    if (id == 0 || id > spans_.size())
+        return;
+    SpanRecord &rec = spans_[id - 1];
+    const std::uint64_t now = nowUs();
+    rec.durUs = now > rec.startUs ? now - rec.startUs : 0;
+    // Pop the span (and, defensively, anything opened after it that
+    // was never closed — destruction order makes this the common
+    // case only for exceptions).
+    while (!stack_.empty()) {
+        const SpanId top = stack_.back();
+        stack_.pop_back();
+        if (top == id)
+            break;
+    }
+}
+
+void
+Registry::spanTag(SpanId id, std::string_view key,
+                  std::string_view value)
+{
+    if (id == 0 || id > spans_.size())
+        return;
+    auto &tags = spans_[id - 1].tags;
+    for (auto &kv : tags) {
+        if (kv.first == key) {
+            kv.second = std::string(value);
+            return;
+        }
+    }
+    tags.emplace_back(std::string(key), std::string(value));
+}
+
+std::uint64_t
+Registry::nowUs() const
+{
+    const auto d = Clock::now() - epoch_;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(d)
+            .count());
+}
+
+} // namespace obs
+} // namespace spasm

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Unified observability layer: a process-wide registry of counters,
+ * gauges and histograms plus scoped spans (RAII wall-clock timers with
+ * parent/child nesting).
+ *
+ * Every layer of the pipeline publishes into the same registry — the
+ * six framework stages, the schedule exploration (one span per
+ * candidate config x tile size), and the cycle-level simulator — so a
+ * single run can be serialized as one schema-versioned JSON stats
+ * record (core/stats_json.hh) or one Chrome-trace timeline
+ * (hw/trace_export.hh).
+ *
+ * The registry is OFF by default and all entry points are cheap
+ * no-ops while disabled: `Span` construction is a single branch (no
+ * clock read, no allocation) and counter/gauge/histogram updates
+ * return immediately, so instrumented hot paths cost nothing unless a
+ * sink (e.g. `spasm_cli --stats-json`) turns observability on.
+ *
+ * Naming convention (see docs/observability.md): dot-separated
+ * lower_snake components, `<subsystem>.<noun>[.<cause>]`, e.g.
+ * `sim.stall.value`, `framework.analysis`, `schedule.candidate`.
+ *
+ * Not thread-safe: the pipeline and simulator are single-threaded by
+ * design; revisit if that changes.
+ */
+
+#ifndef SPASM_SUPPORT_OBS_HH
+#define SPASM_SUPPORT_OBS_HH
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace spasm {
+namespace obs {
+
+/** 1-based span handle; 0 means "no span" (registry disabled). */
+using SpanId = std::size_t;
+
+/** One completed (or still open) span. */
+struct SpanRecord
+{
+    std::string name;
+    std::uint64_t startUs = 0; ///< wall clock, µs since registry epoch
+    std::uint64_t durUs = 0;   ///< 0 while the span is still open
+    int depth = 0;             ///< nesting level (0 = top level)
+    SpanId parent = 0;         ///< enclosing span, 0 if top level
+    std::vector<std::pair<std::string, std::string>> tags;
+};
+
+/**
+ * Bounded-memory value distribution: exact count/sum/min/max plus a
+ * fixed-size reservoir (deterministic replacement) for percentiles.
+ */
+class HistogramData
+{
+  public:
+    void observe(double v);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+
+    /** Estimated q-quantile (q in [0,1]) from the reservoir. */
+    double percentile(double q) const;
+
+    static constexpr std::size_t kReservoirCap = 512;
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    std::vector<double> reservoir_;
+    std::uint64_t rng_ = 0x9e3779b97f4a7c15ULL; ///< deterministic
+};
+
+/** The process-wide metric/span registry. */
+class Registry
+{
+  public:
+    /** The singleton used by all instrumentation sites. */
+    static Registry &global();
+
+    bool enabled() const { return enabled_; }
+
+    /** Turn collection on/off; enabling (re)sets the span epoch. */
+    void setEnabled(bool enabled);
+
+    /** Drop all counters, gauges, histograms and spans. */
+    void clear();
+
+    /** Increment a monotonic counter (no-op while disabled). */
+    void add(std::string_view name, std::uint64_t delta = 1);
+
+    /** Set a point-in-time gauge value (no-op while disabled). */
+    void set(std::string_view name, double value);
+
+    /** Record one histogram sample (no-op while disabled). */
+    void observe(std::string_view name, double sample);
+
+    /**
+     * Open a span nested under the innermost open span.  Returns 0
+     * while disabled.  Prefer the RAII `Span` wrapper.
+     */
+    SpanId beginSpan(std::string_view name);
+
+    /** Close a span opened by beginSpan (0 is ignored). */
+    void endSpan(SpanId id);
+
+    /** Attach/overwrite a key=value tag on a span (0 is ignored). */
+    void spanTag(SpanId id, std::string_view key,
+                 std::string_view value);
+
+    /** Microseconds of wall clock since the registry epoch. */
+    std::uint64_t nowUs() const;
+
+    const std::map<std::string, std::uint64_t, std::less<>> &
+    counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, double, std::less<>> &gauges() const
+    {
+        return gauges_;
+    }
+    const std::map<std::string, HistogramData, std::less<>> &
+    histograms() const
+    {
+        return histograms_;
+    }
+    const std::vector<SpanRecord> &spans() const { return spans_; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    bool enabled_ = false;
+    Clock::time_point epoch_ = Clock::now();
+    std::map<std::string, std::uint64_t, std::less<>> counters_;
+    std::map<std::string, double, std::less<>> gauges_;
+    std::map<std::string, HistogramData, std::less<>> histograms_;
+    std::vector<SpanRecord> spans_;
+    std::vector<SpanId> stack_; ///< open spans, innermost last
+};
+
+/**
+ * RAII span: opens on construction, closes on destruction.  When the
+ * registry is disabled the constructor is a single branch and every
+ * method is a no-op.
+ */
+class Span
+{
+  public:
+    explicit Span(std::string_view name,
+                  Registry &registry = Registry::global())
+        : registry_(&registry),
+          id_(registry.enabled() ? registry.beginSpan(name) : 0)
+    {
+    }
+
+    ~Span() { registry_->endSpan(id_); }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    /** Attach a key=value tag (no-op while disabled). */
+    void tag(std::string_view key, std::string_view value)
+    {
+        registry_->spanTag(id_, key, value);
+    }
+
+    /** The underlying handle (0 while disabled); valid after close. */
+    SpanId id() const { return id_; }
+
+  private:
+    Registry *registry_;
+    SpanId id_;
+};
+
+/** Shorthand for Registry::global().enabled(). */
+inline bool
+enabled()
+{
+    return Registry::global().enabled();
+}
+
+} // namespace obs
+} // namespace spasm
+
+#endif // SPASM_SUPPORT_OBS_HH

@@ -59,6 +59,21 @@ stddev(const std::vector<double> &values)
     return std::sqrt(acc / static_cast<double>(values.size()));
 }
 
+double
+percentile(const std::vector<double> &values, double q)
+{
+    if (values.empty())
+        return 0.0;
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    q = std::min(1.0, std::max(0.0, q));
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
 void
 SummaryStats::add(double v)
 {
@@ -71,6 +86,19 @@ SummaryStats::add(double v)
     sum_ += v;
     logSum_ += std::log(v);
     ++count_;
+
+    // Algorithm R reservoir sampling with an xorshift PRNG: bounded
+    // memory, deterministic for a given sample sequence.
+    if (reservoir_.size() < kReservoirCap) {
+        reservoir_.push_back(v);
+        return;
+    }
+    rng_ ^= rng_ << 13;
+    rng_ ^= rng_ >> 7;
+    rng_ ^= rng_ << 17;
+    const std::uint64_t slot = rng_ % count_;
+    if (slot < kReservoirCap)
+        reservoir_[static_cast<std::size_t>(slot)] = v;
 }
 
 double
@@ -95,6 +123,12 @@ double
 SummaryStats::geomean() const
 {
     return count_ ? std::exp(logSum_ / static_cast<double>(count_)) : 0.0;
+}
+
+double
+SummaryStats::percentile(double q) const
+{
+    return spasm::percentile(reservoir_, q);
 }
 
 } // namespace spasm

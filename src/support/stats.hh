@@ -7,6 +7,7 @@
 #define SPASM_SUPPORT_STATS_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace spasm {
@@ -27,8 +28,16 @@ double maxOf(const std::vector<double> &values);
 double stddev(const std::vector<double> &values);
 
 /**
+ * q-quantile (q in [0,1]) with linear interpolation between order
+ * statistics; 0 for an empty list.  q=0.5 is the median.
+ */
+double percentile(const std::vector<double> &values, double q);
+
+/**
  * Streaming accumulator for min / max / mean / geomean over a sequence
- * of positive samples.
+ * of positive samples, plus a bounded-memory quantile estimator: a
+ * fixed-size reservoir (deterministic replacement) feeds percentile(),
+ * so memory stays O(1) no matter how many samples are added.
  */
 class SummaryStats
 {
@@ -42,12 +51,22 @@ class SummaryStats
     double mean() const;
     double geomean() const;
 
+    /**
+     * Estimated q-quantile.  Exact while count() <= kReservoirCap;
+     * a uniform-reservoir estimate beyond that.
+     */
+    double percentile(double q) const;
+
+    static constexpr std::size_t kReservoirCap = 1024;
+
   private:
     std::size_t count_ = 0;
     double min_ = 0.0;
     double max_ = 0.0;
     double sum_ = 0.0;
     double logSum_ = 0.0;
+    std::vector<double> reservoir_;
+    std::uint64_t rng_ = 0x2545f4914f6cdd1dULL; ///< deterministic
 };
 
 } // namespace spasm

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "support/json.hh"
 #include "support/logging.hh"
 
 namespace spasm {
@@ -106,6 +107,39 @@ TextTable::exportCsv(const std::string &stem) const
         csv.writeRow(header_);
     for (const auto &row : rows_)
         csv.writeRow(row);
+}
+
+void
+TextTable::exportJson(const std::string &stem) const
+{
+    const char *dir = std::getenv("SPASM_JSON_DIR");
+    if (!dir)
+        return;
+    const std::string path = std::string(dir) + "/" + stem + ".json";
+    std::ofstream out(path);
+    if (!out)
+        spasm_fatal("cannot open JSON output file '%s'", path.c_str());
+    JsonWriter json(out);
+    json.beginObject();
+    json.field("schema", "spasm-bench-v1");
+    json.field("experiment", stem);
+    json.field("title", title_);
+    json.key("columns");
+    json.beginArray();
+    for (const auto &h : header_)
+        json.value(h);
+    json.endArray();
+    json.key("rows");
+    json.beginArray();
+    for (const auto &row : rows_) {
+        json.beginArray();
+        for (const auto &cell : row)
+            json.value(cell);
+        json.endArray();
+    }
+    json.endArray();
+    json.endObject();
+    json.finish();
 }
 
 struct CsvWriter::Impl

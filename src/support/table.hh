@@ -48,6 +48,14 @@ class TextTable
      */
     void exportCsv(const std::string &stem) const;
 
+    /**
+     * Write the table as a schema-versioned JSON record
+     * (`"schema": "spasm-bench-v1"`, see docs/observability.md) to
+     * `$SPASM_JSON_DIR/<stem>.json` when that environment variable is
+     * set; a no-op otherwise.
+     */
+    void exportJson(const std::string &stem) const;
+
     std::size_t rows() const { return rows_.size(); }
 
   private:

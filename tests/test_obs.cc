@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for the observability registry (support/obs.hh) and the
+ * percentile helpers (support/stats.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/obs.hh"
+#include "support/stats.hh"
+
+namespace spasm {
+namespace {
+
+TEST(ObsRegistry, CountersAccumulate)
+{
+    auto &reg = obs::Registry::global();
+    reg.setEnabled(true);
+    reg.clear();
+
+    reg.add("a.b");
+    reg.add("a.b", 41);
+    reg.add("other");
+    ASSERT_EQ(reg.counters().size(), 2u);
+    EXPECT_EQ(reg.counters().at("a.b"), 42u);
+    EXPECT_EQ(reg.counters().at("other"), 1u);
+
+    reg.clear();
+    reg.setEnabled(false);
+}
+
+TEST(ObsRegistry, GaugesOverwrite)
+{
+    auto &reg = obs::Registry::global();
+    reg.setEnabled(true);
+    reg.clear();
+
+    reg.set("g", 1.5);
+    reg.set("g", 2.5);
+    EXPECT_DOUBLE_EQ(reg.gauges().at("g"), 2.5);
+
+    reg.clear();
+    reg.setEnabled(false);
+}
+
+TEST(ObsRegistry, HistogramSemantics)
+{
+    auto &reg = obs::Registry::global();
+    reg.setEnabled(true);
+    reg.clear();
+
+    for (int i = 1; i <= 100; ++i)
+        reg.observe("h", static_cast<double>(i));
+    const auto &h = reg.histograms().at("h");
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 100.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+    // All 100 samples fit the reservoir: percentiles are exact.
+    EXPECT_NEAR(h.percentile(0.50), 50.5, 1e-9);
+    EXPECT_NEAR(h.percentile(0.99), 99.01, 1e-9);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 100.0);
+
+    reg.clear();
+    reg.setEnabled(false);
+}
+
+TEST(ObsRegistry, HistogramReservoirIsBoundedAndSane)
+{
+    obs::HistogramData h;
+    for (int i = 0; i < 100000; ++i)
+        h.observe(static_cast<double>(i % 1000));
+    EXPECT_EQ(h.count(), 100000u);
+    // Percentile estimates stay within the observed domain and
+    // roughly track the uniform distribution.
+    const double p50 = h.percentile(0.5);
+    EXPECT_GE(p50, 300.0);
+    EXPECT_LE(p50, 700.0);
+    EXPECT_GE(h.percentile(0.95), 800.0);
+}
+
+TEST(ObsRegistry, SpansNestAndRecordParents)
+{
+    auto &reg = obs::Registry::global();
+    reg.setEnabled(true);
+    reg.clear();
+
+    {
+        obs::Span outer("outer");
+        outer.tag("k", "v");
+        {
+            obs::Span inner("inner");
+            obs::Span inner2("inner2");
+        }
+        obs::Span sibling("sibling");
+    }
+    const auto &spans = reg.spans();
+    ASSERT_EQ(spans.size(), 4u);
+    EXPECT_EQ(spans[0].name, "outer");
+    EXPECT_EQ(spans[0].depth, 0);
+    EXPECT_EQ(spans[0].parent, 0u);
+    EXPECT_EQ(spans[1].name, "inner");
+    EXPECT_EQ(spans[1].depth, 1);
+    EXPECT_EQ(spans[1].parent, 1u); // id of "outer"
+    EXPECT_EQ(spans[2].name, "inner2");
+    EXPECT_EQ(spans[2].depth, 2);
+    EXPECT_EQ(spans[2].parent, 2u); // id of "inner"
+    EXPECT_EQ(spans[3].name, "sibling");
+    EXPECT_EQ(spans[3].depth, 1);
+    EXPECT_EQ(spans[3].parent, 1u);
+    ASSERT_EQ(spans[0].tags.size(), 1u);
+    EXPECT_EQ(spans[0].tags[0].first, "k");
+    EXPECT_EQ(spans[0].tags[0].second, "v");
+    // All spans closed: start+dur within parent's window is not
+    // guaranteed by steady_clock granularity, but ordering is.
+    EXPECT_GE(spans[1].startUs, spans[0].startUs);
+
+    reg.clear();
+    reg.setEnabled(false);
+}
+
+TEST(ObsRegistry, SpanTagAfterCloseAndOverwrite)
+{
+    auto &reg = obs::Registry::global();
+    reg.setEnabled(true);
+    reg.clear();
+
+    obs::SpanId id;
+    {
+        obs::Span span("s");
+        span.tag("decision", "best-so-far");
+        id = span.id();
+    }
+    reg.spanTag(id, "decision", "accepted");
+    ASSERT_EQ(reg.spans().size(), 1u);
+    ASSERT_EQ(reg.spans()[0].tags.size(), 1u);
+    EXPECT_EQ(reg.spans()[0].tags[0].second, "accepted");
+
+    reg.clear();
+    reg.setEnabled(false);
+}
+
+TEST(ObsRegistry, DisabledIsInert)
+{
+    auto &reg = obs::Registry::global();
+    reg.setEnabled(false);
+    reg.clear();
+
+    reg.add("c");
+    reg.set("g", 1.0);
+    reg.observe("h", 1.0);
+    {
+        obs::Span span("s");
+        span.tag("k", "v");
+        EXPECT_EQ(span.id(), 0u);
+    }
+    EXPECT_TRUE(reg.counters().empty());
+    EXPECT_TRUE(reg.gauges().empty());
+    EXPECT_TRUE(reg.histograms().empty());
+    EXPECT_TRUE(reg.spans().empty());
+}
+
+TEST(Percentile, FreeFunctionInterpolates)
+{
+    EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 0.0), 7.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 1.0), 7.0);
+
+    const std::vector<double> v = {4.0, 1.0, 3.0, 2.0}; // unsorted
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.5);
+    EXPECT_DOUBLE_EQ(percentile(v, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 1.0 / 3.0), 2.0);
+    // Out-of-range q clamps.
+    EXPECT_DOUBLE_EQ(percentile(v, -1.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 2.0), 4.0);
+}
+
+TEST(Percentile, SummaryStatsReservoir)
+{
+    SummaryStats s;
+    for (int i = 1; i <= 1000; ++i)
+        s.add(static_cast<double>(i));
+    // Under the cap: exact.
+    EXPECT_NEAR(s.percentile(0.5), 500.5, 1e-9);
+    EXPECT_NEAR(s.percentile(0.95), 950.05, 1e-6);
+
+    // Far over the cap: bounded memory, estimates stay sane.
+    SummaryStats big;
+    for (int i = 0; i < 200000; ++i)
+        big.add(static_cast<double>(i % 100) + 1.0);
+    EXPECT_EQ(big.count(), 200000u);
+    EXPECT_GE(big.percentile(0.5), 30.0);
+    EXPECT_LE(big.percentile(0.5), 70.0);
+
+    // Deterministic: identical sequences give identical estimates.
+    SummaryStats big2;
+    for (int i = 0; i < 200000; ++i)
+        big2.add(static_cast<double>(i % 100) + 1.0);
+    EXPECT_DOUBLE_EQ(big.percentile(0.5), big2.percentile(0.5));
+    EXPECT_DOUBLE_EQ(big.percentile(0.99), big2.percentile(0.99));
+}
+
+} // namespace
+} // namespace spasm

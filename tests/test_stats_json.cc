@@ -1,0 +1,486 @@
+/**
+ * @file
+ * Structural validation of the machine-readable observability
+ * outputs: the schema-versioned stats JSON (core/stats_json.hh), the
+ * Chrome-trace/Perfetto timeline (hw/trace_export.hh), and the
+ * byte-level determinism guarantee of `--deterministic` output.
+ *
+ * A minimal recursive-descent JSON parser (no dependencies) checks
+ * well-formedness and lets the tests assert on required keys.
+ */
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/framework.hh"
+#include "core/stats_json.hh"
+#include "hw/trace_export.hh"
+#include "support/obs.hh"
+#include "workloads/generators.hh"
+
+namespace spasm {
+namespace {
+
+// ---- Minimal JSON value + parser (tests only). ---------------------
+
+struct JValue
+{
+    enum Kind { Null, Bool, Num, Str, Arr, Obj };
+    Kind kind = Null;
+    bool boolean = false;
+    double num = 0.0;
+    std::string str;
+    std::vector<JValue> arr;
+    std::vector<std::pair<std::string, JValue>> obj;
+
+    const JValue *find(const std::string &key) const
+    {
+        for (const auto &kv : obj) {
+            if (kv.first == key)
+                return &kv.second;
+        }
+        return nullptr;
+    }
+
+    const JValue &at(const std::string &key) const
+    {
+        const JValue *v = find(key);
+        if (v == nullptr)
+            throw std::runtime_error("missing key: " + key);
+        return *v;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    JValue parse()
+    {
+        const JValue v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing garbage");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string &why)
+    {
+        throw std::runtime_error("JSON error at offset " +
+                                 std::to_string(pos_) + ": " + why);
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            fail("unexpected end");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    JValue parseValue()
+    {
+        const char c = peek();
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"') {
+            JValue v;
+            v.kind = JValue::Str;
+            v.str = parseString();
+            return v;
+        }
+        if (text_.compare(pos_, 4, "true") == 0) {
+            pos_ += 4;
+            JValue v;
+            v.kind = JValue::Bool;
+            v.boolean = true;
+            return v;
+        }
+        if (text_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+            JValue v;
+            v.kind = JValue::Bool;
+            return v;
+        }
+        if (text_.compare(pos_, 4, "null") == 0) {
+            pos_ += 4;
+            return {};
+        }
+        return parseNumber();
+    }
+
+    JValue parseObject()
+    {
+        expect('{');
+        JValue v;
+        v.kind = JValue::Obj;
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            peek();
+            std::string key = parseString();
+            expect(':');
+            v.obj.emplace_back(std::move(key), parseValue());
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JValue parseArray()
+    {
+        expect('[');
+        JValue v;
+        v.kind = JValue::Arr;
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            v.arr.push_back(parseValue());
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string parseString()
+    {
+        if (text_[pos_] != '"')
+            fail("expected string");
+        ++pos_;
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    fail("bad escape");
+                const char e = text_[pos_++];
+                switch (e) {
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  case 'r':
+                    out += '\r';
+                    break;
+                  case 'u':
+                    if (pos_ + 4 > text_.size())
+                        fail("bad \\u escape");
+                    pos_ += 4;
+                    out += '?';
+                    break;
+                  default:
+                    out += e;
+                }
+            } else {
+                out += c;
+            }
+        }
+        if (pos_ >= text_.size())
+            fail("unterminated string");
+        ++pos_; // closing quote
+        return out;
+    }
+
+    JValue parseNumber()
+    {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(
+                    static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected value");
+        JValue v;
+        v.kind = JValue::Num;
+        v.num = std::stod(text_.substr(start, pos_ - start));
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+// ---- Shared run setup. ---------------------------------------------
+
+const PatternGrid grid4{4};
+
+/** One observed end-to-end run; registry left enabled and filled. */
+struct ObservedRun
+{
+    FrameworkOutcome outcome;
+    std::vector<TraceEvent> trace;
+};
+
+ObservedRun
+observedRun()
+{
+    auto &reg = obs::Registry::global();
+    reg.setEnabled(true);
+    reg.clear();
+
+    ObservedRun run;
+    const auto m = genBandedBlocks(512, 4, 2, 0.9, 31);
+    const SpasmFramework framework;
+    run.outcome.pre = framework.preprocess(m);
+
+    Accelerator accel(run.outcome.pre.schedule.config,
+                      run.outcome.pre.portfolio);
+    accel.setTraceSink(&run.trace);
+    const auto x = SpasmFramework::defaultX(m.cols());
+    std::vector<Value> y(m.rows(), 0.0f);
+    run.outcome.exec.stats =
+        accel.run(run.outcome.pre.encoded, x, y,
+                  run.outcome.pre.policy);
+    return run;
+}
+
+std::string
+statsJsonFor(const ObservedRun &run, bool deterministic)
+{
+    StatsReport report;
+    report.generator = "spasm_tests";
+    report.inputName = "banded";
+    report.rows = run.outcome.pre.encoded.rows();
+    report.cols = run.outcome.pre.encoded.cols();
+    report.nnz =
+        static_cast<std::uint64_t>(run.outcome.pre.encoded.nnz());
+    report.config = &run.outcome.pre.schedule.config;
+    report.tileSize = run.outcome.pre.encoded.tileSize();
+    report.portfolioId = run.outcome.pre.portfolioId;
+    report.stats = &run.outcome.exec.stats;
+    report.timings = &run.outcome.pre.timings;
+    report.deterministic = deterministic;
+    std::ostringstream os;
+    writeStatsJson(os, report);
+    return os.str();
+}
+
+void
+disableObs()
+{
+    obs::Registry::global().clear();
+    obs::Registry::global().setEnabled(false);
+}
+
+// ---- Tests. --------------------------------------------------------
+
+TEST(StatsJson, SchemaAndRequiredSections)
+{
+    const ObservedRun run = observedRun();
+    const std::string text = statsJsonFor(run, false);
+    disableObs();
+
+    JValue root;
+    ASSERT_NO_THROW(root = JsonParser(text).parse()) << text;
+    ASSERT_EQ(root.kind, JValue::Obj);
+    EXPECT_EQ(root.at("schema").str, "spasm-stats-v1");
+
+    const JValue &input = root.at("input");
+    EXPECT_EQ(input.at("rows").num, 512.0);
+
+    const JValue &sim = root.at("sim");
+    EXPECT_GT(sim.at("cycles").num, 0.0);
+    EXPECT_EQ(sim.at("total_words").num,
+              static_cast<double>(
+                  run.outcome.exec.stats.totalWords));
+    EXPECT_GT(sim.at("psum_flushes").num, 0.0);
+    ASSERT_NE(sim.find("stalls"), nullptr);
+    ASSERT_NE(sim.find("occupancy"), nullptr);
+    EXPECT_FALSE(sim.at("occupancy").at("timeline").arr.empty());
+    EXPECT_FALSE(sim.at("channels").arr.empty());
+    // Registry was enabled: per-PE attribution must be present and
+    // consistent with the aggregate stall counters.
+    const JValue &per_pe = sim.at("per_pe");
+    ASSERT_FALSE(per_pe.arr.empty());
+    double busy = 0.0;
+    for (const auto &pe : per_pe.arr)
+        busy += pe.at("busy").num;
+    EXPECT_EQ(busy,
+              static_cast<double>(
+                  run.outcome.exec.stats.busyPeCycles));
+
+    const JValue &pre = root.at("preprocess");
+    EXPECT_GE(pre.at("total_ms").num, 0.0);
+
+    // Registry sections: framework spans + schedule candidates.
+    EXPECT_GE(root.at("counters")
+                  .at("framework.matrices_preprocessed")
+                  .num,
+              1.0);
+    const JValue &spans = root.at("spans");
+    ASSERT_EQ(spans.kind, JValue::Arr);
+    int candidates = 0, accepted = 0;
+    bool saw_analysis = false;
+    for (const auto &span : spans.arr) {
+        const std::string &name = span.at("name").str;
+        saw_analysis = saw_analysis || name == "framework.analysis";
+        if (name != "schedule.candidate")
+            continue;
+        ++candidates;
+        const JValue *tags = span.find("tags");
+        ASSERT_NE(tags, nullptr);
+        if (tags->at("decision").str == "accepted")
+            ++accepted;
+    }
+    EXPECT_TRUE(saw_analysis);
+    EXPECT_GT(candidates, 1);
+    EXPECT_EQ(accepted, 1);
+}
+
+TEST(StatsJson, DeterministicRunsAreByteIdentical)
+{
+    const ObservedRun run1 = observedRun();
+    const std::string json1 = statsJsonFor(run1, true);
+    const ObservedRun run2 = observedRun();
+    const std::string json2 = statsJsonFor(run2, true);
+    disableObs();
+
+    EXPECT_EQ(json1, json2);
+    // Sanity: the record is non-trivial and schema-tagged.
+    EXPECT_GT(json1.size(), 1000u);
+    EXPECT_NE(json1.find("\"spasm-stats-v1\""), std::string::npos);
+}
+
+TEST(StatsJson, OmitsNullSections)
+{
+    // A .spasm-style report: no preprocess timings, no config.
+    RunStats stats;
+    stats.cycles = 100;
+    StatsReport report;
+    report.inputName = "x.spasm";
+    report.stats = &stats;
+    report.includeRegistry = false;
+    std::ostringstream os;
+    writeStatsJson(os, report);
+
+    JValue root;
+    ASSERT_NO_THROW(root = JsonParser(os.str()).parse());
+    EXPECT_EQ(root.find("preprocess"), nullptr);
+    EXPECT_EQ(root.find("config"), nullptr);
+    EXPECT_EQ(root.find("counters"), nullptr);
+    EXPECT_NE(root.find("sim"), nullptr);
+}
+
+TEST(ChromeTrace, StructurallyValidAndMonotonePerTrack)
+{
+    const ObservedRun run = observedRun();
+    std::ostringstream os;
+    writeChromeTrace(os, run.trace, &run.outcome.exec.stats,
+                     obs::Registry::global().spans());
+    disableObs();
+
+    JValue root;
+    ASSERT_NO_THROW(root = JsonParser(os.str()).parse());
+    const JValue &events = root.at("traceEvents");
+    ASSERT_EQ(events.kind, JValue::Arr);
+    ASSERT_FALSE(events.arr.empty());
+
+    // Every event carries the required keys; "X" events also "dur".
+    std::map<std::pair<int, int>, double> last_ts;
+    std::map<std::string, double> last_counter_ts;
+    int n_complete = 0, n_instant = 0, n_counter = 0;
+    for (const auto &ev : events.arr) {
+        const std::string &ph = ev.at("ph").str;
+        ASSERT_NE(ev.find("pid"), nullptr);
+        if (ph == "M")
+            continue; // metadata: no timestamp
+        ASSERT_NE(ev.find("ts"), nullptr);
+        ASSERT_NE(ev.find("tid"), nullptr);
+        const int pid = static_cast<int>(ev.at("pid").num);
+        const int tid = static_cast<int>(ev.at("tid").num);
+        const double ts = ev.at("ts").num;
+        if (ph == "X") {
+            ++n_complete;
+            EXPECT_GE(ev.at("dur").num, 0.0);
+            // Complete events per simulator track must not overlap
+            // backwards: each PE's ranges are time-ordered.
+            if (pid == 2) {
+                const auto key = std::make_pair(pid, tid);
+                const auto it = last_ts.find(key);
+                if (it != last_ts.end())
+                    EXPECT_GE(ts, it->second) << "tid " << tid;
+                last_ts[key] = ts;
+            }
+        } else if (ph == "i") {
+            ++n_instant;
+        } else if (ph == "C") {
+            // A counter track is identified by its name; each track's
+            // samples must be time-ordered.
+            ++n_counter;
+            const std::string &name = ev.at("name").str;
+            const auto it = last_counter_ts.find(name);
+            if (it != last_counter_ts.end())
+                EXPECT_GE(ts, it->second) << "counter " << name;
+            last_counter_ts[name] = ts;
+        }
+    }
+    EXPECT_GT(n_complete, 0);
+    EXPECT_GT(n_instant, 0); // psum flushes
+    EXPECT_GT(n_counter, 0); // occupancy timeline
+}
+
+TEST(ChromeTrace, SoftwareSpansRideAlong)
+{
+    const ObservedRun run = observedRun();
+    std::ostringstream os;
+    writeChromeTrace(os, run.trace, &run.outcome.exec.stats,
+                     obs::Registry::global().spans());
+    disableObs();
+
+    JValue root;
+    ASSERT_NO_THROW(root = JsonParser(os.str()).parse());
+    bool saw_preprocess = false, saw_candidate = false;
+    for (const auto &ev : root.at("traceEvents").arr) {
+        if (ev.at("ph").str != "X" || ev.at("pid").num != 1.0)
+            continue;
+        const std::string &name = ev.at("name").str;
+        saw_preprocess =
+            saw_preprocess || name == "framework.preprocess";
+        saw_candidate = saw_candidate || name == "schedule.candidate";
+    }
+    EXPECT_TRUE(saw_preprocess);
+    EXPECT_TRUE(saw_candidate);
+}
+
+} // namespace
+} // namespace spasm

@@ -3,9 +3,12 @@
  * Tests for the simulator's event-trace facility.
  */
 
+#include <sstream>
+
 #include <gtest/gtest.h>
 
 #include "hw/accelerator.hh"
+#include "hw/trace_export.hh"
 #include "workloads/generators.hh"
 
 namespace spasm {
@@ -80,6 +83,68 @@ TEST(Trace, SinkClearedBetweenRunsAndDetachable)
     accel.setTraceSink(nullptr);
     accel.run(enc, x, y);
     EXPECT_EQ(trace.size(), first); // detached sink untouched
+}
+
+TEST(Trace, CsvRoundTripPreservesEveryEvent)
+{
+    const auto m = genBandedBlocks(512, 4, 2, 0.9, 31);
+    const auto p = candidatePortfolio(0, grid4);
+    const auto enc = SpasmEncoder(p, 128).encode(m);
+    Accelerator accel(spasm41(), p);
+    std::vector<TraceEvent> trace;
+    accel.setTraceSink(&trace);
+
+    std::vector<Value> x(m.cols(), 1.0f), y(m.rows(), 0.0f);
+    const auto stats = accel.run(enc, x, y);
+    ASSERT_FALSE(trace.empty());
+
+    std::ostringstream csv;
+    writeTraceCsv(csv, trace);
+
+    // First line is the documented header.
+    std::istringstream in(csv.str());
+    std::string header;
+    ASSERT_TRUE(std::getline(in, header));
+    EXPECT_EQ(header,
+              "pe,tile_row,tile_col,first_word,num_words,"
+              "start_cycle,end_cycle,flushed");
+
+    // Parse back: same events, and the word counts still cover the
+    // stream exactly once.
+    std::istringstream in2(csv.str());
+    const auto parsed = parseTraceCsv(in2);
+    ASSERT_EQ(parsed.size(), trace.size());
+    std::uint64_t words = 0;
+    for (std::size_t i = 0; i < parsed.size(); ++i) {
+        words += parsed[i].numWords;
+        EXPECT_EQ(parsed[i].pe, trace[i].pe);
+        EXPECT_EQ(parsed[i].tileRowIdx, trace[i].tileRowIdx);
+        EXPECT_EQ(parsed[i].tileColIdx, trace[i].tileColIdx);
+        EXPECT_EQ(parsed[i].firstWord, trace[i].firstWord);
+        EXPECT_EQ(parsed[i].startCycle, trace[i].startCycle);
+        EXPECT_EQ(parsed[i].endCycle, trace[i].endCycle);
+        EXPECT_EQ(parsed[i].flushed, trace[i].flushed);
+    }
+    EXPECT_EQ(words, stats.totalWords);
+}
+
+TEST(Trace, FlushEventsMatchPsumFlushCounter)
+{
+    const auto m = genUniformRandom(1024, 1024, 8000, 33);
+    const auto p = candidatePortfolio(0, grid4);
+    const auto enc = SpasmEncoder(p, 256).encode(m);
+    Accelerator accel(spasm34(), p);
+    std::vector<TraceEvent> trace;
+    accel.setTraceSink(&trace);
+
+    std::vector<Value> x(m.cols(), 1.0f), y(m.rows(), 0.0f);
+    const auto stats = accel.run(enc, x, y);
+
+    std::uint64_t flushes = 0;
+    for (const auto &ev : trace)
+        flushes += ev.flushed ? 1 : 0;
+    EXPECT_EQ(flushes, stats.psumFlushes);
+    EXPECT_GT(stats.psumFlushes, 0u);
 }
 
 } // namespace

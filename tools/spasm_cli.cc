@@ -11,7 +11,10 @@
  *   simulate <input> [--config NAME]      run SpMV on the cycle-level
  *            [--tile N] [--iters N]       accelerator model; --stats,
  *            [--stats] [--occupancy]      --occupancy and --trace
- *            [--trace out.csv]            expose the counters
+ *            [--trace out.csv]            expose the counters;
+ *            [--stats-json out.json]      machine-readable stats
+ *            [--trace-json out.json]      (spasm-stats-v1) and a
+ *            [--deterministic]            Perfetto-loadable timeline
  *   verify   <input>                      all portfolios x tile sizes
  *                                         against the reference SpMV
  *   spy      <input> [-o out.pgm]         occupancy plot
@@ -24,16 +27,21 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/framework.hh"
+#include "core/stats_json.hh"
 #include "format/serialize.hh"
+#include "hw/trace_export.hh"
 #include "sparse/matrix_market.hh"
 #include "sparse/matrix_stats.hh"
 #include "sparse/spy.hh"
 #include "support/logging.hh"
+#include "support/obs.hh"
+#include "support/stats.hh"
 #include "support/table.hh"
 #include "workloads/suite.hh"
 
@@ -54,6 +62,12 @@ usage()
         "                 [--config SPASM_4_1|SPASM_3_4|SPASM_3_2]\n"
         "                 [--tile N] [--iters N] [--stats]\n"
         "                 [--occupancy] [--trace out.csv]\n"
+        "                 [--stats-json out.json]  schema-versioned\n"
+        "                     JSON stats (spasm-stats-v1)\n"
+        "                 [--trace-json out.json]  Chrome/Perfetto\n"
+        "                     trace (open at ui.perfetto.dev)\n"
+        "                 [--deterministic]  zero wall-clock fields\n"
+        "                     for byte-reproducible JSON output\n"
         "  spasm verify   <matrix.mtx | workload>\n"
         "  spasm spy      <matrix.mtx | workload> [-o out.pgm]\n"
         "                 [--resolution N]\n"
@@ -224,28 +238,49 @@ cmdSimulate(const std::string &input,
     const std::string iters_opt = optValue(args, "--iters");
     const int iters = iters_opt.empty() ? 1 : std::stoi(iters_opt);
     const std::string cfg_opt = optValue(args, "--config");
+    const std::string stats_json_path =
+        optValue(args, "--stats-json");
+    const std::string trace_json_path =
+        optValue(args, "--trace-json");
+    bool deterministic = false;
+    for (const auto &a : args)
+        deterministic = deterministic || a == "--deterministic";
+
+    // The JSON sinks need the registry's spans/counters; plain text
+    // runs keep observability off (and its cost at zero).
+    const bool observe =
+        !stats_json_path.empty() || !trace_json_path.empty();
+    if (observe) {
+        obs::Registry::global().setEnabled(true);
+        obs::Registry::global().clear();
+    }
 
     SpasmMatrix enc;
     HwConfig config;
+    PreprocessTimings timings;
+    bool have_timings = false;
+    int portfolio_id = -1;
     if (endsWith(input, ".spasm")) {
         enc = readSpasmFile(input);
         config = spasm41();
     } else {
         const CooMatrix m = loadInput(input);
-        const PatternGrid grid{4};
-        const auto hist = PatternHistogram::analyze(m, grid);
-        const auto candidates = allCandidatePortfolios(grid);
-        const auto sel = selectPortfolio(hist, candidates, 64);
-        const auto profile =
-            buildProfile(m, candidates[sel.bestCandidate]);
-        const auto choice = exploreSchedule(profile, allHwConfigs());
-        config = choice.config;
-        Index tile = choice.tileSize;
+        // Full preprocessing via the framework facade so timings and
+        // stage spans land in the stats/trace output.
+        const SpasmFramework framework;
+        PreprocessResult pre = framework.preprocess(m);
+        config = pre.schedule.config;
+        timings = pre.timings;
+        have_timings = true;
+        portfolio_id = pre.portfolioId;
         const std::string t_opt = optValue(args, "--tile");
-        if (!t_opt.empty())
-            tile = static_cast<Index>(std::stol(t_opt));
-        enc = SpasmEncoder(candidates[sel.bestCandidate], tile)
-                  .encode(m);
+        if (!t_opt.empty() &&
+            static_cast<Index>(std::stol(t_opt)) != pre.schedule.tileSize) {
+            const Index tile = static_cast<Index>(std::stol(t_opt));
+            enc = SpasmEncoder(pre.portfolio, tile).encode(m);
+        } else {
+            enc = std::move(pre.encoded);
+        }
     }
     if (!cfg_opt.empty()) {
         bool found = false;
@@ -262,7 +297,7 @@ cmdSimulate(const std::string &input,
     Accelerator accel(config, enc.portfolio());
     const std::string trace_path = optValue(args, "--trace");
     std::vector<TraceEvent> trace;
-    if (!trace_path.empty())
+    if (!trace_path.empty() || !trace_json_path.empty())
         accel.setTraceSink(&trace);
 
     const auto x = SpasmFramework::defaultX(enc.cols());
@@ -276,22 +311,43 @@ cmdSimulate(const std::string &input,
     }
 
     if (!trace_path.empty()) {
-        CsvWriter csv(trace_path);
-        csv.writeRow({"pe", "tile_row", "tile_col", "first_word",
-                      "num_words", "start_cycle", "end_cycle",
-                      "flushed"});
-        for (const auto &ev : trace) {
-            csv.writeRow({std::to_string(ev.pe),
-                          std::to_string(ev.tileRowIdx),
-                          std::to_string(ev.tileColIdx),
-                          std::to_string(ev.firstWord),
-                          std::to_string(ev.numWords),
-                          std::to_string(ev.startCycle),
-                          std::to_string(ev.endCycle),
-                          ev.flushed ? "1" : "0"});
-        }
+        std::ofstream csv(trace_path);
+        if (!csv)
+            spasm_fatal("cannot open '%s'", trace_path.c_str());
+        writeTraceCsv(csv, trace);
         std::printf("trace             : %zu events -> %s\n",
                     trace.size(), trace_path.c_str());
+    }
+    if (!trace_json_path.empty()) {
+        std::ofstream out(trace_json_path);
+        if (!out)
+            spasm_fatal("cannot open '%s'", trace_json_path.c_str());
+        ChromeTraceOptions topt;
+        topt.deterministic = deterministic;
+        writeChromeTrace(out, trace, &stats,
+                         obs::Registry::global().spans(), topt);
+        std::printf("trace json        : %zu events -> %s "
+                    "(open at ui.perfetto.dev)\n",
+                    trace.size(), trace_json_path.c_str());
+    }
+    if (!stats_json_path.empty()) {
+        std::ofstream out(stats_json_path);
+        if (!out)
+            spasm_fatal("cannot open '%s'", stats_json_path.c_str());
+        StatsReport report;
+        report.inputName = input;
+        report.rows = enc.rows();
+        report.cols = enc.cols();
+        report.nnz = static_cast<std::uint64_t>(enc.nnz());
+        report.config = &config;
+        report.tileSize = enc.tileSize();
+        report.portfolioId = portfolio_id;
+        report.stats = &stats;
+        report.timings = have_timings ? &timings : nullptr;
+        report.deterministic = deterministic;
+        writeStatsJson(out, report);
+        std::printf("stats json        : %s -> %s\n",
+                    kStatsJsonSchema, stats_json_path.c_str());
     }
 
     std::printf("config            : %s (%d HBM ch, %.0f GB/s, "
@@ -324,7 +380,12 @@ cmdSimulate(const std::string &input,
         printStats(std::cout, stats);
     }
     if (want_occupancy && !stats.occupancyTimeline.empty()) {
-        std::printf("\nPE occupancy timeline (%llu cycles/bucket):\n",
+        std::printf("\nPE occupancy p50/p95/p99: %.1f%% / %.1f%% / "
+                    "%.1f%%\n",
+                    100.0 * percentile(stats.occupancyTimeline, 0.50),
+                    100.0 * percentile(stats.occupancyTimeline, 0.95),
+                    100.0 * percentile(stats.occupancyTimeline, 0.99));
+        std::printf("PE occupancy timeline (%llu cycles/bucket):\n",
                     static_cast<unsigned long long>(
                         stats.occupancyBucketCycles));
         for (double o : stats.occupancyTimeline) {
