@@ -7,17 +7,26 @@
  * scale defaults to Small (rows capped at 8192, structure preserved);
  * set SPASM_SCALE=full to regenerate at the paper's dimensions or
  * SPASM_SCALE=tiny for a fast smoke pass.
+ *
+ * Suite-wide benches run their per-workload work concurrently on the
+ * shared thread pool (`runSuite`), sized by SPASM_THREADS (default:
+ * hardware concurrency).  Results are collected per workload index
+ * and folded serially afterwards, so tables, summary statistics and
+ * exported CSV/JSON are bit-identical at any thread count.
  */
 
 #ifndef SPASM_BENCH_BENCH_COMMON_HH
 #define SPASM_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "sparse/coo.hh"
 #include "support/table.hh"
+#include "support/thread_pool.hh"
 #include "workloads/suite.hh"
 
 namespace spasm {
@@ -43,13 +52,42 @@ scaleName()
     return "?";
 }
 
+/** Suite concurrency: SPASM_THREADS, default hardware concurrency. */
+inline unsigned
+threadCount()
+{
+    static const unsigned n = [] {
+        if (const char *env = std::getenv("SPASM_THREADS")) {
+            const long v = std::strtol(env, nullptr, 10);
+            if (v >= 1)
+                return static_cast<unsigned>(v);
+        }
+        return ThreadPool::defaultConcurrency();
+    }();
+    return n;
+}
+
+/** The shared pool, sized from SPASM_THREADS on first use. */
+inline ThreadPool &
+pool()
+{
+    static const bool sized = [] {
+        ThreadPool::setGlobalConcurrency(threadCount());
+        return true;
+    }();
+    (void)sized;
+    return ThreadPool::global();
+}
+
 inline void
 printBanner(const char *experiment, const char *paper_ref)
 {
     std::printf("== %s ==\n", experiment);
     std::printf("reproduces : %s\n", paper_ref);
-    std::printf("scale      : %s (SPASM_SCALE=tiny|small|full)\n\n",
+    std::printf("scale      : %s (SPASM_SCALE=tiny|small|full)\n",
                 scaleName());
+    std::printf("threads    : %u (SPASM_THREADS=N)\n\n",
+                threadCount());
 }
 
 /** Generate one suite workload at the bench scale. */
@@ -57,6 +95,26 @@ inline CooMatrix
 workload(const std::string &name)
 {
     return generateWorkload(name, scale());
+}
+
+/**
+ * Run @p fn once per workload name, concurrently on the shared pool,
+ * and return the per-workload results *in suite order*.  The fold
+ * over the results (table rows, geomeans) stays on the caller, runs
+ * serially, and therefore produces identical output at SPASM_THREADS=1
+ * and =N.  Worker exceptions rethrow here, on the joining thread.
+ */
+template <typename Fn>
+auto
+runSuite(const std::vector<std::string> &names, Fn &&fn)
+    -> std::vector<std::invoke_result_t<Fn &, const std::string &>>
+{
+    using Result = std::invoke_result_t<Fn &, const std::string &>;
+    std::vector<Result> results(names.size());
+    pool().parallelFor(names.size(), [&](std::size_t i) {
+        results[i] = fn(names[i]);
+    });
+    return results;
 }
 
 /**

@@ -36,22 +36,41 @@ main()
     SummaryStats be_his, be_s16, be_s24, be_gpu;
     double max_his = 0, max_s16 = 0, max_s24 = 0, max_gpu = 0;
 
-    for (const auto &name : workloadNames()) {
-        const CooMatrix m = benchutil::workload(name);
-        const auto out = framework.run(m);
-        const double spasm_gflops = out.exec.stats.gflops;
-        const double spasm_be =
-            spasm_gflops / out.pre.schedule.config.bandwidthGBs();
+    // Parallel map over the suite (preprocess + simulate + baseline
+    // models per workload), then a serial fold in suite order so the
+    // table and the geomeans are bit-identical at any SPASM_THREADS.
+    struct Row
+    {
+        std::string configName;
+        Index tileSize = 0;
+        double spasmGflops = 0.0;
+        double spasmBe = 0.0;
+        std::vector<BaselineResult> baselines;
+    };
+    const auto rows = benchutil::runSuite(
+        workloadNames(), [&](const std::string &name) {
+            const CooMatrix m = benchutil::workload(name);
+            const auto out = framework.run(m);
+            Row row;
+            row.configName = out.pre.schedule.config.name();
+            row.tileSize = out.pre.schedule.tileSize;
+            row.spasmGflops = out.exec.stats.gflops;
+            row.spasmBe = row.spasmGflops /
+                          out.pre.schedule.config.bandwidthGBs();
+            const CsrMatrix csr = CsrMatrix::fromCoo(m);
+            for (const auto &b : baselines)
+                row.baselines.push_back(b->run(csr));
+            return row;
+        });
 
-        const CsrMatrix csr = CsrMatrix::fromCoo(m);
-        std::vector<BaselineResult> results;
-        for (const auto &b : baselines)
-            results.push_back(b->run(csr));
-
-        const double s_his = spasm_gflops / results[0].gflops;
-        const double s_s16 = spasm_gflops / results[1].gflops;
-        const double s_s24 = spasm_gflops / results[2].gflops;
-        const double s_gpu = spasm_gflops / results[3].gflops;
+    const auto &names = workloadNames();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const Row &r = rows[i];
+        const auto &results = r.baselines;
+        const double s_his = r.spasmGflops / results[0].gflops;
+        const double s_s16 = r.spasmGflops / results[1].gflops;
+        const double s_s24 = r.spasmGflops / results[2].gflops;
+        const double s_gpu = r.spasmGflops / results[3].gflops;
         sp_his.add(s_his);
         sp_s16.add(s_s16);
         sp_s24.add(s_s24);
@@ -61,14 +80,14 @@ main()
         max_s24 = std::max(max_s24, s_s24);
         max_gpu = std::max(max_gpu, s_gpu);
 
-        be_his.add(spasm_be / results[0].bandwidthEfficiency);
-        be_s16.add(spasm_be / results[1].bandwidthEfficiency);
-        be_s24.add(spasm_be / results[2].bandwidthEfficiency);
-        be_gpu.add(spasm_be / results[3].bandwidthEfficiency);
+        be_his.add(r.spasmBe / results[0].bandwidthEfficiency);
+        be_s16.add(r.spasmBe / results[1].bandwidthEfficiency);
+        be_s24.add(r.spasmBe / results[2].bandwidthEfficiency);
+        be_gpu.add(r.spasmBe / results[3].bandwidthEfficiency);
 
-        table.addRow({name, out.pre.schedule.config.name(),
-                      std::to_string(out.pre.schedule.tileSize),
-                      TextTable::fmt(spasm_gflops, 1),
+        table.addRow({names[i], r.configName,
+                      std::to_string(r.tileSize),
+                      TextTable::fmt(r.spasmGflops, 1),
                       TextTable::fmt(results[0].gflops, 1),
                       TextTable::fmt(results[1].gflops, 1),
                       TextTable::fmt(results[2].gflops, 1),

@@ -27,28 +27,41 @@ main()
                      "HiS comp%", "S16 bw%", "S16 comp%", "S24 bw%",
                      "S24 comp%", "GPU bw%", "GPU comp%"});
 
+    // Parallel map over the suite, serial fold in suite order (see
+    // bench_common.hh) — output is identical at any SPASM_THREADS.
+    struct Util
+    {
+        std::vector<double> bwPct;
+        std::vector<double> compPct;
+    };
+    const auto utils = benchutil::runSuite(
+        workloadNames(), [&](const std::string &name) {
+            const CooMatrix m = benchutil::workload(name);
+            const auto out = framework.run(m);
+            const CsrMatrix csr = CsrMatrix::fromCoo(m);
+            Util u;
+            u.bwPct.push_back(
+                100.0 * out.exec.stats.bandwidthUtilization);
+            u.compPct.push_back(
+                100.0 * out.exec.stats.computeUtilization);
+            for (const auto &b : baselines) {
+                const auto r = b->run(csr);
+                u.bwPct.push_back(100.0 * r.bandwidthUtilization);
+                u.compPct.push_back(100.0 * r.computeUtilization);
+            }
+            return u;
+        });
+
     SummaryStats bw[5], comp[5];
-    for (const auto &name : workloadNames()) {
-        const CooMatrix m = benchutil::workload(name);
-        const auto out = framework.run(m);
-        const CsrMatrix csr = CsrMatrix::fromCoo(m);
-
-        std::vector<double> bw_pct{
-            100.0 * out.exec.stats.bandwidthUtilization};
-        std::vector<double> comp_pct{
-            100.0 * out.exec.stats.computeUtilization};
-        for (const auto &b : baselines) {
-            const auto r = b->run(csr);
-            bw_pct.push_back(100.0 * r.bandwidthUtilization);
-            comp_pct.push_back(100.0 * r.computeUtilization);
-        }
-
-        std::vector<std::string> row{name};
-        for (std::size_t i = 0; i < bw_pct.size(); ++i) {
-            bw[i].add(bw_pct[i]);
-            comp[i].add(comp_pct[i]);
-            row.push_back(TextTable::fmt(bw_pct[i], 1));
-            row.push_back(TextTable::fmt(comp_pct[i], 1));
+    const auto &names = workloadNames();
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const Util &u = utils[w];
+        std::vector<std::string> row{names[w]};
+        for (std::size_t i = 0; i < u.bwPct.size(); ++i) {
+            bw[i].add(u.bwPct[i]);
+            comp[i].add(u.compPct[i]);
+            row.push_back(TextTable::fmt(u.bwPct[i], 1));
+            row.push_back(TextTable::fmt(u.compPct[i], 1));
         }
         table.addRow(std::move(row));
     }
@@ -57,10 +70,10 @@ main()
 
     TextTable summary("Utilization summary (arithmetic mean)");
     summary.setHeader({"Platform", "bandwidth %", "compute %"});
-    const char *names[5] = {"SPASM", "HiSparse", "Serpens_a16",
-                            "Serpens_a24", "RTX 3090"};
+    const char *platforms[5] = {"SPASM", "HiSparse", "Serpens_a16",
+                                "Serpens_a24", "RTX 3090"};
     for (int i = 0; i < 5; ++i) {
-        summary.addRow({names[i], TextTable::fmt(bw[i].mean(), 1),
+        summary.addRow({platforms[i], TextTable::fmt(bw[i].mean(), 1),
                         TextTable::fmt(comp[i].mean(), 1)});
     }
     std::cout << '\n';

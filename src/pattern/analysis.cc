@@ -1,10 +1,10 @@
 #include "pattern/analysis.hh"
 
 #include <algorithm>
-#include <thread>
 #include <unordered_map>
 
 #include "support/logging.hh"
+#include "support/thread_pool.hh"
 
 namespace spasm {
 
@@ -98,17 +98,16 @@ PatternHistogram::analyze(const CooMatrix &m, const PatternGrid &grid,
         }
         cuts.push_back(entries.size());
 
+        // Run the band ranges on the shared pool; parallelFor
+        // rethrows the first worker exception on this (the joining)
+        // thread instead of std::terminate-ing the process.
         std::vector<std::unordered_map<PatternMask, std::uint64_t>>
             partial(workers);
-        std::vector<std::thread> threads;
-        for (int w = 0; w < workers; ++w) {
-            threads.emplace_back([&, w] {
+        ThreadPool::global().parallelFor(
+            static_cast<std::size_t>(workers), [&](std::size_t w) {
                 analyzeRange(entries, cuts[w], cuts[w + 1], grid,
                              partial[w]);
             });
-        }
-        for (auto &t : threads)
-            t.join();
         for (const auto &p : partial) {
             for (const auto &[mask, freq] : p)
                 counts[mask] += freq;

@@ -1,11 +1,30 @@
 #include "perf/schedule.hh"
 
 #include <limits>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "support/logging.hh"
 #include "support/obs.hh"
+#include "support/thread_pool.hh"
 
 namespace spasm {
+
+namespace {
+
+/** Everything one (tile size, config) evaluation produces, buffered
+ *  so the joining thread can reduce and publish in serial order. */
+struct CandidateResult
+{
+    bool feasible = false;
+    double seconds = 0.0;
+    std::uint64_t cycles = 0;
+    std::uint64_t spanStartUs = 0;
+    std::uint64_t spanDurUs = 0;
+};
+
+} // namespace
 
 const std::vector<Index> &
 defaultTileSizes()
@@ -22,44 +41,62 @@ exploreSchedule(const SubmatrixProfile &profile,
                 SchedulePolicy policy)
 {
     spasm_assert(!configs.empty() && !tile_sizes.empty());
+    auto &reg = obs::Registry::global();
+    const bool observing = reg.enabled();
+
+    // Evaluate the (tile size x config) grid in parallel, one task
+    // per tile size: changing the tile size regenerates the global
+    // composition (the paper's (4) -> (5) feedback loop), so the
+    // expensive gcGen is done once per task and the config loop
+    // reuses it.  Results are buffered per candidate; the reduction
+    // and all observability publication happen serially afterwards,
+    // so the winner, its tie-break and the registry contents are
+    // identical at any thread count.
+    const std::size_t n_cfg = configs.size();
+    std::vector<CandidateResult> results(tile_sizes.size() * n_cfg);
+    ThreadPool::global().parallelFor(
+        tile_sizes.size(), [&](std::size_t ti) {
+            const Index tile_size = tile_sizes[ti];
+            const GlobalComposition gc = gcGen(profile, tile_size);
+            for (std::size_t ci = 0; ci < n_cfg; ++ci) {
+                CandidateResult &r = results[ti * n_cfg + ci];
+                if (observing)
+                    r.spanStartUs = reg.nowUs();
+                if (tile_size <= configs[ci].maxTileSizeOnChip()) {
+                    r.feasible = true;
+                    r.seconds =
+                        estimateSeconds(gc, configs[ci], policy);
+                    r.cycles =
+                        estimateCycles(gc, configs[ci], policy);
+                }
+                if (observing) {
+                    const std::uint64_t end = reg.nowUs();
+                    r.spanDurUs = end > r.spanStartUs
+                                      ? end - r.spanStartUs
+                                      : 0;
+                }
+            }
+        });
+
+    // Serial reduction in grid iteration order — same winner and same
+    // first-wins tie-break as the original serial sweep.
     ScheduleChoice best;
     double best_seconds = std::numeric_limits<double>::infinity();
     bool found = false;
-    obs::SpanId best_span = 0;
-    auto &reg = obs::Registry::global();
-
-    for (Index tile_size : tile_sizes) {
-        // Changing the tile size regenerates the global composition
-        // (the paper's (4) -> (5) feedback loop).
-        const GlobalComposition gc = gcGen(profile, tile_size);
-        for (const auto &config : configs) {
-            // One span per explored candidate, tagged with the
-            // estimate and the accept/reject decision ("accepted" is
-            // retagged onto the winner once the sweep finishes).
-            obs::Span span("schedule.candidate");
-            span.tag("config", config.name());
-            span.tag("tile", std::to_string(tile_size));
-            reg.add("schedule.candidates");
-            if (tile_size > config.maxTileSizeOnChip()) {
-                span.tag("decision", "infeasible");
-                reg.add("schedule.infeasible");
+    std::size_t best_idx = 0;
+    for (std::size_t ti = 0; ti < tile_sizes.size(); ++ti) {
+        for (std::size_t ci = 0; ci < n_cfg; ++ci) {
+            const CandidateResult &r = results[ti * n_cfg + ci];
+            if (!r.feasible)
                 continue;
-            }
-            const double seconds =
-                estimateSeconds(gc, config, policy);
-            span.tag("est_seconds", std::to_string(seconds));
-            reg.observe("schedule.est_seconds", seconds);
-            if (seconds < best_seconds) {
-                best_seconds = seconds;
-                best.config = config;
-                best.tileSize = tile_size;
-                best.estCycles = estimateCycles(gc, config, policy);
-                best.estSeconds = seconds;
+            if (r.seconds < best_seconds) {
+                best_seconds = r.seconds;
+                best.config = configs[ci];
+                best.tileSize = tile_sizes[ti];
+                best.estCycles = r.cycles;
+                best.estSeconds = r.seconds;
                 found = true;
-                span.tag("decision", "best-so-far");
-                best_span = span.id();
-            } else {
-                span.tag("decision", "rejected");
+                best_idx = ti * n_cfg + ci;
             }
         }
     }
@@ -67,7 +104,37 @@ exploreSchedule(const SubmatrixProfile &profile,
         spasm_fatal("no feasible (tile size, hardware config) "
                     "combination");
     }
-    reg.spanTag(best_span, "decision", "accepted");
+
+    if (observing) {
+        // Replay one span per explored candidate in serial iteration
+        // order, tagged with the estimate and the accept/reject
+        // decision, plus the sweep counters/histogram — byte-for-byte
+        // the layout the serial sweep used to publish.
+        for (std::size_t ti = 0; ti < tile_sizes.size(); ++ti) {
+            for (std::size_t ci = 0; ci < n_cfg; ++ci) {
+                const std::size_t idx = ti * n_cfg + ci;
+                const CandidateResult &r = results[idx];
+                std::vector<std::pair<std::string, std::string>> tags;
+                tags.emplace_back("config", configs[ci].name());
+                tags.emplace_back("tile",
+                                  std::to_string(tile_sizes[ti]));
+                reg.add("schedule.candidates");
+                if (!r.feasible) {
+                    tags.emplace_back("decision", "infeasible");
+                    reg.add("schedule.infeasible");
+                } else {
+                    tags.emplace_back("est_seconds",
+                                      std::to_string(r.seconds));
+                    reg.observe("schedule.est_seconds", r.seconds);
+                    tags.emplace_back("decision", idx == best_idx
+                                                      ? "accepted"
+                                                      : "rejected");
+                }
+                reg.recordSpan("schedule.candidate", r.spanStartUs,
+                               r.spanDurUs, std::move(tags));
+            }
+        }
+    }
     return best;
 }
 

@@ -19,6 +19,18 @@ toLower(std::string s)
     return s;
 }
 
+/** Whitespace-only line, or one whose first non-space char is '%'
+ *  (blank-by-CRLF included). */
+bool
+isBlankOrComment(const std::string &line)
+{
+    for (char c : line) {
+        if (!std::isspace(static_cast<unsigned char>(c)))
+            return c == '%';
+    }
+    return true;
+}
+
 } // namespace
 
 CooMatrix
@@ -59,34 +71,57 @@ readMatrixMarket(std::istream &in, const std::string &name)
         spasm_fatal("%s: unsupported symmetry '%s'", name.c_str(),
                     symmetry.c_str());
 
-    // Skip comments, then read the size line.
+    // Skip comments, then read the size line.  Line numbers are
+    // tracked for diagnostics (the banner was line 1).
+    long line_no = 1;
     while (std::getline(in, line)) {
-        if (!line.empty() && line[0] != '%')
+        ++line_no;
+        if (!isBlankOrComment(line))
             break;
     }
     std::istringstream size_line(line);
     long rows = 0, cols = 0, declared_nnz = 0;
-    size_line >> rows >> cols >> declared_nnz;
-    if (rows <= 0 || cols <= 0 || declared_nnz < 0)
-        spasm_fatal("%s: malformed size line '%s'", name.c_str(),
-                    line.c_str());
+    if (!(size_line >> rows >> cols >> declared_nnz) || rows <= 0 ||
+        cols <= 0 || declared_nnz < 0) {
+        spasm_fatal("%s:%ld: malformed size line '%s'", name.c_str(),
+                    line_no, line.c_str());
+    }
 
     std::vector<Triplet> triplets;
     triplets.reserve(static_cast<std::size_t>(declared_nnz) *
                      (symmetric || skew ? 2 : 1));
     long seen = 0;
     while (seen < declared_nnz && std::getline(in, line)) {
-        if (line.empty() || line[0] == '%')
+        ++line_no;
+        if (isBlankOrComment(line))
             continue;
         std::istringstream entry(line);
         long r = 0, c = 0;
         double v = 1.0;
-        entry >> r >> c;
-        if (!pattern)
-            entry >> v;
+        // Validate every extraction: junk tokens or a missing value
+        // column must fail loudly instead of parsing as 0 / 1.0.
+        if (!(entry >> r >> c)) {
+            spasm_fatal("%s:%ld: malformed entry line '%s' (expected "
+                        "row and column indices)",
+                        name.c_str(), line_no, line.c_str());
+        }
+        if (!pattern && !(entry >> v)) {
+            spasm_fatal("%s:%ld: entry line '%s' is missing a valid "
+                        "%s value",
+                        name.c_str(), line_no, line.c_str(),
+                        field.c_str());
+        }
         if (r < 1 || r > rows || c < 1 || c > cols) {
-            spasm_fatal("%s: entry (%ld, %ld) out of range", name.c_str(),
-                        r, c);
+            spasm_fatal("%s:%ld: entry (%ld, %ld) out of range",
+                        name.c_str(), line_no, r, c);
+        }
+        if (skew && r == c) {
+            // The MatrixMarket spec forbids explicit diagonal entries
+            // in skew-symmetric files (the diagonal is implicitly
+            // zero); accepting them would skew the expanded nnz.
+            spasm_fatal("%s:%ld: explicit diagonal entry (%ld, %ld) "
+                        "in a skew-symmetric matrix",
+                        name.c_str(), line_no, r, c);
         }
         ++seen;
         const Index ri = static_cast<Index>(r - 1);
@@ -100,6 +135,17 @@ readMatrixMarket(std::istream &in, const std::string &name)
     if (seen != declared_nnz) {
         spasm_fatal("%s: expected %ld entries, found %ld", name.c_str(),
                     declared_nnz, seen);
+    }
+    // Anything but blanks/comments after the declared entry count is
+    // a corrupt file, not something to silently drop.
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (!isBlankOrComment(line)) {
+            spasm_fatal("%s:%ld: trailing data '%s' after the %ld "
+                        "declared entries",
+                        name.c_str(), line_no, line.c_str(),
+                        declared_nnz);
+        }
     }
     auto m = CooMatrix::fromTriplets(static_cast<Index>(rows),
                                      static_cast<Index>(cols),
@@ -120,7 +166,17 @@ writeMatrixMarket(const CooMatrix &m, const std::string &path)
 void
 writeMatrixMarket(const CooMatrix &m, std::ostream &out)
 {
+    // The in-memory CooMatrix is always the general expansion (the
+    // reader mirrors symmetric/skew entries and materializes pattern
+    // values), so `real general` round-trips it exactly.  The source
+    // file's field/symmetry banner and declared nnz are deliberately
+    // not preserved; the header documents this so downstream tools
+    // don't mistake the expansion for the original storage.
     out << "%%MatrixMarket matrix coordinate real general\n";
+    out << "% Written by spasm as a fully expanded general matrix.\n";
+    out << "% Symmetric/skew-symmetric/pattern structure of any\n";
+    out << "% source file is not preserved (lossy round-trip at the\n";
+    out << "% file level; exact round-trip of the in-memory matrix).\n";
     out << m.rows() << ' ' << m.cols() << ' ' << m.nnz() << '\n';
     for (const auto &t : m.entries()) {
         out << (t.row + 1) << ' ' << (t.col + 1) << ' ' << t.val << '\n';

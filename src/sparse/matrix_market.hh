@@ -6,6 +6,15 @@
  * general / symmetric / skew-symmetric symmetry, which covers the entire
  * SuiteSparse collection the paper draws its workloads from.  This lets
  * users substitute real SuiteSparse downloads for the synthetic suite.
+ *
+ * The reader validates strictly and fails with a line-numbered
+ * diagnostic: junk tokens, a missing value column, out-of-range
+ * indices, explicit diagonal entries in skew-symmetric files, a
+ * short entry count, and trailing data rows beyond the declared nnz
+ * are all rejected.  The writer always emits the fully expanded
+ * `real general` form: the in-memory matrix round-trips exactly, but
+ * a source file's symmetric/pattern banner is not preserved (the
+ * written header documents this).
  */
 
 #ifndef SPASM_SPARSE_MATRIX_MARKET_HH

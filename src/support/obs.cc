@@ -57,57 +57,106 @@ Registry::global()
     return instance;
 }
 
+Registry::MetricShard &
+Registry::shardFor(std::string_view name)
+{
+    // FNV-1a; names are short and this is off the disabled fast path.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : name) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return shards_[h % kMetricShards];
+}
+
+std::vector<SpanId> &
+Registry::tlsStack()
+{
+    struct TlsStack
+    {
+        const Registry *owner = nullptr;
+        std::uint64_t generation = 0;
+        std::vector<SpanId> stack;
+    };
+    static thread_local TlsStack tls;
+    const std::uint64_t gen =
+        generation_.load(std::memory_order_relaxed);
+    if (tls.owner != this || tls.generation != gen) {
+        tls.owner = this;
+        tls.generation = gen;
+        tls.stack.clear();
+    }
+    return tls.stack;
+}
+
 void
 Registry::setEnabled(bool enabled)
 {
-    if (enabled && !enabled_)
-        epoch_ = Clock::now();
-    enabled_ = enabled;
+    if (enabled && !this->enabled()) {
+        epochNs_.store(Clock::now().time_since_epoch().count(),
+                       std::memory_order_relaxed);
+        generation_.fetch_add(1, std::memory_order_relaxed);
+    }
+    enabled_.store(enabled, std::memory_order_relaxed);
 }
 
 void
 Registry::clear()
 {
-    counters_.clear();
-    gauges_.clear();
-    histograms_.clear();
-    spans_.clear();
-    stack_.clear();
-    epoch_ = Clock::now();
+    for (auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.counters.clear();
+        shard.gauges.clear();
+        shard.histograms.clear();
+    }
+    {
+        std::lock_guard<std::mutex> lock(spansMutex_);
+        spans_.clear();
+    }
+    epochNs_.store(Clock::now().time_since_epoch().count(),
+                   std::memory_order_relaxed);
+    generation_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void
 Registry::add(std::string_view name, std::uint64_t delta)
 {
-    if (!enabled_)
+    if (!enabled())
         return;
-    const auto it = counters_.find(name);
-    if (it != counters_.end())
+    MetricShard &shard = shardFor(name);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.counters.find(name);
+    if (it != shard.counters.end())
         it->second += delta;
     else
-        counters_.emplace(std::string(name), delta);
+        shard.counters.emplace(std::string(name), delta);
 }
 
 void
 Registry::set(std::string_view name, double value)
 {
-    if (!enabled_)
+    if (!enabled())
         return;
-    const auto it = gauges_.find(name);
-    if (it != gauges_.end())
+    MetricShard &shard = shardFor(name);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.gauges.find(name);
+    if (it != shard.gauges.end())
         it->second = value;
     else
-        gauges_.emplace(std::string(name), value);
+        shard.gauges.emplace(std::string(name), value);
 }
 
 void
 Registry::observe(std::string_view name, double sample)
 {
-    if (!enabled_)
+    if (!enabled())
         return;
-    auto it = histograms_.find(name);
-    if (it == histograms_.end()) {
-        it = histograms_.emplace(std::string(name), HistogramData{})
+    MetricShard &shard = shardFor(name);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.histograms.find(name);
+    if (it == shard.histograms.end()) {
+        it = shard.histograms
+                 .emplace(std::string(name), HistogramData{})
                  .first;
     }
     it->second.observe(sample);
@@ -116,33 +165,44 @@ Registry::observe(std::string_view name, double sample)
 SpanId
 Registry::beginSpan(std::string_view name)
 {
-    if (!enabled_)
+    if (!enabled())
         return 0;
+    std::vector<SpanId> &stack = tlsStack();
     SpanRecord rec;
     rec.name = std::string(name);
     rec.startUs = nowUs();
-    rec.depth = static_cast<int>(stack_.size());
-    rec.parent = stack_.empty() ? 0 : stack_.back();
-    spans_.push_back(std::move(rec));
-    const SpanId id = spans_.size();
-    stack_.push_back(id);
+    rec.depth = static_cast<int>(stack.size());
+    rec.parent = stack.empty() ? 0 : stack.back();
+    SpanId id;
+    {
+        std::lock_guard<std::mutex> lock(spansMutex_);
+        spans_.push_back(std::move(rec));
+        id = spans_.size();
+    }
+    stack.push_back(id);
     return id;
 }
 
 void
 Registry::endSpan(SpanId id)
 {
-    if (id == 0 || id > spans_.size())
+    if (id == 0)
         return;
-    SpanRecord &rec = spans_[id - 1];
     const std::uint64_t now = nowUs();
-    rec.durUs = now > rec.startUs ? now - rec.startUs : 0;
-    // Pop the span (and, defensively, anything opened after it that
-    // was never closed — destruction order makes this the common
-    // case only for exceptions).
-    while (!stack_.empty()) {
-        const SpanId top = stack_.back();
-        stack_.pop_back();
+    {
+        std::lock_guard<std::mutex> lock(spansMutex_);
+        if (id > spans_.size())
+            return;
+        SpanRecord &rec = spans_[id - 1];
+        rec.durUs = now > rec.startUs ? now - rec.startUs : 0;
+    }
+    // Pop the span (and, defensively, anything this thread opened
+    // after it that was never closed — destruction order makes this
+    // the common case only for exceptions).
+    std::vector<SpanId> &stack = tlsStack();
+    while (!stack.empty()) {
+        const SpanId top = stack.back();
+        stack.pop_back();
         if (top == id)
             break;
     }
@@ -152,7 +212,10 @@ void
 Registry::spanTag(SpanId id, std::string_view key,
                   std::string_view value)
 {
-    if (id == 0 || id > spans_.size())
+    if (id == 0)
+        return;
+    std::lock_guard<std::mutex> lock(spansMutex_);
+    if (id > spans_.size())
         return;
     auto &tags = spans_[id - 1].tags;
     for (auto &kv : tags) {
@@ -164,13 +227,79 @@ Registry::spanTag(SpanId id, std::string_view key,
     tags.emplace_back(std::string(key), std::string(value));
 }
 
+SpanId
+Registry::recordSpan(
+    std::string_view name, std::uint64_t start_us,
+    std::uint64_t dur_us,
+    std::vector<std::pair<std::string, std::string>> tags)
+{
+    if (!enabled())
+        return 0;
+    std::vector<SpanId> &stack = tlsStack();
+    SpanRecord rec;
+    rec.name = std::string(name);
+    rec.startUs = start_us;
+    rec.durUs = dur_us;
+    rec.depth = static_cast<int>(stack.size());
+    rec.parent = stack.empty() ? 0 : stack.back();
+    rec.tags = std::move(tags);
+    std::lock_guard<std::mutex> lock(spansMutex_);
+    spans_.push_back(std::move(rec));
+    return spans_.size();
+}
+
 std::uint64_t
 Registry::nowUs() const
 {
-    const auto d = Clock::now() - epoch_;
+    const std::int64_t now =
+        Clock::now().time_since_epoch().count();
+    const std::int64_t epoch =
+        epochNs_.load(std::memory_order_relaxed);
+    const std::int64_t d = now > epoch ? now - epoch : 0;
+    using Ns = std::chrono::steady_clock::duration;
     return static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(d)
+        std::chrono::duration_cast<std::chrono::microseconds>(Ns(d))
             .count());
+}
+
+std::map<std::string, std::uint64_t, std::less<>>
+Registry::counters() const
+{
+    std::map<std::string, std::uint64_t, std::less<>> out;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        out.insert(shard.counters.begin(), shard.counters.end());
+    }
+    return out;
+}
+
+std::map<std::string, double, std::less<>>
+Registry::gauges() const
+{
+    std::map<std::string, double, std::less<>> out;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        out.insert(shard.gauges.begin(), shard.gauges.end());
+    }
+    return out;
+}
+
+std::map<std::string, HistogramData, std::less<>>
+Registry::histograms() const
+{
+    std::map<std::string, HistogramData, std::less<>> out;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        out.insert(shard.histograms.begin(), shard.histograms.end());
+    }
+    return out;
+}
+
+std::vector<SpanRecord>
+Registry::spans() const
+{
+    std::lock_guard<std::mutex> lock(spansMutex_);
+    return spans_;
 }
 
 } // namespace obs

@@ -21,16 +21,26 @@
  * lower_snake components, `<subsystem>.<noun>[.<cause>]`, e.g.
  * `sim.stall.value`, `framework.analysis`, `schedule.candidate`.
  *
- * Not thread-safe: the pipeline and simulator are single-threaded by
- * design; revisit if that changes.
+ * Thread-safety (see docs/observability.md, "Threading model"):
+ * counter/gauge/histogram updates go through name-sharded mutexes and
+ * may be issued concurrently from any thread, including thread-pool
+ * workers.  The span list is a single mutex-protected vector with
+ * stable 1-based ids; span *nesting* (depth/parent) is tracked per
+ * thread, so a span opened on a worker thread nests under whatever
+ * spans that same thread has open, never under another thread's.
+ * Accessors return consistent snapshots by value.  `setEnabled` and
+ * `clear` are lifecycle operations: call them while no other thread
+ * is publishing.
  */
 
 #ifndef SPASM_SUPPORT_OBS_HH
 #define SPASM_SUPPORT_OBS_HH
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -85,19 +95,27 @@ class HistogramData
     std::uint64_t rng_ = 0x9e3779b97f4a7c15ULL; ///< deterministic
 };
 
-/** The process-wide metric/span registry. */
+/** The process-wide metric/span registry.  Safe for concurrent
+ *  publication from multiple threads; see the file comment. */
 class Registry
 {
   public:
+    Registry() = default;
+
     /** The singleton used by all instrumentation sites. */
     static Registry &global();
 
-    bool enabled() const { return enabled_; }
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
 
-    /** Turn collection on/off; enabling (re)sets the span epoch. */
+    /** Turn collection on/off; enabling (re)sets the span epoch.
+     *  Lifecycle operation — not for use concurrently with updates. */
     void setEnabled(bool enabled);
 
-    /** Drop all counters, gauges, histograms and spans. */
+    /** Drop all counters, gauges, histograms and spans.  Lifecycle
+     *  operation — not for use concurrently with updates. */
     void clear();
 
     /** Increment a monotonic counter (no-op while disabled). */
@@ -110,8 +128,9 @@ class Registry
     void observe(std::string_view name, double sample);
 
     /**
-     * Open a span nested under the innermost open span.  Returns 0
-     * while disabled.  Prefer the RAII `Span` wrapper.
+     * Open a span nested under the calling thread's innermost open
+     * span.  Returns 0 while disabled.  Prefer the RAII `Span`
+     * wrapper.
      */
     SpanId beginSpan(std::string_view name);
 
@@ -122,35 +141,64 @@ class Registry
     void spanTag(SpanId id, std::string_view key,
                  std::string_view value);
 
+    /**
+     * Append an already-measured span (with explicit start/duration)
+     * nested under the calling thread's innermost open span, and
+     * return its id (0 while disabled).  Parallel stages use this to
+     * buffer per-task span data and replay it in deterministic order
+     * on the joining thread — the schedule sweep records identical
+     * span sequences at any thread count this way.
+     */
+    SpanId recordSpan(
+        std::string_view name, std::uint64_t start_us,
+        std::uint64_t dur_us,
+        std::vector<std::pair<std::string, std::string>> tags = {});
+
     /** Microseconds of wall clock since the registry epoch. */
     std::uint64_t nowUs() const;
 
-    const std::map<std::string, std::uint64_t, std::less<>> &
-    counters() const
-    {
-        return counters_;
-    }
-    const std::map<std::string, double, std::less<>> &gauges() const
-    {
-        return gauges_;
-    }
-    const std::map<std::string, HistogramData, std::less<>> &
-    histograms() const
-    {
-        return histograms_;
-    }
-    const std::vector<SpanRecord> &spans() const { return spans_; }
+    /** Sorted snapshot of all counters. */
+    std::map<std::string, std::uint64_t, std::less<>> counters() const;
+
+    /** Sorted snapshot of all gauges. */
+    std::map<std::string, double, std::less<>> gauges() const;
+
+    /** Sorted snapshot of all histograms. */
+    std::map<std::string, HistogramData, std::less<>>
+    histograms() const;
+
+    /** Snapshot of all spans, in id order (ids are stable: the span
+     *  with id k is element k-1). */
+    std::vector<SpanRecord> spans() const;
 
   private:
     using Clock = std::chrono::steady_clock;
 
-    bool enabled_ = false;
-    Clock::time_point epoch_ = Clock::now();
-    std::map<std::string, std::uint64_t, std::less<>> counters_;
-    std::map<std::string, double, std::less<>> gauges_;
-    std::map<std::string, HistogramData, std::less<>> histograms_;
+    /** Metric shard: names hash onto one of these so unrelated
+     *  counters don't contend on a single lock. */
+    struct MetricShard
+    {
+        mutable std::mutex mutex;
+        std::map<std::string, std::uint64_t, std::less<>> counters;
+        std::map<std::string, double, std::less<>> gauges;
+        std::map<std::string, HistogramData, std::less<>> histograms;
+    };
+    static constexpr std::size_t kMetricShards = 16;
+
+    MetricShard &shardFor(std::string_view name);
+
+    /** The calling thread's open-span stack for this registry. */
+    std::vector<SpanId> &tlsStack();
+
+    std::atomic<bool> enabled_{false};
+    std::atomic<std::int64_t> epochNs_{
+        Clock::now().time_since_epoch().count()};
+    /** Bumped by clear()/setEnabled(true) so stale per-thread span
+     *  stacks from a previous collection window reset lazily. */
+    std::atomic<std::uint64_t> generation_{0};
+    MetricShard shards_[kMetricShards];
+    mutable std::mutex spansMutex_;
     std::vector<SpanRecord> spans_;
-    std::vector<SpanId> stack_; ///< open spans, innermost last
 };
 
 /**

@@ -1,0 +1,197 @@
+#include "support/thread_pool.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <limits>
+
+namespace spasm {
+
+/**
+ * Shared state of one parallelFor: an atomic cursor handing out
+ * iteration indices, a completion count, and the lowest-index
+ * exception seen.  Queued by reference-counted pointer so stale help
+ * requests (popped after the loop already finished) stay valid.
+ */
+struct ThreadPool::Loop
+{
+    std::size_t n = 0;
+    const std::function<void(std::size_t)> *body = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::exception_ptr error;
+    std::size_t errorIndex = std::numeric_limits<std::size_t>::max();
+};
+
+ThreadPool::ThreadPool(unsigned concurrency)
+{
+    if (concurrency < 1)
+        concurrency = 1;
+    workers_.reserve(concurrency - 1);
+    for (unsigned i = 1; i < concurrency; ++i)
+        workers_.emplace_back([this] { workerMain(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        stopping_ = true;
+    }
+    queueCv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::workerMain()
+{
+    for (;;) {
+        std::shared_ptr<Loop> loop;
+        {
+            std::unique_lock<std::mutex> lock(queueMutex_);
+            queueCv_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping_ and nothing left to help with
+            loop = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        drain(*loop);
+    }
+}
+
+void
+ThreadPool::drain(Loop &loop)
+{
+    for (;;) {
+        const std::size_t i =
+            loop.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= loop.n)
+            return;
+        try {
+            (*loop.body)(i);
+        } catch (...) {
+            // Keep the exception from the lowest index; every index
+            // still runs, so the winner is deterministic.
+            std::lock_guard<std::mutex> lock(loop.mutex);
+            if (i < loop.errorIndex) {
+                loop.errorIndex = i;
+                loop.error = std::current_exception();
+            }
+        }
+        if (loop.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            loop.n) {
+            std::lock_guard<std::mutex> lock(loop.mutex);
+            loop.cv.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    if (workers_.empty() || n == 1) {
+        // Serial fast path: same contract as the parallel path —
+        // every iteration runs, then the lowest-index exception is
+        // rethrown.
+        std::exception_ptr error;
+        for (std::size_t i = 0; i < n; ++i) {
+            try {
+                body(i);
+            } catch (...) {
+                if (!error)
+                    error = std::current_exception();
+            }
+        }
+        if (error)
+            std::rethrow_exception(error);
+        return;
+    }
+
+    auto loop = std::make_shared<Loop>();
+    loop->n = n;
+    loop->body = &body;
+
+    // One help request per worker that could usefully join in; a
+    // worker that pops a request after the loop drained just returns.
+    const std::size_t helpers = std::min<std::size_t>(
+        workers_.size(), n - 1);
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        for (std::size_t i = 0; i < helpers; ++i)
+            queue_.push_back(loop);
+    }
+    if (helpers == 1)
+        queueCv_.notify_one();
+    else
+        queueCv_.notify_all();
+
+    // The caller drains alongside the workers (this is what makes
+    // nested parallelFor deadlock-free), then waits for the stragglers
+    // still executing their last claimed iteration.
+    drain(*loop);
+    {
+        std::unique_lock<std::mutex> lock(loop->mutex);
+        loop->cv.wait(lock, [&] {
+            return loop->done.load(std::memory_order_acquire) ==
+                   loop->n;
+        });
+    }
+    if (loop->error)
+        std::rethrow_exception(loop->error);
+}
+
+namespace {
+
+std::unique_ptr<ThreadPool> &
+globalSlot()
+{
+    static std::unique_ptr<ThreadPool> pool;
+    return pool;
+}
+
+std::mutex &
+globalMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+} // namespace
+
+ThreadPool &
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lock(globalMutex());
+    auto &slot = globalSlot();
+    if (!slot)
+        slot = std::make_unique<ThreadPool>(defaultConcurrency());
+    return *slot;
+}
+
+void
+ThreadPool::setGlobalConcurrency(unsigned concurrency)
+{
+    std::lock_guard<std::mutex> lock(globalMutex());
+    auto &slot = globalSlot();
+    if (slot && slot->concurrency() == std::max(1u, concurrency))
+        return;
+    slot.reset(); // join the old pool before replacing it
+    slot = std::make_unique<ThreadPool>(concurrency);
+}
+
+unsigned
+ThreadPool::defaultConcurrency()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+} // namespace spasm

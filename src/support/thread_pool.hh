@@ -1,0 +1,95 @@
+/**
+ * @file
+ * A shared worker pool for data-parallel loops.
+ *
+ * One process-wide pool (`ThreadPool::global()`) backs every parallel
+ * stage of the pipeline: the band-parallel pattern analysis, the
+ * (tile size x config) schedule sweep and the benchmark suite runner.
+ * Sizing is uniform — `--threads N` on the CLI and `SPASM_THREADS` in
+ * the bench harness both call `setGlobalConcurrency`.
+ *
+ * `parallelFor(n, body)` runs `body(0..n-1)` with the *calling thread
+ * participating*: indices are handed out from a shared atomic cursor
+ * and the caller drains them alongside the workers.  This makes
+ * nested calls safe — a `parallelFor` issued from inside a pool task
+ * always makes progress on its own thread even when every worker is
+ * busy — and makes a concurrency-1 pool exactly equivalent to a
+ * serial loop.
+ *
+ * Exceptions thrown by `body` are captured and the one from the
+ * lowest iteration index is rethrown on the calling thread once all
+ * claimed iterations have finished (remaining indices still run, so
+ * the choice of exception is deterministic).
+ */
+
+#ifndef SPASM_SUPPORT_THREAD_POOL_HH
+#define SPASM_SUPPORT_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spasm {
+
+class ThreadPool
+{
+  public:
+    /**
+     * @param concurrency Total threads used by parallelFor including
+     *        the calling thread; the pool spawns `concurrency - 1`
+     *        workers.  Clamped to >= 1.
+     */
+    explicit ThreadPool(unsigned concurrency);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total concurrency (worker threads + the calling thread). */
+    unsigned concurrency() const
+    {
+        return static_cast<unsigned>(workers_.size()) + 1;
+    }
+
+    /**
+     * Run body(i) for every i in [0, n), blocking until all
+     * iterations finished.  Iterations are unordered across threads;
+     * the caller participates.  Rethrows the lowest-index exception.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+    /** The process-wide pool (lazily built at defaultConcurrency). */
+    static ThreadPool &global();
+
+    /**
+     * Resize the process-wide pool (used by `--threads N` /
+     * `SPASM_THREADS`).  Not safe while a parallelFor is in flight on
+     * the global pool; call it from startup code.
+     */
+    static void setGlobalConcurrency(unsigned concurrency);
+
+    /** `hardware_concurrency`, at least 1. */
+    static unsigned defaultConcurrency();
+
+  private:
+    struct Loop;
+
+    void workerMain();
+    static void drain(Loop &loop);
+
+    std::vector<std::thread> workers_;
+    std::mutex queueMutex_;
+    std::condition_variable queueCv_;
+    std::deque<std::shared_ptr<Loop>> queue_;
+    bool stopping_ = false;
+};
+
+} // namespace spasm
+
+#endif // SPASM_SUPPORT_THREAD_POOL_HH

@@ -117,5 +117,145 @@ TEST(MatrixMarketDeath, RejectsTruncatedFile)
                 ::testing::ExitedWithCode(1), "expected 2 entries");
 }
 
+TEST(MatrixMarketDeath, RejectsMissingValueColumn)
+{
+    // A real-field entry with no value used to silently parse as
+    // v = 1.0; it must fail with a line-numbered diagnostic.
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 2\n"
+        "1 1 1.0\n"
+        "2 2\n");
+    EXPECT_EXIT(readMatrixMarket(in, "bad"),
+                ::testing::ExitedWithCode(1),
+                "bad:4: .*missing a valid real value");
+}
+
+TEST(MatrixMarketDeath, RejectsNonNumericValue)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "1 1 abc\n");
+    EXPECT_EXIT(readMatrixMarket(in, "bad"),
+                ::testing::ExitedWithCode(1),
+                "bad:3: .*missing a valid real value");
+}
+
+TEST(MatrixMarketDeath, RejectsJunkRowColTokens)
+{
+    // Non-numeric row/col tokens used to parse as 0 and be reported
+    // with a misleading "out of range" error.
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "x y 1.0\n");
+    EXPECT_EXIT(readMatrixMarket(in, "bad"),
+                ::testing::ExitedWithCode(1),
+                "bad:3: malformed entry line");
+}
+
+TEST(MatrixMarketDeath, RejectsMalformedSizeLine)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% a comment\n"
+        "2 junk 1\n");
+    EXPECT_EXIT(readMatrixMarket(in, "bad"),
+                ::testing::ExitedWithCode(1),
+                "bad:3: malformed size line");
+}
+
+TEST(MatrixMarketDeath, RejectsTrailingDataRows)
+{
+    // Rows beyond the declared nnz were silently ignored.
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "1 1 1.0\n"
+        "2 2 5.0\n");
+    EXPECT_EXIT(readMatrixMarket(in, "bad"),
+                ::testing::ExitedWithCode(1),
+                "bad:4: trailing data");
+}
+
+TEST(MatrixMarket, AcceptsTrailingBlanksAndComments)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "1 1 1.0\n"
+        "% trailing comment\n"
+        "   \n"
+        "\n");
+    const CooMatrix m = readMatrixMarket(in, "ok");
+    EXPECT_EQ(m.nnz(), 1);
+}
+
+TEST(MatrixMarketDeath, RejectsSkewSymmetricDiagonal)
+{
+    // The MM spec forbids explicit diagonal entries in
+    // skew-symmetric files; they used to survive unmirrored.
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+        "2 2 2\n"
+        "2 1 3\n"
+        "2 2 1\n");
+    EXPECT_EXIT(readMatrixMarket(in, "bad"),
+                ::testing::ExitedWithCode(1),
+                "bad:4: explicit diagonal entry");
+}
+
+TEST(MatrixMarket, SymmetricWriteRoundTripPinsGeneralExpansion)
+{
+    // Pinned behavior: the writer emits the fully expanded `real
+    // general` form.  The in-memory matrix round-trips exactly even
+    // though the symmetric banner of the source file is lost.
+    std::istringstream sym(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 3\n"
+        "1 1 1\n"
+        "2 1 5\n"
+        "3 2 6\n");
+    const CooMatrix m = readMatrixMarket(sym, "sym");
+    ASSERT_EQ(m.nnz(), 5); // expanded
+
+    std::ostringstream out;
+    writeMatrixMarket(m, out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("%%MatrixMarket matrix coordinate real "
+                        "general"),
+              std::string::npos);
+    // The lossy file-level round-trip is documented in the header.
+    EXPECT_NE(text.find("not preserved"), std::string::npos);
+
+    std::istringstream back_in(text);
+    const CooMatrix back = readMatrixMarket(back_in, "back");
+    EXPECT_EQ(back.rows(), m.rows());
+    EXPECT_EQ(back.cols(), m.cols());
+    ASSERT_EQ(back.nnz(), m.nnz());
+    for (Count i = 0; i < m.nnz(); ++i) {
+        EXPECT_EQ(back.entries()[i].row, m.entries()[i].row);
+        EXPECT_EQ(back.entries()[i].col, m.entries()[i].col);
+        EXPECT_FLOAT_EQ(back.entries()[i].val, m.entries()[i].val);
+    }
+}
+
+TEST(MatrixMarket, PatternWriteRoundTripMaterializesValues)
+{
+    std::istringstream pat(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "2 2 2\n"
+        "1 2\n"
+        "2 1\n");
+    const CooMatrix m = readMatrixMarket(pat, "pat");
+    std::ostringstream out;
+    writeMatrixMarket(m, out);
+    std::istringstream back_in(out.str());
+    const CooMatrix back = readMatrixMarket(back_in, "back");
+    ASSERT_EQ(back.nnz(), m.nnz());
+    EXPECT_FLOAT_EQ(back.entries()[0].val, 1.0f);
+}
+
 } // namespace
 } // namespace spasm

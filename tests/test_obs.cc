@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "support/obs.hh"
 #include "support/stats.hh"
 
@@ -51,7 +54,8 @@ TEST(ObsRegistry, HistogramSemantics)
 
     for (int i = 1; i <= 100; ++i)
         reg.observe("h", static_cast<double>(i));
-    const auto &h = reg.histograms().at("h");
+    const auto hists = reg.histograms();
+    const auto &h = hists.at("h");
     EXPECT_EQ(h.count(), 100u);
     EXPECT_DOUBLE_EQ(h.min(), 1.0);
     EXPECT_DOUBLE_EQ(h.max(), 100.0);
@@ -95,7 +99,7 @@ TEST(ObsRegistry, SpansNestAndRecordParents)
         }
         obs::Span sibling("sibling");
     }
-    const auto &spans = reg.spans();
+    const auto spans = reg.spans();
     ASSERT_EQ(spans.size(), 4u);
     EXPECT_EQ(spans[0].name, "outer");
     EXPECT_EQ(spans[0].depth, 0);
@@ -159,6 +163,91 @@ TEST(ObsRegistry, DisabledIsInert)
     EXPECT_TRUE(reg.gauges().empty());
     EXPECT_TRUE(reg.histograms().empty());
     EXPECT_TRUE(reg.spans().empty());
+}
+
+TEST(ObsRegistry, RecordSpanNestsUnderCallersOpenSpan)
+{
+    auto &reg = obs::Registry::global();
+    reg.setEnabled(true);
+    reg.clear();
+
+    {
+        obs::Span outer("outer");
+        const obs::SpanId id = reg.recordSpan(
+            "replayed", 10, 5, {{"decision", "accepted"}});
+        EXPECT_EQ(id, 2u);
+    }
+    const auto spans = reg.spans();
+    ASSERT_EQ(spans.size(), 2u);
+    EXPECT_EQ(spans[1].name, "replayed");
+    EXPECT_EQ(spans[1].startUs, 10u);
+    EXPECT_EQ(spans[1].durUs, 5u);
+    EXPECT_EQ(spans[1].depth, 1);
+    EXPECT_EQ(spans[1].parent, 1u); // id of "outer"
+    ASSERT_EQ(spans[1].tags.size(), 1u);
+    EXPECT_EQ(spans[1].tags[0].second, "accepted");
+
+    reg.clear();
+    reg.setEnabled(false);
+}
+
+// Many threads hammering every instrument type concurrently: counts
+// must come out exact and span ids stable.  Run under the CI TSan
+// job, this is also the data-race regression test for the registry.
+TEST(ObsRegistry, ConcurrentPublicationIsExact)
+{
+    auto &reg = obs::Registry::global();
+    reg.setEnabled(true);
+    reg.clear();
+
+    constexpr int kThreads = 8;
+    constexpr int kIters = 2000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            const std::string mine =
+                "stress.thread" + std::to_string(t);
+            for (int i = 0; i < kIters; ++i) {
+                reg.add("stress.shared");
+                reg.add(mine, 2);
+                reg.set(mine + ".gauge", static_cast<double>(i));
+                reg.observe("stress.hist",
+                            static_cast<double>(i));
+                obs::Span span("stress.span");
+                span.tag("thread", mine);
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    const auto counters = reg.counters();
+    EXPECT_EQ(counters.at("stress.shared"),
+              static_cast<std::uint64_t>(kThreads) * kIters);
+    for (int t = 0; t < kThreads; ++t) {
+        EXPECT_EQ(counters.at("stress.thread" + std::to_string(t)),
+                  2u * kIters);
+    }
+    const auto hists = reg.histograms();
+    EXPECT_EQ(hists.at("stress.hist").count(),
+              static_cast<std::uint64_t>(kThreads) * kIters);
+    EXPECT_EQ(reg.gauges().size(),
+              static_cast<std::size_t>(kThreads));
+
+    const auto spans = reg.spans();
+    ASSERT_EQ(spans.size(),
+              static_cast<std::size_t>(kThreads) * kIters);
+    for (const auto &span : spans) {
+        EXPECT_EQ(span.name, "stress.span");
+        // Worker-thread spans have no enclosing span on their own
+        // thread, so they are all top-level.
+        EXPECT_EQ(span.depth, 0);
+        EXPECT_EQ(span.parent, 0u);
+        ASSERT_EQ(span.tags.size(), 1u);
+    }
+
+    reg.clear();
+    reg.setEnabled(false);
 }
 
 TEST(Percentile, FreeFunctionInterpolates)

@@ -437,8 +437,9 @@ TEST(ChromeTrace, StructurallyValidAndMonotonePerTrack)
             if (pid == 2) {
                 const auto key = std::make_pair(pid, tid);
                 const auto it = last_ts.find(key);
-                if (it != last_ts.end())
+                if (it != last_ts.end()) {
                     EXPECT_GE(ts, it->second) << "tid " << tid;
+                }
                 last_ts[key] = ts;
             }
         } else if (ph == "i") {
@@ -449,8 +450,9 @@ TEST(ChromeTrace, StructurallyValidAndMonotonePerTrack)
             ++n_counter;
             const std::string &name = ev.at("name").str;
             const auto it = last_counter_ts.find(name);
-            if (it != last_counter_ts.end())
+            if (it != last_counter_ts.end()) {
                 EXPECT_GE(ts, it->second) << "counter " << name;
+            }
             last_counter_ts[name] = ts;
         }
     }

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the shared worker pool (support/thread_pool.hh):
+ * coverage/exactly-once iteration, nested calls, deterministic
+ * exception propagation, and the 1-vs-N determinism of the stages
+ * built on it (schedule exploration).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "pattern/analysis.hh"
+#include "pattern/template_library.hh"
+#include "perf/schedule.hh"
+#include "support/thread_pool.hh"
+#include "workloads/generators.hh"
+
+namespace spasm {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    for (unsigned concurrency : {1u, 2u, 8u}) {
+        ThreadPool pool(concurrency);
+        EXPECT_EQ(pool.concurrency(), concurrency);
+        constexpr std::size_t kN = 10000;
+        std::vector<std::atomic<int>> hits(kN);
+        pool.parallelFor(kN, [&](std::size_t i) { ++hits[i]; });
+        for (std::size_t i = 0; i < kN; ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPool, ZeroAndSingleIteration)
+{
+    ThreadPool pool(4);
+    int calls = 0;
+    pool.parallelFor(0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    pool.parallelFor(1, [&](std::size_t i) {
+        EXPECT_EQ(i, 0u);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock)
+{
+    ThreadPool pool(4);
+    std::atomic<int> total{0};
+    // More outer tasks than workers, each spawning an inner loop:
+    // progress relies on the caller draining its own iterations.
+    pool.parallelFor(16, [&](std::size_t) {
+        pool.parallelFor(16, [&](std::size_t) { ++total; });
+    });
+    EXPECT_EQ(total.load(), 16 * 16);
+}
+
+TEST(ThreadPool, RethrowsLowestIndexException)
+{
+    for (unsigned concurrency : {1u, 8u}) {
+        ThreadPool pool(concurrency);
+        std::atomic<int> ran{0};
+        try {
+            pool.parallelFor(64, [&](std::size_t i) {
+                ++ran;
+                if (i == 7 || i == 23 || i == 55) {
+                    throw std::runtime_error(
+                        "boom " + std::to_string(i));
+                }
+            });
+            FAIL() << "expected an exception";
+        } catch (const std::runtime_error &e) {
+            // All throwing indices run, so the lowest one wins
+            // deterministically at any concurrency.
+            EXPECT_STREQ(e.what(), "boom 7");
+        }
+        EXPECT_EQ(ran.load(), 64);
+    }
+}
+
+TEST(ThreadPool, ExceptionFromPatternAnalysisWorkerPropagates)
+{
+    // bad_alloc / logic errors inside analyzeRange used to hit
+    // std::terminate on the ad-hoc std::thread split; on the pool
+    // they surface on the joining thread.  Simulate the worker-throw
+    // path directly through parallelFor with a body that throws on
+    // exactly one chunk.
+    ThreadPool::setGlobalConcurrency(4);
+    EXPECT_THROW(
+        ThreadPool::global().parallelFor(
+            8,
+            [](std::size_t i) {
+                if (i == 3)
+                    throw std::bad_alloc();
+            }),
+        std::bad_alloc);
+}
+
+TEST(ThreadPool, GlobalPoolResizes)
+{
+    ThreadPool::setGlobalConcurrency(3);
+    EXPECT_EQ(ThreadPool::global().concurrency(), 3u);
+    ThreadPool::setGlobalConcurrency(1);
+    EXPECT_EQ(ThreadPool::global().concurrency(), 1u);
+    ThreadPool::setGlobalConcurrency(
+        ThreadPool::defaultConcurrency());
+}
+
+TEST(ThreadPool, PatternAnalysisIdenticalAcrossThreadCounts)
+{
+    const CooMatrix m = genUniformRandom(2048, 2048, 120000, 99);
+    const PatternGrid grid{4};
+    const auto serial = PatternHistogram::analyze(m, grid, 1);
+    ThreadPool::setGlobalConcurrency(8);
+    const auto parallel = PatternHistogram::analyze(m, grid, 8);
+    ASSERT_EQ(parallel.bins().size(), serial.bins().size());
+    for (std::size_t i = 0; i < serial.bins().size(); ++i) {
+        EXPECT_EQ(parallel.bins()[i].mask, serial.bins()[i].mask);
+        EXPECT_EQ(parallel.bins()[i].freq, serial.bins()[i].freq);
+    }
+    EXPECT_EQ(parallel.totalOccurrences(),
+              serial.totalOccurrences());
+    ThreadPool::setGlobalConcurrency(
+        ThreadPool::defaultConcurrency());
+}
+
+TEST(ThreadPool, ExploreScheduleDeterministicOnTieHeavyConfigs)
+{
+    // A tie-heavy candidate set: the same config repeated under
+    // different names produces identical estimates, so the winner is
+    // decided purely by the serial-iteration-order tie-break.  The
+    // parallel sweep must reproduce it exactly at any thread count.
+    const CooMatrix m = genUniformRandom(4096, 4096, 80000, 7);
+    const auto portfolio = candidatePortfolio(0, PatternGrid{4});
+    const SubmatrixProfile profile = buildProfile(m, portfolio);
+
+    std::vector<HwConfig> configs;
+    for (const auto &c : allHwConfigs()) {
+        configs.push_back(c);
+        configs.push_back(c); // exact duplicate -> guaranteed ties
+    }
+
+    ThreadPool::setGlobalConcurrency(1);
+    const ScheduleChoice serial = exploreSchedule(profile, configs);
+    for (unsigned n : {2u, 4u, 8u}) {
+        ThreadPool::setGlobalConcurrency(n);
+        const ScheduleChoice choice =
+            exploreSchedule(profile, configs);
+        EXPECT_EQ(choice.config.name(), serial.config.name());
+        EXPECT_EQ(choice.tileSize, serial.tileSize);
+        EXPECT_EQ(choice.estCycles, serial.estCycles);
+        EXPECT_DOUBLE_EQ(choice.estSeconds, serial.estSeconds);
+    }
+    ThreadPool::setGlobalConcurrency(
+        ThreadPool::defaultConcurrency());
+}
+
+} // namespace
+} // namespace spasm

@@ -42,6 +42,7 @@
 #include "support/logging.hh"
 #include "support/obs.hh"
 #include "support/stats.hh"
+#include "support/thread_pool.hh"
 #include "support/table.hh"
 #include "workloads/suite.hh"
 
@@ -71,7 +72,12 @@ usage()
         "  spasm verify   <matrix.mtx | workload>\n"
         "  spasm spy      <matrix.mtx | workload> [-o out.pgm]\n"
         "                 [--resolution N]\n"
-        "  spasm suite\n");
+        "  spasm suite\n"
+        "global options:\n"
+        "  --threads N    worker threads for pattern analysis and\n"
+        "                 schedule exploration (default: hardware\n"
+        "                 concurrency; results are identical at any\n"
+        "                 thread count)\n");
     return 2;
 }
 
@@ -124,7 +130,9 @@ cmdAnalyze(const std::string &input)
                 static_cast<long long>(m.nnz()), m.density());
 
     const PatternGrid grid{4};
-    const auto hist = PatternHistogram::analyze(m, grid);
+    const auto hist = PatternHistogram::analyze(
+        m, grid,
+        static_cast<int>(ThreadPool::global().concurrency()));
     std::printf("distinct 4x4 local patterns : %zu\n",
                 hist.distinctPatterns());
     std::printf("occurrences (non-empty subs): %llu\n",
@@ -462,6 +470,18 @@ main(int argc, char **argv)
     std::vector<std::string> args;
     for (int i = 2; i < argc; ++i)
         args.emplace_back(argv[i]);
+
+    // Global --threads N (default: hardware concurrency).  All
+    // parallel stages reduce deterministically, so outputs are
+    // identical at any thread count.
+    const std::string threads_opt = optValue(args, "--threads");
+    if (!threads_opt.empty()) {
+        const int n = std::stoi(threads_opt);
+        if (n < 1)
+            spasm_fatal("--threads must be >= 1");
+        ThreadPool::setGlobalConcurrency(
+            static_cast<unsigned>(n));
+    }
 
     if (cmd == "suite")
         return cmdSuite();
