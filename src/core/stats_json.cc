@@ -3,6 +3,7 @@
 #include "support/json.hh"
 #include "support/obs.hh"
 #include "support/stats.hh"
+#include "support/version.hh"
 
 namespace spasm {
 
@@ -160,7 +161,27 @@ writeStatsJson(std::ostream &os, const StatsReport &report)
     JsonWriter json(os);
     json.beginObject();
     json.field("schema", kStatsJsonSchema);
+    json.field("schema_minor", kStatsJsonSchemaMinor);
     json.field("generator", report.generator);
+
+    {
+        const StatsProvenance &p = report.provenance;
+        json.key("provenance");
+        json.beginObject();
+        json.field("git",
+                   p.git.empty() ? gitDescribe() : p.git.c_str());
+        json.field("build_type", p.buildType.empty()
+                                     ? buildType()
+                                     : p.buildType.c_str());
+        json.field("compiler", p.compiler.empty()
+                                   ? compilerId()
+                                   : p.compiler.c_str());
+        if (p.threads > 0)
+            json.field("threads", p.threads);
+        if (!p.scale.empty())
+            json.field("scale", p.scale);
+        json.endObject();
+    }
 
     json.key("input");
     json.beginObject();

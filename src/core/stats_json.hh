@@ -25,10 +25,35 @@ namespace spasm {
 /** The schema tag emitted at the top of every stats record. */
 inline constexpr const char *kStatsJsonSchema = "spasm-stats-v1";
 
+/**
+ * Backward-compatible minor revision of the v1 schema.  Minor 1 added
+ * the `provenance` section; readers must ignore unknown fields.
+ */
+inline constexpr int kStatsJsonSchemaMinor = 1;
+
+/**
+ * Build/run provenance stamped into every record so `spasm compare`
+ * can warn when a baseline and a candidate came from incomparable
+ * builds.  git/build/compiler default to this binary's configure-time
+ * stamp (support/version.hh); threads/scale are run parameters the
+ * caller fills in.
+ */
+struct StatsProvenance
+{
+    std::string git;       ///< git describe (defaulted if empty)
+    std::string buildType; ///< e.g. "Release" (defaulted if empty)
+    std::string compiler;  ///< e.g. "GNU 13.2.0" (defaulted if empty)
+    int threads = 0;       ///< worker threads (0 = unset/omitted)
+    std::string scale;     ///< workload scale echo ("" = omitted)
+};
+
 /** Everything one stats record can carry; null members are omitted. */
 struct StatsReport
 {
     std::string generator = "spasm_cli";
+
+    /** Build/run provenance; empty string fields are auto-filled. */
+    StatsProvenance provenance;
 
     /** Input matrix identification. */
     std::string inputName;

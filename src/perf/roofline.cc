@@ -1,0 +1,30 @@
+#include "perf/roofline.hh"
+
+#include <algorithm>
+
+namespace spasm {
+
+RooflinePoint
+placeOnRoofline(double flops, double bytes, double seconds,
+                double peak_gflops, double bandwidth_gbs)
+{
+    RooflinePoint p;
+    p.peakGflops = peak_gflops;
+    p.opIntensity = bytes > 0.0 ? flops / bytes : 0.0;
+    p.machineBalance =
+        bandwidth_gbs > 0.0 ? peak_gflops / bandwidth_gbs : 0.0;
+    p.achievedGflops = seconds > 0.0 ? flops / seconds / 1e9 : 0.0;
+    p.bandwidthRoofGflops = p.opIntensity * bandwidth_gbs;
+    p.attainableGflops =
+        p.bandwidthRoofGflops > 0.0
+            ? std::min(peak_gflops, p.bandwidthRoofGflops)
+            : peak_gflops;
+    p.memoryBound = p.bandwidthRoofGflops > 0.0 &&
+                    p.bandwidthRoofGflops < peak_gflops;
+    p.roofFraction = p.attainableGflops > 0.0
+                         ? p.achievedGflops / p.attainableGflops
+                         : 0.0;
+    return p;
+}
+
+} // namespace spasm

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Roofline placement (Williams et al., CACM 2009) against the
+ * Table-IV machine points: given the useful FLOPs and the bytes a run
+ * actually moved over HBM, locate the run on the
+ * bandwidth-roof/compute-roof plot of its hardware configuration and
+ * say which roof binds it.
+ *
+ * Used by the bottleneck attribution of `spasm report` (src/report)
+ * and available to the analytic schedule model for cross-checks.
+ */
+
+#ifndef SPASM_PERF_ROOFLINE_HH
+#define SPASM_PERF_ROOFLINE_HH
+
+namespace spasm {
+
+/** One run located against its configuration's rooflines. */
+struct RooflinePoint
+{
+    /** Operational intensity: useful FLOPs per HBM byte moved. */
+    double opIntensity = 0.0;
+
+    /**
+     * Machine balance: peak GFLOP/s over peak GB/s.  Runs with
+     * opIntensity below this sit under the bandwidth roof.
+     */
+    double machineBalance = 0.0;
+
+    double achievedGflops = 0.0;
+    double peakGflops = 0.0; ///< compute roof
+
+    /** Bandwidth roof at this intensity: intensity * peak GB/s. */
+    double bandwidthRoofGflops = 0.0;
+
+    /** min(compute roof, bandwidth roof) — the binding roof. */
+    double attainableGflops = 0.0;
+
+    /** True when the bandwidth roof is the lower (binding) one. */
+    bool memoryBound = false;
+
+    /** achieved / attainable, in [0, ~1]; the headroom indicator. */
+    double roofFraction = 0.0;
+};
+
+/**
+ * Place a run on the roofline.
+ *
+ * @param flops          Useful floating-point operations (the paper
+ *                       counts 2*nnz + rows per SpMV iteration).
+ * @param bytes          Total HBM bytes moved (values + position +
+ *                       x + y traffic).
+ * @param seconds        Execution time (simulated cycles / f).
+ * @param peak_gflops    Compute roof of the configuration (GFLOP/s).
+ * @param bandwidth_gbs  Aggregate HBM bandwidth (GB/s).
+ */
+RooflinePoint placeOnRoofline(double flops, double bytes,
+                              double seconds, double peak_gflops,
+                              double bandwidth_gbs);
+
+} // namespace spasm
+
+#endif // SPASM_PERF_ROOFLINE_HH

@@ -1,0 +1,277 @@
+#include "report/attribution.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "hw/config.hh"
+#include "support/logging.hh"
+
+namespace spasm {
+namespace report {
+
+namespace {
+
+/** The five stall causes as serialized under sim.stalls. */
+constexpr const char *kStallKeys[] = {"value", "position", "xvec",
+                                      "flush", "hazard"};
+
+/** Stall causes that wait on an HBM resource (vs. hazard, which is
+ *  a datapath dependency). */
+bool
+isMemoryStall(const std::string &cause)
+{
+    return cause != "hazard";
+}
+
+std::vector<StallSlice>
+stallSlices(const JsonValue &stalls, double total_pe_cycles)
+{
+    std::vector<StallSlice> out;
+    for (const char *key : kStallKeys) {
+        StallSlice s;
+        s.cause = key;
+        s.cycles = stalls.numberOr(key, 0.0);
+        s.fraction =
+            total_pe_cycles > 0.0 ? s.cycles / total_pe_cycles : 0.0;
+        out.push_back(std::move(s));
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const StallSlice &a, const StallSlice &b) {
+                         return a.cycles > b.cycles;
+                     });
+    return out;
+}
+
+std::string
+fmt(const char *format, double a, double b = 0.0, double c = 0.0)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), format, a, b, c);
+    return buf;
+}
+
+} // namespace
+
+std::string
+bindingName(Binding binding)
+{
+    switch (binding) {
+      case Binding::HbmBandwidth:
+        return "hbm-bandwidth";
+      case Binding::PeIssue:
+        return "pe-issue";
+      case Binding::LoadImbalance:
+        return "load-imbalance";
+    }
+    return "?";
+}
+
+BottleneckReport
+attributeBottleneck(const StatsFile &file, int top_n)
+{
+    if (file.schema != "spasm-stats-v1")
+        spasm_fatal("%s: bottleneck attribution needs a "
+                    "spasm-stats-v1 record, got '%s'",
+                    file.path.c_str(), file.schema.c_str());
+    const JsonValue *sim = file.root.find("sim");
+    if (sim == nullptr)
+        spasm_fatal("%s: no 'sim' section — run came from a "
+                    "software-only pipeline?", file.path.c_str());
+
+    BottleneckReport rep;
+    const JsonValue *input = file.root.find("input");
+    rep.inputName =
+        input != nullptr ? input->stringOr("name", "?") : "?";
+    rep.cycles = sim->numberOr("cycles", 0.0);
+
+    const JsonValue *config = file.root.find("config");
+    double peak_gflops = 0.0, bandwidth_gbs = 0.0;
+    if (config != nullptr) {
+        rep.configName = config->stringOr("name", "?");
+        rep.peGroups =
+            static_cast<int>(config->numberOr("pe_groups", 0.0));
+        rep.numPes = rep.peGroups * kPesPerGroup;
+        peak_gflops = config->numberOr("peak_gflops", 0.0);
+        bandwidth_gbs = config->numberOr("bandwidth_gbs", 0.0);
+    }
+    const JsonValue *per_pe = sim->find("per_pe");
+    if (rep.numPes == 0 && per_pe != nullptr)
+        rep.numPes = static_cast<int>(per_pe->array.size());
+    if (rep.numPes == 0)
+        spasm_fatal("%s: cannot determine PE count (no config echo "
+                    "and no per_pe section)", file.path.c_str());
+
+    const double total_pe_cycles = rep.cycles * rep.numPes;
+
+    // Cycle budget: busy / stalled / idle.
+    const double busy = sim->numberOr("busy_pe_cycles", 0.0);
+    rep.stalls = stallSlices(sim->at("stalls"), total_pe_cycles);
+    double stall_cycles = 0.0, mem_stall_cycles = 0.0;
+    for (const auto &s : rep.stalls) {
+        stall_cycles += s.cycles;
+        if (isMemoryStall(s.cause))
+            mem_stall_cycles += s.cycles;
+    }
+    if (total_pe_cycles > 0.0) {
+        rep.busyFraction = busy / total_pe_cycles;
+        rep.stallFraction = stall_cycles / total_pe_cycles;
+        rep.idleFraction = std::max(
+            0.0, 1.0 - rep.busyFraction - rep.stallFraction);
+    }
+
+    // Roofline placement from bytes moved vs. useful FLOPs.
+    const JsonValue *bytes = sim->find("bytes");
+    double total_bytes = 0.0;
+    if (bytes != nullptr) {
+        for (const auto &kv : bytes->object)
+            total_bytes += kv.second.isNumber() ? kv.second.number
+                                                : 0.0;
+    }
+    double flops = 0.0;
+    if (input != nullptr) {
+        // Paper metric: 2*nnz MACs + one y add per row.
+        flops = 2.0 * input->numberOr("nnz", 0.0) +
+                input->numberOr("rows", 0.0);
+    }
+    rep.roofline =
+        placeOnRoofline(flops, total_bytes,
+                        sim->numberOr("seconds", 0.0), peak_gflops,
+                        bandwidth_gbs);
+
+    // Per-group aggregation of the per-PE attribution.
+    std::vector<double> pe_words;
+    if (per_pe != nullptr && !per_pe->array.empty()) {
+        const int pes = static_cast<int>(per_pe->array.size());
+        const int groups = (pes + kPesPerGroup - 1) / kPesPerGroup;
+        for (int g = 0; g < groups; ++g) {
+            GroupAttribution ga;
+            ga.group = g;
+            double group_busy = 0.0;
+            int group_pes = 0;
+            std::vector<StallSlice> stalls;
+            for (const char *key : kStallKeys)
+                stalls.push_back({key, 0.0, 0.0});
+            for (int p = g * kPesPerGroup;
+                 p < std::min(pes, (g + 1) * kPesPerGroup); ++p) {
+                const JsonValue &pe = per_pe->array[p];
+                ++group_pes;
+                ga.words += pe.numberOr("words", 0.0);
+                group_busy += pe.numberOr("busy", 0.0);
+                const JsonValue *ps = pe.find("stalls");
+                if (ps != nullptr) {
+                    for (auto &s : stalls)
+                        s.cycles += ps->numberOr(s.cause, 0.0);
+                }
+                pe_words.push_back(pe.numberOr("words", 0.0));
+            }
+            const double group_cycles = rep.cycles * group_pes;
+            ga.busyFraction = group_cycles > 0.0
+                                  ? group_busy / group_cycles
+                                  : 0.0;
+            for (auto &s : stalls) {
+                s.fraction = group_cycles > 0.0
+                                 ? s.cycles / group_cycles
+                                 : 0.0;
+            }
+            std::stable_sort(
+                stalls.begin(), stalls.end(),
+                [](const StallSlice &a, const StallSlice &b) {
+                    return a.cycles > b.cycles;
+                });
+            if (top_n >= 0 &&
+                stalls.size() > static_cast<std::size_t>(top_n))
+                stalls.resize(top_n);
+            ga.topStalls = std::move(stalls);
+            rep.groups.push_back(std::move(ga));
+        }
+    }
+
+    // Load imbalance: max/mean words across PEs…
+    if (!pe_words.empty()) {
+        double sum = 0.0, mx = 0.0;
+        for (double w : pe_words) {
+            sum += w;
+            mx = std::max(mx, w);
+        }
+        const double mean = sum / pe_words.size();
+        rep.peImbalance = mean > 0.0 ? mx / mean : 0.0;
+    }
+    // …and max/mean delivered bytes across the sparse-value channels
+    // (the channels that carry the balanced word stream).
+    const JsonValue *channels = sim->find("channels");
+    if (channels != nullptr) {
+        double sum = 0.0, mx = 0.0;
+        std::size_t n = 0;
+        for (const auto &ch : channels->array) {
+            const std::string name = ch.stringOr("name", "");
+            if (name.rfind("hbm.val.", 0) != 0)
+                continue;
+            const double b = ch.numberOr("bytes", 0.0);
+            sum += b;
+            mx = std::max(mx, b);
+            ++n;
+        }
+        if (n > 0 && sum > 0.0)
+            rep.channelImbalance = mx / (sum / n);
+    }
+
+    // Verdict: the largest cycle bucket names the binding resource.
+    // Hazard stalls count toward the issue side (datapath, not HBM).
+    const double hazard_frac =
+        total_pe_cycles > 0.0
+            ? (stall_cycles - mem_stall_cycles) / total_pe_cycles
+            : 0.0;
+    const double mem_frac = rep.stallFraction - hazard_frac;
+    const double issue_frac = rep.busyFraction + hazard_frac;
+    if (mem_frac >= issue_frac && mem_frac >= rep.idleFraction) {
+        rep.binding = Binding::HbmBandwidth;
+        rep.rationale =
+            fmt("PEs spend %.1f%% of cycles stalled on HBM "
+                "resources; top cause: ",
+                100.0 * mem_frac) +
+            (rep.stalls.empty() ? std::string("?")
+                                : rep.stalls[0].cause);
+    } else if (issue_frac >= rep.idleFraction) {
+        rep.binding = Binding::PeIssue;
+        rep.rationale =
+            fmt("PEs are busy issuing %.1f%% of cycles — the word "
+                "stream, not memory, limits the run",
+                100.0 * issue_frac);
+    } else {
+        rep.binding = Binding::LoadImbalance;
+        rep.rationale =
+            fmt("PEs are idle (not stalled) %.1f%% of cycles; "
+                "PE imbalance %.2fx",
+                100.0 * rep.idleFraction, rep.peImbalance);
+    }
+    if (rep.roofline.attainableGflops > 0.0) {
+        rep.rationale +=
+            fmt("; roofline: at %.1f%% of the ",
+                100.0 * rep.roofline.roofFraction) +
+            (rep.roofline.memoryBound ? "bandwidth" : "compute") +
+            fmt(" roof (OI %.3f flop/B vs machine balance %.3f)",
+                rep.roofline.opIntensity,
+                rep.roofline.machineBalance);
+    }
+
+    // Preprocessing breakdown.
+    const JsonValue *pre = file.root.find("preprocess");
+    if (pre != nullptr) {
+        const double total = pre->numberOr("total_ms", 0.0);
+        for (const auto &kv : pre->object) {
+            if (kv.first == "total_ms" || !kv.second.isNumber())
+                continue;
+            StageBreakdown stage;
+            stage.stage = kv.first;
+            stage.ms = kv.second.number;
+            stage.fraction = total > 0.0 ? stage.ms / total : 0.0;
+            rep.preprocess.push_back(std::move(stage));
+        }
+    }
+
+    return rep;
+}
+
+} // namespace report
+} // namespace spasm

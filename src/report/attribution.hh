@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Automated bottleneck attribution over one `spasm-stats-v1` record —
+ * the engine behind `spasm report`.
+ *
+ * The simulator already publishes everything needed to explain a run:
+ * aggregate and per-PE stall counters by cause, per-channel delivered
+ * bytes, and the bytes/FLOPs totals.  This layer turns them into a
+ * verdict: every PE-cycle of the run is one of *busy* (issuing a
+ * word), *stalled on a memory resource* (value / position / x-vector
+ * / y-drain channel, or an accumulator hazard), or *idle* (no work
+ * assigned — imbalance, warm-up or drain).  The largest bucket names
+ * the binding resource, cross-checked against the run's roofline
+ * placement (perf/roofline.hh) versus the Table-IV machine point.
+ */
+
+#ifndef SPASM_REPORT_ATTRIBUTION_HH
+#define SPASM_REPORT_ATTRIBUTION_HH
+
+#include <string>
+#include <vector>
+
+#include "perf/roofline.hh"
+#include "report/stats_file.hh"
+
+namespace spasm {
+namespace report {
+
+/** One stall cause and its share of total PE-cycles. */
+struct StallSlice
+{
+    std::string cause; ///< "value", "position", "xvec", "flush", ...
+    double cycles = 0.0;
+    double fraction = 0.0; ///< of cycles * numPes
+};
+
+/** Aggregated activity of one PE group (16 PEs). */
+struct GroupAttribution
+{
+    int group = 0;
+    double words = 0.0;
+    double busyFraction = 0.0; ///< of the group's PE-cycles
+    std::vector<StallSlice> topStalls; ///< top-N, descending
+};
+
+/** The binding resource of a run. */
+enum class Binding
+{
+    HbmBandwidth, ///< memory stalls dominate / bandwidth roof
+    PeIssue,      ///< PEs busy issuing — compute roof
+    LoadImbalance ///< PEs idle without stalling — work distribution
+};
+
+/** Human-readable name ("hbm-bandwidth", "pe-issue", ...). */
+std::string bindingName(Binding binding);
+
+/** One preprocessing stage's share. */
+struct StageBreakdown
+{
+    std::string stage;
+    double ms = 0.0;
+    double fraction = 0.0; ///< of total preprocessing time
+};
+
+/** Everything `spasm report` prints. */
+struct BottleneckReport
+{
+    std::string inputName;
+    std::string configName;
+    double cycles = 0.0;
+    int numPes = 0;
+    int peGroups = 0;
+
+    RooflinePoint roofline;
+
+    /** Cycle budget: fractions of cycles * numPes. */
+    double busyFraction = 0.0;
+    double stallFraction = 0.0; ///< all causes combined
+    double idleFraction = 0.0;
+
+    /** All stall causes, descending share. */
+    std::vector<StallSlice> stalls;
+
+    /** Per-PE-group attribution (empty without per_pe data). */
+    std::vector<GroupAttribution> groups;
+
+    /**
+     * Load imbalance: max/mean of per-PE words and of per-value-
+     * channel delivered bytes.  1.0 = perfectly balanced; the PE
+     * score is 0 when per_pe data is absent.
+     */
+    double peImbalance = 0.0;
+    double channelImbalance = 0.0;
+
+    Binding binding = Binding::PeIssue;
+    std::string rationale;
+
+    /** Preprocessing stage shares (empty for .spasm inputs). */
+    std::vector<StageBreakdown> preprocess;
+};
+
+/**
+ * Attribute @p file (must be `spasm-stats-v1` with a `sim` section).
+ * @p top_n bounds the per-group stall list.
+ */
+BottleneckReport attributeBottleneck(const StatsFile &file,
+                                     int top_n = 3);
+
+} // namespace report
+} // namespace spasm
+
+#endif // SPASM_REPORT_ATTRIBUTION_HH

@@ -1,0 +1,228 @@
+#include "report/diff.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace spasm {
+namespace report {
+
+bool
+globMatch(const std::string &pattern, const std::string &text)
+{
+    // Iterative glob with single-star backtracking.
+    std::size_t p = 0, t = 0;
+    std::size_t star = std::string::npos, mark = 0;
+    while (t < text.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == '?' || pattern[p] == text[t])) {
+            ++p;
+            ++t;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            mark = t;
+        } else if (star != std::string::npos) {
+            p = star + 1;
+            t = ++mark;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
+}
+
+ToleranceSpec
+ToleranceSpec::defaults()
+{
+    ToleranceSpec spec;
+    // Wall-clock metrics: wide band + 1ms/1us floor.  Everything the
+    // simulator derives from cycles is NOT here on purpose.
+    spec.rules.push_back({"preprocess.*", 0.5, 1.0});
+    spec.rules.push_back({"*_ms", 0.5, 1.0});
+    spec.rules.push_back({"*_us", 0.5, 1.0});
+    spec.rules.push_back({"rows.*.time*", 0.5, 1.0});
+    spec.rules.push_back({"rows.*.*ms*", 0.5, 1.0});
+    return spec;
+}
+
+ToleranceRule
+ToleranceSpec::ruleFor(const std::string &path) const
+{
+    if (strict)
+        return {path, 0.0, 0.0, false};
+    for (const auto &rule : rules) {
+        if (globMatch(rule.pattern, path))
+            return rule;
+    }
+    return {path, defaultRel, 0.0, true};
+}
+
+bool
+higherIsBetter(const std::string &path)
+{
+    for (const char *token :
+         {"gflops", "utilization", "occupancy", "coverage",
+          "throughput", "speedup"}) {
+        if (path.find(token) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+namespace {
+
+DeltaStatus
+classify(const Metric &b, const Metric &c, const ToleranceRule &rule,
+         bool strict, MetricDelta &delta)
+{
+    delta.baseline = b.value;
+    delta.candidate = c.value;
+    delta.absDelta = c.value - b.value;
+    const double mag =
+        std::max(std::abs(b.value), std::abs(c.value));
+    delta.relDelta =
+        mag > 0.0 ? std::abs(delta.absDelta) / mag : 0.0;
+    delta.relAllowed = rule.rel;
+
+    // Deterministic counters: token-identical or failed.  Only an
+    // explicit rule can loosen them — the default fractional band
+    // does not apply (zero tolerance on counts).
+    if (b.integral && c.integral) {
+        delta.relAllowed = rule.fromDefault ? 0.0 : rule.rel;
+        if (b.raw == c.raw)
+            return DeltaStatus::Equal;
+        if (!strict && !rule.fromDefault &&
+            (std::abs(delta.absDelta) <= rule.absFloor ||
+             delta.relDelta <= rule.rel))
+            return DeltaStatus::Within;
+        return higherIsBetter(delta.path) == (delta.absDelta > 0.0)
+                   ? DeltaStatus::Improved
+                   : DeltaStatus::Regressed;
+    }
+
+    if (b.raw == c.raw || b.value == c.value)
+        return DeltaStatus::Equal;
+    if (!strict && (std::abs(delta.absDelta) <= rule.absFloor ||
+                    delta.relDelta <= rule.rel))
+        return DeltaStatus::Within;
+    return higherIsBetter(delta.path) == (delta.absDelta > 0.0)
+               ? DeltaStatus::Improved
+               : DeltaStatus::Regressed;
+}
+
+} // namespace
+
+std::vector<const MetricDelta *>
+DiffReport::failures() const
+{
+    std::vector<const MetricDelta *> out;
+    for (const auto &d : deltas) {
+        if (d.status == DeltaStatus::Regressed ||
+            d.status == DeltaStatus::Improved ||
+            d.status == DeltaStatus::Missing)
+            out.push_back(&d);
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const MetricDelta *a, const MetricDelta *b) {
+                         return a->relDelta > b->relDelta;
+                     });
+    return out;
+}
+
+bool
+DiffReport::ok() const
+{
+    for (const auto &d : deltas) {
+        if (d.status == DeltaStatus::Regressed ||
+            d.status == DeltaStatus::Improved ||
+            d.status == DeltaStatus::Missing)
+            return false;
+    }
+    return true;
+}
+
+DiffReport
+diffStats(const StatsFile &baseline, const StatsFile &candidate,
+          const ToleranceSpec &spec)
+{
+    DiffReport report;
+    report.baselinePath = baseline.path;
+    report.candidatePath = candidate.path;
+
+    if (baseline.schema != candidate.schema) {
+        report.warnings.push_back(
+            "schema mismatch: baseline " + baseline.schema +
+            " vs candidate " + candidate.schema);
+    }
+
+    // Provenance/context: comparability warnings, never gates.
+    for (const auto &kv : baseline.provenance) {
+        const auto it = candidate.provenance.find(kv.first);
+        const std::string cand =
+            it == candidate.provenance.end() ? "(absent)"
+                                             : it->second;
+        if (cand != kv.second) {
+            report.warnings.push_back(
+                "provenance." + kv.first + " differs: baseline '" +
+                kv.second + "' vs candidate '" + cand +
+                "' — runs may not be comparable");
+        }
+    }
+    for (const auto &kv : baseline.context) {
+        const auto it = candidate.context.find(kv.first);
+        const std::string cand =
+            it == candidate.context.end() ? "(absent)" : it->second;
+        if (cand != kv.second) {
+            report.warnings.push_back(
+                kv.first + " differs: baseline '" + kv.second +
+                "' vs candidate '" + cand + "'");
+        }
+    }
+
+    std::unordered_map<std::string, const Metric *> candIndex;
+    candIndex.reserve(candidate.metrics.size());
+    for (const auto &m : candidate.metrics)
+        candIndex.emplace(m.path, &m);
+
+    for (const auto &b : baseline.metrics) {
+        MetricDelta delta;
+        delta.path = b.path;
+        const auto it = candIndex.find(b.path);
+        if (it == candIndex.end()) {
+            delta.baseline = b.value;
+            delta.status = DeltaStatus::Missing;
+            report.deltas.push_back(std::move(delta));
+            continue;
+        }
+        const Metric &c = *it->second;
+        candIndex.erase(it);
+        delta.status = classify(b, c, spec.ruleFor(b.path),
+                                spec.strict, delta);
+        ++report.numCompared;
+        if (delta.status == DeltaStatus::Equal)
+            ++report.numEqual;
+        else if (delta.status == DeltaStatus::Within)
+            ++report.numWithin;
+        report.deltas.push_back(std::move(delta));
+    }
+
+    // Candidate-only metrics, in candidate document order.
+    for (const auto &c : candidate.metrics) {
+        if (candIndex.find(c.path) == candIndex.end())
+            continue;
+        MetricDelta delta;
+        delta.path = c.path;
+        delta.candidate = c.value;
+        delta.status = DeltaStatus::Added;
+        report.warnings.push_back("metric only in candidate: " +
+                                  c.path);
+        report.deltas.push_back(std::move(delta));
+    }
+
+    return report;
+}
+
+} // namespace report
+} // namespace spasm

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Structured diff between two loaded stats/bench files with
+ * per-metric tolerances — the engine behind `spasm compare`.
+ *
+ * Tolerance policy (see docs/regression.md for the rationale):
+ *  - Metrics that are integral in both files (cycle, word and stall
+ *    counts under `--deterministic`) compare exactly, token to token:
+ *    zero tolerance.
+ *  - Fractional metrics get a relative band; the default 1e-9 only
+ *    absorbs decimal-formatting and libm last-ulp jitter between
+ *    builds, so a real change still fails.
+ *  - Wall-clock metrics (`preprocess.*`, `*_ms`, `*_us` and bench
+ *    time columns) get a wide percentage band plus an absolute floor,
+ *    because machines differ; under `--deterministic` they are zeroed
+ *    and compare exactly anyway.
+ *  - A metric present in the baseline but not the candidate fails
+ *    the comparison (schema or coverage regressed); a metric only in
+ *    the candidate warns (backward-compatible growth).
+ *  - `provenance.*` and identity strings never gate — mismatches
+ *    (different git revision, build type, scale, input name) are
+ *    reported as comparability warnings.
+ */
+
+#ifndef SPASM_REPORT_DIFF_HH
+#define SPASM_REPORT_DIFF_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "report/stats_file.hh"
+
+namespace spasm {
+namespace report {
+
+/** How one metric (glob pattern) is allowed to move. */
+struct ToleranceRule
+{
+    std::string pattern; ///< glob over the flattened path ('*', '?')
+    double rel = 0.0;    ///< |c-b| / max(|b|,|c|) allowed
+    double absFloor = 0.0; ///< |c-b| below this always passes
+
+    /** True when no explicit pattern matched and the spec default
+     *  applies.  The default band never loosens integral metrics —
+     *  deterministic counts stay zero-tolerance. */
+    bool fromDefault = false;
+};
+
+/** Ordered rule set; the first matching rule wins. */
+struct ToleranceSpec
+{
+    std::vector<ToleranceRule> rules;
+
+    /** Band for fractional metrics no rule matches. */
+    double defaultRel = 1e-9;
+
+    /** When true, every metric compares exactly (token equality for
+     *  integrals, bit-for-bit double equality otherwise). */
+    bool strict = false;
+
+    /** The stock policy described in the file comment. */
+    static ToleranceSpec defaults();
+
+    /** rel/absFloor applicable to @p path under this spec. */
+    ToleranceRule ruleFor(const std::string &path) const;
+};
+
+/** Glob match with '*' (any run) and '?' (any one char). */
+bool globMatch(const std::string &pattern, const std::string &text);
+
+/** Outcome for one metric path. */
+enum class DeltaStatus
+{
+    Equal,     ///< identical
+    Within,    ///< differs, inside tolerance
+    Regressed, ///< outside tolerance, worse (direction-aware)
+    Improved,  ///< outside tolerance, better — still gates (stale
+               ///< baseline: re-bless)
+    Missing,   ///< in baseline only — gates
+    Added,     ///< in candidate only — warns
+};
+
+/** One compared metric. */
+struct MetricDelta
+{
+    std::string path;
+    double baseline = 0.0;
+    double candidate = 0.0;
+    double absDelta = 0.0;
+    double relDelta = 0.0; ///< |c-b| / max(|b|,|c|); 0 when equal
+    double relAllowed = 0.0;
+    DeltaStatus status = DeltaStatus::Equal;
+};
+
+/** Full comparison outcome. */
+struct DiffReport
+{
+    std::string baselinePath;
+    std::string candidatePath;
+
+    /** Every compared/unmatched metric, baseline document order
+     *  (candidate-only metrics appended). */
+    std::vector<MetricDelta> deltas;
+
+    /** Comparability warnings (provenance/context mismatches,
+     *  candidate-only metrics). */
+    std::vector<std::string> warnings;
+
+    std::size_t numCompared = 0;
+    std::size_t numEqual = 0;
+    std::size_t numWithin = 0;
+
+    /** Deltas that gate (Regressed/Improved/Missing), worst first. */
+    std::vector<const MetricDelta *> failures() const;
+
+    /** True iff nothing gates: the candidate passes. */
+    bool ok() const;
+};
+
+/** Compare @p candidate against @p baseline under @p spec. */
+DiffReport diffStats(const StatsFile &baseline,
+                     const StatsFile &candidate,
+                     const ToleranceSpec &spec);
+
+/** True when @p path names a metric where larger is better
+ *  (throughput/utilization/occupancy); used to label direction. */
+bool higherIsBetter(const std::string &path);
+
+} // namespace report
+} // namespace spasm
+
+#endif // SPASM_REPORT_DIFF_HH

@@ -1,0 +1,29 @@
+#include "report/golden.hh"
+
+namespace spasm {
+namespace report {
+
+const std::vector<GoldenSpec> &
+goldenSpecs()
+{
+    // One dense-ish, one mid-density and one near-diagonal workload
+    // (Table-II density order), each on a different Table-IV
+    // bitstream, plus the fig12 headline pair of cfd2 on the largest
+    // configuration.
+    static const std::vector<GoldenSpec> specs = {
+        {"raefsky3", "SPASM_3_2"},
+        {"bbmat", "SPASM_3_4"},
+        {"cfd2", "SPASM_4_1"},
+        {"t2em", "SPASM_3_4"},
+    };
+    return specs;
+}
+
+std::string
+goldenFileName(const GoldenSpec &spec)
+{
+    return spec.workload + "_" + spec.config + ".json";
+}
+
+} // namespace report
+} // namespace spasm

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The golden-baseline portfolio: the fixed set of (workload ×
+ * hardware configuration) runs whose deterministic `spasm-stats-v1`
+ * records are committed under `bench/baselines/` and gate every PR
+ * via `spasm compare` (see docs/regression.md).
+ *
+ * The set is small on purpose — one representative workload per
+ * global-composition class against each Table-IV bitstream — so the
+ * CI perf-regression job stays fast while still covering every
+ * simulator subsystem (value/position/x channels, psum drain,
+ * schedule exploration).  Runs are pinned to Tiny scale: goldens must
+ * regenerate bit-identically on any machine.
+ */
+
+#ifndef SPASM_REPORT_GOLDEN_HH
+#define SPASM_REPORT_GOLDEN_HH
+
+#include <string>
+#include <vector>
+
+namespace spasm {
+namespace report {
+
+/** One golden run: a suite workload pinned to one bitstream. */
+struct GoldenSpec
+{
+    std::string workload; ///< Table-II workload name
+    std::string config;   ///< Table-IV configuration name
+};
+
+/** The committed baseline portfolio, in file order. */
+const std::vector<GoldenSpec> &goldenSpecs();
+
+/** Baseline file name for a spec: "<workload>_<config>.json". */
+std::string goldenFileName(const GoldenSpec &spec);
+
+} // namespace report
+} // namespace spasm
+
+#endif // SPASM_REPORT_GOLDEN_HH

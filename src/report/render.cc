@@ -1,0 +1,284 @@
+#include "report/render.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "support/table.hh"
+
+namespace spasm {
+namespace report {
+
+namespace {
+
+std::string
+num(double v)
+{
+    if (v == 0.0)
+        return "0";
+    char buf[64];
+    if (std::abs(v) >= 1.0 && v == std::floor(v) &&
+        std::abs(v) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+    }
+    return buf;
+}
+
+std::string
+pct(double fraction)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", 100.0 * fraction);
+    return buf;
+}
+
+const char *
+statusName(DeltaStatus s)
+{
+    switch (s) {
+      case DeltaStatus::Equal:
+        return "equal";
+      case DeltaStatus::Within:
+        return "within";
+      case DeltaStatus::Regressed:
+        return "REGRESSED";
+      case DeltaStatus::Improved:
+        return "IMPROVED";
+      case DeltaStatus::Missing:
+        return "MISSING";
+      case DeltaStatus::Added:
+        return "added";
+    }
+    return "?";
+}
+
+std::string
+deltaCell(const MetricDelta &d)
+{
+    if (d.status == DeltaStatus::Missing)
+        return "(absent)";
+    if (d.status == DeltaStatus::Added)
+        return "(new)";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%+.4g (%.3g%%)", d.absDelta,
+                  100.0 * d.relDelta);
+    return buf;
+}
+
+std::vector<const MetricDelta *>
+rowsToShow(const DiffReport &diff, bool show_all)
+{
+    std::vector<const MetricDelta *> rows;
+    for (const auto &d : diff.deltas) {
+        const bool gating = d.status == DeltaStatus::Regressed ||
+                            d.status == DeltaStatus::Improved ||
+                            d.status == DeltaStatus::Missing;
+        if (gating || d.status == DeltaStatus::Added ||
+            (show_all && d.status == DeltaStatus::Within))
+            rows.push_back(&d);
+    }
+    return rows;
+}
+
+std::string
+summaryLine(const DiffReport &diff)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%zu metrics compared: %zu equal, %zu within "
+                  "tolerance, %zu failing",
+                  diff.numCompared, diff.numEqual, diff.numWithin,
+                  diff.failures().size());
+    return buf;
+}
+
+} // namespace
+
+void
+renderDiffText(std::ostream &os, const DiffReport &diff,
+               bool show_all)
+{
+    os << (diff.ok() ? "PASS" : "FAIL") << ": " << diff.candidatePath
+       << " vs baseline " << diff.baselinePath << "\n"
+       << summaryLine(diff) << "\n";
+    for (const auto &w : diff.warnings)
+        os << "warning: " << w << "\n";
+
+    const auto rows = rowsToShow(diff, show_all);
+    if (!rows.empty()) {
+        os << "\n";
+        TextTable table;
+        table.setHeader(
+            {"metric", "baseline", "candidate", "delta", "status"});
+        for (const MetricDelta *d : rows) {
+            table.addRow({d->path, num(d->baseline),
+                          num(d->candidate), deltaCell(*d),
+                          statusName(d->status)});
+        }
+        table.print(os);
+    }
+}
+
+void
+renderDiffMarkdown(std::ostream &os, const DiffReport &diff)
+{
+    os << "### " << (diff.ok() ? "✅ PASS" : "❌ FAIL") << " — `"
+       << diff.candidatePath << "` vs `" << diff.baselinePath
+       << "`\n\n"
+       << summaryLine(diff) << "\n\n";
+    for (const auto &w : diff.warnings)
+        os << "> ⚠️ " << w << "\n";
+    if (!diff.warnings.empty())
+        os << "\n";
+
+    const auto rows = rowsToShow(diff, false);
+    if (!rows.empty()) {
+        os << "| metric | baseline | candidate | delta | status |\n"
+           << "|---|---:|---:|---:|---|\n";
+        for (const MetricDelta *d : rows) {
+            os << "| `" << d->path << "` | " << num(d->baseline)
+               << " | " << num(d->candidate) << " | "
+               << deltaCell(*d) << " | " << statusName(d->status)
+               << " |\n";
+        }
+        os << "\n";
+    }
+}
+
+namespace {
+
+void
+renderBottleneck(std::ostream &os, const BottleneckReport &rep,
+                 bool markdown)
+{
+    const char *h = markdown ? "### " : "== ";
+    const char *he = markdown ? "" : " ==";
+    const char *b = markdown ? "**" : "";
+
+    os << h << "Bottleneck report: " << rep.inputName << " on "
+       << rep.configName << he << "\n\n";
+    os << b << "binding resource: " << bindingName(rep.binding) << b
+       << "\n";
+    os << rep.rationale << "\n\n";
+
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "cycles %.0f | PEs %d (%d groups) | achieved "
+                  "%.2f GFLOP/s of %.2f attainable (%s roof, peak "
+                  "%.1f, OI %.3f flop/B)\n\n",
+                  rep.cycles, rep.numPes, rep.peGroups,
+                  rep.roofline.achievedGflops,
+                  rep.roofline.attainableGflops,
+                  rep.roofline.memoryBound ? "bandwidth" : "compute",
+                  rep.roofline.peakGflops, rep.roofline.opIntensity);
+    os << buf;
+
+    if (markdown) {
+        os << "| PE-cycle budget | share |\n|---|---:|\n"
+           << "| busy (issuing) | " << pct(rep.busyFraction)
+           << " |\n"
+           << "| stalled | " << pct(rep.stallFraction) << " |\n"
+           << "| idle (no work) | " << pct(rep.idleFraction)
+           << " |\n\n";
+        os << "| stall cause | cycles | share of PE-cycles |\n"
+           << "|---|---:|---:|\n";
+        for (const auto &s : rep.stalls) {
+            os << "| " << s.cause << " | " << num(s.cycles) << " | "
+               << pct(s.fraction) << " |\n";
+        }
+        os << "\n";
+    } else {
+        TextTable budget("PE-cycle budget");
+        budget.setHeader({"bucket", "share"});
+        budget.addRow({"busy (issuing)", pct(rep.busyFraction)});
+        budget.addRow({"stalled", pct(rep.stallFraction)});
+        budget.addRow({"idle (no work)", pct(rep.idleFraction)});
+        budget.print(os);
+        os << "\n";
+
+        TextTable stalls("Stall attribution (aggregate)");
+        stalls.setHeader({"cause", "cycles", "share"});
+        for (const auto &s : rep.stalls)
+            stalls.addRow({s.cause, num(s.cycles), pct(s.fraction)});
+        stalls.print(os);
+        os << "\n";
+    }
+
+    if (!rep.groups.empty()) {
+        if (markdown) {
+            os << "| PE group | words | busy | top stalls |\n"
+               << "|---:|---:|---:|---|\n";
+        }
+        TextTable groups("Per-PE-group attribution");
+        groups.setHeader({"group", "words", "busy", "top stalls"});
+        for (const auto &g : rep.groups) {
+            std::string top;
+            for (const auto &s : g.topStalls) {
+                if (!top.empty())
+                    top += ", ";
+                top += s.cause + " " + pct(s.fraction);
+            }
+            if (markdown) {
+                os << "| " << g.group << " | " << num(g.words)
+                   << " | " << pct(g.busyFraction) << " | " << top
+                   << " |\n";
+            } else {
+                groups.addRow({std::to_string(g.group),
+                               num(g.words), pct(g.busyFraction),
+                               top});
+            }
+        }
+        if (markdown)
+            os << "\n";
+        else {
+            groups.print(os);
+            os << "\n";
+        }
+    }
+
+    std::snprintf(buf, sizeof(buf),
+                  "load imbalance (max/mean): PEs %.3fx, value "
+                  "channels %.3fx\n\n",
+                  rep.peImbalance, rep.channelImbalance);
+    os << buf;
+
+    if (!rep.preprocess.empty()) {
+        if (markdown) {
+            os << "| preprocessing stage | ms | share |\n"
+               << "|---|---:|---:|\n";
+            for (const auto &s : rep.preprocess) {
+                os << "| " << s.stage << " | " << num(s.ms) << " | "
+                   << pct(s.fraction) << " |\n";
+            }
+            os << "\n";
+        } else {
+            TextTable pre("Preprocessing breakdown");
+            pre.setHeader({"stage", "ms", "share"});
+            for (const auto &s : rep.preprocess)
+                pre.addRow({s.stage, num(s.ms), pct(s.fraction)});
+            pre.print(os);
+            os << "\n";
+        }
+    }
+}
+
+} // namespace
+
+void
+renderBottleneckText(std::ostream &os, const BottleneckReport &rep)
+{
+    renderBottleneck(os, rep, false);
+}
+
+void
+renderBottleneckMarkdown(std::ostream &os,
+                         const BottleneckReport &rep)
+{
+    renderBottleneck(os, rep, true);
+}
+
+} // namespace report
+} // namespace spasm

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Renderers for diff and bottleneck reports: column-aligned terminal
+ * tables (support/table.hh) for interactive use and GitHub-flavoured
+ * markdown for the CI artifact.
+ */
+
+#ifndef SPASM_REPORT_RENDER_HH
+#define SPASM_REPORT_RENDER_HH
+
+#include <ostream>
+
+#include "report/attribution.hh"
+#include "report/diff.hh"
+
+namespace spasm {
+namespace report {
+
+/**
+ * Print a comparison: PASS/FAIL banner, warnings, and a table of
+ * every gating delta (plus all within-tolerance movement when
+ * @p show_all).
+ */
+void renderDiffText(std::ostream &os, const DiffReport &diff,
+                    bool show_all = false);
+
+/** Same content as markdown (summary, warnings, delta table). */
+void renderDiffMarkdown(std::ostream &os, const DiffReport &diff);
+
+/** Print a bottleneck report (verdict, cycle budget, roofline,
+ *  stall attribution, imbalance, preprocessing breakdown). */
+void renderBottleneckText(std::ostream &os,
+                          const BottleneckReport &rep);
+
+/** Same content as markdown. */
+void renderBottleneckMarkdown(std::ostream &os,
+                              const BottleneckReport &rep);
+
+} // namespace report
+} // namespace spasm
+
+#endif // SPASM_REPORT_RENDER_HH

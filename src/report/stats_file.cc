@@ -1,0 +1,183 @@
+#include "report/stats_file.hh"
+
+#include <cstdlib>
+
+#include "support/logging.hh"
+
+namespace spasm {
+namespace report {
+
+namespace {
+
+/** Top-level stats-v1 sections excluded from the metric flatten. */
+bool
+isMetadataSection(const std::string &key)
+{
+    return key == "schema" || key == "schema_minor" ||
+           key == "generator" || key == "provenance" ||
+           key == "spans";
+}
+
+void
+flattenValue(const JsonValue &v, const std::string &path,
+             StatsFile &out)
+{
+    switch (v.kind) {
+      case JsonValue::Kind::Number: {
+        Metric m;
+        m.path = path;
+        m.value = v.number;
+        m.raw = v.raw;
+        m.integral = v.isIntegral();
+        out.metrics.push_back(std::move(m));
+        break;
+      }
+      case JsonValue::Kind::String:
+        out.context[path] = v.string;
+        break;
+      case JsonValue::Kind::Bool:
+        out.context[path] = v.boolean ? "true" : "false";
+        break;
+      case JsonValue::Kind::Null:
+        // The writer's escape for non-finite doubles: a metric whose
+        // value exists but is not a number.  Record as context so a
+        // newly-NaN metric surfaces as missing + context change.
+        out.context[path] = "null";
+        break;
+      case JsonValue::Kind::Array:
+        for (std::size_t i = 0; i < v.array.size(); ++i) {
+            flattenValue(v.array[i],
+                         path + "[" + std::to_string(i) + "]", out);
+        }
+        break;
+      case JsonValue::Kind::Object:
+        for (const auto &kv : v.object) {
+            flattenValue(kv.second,
+                         path.empty() ? kv.first
+                                      : path + "." + kv.first,
+                         out);
+        }
+        break;
+    }
+}
+
+void
+flattenStats(StatsFile &out)
+{
+    for (const auto &kv : out.root.object) {
+        if (isMetadataSection(kv.first))
+            continue;
+        flattenValue(kv.second, kv.first, out);
+    }
+    const JsonValue *prov = out.root.find("provenance");
+    if (prov != nullptr && prov->isObject()) {
+        for (const auto &kv : prov->object) {
+            if (kv.second.isString())
+                out.provenance[kv.first] = kv.second.string;
+            else if (kv.second.isNumber())
+                out.provenance[kv.first] = kv.second.raw;
+        }
+    }
+}
+
+/** Parse a leading number, tolerating a unit-ish suffix ("1.23x"). */
+bool
+parseCell(const std::string &text, double &value, bool &integral)
+{
+    if (text.empty())
+        return false;
+    const char *begin = text.c_str();
+    char *end = nullptr;
+    value = std::strtod(begin, &end);
+    if (end == begin)
+        return false;
+    // Accept only short suffixes; "3 of 7" or prose cells stay text.
+    if (text.size() - static_cast<std::size_t>(end - begin) > 2)
+        return false;
+    integral = true;
+    for (const char *p = begin; p != end; ++p) {
+        if (*p == '.' || *p == 'e' || *p == 'E')
+            integral = false;
+    }
+    return true;
+}
+
+void
+flattenBench(StatsFile &out)
+{
+    const JsonValue &columns = out.root.at("columns");
+    const JsonValue &rows = out.root.at("rows");
+    if (!columns.isArray() || !rows.isArray())
+        spasm_fatal("%s: bench file without columns/rows arrays",
+                    out.path.c_str());
+    std::vector<std::string> headers;
+    for (const auto &c : columns.array)
+        headers.push_back(c.isString() ? c.string : "?");
+    for (const auto &row : rows.array) {
+        if (!row.isArray() || row.array.empty())
+            continue;
+        const std::string key =
+            row.array[0].isString() ? row.array[0].string : "?";
+        for (std::size_t i = 1; i < row.array.size(); ++i) {
+            const std::string col =
+                i < headers.size() ? headers[i]
+                                   : std::to_string(i);
+            const std::string path = "rows." + key + "." + col;
+            const JsonValue &cell = row.array[i];
+            const std::string text =
+                cell.isString() ? cell.string : cell.raw;
+            double value = 0.0;
+            bool integral = false;
+            if (parseCell(text, value, integral)) {
+                Metric m;
+                m.path = path;
+                m.value = value;
+                m.raw = text;
+                m.integral = integral;
+                out.metrics.push_back(std::move(m));
+            } else {
+                out.context[path] = text;
+            }
+        }
+    }
+    out.context["experiment"] =
+        out.root.stringOr("experiment", "?");
+}
+
+} // namespace
+
+const Metric *
+StatsFile::find(const std::string &metric_path) const
+{
+    for (const auto &m : metrics) {
+        if (m.path == metric_path)
+            return &m;
+    }
+    return nullptr;
+}
+
+StatsFile
+loadStatsFile(const std::string &path)
+{
+    StatsFile out;
+    out.path = path;
+    out.root = parseJsonFile(path);
+    if (!out.root.isObject())
+        spasm_fatal("%s: top-level JSON value is not an object",
+                    path.c_str());
+    out.schema = out.root.stringOr("schema");
+    out.schemaMinor = static_cast<int>(
+        out.root.numberOr("schema_minor", 0.0));
+    if (out.schema == "spasm-stats-v1")
+        flattenStats(out);
+    else if (out.schema == "spasm-bench-v1")
+        flattenBench(out);
+    else
+        spasm_fatal("%s: unknown schema '%s' (expected "
+                    "spasm-stats-v1 or spasm-bench-v1)",
+                    path.c_str(), out.schema.c_str());
+    return out;
+}
+
+} // namespace report
+} // namespace spasm

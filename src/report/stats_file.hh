@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Loader for the machine-readable run artifacts: `spasm-stats-v1`
+ * records (core/stats_json.hh) and `spasm-bench-v1` tables
+ * (support/table.hh), flattened into an ordered list of named numeric
+ * metrics that the diff (report/diff.hh) and attribution
+ * (report/attribution.hh) layers consume.
+ *
+ * Flattening rules:
+ *  - stats-v1: every numeric leaf becomes `section.sub.field`, array
+ *    elements `section[3].field`.  `schema*`, `generator`,
+ *    `provenance` and `spans` are metadata, not metrics — provenance
+ *    is kept aside for comparability warnings, spans carry wall-clock
+ *    timings with run-dependent cardinality.  String leaves (input
+ *    and config names) land in `context` for the same warning path.
+ *  - bench-v1: each table cell becomes `rows.<first column>.<column>`;
+ *    cells whose text parses as a number (optionally suffixed, e.g.
+ *    "1.23x") are metrics, the rest context.
+ */
+
+#ifndef SPASM_REPORT_STATS_FILE_HH
+#define SPASM_REPORT_STATS_FILE_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/json_value.hh"
+
+namespace spasm {
+namespace report {
+
+/** One flattened numeric metric. */
+struct Metric
+{
+    std::string path;  ///< e.g. "sim.stalls.value"
+    double value = 0.0;
+    std::string raw;   ///< source token, exact for integral metrics
+    bool integral = false;
+};
+
+/** One loaded stats/bench file. */
+struct StatsFile
+{
+    std::string path;
+    std::string schema;  ///< "spasm-stats-v1" or "spasm-bench-v1"
+    int schemaMinor = 0;
+    JsonValue root;      ///< full document (attribution reads this)
+
+    /** Numeric metrics in document order. */
+    std::vector<Metric> metrics;
+
+    /** Provenance echo (git, build_type, compiler, threads, scale). */
+    std::map<std::string, std::string> provenance;
+
+    /** Non-numeric identity fields (input.name, config.name, ...). */
+    std::map<std::string, std::string> context;
+
+    /** Metric lookup by flattened path; nullptr when absent. */
+    const Metric *find(const std::string &metric_path) const;
+};
+
+/** Load and flatten; fatal() on I/O, parse or schema errors. */
+StatsFile loadStatsFile(const std::string &path);
+
+} // namespace report
+} // namespace spasm
+
+#endif // SPASM_REPORT_STATS_FILE_HH

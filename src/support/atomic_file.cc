@@ -1,0 +1,51 @@
+#include "support/atomic_file.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "support/logging.hh"
+
+#if defined(_WIN32)
+#include <process.h>
+#define spasm_getpid _getpid
+#else
+#include <unistd.h>
+#define spasm_getpid getpid
+#endif
+
+namespace spasm {
+
+void
+writeFileAtomic(const std::string &path,
+                const std::function<void(std::ostream &)> &producer)
+{
+    // PID-suffixed so concurrent processes writing the same target
+    // (e.g. two bench runs sharing SPASM_JSON_DIR) cannot collide on
+    // the temp name; last rename wins, each file stays complete.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(spasm_getpid());
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+        spasm_fatal("cannot open output file '%s'", tmp.c_str());
+    try {
+        producer(out);
+    } catch (...) {
+        out.close();
+        std::remove(tmp.c_str());
+        throw;
+    }
+    out.flush();
+    const bool ok = out.good();
+    out.close();
+    if (!ok) {
+        std::remove(tmp.c_str());
+        spasm_fatal("write to '%s' failed", tmp.c_str());
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        spasm_fatal("cannot rename '%s' to '%s'", tmp.c_str(),
+                    path.c_str());
+    }
+}
+
+} // namespace spasm

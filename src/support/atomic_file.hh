@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Atomic file writes: stream into a sibling temp file, then rename()
+ * over the destination.  A crashed, killed or failed producer can
+ * never leave a truncated file at the target path — important for the
+ * bench/stats JSON sinks, whose half-written `spasm-bench-v1` output
+ * would otherwise poison a later `spasm compare`.
+ */
+
+#ifndef SPASM_SUPPORT_ATOMIC_FILE_HH
+#define SPASM_SUPPORT_ATOMIC_FILE_HH
+
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace spasm {
+
+/**
+ * Write @p path atomically: @p producer streams into
+ * `<path>.tmp.<pid>` which is renamed over @p path only after the
+ * stream flushed cleanly.  On any failure (open error, stream error,
+ * producer exception) the temp file is removed, the previous contents
+ * of @p path are left untouched, and fatal()/the exception propagates.
+ */
+void writeFileAtomic(const std::string &path,
+                     const std::function<void(std::ostream &)> &producer);
+
+} // namespace spasm
+
+#endif // SPASM_SUPPORT_ATOMIC_FILE_HH

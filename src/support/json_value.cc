@@ -1,0 +1,363 @@
+#include "support/json_value.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/logging.hh"
+
+namespace spasm {
+
+double
+JsonValue::asNumber() const
+{
+    if (kind == Kind::Number)
+        return number;
+    if (kind == Kind::Null)
+        return std::numeric_limits<double>::quiet_NaN();
+    spasm_panic("JsonValue::asNumber on non-number (kind %d)",
+                static_cast<int>(kind));
+}
+
+bool
+JsonValue::isIntegral() const
+{
+    if (kind != Kind::Number || raw.empty())
+        return false;
+    for (char c : raw) {
+        if (c == '.' || c == 'e' || c == 'E')
+            return false;
+    }
+    return true;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &kv : object) {
+        if (kv.first == key)
+            return &kv.second;
+    }
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *v = find(key);
+    if (v == nullptr)
+        spasm_fatal("JSON object has no member '%s'", key.c_str());
+    return *v;
+}
+
+std::string
+JsonValue::stringOr(const std::string &key,
+                    const std::string &fallback) const
+{
+    const JsonValue *v = find(key);
+    return (v != nullptr && v->isString()) ? v->string : fallback;
+}
+
+double
+JsonValue::numberOr(const std::string &key, double fallback) const
+{
+    const JsonValue *v = find(key);
+    return (v != nullptr && v->isNumber()) ? v->number : fallback;
+}
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    bool parse(JsonValue &out, std::string *error)
+    {
+        try {
+            out = parseValue();
+            skipWs();
+            if (pos_ != text_.size())
+                fail("trailing content after document");
+        } catch (const std::runtime_error &e) {
+            if (error != nullptr)
+                *error = e.what();
+            out = JsonValue{};
+            return false;
+        }
+        if (error != nullptr)
+            error->clear();
+        return true;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string &why)
+    {
+        // Report 1-based line/column — file diagnostics beat offsets.
+        std::size_t line = 1, col = 1;
+        for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+            if (text_[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        std::ostringstream os;
+        os << "line " << line << " col " << col << ": " << why;
+        throw std::runtime_error(os.str());
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', got '" +
+                 text_[pos_] + "'");
+        ++pos_;
+    }
+
+    bool literal(const char *word)
+    {
+        const std::size_t n = std::char_traits<char>::length(word);
+        if (text_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    JsonValue parseValue()
+    {
+        const char c = peek();
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"') {
+            JsonValue v;
+            v.kind = JsonValue::Kind::String;
+            v.string = parseString();
+            return v;
+        }
+        if (literal("true")) {
+            JsonValue v;
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = true;
+            return v;
+        }
+        if (literal("false")) {
+            JsonValue v;
+            v.kind = JsonValue::Kind::Bool;
+            return v;
+        }
+        if (literal("null"))
+            return {};
+        return parseNumber();
+    }
+
+    JsonValue parseObject()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            peek();
+            std::string key = parseString();
+            expect(':');
+            v.object.emplace_back(std::move(key), parseValue());
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue parseArray()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            v.array.push_back(parseValue());
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string parseString()
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            fail("expected string");
+        ++pos_;
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"':
+              case '\\':
+              case '/':
+                out += e;
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape digit");
+                }
+                // The writer only escapes control characters; decode
+                // the BMP code point as UTF-8.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                fail(std::string("bad escape '\\") + e + "'");
+            }
+        }
+        if (pos_ >= text_.size())
+            fail("unterminated string");
+        ++pos_; // closing quote
+        return out;
+    }
+
+    JsonValue parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        bool digits = false;
+        auto eatDigits = [&] {
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+                digits = true;
+            }
+        };
+        eatDigits();
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            eatDigits();
+        }
+        if (digits && pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            eatDigits();
+        }
+        if (!digits)
+            fail("expected a value");
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        v.raw = text_.substr(start, pos_ - start);
+        v.number = std::strtod(v.raw.c_str(), nullptr);
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+JsonValue
+parseJson(const std::string &text, std::string *error)
+{
+    JsonValue out;
+    Parser(text).parse(out, error);
+    return out;
+}
+
+JsonValue
+parseJsonFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        spasm_fatal("cannot open JSON file '%s'", path.c_str());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    JsonValue v = parseJson(buf.str(), &error);
+    if (!error.empty())
+        spasm_fatal("%s: %s", path.c_str(), error.c_str());
+    return v;
+}
+
+} // namespace spasm

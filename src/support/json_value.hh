@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Minimal JSON document model and recursive-descent parser — the read
+ * side of support/json.hh's writer.  The regression harness
+ * (src/report) uses it to load `spasm-stats-v1`/`spasm-bench-v1`
+ * files back into memory for comparison and attribution.
+ *
+ * Numbers keep their source text alongside the parsed double so the
+ * diff layer can compare integral metrics exactly (no binary-decimal
+ * round trip) and only fall back to floating-point tolerance for
+ * genuinely fractional values.  `null` parses to a NaN-valued number
+ * when read through asNumber(), matching the writer's policy of
+ * emitting `null` for non-finite doubles.
+ */
+
+#ifndef SPASM_SUPPORT_JSON_VALUE_HH
+#define SPASM_SUPPORT_JSON_VALUE_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace spasm {
+
+/** One parsed JSON value; objects preserve key order. */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string raw;    ///< number: exact source token
+    std::string string; ///< string payload
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Number value; NaN for null (the writer's non-finite escape). */
+    double asNumber() const;
+
+    /** True when this is a number whose token is a pure integer
+     *  literal (no '.', 'e' or 'E'), e.g. a cycle or stall count. */
+    bool isIntegral() const;
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Object member lookup that fatal()s when the key is missing. */
+    const JsonValue &at(const std::string &key) const;
+
+    /** String member with a default when absent / not a string. */
+    std::string stringOr(const std::string &key,
+                         const std::string &fallback = "") const;
+
+    /** Number member with a default when absent / not a number. */
+    double numberOr(const std::string &key, double fallback) const;
+};
+
+/**
+ * Parse one JSON document.  On malformed input, returns a Null value
+ * and fills @p error with a position-tagged diagnostic; on success
+ * @p error is cleared.
+ */
+JsonValue parseJson(const std::string &text, std::string *error);
+
+/** Parse the JSON file at @p path; fatal() on I/O or parse errors. */
+JsonValue parseJsonFile(const std::string &path);
+
+} // namespace spasm
+
+#endif // SPASM_SUPPORT_JSON_VALUE_HH

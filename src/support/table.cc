@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "support/atomic_file.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
 
@@ -102,11 +103,21 @@ TextTable::exportCsv(const std::string &stem) const
     const char *dir = std::getenv("SPASM_CSV_DIR");
     if (!dir)
         return;
-    CsvWriter csv(std::string(dir) + "/" + stem + ".csv");
-    if (!header_.empty())
-        csv.writeRow(header_);
-    for (const auto &row : rows_)
-        csv.writeRow(row);
+    const std::string path = std::string(dir) + "/" + stem + ".csv";
+    writeFileAtomic(path, [&](std::ostream &out) {
+        auto emit = [&](const std::vector<std::string> &row) {
+            for (std::size_t i = 0; i < row.size(); ++i) {
+                out << row[i];
+                if (i + 1 < row.size())
+                    out << ',';
+            }
+            out << '\n';
+        };
+        if (!header_.empty())
+            emit(header_);
+        for (const auto &row : rows_)
+            emit(row);
+    });
 }
 
 void
@@ -116,30 +127,31 @@ TextTable::exportJson(const std::string &stem) const
     if (!dir)
         return;
     const std::string path = std::string(dir) + "/" + stem + ".json";
-    std::ofstream out(path);
-    if (!out)
-        spasm_fatal("cannot open JSON output file '%s'", path.c_str());
-    JsonWriter json(out);
-    json.beginObject();
-    json.field("schema", "spasm-bench-v1");
-    json.field("experiment", stem);
-    json.field("title", title_);
-    json.key("columns");
-    json.beginArray();
-    for (const auto &h : header_)
-        json.value(h);
-    json.endArray();
-    json.key("rows");
-    json.beginArray();
-    for (const auto &row : rows_) {
+    // Atomic (temp + rename): a killed bench run can't leave a
+    // truncated spasm-bench-v1 file for `spasm compare` to choke on.
+    writeFileAtomic(path, [&](std::ostream &out) {
+        JsonWriter json(out);
+        json.beginObject();
+        json.field("schema", "spasm-bench-v1");
+        json.field("experiment", stem);
+        json.field("title", title_);
+        json.key("columns");
         json.beginArray();
-        for (const auto &cell : row)
-            json.value(cell);
+        for (const auto &h : header_)
+            json.value(h);
         json.endArray();
-    }
-    json.endArray();
-    json.endObject();
-    json.finish();
+        json.key("rows");
+        json.beginArray();
+        for (const auto &row : rows_) {
+            json.beginArray();
+            for (const auto &cell : row)
+                json.value(cell);
+            json.endArray();
+        }
+        json.endArray();
+        json.endObject();
+        json.finish();
+    });
 }
 
 struct CsvWriter::Impl

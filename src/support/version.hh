@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Build provenance: git revision, compiler and build type, captured
+ * at CMake configure time (src/support/version.cc.in).  Stamped into
+ * every `spasm-stats-v1` record so `spasm compare` can warn when a
+ * baseline and a candidate came from incomparable builds, and printed
+ * by `spasm --version`.
+ *
+ * The values are frozen when CMake configures; an incremental build
+ * on top of new commits keeps the old stamp until the next configure
+ * (CI always configures fresh, so its stamps are exact).
+ */
+
+#ifndef SPASM_SUPPORT_VERSION_HH
+#define SPASM_SUPPORT_VERSION_HH
+
+namespace spasm {
+
+/** `git describe --always --dirty` of the source tree ("unknown"
+ *  when not built from a git checkout). */
+const char *gitDescribe();
+
+/** Compiler id and version, e.g. "GNU 13.2.0". */
+const char *compilerId();
+
+/** CMake build type, e.g. "Release". */
+const char *buildType();
+
+/** One-line "spasm <git> (<build type>, <compiler>)" banner. */
+const char *versionBanner();
+
+} // namespace spasm
+
+#endif // SPASM_SUPPORT_VERSION_HH

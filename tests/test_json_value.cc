@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the JSON read side (support/json_value.hh): parser
+ * round-trips against the JsonWriter, malformed-input diagnostics,
+ * the null <-> non-finite-double contract shared with the writer,
+ * and atomic file writes (support/atomic_file.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <unistd.h>
+
+#include "support/atomic_file.hh"
+#include "support/json.hh"
+#include "support/json_value.hh"
+
+namespace spasm {
+namespace {
+
+TEST(JsonValue, ParsesScalars)
+{
+    std::string err;
+    EXPECT_TRUE(parseJson("null", &err).isNull());
+    EXPECT_TRUE(err.empty());
+    EXPECT_TRUE(parseJson("true", &err).boolean);
+    EXPECT_FALSE(parseJson("false", &err).boolean);
+    EXPECT_DOUBLE_EQ(parseJson("-3.5e2", &err).asNumber(), -350.0);
+    EXPECT_EQ(parseJson("\"hi\\n\\\"there\\\"\"", &err).string,
+              "hi\n\"there\"");
+}
+
+TEST(JsonValue, KeepsNumberTokensAndIntegrality)
+{
+    std::string err;
+    const JsonValue doc =
+        parseJson("[42, -7, 3.0, 1e3, 0.125]", &err);
+    ASSERT_TRUE(err.empty()) << err;
+    ASSERT_EQ(doc.array.size(), 5u);
+    EXPECT_EQ(doc.array[0].raw, "42");
+    EXPECT_TRUE(doc.array[0].isIntegral());
+    EXPECT_TRUE(doc.array[1].isIntegral());
+    EXPECT_FALSE(doc.array[2].isIntegral()); // '.' present
+    EXPECT_FALSE(doc.array[3].isIntegral()); // exponent present
+    EXPECT_DOUBLE_EQ(doc.array[4].asNumber(), 0.125);
+}
+
+TEST(JsonValue, ObjectPreservesOrderAndLookup)
+{
+    std::string err;
+    const JsonValue doc = parseJson(
+        "{\"b\": 1, \"a\": {\"x\": \"s\"}, \"c\": [true]}", &err);
+    ASSERT_TRUE(err.empty()) << err;
+    ASSERT_EQ(doc.object.size(), 3u);
+    EXPECT_EQ(doc.object[0].first, "b");
+    EXPECT_EQ(doc.object[1].first, "a");
+    EXPECT_EQ(doc.at("a").stringOr("x"), "s");
+    EXPECT_EQ(doc.find("missing"), nullptr);
+    EXPECT_DOUBLE_EQ(doc.numberOr("b", -1.0), 1.0);
+    EXPECT_DOUBLE_EQ(doc.numberOr("missing", -1.0), -1.0);
+}
+
+TEST(JsonValue, MalformedInputsReportPosition)
+{
+    std::string err;
+    EXPECT_TRUE(parseJson("{\"a\": }", &err).isNull());
+    EXPECT_FALSE(err.empty());
+    EXPECT_NE(err.find("line"), std::string::npos);
+
+    EXPECT_TRUE(parseJson("[1, 2", &err).isNull());
+    EXPECT_FALSE(err.empty());
+
+    EXPECT_TRUE(parseJson("{\"a\": 1} trailing", &err).isNull());
+    EXPECT_FALSE(err.empty());
+
+    EXPECT_TRUE(parseJson("nul", &err).isNull());
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(JsonValue, RoundTripsJsonWriterOutput)
+{
+    std::ostringstream out;
+    {
+        JsonWriter w(out);
+        w.beginObject();
+        w.key("count");
+        w.value(std::uint64_t(18446744073709551615ull));
+        w.key("neg");
+        w.value(std::int64_t(-42));
+        w.key("frac");
+        w.value(0.333333333333);
+        w.key("text");
+        w.value("a\"b\\c\n");
+        w.key("list");
+        w.beginArray();
+        w.value(true);
+        w.value(1);
+        w.endArray();
+        w.endObject();
+    }
+    std::string err;
+    const JsonValue doc = parseJson(out.str(), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(doc.at("count").raw, "18446744073709551615");
+    EXPECT_TRUE(doc.at("count").isIntegral());
+    EXPECT_DOUBLE_EQ(doc.at("neg").asNumber(), -42.0);
+    EXPECT_EQ(doc.stringOr("text"), "a\"b\\c\n");
+    EXPECT_EQ(doc.at("list").array.size(), 2u);
+}
+
+/**
+ * Regression: the writer must emit `null` for non-finite doubles
+ * (NaN/Inf are not valid JSON number tokens) and the parser must read
+ * that null back as NaN through asNumber().
+ */
+TEST(JsonValue, NonFiniteDoublesRoundTripAsNull)
+{
+    std::ostringstream out;
+    {
+        JsonWriter w(out);
+        w.beginArray();
+        w.value(std::numeric_limits<double>::quiet_NaN());
+        w.value(std::numeric_limits<double>::infinity());
+        w.value(-std::numeric_limits<double>::infinity());
+        w.value(1.5);
+        w.endArray();
+    }
+    EXPECT_EQ(out.str().find("nan"), std::string::npos);
+    EXPECT_EQ(out.str().find("inf"), std::string::npos);
+
+    std::string err;
+    const JsonValue doc = parseJson(out.str(), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_TRUE(doc.array[0].isNull());
+    EXPECT_TRUE(std::isnan(doc.array[0].asNumber()));
+    EXPECT_TRUE(std::isnan(doc.array[2].asNumber()));
+    EXPECT_DOUBLE_EQ(doc.array[3].asNumber(), 1.5);
+}
+
+TEST(AtomicFile, WritesAndLeavesNoTempResidue)
+{
+    const std::string path = "/tmp/spasm_test_atomic.json";
+    writeFileAtomic(path, [](std::ostream &out) {
+        out << "{\"ok\": true}";
+    });
+    std::ifstream in(path);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_EQ(text, "{\"ok\": true}");
+    std::ifstream tmp(path + ".tmp." + std::to_string(::getpid()));
+    EXPECT_FALSE(tmp.good());
+    std::remove(path.c_str());
+}
+
+TEST(AtomicFile, FailedProducerLeavesOriginalIntact)
+{
+    const std::string path = "/tmp/spasm_test_atomic_keep.json";
+    writeFileAtomic(path, [](std::ostream &out) { out << "old"; });
+    EXPECT_THROW(writeFileAtomic(path,
+                                 [](std::ostream &) {
+                                     throw std::runtime_error("boom");
+                                 }),
+                 std::runtime_error);
+    std::ifstream in(path);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_EQ(text, "old");
+    std::remove(path.c_str());
+}
+
+TEST(AtomicFileDeath, FatalOnUnwritableDirectory)
+{
+    EXPECT_EXIT(writeFileAtomic("/nonexistent-dir/x.json",
+                                [](std::ostream &out) { out << "x"; }),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace spasm

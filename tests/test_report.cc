@@ -1,0 +1,562 @@
+/**
+ * @file
+ * Tests for the regression harness (src/report): stats-file loading
+ * and flattening, tolerance-aware diffing, roofline placement,
+ * bottleneck attribution on hand-built fixtures, the golden-baseline
+ * portfolio, and schema conformance of the emitted stats JSON
+ * against the field list documented in docs/observability.md.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/framework.hh"
+#include "core/stats_json.hh"
+#include "hw/accelerator.hh"
+#include "hw/config.hh"
+#include "perf/roofline.hh"
+#include "report/attribution.hh"
+#include "report/diff.hh"
+#include "report/golden.hh"
+#include "report/render.hh"
+#include "report/stats_file.hh"
+#include "support/obs.hh"
+#include "workloads/suite.hh"
+
+namespace spasm {
+namespace report {
+namespace {
+
+std::string
+writeTemp(const std::string &name, const std::string &text)
+{
+    const std::string path = "/tmp/spasm_test_report_" + name;
+    std::ofstream out(path);
+    out << text;
+    return path;
+}
+
+/** Minimal but structurally complete stats-v1 fixture.  @p gflops is
+ *  the literal JSON token so tests control the exact digits. */
+std::string
+fixtureJson(long cycles, long stall_value, const std::string &gflops,
+            int hbm_channels)
+{
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"schema\": \"spasm-stats-v1\",\n"
+       << "  \"schema_minor\": 1,\n"
+       << "  \"generator\": \"test\",\n"
+       << "  \"provenance\": {\"git\": \"abc\", \"build_type\": "
+          "\"Release\", \"compiler\": \"GNU\", \"threads\": 1},\n"
+       << "  \"input\": {\"name\": \"fix\", \"rows\": 100, "
+          "\"cols\": 100, \"nnz\": 450},\n"
+       << "  \"config\": {\"name\": \"SPASM_1_1\", \"pe_groups\": 1, "
+          "\"xvec_channels\": 1, \"freq_mhz\": 265, "
+          "\"hbm_channels\": " << hbm_channels << ", "
+          "\"bandwidth_gbs\": 100.0, \"peak_gflops\": 8.48, "
+          "\"tile_size\": 64, \"portfolio\": 0},\n"
+       << "  \"sim\": {\n"
+       << "    \"cycles\": " << cycles << ",\n"
+       << "    \"seconds\": 1e-06,\n"
+       << "    \"gflops\": " << gflops << ",\n"
+       << "    \"total_words\": 500,\n"
+       << "    \"busy_pe_cycles\": 500,\n"
+       << "    \"psum_flushes\": 4,\n"
+       << "    \"stalls\": {\"value\": " << stall_value
+       << ", \"position\": 0, \"xvec\": 20, \"flush\": 0, "
+          "\"hazard\": 10},\n"
+       << "    \"bytes\": {\"values\": 2000, \"position\": 500, "
+          "\"xvec\": 400, \"y\": 400},\n"
+       << "    \"utilization\": {\"bandwidth\": 0.5, "
+          "\"compute\": 0.25}\n"
+       << "  },\n"
+       << "  \"preprocess\": {\"analysis_ms\": 1.0, "
+          "\"selection_ms\": 1.0, \"decomposition_ms\": 1.0, "
+          "\"schedule_ms\": 1.0, \"total_ms\": 4.0}\n"
+       << "}\n";
+    return os.str();
+}
+
+TEST(GlobMatch, StarAndQuestionMark)
+{
+    EXPECT_TRUE(globMatch("*", "anything.at.all"));
+    EXPECT_TRUE(globMatch("sim.stalls.*", "sim.stalls.value"));
+    EXPECT_FALSE(globMatch("sim.stalls.*", "sim.bytes.values"));
+    EXPECT_TRUE(globMatch("*_ms", "preprocess.analysis_ms"));
+    EXPECT_FALSE(globMatch("*_ms", "sim.cycles"));
+    EXPECT_TRUE(globMatch("rows.?.time", "rows.a.time"));
+    EXPECT_FALSE(globMatch("rows.?.time", "rows.ab.time"));
+    EXPECT_TRUE(globMatch("a*b*c", "a-x-b-y-c"));
+    EXPECT_FALSE(globMatch("a*b*c", "a-x-b-y"));
+}
+
+TEST(Tolerance, FirstMatchingRuleWinsAndDefaultApplies)
+{
+    const ToleranceSpec spec = ToleranceSpec::defaults();
+    const ToleranceRule wall = spec.ruleFor("preprocess.analysis_ms");
+    EXPECT_FALSE(wall.fromDefault);
+    EXPECT_DOUBLE_EQ(wall.rel, 0.5);
+    EXPECT_DOUBLE_EQ(wall.absFloor, 1.0);
+
+    const ToleranceRule def = spec.ruleFor("sim.cycles");
+    EXPECT_TRUE(def.fromDefault);
+    EXPECT_DOUBLE_EQ(def.rel, spec.defaultRel);
+}
+
+StatsFile
+loadFixture(const std::string &name, const std::string &text)
+{
+    return loadStatsFile(writeTemp(name, text));
+}
+
+TEST(Diff, IdenticalFilesCompareEqual)
+{
+    const std::string text = fixtureJson(1000, 100, "0.9", 1);
+    const StatsFile a = loadFixture("ident_a.json", text);
+    const StatsFile b = loadFixture("ident_b.json", text);
+    const DiffReport diff =
+        diffStats(a, b, ToleranceSpec::defaults());
+    EXPECT_TRUE(diff.ok());
+    EXPECT_EQ(diff.numEqual, diff.numCompared);
+    EXPECT_TRUE(diff.failures().empty());
+    EXPECT_TRUE(diff.warnings.empty());
+}
+
+TEST(Diff, IntegralMetricsHaveZeroTolerance)
+{
+    // One extra stall cycle out of 100 is relatively tiny, but
+    // deterministic counts must compare exactly.
+    const StatsFile a =
+        loadFixture("int_a.json", fixtureJson(1000, 100, "0.9", 1));
+    const StatsFile b =
+        loadFixture("int_b.json", fixtureJson(1000, 101, "0.9", 1));
+    const DiffReport diff =
+        diffStats(a, b, ToleranceSpec::defaults());
+    EXPECT_FALSE(diff.ok());
+    ASSERT_EQ(diff.failures().size(), 1u);
+    EXPECT_EQ(diff.failures()[0]->path, "sim.stalls.value");
+    EXPECT_DOUBLE_EQ(diff.failures()[0]->baseline, 100.0);
+    EXPECT_DOUBLE_EQ(diff.failures()[0]->candidate, 101.0);
+    EXPECT_EQ(diff.failures()[0]->status, DeltaStatus::Regressed);
+}
+
+TEST(Diff, FractionalMetricsGetRelativeBand)
+{
+    // gflops differs in the 12th significant digit: formatting
+    // jitter, inside the 1e-9 default band.
+    const StatsFile a = loadFixture(
+        "frac_a.json", fixtureJson(1000, 100, "0.900000000001", 1));
+    const StatsFile b = loadFixture(
+        "frac_b.json", fixtureJson(1000, 100, "0.900000000002", 1));
+    const DiffReport diff =
+        diffStats(a, b, ToleranceSpec::defaults());
+    EXPECT_TRUE(diff.ok());
+    EXPECT_EQ(diff.numWithin, 1u);
+
+    // A real 10% drop fails and is direction-aware: gflops is a
+    // higher-is-better metric, so the drop is a regression.
+    const StatsFile c =
+        loadFixture("frac_c.json", fixtureJson(1000, 100, "0.81", 1));
+    const DiffReport bad =
+        diffStats(a, c, ToleranceSpec::defaults());
+    EXPECT_FALSE(bad.ok());
+    ASSERT_EQ(bad.failures().size(), 1u);
+    EXPECT_EQ(bad.failures()[0]->path, "sim.gflops");
+    EXPECT_EQ(bad.failures()[0]->status, DeltaStatus::Regressed);
+    EXPECT_TRUE(higherIsBetter("sim.gflops"));
+    EXPECT_FALSE(higherIsBetter("sim.stalls.value"));
+}
+
+TEST(Diff, WallClockMetricsGetWideBand)
+{
+    std::string slow = fixtureJson(1000, 100, "0.9", 1);
+    // 1.0 -> 1.4 ms analysis time: inside the 50% band.
+    const std::string from = "\"analysis_ms\": 1.0";
+    slow.replace(slow.find(from), from.size(),
+                 "\"analysis_ms\": 1.4");
+    const StatsFile a =
+        loadFixture("wall_a.json", fixtureJson(1000, 100, "0.9", 1));
+    const StatsFile b = loadFixture("wall_b.json", slow);
+    const DiffReport diff =
+        diffStats(a, b, ToleranceSpec::defaults());
+    EXPECT_TRUE(diff.ok());
+}
+
+TEST(Diff, MissingMetricGatesAddedMetricWarns)
+{
+    std::string shrunk = fixtureJson(1000, 100, "0.9", 1);
+    const std::string cut = "\"psum_flushes\": 4,\n";
+    shrunk.erase(shrunk.find(cut), cut.size());
+    const StatsFile a =
+        loadFixture("miss_a.json", fixtureJson(1000, 100, "0.9", 1));
+    const StatsFile b = loadFixture("miss_b.json", shrunk);
+
+    // Baseline has psum_flushes, candidate doesn't: gates.
+    const DiffReport missing =
+        diffStats(a, b, ToleranceSpec::defaults());
+    EXPECT_FALSE(missing.ok());
+    ASSERT_EQ(missing.failures().size(), 1u);
+    EXPECT_EQ(missing.failures()[0]->path, "sim.psum_flushes");
+    EXPECT_EQ(missing.failures()[0]->status, DeltaStatus::Missing);
+
+    // The other direction is backward-compatible growth: warns only.
+    const DiffReport added =
+        diffStats(b, a, ToleranceSpec::defaults());
+    EXPECT_TRUE(added.ok());
+    EXPECT_FALSE(added.warnings.empty());
+}
+
+TEST(Diff, ConfigPerturbationFailsNamingTheMetric)
+{
+    // The ISSUE acceptance check: an HBM channel-count change in the
+    // candidate must fail the comparison naming the metric.
+    const StatsFile a =
+        loadFixture("cfg_a.json", fixtureJson(1000, 100, "0.9", 31));
+    const StatsFile b =
+        loadFixture("cfg_b.json", fixtureJson(1000, 100, "0.9", 1));
+    const DiffReport diff =
+        diffStats(a, b, ToleranceSpec::defaults());
+    EXPECT_FALSE(diff.ok());
+    ASSERT_EQ(diff.failures().size(), 1u);
+    EXPECT_EQ(diff.failures()[0]->path, "config.hbm_channels");
+}
+
+TEST(Diff, ProvenanceMismatchWarnsButNeverGates)
+{
+    std::string other = fixtureJson(1000, 100, "0.9", 1);
+    const std::string from = "\"git\": \"abc\"";
+    other.replace(other.find(from), from.size(),
+                  "\"git\": \"def-dirty\"");
+    const StatsFile a =
+        loadFixture("prov_a.json", fixtureJson(1000, 100, "0.9", 1));
+    const StatsFile b = loadFixture("prov_b.json", other);
+    const DiffReport diff =
+        diffStats(a, b, ToleranceSpec::defaults());
+    EXPECT_TRUE(diff.ok());
+    ASSERT_FALSE(diff.warnings.empty());
+    EXPECT_NE(diff.warnings[0].find("git"), std::string::npos);
+}
+
+TEST(Diff, StrictModeDisablesAllBands)
+{
+    const StatsFile a = loadFixture(
+        "strict_a.json", fixtureJson(1000, 100, "0.900000000001", 1));
+    const StatsFile b = loadFixture(
+        "strict_b.json", fixtureJson(1000, 100, "0.900000000002", 1));
+    ToleranceSpec spec = ToleranceSpec::defaults();
+    spec.strict = true;
+    EXPECT_FALSE(diffStats(a, b, spec).ok());
+}
+
+TEST(Diff, RendersTextAndMarkdown)
+{
+    const StatsFile a =
+        loadFixture("rend_a.json", fixtureJson(1000, 100, "0.9", 31));
+    const StatsFile b =
+        loadFixture("rend_b.json", fixtureJson(1000, 101, "0.9", 1));
+    const DiffReport diff =
+        diffStats(a, b, ToleranceSpec::defaults());
+    std::ostringstream text, md;
+    renderDiffText(text, diff, false);
+    renderDiffMarkdown(md, diff);
+    EXPECT_NE(text.str().find("FAIL"), std::string::npos);
+    EXPECT_NE(text.str().find("sim.stalls.value"),
+              std::string::npos);
+    EXPECT_NE(md.str().find("config.hbm_channels"),
+              std::string::npos);
+}
+
+TEST(Roofline, MemoryAndComputeBoundPlacement)
+{
+    // OI 0.1 flop/B on a machine with balance 0.5 flop/B: memory
+    // bound, bandwidth roof = 0.1 * 100 GB/s = 10 GFLOP/s.
+    const RooflinePoint mem =
+        placeOnRoofline(1e6, 1e7, 1e-3, 50.0, 100.0);
+    EXPECT_TRUE(mem.memoryBound);
+    EXPECT_DOUBLE_EQ(mem.opIntensity, 0.1);
+    EXPECT_DOUBLE_EQ(mem.machineBalance, 0.5);
+    EXPECT_DOUBLE_EQ(mem.attainableGflops, 10.0);
+    EXPECT_DOUBLE_EQ(mem.achievedGflops, 1.0); // 1e6 flops in 1 ms
+    EXPECT_DOUBLE_EQ(mem.roofFraction, 0.1);
+
+    // OI 10 on the same machine: compute bound, roof = peak.
+    const RooflinePoint comp =
+        placeOnRoofline(1e8, 1e7, 1e-3, 50.0, 100.0);
+    EXPECT_FALSE(comp.memoryBound);
+    EXPECT_DOUBLE_EQ(comp.attainableGflops, 50.0);
+
+    // Degenerate inputs must not divide by zero.
+    const RooflinePoint zero =
+        placeOnRoofline(0.0, 0.0, 0.0, 0.0, 0.0);
+    EXPECT_DOUBLE_EQ(zero.opIntensity, 0.0);
+    EXPECT_DOUBLE_EQ(zero.roofFraction, 0.0);
+}
+
+TEST(Attribution, MemoryStallsDominateVerdict)
+{
+    // 16 PEs x 1000 cycles = 16000 PE-cycles; value stalls 9000 of
+    // them: the run is bound on HBM bandwidth.
+    const StatsFile f =
+        loadFixture("att_mem.json", fixtureJson(1000, 9000, "0.9", 1));
+    const BottleneckReport rep = attributeBottleneck(f, 3);
+    EXPECT_EQ(rep.binding, Binding::HbmBandwidth);
+    EXPECT_EQ(bindingName(rep.binding), "hbm-bandwidth");
+    EXPECT_EQ(rep.numPes, 16);
+    EXPECT_DOUBLE_EQ(rep.cycles, 1000.0);
+    ASSERT_FALSE(rep.stalls.empty());
+    EXPECT_EQ(rep.stalls[0].cause, "value");
+    EXPECT_DOUBLE_EQ(rep.stalls[0].cycles, 9000.0);
+    // busy 500 / 16000
+    EXPECT_NEAR(rep.busyFraction, 500.0 / 16000.0, 1e-12);
+    EXPECT_NE(rep.rationale.find("stalled on HBM"),
+              std::string::npos);
+}
+
+TEST(Attribution, IdlePesMeanLoadImbalance)
+{
+    // Almost no stalls and busy only 500/16000: idle dominates.
+    const StatsFile f =
+        loadFixture("att_idle.json", fixtureJson(1000, 0, "0.9", 1));
+    const BottleneckReport rep = attributeBottleneck(f, 3);
+    EXPECT_EQ(rep.binding, Binding::LoadImbalance);
+    // Preprocessing breakdown: four 1 ms stages of 4 ms total.
+    ASSERT_EQ(rep.preprocess.size(), 4u);
+    for (const auto &stage : rep.preprocess)
+        EXPECT_NEAR(stage.fraction, 0.25, 1e-12);
+}
+
+TEST(Attribution, BusyPesMeanIssueBound)
+{
+    // busy_pe_cycles == cycles * numPes: pure issue-bound run.
+    std::string text = fixtureJson(1000, 0, "0.9", 1);
+    const std::string from = "\"busy_pe_cycles\": 500";
+    text.replace(text.find(from), from.size(),
+                 "\"busy_pe_cycles\": 15900");
+    const StatsFile f = loadFixture("att_busy.json", text);
+    const BottleneckReport rep = attributeBottleneck(f, 3);
+    EXPECT_EQ(rep.binding, Binding::PeIssue);
+    std::ostringstream text_out, md_out;
+    renderBottleneckText(text_out, rep);
+    renderBottleneckMarkdown(md_out, rep);
+    EXPECT_NE(text_out.str().find("pe-issue"), std::string::npos);
+    EXPECT_NE(md_out.str().find("pe-issue"), std::string::npos);
+}
+
+TEST(Attribution, RealRunMatchesSimulatorCounters)
+{
+    // End to end on a generated workload: the verdict must be
+    // consistent with the simulator's own cycle budget — the largest
+    // of busy/stall/idle names the binding resource.
+    auto &reg = obs::Registry::global();
+    reg.setEnabled(true);
+    reg.clear();
+    const CooMatrix m = generateWorkload("cfd2", Scale::Tiny);
+    const SpasmFramework framework;
+    PreprocessResult pre = framework.preprocess(m);
+    Accelerator accel(pre.schedule.config, pre.portfolio);
+    const auto x = SpasmFramework::defaultX(m.cols());
+    std::vector<Value> y(m.rows(), 0.0f);
+    const RunStats stats = accel.run(pre.encoded, x, y, pre.policy);
+
+    StatsReport sr;
+    sr.inputName = "cfd2";
+    sr.rows = pre.encoded.rows();
+    sr.cols = pre.encoded.cols();
+    sr.nnz = static_cast<std::uint64_t>(pre.encoded.nnz());
+    sr.config = &pre.schedule.config;
+    sr.tileSize = pre.encoded.tileSize();
+    sr.portfolioId = pre.portfolioId;
+    sr.stats = &stats;
+    sr.timings = &pre.timings;
+    sr.deterministic = true;
+    std::ostringstream os;
+    writeStatsJson(os, sr);
+    reg.clear();
+    reg.setEnabled(false);
+
+    const StatsFile f =
+        loadFixture("att_real.json", os.str());
+    const BottleneckReport rep = attributeBottleneck(f, 3);
+
+    const double total =
+        static_cast<double>(stats.cycles) * rep.numPes;
+    const double busy = stats.busyPeCycles / total;
+    const double stall =
+        (stats.stallValue + stats.stallPos + stats.stallX +
+         stats.stallY + stats.stallHazard) /
+        total;
+    const double idle = 1.0 - busy - stall;
+    Binding expected = Binding::HbmBandwidth;
+    if (busy >= stall && busy >= idle)
+        expected = Binding::PeIssue;
+    else if (idle > busy && idle > stall)
+        expected = Binding::LoadImbalance;
+    EXPECT_EQ(rep.binding, expected);
+
+    // Per-group attribution covers every PE group.
+    EXPECT_EQ(static_cast<int>(rep.groups.size()), rep.peGroups);
+    EXPECT_GE(rep.peImbalance, 1.0);
+    EXPECT_GE(rep.channelImbalance, 1.0);
+}
+
+TEST(Golden, PortfolioIsValid)
+{
+    const auto &specs = goldenSpecs();
+    ASSERT_FALSE(specs.empty());
+    const auto names = workloadNames();
+    std::set<std::string> files;
+    for (const auto &spec : specs) {
+        EXPECT_NE(std::find(names.begin(), names.end(),
+                            spec.workload),
+                  names.end())
+            << spec.workload << " is not a suite workload";
+        bool config_exists = false;
+        for (const auto &c : allHwConfigs())
+            config_exists |= c.name() == spec.config;
+        EXPECT_TRUE(config_exists) << spec.config;
+        EXPECT_TRUE(files.insert(goldenFileName(spec)).second)
+            << "duplicate baseline file " << goldenFileName(spec);
+    }
+}
+
+/** Generalize one concrete flattened path: array indices -> []. */
+std::string
+generalizePath(const std::string &path)
+{
+    std::string out;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+        if (path[i] == '[') {
+            out += "[]";
+            while (i < path.size() && path[i] != ']')
+                ++i;
+        } else {
+            out += path[i];
+        }
+    }
+    return out;
+}
+
+void
+collectPaths(const JsonValue &v, const std::string &prefix,
+             std::set<std::string> &out)
+{
+    switch (v.kind) {
+      case JsonValue::Kind::Object:
+        for (const auto &kv : v.object)
+            collectPaths(kv.second,
+                         prefix.empty() ? kv.first
+                                        : prefix + "." + kv.first,
+                         out);
+        break;
+      case JsonValue::Kind::Array:
+        for (const auto &e : v.array)
+            collectPaths(e, prefix + "[]", out);
+        break;
+      default:
+        out.insert(prefix);
+        break;
+    }
+}
+
+/** Map an emitted path onto the documented open name sets. */
+std::string
+wildcardPath(const std::string &path)
+{
+    for (const char *prefix : {"counters.", "gauges."}) {
+        if (path.rfind(prefix, 0) == 0)
+            return std::string(prefix) + "*";
+    }
+    if (path.rfind("histograms.", 0) == 0) {
+        const std::size_t dot = path.rfind('.');
+        return "histograms.*" + path.substr(dot);
+    }
+    if (path.rfind("spans[].tags.", 0) == 0)
+        return "spans[].tags.*";
+    return path;
+}
+
+TEST(SchemaConformance, EmittedJsonMatchesDocumentedFieldList)
+{
+    // Parse the ```schema-fields block out of docs/observability.md.
+    const std::string doc_path =
+        std::string(SPASM_SOURCE_DIR) + "/docs/observability.md";
+    std::ifstream doc(doc_path);
+    ASSERT_TRUE(doc.good()) << doc_path;
+    std::set<std::string> documented;
+    std::string line;
+    bool in_block = false;
+    while (std::getline(doc, line)) {
+        if (line == "```schema-fields") {
+            in_block = true;
+            continue;
+        }
+        if (in_block && line == "```")
+            break;
+        if (in_block && !line.empty())
+            documented.insert(line);
+    }
+    ASSERT_FALSE(documented.empty())
+        << "no ```schema-fields block in docs/observability.md";
+
+    // Emit a full record: every optional section present.
+    auto &reg = obs::Registry::global();
+    reg.setEnabled(true);
+    reg.clear();
+    const CooMatrix m = generateWorkload("cfd2", Scale::Tiny);
+    const SpasmFramework framework;
+    PreprocessResult pre = framework.preprocess(m);
+    Accelerator accel(pre.schedule.config, pre.portfolio);
+    const auto x = SpasmFramework::defaultX(m.cols());
+    std::vector<Value> y(m.rows(), 0.0f);
+    const RunStats stats = accel.run(pre.encoded, x, y, pre.policy);
+
+    StatsReport sr;
+    sr.inputName = "cfd2";
+    sr.rows = pre.encoded.rows();
+    sr.cols = pre.encoded.cols();
+    sr.nnz = static_cast<std::uint64_t>(pre.encoded.nnz());
+    sr.config = &pre.schedule.config;
+    sr.tileSize = pre.encoded.tileSize();
+    sr.portfolioId = pre.portfolioId;
+    sr.stats = &stats;
+    sr.timings = &pre.timings;
+    sr.deterministic = true;
+    sr.provenance.threads = 1;
+    sr.provenance.scale = "tiny";
+    std::ostringstream os;
+    writeStatsJson(os, sr);
+    reg.clear();
+    reg.setEnabled(false);
+
+    std::string err;
+    const JsonValue root = parseJson(os.str(), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    std::set<std::string> emitted_raw;
+    collectPaths(root, "", emitted_raw);
+    std::set<std::string> emitted;
+    for (const auto &p : emitted_raw)
+        emitted.insert(wildcardPath(generalizePath(p)));
+
+    // Every emitted field must be documented...
+    for (const auto &p : emitted) {
+        EXPECT_TRUE(documented.count(p) != 0)
+            << "emitted but undocumented field: " << p;
+    }
+    // ...and every documented field must be emitted.
+    for (const auto &p : documented) {
+        EXPECT_TRUE(emitted.count(p) != 0)
+            << "documented but not emitted: " << p;
+    }
+}
+
+} // namespace
+} // namespace report
+} // namespace spasm

@@ -19,6 +19,13 @@
  *                                         against the reference SpMV
  *   spy      <input> [-o out.pgm]         occupancy plot
  *   suite                                 list the built-in workloads
+ *   compare  <baseline.json> <cand.json>  structured stats/bench diff
+ *                                         with tolerances; exit 1 on
+ *                                         out-of-tolerance deltas
+ *   report   <stats.json>                 bottleneck attribution:
+ *                                         roofline, stalls, imbalance
+ *   bless    [--dir DIR]                  regenerate the golden
+ *                                         baselines (bench/baselines)
  *
  * <input> is a MatrixMarket path (*.mtx), a .spasm file (simulate
  * only), or the name of a built-in Table II workload (generated at
@@ -27,6 +34,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -36,14 +44,21 @@
 #include "core/stats_json.hh"
 #include "format/serialize.hh"
 #include "hw/trace_export.hh"
+#include "report/attribution.hh"
+#include "report/diff.hh"
+#include "report/golden.hh"
+#include "report/render.hh"
+#include "report/stats_file.hh"
 #include "sparse/matrix_market.hh"
 #include "sparse/matrix_stats.hh"
 #include "sparse/spy.hh"
+#include "support/atomic_file.hh"
 #include "support/logging.hh"
 #include "support/obs.hh"
 #include "support/stats.hh"
 #include "support/thread_pool.hh"
 #include "support/table.hh"
+#include "support/version.hh"
 #include "workloads/suite.hh"
 
 namespace {
@@ -73,12 +88,36 @@ usage()
         "  spasm spy      <matrix.mtx | workload> [-o out.pgm]\n"
         "                 [--resolution N]\n"
         "  spasm suite\n"
+        "  spasm compare  <baseline.json> <candidate.json>\n"
+        "                 [--strict] [--rel X] [--show-all]\n"
+        "                 [--markdown out.md]\n"
+        "                 exit 1 when any metric moves out of\n"
+        "                 tolerance (see docs/regression.md)\n"
+        "  spasm report   <stats.json> [--top N] [--markdown out.md]\n"
+        "                 bottleneck attribution for one run\n"
+        "  spasm bless    [--dir DIR]  regenerate golden baselines\n"
+        "                 (default DIR: bench/baselines)\n"
+        "  spasm --version\n"
         "global options:\n"
         "  --threads N    worker threads for pattern analysis and\n"
         "                 schedule exploration (default: hardware\n"
         "                 concurrency; results are identical at any\n"
         "                 thread count)\n");
     return 2;
+}
+
+const char *
+scaleName(Scale scale)
+{
+    switch (scale) {
+      case Scale::Tiny:
+        return "tiny";
+      case Scale::Small:
+        return "small";
+      case Scale::Full:
+        return "full";
+    }
+    return "?";
 }
 
 bool
@@ -339,9 +378,6 @@ cmdSimulate(const std::string &input,
                     trace.size(), trace_json_path.c_str());
     }
     if (!stats_json_path.empty()) {
-        std::ofstream out(stats_json_path);
-        if (!out)
-            spasm_fatal("cannot open '%s'", stats_json_path.c_str());
         StatsReport report;
         report.inputName = input;
         report.rows = enc.rows();
@@ -353,7 +389,15 @@ cmdSimulate(const std::string &input,
         report.stats = &stats;
         report.timings = have_timings ? &timings : nullptr;
         report.deterministic = deterministic;
-        writeStatsJson(out, report);
+        report.provenance.threads = static_cast<int>(
+            ThreadPool::global().concurrency());
+        const bool file_input =
+            endsWith(input, ".mtx") || endsWith(input, ".spasm");
+        if (!file_input)
+            report.provenance.scale = scaleName(scaleFromEnv());
+        writeFileAtomic(stats_json_path, [&](std::ostream &out) {
+            writeStatsJson(out, report);
+        });
         std::printf("stats json        : %s -> %s\n",
                     kStatsJsonSchema, stats_json_path.c_str());
     }
@@ -459,6 +503,140 @@ cmdVerify(const std::string &input)
     return failures == 0 ? 0 : 1;
 }
 
+bool
+hasFlag(const std::vector<std::string> &args, const char *name)
+{
+    for (const auto &a : args) {
+        if (a == name)
+            return true;
+    }
+    return false;
+}
+
+int
+cmdCompare(const std::vector<std::string> &args)
+{
+    if (args.size() < 2) {
+        std::fprintf(stderr, "compare: need <baseline.json> "
+                             "<candidate.json>\n");
+        return 2;
+    }
+    const auto baseline = report::loadStatsFile(args[0]);
+    const auto candidate = report::loadStatsFile(args[1]);
+
+    report::ToleranceSpec spec = report::ToleranceSpec::defaults();
+    spec.strict = hasFlag(args, "--strict");
+    const std::string rel_opt = optValue(args, "--rel");
+    if (!rel_opt.empty())
+        spec.defaultRel = std::stod(rel_opt);
+
+    const auto diff = report::diffStats(baseline, candidate, spec);
+    report::renderDiffText(std::cout, diff,
+                           hasFlag(args, "--show-all"));
+
+    const std::string md_path = optValue(args, "--markdown");
+    if (!md_path.empty()) {
+        writeFileAtomic(md_path, [&](std::ostream &out) {
+            report::renderDiffMarkdown(out, diff);
+        });
+    }
+    return diff.ok() ? 0 : 1;
+}
+
+int
+cmdReport(const std::vector<std::string> &args)
+{
+    const auto file = report::loadStatsFile(args[0]);
+    const std::string top_opt = optValue(args, "--top");
+    const int top_n = top_opt.empty() ? 3 : std::stoi(top_opt);
+    const auto rep = report::attributeBottleneck(file, top_n);
+    report::renderBottleneckText(std::cout, rep);
+
+    const std::string md_path = optValue(args, "--markdown");
+    if (!md_path.empty()) {
+        writeFileAtomic(md_path, [&](std::ostream &out) {
+            report::renderBottleneckMarkdown(out, rep);
+        });
+    }
+    return 0;
+}
+
+/**
+ * Run one golden spec deterministically and write its stats record.
+ * Goldens are pinned to Tiny scale so they regenerate bit-identically
+ * everywhere, regardless of SPASM_SCALE.
+ */
+void
+blessOne(const report::GoldenSpec &spec, const std::string &path)
+{
+    auto &reg = obs::Registry::global();
+    reg.setEnabled(true);
+    reg.clear();
+
+    const CooMatrix m = generateWorkload(spec.workload, Scale::Tiny);
+    const SpasmFramework framework;
+    PreprocessResult pre = framework.preprocess(m);
+
+    HwConfig config;
+    bool found = false;
+    for (const auto &c : allHwConfigs()) {
+        if (c.name() == spec.config) {
+            config = c;
+            found = true;
+        }
+    }
+    if (!found)
+        spasm_fatal("golden spec names unknown config '%s'",
+                    spec.config.c_str());
+
+    Accelerator accel(config, pre.portfolio);
+    const auto x = SpasmFramework::defaultX(m.cols());
+    std::vector<Value> y(m.rows(), 0.0f);
+    const RunStats stats = accel.run(pre.encoded, x, y, pre.policy);
+
+    StatsReport rep;
+    rep.inputName = spec.workload;
+    rep.rows = pre.encoded.rows();
+    rep.cols = pre.encoded.cols();
+    rep.nnz = static_cast<std::uint64_t>(pre.encoded.nnz());
+    rep.config = &config;
+    rep.tileSize = pre.encoded.tileSize();
+    rep.portfolioId = pre.portfolioId;
+    rep.stats = &stats;
+    rep.timings = &pre.timings;
+    rep.deterministic = true;
+    rep.provenance.threads =
+        static_cast<int>(ThreadPool::global().concurrency());
+    rep.provenance.scale = "tiny";
+    writeFileAtomic(path, [&](std::ostream &out) {
+        writeStatsJson(out, rep);
+    });
+
+    reg.clear();
+    reg.setEnabled(false);
+}
+
+int
+cmdBless(const std::vector<std::string> &args)
+{
+    std::string dir = optValue(args, "--dir");
+    if (dir.empty())
+        dir = "bench/baselines";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        spasm_fatal("cannot create baseline directory '%s': %s",
+                    dir.c_str(), ec.message().c_str());
+    for (const auto &spec : report::goldenSpecs()) {
+        const std::string path =
+            dir + "/" + report::goldenFileName(spec);
+        blessOne(spec, path);
+        std::printf("blessed %s x %s -> %s\n", spec.workload.c_str(),
+                    spec.config.c_str(), path.c_str());
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -483,10 +661,20 @@ main(int argc, char **argv)
             static_cast<unsigned>(n));
     }
 
+    if (cmd == "--version" || cmd == "version") {
+        std::printf("%s\n", versionBanner());
+        return 0;
+    }
     if (cmd == "suite")
         return cmdSuite();
-    if (args.empty() && cmd != "suite")
+    if (cmd == "bless")
+        return cmdBless(args);
+    if (cmd == "compare")
+        return cmdCompare(args);
+    if (args.empty())
         return usage();
+    if (cmd == "report")
+        return cmdReport(args);
     if (cmd == "analyze")
         return cmdAnalyze(args[0]);
     if (cmd == "encode")
