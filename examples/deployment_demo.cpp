@@ -16,6 +16,7 @@
 
 #include "core/deployment.hh"
 #include "format/serialize.hh"
+#include "support/error.hh"
 #include "workloads/suite.hh"
 
 namespace {
@@ -77,8 +78,15 @@ main()
     // 3. Reload and execute (the steady-state serving path).
     std::printf("-- serving from the persisted encodings --\n");
     PreparedMatrix served_cfd2;
-    served_cfd2.encoded =
-        readSpasmFile("/tmp/spasm_demo_cfd2.spasm");
+    try {
+        served_cfd2.encoded =
+            readSpasmFile("/tmp/spasm_demo_cfd2.spasm");
+    } catch (const Error &e) {
+        // The persisted container is integrity-checked at load; a
+        // corrupted file is reported instead of served.
+        std::fprintf(stderr, "deployment_demo: %s\n", e.what());
+        return 1;
+    }
     served_cfd2.schedule = prep_cfd2.schedule;
     served_cfd2.paddingRate = prep_cfd2.paddingRate;
     runPrepared(deployment, served_cfd2, cfd2, "cfd2");

@@ -20,6 +20,7 @@
 #include "pattern/analysis.hh"
 #include "pattern/selection.hh"
 #include "sparse/matrix_market.hh"
+#include "support/error.hh"
 #include "workloads/suite.hh"
 
 int
@@ -31,7 +32,12 @@ main(int argc, char **argv)
     const std::string arg = argc > 1 ? argv[1] : "cfd2";
     if (arg.size() > 4 &&
         arg.substr(arg.size() - 4) == ".mtx") {
-        m = readMatrixMarket(arg);
+        try {
+            m = readMatrixMarket(arg);
+        } catch (const Error &e) {
+            std::fprintf(stderr, "pattern_explorer: %s\n", e.what());
+            return 1;
+        }
     } else {
         m = generateWorkload(arg, scaleFromEnv());
     }

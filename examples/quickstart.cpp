@@ -15,6 +15,7 @@
 
 #include "core/framework.hh"
 #include "sparse/matrix_market.hh"
+#include "support/error.hh"
 #include "workloads/generators.hh"
 
 int
@@ -24,7 +25,14 @@ main(int argc, char **argv)
 
     CooMatrix m;
     if (argc > 1) {
-        m = readMatrixMarket(argv[1]);
+        try {
+            m = readMatrixMarket(argv[1]);
+        } catch (const Error &e) {
+            // Malformed input is recoverable: report and exit, the
+            // diagnostic carries the offending line.
+            std::fprintf(stderr, "quickstart: %s\n", e.what());
+            return 1;
+        }
         std::printf("loaded %s: %d x %d, %lld non-zeros\n", argv[1],
                     m.rows(), m.cols(),
                     static_cast<long long>(m.nnz()));

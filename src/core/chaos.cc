@@ -1,0 +1,437 @@
+#include "core/chaos.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "core/framework.hh"
+#include "faults/fault_plan.hh"
+#include "format/serialize.hh"
+#include "support/error.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
+#include "support/random.hh"
+
+namespace spasm {
+
+namespace {
+
+const char *
+scaleName(Scale scale)
+{
+    switch (scale) {
+      case Scale::Tiny:
+        return "tiny";
+      case Scale::Small:
+        return "small";
+      case Scale::Full:
+        return "full";
+    }
+    return "?";
+}
+
+/** Shared fixture every case corrupts a fresh copy of. */
+struct ChaosFixture
+{
+    CooMatrix m;
+    PreprocessResult pre; ///< one clean preprocess, reused per trial
+    std::vector<Value> x;
+    std::vector<Value> yRef;
+
+    /** Absolute tolerance separating FP-reorder noise from a real
+     *  corruption of the result. */
+    double tol = 0.0;
+};
+
+ChaosFixture
+buildFixture(const ChaosOptions &opt)
+{
+    ChaosFixture fx;
+    fx.m = generateWorkload(opt.workload, opt.scale);
+    const SpasmFramework framework;
+    fx.pre = framework.preprocess(fx.m);
+    fx.x = SpasmFramework::defaultX(fx.m.cols());
+    fx.yRef.assign(static_cast<std::size_t>(fx.m.rows()), 0.0f);
+    fx.m.spmv(fx.x, fx.yRef);
+    double max_abs = 0.0;
+    for (Value v : fx.yRef)
+        max_abs = std::max(max_abs, std::abs(double(v)));
+    fx.tol = 1e-3 * (max_abs + 1.0);
+    return fx;
+}
+
+double
+maxAbsDiff(const std::vector<Value> &a, const std::vector<Value> &b)
+{
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        max_err = std::max(
+            max_err, std::abs(double(a[i]) - double(b[i])));
+    }
+    return max_err;
+}
+
+void
+noteFailure(ChaosCase &c, const std::string &diag)
+{
+    if (c.firstFailure.empty())
+        c.firstFailure = diag;
+}
+
+std::string
+fmtTrial(const char *kind, int trial, const char *detail)
+{
+    char buf[192];
+    std::snprintf(buf, sizeof(buf), "trial %d (%s): %s", trial, kind,
+                  detail);
+    return buf;
+}
+
+// ----------------------------------------------------------------- //
+// Storage campaign: the container must detect every byte flip and
+// every truncation at load time (or prove the flip architecturally
+// inert by reproducing the reference result).
+// ----------------------------------------------------------------- //
+
+ChaosCase
+storageCase(const ChaosFixture &fx, const ChaosOptions &opt,
+            bool truncate)
+{
+    ChaosCase c;
+    c.name = truncate ? "storage/truncate" : "storage/byte-flip";
+
+    std::ostringstream enc;
+    writeSpasmFile(fx.pre.encoded, enc);
+    const std::string bytes = enc.str();
+    spasm_assert(!bytes.empty());
+
+    std::uint64_t state =
+        opt.seed ^ (truncate ? 0x7472756e63ULL : 0x666c6970ULL);
+    const int trials =
+        truncate ? opt.storageTruncations : opt.storageFlips;
+    for (int t = 0; t < trials; ++t) {
+        std::string corrupted;
+        char what[96];
+        if (truncate) {
+            const std::size_t len = static_cast<std::size_t>(
+                splitMix64(state) % bytes.size());
+            corrupted = bytes.substr(0, len);
+            std::snprintf(what, sizeof(what),
+                          "truncated to %zu of %zu bytes", len,
+                          bytes.size());
+        } else {
+            corrupted = bytes;
+            const std::size_t byte = static_cast<std::size_t>(
+                splitMix64(state) % bytes.size());
+            const int bit =
+                static_cast<int>(splitMix64(state) % 8);
+            corrupted[byte] ^=
+                static_cast<char>(1u << bit);
+            std::snprintf(what, sizeof(what),
+                          "flipped bit %d of byte %zu", bit, byte);
+        }
+        ++c.outcomes.trials;
+        try {
+            std::istringstream in(corrupted);
+            const SpasmMatrix loaded =
+                readSpasmFile(in, "chaos.spasm");
+            // The loader accepted the bytes; the flip must then be
+            // architecturally inert (e.g. in a CE/RE flag the
+            // executor never reads — and the CRC makes even that
+            // essentially impossible).
+            std::vector<Value> y(fx.yRef.size(), 0.0f);
+            loaded.execute(fx.x, y);
+            if (maxAbsDiff(y, fx.yRef) <= fx.tol) {
+                ++c.outcomes.masked;
+            } else {
+                ++c.outcomes.silent;
+                noteFailure(c, fmtTrial("loaded but wrong", t, what));
+            }
+        } catch (const Error &) {
+            ++c.outcomes.detected;
+        } catch (const std::exception &e) {
+            ++c.outcomes.crashed;
+            noteFailure(c, fmtTrial("crashed", t, e.what()));
+        }
+    }
+    return c;
+}
+
+// ----------------------------------------------------------------- //
+// Simulator campaign: every injected fault must end up masked,
+// recovered, or detected; a wrong result with nothing flagged is a
+// silent corruption.
+// ----------------------------------------------------------------- //
+
+ChaosCase
+simCase(const char *name, const ChaosFixture &fx,
+        const ChaosOptions &opt, FaultConfig cfg)
+{
+    ChaosCase c;
+    c.name = name;
+    for (int t = 0; t < opt.simTrials; ++t) {
+        cfg.seed = opt.seed * 1024 + static_cast<std::uint64_t>(t);
+        ++c.outcomes.trials;
+        try {
+            FaultPlan plan(cfg);
+            FrameworkOptions fo;
+            fo.faultPlan = &plan;
+            const SpasmFramework framework(fo);
+            std::vector<Value> y(fx.yRef.size(), 0.0f);
+            const ExecutionResult res =
+                framework.execute(fx.pre, fx.m, fx.x, y);
+            const FaultStats &fs = res.stats.faults;
+            char what[96];
+            std::snprintf(what, sizeof(what),
+                          "seed %llu: err %.3g, injected %llu, "
+                          "detected %llu",
+                          static_cast<unsigned long long>(cfg.seed),
+                          res.maxAbsError,
+                          static_cast<unsigned long long>(
+                              fs.injected()),
+                          static_cast<unsigned long long>(
+                              fs.detected));
+            if (res.maxAbsError <= fx.tol) {
+                if (fs.recovered > 0)
+                    ++c.outcomes.recovered;
+                else
+                    ++c.outcomes.masked;
+            } else if (fs.detected > 0) {
+                // Wrong output, but the run itself flagged it (e.g.
+                // policy None dropped detected words).
+                ++c.outcomes.detected;
+            } else {
+                ++c.outcomes.silent;
+                noteFailure(c, fmtTrial("silent", t, what));
+            }
+        } catch (const std::exception &e) {
+            ++c.outcomes.crashed;
+            noteFailure(c, fmtTrial("crashed", t, e.what()));
+        }
+    }
+    return c;
+}
+
+// ----------------------------------------------------------------- //
+// Degradation campaign: poison one word of the in-memory encoded
+// stream; the framework's step-(6) guard must exclude the tile and
+// fall back to the scalar path, keeping the result correct.
+// ----------------------------------------------------------------- //
+
+enum class Poison
+{
+    OobRowIdx,
+    NonFiniteValue,
+    BadTemplateId,
+};
+
+ChaosCase
+degradeCase(const char *name, Poison poison, const ChaosFixture &fx,
+            const ChaosOptions &opt)
+{
+    ChaosCase c;
+    c.name = name;
+    std::uint64_t state = opt.seed ^ 0xdeadbeefULL ^
+        static_cast<std::uint64_t>(poison);
+    for (int t = 0; t < opt.simTrials; ++t) {
+        ++c.outcomes.trials;
+        try {
+            PreprocessResult pre = fx.pre;
+            auto &tiles = SpasmMatrixMutator::tiles(pre.encoded);
+            spasm_assert(!tiles.empty());
+            SpasmTile &tile =
+                tiles[splitMix64(state) % tiles.size()];
+            if (tile.words.empty())
+                continue;
+            EncodedWord &word =
+                tile.words[splitMix64(state) % tile.words.size()];
+            Poison applied = poison;
+            if (applied == Poison::BadTemplateId &&
+                pre.portfolio.size() >= 16) {
+                // Every 4-bit template id is valid: this portfolio
+                // cannot express the fault, poison an index instead.
+                applied = Poison::OobRowIdx;
+            }
+            switch (applied) {
+              case Poison::OobRowIdx:
+                word.pos = PositionEncoding::fromRaw(
+                    word.pos.raw() | (0x1fffu << 13));
+                break;
+              case Poison::NonFiniteValue:
+                word.vals[1] =
+                    std::numeric_limits<Value>::infinity();
+                break;
+              case Poison::BadTemplateId:
+                word.pos = PositionEncoding::fromRaw(
+                    word.pos.raw() | (0xfu << 28));
+                break;
+            }
+            const SpasmFramework framework; // validateEncoded on
+            std::vector<Value> y(fx.yRef.size(), 0.0f);
+            const ExecutionResult res =
+                framework.execute(pre, fx.m, fx.x, y);
+            char what[96];
+            std::snprintf(what, sizeof(what),
+                          "err %.3g, %zu tiles degraded",
+                          res.maxAbsError, res.degraded.size());
+            if (res.maxAbsError <= fx.tol) {
+                if (!res.degraded.empty())
+                    ++c.outcomes.recovered;
+                else
+                    ++c.outcomes.masked;
+            } else {
+                ++c.outcomes.silent;
+                noteFailure(c, fmtTrial("silent", t, what));
+            }
+        } catch (const std::exception &e) {
+            ++c.outcomes.crashed;
+            noteFailure(c, fmtTrial("crashed", t, e.what()));
+        }
+    }
+    return c;
+}
+
+bool
+wants(const ChaosOptions &opt, const char *campaign)
+{
+    return opt.campaign == campaign || opt.campaign == "default";
+}
+
+} // namespace
+
+ChaosReport
+runChaosCampaign(const ChaosOptions &options)
+{
+    if (options.campaign != "default" &&
+        options.campaign != "storage" && options.campaign != "sim" &&
+        options.campaign != "degrade") {
+        throw Error(ErrorCode::Parse,
+                    "unknown chaos campaign '" + options.campaign +
+                        "' (default|storage|sim|degrade) [parse]");
+    }
+
+    ChaosReport report;
+    report.options = options;
+    const ChaosFixture fx = buildFixture(options);
+
+    if (wants(options, "storage")) {
+        report.cases.push_back(storageCase(fx, options, false));
+        report.cases.push_back(storageCase(fx, options, true));
+    }
+    if (wants(options, "sim")) {
+        FaultConfig corrupt;
+        corrupt.wordCorruptRate = 0.02;
+        corrupt.eccOnStream = true;
+        corrupt.policy = RecoveryPolicy::Retry;
+        report.cases.push_back(
+            simCase("sim/word-corrupt-ecc-retry", fx, options,
+                    corrupt));
+        corrupt.policy = RecoveryPolicy::None;
+        report.cases.push_back(simCase("sim/word-corrupt-ecc-drop",
+                                       fx, options, corrupt));
+        FaultConfig stall;
+        stall.peStallRate = 0.05;
+        report.cases.push_back(
+            simCase("sim/pe-transient-stall", fx, options, stall));
+        FaultConfig stuck;
+        stuck.channelStuckRate = 0.5;
+        report.cases.push_back(
+            simCase("sim/channel-stuck", fx, options, stuck));
+    }
+    if (wants(options, "degrade")) {
+        report.cases.push_back(degradeCase("degrade/oob-row-idx",
+                                           Poison::OobRowIdx, fx,
+                                           options));
+        report.cases.push_back(
+            degradeCase("degrade/non-finite-value",
+                        Poison::NonFiniteValue, fx, options));
+        report.cases.push_back(
+            degradeCase("degrade/bad-template-id",
+                        Poison::BadTemplateId, fx, options));
+    }
+
+    for (const ChaosCase &c : report.cases)
+        report.totals.accumulate(c.outcomes);
+    return report;
+}
+
+void
+writeChaosJson(std::ostream &os, const ChaosReport &report)
+{
+    JsonWriter json(os);
+    json.beginObject();
+    json.field("schema", "spasm-chaos-v1");
+    json.field("seed", report.options.seed);
+    json.field("campaign", report.options.campaign);
+    json.field("workload", report.options.workload);
+    json.field("scale", scaleName(report.options.scale));
+
+    auto writeOutcomes = [&](const ChaosOutcomes &o) {
+        json.field("trials", o.trials);
+        json.field("masked", o.masked);
+        json.field("recovered", o.recovered);
+        json.field("detected", o.detected);
+        json.field("silent", o.silent);
+        json.field("crashed", o.crashed);
+    };
+
+    json.key("cases");
+    json.beginArray();
+    for (const ChaosCase &c : report.cases) {
+        json.beginObject();
+        json.field("name", c.name);
+        writeOutcomes(c.outcomes);
+        if (!c.firstFailure.empty())
+            json.field("first_failure", c.firstFailure);
+        json.endObject();
+    }
+    json.endArray();
+
+    json.key("totals");
+    json.beginObject();
+    writeOutcomes(report.totals);
+    json.endObject();
+
+    json.field("clean", report.clean());
+    json.endObject();
+    json.finish();
+}
+
+void
+printChaosReport(const ChaosReport &report)
+{
+    std::printf("chaos campaign '%s' on %s (%s), seed %llu\n",
+                report.options.campaign.c_str(),
+                report.options.workload.c_str(),
+                scaleName(report.options.scale),
+                static_cast<unsigned long long>(
+                    report.options.seed));
+    std::printf("  %-28s %7s %7s %9s %9s %7s %8s\n", "case",
+                "trials", "masked", "recovered", "detected",
+                "silent", "crashed");
+    auto row = [](const std::string &name, const ChaosOutcomes &o) {
+        std::printf("  %-28s %7llu %7llu %9llu %9llu %7llu %8llu\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(o.trials),
+                    static_cast<unsigned long long>(o.masked),
+                    static_cast<unsigned long long>(o.recovered),
+                    static_cast<unsigned long long>(o.detected),
+                    static_cast<unsigned long long>(o.silent),
+                    static_cast<unsigned long long>(o.crashed));
+    };
+    for (const ChaosCase &c : report.cases) {
+        row(c.name, c.outcomes);
+        if (!c.firstFailure.empty())
+            std::printf("    first failure: %s\n",
+                        c.firstFailure.c_str());
+    }
+    row("TOTAL", report.totals);
+    std::printf("  verdict: %s\n",
+                report.clean()
+                    ? "clean (every fault masked, recovered or "
+                      "detected)"
+                    : "FAILED (silent corruption or crash)");
+}
+
+} // namespace spasm

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Seeded chaos campaigns over the robustness surface (ROADMAP:
+ * robustness): deliberately corrupt .spasm containers, inject
+ * simulator faults through a FaultPlan, and poison encoded streams,
+ * then check that every fault is *accounted for* — masked, recovered,
+ * or detected — and that none silently corrupts the SpMV result.
+ *
+ * Campaigns are deterministic in their seed so a failing trial can be
+ * replayed exactly.  `spasm chaos` drives this and emits the
+ * machine-readable `spasm-chaos-v1` record consumed by CI, which
+ * gates on `totals.silent == 0 && totals.crashed == 0`.
+ */
+
+#ifndef SPASM_CORE_CHAOS_HH
+#define SPASM_CORE_CHAOS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "workloads/suite.hh"
+
+namespace spasm {
+
+/** Knobs of one chaos run. */
+struct ChaosOptions
+{
+    std::uint64_t seed = 1;
+
+    /** Which campaign to run: "storage" (container byte flips and
+     *  truncations), "sim" (FaultPlan injection sweeps), "degrade"
+     *  (in-memory stream poisoning against the framework guard), or
+     *  "default" (all three). */
+    std::string campaign = "default";
+
+    /** Suite workload the campaign runs against. */
+    std::string workload = "cfd2";
+
+    Scale scale = Scale::Tiny;
+
+    /** Trials per storage byte-flip case. */
+    int storageFlips = 256;
+
+    /** Trials per storage truncation case. */
+    int storageTruncations = 64;
+
+    /** Seeds per simulator fault case. */
+    int simTrials = 4;
+};
+
+/**
+ * How the trials of one case ended.  Every trial lands in exactly one
+ * bucket; `silent` (wrong result, nothing flagged) and `crashed`
+ * (unexpected exception) are the failure buckets CI gates on.
+ */
+struct ChaosOutcomes
+{
+    std::uint64_t trials = 0;
+    std::uint64_t masked = 0;    ///< result correct, no repair needed
+    std::uint64_t recovered = 0; ///< result correct after a repair
+    std::uint64_t detected = 0;  ///< wrong/unusable but flagged
+    std::uint64_t silent = 0;    ///< wrong result, nothing flagged
+    std::uint64_t crashed = 0;   ///< unexpected exception escaped
+
+    void
+    accumulate(const ChaosOutcomes &o)
+    {
+        trials += o.trials;
+        masked += o.masked;
+        recovered += o.recovered;
+        detected += o.detected;
+        silent += o.silent;
+        crashed += o.crashed;
+    }
+};
+
+/** One named fault scenario and its outcome tally. */
+struct ChaosCase
+{
+    std::string name;
+    ChaosOutcomes outcomes;
+
+    /** First silent/crashed trial's diagnostic ("" when clean). */
+    std::string firstFailure;
+};
+
+/** Everything one campaign produced. */
+struct ChaosReport
+{
+    ChaosOptions options;
+    std::vector<ChaosCase> cases;
+    ChaosOutcomes totals;
+
+    /** True iff no trial was silent or crashed. */
+    bool clean() const
+    {
+        return totals.silent == 0 && totals.crashed == 0;
+    }
+};
+
+/** Run the campaign selected by @p options. */
+ChaosReport runChaosCampaign(const ChaosOptions &options);
+
+/** Write the `spasm-chaos-v1` JSON record. */
+void writeChaosJson(std::ostream &os, const ChaosReport &report);
+
+/** Print the human-readable per-case summary table. */
+void printChaosReport(const ChaosReport &report);
+
+} // namespace spasm
+
+#endif // SPASM_CORE_CHAOS_HH

@@ -2,13 +2,67 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <set>
+#include <utility>
 
 #include "perf/perf_model.hh"
+#include "support/error.hh"
 #include "support/logging.hh"
 #include "support/obs.hh"
 #include "support/timer.hh"
 
 namespace spasm {
+
+namespace {
+
+std::string
+strfmt(const char *format, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, format);
+    std::vsnprintf(buf, sizeof(buf), format, ap);
+    va_end(ap);
+    return buf;
+}
+
+/**
+ * Pre-flight validation of one tile's encoded stream (step (6) guard,
+ * FrameworkOptions::validateEncoded): every word must name a template
+ * inside the portfolio, address a submatrix inside the tile, and carry
+ * finite values — exactly the invariants whose violation would make
+ * the accelerator index out of bounds or poison the partial sums.
+ * Returns an empty string when the tile is clean, else the reason.
+ */
+std::string
+validateTile(const SpasmTile &tile, const SpasmMatrix &m)
+{
+    const Index grid = m.portfolio().grid().size;
+    const Index max_sub = m.tileSize() / grid;
+    const int num_templates = m.portfolio().size();
+    for (std::size_t w = 0; w < tile.words.size(); ++w) {
+        const EncodedWord &word = tile.words[w];
+        if (static_cast<int>(word.pos.tIdx()) >= num_templates)
+            return strfmt("word %zu: template id %u outside the "
+                          "portfolio (%d templates)",
+                          w, word.pos.tIdx(), num_templates);
+        if (static_cast<Index>(word.pos.rIdx()) >= max_sub ||
+            static_cast<Index>(word.pos.cIdx()) >= max_sub)
+            return strfmt("word %zu: submatrix (%u, %u) outside the "
+                          "%lld-wide tile",
+                          w, word.pos.rIdx(), word.pos.cIdx(),
+                          static_cast<long long>(m.tileSize()));
+        for (Value v : word.vals) {
+            if (!std::isfinite(v))
+                return strfmt("word %zu: non-finite value", w);
+        }
+    }
+    return {};
+}
+
+} // namespace
 
 SpasmFramework::SpasmFramework(FrameworkOptions options)
     : options_(std::move(options))
@@ -41,11 +95,23 @@ SpasmFramework::preprocess(const CooMatrix &m) const
     {
         obs::Span span("framework.selection");
         if (options_.dynamicTemplateSelection) {
-            const auto candidates = allCandidatePortfolios(grid);
-            const SelectionResult sel = selectPortfolio(
-                pre.histogram, candidates, options_.selectionTopN);
-            pre.portfolioId = sel.bestCandidate;
-            pre.portfolio = candidates[sel.bestCandidate];
+            try {
+                const auto candidates = allCandidatePortfolios(grid);
+                const SelectionResult sel = selectPortfolio(
+                    pre.histogram, candidates, options_.selectionTopN);
+                pre.portfolioId = sel.bestCandidate;
+                pre.portfolio = candidates[sel.bestCandidate];
+            } catch (const Error &e) {
+                // Graceful degradation: the fixed ablation portfolio
+                // always encodes, at some padding cost.
+                pre.degradations.push_back(
+                    std::string("selection failed (") + e.what() +
+                    "); using fixed portfolio 0");
+                obs::Registry::global().add(
+                    "framework.degraded_stages");
+                pre.portfolioId = 0;
+                pre.portfolio = candidatePortfolio(0, grid);
+            }
         } else {
             pre.portfolioId = 0;
             pre.portfolio = candidatePortfolio(0, grid);
@@ -71,12 +137,23 @@ SpasmFramework::preprocess(const CooMatrix &m) const
     timer.reset();
     {
         obs::Span span("framework.schedule");
+        bool explored = false;
         if (options_.scheduleExploration) {
-            pre.policy = SchedulePolicy::LoadBalanced;
-            pre.schedule =
-                exploreSchedule(profile, options_.configs,
-                                options_.tileSizes, pre.policy);
-        } else {
+            try {
+                pre.policy = SchedulePolicy::LoadBalanced;
+                pre.schedule =
+                    exploreSchedule(profile, options_.configs,
+                                    options_.tileSizes, pre.policy);
+                explored = true;
+            } catch (const Error &e) {
+                pre.degradations.push_back(
+                    std::string("schedule exploration failed (") +
+                    e.what() + "); using SPASM_4_1 / tile 1024");
+                obs::Registry::global().add(
+                    "framework.degraded_stages");
+            }
+        }
+        if (!explored) {
             // Fixed baseline of the ablation study: SPASM_4_1
             // bitstream, tile size 1024.  The word-balanced placement
             // is a property of the merge-unit hardware, not of the
@@ -111,8 +188,66 @@ SpasmFramework::execute(const PreprocessResult &pre, const CooMatrix &m,
     ExecutionResult result;
     obs::Span span("framework.execute");
     span.tag("config", pre.schedule.config.name());
+
+    // Step (6) guard: validate the encoded stream tile by tile and
+    // exclude any tile that would violate an accelerator invariant.
+    // The excluded tiles' contributions are recomputed below on the
+    // scalar COO path, so a corrupt stream degrades to a slower but
+    // still-correct run instead of aborting.
+    const SpasmMatrix *encoded = &pre.encoded;
+    SpasmMatrix filtered;
+    if (options_.validateEncoded) {
+        for (const SpasmTile &tile : pre.encoded.tiles()) {
+            std::string reason = validateTile(tile, pre.encoded);
+            if (!reason.empty()) {
+                result.degraded.push_back({tile.tileRowIdx,
+                                           tile.tileColIdx,
+                                           std::move(reason)});
+            }
+        }
+        if (!result.degraded.empty()) {
+            obs::Registry::global().add("framework.degraded_tiles",
+                                        result.degraded.size());
+            std::set<std::pair<Index, Index>> bad;
+            for (const TileDegradation &d : result.degraded)
+                bad.emplace(d.tileRowIdx, d.tileColIdx);
+            filtered = pre.encoded;
+            auto &tiles = SpasmMatrixMutator::tiles(filtered);
+            Count removed_words = 0;
+            tiles.erase(
+                std::remove_if(
+                    tiles.begin(), tiles.end(),
+                    [&](const SpasmTile &t) {
+                        if (bad.count({t.tileRowIdx,
+                                       t.tileColIdx}) == 0)
+                            return false;
+                        removed_words +=
+                            static_cast<Count>(t.words.size());
+                        return true;
+                    }),
+                tiles.end());
+            SpasmMatrixMutator::numWords(filtered) -= removed_words;
+            encoded = &filtered;
+        }
+    }
+
     Accelerator accel(pre.schedule.config, pre.portfolio);
-    result.stats = accel.run(pre.encoded, x, y, pre.policy);
+    if (options_.faultPlan != nullptr)
+        accel.setFaultPlan(options_.faultPlan);
+    result.stats = accel.run(*encoded, x, y, pre.policy);
+
+    // Scalar fallback for the excluded tiles: add their region's
+    // ground-truth contributions from the original COO entries.
+    if (!result.degraded.empty()) {
+        std::set<std::pair<Index, Index>> bad;
+        for (const TileDegradation &d : result.degraded)
+            bad.emplace(d.tileRowIdx, d.tileColIdx);
+        const Index T = pre.encoded.tileSize();
+        for (const Triplet &e : m.entries()) {
+            if (bad.count({e.row / T, e.col / T}) != 0)
+                y[e.row] += e.val * x[e.col];
+        }
+    }
 
     // Golden-model check against the reference SpMV.  The accelerator
     // reorders FP additions, so allow a relative tolerance.

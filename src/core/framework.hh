@@ -42,6 +42,20 @@ struct FrameworkOptions
 
     /** Tile-size candidates for the exploration. */
     std::vector<Index> tileSizes = defaultTileSizes();
+
+    /**
+     * Step (6) guard: validate every encoded word (template id inside
+     * the portfolio, submatrix indices inside the tile, finite
+     * values) before the accelerator run.  Tiles failing a check are
+     * excluded from the run and their contribution is computed on the
+     * scalar COO fallback path instead — recorded in
+     * ExecutionResult::degraded, never aborted.
+     */
+    bool validateEncoded = true;
+
+    /** Optional fault-injection plan attached to the accelerator in
+     *  execute(); nullptr (default) runs fault-free. */
+    FaultPlan *faultPlan = nullptr;
 };
 
 /** Wall-clock cost of each preprocessing step, in milliseconds. */
@@ -67,6 +81,18 @@ struct PreprocessResult
     SpasmMatrix encoded;
     SchedulePolicy policy = SchedulePolicy::LoadBalanced;
     PreprocessTimings timings;
+
+    /** Stages that failed and fell back to a fixed default (e.g.
+     *  selection -> portfolio 0), one human-readable note each. */
+    std::vector<std::string> degradations;
+};
+
+/** One tile excluded from the accelerator run by validation. */
+struct TileDegradation
+{
+    Index tileRowIdx = 0;
+    Index tileColIdx = 0;
+    std::string reason;
 };
 
 /** Result of executing one SpMV on the simulated accelerator. */
@@ -76,6 +102,11 @@ struct ExecutionResult
 
     /** Max |y_sim - y_ref| over all rows (golden-model check). */
     double maxAbsError = 0.0;
+
+    /** Tiles that failed encoded-stream validation and were computed
+     *  on the scalar fallback path (FrameworkOptions::
+     *  validateEncoded).  Empty on a clean run. */
+    std::vector<TileDegradation> degraded;
 };
 
 /** End-to-end outcome for one matrix. */

@@ -28,6 +28,23 @@ writeRunStats(JsonWriter &json, const RunStats &s)
     json.field("xvec", s.stallX);
     json.field("flush", s.stallY);
     json.field("hazard", s.stallHazard);
+    json.field("fault", s.stallFault);
+    json.endObject();
+
+    // Always emitted (zeros without an attached FaultPlan) so the
+    // schema does not change shape between fault-free and chaos runs.
+    json.key("faults");
+    json.beginObject();
+    json.field("injected", s.faults.injected());
+    json.field("injected_word_corrupt", s.faults.injectedWordCorrupt);
+    json.field("injected_pe_stall", s.faults.injectedPeStall);
+    json.field("injected_channel_stuck",
+               s.faults.injectedChannelStuck);
+    json.field("detected", s.faults.detected);
+    json.field("recovered", s.faults.recovered);
+    json.field("masked", s.faults.masked);
+    json.field("dropped", s.faults.dropped);
+    json.field("retry_cycles", s.faults.retryCycles);
     json.endObject();
 
     json.key("bytes");
@@ -90,6 +107,7 @@ writeRunStats(JsonWriter &json, const RunStats &s)
             json.field("xvec", pe.stallX);
             json.field("flush", pe.stallY);
             json.field("hazard", pe.stallHazard);
+            json.field("fault", pe.stallFault);
             json.endObject();
             json.endObject();
         }

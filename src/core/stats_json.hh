@@ -27,9 +27,11 @@ inline constexpr const char *kStatsJsonSchema = "spasm-stats-v1";
 
 /**
  * Backward-compatible minor revision of the v1 schema.  Minor 1 added
- * the `provenance` section; readers must ignore unknown fields.
+ * the `provenance` section; minor 2 added `sim.stalls.fault`,
+ * `sim.per_pe[].stalls.fault` and the `sim.faults` block (all zero in
+ * fault-free runs).  Readers must ignore unknown fields.
  */
-inline constexpr int kStatsJsonSchemaMinor = 1;
+inline constexpr int kStatsJsonSchemaMinor = 2;
 
 /**
  * Build/run provenance stamped into every record so `spasm compare`

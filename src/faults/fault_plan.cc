@@ -1,0 +1,138 @@
+#include "faults/fault_plan.hh"
+
+#include <cstring>
+
+#include "support/random.hh"
+
+namespace spasm {
+
+namespace {
+
+/** Mix (seed, kind, a, b) into one 64-bit value via splitMix64. */
+std::uint64_t
+mix(std::uint64_t seed, FaultKind kind, std::uint64_t a,
+    std::uint64_t b)
+{
+    std::uint64_t state = seed ^
+        (0x9e3779b97f4a7c15ull *
+         (static_cast<std::uint64_t>(kind) + 1));
+    splitMix64(state);
+    state ^= a * 0xbf58476d1ce4e5b9ull;
+    splitMix64(state);
+    state ^= b * 0x94d049bb133111ebull;
+    return splitMix64(state);
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::HbmWordCorrupt:
+        return "hbm-word-corrupt";
+      case FaultKind::PeTransientStall:
+        return "pe-transient-stall";
+      case FaultKind::ChannelStuck:
+        return "channel-stuck";
+    }
+    return "unknown";
+}
+
+const char *
+recoveryPolicyName(RecoveryPolicy policy)
+{
+    switch (policy) {
+      case RecoveryPolicy::None:
+        return "none";
+      case RecoveryPolicy::Retry:
+        return "retry";
+    }
+    return "unknown";
+}
+
+double
+FaultPlan::draw(FaultKind kind, std::uint64_t a,
+                std::uint64_t b) const
+{
+    const std::uint64_t h = mix(config_.seed, kind, a, b);
+    // Top 53 bits -> uniform double in [0, 1).
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool
+FaultPlan::corruptWord(std::uint64_t site, EncodedWord &word)
+{
+    if (config_.wordCorruptRate <= 0.0 ||
+        draw(FaultKind::HbmWordCorrupt, site, 0) >=
+            config_.wordCorruptRate) {
+        return false;
+    }
+    ++stats_.injectedWordCorrupt;
+    // Flip one deterministic bit of the 20-byte (pos + 4 values)
+    // stream word, chosen by a second independent draw.
+    const int bit = static_cast<int>(
+        mix(config_.seed, FaultKind::HbmWordCorrupt, site, 1) %
+        (8 * (sizeof(word.pos) + sizeof(word.vals))));
+    unsigned char bytes[sizeof(std::uint32_t) + 4 * sizeof(Value)];
+    std::uint32_t raw = word.pos.raw();
+    std::memcpy(bytes, &raw, sizeof(raw));
+    std::memcpy(bytes + sizeof(raw), word.vals.data(),
+                sizeof(word.vals));
+    bytes[bit / 8] ^= static_cast<unsigned char>(1 << (bit % 8));
+    std::memcpy(&raw, bytes, sizeof(raw));
+    word.pos = PositionEncoding::fromRaw(raw);
+    std::memcpy(word.vals.data(), bytes + sizeof(raw),
+                sizeof(word.vals));
+    return true;
+}
+
+int
+FaultPlan::stallCycles(std::uint64_t site)
+{
+    if (config_.peStallRate <= 0.0 || config_.peStallCycles <= 0 ||
+        draw(FaultKind::PeTransientStall, site, 0) >=
+            config_.peStallRate) {
+        return 0;
+    }
+    ++stats_.injectedPeStall;
+    ++stats_.masked; // a timing fault cannot corrupt state
+    return config_.peStallCycles;
+}
+
+bool
+FaultPlan::channelStuck(int channel, std::uint64_t cycle)
+{
+    if (config_.channelStuckRate <= 0.0 ||
+        config_.channelStuckCycles <= 0) {
+        return false;
+    }
+    const std::uint64_t window =
+        cycle / static_cast<std::uint64_t>(config_.channelStuckCycles);
+    if (draw(FaultKind::ChannelStuck,
+             static_cast<std::uint64_t>(channel),
+             window) >= config_.channelStuckRate) {
+        return false;
+    }
+    // One episode per (channel, window): count it once.  The modeled
+    // memory controller notices the dead channel and remaps the
+    // starved PEs to a spare lane, so every episode is detected and
+    // recovered by construction; the cost is the stall window itself.
+    auto [it, fresh] = stuckCounted_.try_emplace(channel, window);
+    if (fresh || it->second != window) {
+        it->second = window;
+        ++stats_.injectedChannelStuck;
+        ++stats_.detected;
+        ++stats_.recovered;
+    }
+    return true;
+}
+
+void
+FaultPlan::resetStats()
+{
+    stats_ = FaultStats{};
+    stuckCounted_.clear();
+}
+
+} // namespace spasm

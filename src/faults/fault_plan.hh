@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Deterministic fault-injection plan for the cycle-level simulator.
+ *
+ * A FaultPlan is a pure function from (seed, fault kind, site) to an
+ * injection decision, evaluated with a splitMix64-style hash instead
+ * of a sequential RNG.  That makes campaigns *order-independent*: a
+ * word is corrupted (or not) regardless of which PE fetches it or in
+ * which cycle, so two runs with different schedules — or a re-run
+ * after a recovery retry — see the same fault set for the same seed.
+ *
+ * Three fault kinds model the failure surface of the accelerator's
+ * memory system and datapath (ROADMAP: robustness):
+ *  - HbmWordCorrupt: a fetched stream word arrives with one bit
+ *    flipped (HBM disturbance / link error);
+ *  - PeTransientStall: a PE lane loses issue slots for a few cycles
+ *    (clock/voltage transient);
+ *  - ChannelStuck: a value pseudo-channel stops granting bytes for a
+ *    window of cycles (stuck controller queue).
+ *
+ * The accelerator consults the plan at the matching pipeline points
+ * (hw/accelerator.cc) and reports what happened back through the
+ * note*() hooks; FaultStats is the single source of truth the stats
+ * JSON and `spasm chaos` read.
+ */
+
+#ifndef SPASM_FAULTS_FAULT_PLAN_HH
+#define SPASM_FAULTS_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "format/spasm_matrix.hh"
+
+namespace spasm {
+
+/** What a detected-uncorrectable fault does to the affected word. */
+enum class RecoveryPolicy
+{
+    None,  ///< drop the word's contribution (golden check flags it)
+    Retry, ///< refetch the word from HBM after the read latency
+};
+
+/** The injectable fault kinds. */
+enum class FaultKind
+{
+    HbmWordCorrupt,
+    PeTransientStall,
+    ChannelStuck,
+};
+
+/** Stable lower-kebab name (JSON reports, chaos campaign axes). */
+const char *faultKindName(FaultKind kind);
+const char *recoveryPolicyName(RecoveryPolicy policy);
+
+/** Injection rates and detection/recovery knobs for one run. */
+struct FaultConfig
+{
+    std::uint64_t seed = 1;
+
+    /** Probability a fetched stream word is corrupted (per word). */
+    double wordCorruptRate = 0.0;
+
+    /** Probability a word issue is followed by a transient stall. */
+    double peStallRate = 0.0;
+    int peStallCycles = 8;
+
+    /** Probability a value channel is stuck, per channel per window
+     *  of channelStuckCycles cycles. */
+    double channelStuckRate = 0.0;
+    int channelStuckCycles = 64;
+
+    /** Model an ECC/parity code on the value+position stream: every
+     *  corrupted fetch is detected, even when the flipped bit lands
+     *  in an in-range field. */
+    bool eccOnStream = false;
+
+    RecoveryPolicy policy = RecoveryPolicy::None;
+
+    /** Runtime psum-range invariant: a VALU contribution that is
+     *  non-finite or beyond this magnitude is flagged as corrupt. */
+    double psumBound = 1e30;
+};
+
+/** Outcome counters, all zero when injection is off. */
+struct FaultStats
+{
+    std::uint64_t injectedWordCorrupt = 0;
+    std::uint64_t injectedPeStall = 0;
+    std::uint64_t injectedChannelStuck = 0;
+
+    /** Faults flagged by a runtime check (ECC, format invariant,
+     *  psum range, stuck-channel watchdog). */
+    std::uint64_t detected = 0;
+
+    /** Faults repaired with the architectural state intact (word
+     *  refetch, spare-PE remap, stall absorbed by slack). */
+    std::uint64_t recovered = 0;
+
+    /** Faults that cannot affect the architectural result (flips in
+     *  unused encoding bits, pure timing faults). */
+    std::uint64_t masked = 0;
+
+    /** Detected words whose contribution was dropped (policy None);
+     *  the run's output is wrong and the golden check reports it. */
+    std::uint64_t dropped = 0;
+
+    /** Extra cycles spent waiting on recovery refetches. */
+    std::uint64_t retryCycles = 0;
+
+    std::uint64_t
+    injected() const
+    {
+        return injectedWordCorrupt + injectedPeStall +
+            injectedChannelStuck;
+    }
+};
+
+/** Seeded, order-independent fault oracle + outcome bookkeeping. */
+class FaultPlan
+{
+  public:
+    explicit FaultPlan(const FaultConfig &config) : config_(config)
+    {
+        // A channel stuck in *every* window would never make forward
+        // progress (the simulator watchdog would fire); cap the rate
+        // so some windows always grant.
+        if (config_.channelStuckRate > 0.9)
+            config_.channelStuckRate = 0.9;
+    }
+
+    const FaultConfig &config() const { return config_; }
+
+    /**
+     * Maybe corrupt the word fetched from stream position @p site
+     * (a schedule-independent identity, e.g. tile index and word
+     * index).  On injection one deterministic bit of the 20-byte
+     * word is flipped in place; returns true iff corrupted.
+     */
+    bool corruptWord(std::uint64_t site, EncodedWord &word);
+
+    /** Transient-stall cycles to charge after issuing word @p site
+     *  (0 almost always).  Counts injected + masked: a pure timing
+     *  fault can never corrupt architectural state. */
+    int stallCycles(std::uint64_t site);
+
+    /**
+     * True while value channel @p channel is inside a stuck window
+     * at @p cycle.  Each window is one injected fault; the modeled
+     * controller detects the dead channel and remaps the affected
+     * PEs to a spare, so the episode also counts detected+recovered
+     * (the performance cost shows up as fault stalls).
+     */
+    bool channelStuck(int channel, std::uint64_t cycle);
+
+    void noteDetected() { ++stats_.detected; }
+    void noteRecovered() { ++stats_.recovered; }
+    void noteMasked() { ++stats_.masked; }
+    void noteDropped() { ++stats_.dropped; }
+    void noteRetryCycles(std::uint64_t n) { stats_.retryCycles += n; }
+
+    const FaultStats &stats() const { return stats_; }
+    void resetStats();
+
+  private:
+    /** Deterministic [0, 1) draw for (kind, a, b). */
+    double draw(FaultKind kind, std::uint64_t a,
+                std::uint64_t b) const;
+
+    FaultConfig config_;
+    FaultStats stats_;
+
+    /** Last stuck window already counted, per channel. */
+    std::unordered_map<int, std::uint64_t> stuckCounted_;
+};
+
+} // namespace spasm
+
+#endif // SPASM_FAULTS_FAULT_PLAN_HH

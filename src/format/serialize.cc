@@ -1,9 +1,13 @@
 #include "format/serialize.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <vector>
 
-#include "support/logging.hh"
+#include "support/bits.hh"
+#include "support/crc32.hh"
+#include "support/error.hh"
 
 namespace spasm {
 
@@ -11,155 +15,520 @@ namespace {
 
 constexpr char kMagic[4] = {'S', 'P', 'S', 'M'};
 
+/** Section tags, serialized as 4 raw bytes. */
+constexpr char kTagHeader[4] = {'H', 'D', 'R', ' '};
+constexpr char kTagPortfolio[4] = {'P', 'R', 'T', ' '};
+constexpr char kTagTiles[4] = {'T', 'I', 'L', ' '};
+
+/** Payload-read chunk: bounds the allocation a lying length prefix
+ *  can force before truncation is noticed. */
+constexpr std::uint64_t kReadChunk = 4ull << 20;
+
+/** Fixed word cost in the TIL payload: u32 pos + 4 x f32. */
+constexpr std::uint64_t kWordBytes = 20;
+
+/** Minimum tile cost in the TIL payload: two i32 + u64 count. */
+constexpr std::uint64_t kTileHeaderBytes = 16;
+
 template <typename T>
 void
-writePod(std::ostream &out, const T &v)
+appendPod(std::string &out, const T &v)
 {
-    out.write(reinterpret_cast<const char *>(&v), sizeof(T));
+    out.append(reinterpret_cast<const char *>(&v), sizeof(T));
 }
 
-template <typename T>
-T
-readPod(std::istream &in, const std::string &name)
+/** Serialize one section: tag | u64 length | payload | u32 crc. */
+void
+writeSection(std::ostream &out, const char (&tag)[4],
+             const std::string &payload)
 {
-    T v{};
-    in.read(reinterpret_cast<char *>(&v), sizeof(T));
-    if (!in)
-        spasm_fatal("%s: truncated .spasm file", name.c_str());
-    return v;
+    out.write(tag, sizeof(tag));
+    const std::uint64_t len = payload.size();
+    out.write(reinterpret_cast<const char *>(&len), sizeof(len));
+    out.write(payload.data(),
+              static_cast<std::streamsize>(payload.size()));
+    const std::uint32_t crc = crc32(payload.data(), payload.size());
+    out.write(reinterpret_cast<const char *>(&crc), sizeof(crc));
 }
+
+/**
+ * Cursor over the raw input stream that tracks the absolute byte
+ * offset for diagnostics and converts short reads into typed errors.
+ */
+class StreamReader
+{
+  public:
+    StreamReader(std::istream &in, const std::string &name)
+        : in_(in), name_(name)
+    {
+    }
+
+    std::int64_t offset() const { return offset_; }
+    const std::string &name() const { return name_; }
+
+    void
+    readExact(void *dst, std::size_t size, const char *what)
+    {
+        in_.read(static_cast<char *>(dst),
+                 static_cast<std::streamsize>(size));
+        const auto got = in_.gcount();
+        if (static_cast<std::size_t>(got) != size) {
+            throw Error::atByte(
+                ErrorCode::Truncated, name_, offset_ + got,
+                "truncated .spasm file while reading %s (wanted %zu "
+                "bytes, got %zu)",
+                what, size, static_cast<std::size_t>(got));
+        }
+        offset_ += static_cast<std::int64_t>(size);
+    }
+
+    template <typename T>
+    T
+    readPod(const char *what)
+    {
+        T v{};
+        readExact(&v, sizeof(T), what);
+        return v;
+    }
+
+    /** True once the stream is exhausted (peeks one byte). */
+    bool
+    atEof()
+    {
+        return in_.peek() == std::char_traits<char>::eof();
+    }
+
+  private:
+    std::istream &in_;
+    std::string name_;
+    std::int64_t offset_ = 0;
+};
+
+/**
+ * One verified section: its payload (CRC-checked against the stored
+ * checksum) plus the absolute offset of the payload start so parse
+ * errors can still point into the file.
+ */
+struct Section
+{
+    std::vector<char> payload;
+    std::int64_t payloadStart = 0;
+};
+
+Section
+readSection(StreamReader &in, const char (&expect_tag)[4],
+            const SerializeLimits &limits)
+{
+    const std::int64_t tag_at = in.offset();
+    char tag[4] = {};
+    in.readExact(tag, sizeof(tag), "section tag");
+    if (std::memcmp(tag, expect_tag, sizeof(tag)) != 0) {
+        throw Error::atByte(
+            ErrorCode::Invariant, in.name(), tag_at,
+            "unexpected section tag '%.4s' (expected '%.4s')", tag,
+            expect_tag);
+    }
+    const auto len = in.readPod<std::uint64_t>("section length");
+    if (len > limits.maxSectionBytes) {
+        throw Error::atByte(
+            ErrorCode::LimitExceeded, in.name(), tag_at,
+            "section '%.4s' declares %llu bytes, above the %llu-byte "
+            "cap",
+            expect_tag, static_cast<unsigned long long>(len),
+            static_cast<unsigned long long>(limits.maxSectionBytes));
+    }
+
+    Section section;
+    section.payloadStart = in.offset();
+    // Grow in bounded chunks: a lying length prefix hits the
+    // truncation error after at most one extra chunk of allocation.
+    std::uint64_t remaining = len;
+    while (remaining > 0) {
+        const std::size_t chunk = static_cast<std::size_t>(
+            std::min<std::uint64_t>(remaining, kReadChunk));
+        const std::size_t old = section.payload.size();
+        section.payload.resize(old + chunk);
+        in.readExact(section.payload.data() + old, chunk,
+                     "section payload");
+        remaining -= chunk;
+    }
+
+    const auto stored = in.readPod<std::uint32_t>("section checksum");
+    const std::uint32_t computed =
+        crc32(section.payload.data(), section.payload.size());
+    if (stored != computed) {
+        throw Error::atByte(
+            ErrorCode::ChecksumMismatch, in.name(),
+            section.payloadStart,
+            "section '%.4s' checksum mismatch (stored 0x%08x, "
+            "computed 0x%08x): corrupt or tampered payload",
+            expect_tag, stored, computed);
+    }
+    return section;
+}
+
+/** Bounds-checked cursor over one verified section payload. */
+class PayloadReader
+{
+  public:
+    PayloadReader(const Section &section, const std::string &name)
+        : section_(section), name_(name)
+    {
+    }
+
+    /** Absolute file offset of the next unread payload byte. */
+    std::int64_t offset() const
+    {
+        return section_.payloadStart +
+            static_cast<std::int64_t>(pos_);
+    }
+
+    std::uint64_t remaining() const
+    {
+        return section_.payload.size() - pos_;
+    }
+
+    template <typename T>
+    T
+    readPod(const char *what)
+    {
+        if (remaining() < sizeof(T)) {
+            throw Error::atByte(
+                ErrorCode::Truncated, name_, offset(),
+                "section payload ends inside %s", what);
+        }
+        T v{};
+        std::memcpy(&v, section_.payload.data() + pos_, sizeof(T));
+        pos_ += sizeof(T);
+        return v;
+    }
+
+    std::string
+    readString(std::size_t size, const char *what)
+    {
+        if (remaining() < size) {
+            throw Error::atByte(
+                ErrorCode::Truncated, name_, offset(),
+                "section payload ends inside %s", what);
+        }
+        std::string s(section_.payload.data() + pos_, size);
+        pos_ += size;
+        return s;
+    }
+
+    void
+    expectConsumed(const char *section_name)
+    {
+        if (remaining() != 0) {
+            throw Error::atByte(
+                ErrorCode::Invariant, name_, offset(),
+                "%llu trailing bytes after the %s section content",
+                static_cast<unsigned long long>(remaining()),
+                section_name);
+        }
+    }
+
+  private:
+    const Section &section_;
+    std::string name_;
+    std::size_t pos_ = 0;
+};
 
 } // namespace
+
+const SerializeLimits &
+SerializeLimits::defaults()
+{
+    static const SerializeLimits limits;
+    return limits;
+}
 
 void
 writeSpasmFile(const SpasmMatrix &m, const std::string &path)
 {
     std::ofstream out(path, std::ios::binary);
-    if (!out)
-        spasm_fatal("cannot open '%s' for writing", path.c_str());
+    if (!out) {
+        throw Error::atInput(ErrorCode::Io, path,
+                             "cannot open for writing");
+    }
     writeSpasmFile(m, out);
     if (!out)
-        spasm_fatal("I/O error writing '%s'", path.c_str());
+        throw Error::atInput(ErrorCode::Io, path, "I/O error writing");
 }
 
 void
 writeSpasmFile(const SpasmMatrix &m, std::ostream &out)
 {
     out.write(kMagic, sizeof(kMagic));
-    writePod(out, kSpasmFileVersion);
+    const std::uint32_t version = kSpasmFileVersion;
+    out.write(reinterpret_cast<const char *>(&version),
+              sizeof(version));
 
-    writePod<std::int32_t>(out, m.rows());
-    writePod<std::int32_t>(out, m.cols());
-    writePod<std::int32_t>(out, m.tileSize());
-    writePod<std::int64_t>(out, m.nnz());
-    writePod<std::int64_t>(out, m.numWords());
-    writePod<std::int64_t>(out, m.paddings());
+    std::string hdr;
+    appendPod<std::int32_t>(hdr, m.rows());
+    appendPod<std::int32_t>(hdr, m.cols());
+    appendPod<std::int32_t>(hdr, m.tileSize());
+    appendPod<std::int64_t>(hdr, m.nnz());
+    appendPod<std::int64_t>(hdr, m.numWords());
+    appendPod<std::int64_t>(hdr, m.paddings());
+    appendPod<std::uint64_t>(hdr, m.tiles().size());
+    writeSection(out, kTagHeader, hdr);
 
     const auto &portfolio = m.portfolio();
-    writePod<std::int32_t>(out, portfolio.id());
-    writePod<std::uint32_t>(
-        out, static_cast<std::uint32_t>(portfolio.name().size()));
-    out.write(portfolio.name().data(),
-              static_cast<std::streamsize>(portfolio.name().size()));
-    writePod<std::int32_t>(out, portfolio.grid().size);
-    writePod<std::uint32_t>(
-        out, static_cast<std::uint32_t>(portfolio.size()));
+    std::string prt;
+    appendPod<std::int32_t>(prt, portfolio.id());
+    appendPod<std::uint32_t>(
+        prt, static_cast<std::uint32_t>(portfolio.name().size()));
+    prt.append(portfolio.name());
+    appendPod<std::int32_t>(prt, portfolio.grid().size);
+    appendPod<std::uint32_t>(
+        prt, static_cast<std::uint32_t>(portfolio.size()));
     for (const auto &t : portfolio.templates())
-        writePod<std::uint16_t>(out, t.mask());
+        appendPod<std::uint16_t>(prt, t.mask());
+    writeSection(out, kTagPortfolio, prt);
 
-    writePod<std::uint64_t>(out, m.tiles().size());
+    std::string til;
     for (const auto &tile : m.tiles()) {
-        writePod<std::int32_t>(out, tile.tileRowIdx);
-        writePod<std::int32_t>(out, tile.tileColIdx);
-        writePod<std::uint64_t>(out, tile.words.size());
+        appendPod<std::int32_t>(til, tile.tileRowIdx);
+        appendPod<std::int32_t>(til, tile.tileColIdx);
+        appendPod<std::uint64_t>(til, tile.words.size());
         for (const auto &word : tile.words) {
-            writePod<std::uint32_t>(out, word.pos.raw());
+            appendPod<std::uint32_t>(til, word.pos.raw());
             for (Value v : word.vals)
-                writePod<float>(out, v);
+                appendPod<float>(til, v);
         }
     }
+    writeSection(out, kTagTiles, til);
 }
 
 SpasmMatrix
-readSpasmFile(const std::string &path)
+readSpasmFile(const std::string &path, const SerializeLimits &limits)
 {
     std::ifstream in(path, std::ios::binary);
-    if (!in)
-        spasm_fatal("cannot open .spasm file '%s'", path.c_str());
-    return readSpasmFile(in, path);
+    if (!in) {
+        throw Error::atInput(ErrorCode::Io, path,
+                             "cannot open .spasm file");
+    }
+    return readSpasmFile(in, path, limits);
 }
 
 SpasmMatrix
 readSpasmFile(std::istream &in, const std::string &name)
 {
+    return readSpasmFile(in, name, SerializeLimits::defaults());
+}
+
+SpasmMatrix
+readSpasmFile(std::istream &in, const std::string &name,
+              const SerializeLimits &limits)
+{
+    StreamReader stream(in, name);
     char magic[4] = {};
-    in.read(magic, sizeof(magic));
-    if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-        spasm_fatal("%s: not a .spasm file (bad magic)", name.c_str());
-    const auto version = readPod<std::uint32_t>(in, name);
+    stream.readExact(magic, sizeof(magic), "magic");
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        throw Error::atByte(ErrorCode::BadMagic, name, 0,
+                            "not a .spasm file (bad magic)");
+    }
+    const auto version = stream.readPod<std::uint32_t>("version");
     if (version != kSpasmFileVersion) {
-        spasm_fatal("%s: unsupported .spasm version %u (expected %u)",
-                    name.c_str(), version, kSpasmFileVersion);
+        throw Error::atByte(
+            ErrorCode::BadVersion, name, 4,
+            "unsupported .spasm version %u (this build reads %u; "
+            "re-encode with `spasm encode`)",
+            version, kSpasmFileVersion);
     }
 
+    // ---- HDR: dimensions and stream totals.
     SpasmMatrix m;
-    m.rows_ = readPod<std::int32_t>(in, name);
-    m.cols_ = readPod<std::int32_t>(in, name);
-    m.tileSize_ = readPod<std::int32_t>(in, name);
-    m.nnz_ = readPod<std::int64_t>(in, name);
-    m.numWords_ = readPod<std::int64_t>(in, name);
-    m.paddings_ = readPod<std::int64_t>(in, name);
-    if (m.rows_ < 0 || m.cols_ < 0 || m.tileSize_ < 0 ||
-        m.tileSize_ > kMaxTileSize || m.nnz_ < 0 ||
-        m.numWords_ < 0 || m.paddings_ < 0) {
-        spasm_fatal("%s: corrupt header", name.c_str());
-    }
-
-    const auto portfolio_id = readPod<std::int32_t>(in, name);
-    const auto name_len = readPod<std::uint32_t>(in, name);
-    if (name_len > 4096)
-        spasm_fatal("%s: corrupt portfolio name", name.c_str());
-    std::string portfolio_name(name_len, '\0');
-    in.read(portfolio_name.data(), name_len);
-    const auto grid_size = readPod<std::int32_t>(in, name);
-    if (grid_size < 2 || grid_size > 4)
-        spasm_fatal("%s: corrupt grid size", name.c_str());
-    const auto num_templates = readPod<std::uint32_t>(in, name);
-    if (num_templates == 0 || num_templates > 16)
-        spasm_fatal("%s: corrupt template count", name.c_str());
-    std::vector<PatternMask> masks;
-    masks.reserve(num_templates);
-    for (std::uint32_t i = 0; i < num_templates; ++i)
-        masks.push_back(readPod<std::uint16_t>(in, name));
-    m.portfolio_ = TemplatePortfolio(
-        portfolio_id, std::move(portfolio_name), std::move(masks),
-        PatternGrid{grid_size});
-
-    const auto num_tiles = readPod<std::uint64_t>(in, name);
-    m.tiles_.reserve(num_tiles);
-    std::int64_t words_seen = 0;
-    for (std::uint64_t t = 0; t < num_tiles; ++t) {
-        SpasmTile tile;
-        tile.tileRowIdx = readPod<std::int32_t>(in, name);
-        tile.tileColIdx = readPod<std::int32_t>(in, name);
-        const auto num_words = readPod<std::uint64_t>(in, name);
-        tile.words.reserve(num_words);
-        for (std::uint64_t w = 0; w < num_words; ++w) {
-            EncodedWord word;
-            word.pos = PositionEncoding::fromRaw(
-                readPod<std::uint32_t>(in, name));
-            for (auto &v : word.vals)
-                v = readPod<float>(in, name);
-            tile.words.push_back(word);
+    std::uint64_t num_tiles = 0;
+    {
+        const Section s = readSection(stream, kTagHeader, limits);
+        PayloadReader hdr(s, name);
+        m.rows_ = hdr.readPod<std::int32_t>("rows");
+        m.cols_ = hdr.readPod<std::int32_t>("cols");
+        m.tileSize_ = hdr.readPod<std::int32_t>("tile size");
+        m.nnz_ = hdr.readPod<std::int64_t>("nnz");
+        m.numWords_ = hdr.readPod<std::int64_t>("word count");
+        m.paddings_ = hdr.readPod<std::int64_t>("padding count");
+        num_tiles = hdr.readPod<std::uint64_t>("tile count");
+        hdr.expectConsumed("HDR");
+        if (m.rows_ < 0 || m.cols_ < 0 || m.tileSize_ < 0 ||
+            m.tileSize_ > kMaxTileSize || m.nnz_ < 0 ||
+            m.numWords_ < 0 || m.paddings_ < 0) {
+            throw Error::atByte(
+                ErrorCode::CorruptHeader, name, s.payloadStart,
+                "corrupt header (rows %d, cols %d, tile %d, nnz %lld,"
+                " words %lld, paddings %lld)",
+                m.rows_, m.cols_, m.tileSize_,
+                static_cast<long long>(m.nnz_),
+                static_cast<long long>(m.numWords_),
+                static_cast<long long>(m.paddings_));
         }
-        words_seen += static_cast<std::int64_t>(num_words);
-        m.tiles_.push_back(std::move(tile));
+        if (num_tiles > limits.maxTiles) {
+            throw Error::atByte(
+                ErrorCode::LimitExceeded, name, s.payloadStart,
+                "tile count %llu above the %llu cap",
+                static_cast<unsigned long long>(num_tiles),
+                static_cast<unsigned long long>(limits.maxTiles));
+        }
     }
-    if (words_seen != m.numWords_) {
-        spasm_fatal("%s: word count mismatch (header %lld, body %lld)",
-                    name.c_str(),
-                    static_cast<long long>(m.numWords_),
-                    static_cast<long long>(words_seen));
+
+    // ---- PRT: the template portfolio the stream was encoded with.
+    {
+        const Section s = readSection(stream, kTagPortfolio, limits);
+        PayloadReader prt(s, name);
+        const auto portfolio_id =
+            prt.readPod<std::int32_t>("portfolio id");
+        const auto name_len =
+            prt.readPod<std::uint32_t>("portfolio name length");
+        if (name_len > limits.maxNameBytes) {
+            throw Error::atByte(
+                ErrorCode::LimitExceeded, name, prt.offset(),
+                "portfolio name length %u above the %u-byte cap",
+                name_len, limits.maxNameBytes);
+        }
+        std::string portfolio_name =
+            prt.readString(name_len, "portfolio name");
+        const auto grid_size =
+            prt.readPod<std::int32_t>("grid size");
+        if (grid_size < 2 || grid_size > 4) {
+            throw Error::atByte(ErrorCode::CorruptHeader, name,
+                                prt.offset(),
+                                "corrupt grid size %d (expected 2-4)",
+                                grid_size);
+        }
+        const auto num_templates =
+            prt.readPod<std::uint32_t>("template count");
+        if (num_templates == 0 || num_templates > 16) {
+            throw Error::atByte(
+                ErrorCode::CorruptHeader, name, prt.offset(),
+                "corrupt template count %u (expected 1-16)",
+                num_templates);
+        }
+        // Validate the masks *before* handing them to the portfolio
+        // constructor: TemplatePortfolio treats a bad mask as a
+        // library-usage bug and aborts, which is the wrong outcome for
+        // untrusted file input.
+        const PatternGrid grid{grid_size};
+        const PatternMask full = static_cast<PatternMask>(
+            (1u << grid.cells()) - 1u);
+        std::vector<PatternMask> masks;
+        masks.reserve(num_templates);
+        PatternMask coverage = 0;
+        for (std::uint32_t i = 0; i < num_templates; ++i) {
+            const std::int64_t mask_at = prt.offset();
+            const auto mask = prt.readPod<std::uint16_t>("mask");
+            if (popcount(mask) != grid.size ||
+                (mask & ~full) != 0) {
+                throw Error::atByte(
+                    ErrorCode::Invariant, name, mask_at,
+                    "template mask %u (0x%04x) is not a %d-cell "
+                    "pattern on a %dx%d grid",
+                    i, mask, grid.size, grid.size, grid.size);
+            }
+            coverage = static_cast<PatternMask>(coverage | mask);
+            masks.push_back(mask);
+        }
+        prt.expectConsumed("PRT");
+        if (coverage != full) {
+            throw Error::atByte(
+                ErrorCode::Invariant, name, s.payloadStart,
+                "portfolio '%s' does not cover the %dx%d grid",
+                portfolio_name.c_str(), grid.size, grid.size);
+        }
+        m.portfolio_ = TemplatePortfolio(
+            portfolio_id, std::move(portfolio_name),
+            std::move(masks), grid);
+    }
+
+    // ---- TIL: the tile word streams.
+    {
+        const Section s = readSection(stream, kTagTiles, limits);
+        PayloadReader til(s, name);
+        // Structural cap: every tile costs >= kTileHeaderBytes, so a
+        // corrupt count that survived the HDR checksum still cannot
+        // force a reserve beyond the verified payload size.
+        if (num_tiles > til.remaining() / kTileHeaderBytes) {
+            throw Error::atByte(
+                ErrorCode::Invariant, name, s.payloadStart,
+                "tile count %llu impossible for a %llu-byte TIL "
+                "section",
+                static_cast<unsigned long long>(num_tiles),
+                static_cast<unsigned long long>(til.remaining()));
+        }
+        m.tiles_.reserve(static_cast<std::size_t>(num_tiles));
+        const std::uint32_t num_templates = static_cast<std::uint32_t>(
+            m.portfolio_.templates().size());
+        const int sub = m.portfolio_.grid().size;
+        const std::uint32_t max_sub = static_cast<std::uint32_t>(
+            m.tileSize_ > 0 ? (m.tileSize_ + sub - 1) / sub : 0);
+        std::int64_t words_seen = 0;
+        for (std::uint64_t t = 0; t < num_tiles; ++t) {
+            SpasmTile tile;
+            tile.tileRowIdx = til.readPod<std::int32_t>("tile row");
+            tile.tileColIdx =
+                til.readPod<std::int32_t>("tile column");
+            if (tile.tileRowIdx < 0 || tile.tileColIdx < 0) {
+                throw Error::atByte(
+                    ErrorCode::Invariant, name, til.offset(),
+                    "negative tile coordinates (%d, %d)",
+                    tile.tileRowIdx, tile.tileColIdx);
+            }
+            const auto num_words =
+                til.readPod<std::uint64_t>("tile word count");
+            if (num_words > til.remaining() / kWordBytes) {
+                throw Error::atByte(
+                    ErrorCode::Invariant, name, til.offset(),
+                    "tile %llu declares %llu words but only %llu "
+                    "payload bytes remain",
+                    static_cast<unsigned long long>(t),
+                    static_cast<unsigned long long>(num_words),
+                    static_cast<unsigned long long>(til.remaining()));
+            }
+            tile.words.reserve(static_cast<std::size_t>(num_words));
+            for (std::uint64_t w = 0; w < num_words; ++w) {
+                EncodedWord word;
+                const std::int64_t word_at = til.offset();
+                word.pos = PositionEncoding::fromRaw(
+                    til.readPod<std::uint32_t>("position word"));
+                for (auto &v : word.vals)
+                    v = til.readPod<float>("value");
+                // Format invariants the simulator relies on: indices
+                // inside the tile, template inside the portfolio.  A
+                // valid checksum does not make a hand-written file
+                // safe to execute.
+                if (word.pos.rIdx() >= max_sub ||
+                    word.pos.cIdx() >= max_sub ||
+                    word.pos.tIdx() >= num_templates) {
+                    throw Error::atByte(
+                        ErrorCode::Invariant, name, word_at,
+                        "word %llu of tile %llu out of range "
+                        "(r_idx %u, c_idx %u of %u submatrices; "
+                        "t_idx %u of %u templates)",
+                        static_cast<unsigned long long>(w),
+                        static_cast<unsigned long long>(t),
+                        word.pos.rIdx(), word.pos.cIdx(), max_sub,
+                        word.pos.tIdx(), num_templates);
+                }
+                tile.words.push_back(word);
+            }
+            words_seen += static_cast<std::int64_t>(num_words);
+            m.tiles_.push_back(std::move(tile));
+        }
+        til.expectConsumed("TIL");
+        if (words_seen != m.numWords_) {
+            throw Error::atByte(
+                ErrorCode::Invariant, name, s.payloadStart,
+                "word count mismatch (header %lld, body %lld)",
+                static_cast<long long>(m.numWords_),
+                static_cast<long long>(words_seen));
+        }
+    }
+
+    if (!stream.atEof()) {
+        throw Error::atByte(ErrorCode::Invariant, name,
+                            stream.offset(),
+                            "trailing bytes after the TIL section");
     }
     return m;
 }

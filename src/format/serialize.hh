@@ -7,18 +7,34 @@
  * once per matrix and reload in milliseconds — the amortization model
  * the paper's section V-E4 argues for.
  *
- * Layout (little-endian):
+ * Container layout v2 (little-endian).  Every section is length-
+ * prefixed and CRC32-protected so a flipped bit or a truncated
+ * transfer is *detected* at load time with a byte-offset diagnostic
+ * instead of propagating into the simulator:
+ *
  *   magic "SPSM" | u32 version
- *   i32 rows, cols, tileSize | i64 nnz, numWords, paddings
- *   portfolio: i32 id | u32 name length + bytes | i32 grid size |
- *              u32 template count | u16 masks[]
- *   u64 tile count | per tile: i32 tileRowIdx, tileColIdx |
- *              u64 word count | words (u32 pos + 4 x f32 values)
+ *   3 sections, in order:
+ *     u32 tag ("HDR ", "PRT ", "TIL ") | u64 payload length |
+ *     payload bytes | u32 crc32(payload)
+ *
+ *   HDR payload: i32 rows, cols, tileSize | i64 nnz, numWords,
+ *                paddings | u64 tile count
+ *   PRT payload: i32 id | u32 name length + bytes | i32 grid size |
+ *                u32 template count | u16 masks[]
+ *   TIL payload: per tile: i32 tileRowIdx, tileColIdx |
+ *                u64 word count | words (u32 pos + 4 x f32 values)
+ *
+ * All read errors throw a recoverable typed `spasm::Error`
+ * (support/error.hh) — never abort — and declared sizes are validated
+ * against both the section length and explicit allocation caps
+ * (`SerializeLimits`) before any buffer is sized, so a corrupt header
+ * cannot trigger a multi-GB allocation or a size*sizeof overflow.
  */
 
 #ifndef SPASM_FORMAT_SERIALIZE_HH
 #define SPASM_FORMAT_SERIALIZE_HH
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -26,20 +42,48 @@
 
 namespace spasm {
 
-/** Current .spasm file format version. */
-constexpr std::uint32_t kSpasmFileVersion = 1;
+/** Current .spasm file format version.  v2 added length-prefixed,
+ *  CRC32-checksummed sections; v1 files are rejected with a typed
+ *  error asking for a re-encode. */
+constexpr std::uint32_t kSpasmFileVersion = 2;
 
-/** Write @p m to @p path; fatal() on I/O failure. */
+/**
+ * Allocation caps applied while reading untrusted .spasm input.  A
+ * declared size beyond a cap throws ErrorCode::LimitExceeded before
+ * any memory is reserved.  Structural caps (a tile needs >= 16
+ * payload bytes, a word exactly 20) are always enforced in addition.
+ */
+struct SerializeLimits
+{
+    /** Max bytes in one section payload (default 256 MiB). */
+    std::uint64_t maxSectionBytes = 1ull << 28;
+
+    /** Max tile count (default 2^24). */
+    std::uint64_t maxTiles = 1ull << 24;
+
+    /** Max portfolio-name length in bytes. */
+    std::uint32_t maxNameBytes = 4096;
+
+    static const SerializeLimits &defaults();
+};
+
+/** Write @p m to @p path; throws spasm::Error on I/O failure. */
 void writeSpasmFile(const SpasmMatrix &m, const std::string &path);
 
-/** Write to a stream. */
+/** Write to a stream; throws spasm::Error on I/O failure. */
 void writeSpasmFile(const SpasmMatrix &m, std::ostream &out);
 
-/** Read a .spasm file; fatal() on malformed input. */
-SpasmMatrix readSpasmFile(const std::string &path);
+/** Read a .spasm file; throws spasm::Error on malformed input. */
+SpasmMatrix readSpasmFile(const std::string &path,
+                          const SerializeLimits &limits =
+                              SerializeLimits::defaults());
 
 /** Read from a stream (name used in diagnostics). */
 SpasmMatrix readSpasmFile(std::istream &in, const std::string &name);
+
+/** Read from a stream with explicit allocation caps. */
+SpasmMatrix readSpasmFile(std::istream &in, const std::string &name,
+                          const SerializeLimits &limits);
 
 } // namespace spasm
 

@@ -21,9 +21,11 @@
 namespace spasm {
 
 class SpasmMatrix;
+struct SerializeLimits;
 
 /** Defined in serialize.hh; declared here for the friend grant. */
-SpasmMatrix readSpasmFile(std::istream &in, const std::string &name);
+SpasmMatrix readSpasmFile(std::istream &in, const std::string &name,
+                          const SerializeLimits &limits);
 
 /** One position-encoding word plus its four shared values. */
 struct EncodedWord
@@ -96,7 +98,9 @@ class SpasmMatrix
   private:
     friend class SpasmEncoder;
     friend SpasmMatrix readSpasmFile(std::istream &in,
-                                     const std::string &name);
+                                     const std::string &name,
+                                     const SerializeLimits &limits);
+    friend struct SpasmMatrixMutator;
 
     Index rows_ = 0;
     Index cols_ = 0;
@@ -106,6 +110,22 @@ class SpasmMatrix
     Count paddings_ = 0;
     TemplatePortfolio portfolio_;
     std::vector<SpasmTile> tiles_;
+};
+
+/**
+ * Raw mutable access to an encoded matrix for fault-injection tests
+ * and the `spasm chaos` driver, which need to corrupt an in-memory
+ * stream on purpose.  Bypasses every encoder invariant — never use it
+ * on a matrix that will be trusted afterwards.
+ */
+struct SpasmMatrixMutator
+{
+    static std::vector<SpasmTile> &tiles(SpasmMatrix &m)
+    {
+        return m.tiles_;
+    }
+    static Count &numWords(SpasmMatrix &m) { return m.numWords_; }
+    static Count &nnz(SpasmMatrix &m) { return m.nnz_; }
 };
 
 /**

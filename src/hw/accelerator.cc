@@ -1,6 +1,7 @@
 #include "hw/accelerator.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <numeric>
 #include <cstdio>
@@ -64,6 +65,19 @@ struct PeState
 
     /** Partial-sum buffer (tileSize entries). */
     std::vector<Value> psum;
+
+    // ---- Fault-injection state (used only with a FaultPlan).
+    /** Latched fetch register: the word as it arrived from HBM,
+     *  possibly with an injected bit flip. */
+    EncodedWord latched;
+    /** Detected-uncorrectable word: occupies its issue slots but
+     *  contributes nothing (policy None). */
+    bool dropWord = false;
+    /** A detected corruption is being refetched (policy Retry). */
+    bool retryPending = false;
+    std::uint64_t retryUntil = 0;
+    /** Transient lane stall: no issue while cycle < this. */
+    std::uint64_t faultStallUntil = 0;
 };
 
 /** A pending bulk transfer (x prefetch or psum/y drain). */
@@ -382,6 +396,12 @@ Accelerator::runImpl(const SpasmMatrix &m,
             auto &pe = pes[p];
             if (pe.done)
                 continue;
+            if (faultPlan_ && pe.faultStallUntil > cycle) {
+                ++stats.stallFault;
+                if (obs_detail)
+                    ++pe_stats[p].stallFault;
+                continue;
+            }
 
             const WorkRange &range = pe.work[pe.cur];
             const SpasmTile &tile = tiles[range.tile];
@@ -437,6 +457,20 @@ Accelerator::runImpl(const SpasmMatrix &m,
             // The word's stream bytes are fetched once; later batch
             // slices reuse the latched word without channel traffic.
             if (pe.slice == 0) {
+                if (faultPlan_ && pe.retryPending &&
+                    cycle < pe.retryUntil) {
+                    ++stats.stallFault;
+                    if (obs_detail)
+                        ++pe_stats[p].stallFault;
+                    continue;
+                }
+                if (faultPlan_ &&
+                    faultPlan_->channelStuck(val_ch_of(p), cycle)) {
+                    ++stats.stallFault;
+                    if (obs_detail)
+                        ++pe_stats[p].stallFault;
+                    continue;
+                }
                 if (!pos_ch[g].available(4.0)) {
                     ++stats.stallPos;
                     if (obs_detail)
@@ -451,31 +485,145 @@ Accelerator::runImpl(const SpasmMatrix &m,
                 }
                 const bool pos_ok = pos_ch[g].tryConsume(4.0);
                 spasm_assert(pos_ok);
+                if (faultPlan_) {
+                    // Stream-word identity that does not depend on
+                    // the PE schedule, so a seed injects the same
+                    // fault set under any policy.
+                    const std::uint64_t site =
+                        (static_cast<std::uint64_t>(range.tile)
+                         << 32) |
+                        static_cast<std::uint64_t>(range.begin +
+                                                   pe.word);
+                    pe.dropWord = false;
+                    pe.latched = word;
+                    if (pe.retryPending) {
+                        // Clean refetch of a detected corruption:
+                        // the word register now holds good data.
+                        pe.retryPending = false;
+                        faultPlan_->noteRecovered();
+                    } else if (faultPlan_->corruptWord(site,
+                                                       pe.latched)) {
+                        const bool arch_same =
+                            pe.latched.pos.rIdx() ==
+                                word.pos.rIdx() &&
+                            pe.latched.pos.cIdx() ==
+                                word.pos.cIdx() &&
+                            pe.latched.pos.tIdx() ==
+                                word.pos.tIdx() &&
+                            pe.latched.vals == word.vals;
+                        if (arch_same) {
+                            // Flip landed in the CE/RE flags, which
+                            // the range-driven scheduler never reads.
+                            faultPlan_->noteMasked();
+                            pe.latched = word;
+                        } else {
+                            // Runtime format invariants: template id
+                            // inside the LUT, submatrix indices
+                            // inside the tile.  These always run on
+                            // an injected word — an out-of-range
+                            // r_idx must never reach the psum write.
+                            const bool invariant_trip =
+                                pe.latched.pos.tIdx() >=
+                                    opcodeLut_.size() ||
+                                static_cast<Index>(
+                                    (pe.latched.pos.rIdx() + 1) *
+                                    kValuLanes) > T ||
+                                static_cast<Index>(
+                                    (pe.latched.pos.cIdx() + 1) *
+                                    kValuLanes) > T;
+                            if (invariant_trip ||
+                                faultPlan_->config().eccOnStream) {
+                                faultPlan_->noteDetected();
+                                if (faultPlan_->config().policy ==
+                                    RecoveryPolicy::Retry) {
+                                    pe.retryPending = true;
+                                    pe.retryUntil = cycle +
+                                        kHbmReadLatency;
+                                    faultPlan_->noteRetryCycles(
+                                        kHbmReadLatency);
+                                    ++stats.stallFault;
+                                    if (obs_detail)
+                                        ++pe_stats[p].stallFault;
+                                    continue;
+                                }
+                                // Policy None: drop the word's
+                                // contribution; the golden-model
+                                // check reports the wrong output.
+                                faultPlan_->noteDropped();
+                                pe.dropWord = true;
+                            }
+                            // Undetected in-range corruption
+                            // executes; the psum-range invariant
+                            // below and the end-to-end golden check
+                            // are the remaining nets.
+                        }
+                    }
+                    const int sc = faultPlan_->stallCycles(site);
+                    if (sc > 0) {
+                        pe.faultStallUntil = cycle + 1 +
+                            static_cast<std::uint64_t>(sc);
+                    }
+                }
             }
 
             if (traceSink_ && pe.word == 0 && pe.slice == 0)
                 pe.rangeStart = cycle;
 
             // ---- Execute one batch slice on the VALU datapath.
-            const Index col_base = tile.tileColIdx * T +
-                static_cast<Index>(word.pos.cIdx()) * kValuLanes;
-            const std::vector<Value> &xv = *xs[pe.slice];
-            std::array<Value, 4> xlanes;
-            for (int l = 0; l < kValuLanes; ++l) {
-                const Index c = col_base + l;
-                xlanes[l] = c < m.cols() ? xv[c] : 0.0f;
+            // With a fault plan attached the datapath reads the
+            // latched fetch register (possibly corrupted); without
+            // one, eword aliases the pristine stream word.
+            const EncodedWord &eword =
+                faultPlan_ ? pe.latched : word;
+            if (faultPlan_ && pe.dropWord) {
+                // Detected-uncorrectable word: burns its issue slot
+                // without touching architectural state.
+            } else {
+                const Index col_base = tile.tileColIdx * T +
+                    static_cast<Index>(eword.pos.cIdx()) *
+                        kValuLanes;
+                const std::vector<Value> &xv = *xs[pe.slice];
+                std::array<Value, 4> xlanes;
+                for (int l = 0; l < kValuLanes; ++l) {
+                    const Index c = col_base + l;
+                    xlanes[l] = c < m.cols() ? xv[c] : 0.0f;
+                }
+                const auto out =
+                    valuEvaluate(opcodeLut_[eword.pos.tIdx()],
+                                 eword.vals, xlanes);
+                // Psum-range invariant: a corrupted value exponent
+                // shows up as a non-finite or absurdly large
+                // contribution; catch it before it is accumulated.
+                bool poisoned = false;
+                if (faultPlan_) {
+                    const double bound =
+                        faultPlan_->config().psumBound;
+                    for (int r = 0; r < kValuLanes; ++r) {
+                        if (!std::isfinite(out[r]) ||
+                            std::abs(static_cast<double>(out[r])) >
+                                bound) {
+                            poisoned = true;
+                            break;
+                        }
+                    }
+                    if (poisoned) {
+                        faultPlan_->noteDetected();
+                        faultPlan_->noteDropped();
+                    }
+                }
+                if (!poisoned) {
+                    const Index psum_base =
+                        static_cast<Index>(eword.pos.rIdx()) *
+                        kValuLanes;
+                    Value *psum = pe.psum.data() +
+                        static_cast<std::size_t>(pe.slice) * T;
+                    for (int r = 0; r < kValuLanes; ++r)
+                        psum[psum_base + r] += out[r];
+                }
             }
-            const auto out = valuEvaluate(opcodeLut_[word.pos.tIdx()],
-                                          word.vals, xlanes);
-            const Index psum_base =
-                static_cast<Index>(word.pos.rIdx()) * kValuLanes;
-            Value *psum = pe.psum.data() +
-                static_cast<std::size_t>(pe.slice) * T;
-            for (int r = 0; r < kValuLanes; ++r)
-                psum[psum_base + r] += out[r];
 
             if (psumHazardLatency_ > 0) {
-                pe.hazRIdx[pe.hazHead] = word.pos.rIdx();
+                pe.hazRIdx[pe.hazHead] = eword.pos.rIdx();
                 pe.hazCycle[pe.hazHead] = cycle;
                 pe.hazSlice[pe.hazHead] = pe.slice;
                 pe.hazHead = (pe.hazHead + 1) % PeState::kHazardRing;
@@ -592,6 +740,9 @@ Accelerator::runImpl(const SpasmMatrix &m,
             (static_cast<double>(occ_fill) * num_pes));
     }
 
+    if (faultPlan_)
+        stats.faults = faultPlan_->stats();
+
     stats.cycles = cycle + kPipelineOverhead;
     stats.seconds = static_cast<double>(stats.cycles) /
         (config_.freqMhz * 1e6);
@@ -662,6 +813,12 @@ Accelerator::runImpl(const SpasmMatrix &m,
         reg.add("sim.stall.xvec", stats.stallX);
         reg.add("sim.stall.flush", stats.stallY);
         reg.add("sim.stall.hazard", stats.stallHazard);
+        reg.add("sim.stall.fault", stats.stallFault);
+        reg.add("faults.injected", stats.faults.injected());
+        reg.add("faults.detected", stats.faults.detected);
+        reg.add("faults.masked", stats.faults.masked);
+        reg.add("faults.recovered", stats.faults.recovered);
+        reg.add("faults.dropped", stats.faults.dropped);
         for (const auto &cs : stats.channels)
             reg.set(cs.name + ".occupancy", cs.utilization);
         const double cyc = static_cast<double>(stats.cycles);
@@ -671,7 +828,8 @@ Accelerator::runImpl(const SpasmMatrix &m,
             reg.observe("sim.pe.stall_fraction",
                         static_cast<double>(
                             pe.stallValue + pe.stallPos + pe.stallX +
-                            pe.stallY + pe.stallHazard) /
+                            pe.stallY + pe.stallHazard +
+                            pe.stallFault) /
                             cyc);
         }
         for (double o : stats.occupancyTimeline)
@@ -721,6 +879,18 @@ printStats(std::ostream &os, const RunStats &stats)
           "PE-cycles stalled on partial-sum drain");
     iline("sim.stall.hazard", stats.stallHazard,
           "PE-cycles stalled on psum accumulation hazards");
+    iline("sim.stall.fault", stats.stallFault,
+          "PE-cycles stalled on injected faults and recovery");
+    iline("faults.injected", stats.faults.injected(),
+          "injected faults (word corruption, PE stall, stuck ch)");
+    iline("faults.detected", stats.faults.detected,
+          "faults flagged by a runtime check");
+    iline("faults.masked", stats.faults.masked,
+          "faults with no architectural effect");
+    iline("faults.recovered", stats.faults.recovered,
+          "faults repaired (refetch, spare-PE remap)");
+    iline("faults.dropped", stats.faults.dropped,
+          "detected words dropped without recovery");
     line("hbm.bytes.values", stats.bytesValues,
          "sparse-value stream bytes");
     line("hbm.bytes.position", stats.bytesPos,

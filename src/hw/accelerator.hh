@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "faults/fault_plan.hh"
 #include "format/spasm_matrix.hh"
 #include "hw/config.hh"
 #include "hw/opcode.hh"
@@ -65,6 +66,7 @@ struct PeStats
     std::uint64_t stallX = 0;
     std::uint64_t stallY = 0;
     std::uint64_t stallHazard = 0;
+    std::uint64_t stallFault = 0;
 };
 
 /** End-of-run summary of one HBM pseudo-channel. */
@@ -105,6 +107,11 @@ struct RunStats
     std::uint64_t stallX = 0;
     std::uint64_t stallY = 0;
     std::uint64_t stallHazard = 0;
+
+    /** PE-cycles stalled on injected faults (transient lane stalls,
+     *  stuck channels, recovery refetches).  Zero unless a FaultPlan
+     *  is attached. */
+    std::uint64_t stallFault = 0;
     std::uint64_t busyPeCycles = 0;
 
     /** Moved bytes / (cycles * aggregate bytes-per-cycle). */
@@ -133,6 +140,9 @@ struct RunStats
 
     /** Per-channel end-of-run summaries (always populated). */
     std::vector<ChannelStats> channels;
+
+    /** Fault-injection outcomes; all zero without a FaultPlan. */
+    FaultStats faults;
 
     /**
      * Per-PE stall/busy attribution.  Populated only when the
@@ -202,6 +212,18 @@ class Accelerator
     }
 
     /**
+     * Attach a fault-injection plan (faults/fault_plan.hh): later
+     * runs consult it at the word-fetch, PE-issue and value-channel
+     * grant points and record outcomes into RunStats::faults.  Pass
+     * nullptr (the default) to detach; with no plan attached every
+     * fault check is a single pointer test and the cycle-level
+     * behavior is bit-identical to a build without fault injection.
+     * The plan's stats accumulate across runs until
+     * FaultPlan::resetStats().
+     */
+    void setFaultPlan(FaultPlan *plan) { faultPlan_ = plan; }
+
+    /**
      * Multi-vector extension (SpMM-style): Y[b] = A * X[b] + Y[b]
      * for every vector of the batch, streaming the encoded matrix
      * through the PEs ONCE.  A word occupies its PE for `batch`
@@ -227,6 +249,7 @@ class Accelerator
     TemplatePortfolio portfolio_;
     std::vector<ValuOpcode> opcodeLut_;
     std::vector<TraceEvent> *traceSink_ = nullptr;
+    FaultPlan *faultPlan_ = nullptr;
     int psumHazardLatency_ = 0;
 };
 

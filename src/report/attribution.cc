@@ -12,16 +12,16 @@ namespace report {
 
 namespace {
 
-/** The five stall causes as serialized under sim.stalls. */
+/** The six stall causes as serialized under sim.stalls. */
 constexpr const char *kStallKeys[] = {"value", "position", "xvec",
-                                      "flush", "hazard"};
+                                      "flush", "hazard", "fault"};
 
-/** Stall causes that wait on an HBM resource (vs. hazard, which is
- *  a datapath dependency). */
+/** Stall causes that wait on an HBM resource (vs. hazard, a datapath
+ *  dependency, and fault, injected-fault recovery overhead). */
 bool
 isMemoryStall(const std::string &cause)
 {
-    return cause != "hazard";
+    return cause != "hazard" && cause != "fault";
 }
 
 std::vector<StallSlice>

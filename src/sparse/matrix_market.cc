@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "support/error.hh"
 #include "support/logging.hh"
 
 namespace spasm {
@@ -37,8 +38,10 @@ CooMatrix
 readMatrixMarket(const std::string &path)
 {
     std::ifstream in(path);
-    if (!in)
-        spasm_fatal("cannot open MatrixMarket file '%s'", path.c_str());
+    if (!in) {
+        throw Error::atInput(ErrorCode::Io, path,
+                             "cannot open MatrixMarket file");
+    }
     return readMatrixMarket(in, path);
 }
 
@@ -46,30 +49,39 @@ CooMatrix
 readMatrixMarket(std::istream &in, const std::string &name)
 {
     std::string line;
-    if (!std::getline(in, line))
-        spasm_fatal("%s: empty MatrixMarket file", name.c_str());
+    if (!std::getline(in, line)) {
+        throw Error::atInput(ErrorCode::Parse, name,
+                             "empty MatrixMarket file");
+    }
 
     std::istringstream banner(line);
     std::string tag, object, fmt, field, symmetry;
     banner >> tag >> object >> fmt >> field >> symmetry;
-    if (tag != "%%MatrixMarket")
-        spasm_fatal("%s: missing MatrixMarket banner", name.c_str());
+    if (tag != "%%MatrixMarket") {
+        throw Error::atLine(ErrorCode::Parse, name, 1,
+                            "missing MatrixMarket banner");
+    }
     object = toLower(object);
     fmt = toLower(fmt);
     field = toLower(field);
     symmetry = toLower(symmetry);
-    if (object != "matrix" || fmt != "coordinate")
-        spasm_fatal("%s: only coordinate matrices are supported",
-                    name.c_str());
+    if (object != "matrix" || fmt != "coordinate") {
+        throw Error::atLine(ErrorCode::Parse, name, 1,
+                            "only coordinate matrices are supported");
+    }
     const bool pattern = field == "pattern";
-    if (!pattern && field != "real" && field != "integer")
-        spasm_fatal("%s: unsupported field type '%s'", name.c_str(),
-                    field.c_str());
+    if (!pattern && field != "real" && field != "integer") {
+        throw Error::atLine(ErrorCode::Parse, name, 1,
+                            "unsupported field type '%s'",
+                            field.c_str());
+    }
     const bool symmetric = symmetry == "symmetric";
     const bool skew = symmetry == "skew-symmetric";
-    if (!symmetric && !skew && symmetry != "general")
-        spasm_fatal("%s: unsupported symmetry '%s'", name.c_str(),
-                    symmetry.c_str());
+    if (!symmetric && !skew && symmetry != "general") {
+        throw Error::atLine(ErrorCode::Parse, name, 1,
+                            "unsupported symmetry '%s'",
+                            symmetry.c_str());
+    }
 
     // Skip comments, then read the size line.  Line numbers are
     // tracked for diagnostics (the banner was line 1).
@@ -83,13 +95,17 @@ readMatrixMarket(std::istream &in, const std::string &name)
     long rows = 0, cols = 0, declared_nnz = 0;
     if (!(size_line >> rows >> cols >> declared_nnz) || rows <= 0 ||
         cols <= 0 || declared_nnz < 0) {
-        spasm_fatal("%s:%ld: malformed size line '%s'", name.c_str(),
-                    line_no, line.c_str());
+        throw Error::atLine(ErrorCode::Parse, name, line_no,
+                            "malformed size line '%s'", line.c_str());
     }
 
     std::vector<Triplet> triplets;
-    triplets.reserve(static_cast<std::size_t>(declared_nnz) *
-                     (symmetric || skew ? 2 : 1));
+    // The reserve is an optimization only: cap it so a lying size
+    // line cannot force a multi-GB allocation before the entry loop
+    // discovers the file is short.
+    const std::size_t expect = static_cast<std::size_t>(declared_nnz) *
+        (symmetric || skew ? 2 : 1);
+    triplets.reserve(std::min<std::size_t>(expect, 1u << 22));
     long seen = 0;
     while (seen < declared_nnz && std::getline(in, line)) {
         ++line_no;
@@ -101,27 +117,32 @@ readMatrixMarket(std::istream &in, const std::string &name)
         // Validate every extraction: junk tokens or a missing value
         // column must fail loudly instead of parsing as 0 / 1.0.
         if (!(entry >> r >> c)) {
-            spasm_fatal("%s:%ld: malformed entry line '%s' (expected "
-                        "row and column indices)",
-                        name.c_str(), line_no, line.c_str());
+            throw Error::atLine(
+                ErrorCode::Parse, name, line_no,
+                "malformed entry line '%s' (expected row and column "
+                "indices)",
+                line.c_str());
         }
         if (!pattern && !(entry >> v)) {
-            spasm_fatal("%s:%ld: entry line '%s' is missing a valid "
-                        "%s value",
-                        name.c_str(), line_no, line.c_str(),
-                        field.c_str());
+            throw Error::atLine(
+                ErrorCode::Parse, name, line_no,
+                "entry line '%s' is missing a valid %s value",
+                line.c_str(), field.c_str());
         }
         if (r < 1 || r > rows || c < 1 || c > cols) {
-            spasm_fatal("%s:%ld: entry (%ld, %ld) out of range",
-                        name.c_str(), line_no, r, c);
+            throw Error::atLine(ErrorCode::Parse, name, line_no,
+                                "entry (%ld, %ld) out of range", r,
+                                c);
         }
         if (skew && r == c) {
             // The MatrixMarket spec forbids explicit diagonal entries
             // in skew-symmetric files (the diagonal is implicitly
             // zero); accepting them would skew the expanded nnz.
-            spasm_fatal("%s:%ld: explicit diagonal entry (%ld, %ld) "
-                        "in a skew-symmetric matrix",
-                        name.c_str(), line_no, r, c);
+            throw Error::atLine(
+                ErrorCode::Parse, name, line_no,
+                "explicit diagonal entry (%ld, %ld) in a "
+                "skew-symmetric matrix",
+                r, c);
         }
         ++seen;
         const Index ri = static_cast<Index>(r - 1);
@@ -133,18 +154,19 @@ readMatrixMarket(std::istream &in, const std::string &name)
         }
     }
     if (seen != declared_nnz) {
-        spasm_fatal("%s: expected %ld entries, found %ld", name.c_str(),
-                    declared_nnz, seen);
+        throw Error::atInput(ErrorCode::Truncated, name,
+                             "expected %ld entries, found %ld",
+                             declared_nnz, seen);
     }
     // Anything but blanks/comments after the declared entry count is
     // a corrupt file, not something to silently drop.
     while (std::getline(in, line)) {
         ++line_no;
         if (!isBlankOrComment(line)) {
-            spasm_fatal("%s:%ld: trailing data '%s' after the %ld "
-                        "declared entries",
-                        name.c_str(), line_no, line.c_str(),
-                        declared_nnz);
+            throw Error::atLine(
+                ErrorCode::Parse, name, line_no,
+                "trailing data '%s' after the %ld declared entries",
+                line.c_str(), declared_nnz);
         }
     }
     auto m = CooMatrix::fromTriplets(static_cast<Index>(rows),
@@ -158,8 +180,10 @@ void
 writeMatrixMarket(const CooMatrix &m, const std::string &path)
 {
     std::ofstream out(path);
-    if (!out)
-        spasm_fatal("cannot open '%s' for writing", path.c_str());
+    if (!out) {
+        throw Error::atInput(ErrorCode::Io, path,
+                             "cannot open for writing");
+    }
     writeMatrixMarket(m, out);
 }
 

@@ -1,0 +1,35 @@
+#include "support/crc32.hh"
+
+#include <array>
+
+namespace spasm {
+
+namespace {
+
+std::array<std::uint32_t, 256>
+makeTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t size, std::uint32_t crc)
+{
+    static const std::array<std::uint32_t, 256> table = makeTable();
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint32_t c = crc ^ 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < size; ++i)
+        c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+} // namespace spasm

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, polynomial 0xEDB88320) used to integrity-check
+ * the sections of a `.spasm` container (format/serialize.hh).  The
+ * algorithm matches zlib's crc32() so stored checksums can be verified
+ * with standard tools.
+ */
+
+#ifndef SPASM_SUPPORT_CRC32_HH
+#define SPASM_SUPPORT_CRC32_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spasm {
+
+/** CRC-32 of @p size bytes at @p data, seeded with @p crc (pass 0 for
+ *  a fresh checksum; pass a previous result to continue a stream). */
+std::uint32_t crc32(const void *data, std::size_t size,
+                    std::uint32_t crc = 0);
+
+} // namespace spasm
+
+#endif // SPASM_SUPPORT_CRC32_HH

@@ -1,0 +1,101 @@
+#include "support/error.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace spasm {
+
+namespace {
+
+std::string
+vformat(const char *fmt, va_list args)
+{
+    char buf[512];
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    return buf;
+}
+
+std::string
+render(ErrorCode code, const std::string &name,
+       std::int64_t byte_offset, std::int64_t line,
+       const std::string &body)
+{
+    std::string out = name;
+    if (line >= 0)
+        out += ":" + std::to_string(line);
+    else if (byte_offset >= 0)
+        out += ": byte " + std::to_string(byte_offset);
+    out += ": " + body + " [" + errorCodeName(code) + "]";
+    return out;
+}
+
+} // namespace
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Io:
+        return "io";
+      case ErrorCode::Truncated:
+        return "truncated";
+      case ErrorCode::BadMagic:
+        return "bad-magic";
+      case ErrorCode::BadVersion:
+        return "bad-version";
+      case ErrorCode::ChecksumMismatch:
+        return "checksum-mismatch";
+      case ErrorCode::CorruptHeader:
+        return "corrupt-header";
+      case ErrorCode::LimitExceeded:
+        return "limit-exceeded";
+      case ErrorCode::Parse:
+        return "parse";
+      case ErrorCode::Invariant:
+        return "invariant";
+    }
+    return "?";
+}
+
+Error::Error(ErrorCode code, std::string formatted_message,
+             std::int64_t byte_offset, std::int64_t line)
+    : std::runtime_error(std::move(formatted_message)), code_(code),
+      byteOffset_(byte_offset), line_(line)
+{
+}
+
+Error
+Error::atInput(ErrorCode code, const std::string &name,
+               const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    const std::string body = vformat(fmt, args);
+    va_end(args);
+    return Error(code, render(code, name, -1, -1, body));
+}
+
+Error
+Error::atByte(ErrorCode code, const std::string &name,
+              std::int64_t byte_offset, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    const std::string body = vformat(fmt, args);
+    va_end(args);
+    return Error(code, render(code, name, byte_offset, -1, body),
+                 byte_offset);
+}
+
+Error
+Error::atLine(ErrorCode code, const std::string &name,
+              std::int64_t line, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    const std::string body = vformat(fmt, args);
+    va_end(args);
+    return Error(code, render(code, name, -1, line, body), -1, line);
+}
+
+} // namespace spasm

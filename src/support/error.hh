@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Recoverable typed errors for malformed user input.
+ *
+ * `spasm_fatal` (support/logging.hh) terminates the process, which is
+ * the right behavior for a CLI hitting an unusable configuration but
+ * the wrong one for a library: a server embedding the reader must be
+ * able to reject one corrupt `.spasm` upload and keep serving.  The
+ * input-parsing layers (format/serialize, sparse/matrix_market) throw
+ * `spasm::Error` instead — a typed exception carrying a machine-
+ * checkable code plus the byte or line offset where the input went
+ * wrong — and callers decide whether to recover, degrade, or exit.
+ *
+ * `spasm_cli` catches Error at top level and exits 1 with the one-line
+ * diagnostic; `spasm chaos` counts every Error as a *detected* fault.
+ */
+
+#ifndef SPASM_SUPPORT_ERROR_HH
+#define SPASM_SUPPORT_ERROR_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace spasm {
+
+/** Machine-checkable classification of a recoverable input error. */
+enum class ErrorCode
+{
+    Io,               ///< cannot open / read / write the file
+    Truncated,        ///< input ended before the declared content
+    BadMagic,         ///< not a .spasm file at all
+    BadVersion,       ///< container version this build cannot read
+    ChecksumMismatch, ///< section CRC32 does not match the payload
+    CorruptHeader,    ///< structurally impossible header field
+    LimitExceeded,    ///< declared size beyond the allocation caps
+    Parse,            ///< malformed text input (MatrixMarket)
+    Invariant,        ///< decoded data violates a format invariant
+};
+
+/** Stable lower-kebab name for an ErrorCode (JSON reports, tests). */
+const char *errorCodeName(ErrorCode code);
+
+/**
+ * A recoverable input error: code + human-readable one-line message +
+ * the position in the input that triggered it.  `what()` returns the
+ * fully formatted diagnostic, e.g.
+ *   "m.spasm: byte 132: section 'TIL' checksum mismatch
+ *    (stored 0x1234abcd, computed 0x9e00ff11) [checksum-mismatch]"
+ *   "m.mtx:17: malformed entry line 'x y 1.0' [parse]"
+ */
+class Error : public std::runtime_error
+{
+  public:
+    Error(ErrorCode code, std::string formatted_message,
+          std::int64_t byte_offset = -1, std::int64_t line = -1);
+
+    ErrorCode code() const { return code_; }
+
+    /** Byte offset into the input, or -1 when not applicable. */
+    std::int64_t byteOffset() const { return byteOffset_; }
+
+    /** 1-based line number, or -1 when not applicable. */
+    std::int64_t line() const { return line_; }
+
+    /** Build an error with printf-style formatting.  The rendered
+     *  message is prefixed with "<name>: " ("<name>:<line>: " for
+     *  line errors, "<name>: byte <off>: " for byte errors) and
+     *  suffixed with " [<code-name>]". */
+    [[gnu::format(printf, 3, 4)]] static Error
+    atInput(ErrorCode code, const std::string &name, const char *fmt,
+            ...);
+    [[gnu::format(printf, 4, 5)]] static Error
+    atByte(ErrorCode code, const std::string &name,
+           std::int64_t byte_offset, const char *fmt, ...);
+    [[gnu::format(printf, 4, 5)]] static Error
+    atLine(ErrorCode code, const std::string &name, std::int64_t line,
+           const char *fmt, ...);
+
+  private:
+    ErrorCode code_;
+    std::int64_t byteOffset_;
+    std::int64_t line_;
+};
+
+} // namespace spasm
+
+#endif // SPASM_SUPPORT_ERROR_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Chaos-campaign tests: the default campaign on a Tiny workload must
+ * account for every injected fault (no silent corruption, no crash),
+ * the record must be the documented `spasm-chaos-v1` shape, and the
+ * campaign must be deterministic in its seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/chaos.hh"
+#include "support/error.hh"
+
+namespace spasm {
+namespace {
+
+ChaosOptions
+tinyOptions()
+{
+    ChaosOptions opt;
+    opt.seed = 1;
+    opt.scale = Scale::Tiny;
+    // Trimmed trial counts: unit-test budget, same code paths.
+    opt.storageFlips = 48;
+    opt.storageTruncations = 16;
+    opt.simTrials = 2;
+    return opt;
+}
+
+TEST(Chaos, DefaultCampaignOnTinyIsClean)
+{
+    const ChaosReport report = runChaosCampaign(tinyOptions());
+    EXPECT_TRUE(report.clean());
+    EXPECT_EQ(report.totals.silent, 0u);
+    EXPECT_EQ(report.totals.crashed, 0u);
+    EXPECT_GT(report.totals.trials, 0u);
+    // The storage cases alone guarantee detections.
+    EXPECT_GT(report.totals.detected, 0u);
+    // default = storage (2 cases) + sim (4) + degrade (3).
+    EXPECT_EQ(report.cases.size(), 9u);
+    for (const ChaosCase &c : report.cases) {
+        EXPECT_GT(c.outcomes.trials, 0u) << c.name;
+        EXPECT_TRUE(c.firstFailure.empty())
+            << c.name << ": " << c.firstFailure;
+    }
+}
+
+TEST(Chaos, SingleCampaignSelection)
+{
+    ChaosOptions opt = tinyOptions();
+    opt.campaign = "storage";
+    const ChaosReport report = runChaosCampaign(opt);
+    EXPECT_EQ(report.cases.size(), 2u);
+    EXPECT_TRUE(report.clean());
+}
+
+TEST(Chaos, UnknownCampaignThrowsTypedError)
+{
+    ChaosOptions opt = tinyOptions();
+    opt.campaign = "frobnicate";
+    try {
+        runChaosCampaign(opt);
+        FAIL() << "expected spasm::Error";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Parse);
+        EXPECT_NE(std::string(e.what()).find("frobnicate"),
+                  std::string::npos);
+    }
+}
+
+TEST(Chaos, JsonRecordHasSchemaAndVerdict)
+{
+    ChaosOptions opt = tinyOptions();
+    opt.campaign = "degrade";
+    const ChaosReport report = runChaosCampaign(opt);
+    std::ostringstream out;
+    writeChaosJson(out, report);
+    const std::string json = out.str();
+    EXPECT_NE(json.find("\"schema\": \"spasm-chaos-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"campaign\": \"degrade\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"totals\""), std::string::npos);
+    EXPECT_NE(json.find("\"clean\": true"), std::string::npos);
+}
+
+TEST(Chaos, DeterministicInSeed)
+{
+    ChaosOptions opt = tinyOptions();
+    opt.campaign = "storage";
+    const ChaosReport a = runChaosCampaign(opt);
+    const ChaosReport b = runChaosCampaign(opt);
+    std::ostringstream ja, jb;
+    writeChaosJson(ja, a);
+    writeChaosJson(jb, b);
+    EXPECT_EQ(ja.str(), jb.str());
+}
+
+} // namespace
+} // namespace spasm

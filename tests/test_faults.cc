@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Fault-injection tests: determinism of the seeded FaultPlan, the
+ * zero-cost guarantee when injection is off, outcome accounting for
+ * each fault kind, and the framework's graceful degradation of tiles
+ * that fail encoded-stream validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/framework.hh"
+#include "faults/fault_plan.hh"
+#include "workloads/generators.hh"
+
+namespace spasm {
+namespace {
+
+FrameworkOptions
+fixedOptions()
+{
+    // Skip the schedule exploration: these tests exercise the fault
+    // machinery, not the search.
+    FrameworkOptions o;
+    o.scheduleExploration = false;
+    return o;
+}
+
+/** One preprocessed matrix shared by the execution tests. */
+struct FaultFixture
+{
+    FaultFixture()
+        : m(genBandedBlocks(256, 4, 1, 1.0, 7)),
+          framework(fixedOptions()), pre(framework.preprocess(m)),
+          x(SpasmFramework::defaultX(m.cols()))
+    {
+    }
+
+    std::vector<Value>
+    execute(FaultPlan *plan, ExecutionResult *out = nullptr) const
+    {
+        FrameworkOptions o = fixedOptions();
+        o.faultPlan = plan;
+        const SpasmFramework fw(o);
+        std::vector<Value> y(static_cast<std::size_t>(m.rows()),
+                             0.0f);
+        const ExecutionResult res = fw.execute(pre, m, x, y);
+        if (out != nullptr)
+            *out = res;
+        return y;
+    }
+
+    CooMatrix m;
+    SpasmFramework framework;
+    PreprocessResult pre;
+    std::vector<Value> x;
+};
+
+TEST(FaultPlan, SameSeedSameDecisions)
+{
+    FaultConfig cfg;
+    cfg.seed = 42;
+    cfg.wordCorruptRate = 0.05;
+    FaultPlan a(cfg), b(cfg);
+    int corrupted = 0;
+    for (std::uint64_t site = 0; site < 2000; ++site) {
+        EncodedWord wa, wb;
+        wa.vals = wb.vals = {1.0f, 2.0f, 3.0f, 4.0f};
+        const bool ca = a.corruptWord(site, wa);
+        const bool cb = b.corruptWord(site, wb);
+        EXPECT_EQ(ca, cb) << "site " << site;
+        EXPECT_EQ(wa.pos.raw(), wb.pos.raw()) << "site " << site;
+        EXPECT_EQ(wa.vals, wb.vals) << "site " << site;
+        corrupted += ca ? 1 : 0;
+    }
+    // ~5% of 2000; generous determinism-independent sanity band.
+    EXPECT_GT(corrupted, 20);
+    EXPECT_LT(corrupted, 500);
+}
+
+TEST(FaultPlan, DifferentSeedsDiffer)
+{
+    FaultConfig cfg;
+    cfg.wordCorruptRate = 0.05;
+    cfg.seed = 1;
+    FaultPlan a(cfg);
+    cfg.seed = 2;
+    FaultPlan b(cfg);
+    int differing = 0;
+    for (std::uint64_t site = 0; site < 2000; ++site) {
+        EncodedWord wa, wb;
+        if (a.corruptWord(site, wa) != b.corruptWord(site, wb))
+            ++differing;
+    }
+    EXPECT_GT(differing, 0);
+}
+
+TEST(FaultPlan, ExtremeStuckRateIsClampedAgainstDeadlock)
+{
+    FaultConfig cfg;
+    cfg.channelStuckRate = 1.0;
+    const FaultPlan plan(cfg);
+    EXPECT_LE(plan.config().channelStuckRate, 0.9);
+}
+
+TEST(FaultInjection, ZeroRatePlanMatchesNoPlanExactly)
+{
+    const FaultFixture fx;
+    ExecutionResult clean, zeroed;
+    const std::vector<Value> y0 = fx.execute(nullptr, &clean);
+    FaultPlan plan{FaultConfig{}}; // all rates zero
+    const std::vector<Value> y1 = fx.execute(&plan, &zeroed);
+    EXPECT_EQ(clean.stats.cycles, zeroed.stats.cycles);
+    EXPECT_EQ(zeroed.stats.stallFault, 0u);
+    EXPECT_EQ(zeroed.stats.faults.injected(), 0u);
+    ASSERT_EQ(y0.size(), y1.size());
+    for (std::size_t i = 0; i < y0.size(); ++i)
+        EXPECT_EQ(y0[i], y1[i]) << "row " << i;
+}
+
+TEST(FaultInjection, EccRetryRecoversEveryCorruption)
+{
+    const FaultFixture fx;
+    FaultConfig cfg;
+    cfg.wordCorruptRate = 0.05;
+    cfg.eccOnStream = true;
+    cfg.policy = RecoveryPolicy::Retry;
+    FaultPlan plan(cfg);
+    ExecutionResult res;
+    fx.execute(&plan, &res);
+    const FaultStats &fs = res.stats.faults;
+    ASSERT_GT(fs.injectedWordCorrupt, 0u);
+    // Every corrupted fetch is either architecturally inert (masked)
+    // or ECC-detected; every detected one is refetched clean.
+    EXPECT_EQ(fs.masked + fs.detected, fs.injectedWordCorrupt);
+    EXPECT_EQ(fs.recovered, fs.detected);
+    EXPECT_EQ(fs.dropped, 0u);
+    EXPECT_GT(fs.retryCycles, 0u);
+    EXPECT_GT(res.stats.stallFault, 0u);
+    // The refetches restore the architectural stream: exact result.
+    EXPECT_LT(res.maxAbsError, 1e-3);
+}
+
+TEST(FaultInjection, DropPolicyFlagsEveryDetectedWord)
+{
+    const FaultFixture fx;
+    FaultConfig cfg;
+    cfg.wordCorruptRate = 0.05;
+    cfg.eccOnStream = true;
+    cfg.policy = RecoveryPolicy::None;
+    FaultPlan plan(cfg);
+    ExecutionResult res;
+    fx.execute(&plan, &res);
+    const FaultStats &fs = res.stats.faults;
+    ASSERT_GT(fs.detected, 0u);
+    EXPECT_EQ(fs.dropped, fs.detected);
+    EXPECT_EQ(fs.recovered, 0u);
+    // Dropping words loses contributions — the loss is *accounted*:
+    // a wrong result with dropped > 0 is a detected failure, never a
+    // silent one.
+    EXPECT_EQ(fs.masked + fs.detected, fs.injectedWordCorrupt);
+}
+
+TEST(FaultInjection, TransientStallsAreTimingOnly)
+{
+    const FaultFixture fx;
+    ExecutionResult clean;
+    const std::vector<Value> y0 = fx.execute(nullptr, &clean);
+    FaultConfig cfg;
+    cfg.peStallRate = 0.05;
+    FaultPlan plan(cfg);
+    ExecutionResult res;
+    const std::vector<Value> y1 = fx.execute(&plan, &res);
+    const FaultStats &fs = res.stats.faults;
+    ASSERT_GT(fs.injectedPeStall, 0u);
+    EXPECT_EQ(fs.masked, fs.injectedPeStall);
+    EXPECT_GT(res.stats.stallFault, 0u);
+    EXPECT_GE(res.stats.cycles, clean.stats.cycles);
+    // A pure timing fault can never change the result.
+    for (std::size_t i = 0; i < y0.size(); ++i)
+        EXPECT_EQ(y0[i], y1[i]) << "row " << i;
+}
+
+TEST(FaultInjection, StuckChannelsAreDetectedAndRemapped)
+{
+    const FaultFixture fx;
+    ExecutionResult clean;
+    const std::vector<Value> y0 = fx.execute(nullptr, &clean);
+    FaultConfig cfg;
+    cfg.channelStuckRate = 0.5;
+    cfg.channelStuckCycles = 32;
+    FaultPlan plan(cfg);
+    ExecutionResult res;
+    const std::vector<Value> y1 = fx.execute(&plan, &res);
+    const FaultStats &fs = res.stats.faults;
+    ASSERT_GT(fs.injectedChannelStuck, 0u);
+    EXPECT_EQ(fs.detected, fs.injectedChannelStuck);
+    EXPECT_EQ(fs.recovered, fs.injectedChannelStuck);
+    EXPECT_GT(res.stats.stallFault, 0u);
+    EXPECT_GE(res.stats.cycles, clean.stats.cycles);
+    for (std::size_t i = 0; i < y0.size(); ++i)
+        EXPECT_EQ(y0[i], y1[i]) << "row " << i;
+}
+
+TEST(FaultInjection, StatsAccumulateAcrossRunsUntilReset)
+{
+    const FaultFixture fx;
+    FaultConfig cfg;
+    cfg.wordCorruptRate = 0.05;
+    cfg.eccOnStream = true;
+    cfg.policy = RecoveryPolicy::Retry;
+    FaultPlan plan(cfg);
+    ExecutionResult first;
+    fx.execute(&plan, &first);
+    const std::uint64_t one_run = plan.stats().injected();
+    ASSERT_GT(one_run, 0u);
+    fx.execute(&plan, nullptr);
+    EXPECT_EQ(plan.stats().injected(), 2 * one_run);
+    plan.resetStats();
+    EXPECT_EQ(plan.stats().injected(), 0u);
+}
+
+TEST(FrameworkDegradation, OutOfRangeIndexFallsBackToScalarTile)
+{
+    const FaultFixture fx;
+    PreprocessResult pre = fx.pre;
+    auto &tiles = SpasmMatrixMutator::tiles(pre.encoded);
+    ASSERT_FALSE(tiles.empty());
+    ASSERT_FALSE(tiles[0].words.empty());
+    // Row index 0x1fff addresses far outside any tile <= 32 KiB.
+    EncodedWord &word = tiles[0].words[0];
+    word.pos =
+        PositionEncoding::fromRaw(word.pos.raw() | (0x1fffu << 13));
+
+    const SpasmFramework fw(fixedOptions()); // validateEncoded on
+    std::vector<Value> y(static_cast<std::size_t>(fx.m.rows()),
+                         0.0f);
+    const ExecutionResult res = fw.execute(pre, fx.m, fx.x, y);
+    ASSERT_EQ(res.degraded.size(), 1u);
+    EXPECT_EQ(res.degraded[0].tileRowIdx, tiles[0].tileRowIdx);
+    EXPECT_NE(res.degraded[0].reason.find("submatrix"),
+              std::string::npos);
+    // The excluded tile was recomputed on the scalar path: correct.
+    EXPECT_LT(res.maxAbsError, 1e-3);
+}
+
+TEST(FrameworkDegradation, NonFiniteValueFallsBackToScalarTile)
+{
+    const FaultFixture fx;
+    PreprocessResult pre = fx.pre;
+    auto &tiles = SpasmMatrixMutator::tiles(pre.encoded);
+    ASSERT_FALSE(tiles.empty());
+    ASSERT_FALSE(tiles.back().words.empty());
+    tiles.back().words.back().vals[2] =
+        std::numeric_limits<Value>::quiet_NaN();
+
+    const SpasmFramework fw(fixedOptions());
+    std::vector<Value> y(static_cast<std::size_t>(fx.m.rows()),
+                         0.0f);
+    const ExecutionResult res = fw.execute(pre, fx.m, fx.x, y);
+    ASSERT_EQ(res.degraded.size(), 1u);
+    EXPECT_NE(res.degraded[0].reason.find("non-finite"),
+              std::string::npos);
+    EXPECT_LT(res.maxAbsError, 1e-3);
+    for (Value v : y)
+        EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(FrameworkDegradation, ValidationOffRunsUnfiltered)
+{
+    const FaultFixture fx;
+    FrameworkOptions o = fixedOptions();
+    o.validateEncoded = false;
+    const SpasmFramework fw(o);
+    std::vector<Value> y(static_cast<std::size_t>(fx.m.rows()),
+                         0.0f);
+    const ExecutionResult res = fw.execute(fx.pre, fx.m, fx.x, y);
+    EXPECT_TRUE(res.degraded.empty());
+    EXPECT_LT(res.maxAbsError, 1e-3);
+}
+
+} // namespace
+} // namespace spasm

@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "core/chaos.hh"
 #include "core/framework.hh"
 #include "core/stats_json.hh"
 #include "format/serialize.hh"
@@ -53,6 +54,7 @@
 #include "sparse/matrix_stats.hh"
 #include "sparse/spy.hh"
 #include "support/atomic_file.hh"
+#include "support/error.hh"
 #include "support/logging.hh"
 #include "support/obs.hh"
 #include "support/stats.hh"
@@ -97,6 +99,11 @@ usage()
         "                 bottleneck attribution for one run\n"
         "  spasm bless    [--dir DIR]  regenerate golden baselines\n"
         "                 (default DIR: bench/baselines)\n"
+        "  spasm chaos    [--seed N] [--campaign default|storage|\n"
+        "                 sim|degrade] [--workload NAME]\n"
+        "                 [--json out.json]  seeded fault-injection\n"
+        "                 campaign (docs/robustness.md); exit 1 on\n"
+        "                 any silent corruption or crash\n"
         "  spasm --version\n"
         "global options:\n"
         "  --threads N    worker threads for pattern analysis and\n"
@@ -637,10 +644,36 @@ cmdBless(const std::vector<std::string> &args)
     return 0;
 }
 
-} // namespace
+int
+cmdChaos(const std::vector<std::string> &args)
+{
+    ChaosOptions opt;
+    opt.scale = scaleFromEnv();
+    const std::string seed = optValue(args, "--seed");
+    if (!seed.empty())
+        opt.seed = std::stoull(seed);
+    const std::string campaign = optValue(args, "--campaign");
+    if (!campaign.empty())
+        opt.campaign = campaign;
+    const std::string workload = optValue(args, "--workload");
+    if (!workload.empty())
+        opt.workload = workload;
+
+    const ChaosReport report = runChaosCampaign(opt);
+    printChaosReport(report);
+
+    const std::string json = optValue(args, "--json");
+    if (!json.empty()) {
+        writeFileAtomic(json, [&](std::ostream &out) {
+            writeChaosJson(out, report);
+        });
+        std::printf("chaos record written to %s\n", json.c_str());
+    }
+    return report.clean() ? 0 : 1;
+}
 
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     if (argc < 2)
         return usage();
@@ -669,6 +702,8 @@ main(int argc, char **argv)
         return cmdSuite();
     if (cmd == "bless")
         return cmdBless(args);
+    if (cmd == "chaos")
+        return cmdChaos(args);
     if (cmd == "compare")
         return cmdCompare(args);
     if (args.empty())
@@ -686,4 +721,21 @@ main(int argc, char **argv)
     if (cmd == "spy")
         return cmdSpy(args[0], args);
     return usage();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Typed input errors (corrupt .spasm containers, malformed
+    // MatrixMarket files, bad campaign names) are recoverable: report
+    // the diagnostic — which carries the byte/line position — and
+    // exit 1 instead of aborting.
+    try {
+        return run(argc, argv);
+    } catch (const Error &e) {
+        std::fprintf(stderr, "spasm: error: %s\n", e.what());
+        return 1;
+    }
 }
