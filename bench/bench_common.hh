@@ -25,6 +25,8 @@
 #include <vector>
 
 #include "sparse/coo.hh"
+#include "support/cancellation.hh"
+#include "support/logging.hh"
 #include "support/table.hh"
 #include "support/thread_pool.hh"
 #include "workloads/suite.hh"
@@ -98,6 +100,31 @@ workload(const std::string &name)
 }
 
 /**
+ * Optional suite-wide deadline: SPASM_DEADLINE_MS=X arms one token
+ * over the whole `runSuite` sweep, so a wedged experiment on a CI
+ * runner dies with a clear diagnostic instead of hitting the outer
+ * job timeout.  Unset (the default) leaves every run token-free and
+ * bit-identical to a build without the feature.
+ */
+inline const CancellationToken *
+suiteDeadline()
+{
+    static const CancellationToken *token = []()
+        -> const CancellationToken * {
+        const char *env = std::getenv("SPASM_DEADLINE_MS");
+        if (env == nullptr)
+            return nullptr;
+        const double ms = std::strtod(env, nullptr);
+        if (ms <= 0.0)
+            return nullptr;
+        static CancellationToken t;
+        t.setDeadline(ms);
+        return &t;
+    }();
+    return token;
+}
+
+/**
  * Run @p fn once per workload name, concurrently on the shared pool,
  * and return the per-workload results *in suite order*.  The fold
  * over the results (table rows, geomeans) stays on the caller, runs
@@ -111,9 +138,15 @@ runSuite(const std::vector<std::string> &names, Fn &&fn)
 {
     using Result = std::invoke_result_t<Fn &, const std::string &>;
     std::vector<Result> results(names.size());
-    pool().parallelFor(names.size(), [&](std::size_t i) {
-        results[i] = fn(names[i]);
-    });
+    const CancellationToken *deadline = suiteDeadline();
+    pool().parallelFor(
+        names.size(),
+        [&](std::size_t i) { results[i] = fn(names[i]); }, deadline);
+    if (deadline != nullptr && deadline->cancelled()) {
+        spasm_fatal("SPASM_DEADLINE_MS=%g expired before the suite "
+                    "finished",
+                    deadline->deadlineMs());
+    }
     return results;
 }
 

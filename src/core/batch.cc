@@ -1,0 +1,601 @@
+#include "core/batch.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "core/framework.hh"
+#include "core/stats_json.hh"
+#include "support/atomic_file.hh"
+#include "support/cancellation.hh"
+#include "support/error.hh"
+#include "support/json.hh"
+#include "support/json_value.hh"
+#include "support/logging.hh"
+#include "support/memory_budget.hh"
+#include "support/thread_pool.hh"
+#include "support/timer.hh"
+#include "support/version.hh"
+
+namespace spasm {
+
+namespace {
+
+const char *
+scaleName(Scale scale)
+{
+    switch (scale) {
+      case Scale::Tiny:
+        return "tiny";
+      case Scale::Small:
+        return "small";
+      case Scale::Full:
+        return "full";
+    }
+    return "?";
+}
+
+Scale
+scaleFromName(const std::string &manifest, const std::string &name)
+{
+    if (name == "tiny")
+        return Scale::Tiny;
+    if (name == "small")
+        return Scale::Small;
+    if (name == "full")
+        return Scale::Full;
+    throw Error::atInput(ErrorCode::Parse, manifest,
+                         "unknown scale '%s' (tiny|small|full)",
+                         name.c_str());
+}
+
+/** What one successful job attempt produced, for the journal. */
+struct SimSummary
+{
+    std::string config;
+    Index tileSize = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t totalWords = 0;
+    double gflops = 0.0;
+    double maxAbsError = 0.0;
+    std::uint64_t degradedTiles = 0;
+    std::uint64_t faultsInjected = 0;
+    std::uint64_t faultsDetected = 0;
+    std::uint64_t faultsRecovered = 0;
+};
+
+/** Reads the budget's high-water mark on every exit path of an
+ *  attempt, including throws. */
+struct PeakGuard
+{
+    const MemoryBudget &budget;
+    std::int64_t &peak;
+
+    ~PeakGuard() { peak = std::max(peak, budget.peak()); }
+};
+
+std::string
+outcomeForError(const Error &e)
+{
+    switch (e.code()) {
+      case ErrorCode::Timeout:
+        return "timed-out";
+      case ErrorCode::Cancelled:
+        return "cancelled";
+      case ErrorCode::BudgetExceeded:
+        return "budget-exceeded";
+      default:
+        return "failed";
+    }
+}
+
+/**
+ * Run one job: generate the workload, execute the pipeline under the
+ * job token / budget / retry policy, and serialize the outcome as one
+ * compact journal line.  Never throws — every ending becomes a
+ * recorded outcome, isolating per-job failure from the campaign.
+ */
+std::string
+runOneJob(const BatchJobSpec &spec, std::size_t job_index,
+          const CancellationToken &campaign,
+          const RetryPolicy &retry_base, bool deterministic)
+{
+    CancellationToken job_token(&campaign);
+    if (spec.deadlineMs > 0.0)
+        job_token.setDeadline(spec.deadlineMs);
+    RetryPolicy policy = retry_base;
+    policy.maxAttempts = spec.maxAttempts;
+
+    Timer timer;
+    int attempts = 0;
+    std::int64_t peak_bytes = 0;
+    std::string outcome = "ok";
+    std::string error_text;
+    SimSummary sim;
+    bool have_sim = false;
+
+    try {
+        const CooMatrix m =
+            generateWorkload(spec.workload, spec.scale);
+        const std::vector<Value> x =
+            SpasmFramework::defaultX(m.cols());
+        std::vector<Value> y_ref(
+            static_cast<std::size_t>(m.rows()), 0.0f);
+        m.spmv(x, y_ref);
+        double max_abs = 0.0;
+        for (Value v : y_ref)
+            max_abs = std::max(max_abs,
+                               std::abs(static_cast<double>(v)));
+        const double tol = 1e-3 * (max_abs + 1.0);
+
+        sim = runWithRetry(
+            policy, job_index, &job_token,
+            [&](int attempt) -> SimSummary {
+                MemoryBudget budget(spec.memoryBudgetBytes);
+                PeakGuard guard{budget, peak_bytes};
+                // A fresh seed per attempt keeps injected faults
+                // genuinely transient: a retry re-rolls the fault
+                // set instead of replaying the failure.
+                FaultConfig cfg = spec.fault;
+                cfg.seed = spec.fault.seed +
+                    static_cast<std::uint64_t>(attempt);
+                FaultPlan plan(cfg);
+                FrameworkOptions fo;
+                fo.cancel = &job_token;
+                fo.memoryBudget = &budget;
+                if (spec.hasFault)
+                    fo.faultPlan = &plan;
+                const SpasmFramework framework(fo);
+                const PreprocessResult pre = framework.preprocess(m);
+                std::vector<Value> y(
+                    static_cast<std::size_t>(m.rows()), 0.0f);
+                const ExecutionResult res =
+                    framework.execute(pre, m, x, y);
+                if (res.maxAbsError > tol) {
+                    throw Error::atInput(
+                        ErrorCode::Invariant, spec.id,
+                        "result error %.3g exceeds tolerance %.3g",
+                        res.maxAbsError, tol);
+                }
+                SimSummary s;
+                s.config = pre.schedule.config.name();
+                s.tileSize = pre.encoded.tileSize();
+                s.cycles = res.stats.cycles;
+                s.totalWords = res.stats.totalWords;
+                s.gflops = res.stats.gflops;
+                s.maxAbsError = res.maxAbsError;
+                s.degradedTiles = res.degraded.size();
+                s.faultsInjected = res.stats.faults.injected();
+                s.faultsDetected = res.stats.faults.detected;
+                s.faultsRecovered = res.stats.faults.recovered;
+                return s;
+            },
+            &attempts);
+        have_sim = true;
+    } catch (const Error &e) {
+        outcome = outcomeForError(e);
+        error_text = e.what();
+    } catch (const std::exception &e) {
+        outcome = "failed";
+        error_text = e.what();
+    }
+
+    std::ostringstream line;
+    JsonWriter json(line, -1); // compact: one JSONL record
+    json.beginObject();
+    json.field("id", spec.id);
+    json.field("workload", spec.workload);
+    json.field("scale", scaleName(spec.scale));
+    json.field("outcome", outcome);
+    json.field("attempts", attempts);
+    json.field("deadline_ms", spec.deadlineMs);
+    json.field("peak_budget_bytes", peak_bytes);
+    json.field("wall_ms", deterministic ? 0.0 : timer.elapsedMs());
+    if (!error_text.empty())
+        json.field("error", error_text);
+    if (have_sim) {
+        json.key("sim");
+        json.beginObject();
+        json.field("config", sim.config);
+        json.field("tile_size",
+                   static_cast<std::int64_t>(sim.tileSize));
+        json.field("cycles", sim.cycles);
+        json.field("total_words", sim.totalWords);
+        json.field("gflops", sim.gflops);
+        json.field("max_abs_error", sim.maxAbsError);
+        json.field("degraded_tiles", sim.degradedTiles);
+        json.field("faults_injected", sim.faultsInjected);
+        json.field("faults_detected", sim.faultsDetected);
+        json.field("faults_recovered", sim.faultsRecovered);
+        json.endObject();
+    }
+    json.endObject();
+    return line.str();
+}
+
+/** Parse one journal line into its JsonValue; Error{Parse} on junk
+ *  (a torn journal cannot happen — writes are atomic — so junk means
+ *  the file is not a journal at all). */
+JsonValue
+parseJournalLine(const std::string &path, std::size_t line_no,
+                 const std::string &line)
+{
+    std::string err;
+    JsonValue v = parseJson(line, &err);
+    if (!err.empty() || !v.isObject()) {
+        throw Error::atLine(ErrorCode::Parse, path,
+                            static_cast<std::int64_t>(line_no),
+                            "malformed journal record: %s",
+                            err.empty() ? "not an object"
+                                        : err.c_str());
+    }
+    return v;
+}
+
+void
+tallyOutcome(BatchTotals &totals, const JsonValue &job)
+{
+    ++totals.jobs;
+    totals.attempts += static_cast<std::uint64_t>(
+        job.numberOr("attempts", 0.0));
+    const std::string outcome = job.stringOr("outcome", "failed");
+    if (outcome == "ok")
+        ++totals.ok;
+    else if (outcome == "timed-out")
+        ++totals.timedOut;
+    else if (outcome == "cancelled")
+        ++totals.cancelled;
+    else if (outcome == "budget-exceeded")
+        ++totals.budgetExceeded;
+    else
+        ++totals.failed;
+}
+
+} // namespace
+
+BatchManifest
+loadBatchManifest(const std::string &path)
+{
+    BatchManifest manifest;
+    manifest.name = path;
+    const JsonValue root = parseJsonFile(path);
+    if (!root.isObject()) {
+        throw Error::atInput(ErrorCode::Parse, path,
+                             "manifest is not a JSON object");
+    }
+
+    BatchJobSpec defaults;
+    if (const JsonValue *d = root.find("defaults")) {
+        defaults.scale = scaleFromName(path, d->stringOr("scale",
+                                                         "tiny"));
+        defaults.deadlineMs = d->numberOr("deadline_ms", 0.0);
+        defaults.maxAttempts = static_cast<int>(
+            d->numberOr("max_attempts", 1.0));
+        defaults.memoryBudgetBytes = static_cast<std::int64_t>(
+            d->numberOr("memory_budget_bytes", 0.0));
+    }
+    if (const JsonValue *r = root.find("retry")) {
+        manifest.retry.backoffBaseMs = r->numberOr("backoff_ms", 1.0);
+        manifest.retry.backoffFactor = r->numberOr("factor", 2.0);
+        manifest.retry.jitterFraction = r->numberOr("jitter", 0.5);
+        manifest.retry.seed = static_cast<std::uint64_t>(
+            r->numberOr("seed", 1.0));
+    }
+
+    const JsonValue *jobs = root.find("jobs");
+    if (jobs == nullptr || !jobs->isArray() || jobs->array.empty()) {
+        throw Error::atInput(ErrorCode::Parse, path,
+                             "manifest has no jobs array");
+    }
+    std::unordered_set<std::string> seen_ids;
+    const auto &known = workloadNames();
+    for (const JsonValue &j : jobs->array) {
+        if (!j.isObject()) {
+            throw Error::atInput(ErrorCode::Parse, path,
+                                 "job entry is not an object");
+        }
+        BatchJobSpec spec = defaults;
+        spec.id = j.stringOr("id");
+        spec.workload = j.stringOr("workload");
+        if (spec.id.empty() || spec.workload.empty()) {
+            throw Error::atInput(ErrorCode::Parse, path,
+                                 "job needs both id and workload");
+        }
+        if (!seen_ids.insert(spec.id).second) {
+            throw Error::atInput(ErrorCode::Parse, path,
+                                 "duplicate job id '%s'",
+                                 spec.id.c_str());
+        }
+        if (std::find(known.begin(), known.end(), spec.workload) ==
+            known.end()) {
+            throw Error::atInput(ErrorCode::Parse, path,
+                                 "job '%s': unknown workload '%s'",
+                                 spec.id.c_str(),
+                                 spec.workload.c_str());
+        }
+        if (const JsonValue *s = j.find("scale"))
+            spec.scale = scaleFromName(path, s->string);
+        spec.deadlineMs = j.numberOr("deadline_ms", spec.deadlineMs);
+        spec.maxAttempts = static_cast<int>(
+            j.numberOr("max_attempts",
+                       static_cast<double>(spec.maxAttempts)));
+        if (spec.maxAttempts < 1) {
+            throw Error::atInput(ErrorCode::Parse, path,
+                                 "job '%s': max_attempts must be "
+                                 ">= 1",
+                                 spec.id.c_str());
+        }
+        spec.memoryBudgetBytes = static_cast<std::int64_t>(
+            j.numberOr("memory_budget_bytes",
+                       static_cast<double>(spec.memoryBudgetBytes)));
+        if (const JsonValue *f = j.find("fault")) {
+            spec.hasFault = true;
+            spec.fault.wordCorruptRate =
+                f->numberOr("word_corrupt_rate", 0.0);
+            spec.fault.peStallRate =
+                f->numberOr("pe_stall_rate", 0.0);
+            spec.fault.peStallCycles = static_cast<int>(
+                f->numberOr("pe_stall_cycles", 8.0));
+            spec.fault.channelStuckRate =
+                f->numberOr("channel_stuck_rate", 0.0);
+            spec.fault.channelStuckCycles = static_cast<int>(
+                f->numberOr("channel_stuck_cycles", 64.0));
+            spec.fault.eccOnStream =
+                f->find("ecc") != nullptr &&
+                f->find("ecc")->boolean;
+            spec.fault.seed = static_cast<std::uint64_t>(
+                f->numberOr("seed", 1.0));
+            const std::string policy = f->stringOr("policy", "none");
+            if (policy == "retry")
+                spec.fault.policy = RecoveryPolicy::Retry;
+            else if (policy == "none")
+                spec.fault.policy = RecoveryPolicy::None;
+            else
+                throw Error::atInput(ErrorCode::Parse, path,
+                                     "job '%s': unknown recovery "
+                                     "policy '%s' (none|retry)",
+                                     spec.id.c_str(),
+                                     policy.c_str());
+        }
+        manifest.jobs.push_back(std::move(spec));
+    }
+    return manifest;
+}
+
+BatchResult
+runBatchCampaign(const BatchOptions &options)
+{
+    BatchResult result;
+    result.manifest = loadBatchManifest(options.manifestPath);
+
+    CancellationToken campaign;
+    if (options.signalFlag != nullptr)
+        campaign.watchSignalFlag(options.signalFlag);
+
+    // Resume: replay the journal, keeping every terminal record
+    // verbatim (byte identity of the merged output depends on the
+    // kept lines being untouched).  `cancelled` entries re-run — an
+    // interrupted job never completed.
+    std::unordered_set<std::string> done;
+    if (options.resume && !options.journalPath.empty()) {
+        std::ifstream in(options.journalPath);
+        std::string line;
+        std::size_t line_no = 0;
+        while (in && std::getline(in, line)) {
+            ++line_no;
+            if (line.empty())
+                continue;
+            const JsonValue v = parseJournalLine(
+                options.journalPath, line_no, line);
+            if (line_no == 1) {
+                const std::string tag = v.stringOr("journal");
+                if (tag != kBatchJournalSchema) {
+                    throw Error::atInput(
+                        ErrorCode::Parse, options.journalPath,
+                        "not a batch journal (tag '%s')",
+                        tag.c_str());
+                }
+                continue;
+            }
+            if (v.stringOr("outcome") == "cancelled")
+                continue;
+            const std::string id = v.stringOr("id");
+            if (id.empty() || !done.insert(id).second)
+                continue;
+            result.journalLines.push_back(line);
+            ++result.resumed;
+        }
+    }
+
+    std::mutex journal_mutex;
+    const auto flushJournal = [&]() {
+        // Caller holds journal_mutex.  The whole file is rewritten
+        // through the atomic temp-and-rename path on every
+        // completion, so a kill -9 at any instant leaves either the
+        // previous or the new journal — never a torn line.
+        if (options.journalPath.empty())
+            return;
+        writeFileAtomic(options.journalPath, [&](std::ostream &os) {
+            std::ostringstream header;
+            JsonWriter json(header, -1);
+            json.beginObject();
+            json.field("journal", kBatchJournalSchema);
+            json.field("manifest", result.manifest.name);
+            json.field("jobs", static_cast<std::uint64_t>(
+                                   result.manifest.jobs.size()));
+            json.endObject();
+            os << header.str() << '\n';
+            for (const std::string &l : result.journalLines)
+                os << l << '\n';
+        });
+    };
+    {
+        std::lock_guard<std::mutex> lock(journal_mutex);
+        flushJournal();
+    }
+
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < result.manifest.jobs.size(); ++i) {
+        if (done.count(result.manifest.jobs[i].id) == 0)
+            pending.push_back(i);
+    }
+
+    // Per-job isolation: runOneJob never throws, so one job's failure
+    // (or deadline, or blown budget) is journaled and its siblings
+    // keep running.  A tripped campaign token makes parallelFor skip
+    // every not-yet-started job — they stay out of the journal and
+    // re-run on --resume.
+    ThreadPool::global().parallelFor(
+        pending.size(),
+        [&](std::size_t wi) {
+            const std::size_t job_index = pending[wi];
+            const std::string line = runOneJob(
+                result.manifest.jobs[job_index], job_index, campaign,
+                result.manifest.retry, options.deterministic);
+            std::lock_guard<std::mutex> lock(journal_mutex);
+            result.journalLines.push_back(line);
+            flushJournal();
+        },
+        &campaign);
+
+    result.interrupted = campaign.cancelled();
+    for (std::size_t i = 0; i < result.journalLines.size(); ++i) {
+        tallyOutcome(result.totals,
+                     parseJournalLine("journal", i + 1,
+                                      result.journalLines[i]));
+    }
+    return result;
+}
+
+void
+writeBatchJson(std::ostream &os, const BatchResult &result)
+{
+    // The merged record is built by replaying the journal lines —
+    // the SAME path for fresh and resumed runs, so the two are
+    // field-identical by construction (numbers keep their exact
+    // source tokens through the parse -> write round trip).
+    std::unordered_map<std::string, JsonValue> by_id;
+    for (std::size_t i = 0; i < result.journalLines.size(); ++i) {
+        JsonValue v = parseJournalLine("journal", i + 1,
+                                       result.journalLines[i]);
+        std::string id = v.stringOr("id");
+        by_id.emplace(std::move(id), std::move(v));
+    }
+
+    JsonWriter json(os);
+    json.beginObject();
+    json.field("schema", kBatchJsonSchema);
+    json.field("schema_minor", kStatsJsonSchemaMinor);
+    json.field("generator", "spasm_cli");
+
+    json.key("provenance");
+    json.beginObject();
+    json.field("git", gitDescribe());
+    json.field("build_type", buildType());
+    json.field("compiler", compilerId());
+    json.field("threads", static_cast<int>(
+                              ThreadPool::global().concurrency()));
+    json.endObject();
+
+    json.key("batch");
+    json.beginObject();
+    json.field("manifest", result.manifest.name);
+    json.field("jobs_total", static_cast<std::uint64_t>(
+                                 result.manifest.jobs.size()));
+    json.field("jobs_recorded", static_cast<std::uint64_t>(
+                                    result.journalLines.size()));
+    json.field("interrupted", result.interrupted);
+
+    // Manifest order, not completion order: job completion under the
+    // pool is nondeterministic, the manifest is not.
+    json.key("jobs");
+    json.beginArray();
+    for (const BatchJobSpec &spec : result.manifest.jobs) {
+        const auto it = by_id.find(spec.id);
+        if (it != by_id.end())
+            writeJson(json, it->second);
+    }
+    json.endArray();
+
+    json.key("totals");
+    json.beginObject();
+    json.field("jobs", result.totals.jobs);
+    json.field("ok", result.totals.ok);
+    json.field("failed", result.totals.failed);
+    json.field("timed_out", result.totals.timedOut);
+    json.field("cancelled", result.totals.cancelled);
+    json.field("budget_exceeded", result.totals.budgetExceeded);
+    json.field("attempts", result.totals.attempts);
+    json.endObject();
+    json.endObject();
+
+    json.endObject();
+    json.finish();
+}
+
+void
+printBatchReport(const BatchResult &result)
+{
+    std::printf("batch campaign '%s': %zu jobs (%zu replayed from "
+                "journal)\n",
+                result.manifest.name.c_str(),
+                result.manifest.jobs.size(), result.resumed);
+    std::printf("  %-16s %-12s %-15s %8s %9s %12s\n", "id",
+                "workload", "outcome", "attempts", "wall ms",
+                "peak bytes");
+    std::unordered_map<std::string, JsonValue> by_id;
+    for (std::size_t i = 0; i < result.journalLines.size(); ++i) {
+        JsonValue v = parseJournalLine("journal", i + 1,
+                                       result.journalLines[i]);
+        std::string id = v.stringOr("id");
+        by_id.emplace(std::move(id), std::move(v));
+    }
+    for (const BatchJobSpec &spec : result.manifest.jobs) {
+        const auto it = by_id.find(spec.id);
+        if (it == by_id.end()) {
+            std::printf("  %-16s %-12s %-15s\n", spec.id.c_str(),
+                        spec.workload.c_str(), "(pending)");
+            continue;
+        }
+        const JsonValue &j = it->second;
+        std::printf("  %-16s %-12s %-15s %8.0f %9.1f %12.0f\n",
+                    spec.id.c_str(), spec.workload.c_str(),
+                    j.stringOr("outcome", "?").c_str(),
+                    j.numberOr("attempts", 0.0),
+                    j.numberOr("wall_ms", 0.0),
+                    j.numberOr("peak_budget_bytes", 0.0));
+        const std::string err = j.stringOr("error");
+        if (!err.empty())
+            std::printf("    error: %s\n", err.c_str());
+    }
+    const BatchTotals &t = result.totals;
+    std::printf("  totals: %llu ok, %llu failed, %llu timed-out, "
+                "%llu cancelled, %llu budget-exceeded "
+                "(%llu attempts)%s\n",
+                static_cast<unsigned long long>(t.ok),
+                static_cast<unsigned long long>(t.failed),
+                static_cast<unsigned long long>(t.timedOut),
+                static_cast<unsigned long long>(t.cancelled),
+                static_cast<unsigned long long>(t.budgetExceeded),
+                static_cast<unsigned long long>(t.attempts),
+                result.interrupted ? " [interrupted]" : "");
+}
+
+int
+batchExitCode(const BatchResult &result)
+{
+    if (result.interrupted)
+        return 3;
+    if (result.totals.ok == result.manifest.jobs.size() &&
+        result.totals.jobs == result.manifest.jobs.size())
+        return 0;
+    return 1;
+}
+
+} // namespace spasm

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Crash-safe, resumable batch campaigns (ROADMAP: robustness): run N
+ * workload x config jobs from a JSON manifest on the shared thread
+ * pool, with per-job deadlines, memory budgets and retry/backoff, and
+ * journal every completed job so a killed campaign resumes where it
+ * left off.
+ *
+ * Resilience model:
+ *  - every job runs under its own CancellationToken (child of the
+ *    campaign token, plus an optional per-job deadline), so SIGINT /
+ *    SIGTERM cancels all in-flight jobs while one job's deadline only
+ *    kills that job;
+ *  - transient failures (injected faults surfacing as invariant
+ *    errors) are retried with exponential backoff and seeded jitter;
+ *    Timeout / Cancelled / BudgetExceeded never retry;
+ *  - each completed job appends one compact JSONL record to the
+ *    journal, rewritten atomically (support/atomic_file.hh) so a
+ *    kill -9 at any instant leaves either the old or the new journal,
+ *    never a torn one;
+ *  - `--resume` replays the journal and skips every job with a
+ *    recorded terminal outcome (`cancelled` entries re-run);
+ *  - the merged `spasm-batch-v1` record is ALWAYS built by replaying
+ *    the journal — fresh and resumed runs therefore produce
+ *    field-identical output (numbers round-trip token-exact through
+ *    support/json_value.hh).
+ *
+ * `spasm batch --manifest jobs.json --journal run.journal` drives
+ * this; the journal format and resume guarantees are documented in
+ * docs/robustness.md.
+ */
+
+#ifndef SPASM_CORE_BATCH_HH
+#define SPASM_CORE_BATCH_HH
+
+#include <csignal>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "faults/fault_plan.hh"
+#include "support/retry.hh"
+#include "workloads/suite.hh"
+
+namespace spasm {
+
+/** Journal header tag (first line of every journal file). */
+inline constexpr const char *kBatchJournalSchema =
+    "spasm-batch-journal-v1";
+
+/** Schema tag of the merged campaign record. */
+inline constexpr const char *kBatchJsonSchema = "spasm-batch-v1";
+
+/** One job of a campaign, as parsed from the manifest. */
+struct BatchJobSpec
+{
+    std::string id;       ///< unique within the manifest
+    std::string workload; ///< Table II workload name
+
+    Scale scale = Scale::Tiny;
+
+    /** Per-job deadline in ms; 0 (default) runs without one. */
+    double deadlineMs = 0.0;
+
+    /** Total tries including the first; 1 disables retry. */
+    int maxAttempts = 1;
+
+    /** Memory-budget limit in bytes; 0 tracks usage without a cap. */
+    std::int64_t memoryBudgetBytes = 0;
+
+    /** Fault-injection knobs; used only when hasFault. */
+    bool hasFault = false;
+    FaultConfig fault;
+};
+
+/** A parsed manifest: the job list plus the shared retry schedule. */
+struct BatchManifest
+{
+    std::string name; ///< manifest path as given (echoed in reports)
+    std::vector<BatchJobSpec> jobs;
+
+    /** Backoff/jitter shared by every job; maxAttempts is per-job. */
+    RetryPolicy retry;
+};
+
+/**
+ * Parse a batch manifest.  Shape:
+ *
+ *   {"manifest": "spasm-batch-manifest-v1",
+ *    "defaults": {"scale": "tiny", "deadline_ms": 0,
+ *                 "max_attempts": 1, "memory_budget_bytes": 0},
+ *    "retry": {"backoff_ms": 1, "factor": 2, "jitter": 0.5,
+ *              "seed": 1},
+ *    "jobs": [{"id": "a", "workload": "cfd2", ...overrides...,
+ *              "fault": {"word_corrupt_rate": 0.02, "ecc": true,
+ *                        "policy": "retry", "seed": 7, ...}}]}
+ *
+ * Unknown workloads, duplicate ids and malformed values throw
+ * `Error{Parse}` up front so a campaign never dies mid-run on a bad
+ * manifest entry.
+ */
+BatchManifest loadBatchManifest(const std::string &path);
+
+/** Knobs of one campaign run. */
+struct BatchOptions
+{
+    std::string manifestPath;
+
+    /** Journal file; empty disables journaling (and resume). */
+    std::string journalPath;
+
+    /** Replay the journal, skipping already-completed jobs. */
+    bool resume = false;
+
+    /** Zero per-job wall_ms at journal-write time so two runs of the
+     *  same manifest emit byte-identical records. */
+    bool deterministic = false;
+
+    /** SIGINT/SIGTERM flag watched by the campaign token; the CLI
+     *  points this at its `volatile sig_atomic_t` handler flag. */
+    const volatile std::sig_atomic_t *signalFlag = nullptr;
+};
+
+/** Outcome counts over the journaled jobs. */
+struct BatchTotals
+{
+    std::uint64_t jobs = 0; ///< journaled jobs (incl. replayed)
+    std::uint64_t ok = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t timedOut = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t budgetExceeded = 0;
+    std::uint64_t attempts = 0; ///< attempts summed over jobs
+};
+
+/** Everything one campaign run produced. */
+struct BatchResult
+{
+    BatchManifest manifest;
+
+    /** Compact JSONL job records in completion order (replayed
+     *  entries first); the merged record is built from these. */
+    std::vector<std::string> journalLines;
+
+    BatchTotals totals;
+
+    /** True when the campaign token tripped (SIGINT/SIGTERM):
+     *  in-flight jobs were cancelled, pending jobs never started. */
+    bool interrupted = false;
+
+    /** Jobs skipped by --resume journal replay. */
+    std::size_t resumed = 0;
+};
+
+/** Run the campaign described by @p options. */
+BatchResult runBatchCampaign(const BatchOptions &options);
+
+/** Write the merged `spasm-batch-v1` record (journal replay). */
+void writeBatchJson(std::ostream &os, const BatchResult &result);
+
+/** Print the human-readable per-job summary table. */
+void printBatchReport(const BatchResult &result);
+
+/** CLI exit code: 0 all ok, 1 any job not ok, 3 interrupted. */
+int batchExitCode(const BatchResult &result);
+
+} // namespace spasm
+
+#endif // SPASM_CORE_BATCH_HH

@@ -175,8 +175,13 @@ simCase(const char *name, const ChaosFixture &fx,
         ++c.outcomes.trials;
         try {
             FaultPlan plan(cfg);
+            CancellationToken deadline;
             FrameworkOptions fo;
             fo.faultPlan = &plan;
+            if (opt.deadlineMs > 0.0) {
+                deadline.setDeadline(opt.deadlineMs);
+                fo.cancel = &deadline;
+            }
             const SpasmFramework framework(fo);
             std::vector<Value> y(fx.yRef.size(), 0.0f);
             const ExecutionResult res =
@@ -204,6 +209,17 @@ simCase(const char *name, const ChaosFixture &fx,
             } else {
                 ++c.outcomes.silent;
                 noteFailure(c, fmtTrial("silent", t, what));
+            }
+        } catch (const Error &e) {
+            // A deadline expiring mid-campaign is a *bounded* ending,
+            // not a crash: the resilience layer killed the trial with
+            // the typed error instead of letting it wedge.
+            if (e.code() == ErrorCode::Timeout ||
+                e.code() == ErrorCode::Cancelled) {
+                ++c.outcomes.timedOut;
+            } else {
+                ++c.outcomes.crashed;
+                noteFailure(c, fmtTrial("crashed", t, e.what()));
             }
         } catch (const std::exception &e) {
             ++c.outcomes.crashed;
@@ -374,6 +390,7 @@ writeChaosJson(std::ostream &os, const ChaosReport &report)
         json.field("detected", o.detected);
         json.field("silent", o.silent);
         json.field("crashed", o.crashed);
+        json.field("timed_out", o.timedOut);
     };
 
     json.key("cases");
@@ -407,18 +424,20 @@ printChaosReport(const ChaosReport &report)
                 scaleName(report.options.scale),
                 static_cast<unsigned long long>(
                     report.options.seed));
-    std::printf("  %-28s %7s %7s %9s %9s %7s %8s\n", "case",
+    std::printf("  %-28s %7s %7s %9s %9s %7s %8s %9s\n", "case",
                 "trials", "masked", "recovered", "detected",
-                "silent", "crashed");
+                "silent", "crashed", "timed-out");
     auto row = [](const std::string &name, const ChaosOutcomes &o) {
-        std::printf("  %-28s %7llu %7llu %9llu %9llu %7llu %8llu\n",
+        std::printf("  %-28s %7llu %7llu %9llu %9llu %7llu %8llu "
+                    "%9llu\n",
                     name.c_str(),
                     static_cast<unsigned long long>(o.trials),
                     static_cast<unsigned long long>(o.masked),
                     static_cast<unsigned long long>(o.recovered),
                     static_cast<unsigned long long>(o.detected),
                     static_cast<unsigned long long>(o.silent),
-                    static_cast<unsigned long long>(o.crashed));
+                    static_cast<unsigned long long>(o.crashed),
+                    static_cast<unsigned long long>(o.timedOut));
     };
     for (const ChaosCase &c : report.cases) {
         row(c.name, c.outcomes);

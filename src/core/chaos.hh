@@ -48,6 +48,15 @@ struct ChaosOptions
 
     /** Seeds per simulator fault case. */
     int simTrials = 4;
+
+    /**
+     * Per-trial deadline (milliseconds) for the simulator campaign;
+     * 0 (default) runs without one.  A trial whose deadline expires
+     * mid-run lands in the `timedOut` bucket — a *bounded* failure,
+     * distinct from `crashed` — exercising the timeout x degradation
+     * interplay of the resilient execution layer.
+     */
+    double deadlineMs = 0.0;
 };
 
 /**
@@ -63,6 +72,7 @@ struct ChaosOutcomes
     std::uint64_t detected = 0;  ///< wrong/unusable but flagged
     std::uint64_t silent = 0;    ///< wrong result, nothing flagged
     std::uint64_t crashed = 0;   ///< unexpected exception escaped
+    std::uint64_t timedOut = 0;  ///< bounded by a per-trial deadline
 
     void
     accumulate(const ChaosOutcomes &o)
@@ -73,6 +83,7 @@ struct ChaosOutcomes
         detected += o.detected;
         silent += o.silent;
         crashed += o.crashed;
+        timedOut += o.timedOut;
     }
 };
 

@@ -36,6 +36,16 @@ strfmt(const char *format, ...)
  * the accelerator index out of bounds or poison the partial sums.
  * Returns an empty string when the tile is clean, else the reason.
  */
+/** Timeout/Cancelled/BudgetExceeded are resilience control flow, not
+ *  bad input — the stage fallbacks must rethrow instead of degrade. */
+bool
+isControlFlowError(const Error &e)
+{
+    return e.code() == ErrorCode::Timeout ||
+           e.code() == ErrorCode::Cancelled ||
+           e.code() == ErrorCode::BudgetExceeded;
+}
+
 std::string
 validateTile(const SpasmTile &tile, const SpasmMatrix &m)
 {
@@ -78,11 +88,19 @@ SpasmFramework::preprocess(const CooMatrix &m) const
     PreprocessResult pre;
     Timer timer;
 
+    // Cooperative cancellation: a stage boundary is the natural
+    // checkpoint — cheap, and no stage leaves partial state behind.
+    const auto checkpoint = [this](const char *where) {
+        if (options_.cancel != nullptr)
+            options_.cancel->throwIfCancelled(where);
+    };
+
     obs::Span preprocess_span("framework.preprocess");
     preprocess_span.tag("matrix", m.name());
     obs::Registry::global().add("framework.matrices_preprocessed");
 
     // (1) Local pattern analysis (Algorithm 2).
+    checkpoint("framework.analysis");
     timer.reset();
     {
         obs::Span span("framework.analysis");
@@ -91,6 +109,7 @@ SpasmFramework::preprocess(const CooMatrix &m) const
     pre.timings.analysisMs = timer.elapsedMs();
 
     // (2) Template pattern selection (Algorithm 3).
+    checkpoint("framework.selection");
     timer.reset();
     {
         obs::Span span("framework.selection");
@@ -102,6 +121,8 @@ SpasmFramework::preprocess(const CooMatrix &m) const
                 pre.portfolioId = sel.bestCandidate;
                 pre.portfolio = candidates[sel.bestCandidate];
             } catch (const Error &e) {
+                if (isControlFlowError(e))
+                    throw;
                 // Graceful degradation: the fixed ablation portfolio
                 // always encodes, at some padding cost.
                 pre.degradations.push_back(
@@ -123,6 +144,7 @@ SpasmFramework::preprocess(const CooMatrix &m) const
     // (3) Local pattern decomposition: decompose every occurring
     // submatrix against the chosen portfolio (also produces the
     // tile-size-independent profile the exploration needs).
+    checkpoint("framework.decomposition");
     timer.reset();
     SubmatrixProfile profile;
     {
@@ -134,6 +156,7 @@ SpasmFramework::preprocess(const CooMatrix &m) const
     // (4)+(5) Global composition analysis + workload schedule
     // exploration (Algorithm 4), then materialize the encoding at the
     // chosen tile size.
+    checkpoint("framework.schedule");
     timer.reset();
     {
         obs::Span span("framework.schedule");
@@ -143,9 +166,15 @@ SpasmFramework::preprocess(const CooMatrix &m) const
                 pre.policy = SchedulePolicy::LoadBalanced;
                 pre.schedule =
                     exploreSchedule(profile, options_.configs,
-                                    options_.tileSizes, pre.policy);
+                                    options_.tileSizes, pre.policy,
+                                    options_.cancel);
                 explored = true;
             } catch (const Error &e) {
+                // Degrade only on *input* errors: an expired deadline
+                // / cancelled campaign / blown budget must surface as
+                // the typed failure, not silently fall back.
+                if (isControlFlowError(e))
+                    throw;
                 pre.degradations.push_back(
                     std::string("schedule exploration failed (") +
                     e.what() + "); using SPASM_4_1 / tile 1024");
@@ -170,11 +199,19 @@ SpasmFramework::preprocess(const CooMatrix &m) const
         span.tag("config", pre.schedule.config.name());
         span.tag("tile", std::to_string(pre.schedule.tileSize));
     }
+    checkpoint("framework.encode");
     {
         obs::Span span("framework.encode");
         const SpasmEncoder encoder(pre.portfolio,
                                    pre.schedule.tileSize);
         pre.encoded = encoder.encode(m);
+    }
+    // The encoded stream is the pipeline's dominant allocation; it
+    // lives until the job finishes, so the charge is never released
+    // here — the per-job budget object's lifetime bounds it.
+    if (options_.memoryBudget != nullptr) {
+        options_.memoryBudget->charge(pre.encoded.encodedBytes(),
+                                      "encoded stream");
     }
     pre.timings.scheduleMs = timer.elapsedMs();
     return pre;
@@ -188,6 +225,9 @@ SpasmFramework::execute(const PreprocessResult &pre, const CooMatrix &m,
     ExecutionResult result;
     obs::Span span("framework.execute");
     span.tag("config", pre.schedule.config.name());
+
+    if (options_.cancel != nullptr)
+        options_.cancel->throwIfCancelled("framework.execute");
 
     // Step (6) guard: validate the encoded stream tile by tile and
     // exclude any tile that would violate an accelerator invariant.
@@ -234,6 +274,8 @@ SpasmFramework::execute(const PreprocessResult &pre, const CooMatrix &m,
     Accelerator accel(pre.schedule.config, pre.portfolio);
     if (options_.faultPlan != nullptr)
         accel.setFaultPlan(options_.faultPlan);
+    accel.setCancellation(options_.cancel);
+    accel.setMemoryBudget(options_.memoryBudget);
     result.stats = accel.run(*encoded, x, y, pre.policy);
 
     // Scalar fallback for the excluded tiles: add their region's

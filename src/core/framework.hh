@@ -18,6 +18,8 @@
 #include "pattern/analysis.hh"
 #include "pattern/selection.hh"
 #include "perf/schedule.hh"
+#include "support/cancellation.hh"
+#include "support/memory_budget.hh"
 
 namespace spasm {
 
@@ -56,6 +58,23 @@ struct FrameworkOptions
     /** Optional fault-injection plan attached to the accelerator in
      *  execute(); nullptr (default) runs fault-free. */
     FaultPlan *faultPlan = nullptr;
+
+    /**
+     * Optional cooperative cancellation/deadline token: polled at
+     * every pipeline stage boundary, per schedule-exploration
+     * candidate and every ~1k simulated cycles.  A tripped token
+     * throws `Error{Timeout|Cancelled}` (never degrades, never
+     * aborts).  nullptr (default) disables all checks.
+     */
+    const CancellationToken *cancel = nullptr;
+
+    /**
+     * Optional tracked memory budget (support/memory_budget.hh): the
+     * encoded word stream and the simulator's partial-sum buffers are
+     * charged against it; exceeding an armed limit throws
+     * `Error{BudgetExceeded}`.  nullptr (default) disables tracking.
+     */
+    MemoryBudget *memoryBudget = nullptr;
 };
 
 /** Wall-clock cost of each preprocessing step, in milliseconds. */

@@ -29,9 +29,12 @@ inline constexpr const char *kStatsJsonSchema = "spasm-stats-v1";
  * Backward-compatible minor revision of the v1 schema.  Minor 1 added
  * the `provenance` section; minor 2 added `sim.stalls.fault`,
  * `sim.per_pe[].stalls.fault` and the `sim.faults` block (all zero in
- * fault-free runs).  Readers must ignore unknown fields.
+ * fault-free runs); minor 3 added the `spasm-batch-v1` sibling record
+ * (core/batch.hh) with its per-job
+ * `batch.jobs[].{outcome,attempts,deadline_ms,peak_budget_bytes}`
+ * block.  Readers must ignore unknown fields.
  */
-inline constexpr int kStatsJsonSchemaMinor = 2;
+inline constexpr int kStatsJsonSchemaMinor = 3;
 
 /**
  * Build/run provenance stamped into every record so `spasm compare`

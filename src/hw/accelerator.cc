@@ -8,7 +8,9 @@
 #include <ostream>
 
 #include "hw/hbm.hh"
+#include "support/cancellation.hh"
 #include "support/logging.hh"
+#include "support/memory_budget.hh"
 #include "support/obs.hh"
 
 namespace spasm {
@@ -209,6 +211,21 @@ Accelerator::runImpl(const SpasmMatrix &m,
             }
         }
     }
+    // Reserve the partial-sum arenas against the memory budget before
+    // materializing them; RAII so the charge is returned even when
+    // the run throws (deadline, injected-fault invariant).
+    MemoryReservation psum_reservation;
+    if (budget_ != nullptr) {
+        std::int64_t psum_bytes = 0;
+        for (const auto &pe : pes) {
+            if (!pe.work.empty()) {
+                psum_bytes += static_cast<std::int64_t>(T) * batch *
+                    static_cast<std::int64_t>(sizeof(Value));
+            }
+        }
+        psum_reservation = MemoryReservation(
+            budget_, psum_bytes, "simulator psum buffers");
+    }
     for (auto &pe : pes) {
         pe.done = pe.work.empty();
         if (!pe.done) {
@@ -336,6 +353,13 @@ Accelerator::runImpl(const SpasmMatrix &m,
                         "after %llu cycles",
                         static_cast<unsigned long long>(cycle));
         }
+        // Cooperative deadline/cancel poll: cheap (pointer test when
+        // detached, one steady_clock read per 1024 cycles when
+        // armed), and it fires *before* the watchdog panic when an
+        // injected stuck channel wedges the run — the job is killed
+        // with a typed Error{Timeout}, not an abort.
+        if (cancel_ != nullptr && (cycle & 1023u) == 0)
+            cancel_->throwIfCancelled("simulator");
 
         for (auto &ch : val_ch)
             ch.beginCycle();

@@ -32,6 +32,9 @@
 
 namespace spasm {
 
+class CancellationToken;
+class MemoryBudget;
+
 /** How the word stream is distributed over the PEs. */
 enum class SchedulePolicy
 {
@@ -224,6 +227,29 @@ class Accelerator
     void setFaultPlan(FaultPlan *plan) { faultPlan_ = plan; }
 
     /**
+     * Attach a cooperative cancellation/deadline token
+     * (support/cancellation.hh): the main simulation loop polls it
+     * every 1024 cycles and throws the typed
+     * `Error{Timeout|Cancelled}` when it trips — this is what bounds
+     * a run wedged by e.g. an injected stuck channel *before* the
+     * watchdog panic.  nullptr (the default) keeps the loop
+     * branch-identical to a build without the feature.
+     */
+    void setCancellation(const CancellationToken *cancel)
+    {
+        cancel_ = cancel;
+    }
+
+    /**
+     * Track the run's large buffers (currently the per-PE partial-sum
+     * arenas) against @p budget (support/memory_budget.hh); exceeding
+     * an armed limit throws `Error{BudgetExceeded}` before the
+     * buffers are materialized.  nullptr (the default) disables
+     * tracking.
+     */
+    void setMemoryBudget(MemoryBudget *budget) { budget_ = budget; }
+
+    /**
      * Multi-vector extension (SpMM-style): Y[b] = A * X[b] + Y[b]
      * for every vector of the batch, streaming the encoded matrix
      * through the PEs ONCE.  A word occupies its PE for `batch`
@@ -250,6 +276,8 @@ class Accelerator
     std::vector<ValuOpcode> opcodeLut_;
     std::vector<TraceEvent> *traceSink_ = nullptr;
     FaultPlan *faultPlan_ = nullptr;
+    const CancellationToken *cancel_ = nullptr;
+    MemoryBudget *budget_ = nullptr;
     int psumHazardLatency_ = 0;
 };
 

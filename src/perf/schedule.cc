@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "support/cancellation.hh"
 #include "support/logging.hh"
 #include "support/obs.hh"
 #include "support/thread_pool.hh"
@@ -38,7 +39,8 @@ ScheduleChoice
 exploreSchedule(const SubmatrixProfile &profile,
                 const std::vector<HwConfig> &configs,
                 const std::vector<Index> &tile_sizes,
-                SchedulePolicy policy)
+                SchedulePolicy policy,
+                const CancellationToken *cancel)
 {
     spasm_assert(!configs.empty() && !tile_sizes.empty());
     auto &reg = obs::Registry::global();
@@ -76,7 +78,14 @@ exploreSchedule(const SubmatrixProfile &profile,
                                       : 0;
                 }
             }
-        });
+        },
+        cancel);
+
+    // A tripped token must surface as the typed error, not as the
+    // "no feasible combination" fatal the skipped candidates would
+    // otherwise produce.
+    if (cancel != nullptr)
+        cancel->throwIfCancelled("schedule exploration");
 
     // Serial reduction in grid iteration order — same winner and same
     // first-wins tie-break as the original serial sweep.

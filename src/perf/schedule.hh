@@ -14,6 +14,8 @@
 
 namespace spasm {
 
+class CancellationToken;
+
 /** Outcome of the exploration for one matrix. */
 struct ScheduleChoice
 {
@@ -32,12 +34,17 @@ const std::vector<Index> &defaultTileSizes();
  * return the one minimising estimated runtime.  Matches Algorithm 4:
  * each tile size regenerates the global composition (GC_GEN), every
  * configuration is evaluated with PERF_MODEL.
+ *
+ * @p cancel (optional) is polled per tile-size candidate: a tripped
+ * token skips the remaining candidates and throws the typed
+ * `Error{Timeout|Cancelled}` before any winner is chosen.
  */
 ScheduleChoice exploreSchedule(
     const SubmatrixProfile &profile,
     const std::vector<HwConfig> &configs,
     const std::vector<Index> &tile_sizes = defaultTileSizes(),
-    SchedulePolicy policy = SchedulePolicy::LoadBalanced);
+    SchedulePolicy policy = SchedulePolicy::LoadBalanced,
+    const CancellationToken *cancel = nullptr);
 
 } // namespace spasm
 

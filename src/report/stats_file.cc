@@ -170,11 +170,17 @@ loadStatsFile(const std::string &path)
         out.root.numberOr("schema_minor", 0.0));
     if (out.schema == "spasm-stats-v1")
         flattenStats(out);
+    else if (out.schema == "spasm-batch-v1")
+        // Batch-campaign records share the stats-v1 shape (metadata
+        // sections plus numeric leaves), so the same flatten applies:
+        // per-job outcomes land as context, counters as metrics.
+        flattenStats(out);
     else if (out.schema == "spasm-bench-v1")
         flattenBench(out);
     else
         spasm_fatal("%s: unknown schema '%s' (expected "
-                    "spasm-stats-v1 or spasm-bench-v1)",
+                    "spasm-stats-v1, spasm-batch-v1 or "
+                    "spasm-bench-v1)",
                     path.c_str(), out.schema.c_str());
     return out;
 }

@@ -1,7 +1,8 @@
 /**
  * @file
  * Loader for the machine-readable run artifacts: `spasm-stats-v1`
- * records (core/stats_json.hh) and `spasm-bench-v1` tables
+ * records (core/stats_json.hh), `spasm-batch-v1` campaign records
+ * (core/batch.hh) and `spasm-bench-v1` tables
  * (support/table.hh), flattened into an ordered list of named numeric
  * metrics that the diff (report/diff.hh) and attribution
  * (report/attribution.hh) layers consume.
@@ -43,7 +44,7 @@ struct Metric
 struct StatsFile
 {
     std::string path;
-    std::string schema;  ///< "spasm-stats-v1" or "spasm-bench-v1"
+    std::string schema;  ///< "spasm-{stats,batch,bench}-v1"
     int schemaMinor = 0;
     JsonValue root;      ///< full document (attribution reads this)
 

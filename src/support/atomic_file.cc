@@ -3,7 +3,7 @@
 #include <cstdio>
 #include <fstream>
 
-#include "support/logging.hh"
+#include "support/error.hh"
 
 #if defined(_WIN32)
 #include <process.h>
@@ -25,8 +25,14 @@ writeFileAtomic(const std::string &path,
     const std::string tmp =
         path + ".tmp." + std::to_string(spasm_getpid());
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out)
-        spasm_fatal("cannot open output file '%s'", tmp.c_str());
+    if (!out) {
+        // The open may have created an empty temp (e.g. quota hit on
+        // a later write of the stream buffer); never orphan it.
+        std::remove(tmp.c_str());
+        throw Error::atInput(ErrorCode::Io, path,
+                             "cannot open temp file '%s' for writing",
+                             tmp.c_str());
+    }
     try {
         producer(out);
     } catch (...) {
@@ -39,12 +45,15 @@ writeFileAtomic(const std::string &path,
     out.close();
     if (!ok) {
         std::remove(tmp.c_str());
-        spasm_fatal("write to '%s' failed", tmp.c_str());
+        throw Error::atInput(ErrorCode::Io, path,
+                             "write to temp file '%s' failed",
+                             tmp.c_str());
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         std::remove(tmp.c_str());
-        spasm_fatal("cannot rename '%s' to '%s'", tmp.c_str(),
-                    path.c_str());
+        throw Error::atInput(ErrorCode::Io, path,
+                             "cannot rename temp file '%s' over the "
+                             "target", tmp.c_str());
     }
 }
 

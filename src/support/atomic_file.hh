@@ -19,9 +19,13 @@ namespace spasm {
 /**
  * Write @p path atomically: @p producer streams into
  * `<path>.tmp.<pid>` which is renamed over @p path only after the
- * stream flushed cleanly.  On any failure (open error, stream error,
- * producer exception) the temp file is removed, the previous contents
- * of @p path are left untouched, and fatal()/the exception propagates.
+ * stream flushed cleanly.  On *every* failure path — open error,
+ * stream error, rename error, producer exception — the temp file is
+ * unlinked before the error propagates, so no orphaned `.tmp.*` files
+ * accumulate next to the target.  I/O failures throw a typed
+ * `spasm::Error{Io}` (recoverable: a batch campaign records the job
+ * as failed and keeps going); a producer exception is rethrown as-is.
+ * The previous contents of @p path are left untouched in all cases.
  */
 void writeFileAtomic(const std::string &path,
                      const std::function<void(std::ostream &)> &producer);

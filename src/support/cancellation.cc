@@ -1,0 +1,54 @@
+#include "support/cancellation.hh"
+
+#include "support/error.hh"
+
+namespace spasm {
+
+void
+CancellationToken::setDeadline(double ms_from_now)
+{
+    deadlineMs_ = ms_from_now;
+    deadline_ = std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(ms_from_now));
+    hasDeadline_ = true;
+}
+
+bool
+CancellationToken::cancelled() const
+{
+    if (reason_.load(std::memory_order_acquire) != 0)
+        return true;
+    if (signalFlag_ != nullptr && *signalFlag_ != 0) {
+        latch(CancelReason::Cancelled);
+        return true;
+    }
+    if (parent_ != nullptr && parent_->cancelled()) {
+        latch(parent_->reason() == CancelReason::Timeout
+                  ? CancelReason::Timeout
+                  : CancelReason::Cancelled);
+        return true;
+    }
+    if (hasDeadline_ &&
+        std::chrono::steady_clock::now() >= deadline_) {
+        latch(CancelReason::Timeout);
+        return true;
+    }
+    return false;
+}
+
+void
+CancellationToken::throwIfCancelled(const char *where) const
+{
+    if (!cancelled())
+        return;
+    if (reason() == CancelReason::Timeout) {
+        throw Error::atInput(ErrorCode::Timeout, where,
+                             "deadline of %g ms expired",
+                             deadlineMs_);
+    }
+    throw Error::atInput(ErrorCode::Cancelled, where, "cancelled");
+}
+
+} // namespace spasm

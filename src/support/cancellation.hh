@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Cooperative cancellation and deadlines for long-running work.
+ *
+ * A `CancellationToken` is a shared flag the framework pipeline, the
+ * schedule exploration and the cycle-level simulator poll at natural
+ * boundaries (stage start, tile-size candidate, every ~1k simulated
+ * cycles).  Tripping it — explicitly via cancel(), by an expired
+ * deadline, by a watched POSIX signal flag, or transitively through a
+ * parent token — makes the next poll throw a typed
+ * `spasm::Error{Timeout|Cancelled}`; work is never hard-aborted, so a
+ * batch campaign can record the outcome, keep sibling jobs running and
+ * stay resumable.
+ *
+ * Tokens form a one-level tree: a per-job token with its own deadline
+ * links to the campaign token, so SIGINT cancels every in-flight job
+ * while each job's deadline only kills that job.
+ *
+ * Configuration (setDeadline / watchSignalFlag / the parent link) must
+ * happen before the token is shared; after that, cancel() and all
+ * queries are safe from any thread.
+ */
+
+#ifndef SPASM_SUPPORT_CANCELLATION_HH
+#define SPASM_SUPPORT_CANCELLATION_HH
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+
+namespace spasm {
+
+/** Why a token tripped; None while still live. */
+enum class CancelReason
+{
+    None,
+    Cancelled, ///< explicit cancel() / signal / parent trip
+    Timeout,   ///< the deadline passed
+};
+
+/** Cooperative cancellation flag with an optional deadline. */
+class CancellationToken
+{
+  public:
+    CancellationToken() = default;
+
+    /** A child token: trips when @p parent trips (or on its own
+     *  deadline/cancel).  @p parent must outlive this token. */
+    explicit CancellationToken(const CancellationToken *parent)
+        : parent_(parent)
+    {
+    }
+
+    /** Trip the token; idempotent, safe from any thread (including a
+     *  different one than the workers polling it). */
+    void cancel() const { latch(CancelReason::Cancelled); }
+
+    /** Arm a deadline @p ms_from_now milliseconds in the future
+     *  (steady clock).  Values <= 0 trip on the next poll. */
+    void setDeadline(double ms_from_now);
+
+    bool hasDeadline() const { return hasDeadline_; }
+
+    /** The deadline originally armed, in ms (0 when none). */
+    double deadlineMs() const { return deadlineMs_; }
+
+    /** Also trip when `*flag != 0` — the batch runner points this at
+     *  its `volatile sig_atomic_t` SIGINT/SIGTERM flag so a signal
+     *  cancels cooperatively without async-signal-unsafe calls. */
+    void watchSignalFlag(const volatile std::sig_atomic_t *flag)
+    {
+        signalFlag_ = flag;
+    }
+
+    /** Poll: true once tripped (latches the reason on first
+     *  observation of an expired deadline / signal / parent trip). */
+    bool cancelled() const;
+
+    CancelReason reason() const
+    {
+        return static_cast<CancelReason>(
+            reason_.load(std::memory_order_acquire));
+    }
+
+    /**
+     * Poll-and-throw: no-op while live, else throws
+     * `Error{Timeout}` / `Error{Cancelled}` with @p where (a stage or
+     * job name) in the diagnostic.
+     */
+    void throwIfCancelled(const char *where) const;
+
+  private:
+    /** First reason wins; later trips keep the original cause. */
+    void latch(CancelReason r) const
+    {
+        int expected = 0;
+        reason_.compare_exchange_strong(expected,
+                                        static_cast<int>(r),
+                                        std::memory_order_acq_rel);
+    }
+
+    const CancellationToken *parent_ = nullptr;
+    const volatile std::sig_atomic_t *signalFlag_ = nullptr;
+    mutable std::atomic<int> reason_{0};
+    bool hasDeadline_ = false;
+    double deadlineMs_ = 0.0;
+    std::chrono::steady_clock::time_point deadline_{};
+};
+
+} // namespace spasm
+
+#endif // SPASM_SUPPORT_CANCELLATION_HH

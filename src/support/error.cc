@@ -53,6 +53,12 @@ errorCodeName(ErrorCode code)
         return "parse";
       case ErrorCode::Invariant:
         return "invariant";
+      case ErrorCode::Timeout:
+        return "timeout";
+      case ErrorCode::Cancelled:
+        return "cancelled";
+      case ErrorCode::BudgetExceeded:
+        return "budget-exceeded";
     }
     return "?";
 }

@@ -36,6 +36,9 @@ enum class ErrorCode
     LimitExceeded,    ///< declared size beyond the allocation caps
     Parse,            ///< malformed text input (MatrixMarket)
     Invariant,        ///< decoded data violates a format invariant
+    Timeout,          ///< a deadline expired (support/cancellation)
+    Cancelled,        ///< work cancelled cooperatively
+    BudgetExceeded,   ///< tracked memory budget would be exceeded
 };
 
 /** Stable lower-kebab name for an ErrorCode (JSON reports, tests). */

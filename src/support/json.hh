@@ -21,12 +21,15 @@
 
 namespace spasm {
 
-/** Stack-based JSON emitter; the caller drives structure. */
+/** Stack-based JSON emitter; the caller drives structure.
+ *  A negative indent selects compact single-line output (no newlines
+ *  or padding) — used for JSONL journal records. */
 class JsonWriter
 {
   public:
     explicit JsonWriter(std::ostream &os, int indent = 2)
-        : os_(os), indent_(indent)
+        : os_(os), compact_(indent < 0),
+          indent_(indent < 0 ? 0 : static_cast<std::size_t>(indent))
     {
     }
 
@@ -40,7 +43,7 @@ class JsonWriter
     {
         comma();
         writeString(k);
-        os_ << ": ";
+        os_ << (compact_ ? ":" : ": ");
         keyPending_ = true;
     }
 
@@ -83,6 +86,21 @@ class JsonWriter
     void value(int v) { value(static_cast<std::int64_t>(v)); }
     void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
 
+    /** Explicit null (the non-finite-double escape, spelled out). */
+    void nullValue()
+    {
+        comma();
+        os_ << "null";
+    }
+
+    /** Emit a pre-formatted number token verbatim — used when
+     *  re-emitting parsed JSON so integer tokens survive exactly. */
+    void rawNumber(std::string_view token)
+    {
+        comma();
+        os_ << token;
+    }
+
     /** key + scalar value in one call. */
     template <typename T>
     void field(std::string_view k, const T &v)
@@ -111,7 +129,7 @@ class JsonWriter
     {
         const bool empty = levels_.back().first;
         levels_.pop_back();
-        if (!empty) {
+        if (!empty && !compact_) {
             os_ << '\n';
             pad(levels_.size());
         }
@@ -131,6 +149,8 @@ class JsonWriter
         if (!levels_.back().first)
             os_ << ',';
         levels_.back().first = false;
+        if (compact_)
+            return;
         os_ << '\n';
         pad(levels_.size());
     }
@@ -175,6 +195,7 @@ class JsonWriter
     }
 
     std::ostream &os_;
+    bool compact_;
     std::size_t indent_;
     bool keyPending_ = false;
     std::vector<Level> levels_;

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "support/json.hh"
 #include "support/logging.hh"
 
 namespace spasm {
@@ -358,6 +359,42 @@ parseJsonFile(const std::string &path)
     if (!error.empty())
         spasm_fatal("%s: %s", path.c_str(), error.c_str());
     return v;
+}
+
+void
+writeJson(JsonWriter &w, const JsonValue &v)
+{
+    switch (v.kind) {
+      case JsonValue::Kind::Null:
+        w.nullValue();
+        break;
+      case JsonValue::Kind::Bool:
+        w.value(v.boolean);
+        break;
+      case JsonValue::Kind::Number:
+        if (!v.raw.empty())
+            w.rawNumber(v.raw);
+        else
+            w.value(v.number);
+        break;
+      case JsonValue::Kind::String:
+        w.value(v.string);
+        break;
+      case JsonValue::Kind::Array:
+        w.beginArray();
+        for (const JsonValue &e : v.array)
+            writeJson(w, e);
+        w.endArray();
+        break;
+      case JsonValue::Kind::Object:
+        w.beginObject();
+        for (const auto &kv : v.object) {
+            w.key(kv.first);
+            writeJson(w, kv.second);
+        }
+        w.endObject();
+        break;
+    }
 }
 
 } // namespace spasm

@@ -23,6 +23,8 @@
 
 namespace spasm {
 
+class JsonWriter;
+
 /** One parsed JSON value; objects preserve key order. */
 class JsonValue
 {
@@ -81,6 +83,15 @@ JsonValue parseJson(const std::string &text, std::string *error);
 
 /** Parse the JSON file at @p path; fatal() on I/O or parse errors. */
 JsonValue parseJsonFile(const std::string &path);
+
+/**
+ * Re-emit @p v through @p w (which controls pretty vs compact form).
+ * Numbers are written from their exact source token when available,
+ * so a parse -> write round trip preserves every digit — the batch
+ * runner relies on this to make a journal-replayed merged record
+ * byte-identical to one built in-process.
+ */
+void writeJson(JsonWriter &w, const JsonValue &v);
 
 } // namespace spasm
 

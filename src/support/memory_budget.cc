@@ -1,0 +1,45 @@
+#include "support/memory_budget.hh"
+
+#include "support/error.hh"
+
+namespace spasm {
+
+void
+MemoryBudget::charge(std::int64_t bytes, const char *what)
+{
+    if (bytes <= 0)
+        return;
+    const std::int64_t now =
+        used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    if (limit_ > 0 && now > limit_) {
+        used_.fetch_sub(bytes, std::memory_order_relaxed);
+        throw Error::atInput(
+            ErrorCode::BudgetExceeded, what,
+            "allocation of %lld bytes would exceed the memory "
+            "budget (%lld of %lld bytes in use)",
+            static_cast<long long>(bytes),
+            static_cast<long long>(now - bytes),
+            static_cast<long long>(limit_));
+    }
+    std::int64_t prev = peak_.load(std::memory_order_relaxed);
+    while (now > prev &&
+           !peak_.compare_exchange_weak(prev, now,
+                                        std::memory_order_relaxed)) {
+    }
+}
+
+void
+MemoryBudget::release(std::int64_t bytes)
+{
+    if (bytes <= 0)
+        return;
+    std::int64_t prev = used_.load(std::memory_order_relaxed);
+    while (true) {
+        const std::int64_t next = prev > bytes ? prev - bytes : 0;
+        if (used_.compare_exchange_weak(prev, next,
+                                        std::memory_order_relaxed))
+            return;
+    }
+}
+
+} // namespace spasm

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tracked memory budget for the pipeline's large allocations.
+ *
+ * The framework's big buffers — the COO entry list, the encoded word
+ * stream, the simulator's per-PE partial-sum arenas — register their
+ * sizes against a `MemoryBudget` before (or immediately after) being
+ * materialized.  When a limit is armed and a charge would exceed it,
+ * the charge is rolled back and a typed
+ * `spasm::Error{BudgetExceeded}` is thrown, so one oversized job in a
+ * batch campaign fails cleanly instead of OOM-killing the process.
+ * With no limit (limit <= 0) the budget is a pure tracker: `peak()`
+ * lands in the per-job `peak_budget_bytes` stats field either way.
+ *
+ * Charges and releases are atomic and thread-safe; `MemoryReservation`
+ * is the RAII form for allocations with a scoped lifetime (e.g. the
+ * simulator's psum buffers, released even when the run throws).
+ */
+
+#ifndef SPASM_SUPPORT_MEMORY_BUDGET_HH
+#define SPASM_SUPPORT_MEMORY_BUDGET_HH
+
+#include <atomic>
+#include <cstdint>
+
+namespace spasm {
+
+/** Byte-accounting guard; throws Error{BudgetExceeded} over limit. */
+class MemoryBudget
+{
+  public:
+    /** @param limit_bytes Hard ceiling; <= 0 tracks without a cap. */
+    explicit MemoryBudget(std::int64_t limit_bytes = 0)
+        : limit_(limit_bytes)
+    {
+    }
+
+    MemoryBudget(const MemoryBudget &) = delete;
+    MemoryBudget &operator=(const MemoryBudget &) = delete;
+
+    /**
+     * Account @p bytes against the budget.  Throws
+     * `Error{BudgetExceeded}` (after rolling the charge back) when a
+     * limit is armed and would be exceeded; @p what names the
+     * allocation in the diagnostic.
+     */
+    void charge(std::int64_t bytes, const char *what);
+
+    /** Return @p bytes to the budget (used() never goes negative). */
+    void release(std::int64_t bytes);
+
+    std::int64_t used() const
+    {
+        return used_.load(std::memory_order_relaxed);
+    }
+
+    /** High-water mark of used() over the budget's lifetime. */
+    std::int64_t peak() const
+    {
+        return peak_.load(std::memory_order_relaxed);
+    }
+
+    std::int64_t limit() const { return limit_; }
+
+  private:
+    std::int64_t limit_;
+    std::atomic<std::int64_t> used_{0};
+    std::atomic<std::int64_t> peak_{0};
+};
+
+/** RAII charge: released on destruction; null budget is a no-op. */
+class MemoryReservation
+{
+  public:
+    MemoryReservation() = default;
+
+    MemoryReservation(MemoryBudget *budget, std::int64_t bytes,
+                      const char *what)
+        : budget_(budget), bytes_(bytes)
+    {
+        if (budget_ != nullptr)
+            budget_->charge(bytes_, what);
+    }
+
+    MemoryReservation(MemoryReservation &&other) noexcept
+        : budget_(other.budget_), bytes_(other.bytes_)
+    {
+        other.budget_ = nullptr;
+    }
+
+    MemoryReservation &operator=(MemoryReservation &&other) noexcept
+    {
+        if (this != &other) {
+            releaseNow();
+            budget_ = other.budget_;
+            bytes_ = other.bytes_;
+            other.budget_ = nullptr;
+        }
+        return *this;
+    }
+
+    MemoryReservation(const MemoryReservation &) = delete;
+    MemoryReservation &operator=(const MemoryReservation &) = delete;
+
+    ~MemoryReservation() { releaseNow(); }
+
+  private:
+    void releaseNow()
+    {
+        if (budget_ != nullptr) {
+            budget_->release(bytes_);
+            budget_ = nullptr;
+        }
+    }
+
+    MemoryBudget *budget_ = nullptr;
+    std::int64_t bytes_ = 0;
+};
+
+} // namespace spasm
+
+#endif // SPASM_SUPPORT_MEMORY_BUDGET_HH

@@ -1,0 +1,62 @@
+#include "support/retry.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "support/cancellation.hh"
+#include "support/random.hh"
+
+namespace spasm {
+
+double
+RetryPolicy::delayMs(int attempt, std::uint64_t stream) const
+{
+    if (attempt < 1 || backoffBaseMs <= 0.0)
+        return 0.0;
+    double delay = backoffBaseMs;
+    for (int i = 1; i < attempt; ++i)
+        delay *= backoffFactor;
+    if (jitterFraction > 0.0) {
+        std::uint64_t state = seed ^ (stream * 0x9e3779b97f4a7c15ULL) ^
+            (static_cast<std::uint64_t>(attempt) << 32);
+        const double u = static_cast<double>(splitMix64(state) >> 11) *
+            (1.0 / 9007199254740992.0); // [0, 1)
+        delay *= 1.0 + jitterFraction * (2.0 * u - 1.0);
+    }
+    return std::max(delay, 0.0);
+}
+
+bool
+errorIsRetryable(const Error &e)
+{
+    switch (e.code()) {
+      case ErrorCode::Timeout:
+      case ErrorCode::Cancelled:
+      case ErrorCode::BudgetExceeded:
+        return false;
+      default:
+        return true;
+    }
+}
+
+void
+sleepWithCancel(double ms, const CancellationToken *cancel)
+{
+    using clock = std::chrono::steady_clock;
+    const auto until = clock::now() +
+        std::chrono::duration_cast<clock::duration>(
+            std::chrono::duration<double, std::milli>(
+                std::max(ms, 0.0)));
+    // Short slices keep a cancelled campaign from idling in backoff.
+    while (clock::now() < until) {
+        if (cancel != nullptr && cancel->cancelled())
+            return;
+        const auto slice = std::min<clock::duration>(
+            until - clock::now(),
+            std::chrono::milliseconds(5));
+        std::this_thread::sleep_for(slice);
+    }
+}
+
+} // namespace spasm

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Bounded retry with exponential backoff and deterministic jitter.
+ *
+ * `runWithRetry` wraps one unit of work (a batch job attempt): typed
+ * `spasm::Error`s that model *transient* failures — injected faults
+ * surfacing as checksum/invariant errors, I/O hiccups — are retried up
+ * to `maxAttempts` with an exponentially growing, seeded-jittered
+ * delay.  Timeout, Cancelled and BudgetExceeded are never retried:
+ * a deadline already spent, a cancelled campaign and a deterministic
+ * over-budget allocation cannot succeed on a second try.
+ *
+ * Jitter is derived from splitMix64 over (seed, stream, attempt), so a
+ * campaign replays the exact same delay schedule from its seed —
+ * wall-clock still varies, but retry *counts* and outcomes do not.
+ */
+
+#ifndef SPASM_SUPPORT_RETRY_HH
+#define SPASM_SUPPORT_RETRY_HH
+
+#include <cstdint>
+#include <utility>
+
+#include "support/error.hh"
+
+namespace spasm {
+
+class CancellationToken;
+
+/** Retry schedule for one job: attempts, backoff, seeded jitter. */
+struct RetryPolicy
+{
+    /** Total tries including the first; 1 disables retry. */
+    int maxAttempts = 1;
+
+    /** Delay before the first retry, in milliseconds. */
+    double backoffBaseMs = 1.0;
+
+    /** Growth factor per further retry. */
+    double backoffFactor = 2.0;
+
+    /** Uniform jitter as a fraction of the delay: the sleep is
+     *  delay * [1 - j, 1 + j).  0 disables jitter. */
+    double jitterFraction = 0.5;
+
+    /** Seed of the deterministic jitter stream. */
+    std::uint64_t seed = 1;
+
+    /**
+     * Backoff before retry number @p attempt (1-based: the delay
+     * between the first failure and the second try), jittered
+     * deterministically per (@p seed, @p stream, @p attempt).
+     */
+    double delayMs(int attempt, std::uint64_t stream) const;
+};
+
+/** Transient errors retry; Timeout/Cancelled/BudgetExceeded do not. */
+bool errorIsRetryable(const Error &e);
+
+/**
+ * Sleep @p ms, waking early (without throwing) when @p cancel trips.
+ * Exposed for the batch runner's tests.
+ */
+void sleepWithCancel(double ms, const CancellationToken *cancel);
+
+/**
+ * Run `fn(attempt)` (attempt is 0-based) until it returns, a
+ * non-retryable Error escapes, or maxAttempts is exhausted — the last
+ * failure is rethrown.  @p stream disambiguates jitter between jobs
+ * sharing a policy; @p attempts_out (optional) receives the number of
+ * attempts actually made.
+ */
+template <typename Fn>
+auto
+runWithRetry(const RetryPolicy &policy, std::uint64_t stream,
+             const CancellationToken *cancel, Fn &&fn,
+             int *attempts_out = nullptr)
+    -> decltype(fn(0))
+{
+    const int max_attempts =
+        policy.maxAttempts < 1 ? 1 : policy.maxAttempts;
+    for (int attempt = 0;; ++attempt) {
+        if (attempts_out != nullptr)
+            *attempts_out = attempt + 1;
+        try {
+            return fn(attempt);
+        } catch (const Error &e) {
+            if (!errorIsRetryable(e) ||
+                attempt + 1 >= max_attempts)
+                throw;
+            sleepWithCancel(policy.delayMs(attempt + 1, stream),
+                            cancel);
+        }
+    }
+}
+
+} // namespace spasm
+
+#endif // SPASM_SUPPORT_RETRY_HH

@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "support/atomic_file.hh"
+#include "support/error.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
 
@@ -104,7 +105,10 @@ TextTable::exportCsv(const std::string &stem) const
     if (!dir)
         return;
     const std::string path = std::string(dir) + "/" + stem + ".csv";
-    writeFileAtomic(path, [&](std::ostream &out) {
+    // Bench binaries have no top-level Error handler; turn an I/O
+    // failure of the export sink into the classic fatal exit.
+    try {
+        writeFileAtomic(path, [&](std::ostream &out) {
         auto emit = [&](const std::vector<std::string> &row) {
             for (std::size_t i = 0; i < row.size(); ++i) {
                 out << row[i];
@@ -117,7 +121,10 @@ TextTable::exportCsv(const std::string &stem) const
             emit(header_);
         for (const auto &row : rows_)
             emit(row);
-    });
+        });
+    } catch (const Error &e) {
+        spasm_fatal("%s", e.what());
+    }
 }
 
 void
@@ -129,7 +136,8 @@ TextTable::exportJson(const std::string &stem) const
     const std::string path = std::string(dir) + "/" + stem + ".json";
     // Atomic (temp + rename): a killed bench run can't leave a
     // truncated spasm-bench-v1 file for `spasm compare` to choke on.
-    writeFileAtomic(path, [&](std::ostream &out) {
+    try {
+        writeFileAtomic(path, [&](std::ostream &out) {
         JsonWriter json(out);
         json.beginObject();
         json.field("schema", "spasm-bench-v1");
@@ -151,7 +159,10 @@ TextTable::exportJson(const std::string &stem) const
         json.endArray();
         json.endObject();
         json.finish();
-    });
+        });
+    } catch (const Error &e) {
+        spasm_fatal("%s", e.what());
+    }
 }
 
 struct CsvWriter::Impl

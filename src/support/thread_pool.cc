@@ -5,6 +5,8 @@
 #include <exception>
 #include <limits>
 
+#include "support/cancellation.hh"
+
 namespace spasm {
 
 /**
@@ -17,6 +19,7 @@ struct ThreadPool::Loop
 {
     std::size_t n = 0;
     const std::function<void(std::size_t)> *body = nullptr;
+    const CancellationToken *cancel = nullptr;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
     std::mutex mutex;
@@ -72,15 +75,20 @@ ThreadPool::drain(Loop &loop)
             loop.next.fetch_add(1, std::memory_order_relaxed);
         if (i >= loop.n)
             return;
-        try {
-            (*loop.body)(i);
-        } catch (...) {
-            // Keep the exception from the lowest index; every index
-            // still runs, so the winner is deterministic.
-            std::lock_guard<std::mutex> lock(loop.mutex);
-            if (i < loop.errorIndex) {
-                loop.errorIndex = i;
-                loop.error = std::current_exception();
+        // A tripped token skips the body but still counts the index
+        // as done, so the join condition is unchanged and no thread
+        // blocks on skipped work.
+        if (loop.cancel == nullptr || !loop.cancel->cancelled()) {
+            try {
+                (*loop.body)(i);
+            } catch (...) {
+                // Keep the exception from the lowest index; every
+                // index still runs, so the winner is deterministic.
+                std::lock_guard<std::mutex> lock(loop.mutex);
+                if (i < loop.errorIndex) {
+                    loop.errorIndex = i;
+                    loop.error = std::current_exception();
+                }
             }
         }
         if (loop.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
@@ -95,14 +103,24 @@ void
 ThreadPool::parallelFor(std::size_t n,
                         const std::function<void(std::size_t)> &body)
 {
+    parallelFor(n, body, nullptr);
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body,
+                        const CancellationToken *cancel)
+{
     if (n == 0)
         return;
     if (workers_.empty() || n == 1) {
         // Serial fast path: same contract as the parallel path —
-        // every iteration runs, then the lowest-index exception is
-        // rethrown.
+        // every iteration runs (unless the token trips, which skips
+        // the rest), then the lowest-index exception is rethrown.
         std::exception_ptr error;
         for (std::size_t i = 0; i < n; ++i) {
+            if (cancel != nullptr && cancel->cancelled())
+                break;
             try {
                 body(i);
             } catch (...) {
@@ -118,6 +136,7 @@ ThreadPool::parallelFor(std::size_t n,
     auto loop = std::make_shared<Loop>();
     loop->n = n;
     loop->body = &body;
+    loop->cancel = cancel;
 
     // One help request per worker that could usefully join in; a
     // worker that pops a request after the loop drained just returns.

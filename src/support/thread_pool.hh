@@ -20,6 +20,13 @@
  * lowest iteration index is rethrown on the calling thread once all
  * claimed iterations have finished (remaining indices still run, so
  * the choice of exception is deterministic).
+ *
+ * The cancellation-aware overload checks a `CancellationToken` before
+ * every iteration: once the token trips, all not-yet-started
+ * iterations are skipped (claimed and counted, body never invoked)
+ * and the call returns normally — the *caller* decides whether to
+ * throw, typically via `token.throwIfCancelled()`.  Iterations
+ * already executing when the token trips run to completion.
  */
 
 #ifndef SPASM_SUPPORT_THREAD_POOL_HH
@@ -35,6 +42,8 @@
 #include <vector>
 
 namespace spasm {
+
+class CancellationToken;
 
 class ThreadPool
 {
@@ -63,6 +72,17 @@ class ThreadPool
      */
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &body);
+
+    /**
+     * Cancellation-aware variant: iterations whose index is claimed
+     * after @p cancel trips are skipped deterministically (the body
+     * never runs for them).  Returns normally either way; poll the
+     * token afterwards to turn the trip into a typed error.  A null
+     * token behaves exactly like the plain overload.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body,
+                     const CancellationToken *cancel);
 
     /** The process-wide pool (lazily built at defaultConcurrency). */
     static ThreadPool &global();

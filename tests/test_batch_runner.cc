@@ -1,0 +1,558 @@
+/**
+ * @file
+ * Tests for the resilient execution layer: cancellation tokens and
+ * deadlines (support/cancellation.hh), memory budgets
+ * (support/memory_budget.hh), retry/backoff (support/retry.hh), and
+ * the crash-safe resumable batch runner (core/batch.hh) — manifest
+ * parsing, journaling, resume field-identity, per-job deadline
+ * isolation and budget accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/batch.hh"
+#include "core/framework.hh"
+#include "support/cancellation.hh"
+#include "support/error.hh"
+#include "support/memory_budget.hh"
+#include "support/retry.hh"
+#include "support/thread_pool.hh"
+
+namespace spasm {
+namespace {
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+void
+writeText(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path);
+    out << text;
+}
+
+// ----------------------------------------------------------------- //
+// CancellationToken
+// ----------------------------------------------------------------- //
+
+TEST(Cancellation, FreshTokenIsLive)
+{
+    CancellationToken token;
+    EXPECT_FALSE(token.cancelled());
+    EXPECT_EQ(token.reason(), CancelReason::None);
+    EXPECT_NO_THROW(token.throwIfCancelled("test"));
+}
+
+TEST(Cancellation, CancelThrowsTypedCancelled)
+{
+    CancellationToken token;
+    token.cancel();
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_EQ(token.reason(), CancelReason::Cancelled);
+    try {
+        token.throwIfCancelled("stage x");
+        FAIL() << "expected Error{Cancelled}";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Cancelled);
+        EXPECT_NE(std::string(e.what()).find("stage x"),
+                  std::string::npos);
+    }
+}
+
+TEST(Cancellation, ExpiredDeadlineThrowsTypedTimeout)
+{
+    CancellationToken token;
+    token.setDeadline(0.0); // <= 0 trips on the next poll
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_EQ(token.reason(), CancelReason::Timeout);
+    try {
+        token.throwIfCancelled("sim");
+        FAIL() << "expected Error{Timeout}";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Timeout);
+    }
+}
+
+TEST(Cancellation, FutureDeadlineStaysLive)
+{
+    CancellationToken token;
+    token.setDeadline(60000.0);
+    EXPECT_FALSE(token.cancelled());
+}
+
+TEST(Cancellation, ChildTripsWithParentKeepingParentReason)
+{
+    CancellationToken parent;
+    CancellationToken child(&parent);
+    EXPECT_FALSE(child.cancelled());
+    parent.cancel();
+    EXPECT_TRUE(child.cancelled());
+    EXPECT_EQ(child.reason(), CancelReason::Cancelled);
+}
+
+TEST(Cancellation, ChildDeadlineDoesNotTripParent)
+{
+    CancellationToken parent;
+    CancellationToken child(&parent);
+    child.setDeadline(0.0);
+    EXPECT_TRUE(child.cancelled());
+    EXPECT_FALSE(parent.cancelled());
+}
+
+TEST(Cancellation, WatchedSignalFlagCancels)
+{
+    volatile std::sig_atomic_t flag = 0;
+    CancellationToken token;
+    token.watchSignalFlag(&flag);
+    EXPECT_FALSE(token.cancelled());
+    flag = SIGINT;
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_EQ(token.reason(), CancelReason::Cancelled);
+}
+
+// ----------------------------------------------------------------- //
+// MemoryBudget
+// ----------------------------------------------------------------- //
+
+TEST(MemoryBudget, TracksUsedAndPeak)
+{
+    MemoryBudget budget(0); // track-only
+    budget.charge(100, "a");
+    budget.charge(50, "b");
+    EXPECT_EQ(budget.used(), 150);
+    budget.release(120);
+    EXPECT_EQ(budget.used(), 30);
+    EXPECT_EQ(budget.peak(), 150);
+}
+
+TEST(MemoryBudget, OverLimitThrowsAndRollsBack)
+{
+    MemoryBudget budget(1000);
+    budget.charge(900, "big");
+    try {
+        budget.charge(200, "straw");
+        FAIL() << "expected Error{BudgetExceeded}";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::BudgetExceeded);
+        EXPECT_NE(std::string(e.what()).find("straw"),
+                  std::string::npos);
+    }
+    // The failed charge must not leak into the accounting.
+    EXPECT_EQ(budget.used(), 900);
+    budget.charge(100, "fits");
+    EXPECT_EQ(budget.used(), 1000);
+}
+
+TEST(MemoryBudget, ReservationReleasesOnScopeExit)
+{
+    MemoryBudget budget(0);
+    {
+        MemoryReservation r(&budget, 512, "scoped");
+        EXPECT_EQ(budget.used(), 512);
+    }
+    EXPECT_EQ(budget.used(), 0);
+    EXPECT_EQ(budget.peak(), 512);
+}
+
+// ----------------------------------------------------------------- //
+// RetryPolicy
+// ----------------------------------------------------------------- //
+
+TEST(Retry, DelayScheduleIsDeterministicPerSeedAndStream)
+{
+    RetryPolicy p;
+    p.backoffBaseMs = 2.0;
+    p.backoffFactor = 3.0;
+    p.jitterFraction = 0.5;
+    p.seed = 42;
+    for (int attempt = 1; attempt <= 4; ++attempt) {
+        const double a = p.delayMs(attempt, 7);
+        const double b = p.delayMs(attempt, 7);
+        EXPECT_DOUBLE_EQ(a, b);
+        // Jitter stays within [1-j, 1+j) of the exponential base.
+        const double base =
+            2.0 * std::pow(3.0, static_cast<double>(attempt - 1));
+        EXPECT_GE(a, base * 0.5);
+        EXPECT_LT(a, base * 1.5);
+    }
+    EXPECT_NE(p.delayMs(1, 7), p.delayMs(1, 8));
+}
+
+TEST(Retry, TransientErrorRetriesUntilSuccess)
+{
+    RetryPolicy p;
+    p.maxAttempts = 5;
+    p.backoffBaseMs = 0.0;
+    p.jitterFraction = 0.0;
+    int attempts = 0;
+    const int result = runWithRetry(
+        p, 0, nullptr,
+        [](int attempt) -> int {
+            if (attempt < 2) {
+                throw Error::atInput(ErrorCode::Invariant, "t",
+                                     "transient");
+            }
+            return attempt;
+        },
+        &attempts);
+    EXPECT_EQ(result, 2);
+    EXPECT_EQ(attempts, 3);
+}
+
+TEST(Retry, ExhaustedAttemptsRethrowLastError)
+{
+    RetryPolicy p;
+    p.maxAttempts = 3;
+    p.backoffBaseMs = 0.0;
+    int attempts = 0;
+    EXPECT_THROW(runWithRetry(
+                     p, 0, nullptr,
+                     [](int) -> int {
+                         throw Error::atInput(ErrorCode::Invariant,
+                                              "t", "always");
+                     },
+                     &attempts),
+                 Error);
+    EXPECT_EQ(attempts, 3);
+}
+
+TEST(Retry, TimeoutCancelledAndBudgetNeverRetry)
+{
+    for (ErrorCode code :
+         {ErrorCode::Timeout, ErrorCode::Cancelled,
+          ErrorCode::BudgetExceeded}) {
+        RetryPolicy p;
+        p.maxAttempts = 10;
+        int attempts = 0;
+        EXPECT_THROW(runWithRetry(
+                         p, 0, nullptr,
+                         [&](int) -> int {
+                             throw Error::atInput(code, "t", "no");
+                         },
+                         &attempts),
+                     Error);
+        EXPECT_EQ(attempts, 1) << errorCodeName(code);
+    }
+}
+
+// ----------------------------------------------------------------- //
+// Framework integration: deadlines and budgets through the pipeline
+// ----------------------------------------------------------------- //
+
+TEST(Resilience, ExpiredDeadlineSurfacesAsTimeoutNotDegradation)
+{
+    CancellationToken token;
+    token.setDeadline(1e-4);
+    FrameworkOptions fo;
+    fo.cancel = &token;
+    const SpasmFramework framework(fo);
+    const CooMatrix m = generateWorkload("cfd2", Scale::Tiny);
+    try {
+        framework.preprocess(m);
+        FAIL() << "expected Error{Timeout}";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Timeout);
+    }
+}
+
+TEST(Resilience, TinyBudgetSurfacesAsBudgetExceeded)
+{
+    MemoryBudget budget(64); // far below any encoded stream
+    FrameworkOptions fo;
+    fo.memoryBudget = &budget;
+    const SpasmFramework framework(fo);
+    const CooMatrix m = generateWorkload("cfd2", Scale::Tiny);
+    try {
+        framework.run(m);
+        FAIL() << "expected Error{BudgetExceeded}";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::BudgetExceeded);
+    }
+}
+
+TEST(Resilience, GenerousBudgetTracksPeakAndSucceeds)
+{
+    MemoryBudget budget(0); // track-only
+    FrameworkOptions fo;
+    fo.memoryBudget = &budget;
+    const SpasmFramework framework(fo);
+    const CooMatrix m = generateWorkload("cfd2", Scale::Tiny);
+    const FrameworkOutcome out = framework.run(m);
+    EXPECT_GT(out.exec.stats.cycles, 0u);
+    EXPECT_GT(budget.peak(), 0);
+}
+
+// ----------------------------------------------------------------- //
+// Batch campaigns
+// ----------------------------------------------------------------- //
+
+/** A minimal two-job manifest, written to @p path. */
+void
+writeSmallManifest(const std::string &path)
+{
+    writeText(path, R"({
+  "manifest": "spasm-batch-manifest-v1",
+  "defaults": {"scale": "tiny"},
+  "jobs": [
+    {"id": "a", "workload": "cfd2"},
+    {"id": "b", "workload": "ex11"}
+  ]
+})");
+}
+
+TEST(BatchManifest, ParsesDefaultsOverridesAndFaults)
+{
+    const std::string path = "/tmp/spasm_test_manifest.json";
+    writeText(path, R"({
+  "defaults": {"scale": "tiny", "deadline_ms": 500,
+               "max_attempts": 2},
+  "retry": {"backoff_ms": 0.5, "factor": 3, "jitter": 0.25,
+            "seed": 9},
+  "jobs": [
+    {"id": "plain", "workload": "cfd2"},
+    {"id": "faulty", "workload": "ex11", "deadline_ms": 100,
+     "max_attempts": 4, "memory_budget_bytes": 1048576,
+     "fault": {"word_corrupt_rate": 0.01, "ecc": true,
+               "policy": "retry", "seed": 11}}
+  ]
+})");
+    const BatchManifest m = loadBatchManifest(path);
+    ASSERT_EQ(m.jobs.size(), 2u);
+    EXPECT_EQ(m.jobs[0].id, "plain");
+    EXPECT_EQ(m.jobs[0].scale, Scale::Tiny);
+    EXPECT_DOUBLE_EQ(m.jobs[0].deadlineMs, 500.0);
+    EXPECT_EQ(m.jobs[0].maxAttempts, 2);
+    EXPECT_FALSE(m.jobs[0].hasFault);
+    EXPECT_EQ(m.jobs[1].maxAttempts, 4);
+    EXPECT_DOUBLE_EQ(m.jobs[1].deadlineMs, 100.0);
+    EXPECT_EQ(m.jobs[1].memoryBudgetBytes, 1048576);
+    ASSERT_TRUE(m.jobs[1].hasFault);
+    EXPECT_DOUBLE_EQ(m.jobs[1].fault.wordCorruptRate, 0.01);
+    EXPECT_TRUE(m.jobs[1].fault.eccOnStream);
+    EXPECT_EQ(m.jobs[1].fault.policy, RecoveryPolicy::Retry);
+    EXPECT_EQ(m.jobs[1].fault.seed, 11u);
+    EXPECT_DOUBLE_EQ(m.retry.backoffBaseMs, 0.5);
+    EXPECT_EQ(m.retry.seed, 9u);
+    std::remove(path.c_str());
+}
+
+TEST(BatchManifest, RejectsDuplicateIdsAndUnknownWorkloads)
+{
+    const std::string path = "/tmp/spasm_test_manifest_bad.json";
+    writeText(path, R"({"jobs": [
+      {"id": "a", "workload": "cfd2"},
+      {"id": "a", "workload": "ex11"}]})");
+    EXPECT_THROW(loadBatchManifest(path), Error);
+    writeText(path, R"({"jobs": [
+      {"id": "a", "workload": "no-such-workload"}]})");
+    EXPECT_THROW(loadBatchManifest(path), Error);
+    std::remove(path.c_str());
+}
+
+TEST(BatchRunner, CleanCampaignJournalsEveryJobOk)
+{
+    const std::string manifest = "/tmp/spasm_test_batch_m.json";
+    const std::string journal = "/tmp/spasm_test_batch_m.journal";
+    writeSmallManifest(manifest);
+    std::remove(journal.c_str());
+
+    BatchOptions opt;
+    opt.manifestPath = manifest;
+    opt.journalPath = journal;
+    opt.deterministic = true;
+    const BatchResult result = runBatchCampaign(opt);
+
+    EXPECT_EQ(result.totals.jobs, 2u);
+    EXPECT_EQ(result.totals.ok, 2u);
+    EXPECT_FALSE(result.interrupted);
+    EXPECT_EQ(batchExitCode(result), 0);
+
+    // Journal on disk: header + one line per job.
+    std::ifstream in(journal);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_NE(line.find("spasm-batch-journal-v1"),
+              std::string::npos);
+    int jobs = 0;
+    while (std::getline(in, line)) {
+        if (!line.empty())
+            ++jobs;
+    }
+    EXPECT_EQ(jobs, 2);
+
+    std::remove(manifest.c_str());
+    std::remove(journal.c_str());
+}
+
+TEST(BatchRunner, ResumeSkipsCompletedAndMergesFieldIdentical)
+{
+    const std::string manifest = "/tmp/spasm_test_batch_r.json";
+    const std::string journal = "/tmp/spasm_test_batch_r.journal";
+    writeSmallManifest(manifest);
+
+    // Uninterrupted reference run.
+    std::remove(journal.c_str());
+    BatchOptions opt;
+    opt.manifestPath = manifest;
+    opt.journalPath = journal;
+    opt.deterministic = true;
+    const BatchResult full = runBatchCampaign(opt);
+    std::ostringstream full_json;
+    writeBatchJson(full_json, full);
+
+    // Simulate a kill after the first job completed: truncate the
+    // journal to header + first record, then resume.
+    {
+        std::ifstream in(journal);
+        std::string header, first;
+        std::getline(in, header);
+        std::getline(in, first);
+        writeText(journal, header + "\n" + first + "\n");
+    }
+    opt.resume = true;
+    const BatchResult resumed = runBatchCampaign(opt);
+    EXPECT_EQ(resumed.resumed, 1u);
+    EXPECT_EQ(resumed.totals.jobs, 2u);
+    EXPECT_EQ(resumed.totals.ok, 2u);
+
+    // The merged record is replayed from the journal on both paths,
+    // so it must be byte-identical under --deterministic.
+    std::ostringstream resumed_json;
+    writeBatchJson(resumed_json, resumed);
+    EXPECT_EQ(resumed_json.str(), full_json.str());
+
+    std::remove(manifest.c_str());
+    std::remove(journal.c_str());
+}
+
+TEST(BatchRunner, DeadlineKillsWedgedJobWhileSiblingsComplete)
+{
+    // Job "stuck" pairs heavy stuck-channel faults with a deadline
+    // that expires at the first simulator poll; its siblings run
+    // clean and must be unaffected (per-job token isolation).
+    const std::string manifest = "/tmp/spasm_test_batch_t.json";
+    const std::string journal = "/tmp/spasm_test_batch_t.journal";
+    writeText(manifest, R"({
+  "defaults": {"scale": "tiny"},
+  "jobs": [
+    {"id": "ok-1", "workload": "cfd2"},
+    {"id": "stuck", "workload": "ex11", "deadline_ms": 1e-4,
+     "max_attempts": 3,
+     "fault": {"channel_stuck_rate": 0.9, "seed": 3}},
+    {"id": "ok-2", "workload": "raefsky3"}
+  ]
+})");
+    std::remove(journal.c_str());
+
+    BatchOptions opt;
+    opt.manifestPath = manifest;
+    opt.journalPath = journal;
+    opt.deterministic = true;
+    const BatchResult result = runBatchCampaign(opt);
+
+    EXPECT_EQ(result.totals.jobs, 3u);
+    EXPECT_EQ(result.totals.ok, 2u);
+    EXPECT_EQ(result.totals.timedOut, 1u);
+    EXPECT_FALSE(result.interrupted);
+    EXPECT_EQ(batchExitCode(result), 1);
+
+    // The timed-out job records exactly one attempt: a spent
+    // deadline is never retried.
+    const std::string text = slurp(journal);
+    EXPECT_NE(text.find("\"id\":\"stuck\""), std::string::npos);
+    EXPECT_NE(text.find("\"outcome\":\"timed-out\""),
+              std::string::npos);
+
+    std::remove(manifest.c_str());
+    std::remove(journal.c_str());
+}
+
+TEST(BatchRunner, BudgetExceededIsTypedPerJobOutcome)
+{
+    const std::string manifest = "/tmp/spasm_test_batch_b.json";
+    writeText(manifest, R"({
+  "defaults": {"scale": "tiny"},
+  "jobs": [
+    {"id": "tight", "workload": "cfd2", "memory_budget_bytes": 64},
+    {"id": "roomy", "workload": "ex11"}
+  ]
+})");
+    BatchOptions opt;
+    opt.manifestPath = manifest;
+    opt.deterministic = true; // no journal: in-memory only
+    const BatchResult result = runBatchCampaign(opt);
+    EXPECT_EQ(result.totals.budgetExceeded, 1u);
+    EXPECT_EQ(result.totals.ok, 1u);
+    EXPECT_EQ(batchExitCode(result), 1);
+    std::remove(manifest.c_str());
+}
+
+TEST(BatchRunner, SignalFlagInterruptsAndResumeCompletes)
+{
+    const std::string manifest = "/tmp/spasm_test_batch_s.json";
+    const std::string journal = "/tmp/spasm_test_batch_s.journal";
+    writeSmallManifest(manifest);
+    std::remove(journal.c_str());
+
+    // A pre-set signal flag models SIGINT arriving before any job
+    // starts: every job is skipped, nothing is journaled, and the
+    // campaign reports interrupted (exit 3).
+    volatile std::sig_atomic_t flag = SIGINT;
+    BatchOptions opt;
+    opt.manifestPath = manifest;
+    opt.journalPath = journal;
+    opt.deterministic = true;
+    opt.signalFlag = &flag;
+    const BatchResult stopped = runBatchCampaign(opt);
+    EXPECT_TRUE(stopped.interrupted);
+    EXPECT_EQ(stopped.totals.jobs, 0u);
+    EXPECT_EQ(batchExitCode(stopped), 3);
+
+    // Resume without the signal: the full campaign completes.
+    opt.signalFlag = nullptr;
+    opt.resume = true;
+    const BatchResult resumed = runBatchCampaign(opt);
+    EXPECT_EQ(resumed.totals.ok, 2u);
+    EXPECT_EQ(batchExitCode(resumed), 0);
+
+    std::remove(manifest.c_str());
+    std::remove(journal.c_str());
+}
+
+TEST(BatchRunner, MergedRecordCarriesPerJobResilienceFields)
+{
+    const std::string manifest = "/tmp/spasm_test_batch_j.json";
+    writeSmallManifest(manifest);
+    BatchOptions opt;
+    opt.manifestPath = manifest;
+    opt.deterministic = true;
+    const BatchResult result = runBatchCampaign(opt);
+    std::ostringstream os;
+    writeBatchJson(os, result);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"schema\": \"spasm-batch-v1\""),
+              std::string::npos);
+    for (const char *field :
+         {"\"outcome\"", "\"attempts\"", "\"deadline_ms\"",
+          "\"peak_budget_bytes\"", "\"wall_ms\"", "\"totals\""}) {
+        EXPECT_NE(json.find(field), std::string::npos) << field;
+    }
+    std::remove(manifest.c_str());
+}
+
+} // namespace
+} // namespace spasm

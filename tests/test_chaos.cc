@@ -86,6 +86,27 @@ TEST(Chaos, JsonRecordHasSchemaAndVerdict)
     EXPECT_NE(json.find("\"clean\": true"), std::string::npos);
 }
 
+TEST(Chaos, DeadlineMidCampaignRecordsTimedOutNotCrashed)
+{
+    // Timeout x degradation interplay: a per-trial deadline that
+    // expires during the faulty sim runs must land those trials in
+    // the `timed_out` bucket — a deadline is an *expected* resilience
+    // outcome, not a crash and certainly not silent corruption — and
+    // must not flip the campaign verdict.
+    ChaosOptions opt = tinyOptions();
+    opt.campaign = "sim";
+    opt.deadlineMs = 1e-3; // expires at the first simulator poll
+    const ChaosReport report = runChaosCampaign(opt);
+    EXPECT_GT(report.totals.timedOut, 0u);
+    EXPECT_EQ(report.totals.crashed, 0u);
+    EXPECT_EQ(report.totals.silent, 0u);
+    EXPECT_TRUE(report.clean());
+
+    std::ostringstream out;
+    writeChaosJson(out, report);
+    EXPECT_NE(out.str().find("\"timed_out\""), std::string::npos);
+}
+
 TEST(Chaos, DeterministicInSeed)
 {
     ChaosOptions opt = tinyOptions();

@@ -18,6 +18,7 @@
 #include <unistd.h>
 
 #include "support/atomic_file.hh"
+#include "support/error.hh"
 #include "support/json.hh"
 #include "support/json_value.hh"
 
@@ -174,11 +175,35 @@ TEST(AtomicFile, FailedProducerLeavesOriginalIntact)
     std::remove(path.c_str());
 }
 
-TEST(AtomicFileDeath, FatalOnUnwritableDirectory)
+TEST(AtomicFile, UnwritableDirectoryThrowsTypedIoError)
 {
-    EXPECT_EXIT(writeFileAtomic("/nonexistent-dir/x.json",
-                                [](std::ostream &out) { out << "x"; }),
-                ::testing::ExitedWithCode(1), "cannot open");
+    try {
+        writeFileAtomic("/nonexistent-dir/x.json",
+                        [](std::ostream &out) { out << "x"; });
+        FAIL() << "expected Error{Io}";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Io);
+        EXPECT_NE(std::string(e.what()).find("cannot open"),
+                  std::string::npos);
+    }
+}
+
+TEST(AtomicFile, ThrowingProducerLeavesNoTempOrphan)
+{
+    // Regression: the temp file used to survive a producer throw /
+    // failed rename and accumulate next to the target.
+    const std::string path = "/tmp/spasm_test_atomic_orphan.json";
+    std::remove(path.c_str());
+    EXPECT_THROW(writeFileAtomic(path,
+                                 [](std::ostream &out) {
+                                     out << "partial";
+                                     throw std::runtime_error("boom");
+                                 }),
+                 std::runtime_error);
+    std::ifstream tmp(path + ".tmp." + std::to_string(::getpid()));
+    EXPECT_FALSE(tmp.good());
+    std::ifstream target(path);
+    EXPECT_FALSE(target.good()); // target never materialized
 }
 
 } // namespace

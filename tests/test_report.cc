@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "core/batch.hh"
 #include "core/framework.hh"
 #include "core/stats_json.hh"
 #include "hw/accelerator.hh"
@@ -483,28 +484,42 @@ wildcardPath(const std::string &path)
     return path;
 }
 
-TEST(SchemaConformance, EmittedJsonMatchesDocumentedFieldList)
+/**
+ * All ```schema-fields blocks of docs/observability.md, in document
+ * order — block 0 is spasm-stats-v1, block 1 is spasm-batch-v1.
+ */
+std::vector<std::set<std::string>>
+documentedFieldBlocks()
 {
-    // Parse the ```schema-fields block out of docs/observability.md.
     const std::string doc_path =
         std::string(SPASM_SOURCE_DIR) + "/docs/observability.md";
     std::ifstream doc(doc_path);
-    ASSERT_TRUE(doc.good()) << doc_path;
-    std::set<std::string> documented;
+    EXPECT_TRUE(doc.good()) << doc_path;
+    std::vector<std::set<std::string>> blocks;
     std::string line;
     bool in_block = false;
     while (std::getline(doc, line)) {
         if (line == "```schema-fields") {
             in_block = true;
+            blocks.emplace_back();
             continue;
         }
-        if (in_block && line == "```")
-            break;
+        if (in_block && line == "```") {
+            in_block = false;
+            continue;
+        }
         if (in_block && !line.empty())
-            documented.insert(line);
+            blocks.back().insert(line);
     }
-    ASSERT_FALSE(documented.empty())
+    return blocks;
+}
+
+TEST(SchemaConformance, EmittedJsonMatchesDocumentedFieldList)
+{
+    const auto blocks = documentedFieldBlocks();
+    ASSERT_FALSE(blocks.empty())
         << "no ```schema-fields block in docs/observability.md";
+    const std::set<std::string> &documented = blocks[0];
 
     // Emit a full record: every optional section present.
     auto &reg = obs::Registry::global();
@@ -555,6 +570,88 @@ TEST(SchemaConformance, EmittedJsonMatchesDocumentedFieldList)
         EXPECT_TRUE(emitted.count(p) != 0)
             << "documented but not emitted: " << p;
     }
+}
+
+TEST(SchemaConformance, BatchJsonMatchesDocumentedFieldList)
+{
+    const auto blocks = documentedFieldBlocks();
+    ASSERT_GE(blocks.size(), 2u)
+        << "no spasm-batch-v1 schema-fields block in "
+           "docs/observability.md";
+    const std::set<std::string> &documented = blocks[1];
+    ASSERT_TRUE(documented.count("batch.totals.ok") != 0)
+        << "second schema-fields block is not the batch schema";
+
+    // A campaign exercising both job shapes: one ok (sim block
+    // present) and one budget-exceeded (error present, no sim), so
+    // every optional field of the record appears.
+    const std::string manifest =
+        writeTemp("batch_conf_manifest.json", R"({
+  "defaults": {"scale": "tiny"},
+  "jobs": [
+    {"id": "clean", "workload": "cfd2"},
+    {"id": "tight", "workload": "ex11",
+     "memory_budget_bytes": 64}
+  ]})");
+    BatchOptions opt;
+    opt.manifestPath = manifest;
+    opt.deterministic = true;
+    const BatchResult result = runBatchCampaign(opt);
+    std::ostringstream os;
+    writeBatchJson(os, result);
+
+    std::string err;
+    const JsonValue root = parseJson(os.str(), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    std::set<std::string> emitted_raw;
+    collectPaths(root, "", emitted_raw);
+    std::set<std::string> emitted;
+    for (const auto &p : emitted_raw)
+        emitted.insert(generalizePath(p));
+
+    for (const auto &p : emitted) {
+        EXPECT_TRUE(documented.count(p) != 0)
+            << "emitted but undocumented field: " << p;
+    }
+    for (const auto &p : documented) {
+        EXPECT_TRUE(emitted.count(p) != 0)
+            << "documented but not emitted: " << p;
+    }
+    std::remove(manifest.c_str());
+}
+
+TEST(StatsFile, AcceptsBatchSchemaAndFlattens)
+{
+    const std::string manifest =
+        writeTemp("batch_load_manifest.json", R"({
+  "defaults": {"scale": "tiny"},
+  "jobs": [{"id": "one", "workload": "cfd2"}]})");
+    BatchOptions opt;
+    opt.manifestPath = manifest;
+    opt.deterministic = true;
+    const BatchResult result = runBatchCampaign(opt);
+    std::ostringstream os;
+    writeBatchJson(os, result);
+
+    // The regression harness loads batch records like any stats
+    // file: flattened metrics, diffable against a golden.
+    const StatsFile f =
+        loadFixture("batch_record.json", os.str());
+    EXPECT_EQ(f.schema, "spasm-batch-v1");
+    const auto has = [&](const char *path) {
+        return std::any_of(f.metrics.begin(), f.metrics.end(),
+                           [&](const auto &m) {
+                               return m.path == path;
+                           });
+    };
+    EXPECT_TRUE(has("batch.totals.ok"));
+    EXPECT_TRUE(has("batch.jobs[0].attempts"));
+    EXPECT_TRUE(has("batch.jobs[0].peak_budget_bytes"));
+
+    const StatsFile g =
+        loadFixture("batch_record_b.json", os.str());
+    EXPECT_TRUE(diffStats(f, g, ToleranceSpec::defaults()).ok());
+    std::remove(manifest.c_str());
 }
 
 } // namespace

@@ -16,6 +16,8 @@
 #include "pattern/analysis.hh"
 #include "pattern/template_library.hh"
 #include "perf/schedule.hh"
+#include "support/cancellation.hh"
+#include "support/error.hh"
 #include "support/thread_pool.hh"
 #include "workloads/generators.hh"
 
@@ -99,6 +101,50 @@ TEST(ThreadPool, ExceptionFromPatternAnalysisWorkerPropagates)
                     throw std::bad_alloc();
             }),
         std::bad_alloc);
+}
+
+TEST(ThreadPool, CancelledMidLoopSkipsRemainingDeterministically)
+{
+    // Serial pool: iterations run in index order, so cancelling at
+    // i == 10 must execute exactly indices 0..10 and skip the rest.
+    ThreadPool pool(1);
+    CancellationToken token;
+    int ran = 0;
+    pool.parallelFor(
+        100,
+        [&](std::size_t i) {
+            ++ran;
+            if (i == 10)
+                token.cancel();
+        },
+        &token);
+    EXPECT_EQ(ran, 11);
+    EXPECT_TRUE(token.cancelled());
+}
+
+TEST(ThreadPool, PreCancelledTokenRunsNoBodies)
+{
+    for (unsigned concurrency : {1u, 8u}) {
+        ThreadPool pool(concurrency);
+        CancellationToken token;
+        token.cancel();
+        std::atomic<int> ran{0};
+        // Returns normally with zero bodies executed; the caller
+        // turns the trip into a typed error by polling.
+        pool.parallelFor(
+            1000, [&](std::size_t) { ++ran; }, &token);
+        EXPECT_EQ(ran.load(), 0);
+        EXPECT_THROW(token.throwIfCancelled("test loop"), Error);
+    }
+}
+
+TEST(ThreadPool, NullTokenMatchesPlainOverload)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    pool.parallelFor(
+        256, [&](std::size_t) { ++ran; }, nullptr);
+    EXPECT_EQ(ran.load(), 256);
 }
 
 TEST(ThreadPool, GlobalPoolResizes)

@@ -32,6 +32,7 @@
  * SPASM_SCALE, default small).
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -40,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "core/batch.hh"
 #include "core/chaos.hh"
 #include "core/framework.hh"
 #include "core/stats_json.hh"
@@ -101,9 +103,18 @@ usage()
         "                 (default DIR: bench/baselines)\n"
         "  spasm chaos    [--seed N] [--campaign default|storage|\n"
         "                 sim|degrade] [--workload NAME]\n"
+        "                 [--deadline-ms X]  per-trial deadline for\n"
+        "                     the sim campaign (timed-out bucket)\n"
         "                 [--json out.json]  seeded fault-injection\n"
         "                 campaign (docs/robustness.md); exit 1 on\n"
         "                 any silent corruption or crash\n"
+        "  spasm batch    --manifest jobs.json\n"
+        "                 [--journal run.journal] [--resume]\n"
+        "                 [--out merged.json] [--deterministic]\n"
+        "                 crash-safe batch campaign with per-job\n"
+        "                 deadlines, retries and memory budgets\n"
+        "                 (docs/robustness.md); exit 0 all ok,\n"
+        "                 1 any job failed, 3 interrupted\n"
         "  spasm --version\n"
         "global options:\n"
         "  --threads N    worker threads for pattern analysis and\n"
@@ -658,6 +669,9 @@ cmdChaos(const std::vector<std::string> &args)
     const std::string workload = optValue(args, "--workload");
     if (!workload.empty())
         opt.workload = workload;
+    const std::string deadline = optValue(args, "--deadline-ms");
+    if (!deadline.empty())
+        opt.deadlineMs = std::stod(deadline);
 
     const ChaosReport report = runChaosCampaign(opt);
     printChaosReport(report);
@@ -670,6 +684,52 @@ cmdChaos(const std::vector<std::string> &args)
         std::printf("chaos record written to %s\n", json.c_str());
     }
     return report.clean() ? 0 : 1;
+}
+
+/** Set by the SIGINT/SIGTERM handler; the campaign token watches it
+ *  and cancels in-flight jobs cooperatively — no async-signal-unsafe
+ *  work happens in the handler itself. */
+volatile std::sig_atomic_t g_batchSignal = 0;
+
+void
+batchSignalHandler(int sig)
+{
+    g_batchSignal = sig;
+}
+
+int
+cmdBatch(const std::vector<std::string> &args)
+{
+    BatchOptions opt;
+    opt.manifestPath = optValue(args, "--manifest");
+    if (opt.manifestPath.empty()) {
+        std::fprintf(stderr,
+                     "batch: missing --manifest <jobs.json>\n");
+        return 2;
+    }
+    opt.journalPath = optValue(args, "--journal");
+    if (opt.journalPath.empty())
+        opt.journalPath = opt.manifestPath + ".journal";
+    opt.resume = hasFlag(args, "--resume");
+    opt.deterministic = hasFlag(args, "--deterministic");
+    opt.signalFlag = &g_batchSignal;
+
+    std::signal(SIGINT, batchSignalHandler);
+    std::signal(SIGTERM, batchSignalHandler);
+    const BatchResult result = runBatchCampaign(opt);
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+
+    printBatchReport(result);
+    const std::string out = optValue(args, "--out");
+    if (!out.empty()) {
+        writeFileAtomic(out, [&](std::ostream &os) {
+            writeBatchJson(os, result);
+        });
+        std::printf("batch record written to %s\n", out.c_str());
+    }
+    std::printf("journal: %s\n", opt.journalPath.c_str());
+    return batchExitCode(result);
 }
 
 int
@@ -704,6 +764,8 @@ run(int argc, char **argv)
         return cmdBless(args);
     if (cmd == "chaos")
         return cmdChaos(args);
+    if (cmd == "batch")
+        return cmdBatch(args);
     if (cmd == "compare")
         return cmdCompare(args);
     if (args.empty())
