@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "perf/perf_model.hh"
+#include "prof/profiler.hh"
 #include "support/error.hh"
 #include "support/logging.hh"
 #include "support/obs.hh"
@@ -96,6 +97,7 @@ SpasmFramework::preprocess(const CooMatrix &m) const
     };
 
     obs::Span preprocess_span("framework.preprocess");
+    prof::Region preprocess_region("preprocess");
     preprocess_span.tag("matrix", m.name());
     obs::Registry::global().add("framework.matrices_preprocessed");
 
@@ -104,6 +106,7 @@ SpasmFramework::preprocess(const CooMatrix &m) const
     timer.reset();
     {
         obs::Span span("framework.analysis");
+        prof::Region region("analysis");
         pre.histogram = PatternHistogram::analyze(m, grid);
     }
     pre.timings.analysisMs = timer.elapsedMs();
@@ -113,6 +116,7 @@ SpasmFramework::preprocess(const CooMatrix &m) const
     timer.reset();
     {
         obs::Span span("framework.selection");
+        prof::Region region("selection");
         if (options_.dynamicTemplateSelection) {
             try {
                 const auto candidates = allCandidatePortfolios(grid);
@@ -149,6 +153,7 @@ SpasmFramework::preprocess(const CooMatrix &m) const
     SubmatrixProfile profile;
     {
         obs::Span span("framework.decomposition");
+        prof::Region region("decomposition");
         profile = buildProfile(m, pre.portfolio);
     }
     pre.timings.decompositionMs = timer.elapsedMs();
@@ -160,6 +165,7 @@ SpasmFramework::preprocess(const CooMatrix &m) const
     timer.reset();
     {
         obs::Span span("framework.schedule");
+        prof::Region region("schedule");
         bool explored = false;
         if (options_.scheduleExploration) {
             try {
@@ -202,6 +208,7 @@ SpasmFramework::preprocess(const CooMatrix &m) const
     checkpoint("framework.encode");
     {
         obs::Span span("framework.encode");
+        prof::Region region("encode");
         const SpasmEncoder encoder(pre.portfolio,
                                    pre.schedule.tileSize);
         pre.encoded = encoder.encode(m);
@@ -224,6 +231,7 @@ SpasmFramework::execute(const PreprocessResult &pre, const CooMatrix &m,
 {
     ExecutionResult result;
     obs::Span span("framework.execute");
+    prof::Region region("execute");
     span.tag("config", pre.schedule.config.name());
 
     if (options_.cancel != nullptr)

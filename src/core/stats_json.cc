@@ -1,13 +1,28 @@
 #include "core/stats_json.hh"
 
+#include <string_view>
+
 #include "support/json.hh"
 #include "support/obs.hh"
+#include "support/resource_usage.hh"
 #include "support/stats.hh"
 #include "support/version.hh"
 
 namespace spasm {
 
 namespace {
+
+/**
+ * Thread-pool health metrics are pure wall-clock/scheduling artifacts
+ * — their *counts* differ across thread counts, so under the
+ * deterministic contract (token-identical across `--threads`) they
+ * are omitted entirely rather than zeroed.
+ */
+bool
+isNondeterministicMetric(std::string_view name)
+{
+    return name.rfind("threadpool.", 0) == 0;
+}
 
 void
 writeRunStats(JsonWriter &json, const RunStats &s)
@@ -123,19 +138,27 @@ writeRegistry(JsonWriter &json, bool deterministic)
 
     json.key("counters");
     json.beginObject();
-    for (const auto &kv : reg.counters())
+    for (const auto &kv : reg.counters()) {
+        if (deterministic && isNondeterministicMetric(kv.first))
+            continue;
         json.field(kv.first, kv.second);
+    }
     json.endObject();
 
     json.key("gauges");
     json.beginObject();
-    for (const auto &kv : reg.gauges())
+    for (const auto &kv : reg.gauges()) {
+        if (deterministic && isNondeterministicMetric(kv.first))
+            continue;
         json.field(kv.first, kv.second);
+    }
     json.endObject();
 
     json.key("histograms");
     json.beginObject();
     for (const auto &kv : reg.histograms()) {
+        if (deterministic && isNondeterministicMetric(kv.first))
+            continue;
         json.key(kv.first);
         json.beginObject();
         json.field("count", kv.second.count());
@@ -198,6 +221,18 @@ writeStatsJson(std::ostream &os, const StatsReport &report)
             json.field("threads", p.threads);
         if (!p.scale.empty())
             json.field("scale", p.scale);
+        // Always emitted, zeroed under the determinism contract so
+        // two identical runs stay byte-identical.
+        ResourceUsage ru;
+        if (!report.deterministic) {
+            ru = {p.peakRssBytes, p.minorFaults, p.majorFaults};
+            if (ru.peakRssBytes == 0 && ru.minorFaults == 0 &&
+                ru.majorFaults == 0)
+                ru = currentResourceUsage();
+        }
+        json.field("peak_rss_bytes", ru.peakRssBytes);
+        json.field("minor_faults", ru.minorFaults);
+        json.field("major_faults", ru.majorFaults);
         json.endObject();
     }
 

@@ -13,6 +13,7 @@
 #ifndef SPASM_CORE_STATS_JSON_HH
 #define SPASM_CORE_STATS_JSON_HH
 
+#include <cstdint>
 #include <ostream>
 #include <string>
 
@@ -32,9 +33,13 @@ inline constexpr const char *kStatsJsonSchema = "spasm-stats-v1";
  * fault-free runs); minor 3 added the `spasm-batch-v1` sibling record
  * (core/batch.hh) with its per-job
  * `batch.jobs[].{outcome,attempts,deadline_ms,peak_budget_bytes}`
- * block.  Readers must ignore unknown fields.
+ * block; minor 4 added host resource usage to `provenance`
+ * (`peak_rss_bytes`, `minor_faults`, `major_faults` — zeroed under
+ * `--deterministic`) and the `spasm-prof-v1` / `spasm-bench-traj-v1`
+ * sibling records (prof/prof_json.hh, prof/trajectory.hh).  Readers
+ * must ignore unknown fields.
  */
-inline constexpr int kStatsJsonSchemaMinor = 3;
+inline constexpr int kStatsJsonSchemaMinor = 4;
 
 /**
  * Build/run provenance stamped into every record so `spasm compare`
@@ -50,6 +55,13 @@ struct StatsProvenance
     std::string compiler;  ///< e.g. "GNU 13.2.0" (defaulted if empty)
     int threads = 0;       ///< worker threads (0 = unset/omitted)
     std::string scale;     ///< workload scale echo ("" = omitted)
+    // Host resource usage, auto-filled at write time from
+    // getrusage(2) (zeros where unsupported) and zeroed under
+    // `--deterministic`.  Always emitted: `spasm compare` warns on
+    // provenance drift but never gates, so goldens need no re-bless.
+    std::uint64_t peakRssBytes = 0;
+    std::uint64_t minorFaults = 0;
+    std::uint64_t majorFaults = 0;
 };
 
 /** Everything one stats record can carry; null members are omitted. */

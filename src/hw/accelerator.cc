@@ -8,6 +8,7 @@
 #include <ostream>
 
 #include "hw/hbm.hh"
+#include "prof/profiler.hh"
 #include "support/cancellation.hh"
 #include "support/logging.hh"
 #include "support/memory_budget.hh"
@@ -335,9 +336,17 @@ Accelerator::runImpl(const SpasmMatrix &m,
     std::vector<double> ch_prev_bytes(
         obs_detail ? all_ch.size() : 0, 0.0);
 
+    // Host-side profiling: the run region plus an amortized sampler
+    // that attributes the cycle loop in ~1024-iteration blocks.  Both
+    // cache the enabled flag at construction — one predictable branch
+    // per cycle when profiling is off.
+    prof::Region prof_run("sim.run");
+    prof::HotLoopSampler prof_loop("sim.cycle_loop");
+
     std::uint64_t cycle = 0;
     int rr = 0; // rotating PE priority
     for (;; ++cycle) {
+        prof_loop.tick();
         bool all_done = true;
         for (const auto &pe : pes)
             all_done = all_done && pe.done;
@@ -354,10 +363,10 @@ Accelerator::runImpl(const SpasmMatrix &m,
                         static_cast<unsigned long long>(cycle));
         }
         // Cooperative deadline/cancel poll: cheap (pointer test when
-        // detached, one steady_clock read per 1024 cycles when
-        // armed), and it fires *before* the watchdog panic when an
-        // injected stuck channel wedges the run — the job is killed
-        // with a typed Error{Timeout}, not an abort.
+        // detached, one MonoClock read per 1024 cycles when armed),
+        // and it fires *before* the watchdog panic when an injected
+        // stuck channel wedges the run — the job is killed with a
+        // typed Error{Timeout}, not an abort.
         if (cancel_ != nullptr && (cycle & 1023u) == 0)
             cancel_->throwIfCancelled("simulator");
 
@@ -750,6 +759,8 @@ Accelerator::runImpl(const SpasmMatrix &m,
             }
         }
     }
+
+    prof_loop.finish();
 
     stats.occupancyBucketCycles = occ_width;
     stats.occupancyTimeline.reserve(occ_buckets.size() + 1);

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "prof/profiler.hh"
 #include "support/cancellation.hh"
 #include "support/logging.hh"
 #include "support/obs.hh"
@@ -45,6 +46,7 @@ exploreSchedule(const SubmatrixProfile &profile,
     spasm_assert(!configs.empty() && !tile_sizes.empty());
     auto &reg = obs::Registry::global();
     const bool observing = reg.enabled();
+    prof::Region explore_region("schedule.explore");
 
     // Evaluate the (tile size x config) grid in parallel, one task
     // per tile size: changing the tile size regenerates the global
@@ -58,6 +60,11 @@ exploreSchedule(const SubmatrixProfile &profile,
     std::vector<CandidateResult> results(tile_sizes.size() * n_cfg);
     ThreadPool::global().parallelFor(
         tile_sizes.size(), [&](std::size_t ti) {
+            // Worker-side region: books under its own thread's stack
+            // (depth 0 on pool threads, nested under
+            // schedule.explore on the caller), merged by path in the
+            // profile snapshot.
+            prof::Region region("schedule.gc_gen");
             const Index tile_size = tile_sizes[ti];
             const GlobalComposition gc = gcGen(profile, tile_size);
             for (std::size_t ci = 0; ci < n_cfg; ++ci) {

@@ -1,0 +1,183 @@
+#include "prof/perf_counters.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#define SPASM_HAVE_PERF_EVENT 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace spasm {
+namespace prof {
+
+namespace {
+
+/** The fixed event set, in fds_ order. */
+struct EventSpec
+{
+    const char *name;
+    std::uint32_t type;
+    std::uint64_t config;
+};
+
+#if defined(SPASM_HAVE_PERF_EVENT)
+constexpr EventSpec kEvents[HostCounters::kNumEvents] = {
+    {"cycles", PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {"instructions", PERF_TYPE_HARDWARE,
+     PERF_COUNT_HW_INSTRUCTIONS},
+    {"cache-references", PERF_TYPE_HARDWARE,
+     PERF_COUNT_HW_CACHE_REFERENCES},
+    {"cache-misses", PERF_TYPE_HARDWARE,
+     PERF_COUNT_HW_CACHE_MISSES},
+    {"branches", PERF_TYPE_HARDWARE,
+     PERF_COUNT_HW_BRANCH_INSTRUCTIONS},
+    {"branch-misses", PERF_TYPE_HARDWARE,
+     PERF_COUNT_HW_BRANCH_MISSES},
+};
+
+int
+openEvent(const EventSpec &spec)
+{
+    struct perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.size = sizeof(attr);
+    attr.type = spec.type;
+    attr.config = spec.config;
+    attr.disabled = 1;
+    attr.exclude_kernel = 1; // works at perf_event_paranoid <= 2
+    attr.exclude_hv = 1;
+    attr.read_format = PERF_FORMAT_TOTAL_TIME_ENABLED |
+        PERF_FORMAT_TOTAL_TIME_RUNNING;
+    return static_cast<int>(syscall(SYS_perf_event_open, &attr,
+                                    0 /* this process */,
+                                    -1 /* any cpu */,
+                                    -1 /* no group */, 0));
+}
+
+/** One multiplex-scaled counter value (0 on a failed read). */
+std::uint64_t
+readScaled(int fd)
+{
+    if (fd < 0)
+        return 0;
+    std::uint64_t buf[3] = {0, 0, 0}; // value, enabled, running
+    if (::read(fd, buf, sizeof(buf)) !=
+        static_cast<ssize_t>(sizeof(buf)))
+        return 0;
+    if (buf[2] == 0)
+        return 0; // never scheduled onto a PMU
+    if (buf[1] == buf[2])
+        return buf[0];
+    const double scale = static_cast<double>(buf[1]) /
+        static_cast<double>(buf[2]);
+    return static_cast<std::uint64_t>(
+        static_cast<double>(buf[0]) * scale);
+}
+#endif // SPASM_HAVE_PERF_EVENT
+
+} // namespace
+
+bool
+HostCounters::disabledByEnv()
+{
+    const char *v = std::getenv("SPASM_NO_PERF_COUNTERS");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+HostCounters::HostCounters(bool force_unavailable)
+{
+    fds_.fill(-1);
+    if (force_unavailable || disabledByEnv()) {
+        degradation_ = "host counters disabled "
+                       "(SPASM_NO_PERF_COUNTERS / --no-host-"
+                       "counters); timers-only profile";
+        return;
+    }
+#if defined(SPASM_HAVE_PERF_EVENT)
+    int first_errno = 0;
+    for (std::size_t i = 0; i < kNumEvents; ++i) {
+        fds_[i] = openEvent(kEvents[i]);
+        if (fds_[i] < 0 && first_errno == 0)
+            first_errno = errno;
+    }
+    // cycles + instructions are the floor; optional events (cache /
+    // branch) may be missing on their own without degrading.
+    available_ = fds_[0] >= 0 && fds_[1] >= 0;
+    if (!available_) {
+        for (int &fd : fds_) {
+            if (fd >= 0)
+                ::close(fd);
+            fd = -1;
+        }
+        degradation_ = std::string("perf_event_open unavailable (") +
+            std::strerror(first_errno) +
+            "; likely kernel.perf_event_paranoid or a container "
+            "seccomp filter); timers-only profile";
+    }
+#else
+    degradation_ = "perf_event_open not supported on this platform; "
+                   "timers-only profile";
+#endif
+}
+
+HostCounters::~HostCounters()
+{
+#if defined(SPASM_HAVE_PERF_EVENT)
+    for (int fd : fds_) {
+        if (fd >= 0)
+            ::close(fd);
+    }
+#endif
+}
+
+void
+HostCounters::start()
+{
+#if defined(SPASM_HAVE_PERF_EVENT)
+    for (int fd : fds_) {
+        if (fd >= 0) {
+            ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+            ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+        }
+    }
+#endif
+}
+
+void
+HostCounters::stop()
+{
+#if defined(SPASM_HAVE_PERF_EVENT)
+    for (int fd : fds_) {
+        if (fd >= 0)
+            ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+    }
+#endif
+}
+
+HostCounterValues
+HostCounters::read() const
+{
+    HostCounterValues out;
+    out.available = available_;
+    out.degradation = degradation_;
+    if (!available_)
+        return out;
+#if defined(SPASM_HAVE_PERF_EVENT)
+    out.cycles = readScaled(fds_[0]);
+    out.instructions = readScaled(fds_[1]);
+    out.cacheReferences = readScaled(fds_[2]);
+    out.cacheMisses = readScaled(fds_[3]);
+    out.branches = readScaled(fds_[4]);
+    out.branchMisses = readScaled(fds_[5]);
+#endif
+    return out;
+}
+
+} // namespace prof
+} // namespace spasm

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Optional host hardware counters via perf_event_open(2): CPU
+ * cycles, retired instructions, cache and branch misses — the inputs
+ * for IPC and miss-rate lines in the `spasm profile` record.
+ *
+ * The syscall is frequently unavailable (containers and CI commonly
+ * run with kernel.perf_event_paranoid locked down, non-Linux hosts
+ * lack it entirely), so this follows the PR 4 degradation idiom:
+ * construction never fails.  When any counter cannot be opened the
+ * object degrades to timers-only — `available()` is false, a
+ * human-readable `degradation()` note says why, and `read()` returns
+ * zeroed values with `available = false` stamped into the JSON so a
+ * consumer can tell "no counters" from "zero misses".
+ *
+ * Counters are opened individually (not as one group): on hosts
+ * where e.g. cache events are unsupported, cycles/instructions still
+ * work.  `available()` requires at least cycles + instructions.
+ * Multiplexing is handled with TIME_ENABLED/TIME_RUNNING scaling.
+ *
+ * Set SPASM_NO_PERF_COUNTERS=1 to force the degraded path (tests and
+ * reproducible CI runs use this).
+ */
+
+#ifndef SPASM_PROF_PERF_COUNTERS_HH
+#define SPASM_PROF_PERF_COUNTERS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace spasm {
+namespace prof {
+
+/** One read()-time sample of every counter (zeros when degraded). */
+struct HostCounterValues
+{
+    bool available = false;  ///< cycles + instructions were measured
+    std::string degradation; ///< why not, "" when available
+
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t cacheReferences = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t branchMisses = 0;
+
+    /** Instructions per cycle (0 when unavailable). */
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    /** cache misses / cache references (0 when unavailable). */
+    double
+    cacheMissRate() const
+    {
+        return cacheReferences
+                   ? static_cast<double>(cacheMisses) /
+                         static_cast<double>(cacheReferences)
+                   : 0.0;
+    }
+
+    /** branch misses / branches (0 when unavailable). */
+    double
+    branchMissRate() const
+    {
+        return branches ? static_cast<double>(branchMisses) /
+                              static_cast<double>(branches)
+                        : 0.0;
+    }
+};
+
+/** RAII wrapper over a set of per-process perf_event fds. */
+class HostCounters
+{
+  public:
+    /**
+     * Open the counters for the calling process (all CPUs it runs
+     * on).  @p force_unavailable skips the syscall entirely and
+     * records a degradation note — the explicit knob behind
+     * SPASM_NO_PERF_COUNTERS and the degradation tests.
+     */
+    explicit HostCounters(bool force_unavailable = false);
+    ~HostCounters();
+
+    HostCounters(const HostCounters &) = delete;
+    HostCounters &operator=(const HostCounters &) = delete;
+
+    /** True when cycles + instructions opened. */
+    bool available() const { return available_; }
+
+    /** Why the counters degraded ("" when available). */
+    const std::string &degradation() const { return degradation_; }
+
+    /** Reset and start counting. */
+    void start();
+
+    /** Stop counting (values freeze until the next start()). */
+    void stop();
+
+    /** Current (or frozen) values, multiplex-scaled. */
+    HostCounterValues read() const;
+
+    /** True iff the environment forces degradation
+     *  (SPASM_NO_PERF_COUNTERS=1). */
+    static bool disabledByEnv();
+
+    /** cycles, instructions, cache refs/misses, branches/misses. */
+    static constexpr std::size_t kNumEvents = 6;
+
+  private:
+    bool available_ = false;
+    std::string degradation_;
+    std::array<int, kNumEvents> fds_{};
+};
+
+} // namespace prof
+} // namespace spasm
+
+#endif // SPASM_PROF_PERF_COUNTERS_HH

@@ -1,0 +1,197 @@
+#include "prof/prof_json.hh"
+
+#include <algorithm>
+
+#include "support/json.hh"
+#include "support/version.hh"
+
+namespace spasm {
+namespace prof {
+
+namespace {
+
+double
+nsToMs(std::uint64_t ns)
+{
+    return static_cast<double>(ns) / 1e6;
+}
+
+} // namespace
+
+double
+attributedCoverage(const std::vector<RegionStat> &regions,
+                   double wall_ms)
+{
+    if (wall_ms <= 0.0)
+        return 0.0;
+    // Depth-0 regions partition the run (they never overlap on one
+    // thread); their sum over the wall clock is what the profiler
+    // explained.  Clamp: multi-thread top-level regions could
+    // legitimately exceed 1.0 of single-thread wall.
+    double top_ms = 0.0;
+    for (const auto &r : regions) {
+        if (r.depth == 0)
+            top_ms += nsToMs(r.totalNs);
+    }
+    return std::min(1.0, top_ms / wall_ms);
+}
+
+double
+regionWallMs(const std::vector<RegionStat> &regions,
+             const std::string &name)
+{
+    double ms = 0.0;
+    for (const auto &r : regions) {
+        if (r.name == name)
+            ms += nsToMs(r.totalNs);
+    }
+    return ms;
+}
+
+void
+writeProfJson(std::ostream &os, const ProfReport &report)
+{
+    JsonWriter json(os);
+    json.beginObject();
+    json.field("schema", kProfJsonSchema);
+    json.field("schema_minor", kProfJsonSchemaMinor);
+    json.field("generator", report.generator);
+
+    json.key("provenance");
+    json.beginObject();
+    json.field("git", report.git.empty() ? gitDescribe()
+                                         : report.git.c_str());
+    json.field("build_type", report.buildType.empty()
+                                 ? buildType()
+                                 : report.buildType.c_str());
+    json.field("compiler", report.compiler.empty()
+                               ? compilerId()
+                               : report.compiler.c_str());
+    if (report.threads > 0)
+        json.field("threads", report.threads);
+    if (!report.scale.empty())
+        json.field("scale", report.scale);
+    json.field("peak_rss_bytes", report.rusage.peakRssBytes);
+    json.field("minor_faults", report.rusage.minorFaults);
+    json.field("major_faults", report.rusage.majorFaults);
+    json.endObject();
+
+    json.key("input");
+    json.beginObject();
+    json.field("name", report.inputName);
+    json.endObject();
+
+    json.field("wall_ms", report.wallMs);
+    json.field("coverage",
+               attributedCoverage(report.regions, report.wallMs));
+
+    json.key("regions");
+    json.beginArray();
+    for (const auto &r : report.regions) {
+        json.beginObject();
+        json.field("path", r.path);
+        json.field("name", r.name);
+        json.field("depth", r.depth);
+        json.field("count", r.count);
+        json.field("total_ms", nsToMs(r.totalNs));
+        json.field("self_ms", nsToMs(r.selfNs()));
+        json.field("wall_fraction",
+                   report.wallMs > 0.0
+                       ? nsToMs(r.totalNs) / report.wallMs
+                       : 0.0);
+        json.field("threads", r.threads);
+        json.endObject();
+    }
+    json.endArray();
+
+    json.key("thread_pool");
+    json.beginObject();
+    json.field("workers", report.pool.workers);
+    json.field("loops", report.pool.loops);
+    json.key("queue_wait");
+    json.beginObject();
+    json.field("count", report.pool.queueWaitCount);
+    json.field("total_ms", report.pool.queueWaitTotalMs);
+    json.field("max_ms", report.pool.queueWaitMaxMs);
+    json.endObject();
+    json.key("workers_busy");
+    json.beginArray();
+    for (const auto &w : report.pool.workersBusy) {
+        json.beginObject();
+        json.field("worker", w.worker);
+        json.field("busy_ms", w.busyMs);
+        json.field("busy_fraction", w.busyFraction);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+
+    {
+        const HostCounterValues &c = report.counters;
+        json.key("host_counters");
+        json.beginObject();
+        json.field("available", c.available);
+        json.field("degradation", c.degradation);
+        json.field("cycles", c.cycles);
+        json.field("instructions", c.instructions);
+        json.field("ipc", c.ipc());
+        json.field("cache_references", c.cacheReferences);
+        json.field("cache_misses", c.cacheMisses);
+        json.field("cache_miss_rate", c.cacheMissRate());
+        json.field("branches", c.branches);
+        json.field("branch_misses", c.branchMisses);
+        json.field("branch_miss_rate", c.branchMissRate());
+        json.endObject();
+    }
+
+    if (report.simCycles > 0) {
+        const double sim_wall_ms =
+            regionWallMs(report.regions, "sim.run");
+        json.key("sim");
+        json.beginObject();
+        json.field("cycles", report.simCycles);
+        json.field("seconds", report.simSeconds);
+        json.field("wall_ms", sim_wall_ms);
+        json.field("cycles_per_host_sec",
+                   sim_wall_ms > 0.0
+                       ? static_cast<double>(report.simCycles) /
+                             (sim_wall_ms / 1e3)
+                       : 0.0);
+        json.endObject();
+    }
+
+    json.endObject();
+    json.finish();
+}
+
+void
+writeFlamegraphCollapsed(std::ostream &os,
+                         const std::vector<RegionStat> &regions)
+{
+    // Collapsed-stack lines want integer sample counts; self-µs is
+    // the natural unit.  Zero-self interior nodes are skipped (their
+    // time lives in their children), zero-self leaves are kept at 1µs
+    // so every recorded region is visible in the graph.
+    for (const auto &r : regions) {
+        std::uint64_t self_us = r.selfNs() / 1000;
+        if (self_us == 0) {
+            bool has_child = false;
+            for (const auto &other : regions) {
+                if (other.path.size() > r.path.size() &&
+                    other.path.compare(0, r.path.size(), r.path) ==
+                        0 &&
+                    other.path[r.path.size()] == ';') {
+                    has_child = true;
+                    break;
+                }
+            }
+            if (has_child)
+                continue;
+            self_us = 1;
+        }
+        os << r.path << ' ' << self_us << '\n';
+    }
+}
+
+} // namespace prof
+} // namespace spasm

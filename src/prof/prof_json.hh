@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The `spasm-prof-v1` record: one self-profiling run serialized as
+ * schema-versioned JSON (the host-side sibling of `spasm-stats-v1`),
+ * plus a flamegraph-compatible collapsed-stack writer.
+ *
+ * Emitted by `spasm profile`; consumed by `spasm report` (host
+ * attribution: simulated-hardware-bound vs host-bound) and by the
+ * profile-smoke CI job.  The flattened field list is documented and
+ * machine-checked against docs/observability.md ("Profiling"
+ * section) exactly like the stats schema.
+ *
+ * The collapsed-stack output is one line per region path —
+ * `outer;inner;leaf <self_us>` — loadable by flamegraph.pl, inferno,
+ * speedscope, or any collapsed-stack viewer.
+ */
+
+#ifndef SPASM_PROF_PROF_JSON_HH
+#define SPASM_PROF_PROF_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "prof/perf_counters.hh"
+#include "prof/profiler.hh"
+#include "support/resource_usage.hh"
+
+namespace spasm {
+namespace prof {
+
+/** The schema tag of every profile record. */
+inline constexpr const char *kProfJsonSchema = "spasm-prof-v1";
+inline constexpr int kProfJsonSchemaMinor = 0;
+
+/** Thread-pool health carried into the record (satellite of the
+ *  threadpool.* obs metrics; see ThreadPool::healthSnapshot). */
+struct ProfPoolWorker
+{
+    int worker = 0;
+    double busyMs = 0.0;
+    double busyFraction = 0.0; ///< of the profile window
+};
+
+struct ProfPoolHealth
+{
+    int workers = 0;             ///< helper threads (caller excluded)
+    std::uint64_t loops = 0;     ///< parallelFor calls that queued
+    std::uint64_t queueWaitCount = 0;
+    double queueWaitTotalMs = 0.0;
+    double queueWaitMaxMs = 0.0;
+    std::vector<ProfPoolWorker> workersBusy;
+};
+
+/** Everything one profile record carries. */
+struct ProfReport
+{
+    std::string generator = "spasm_cli";
+
+    /** Build/run provenance (same semantics as spasm-stats-v1);
+     *  empty git/build/compiler auto-fill from version.hh. */
+    std::string git;
+    std::string buildType;
+    std::string compiler;
+    int threads = 0;   ///< omitted when 0
+    std::string scale; ///< omitted when empty
+    ResourceUsage rusage;
+
+    std::string inputName;
+
+    double wallMs = 0.0; ///< wall clock of the whole profiled run
+    std::vector<RegionStat> regions;
+
+    ProfPoolHealth pool;
+
+    HostCounterValues counters;
+
+    /** Simulated-hardware totals (across all iterations). */
+    std::uint64_t simCycles = 0;
+    double simSeconds = 0.0;
+};
+
+/**
+ * Fraction of @p wall_ms attributed to top-level (depth-0) regions —
+ * the acceptance metric of the profile-smoke CI job (>= 0.95).
+ */
+double attributedCoverage(const std::vector<RegionStat> &regions,
+                          double wall_ms);
+
+/** Total wall-clock ms spent in regions whose leaf is @p name. */
+double regionWallMs(const std::vector<RegionStat> &regions,
+                    const std::string &name);
+
+/** Write one spasm-prof-v1 record (pretty-printed JSON). */
+void writeProfJson(std::ostream &os, const ProfReport &report);
+
+/** Write the regions as flamegraph collapsed stacks (self µs). */
+void writeFlamegraphCollapsed(std::ostream &os,
+                              const std::vector<RegionStat> &regions);
+
+} // namespace prof
+} // namespace spasm
+
+#endif // SPASM_PROF_PROF_JSON_HH

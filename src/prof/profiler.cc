@@ -1,0 +1,219 @@
+#include "prof/profiler.hh"
+
+#include <algorithm>
+
+#include "support/timer.hh"
+
+namespace spasm {
+namespace prof {
+
+/**
+ * Per-thread recording state.  Each thread owns one (registered in
+ * the profiler's list so the snapshot can find it after the thread
+ * moved on); the mutex is effectively uncontended — only snapshot()
+ * ever takes it from another thread.
+ */
+struct Profiler::ThreadData
+{
+    struct Node
+    {
+        std::uint64_t count = 0;
+        std::uint64_t totalNs = 0;
+        std::uint64_t childNs = 0;
+    };
+
+    struct Frame
+    {
+        std::string path;
+        std::uint64_t startNs = 0;
+        std::uint64_t childNs = 0;
+    };
+
+    std::mutex mutex;
+    std::map<std::string, Node, std::less<>> nodes;
+    std::vector<Frame> stack;
+};
+
+Profiler &
+Profiler::global()
+{
+    static Profiler instance;
+    return instance;
+}
+
+Profiler::ThreadData &
+Profiler::tls()
+{
+    struct TlsSlot
+    {
+        const Profiler *owner = nullptr;
+        std::uint64_t generation = 0;
+        std::shared_ptr<ThreadData> data;
+    };
+    static thread_local TlsSlot slot;
+    const std::uint64_t gen =
+        generation_.load(std::memory_order_relaxed);
+    if (slot.owner != this || slot.generation != gen || !slot.data) {
+        slot.owner = this;
+        slot.generation = gen;
+        slot.data = std::make_shared<ThreadData>();
+        std::lock_guard<std::mutex> lock(threadsMutex_);
+        threads_.push_back(slot.data);
+    }
+    return *slot.data;
+}
+
+void
+Profiler::setEnabled(bool enabled)
+{
+    if (enabled && !this->enabled()) {
+        windowStartNs_.store(monoNowNs(), std::memory_order_relaxed);
+        generation_.fetch_add(1, std::memory_order_relaxed);
+    }
+    enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+void
+Profiler::clear()
+{
+    std::lock_guard<std::mutex> lock(threadsMutex_);
+    threads_.clear();
+    windowStartNs_.store(monoNowNs(), std::memory_order_relaxed);
+    generation_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+Profiler::enter(std::string_view name)
+{
+    if (!enabled())
+        return;
+    ThreadData &td = tls();
+    std::lock_guard<std::mutex> lock(td.mutex);
+    ThreadData::Frame frame;
+    frame.path = td.stack.empty()
+                     ? std::string(name)
+                     : td.stack.back().path + ";" + std::string(name);
+    frame.startNs = monoNowNs();
+    td.stack.push_back(std::move(frame));
+}
+
+void
+Profiler::leave()
+{
+    if (!enabled())
+        return;
+    ThreadData &td = tls();
+    std::lock_guard<std::mutex> lock(td.mutex);
+    if (td.stack.empty())
+        return; // enable/disable raced a scope; drop, don't crash
+    const std::uint64_t now = monoNowNs();
+    ThreadData::Frame frame = std::move(td.stack.back());
+    td.stack.pop_back();
+    const std::uint64_t dur =
+        now > frame.startNs ? now - frame.startNs : 0;
+    ThreadData::Node &node = td.nodes[frame.path];
+    node.count += 1;
+    node.totalNs += dur;
+    node.childNs += frame.childNs;
+    if (!td.stack.empty())
+        td.stack.back().childNs += dur;
+}
+
+void
+Profiler::addSample(std::string_view name, std::uint64_t ns,
+                    std::uint64_t count)
+{
+    if (!enabled())
+        return;
+    ThreadData &td = tls();
+    std::lock_guard<std::mutex> lock(td.mutex);
+    const std::string path =
+        td.stack.empty()
+            ? std::string(name)
+            : td.stack.back().path + ";" + std::string(name);
+    ThreadData::Node &node = td.nodes[path];
+    node.count += count;
+    node.totalNs += ns;
+    // The sample is "inside" the enclosing region: charge it as child
+    // time so the parent's self time excludes it.
+    if (!td.stack.empty())
+        td.stack.back().childNs += ns;
+}
+
+std::vector<RegionStat>
+Profiler::snapshot() const
+{
+    std::vector<std::shared_ptr<ThreadData>> threads;
+    {
+        std::lock_guard<std::mutex> lock(threadsMutex_);
+        threads = threads_;
+    }
+    std::map<std::string, RegionStat, std::less<>> merged;
+    for (const auto &td : threads) {
+        std::lock_guard<std::mutex> lock(td->mutex);
+        for (const auto &kv : td->nodes) {
+            RegionStat &r = merged[kv.first];
+            if (r.path.empty()) {
+                r.path = kv.first;
+                const std::size_t sep = kv.first.rfind(';');
+                r.name = sep == std::string::npos
+                             ? kv.first
+                             : kv.first.substr(sep + 1);
+                r.depth = static_cast<int>(std::count(
+                    kv.first.begin(), kv.first.end(), ';'));
+            }
+            r.count += kv.second.count;
+            r.totalNs += kv.second.totalNs;
+            r.childNs += kv.second.childNs;
+            r.threads += 1;
+        }
+    }
+    std::vector<RegionStat> out;
+    out.reserve(merged.size());
+    for (auto &kv : merged)
+        out.push_back(std::move(kv.second));
+    return out;
+}
+
+std::uint64_t
+Profiler::windowNs() const
+{
+    if (!enabled())
+        return 0;
+    const std::uint64_t start =
+        windowStartNs_.load(std::memory_order_relaxed);
+    const std::uint64_t now = monoNowNs();
+    return now > start ? now - start : 0;
+}
+
+HotLoopSampler::HotLoopSampler(std::string_view name,
+                               std::uint32_t period_mask,
+                               Profiler &profiler)
+    : profiler_(&profiler), name_(name), mask_(period_mask),
+      active_(profiler.enabled())
+{
+    if (active_)
+        lastNs_ = monoNowNs();
+}
+
+void
+HotLoopSampler::sample()
+{
+    const std::uint64_t now = monoNowNs();
+    profiler_->addSample(name_, now > lastNs_ ? now - lastNs_ : 0);
+    lastNs_ = now;
+    sampledTicks_ = ticks_;
+}
+
+void
+HotLoopSampler::finish()
+{
+    if (!active_)
+        return;
+    if (ticks_ > sampledTicks_)
+        sample(); // book the trailing partial block
+    active_ = false;
+}
+
+} // namespace prof
+} // namespace spasm

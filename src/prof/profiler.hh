@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Host-side self-profiler: hierarchical, thread-aware region timers
+ * with an amortized sampler for the simulator's cycle loop.
+ *
+ * Where the obs registry (support/obs.hh) records what the *simulated
+ * hardware* did, this layer records where the *host* spends wall
+ * clock — so `spasm profile` can say whether a run is bound by the
+ * cycle-level simulation itself or by a software stage around it,
+ * and ROADMAP item 2 (make the simulator fast) can land against
+ * measured numbers.
+ *
+ * Model: a `Region` is an RAII scope keyed by name.  Regions nest —
+ * each thread keeps its own open-region stack, and a region's
+ * identity is its full path from that thread's outermost region
+ * ("preprocess;framework.analysis").  Identical paths from different
+ * threads merge in the snapshot (count/total sum, a distinct-thread
+ * count is kept), so a parallelFor body wrapped in a Region shows up
+ * once with the combined time of every worker.
+ *
+ * Hot loops cannot afford a clock read per iteration.
+ * `HotLoopSampler` is the amortized idiom the simulator uses: one
+ * branch per cycle, one clock read per 1024-cycle block, the block's
+ * wall time attributed to a child region of whatever the thread has
+ * open.  Identical to the PR 1 observability contract: everything is
+ * zero-cost when the profiler is disabled (a single relaxed atomic
+ * load / cached bool), and enabling it never perturbs simulated
+ * cycle counts or the y vector.
+ *
+ * Lifecycle mirrors the obs registry: OFF by default,
+ * `setEnabled(true)` + `clear()` open a collection window,
+ * `snapshot()` merges all threads' data by value.  setEnabled/clear
+ * are lifecycle operations — call them while no thread is inside a
+ * Region.
+ */
+
+#ifndef SPASM_PROF_PROFILER_HH
+#define SPASM_PROF_PROFILER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spasm {
+namespace prof {
+
+/** One merged region in a snapshot (aggregated across threads). */
+struct RegionStat
+{
+    std::string path; ///< ';'-joined names from the thread's root
+    std::string name; ///< leaf name
+    int depth = 0;    ///< path components - 1
+    std::uint64_t count = 0;   ///< times entered (or sampled blocks)
+    std::uint64_t totalNs = 0; ///< inclusive wall time
+    std::uint64_t childNs = 0; ///< time inside nested regions
+    int threads = 0;           ///< distinct threads that entered
+
+    /** Exclusive (self) time: total minus nested children. */
+    std::uint64_t
+    selfNs() const
+    {
+        return totalNs > childNs ? totalNs - childNs : 0;
+    }
+};
+
+/** The process-wide profiler singleton. */
+class Profiler
+{
+  public:
+    Profiler() = default;
+
+    static Profiler &global();
+
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Turn collection on/off; enabling (re)sets the window epoch.
+     *  Lifecycle operation — no Regions may be open. */
+    void setEnabled(bool enabled);
+
+    /** Drop all recorded regions.  Lifecycle operation. */
+    void clear();
+
+    /** Open a region named @p name on the calling thread (no-op
+     *  while disabled).  Prefer the RAII Region wrapper. */
+    void enter(std::string_view name);
+
+    /** Close the calling thread's innermost open region. */
+    void leave();
+
+    /**
+     * Attribute @p ns of already-measured wall time to a region
+     * named @p name nested under the calling thread's innermost open
+     * region, adding @p count entries.  The amortized path used by
+     * HotLoopSampler — no region is opened or closed.
+     */
+    void addSample(std::string_view name, std::uint64_t ns,
+                   std::uint64_t count = 1);
+
+    /** Merged per-path statistics, sorted by path. */
+    std::vector<RegionStat> snapshot() const;
+
+    /** Nanoseconds since setEnabled(true) (0 while disabled). */
+    std::uint64_t windowNs() const;
+
+  private:
+    struct ThreadData;
+
+    ThreadData &tls();
+
+    std::atomic<bool> enabled_{false};
+    std::atomic<std::uint64_t> generation_{0};
+    std::atomic<std::uint64_t> windowStartNs_{0};
+
+    mutable std::mutex threadsMutex_;
+    /** Registered per-thread data; entries outlive their threads (a
+     *  thread's stats must survive into the snapshot). */
+    std::vector<std::shared_ptr<ThreadData>> threads_;
+};
+
+/**
+ * RAII profiling scope.  Disabled profiler: construction is a single
+ * relaxed atomic load, destruction a branch on a cached bool.
+ */
+class Region
+{
+  public:
+    explicit Region(std::string_view name,
+                    Profiler &profiler = Profiler::global())
+        : profiler_(&profiler), active_(profiler.enabled())
+    {
+        if (active_)
+            profiler_->enter(name);
+    }
+
+    ~Region()
+    {
+        if (active_)
+            profiler_->leave();
+    }
+
+    Region(const Region &) = delete;
+    Region &operator=(const Region &) = delete;
+
+  private:
+    Profiler *profiler_;
+    bool active_;
+};
+
+/**
+ * Amortized hot-loop attribution: call tick() once per iteration;
+ * every 2^k-th tick (default 1024) reads the clock once and books
+ * the elapsed block under @p name.  finish() flushes the partial
+ * block — call it after the loop (the destructor also does).
+ *
+ * When the profiler is disabled at construction, tick() is a single
+ * branch on a cached bool and nothing else ever happens — the
+ * simulator's cycle counts stay bit-identical either way.
+ */
+class HotLoopSampler
+{
+  public:
+    explicit HotLoopSampler(std::string_view name,
+                            std::uint32_t period_mask = 1023,
+                            Profiler &profiler = Profiler::global());
+    ~HotLoopSampler() { finish(); }
+
+    HotLoopSampler(const HotLoopSampler &) = delete;
+    HotLoopSampler &operator=(const HotLoopSampler &) = delete;
+
+    void
+    tick()
+    {
+        if (!active_)
+            return;
+        if ((++ticks_ & mask_) == 0)
+            sample();
+    }
+
+    /** Flush the in-progress partial block (idempotent). */
+    void finish();
+
+  private:
+    void sample();
+
+    Profiler *profiler_;
+    std::string name_;
+    std::uint32_t mask_;
+    bool active_;
+    std::uint64_t ticks_ = 0;
+    std::uint64_t sampledTicks_ = 0;
+    std::uint64_t lastNs_ = 0;
+};
+
+/** Shorthand for Profiler::global().enabled(). */
+inline bool
+enabled()
+{
+    return Profiler::global().enabled();
+}
+
+} // namespace prof
+} // namespace spasm
+
+#endif // SPASM_PROF_PROFILER_HH

@@ -1,0 +1,210 @@
+#include "prof/trajectory.hh"
+
+#include <filesystem>
+
+#include "support/atomic_file.hh"
+#include "support/json.hh"
+#include "support/json_value.hh"
+#include "support/logging.hh"
+#include "support/table.hh"
+#include "support/version.hh"
+
+namespace spasm {
+namespace prof {
+
+namespace {
+
+TrajectoryWorkload
+parseWorkload(const JsonValue &v)
+{
+    TrajectoryWorkload w;
+    w.name = v.stringOr("name");
+    w.config = v.stringOr("config");
+    w.wallMs = v.numberOr("wall_ms", 0.0);
+    w.preprocessMs = v.numberOr("preprocess_ms", 0.0);
+    w.simulateMs = v.numberOr("simulate_ms", 0.0);
+    w.simCycles = static_cast<std::uint64_t>(
+        v.numberOr("sim_cycles", 0.0));
+    w.simCyclesPerHostSec = v.numberOr("cycles_per_host_sec", 0.0);
+    w.ipc = v.numberOr("ipc", 0.0);
+    w.cacheMissRate = v.numberOr("cache_miss_rate", 0.0);
+    return w;
+}
+
+TrajectoryEntry
+parseEntry(const JsonValue &v)
+{
+    TrajectoryEntry e;
+    e.label = v.stringOr("label");
+    e.git = v.stringOr("git");
+    e.buildType = v.stringOr("build_type");
+    e.compiler = v.stringOr("compiler");
+    e.scale = v.stringOr("scale");
+    e.threads = static_cast<int>(v.numberOr("threads", 0.0));
+    e.iters = static_cast<int>(v.numberOr("iters", 1.0));
+    const JsonValue *avail = v.find("counters_available");
+    e.countersAvailable = avail != nullptr &&
+        avail->kind == JsonValue::Kind::Bool && avail->boolean;
+    e.totalWallMs = v.numberOr("total_wall_ms", 0.0);
+    e.simCyclesPerHostSec = v.numberOr("cycles_per_host_sec", 0.0);
+    const JsonValue *workloads = v.find("workloads");
+    if (workloads != nullptr && workloads->isArray()) {
+        for (const auto &w : workloads->array)
+            e.workloads.push_back(parseWorkload(w));
+    }
+    return e;
+}
+
+} // namespace
+
+Trajectory
+loadTrajectory(const std::string &path)
+{
+    Trajectory traj;
+    if (!std::filesystem::exists(path))
+        return traj; // first --record starts the file
+    const JsonValue root = parseJsonFile(path);
+    if (!root.isObject())
+        spasm_fatal("%s: top-level JSON value is not an object",
+                    path.c_str());
+    const std::string schema = root.stringOr("schema");
+    if (schema != kTrajectorySchema) {
+        spasm_fatal("%s: unknown schema '%s' (expected %s)",
+                    path.c_str(), schema.c_str(),
+                    kTrajectorySchema);
+    }
+    traj.schemaMinor =
+        static_cast<int>(root.numberOr("schema_minor", 0.0));
+    const JsonValue *entries = root.find("entries");
+    if (entries != nullptr && entries->isArray()) {
+        for (const auto &e : entries->array)
+            traj.entries.push_back(parseEntry(e));
+    }
+    return traj;
+}
+
+void
+writeTrajectory(std::ostream &os, const Trajectory &traj)
+{
+    JsonWriter json(os);
+    json.beginObject();
+    json.field("schema", kTrajectorySchema);
+    json.field("schema_minor", kTrajectorySchemaMinor);
+    json.key("entries");
+    json.beginArray();
+    for (const auto &e : traj.entries) {
+        json.beginObject();
+        json.field("label", e.label);
+        json.field("git", e.git);
+        json.field("build_type", e.buildType);
+        json.field("compiler", e.compiler);
+        json.field("scale", e.scale);
+        json.field("threads", e.threads);
+        json.field("iters", e.iters);
+        json.field("counters_available", e.countersAvailable);
+        json.field("total_wall_ms", e.totalWallMs);
+        json.field("cycles_per_host_sec", e.simCyclesPerHostSec);
+        json.key("workloads");
+        json.beginArray();
+        for (const auto &w : e.workloads) {
+            json.beginObject();
+            json.field("name", w.name);
+            json.field("config", w.config);
+            json.field("wall_ms", w.wallMs);
+            json.field("preprocess_ms", w.preprocessMs);
+            json.field("simulate_ms", w.simulateMs);
+            json.field("sim_cycles", w.simCycles);
+            json.field("cycles_per_host_sec", w.simCyclesPerHostSec);
+            json.field("ipc", w.ipc);
+            json.field("cache_miss_rate", w.cacheMissRate);
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    json.finish();
+}
+
+void
+appendTrajectoryEntry(const std::string &path,
+                      const TrajectoryEntry &entry)
+{
+    Trajectory traj = loadTrajectory(path);
+    TrajectoryEntry filled = entry;
+    if (filled.git.empty())
+        filled.git = gitDescribe();
+    if (filled.buildType.empty())
+        filled.buildType = buildType();
+    if (filled.compiler.empty())
+        filled.compiler = compilerId();
+    traj.entries.push_back(std::move(filled));
+    writeFileAtomic(path, [&](std::ostream &os) {
+        writeTrajectory(os, traj);
+    });
+}
+
+void
+renderTrajectoryTrend(std::ostream &os, const Trajectory &traj)
+{
+    if (traj.entries.empty()) {
+        os << "trajectory is empty (record one with "
+              "`spasm bench --record`)\n";
+        return;
+    }
+
+    TextTable trend("wall-clock trajectory (" +
+                    std::to_string(traj.entries.size()) +
+                    " entries)");
+    trend.setHeader({"entry", "git", "thr", "scale", "wall ms",
+                     "Mcyc/s", "d wall"});
+    double prev_wall = 0.0;
+    for (const auto &e : traj.entries) {
+        std::string delta = "-";
+        if (prev_wall > 0.0 && e.totalWallMs > 0.0) {
+            const double pct =
+                100.0 * (e.totalWallMs - prev_wall) / prev_wall;
+            delta = (pct >= 0.0 ? "+" : "") + TextTable::fmt(pct, 1) +
+                "%";
+        }
+        trend.addRow({e.label.empty() ? "?" : e.label, e.git,
+                      std::to_string(e.threads), e.scale,
+                      TextTable::fmt(e.totalWallMs, 2),
+                      TextTable::fmt(e.simCyclesPerHostSec / 1e6, 2),
+                      delta});
+        prev_wall = e.totalWallMs;
+    }
+    trend.print(os);
+
+    // Per-workload movement over the whole curve (first vs latest).
+    const TrajectoryEntry &first = traj.entries.front();
+    const TrajectoryEntry &last = traj.entries.back();
+    if (traj.entries.size() > 1 && !last.workloads.empty()) {
+        TextTable per("per-workload wall clock (first vs latest "
+                      "entry)");
+        per.setHeader({"workload", "config", "first ms", "latest ms",
+                       "d wall"});
+        for (const auto &w : last.workloads) {
+            double first_ms = 0.0;
+            for (const auto &fw : first.workloads) {
+                if (fw.name == w.name && fw.config == w.config)
+                    first_ms = fw.wallMs;
+            }
+            std::string delta = "-";
+            if (first_ms > 0.0 && w.wallMs > 0.0) {
+                const double pct =
+                    100.0 * (w.wallMs - first_ms) / first_ms;
+                delta = (pct >= 0.0 ? "+" : "") +
+                    TextTable::fmt(pct, 1) + "%";
+            }
+            per.addRow({w.name, w.config, TextTable::fmt(first_ms, 2),
+                        TextTable::fmt(w.wallMs, 2), delta});
+        }
+        os << "\n";
+        per.print(os);
+    }
+}
+
+} // namespace prof
+} // namespace spasm

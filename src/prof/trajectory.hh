@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The committed wall-clock trajectory (`spasm-bench-traj-v1`):
+ * an append-only JSON file — `BENCH_trajectory.json` at the repo
+ * root — with one entry per recorded `spasm bench --record` run,
+ * each carrying per-golden-workload wall clock, simulated-cycle
+ * throughput (simulated cycles per host second — the metric every
+ * ROADMAP item-2 simulator speedup moves) and host-counter summaries.
+ *
+ * Unlike the golden baselines (bit-exact, gate PRs), trajectory
+ * numbers are machine-dependent wall clock: they are a *curve*, not
+ * a gate.  `spasm compare --wallclock-trend` renders the curve;
+ * entries identify themselves by label + git + host thread count so
+ * hops between machines are visible in the trend.
+ *
+ * Appends go through loadTrajectory + writeFileAtomic, so a crashed
+ * recorder never corrupts the committed file.
+ */
+
+#ifndef SPASM_PROF_TRAJECTORY_HH
+#define SPASM_PROF_TRAJECTORY_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace spasm {
+namespace prof {
+
+inline constexpr const char *kTrajectorySchema =
+    "spasm-bench-traj-v1";
+inline constexpr int kTrajectorySchemaMinor = 0;
+
+/** One golden workload's measurements within one entry. */
+struct TrajectoryWorkload
+{
+    std::string name;   ///< Table-II workload
+    std::string config; ///< Table-IV bitstream
+    double wallMs = 0.0;          ///< preprocess + simulate
+    double preprocessMs = 0.0;
+    double simulateMs = 0.0;      ///< total across iterations
+    std::uint64_t simCycles = 0;  ///< total across iterations
+    double simCyclesPerHostSec = 0.0;
+    double ipc = 0.0;           ///< 0 when counters degraded
+    double cacheMissRate = 0.0; ///< 0 when counters degraded
+};
+
+/** One recorded `spasm bench --record` run. */
+struct TrajectoryEntry
+{
+    std::string label; ///< free-form ("ci", git short hash, ...)
+    std::string git;
+    std::string buildType;
+    std::string compiler;
+    std::string scale;
+    int threads = 0;
+    int iters = 1;
+    bool countersAvailable = false;
+    double totalWallMs = 0.0;
+    double simCyclesPerHostSec = 0.0; ///< aggregate over workloads
+    std::vector<TrajectoryWorkload> workloads;
+};
+
+struct Trajectory
+{
+    int schemaMinor = kTrajectorySchemaMinor;
+    std::vector<TrajectoryEntry> entries;
+};
+
+/** Parse @p path; a missing file yields an empty trajectory. */
+Trajectory loadTrajectory(const std::string &path);
+
+/** Serialize (pretty-printed, deterministic field order). */
+void writeTrajectory(std::ostream &os, const Trajectory &traj);
+
+/** load + append + atomic rewrite. */
+void appendTrajectoryEntry(const std::string &path,
+                           const TrajectoryEntry &entry);
+
+/** Render the per-workload wall-clock / throughput trend. */
+void renderTrajectoryTrend(std::ostream &os, const Trajectory &traj);
+
+} // namespace prof
+} // namespace spasm
+
+#endif // SPASM_PROF_TRAJECTORY_HH

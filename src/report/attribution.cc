@@ -273,5 +273,127 @@ attributeBottleneck(const StatsFile &file, int top_n)
     return rep;
 }
 
+namespace {
+
+/** A region inside the simulated-hardware clock domain: `sim.run`
+ *  itself or anything nested under it. */
+bool
+isSimRegion(const std::string &path)
+{
+    return path == "sim.run" ||
+           path.find("sim.run;") != std::string::npos ||
+           path.rfind(";sim.run") != std::string::npos;
+}
+
+} // namespace
+
+HostAttribution
+attributeHost(const StatsFile &file, int top_n)
+{
+    if (file.schema != "spasm-prof-v1") {
+        spasm_fatal("%s: host attribution needs a spasm-prof-v1 "
+                    "record, got '%s'",
+                    file.path.c_str(), file.schema.c_str());
+    }
+
+    HostAttribution rep;
+    const JsonValue *input = file.root.find("input");
+    if (input != nullptr)
+        rep.inputName = input->stringOr("name", "?");
+    rep.wallMs = file.root.numberOr("wall_ms", 0.0);
+    rep.coverage = file.root.numberOr("coverage", 0.0);
+
+    // Walk the region table: `sim.run` totals give the simulated
+    // side; the largest self-time region on each side names its
+    // binding candidate.
+    double sim_ms = 0.0;
+    std::string sim_binding, host_binding;
+    double sim_binding_self = 0.0, host_binding_self = 0.0;
+    std::vector<HostRegionSlice> slices;
+    const JsonValue *regions = file.root.find("regions");
+    if (regions != nullptr && regions->isArray()) {
+        for (const auto &r : regions->array) {
+            const std::string path = r.stringOr("path", "?");
+            const std::string name = r.stringOr("name", "?");
+            const double self_ms = r.numberOr("self_ms", 0.0);
+            if (name == "sim.run")
+                sim_ms += r.numberOr("total_ms", 0.0);
+            if (isSimRegion(path)) {
+                if (self_ms > sim_binding_self) {
+                    sim_binding_self = self_ms;
+                    sim_binding = path;
+                }
+            } else if (self_ms > host_binding_self) {
+                host_binding_self = self_ms;
+                host_binding = path;
+            }
+            HostRegionSlice slice;
+            slice.path = path;
+            slice.selfMs = self_ms;
+            slice.wallFraction =
+                rep.wallMs > 0.0 ? self_ms / rep.wallMs : 0.0;
+            slices.push_back(std::move(slice));
+        }
+    }
+    std::stable_sort(slices.begin(), slices.end(),
+                     [](const HostRegionSlice &a,
+                        const HostRegionSlice &b) {
+                         return a.selfMs > b.selfMs;
+                     });
+    if (top_n > 0 &&
+        slices.size() > static_cast<std::size_t>(top_n))
+        slices.resize(static_cast<std::size_t>(top_n));
+    rep.topRegions = std::move(slices);
+
+    rep.simMs = std::min(sim_ms, rep.wallMs);
+    rep.hostMs = rep.wallMs - rep.simMs;
+    rep.hostBound = rep.hostMs > rep.simMs;
+    rep.bindingRegion = rep.hostBound ? host_binding : sim_binding;
+    rep.bindingSelfMs =
+        rep.hostBound ? host_binding_self : sim_binding_self;
+
+    const JsonValue *counters = file.root.find("host_counters");
+    if (counters != nullptr) {
+        const JsonValue *avail = counters->find("available");
+        rep.countersAvailable = avail != nullptr &&
+            avail->kind == JsonValue::Kind::Bool && avail->boolean;
+        rep.countersNote = counters->stringOr("degradation");
+        rep.ipc = counters->numberOr("ipc", 0.0);
+        rep.cacheMissRate =
+            counters->numberOr("cache_miss_rate", 0.0);
+        rep.branchMissRate =
+            counters->numberOr("branch_miss_rate", 0.0);
+    }
+    const JsonValue *sim = file.root.find("sim");
+    if (sim != nullptr) {
+        rep.simCyclesPerHostSec =
+            sim->numberOr("cycles_per_host_sec", 0.0);
+    }
+
+    const double sim_frac =
+        rep.wallMs > 0.0 ? rep.simMs / rep.wallMs : 0.0;
+    if (rep.hostBound) {
+        rep.rationale =
+            fmt("host-bound: %.1f%% of wall-clock is spent outside "
+                "the simulated-hardware loop",
+                100.0 * (1.0 - sim_frac)) +
+            (rep.bindingRegion.empty()
+                 ? std::string()
+                 : "; binding host region is '" + rep.bindingRegion +
+                       "' (" + fmt("%.2f ms self", rep.bindingSelfMs) +
+                       ")");
+    } else {
+        rep.rationale =
+            fmt("simulated-hardware-bound: %.1f%% of wall-clock is "
+                "inside sim.run",
+                100.0 * sim_frac) +
+            (rep.bindingRegion.empty()
+                 ? std::string()
+                 : "; dominated by '" + rep.bindingRegion + "' (" +
+                       fmt("%.2f ms self", rep.bindingSelfMs) + ")");
+    }
+    return rep;
+}
+
 } // namespace report
 } // namespace spasm

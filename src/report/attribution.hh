@@ -106,6 +106,56 @@ struct BottleneckReport
 BottleneckReport attributeBottleneck(const StatsFile &file,
                                      int top_n = 3);
 
+/** One profiled region echoed into the host verdict. */
+struct HostRegionSlice
+{
+    std::string path; ///< ';'-joined region path
+    double selfMs = 0.0;
+    double wallFraction = 0.0; ///< of total wall
+};
+
+/**
+ * The host-side verdict over one `spasm-prof-v1` record (the engine
+ * behind `spasm report` on a profile): is the run's wall-clock spent
+ * *simulating hardware* (inside `sim.run`, dominated by the cycle
+ * loop — expected, healthy) or on the *host side* (preprocessing,
+ * schedule exploration, I/O — a software bottleneck worth fixing)?
+ */
+struct HostAttribution
+{
+    std::string inputName;
+    double wallMs = 0.0;
+    double coverage = 0.0; ///< wall fraction inside named regions
+    double simMs = 0.0;    ///< total inside `sim.run`
+    double hostMs = 0.0;   ///< wall - simMs
+    bool hostBound = false;
+
+    /** Largest self-time region on the binding side. */
+    std::string bindingRegion;
+    double bindingSelfMs = 0.0;
+
+    /** Top regions by self time, descending (both sides). */
+    std::vector<HostRegionSlice> topRegions;
+
+    /** Host hardware counters (echoed from the record). */
+    bool countersAvailable = false;
+    std::string countersNote; ///< degradation note when unavailable
+    double ipc = 0.0;
+    double cacheMissRate = 0.0;
+    double branchMissRate = 0.0;
+
+    /** Simulation throughput: simulated cycles per host second. */
+    double simCyclesPerHostSec = 0.0;
+
+    std::string rationale;
+};
+
+/**
+ * Attribute @p file (must be `spasm-prof-v1`).  @p top_n bounds the
+ * region list.
+ */
+HostAttribution attributeHost(const StatsFile &file, int top_n = 8);
+
 } // namespace report
 } // namespace spasm
 

@@ -280,5 +280,88 @@ renderBottleneckMarkdown(std::ostream &os,
     renderBottleneck(os, rep, true);
 }
 
+namespace {
+
+void
+renderHostAttribution(std::ostream &os, const HostAttribution &rep,
+                      bool markdown)
+{
+    const char *verdict =
+        rep.hostBound ? "HOST-BOUND" : "SIMULATED-HARDWARE-BOUND";
+    if (markdown) {
+        os << "## Host attribution: " << rep.inputName << "\n\n"
+           << "**" << verdict << "** — " << rep.rationale << "\n\n";
+    } else {
+        os << "host attribution: " << rep.inputName << "\n"
+           << "verdict: " << verdict << "\n"
+           << rep.rationale << "\n\n";
+    }
+
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "wall %.2f ms = sim %.2f ms + host %.2f ms "
+                  "(coverage %.1f%%)\n",
+                  rep.wallMs, rep.simMs, rep.hostMs,
+                  100.0 * rep.coverage);
+    os << buf;
+    if (rep.simCyclesPerHostSec > 0.0) {
+        std::snprintf(buf, sizeof(buf),
+                      "simulation throughput: %.3g simulated "
+                      "cycles per host second\n",
+                      rep.simCyclesPerHostSec);
+        os << buf;
+    }
+    if (rep.countersAvailable) {
+        std::snprintf(buf, sizeof(buf),
+                      "host counters: IPC %.2f, cache-miss rate "
+                      "%.2f%%, branch-miss rate %.2f%%\n",
+                      rep.ipc, 100.0 * rep.cacheMissRate,
+                      100.0 * rep.branchMissRate);
+        os << buf;
+    } else {
+        os << "host counters: unavailable ("
+           << (rep.countersNote.empty() ? "no note"
+                                        : rep.countersNote)
+           << ")\n";
+    }
+    os << "\n";
+
+    if (!rep.topRegions.empty()) {
+        if (markdown) {
+            os << "| region | self ms | wall share |\n"
+               << "|---|---:|---:|\n";
+            for (const auto &r : rep.topRegions) {
+                os << "| `" << r.path << "` | " << num(r.selfMs)
+                   << " | " << pct(r.wallFraction) << " |\n";
+            }
+            os << "\n";
+        } else {
+            TextTable regions("Top regions by self time");
+            regions.setHeader({"region", "self ms", "wall share"});
+            for (const auto &r : rep.topRegions) {
+                regions.addRow({r.path, num(r.selfMs),
+                                pct(r.wallFraction)});
+            }
+            regions.print(os);
+            os << "\n";
+        }
+    }
+}
+
+} // namespace
+
+void
+renderHostAttributionText(std::ostream &os, const HostAttribution &rep)
+{
+    renderHostAttribution(os, rep, false);
+}
+
+void
+renderHostAttributionMarkdown(std::ostream &os,
+                              const HostAttribution &rep)
+{
+    renderHostAttribution(os, rep, true);
+}
+
 } // namespace report
 } // namespace spasm

@@ -36,6 +36,15 @@ void renderBottleneckText(std::ostream &os,
 void renderBottleneckMarkdown(std::ostream &os,
                               const BottleneckReport &rep);
 
+/** Print a host-attribution verdict over a `spasm-prof-v1` record
+ *  (host vs simulated split, binding region, counters). */
+void renderHostAttributionText(std::ostream &os,
+                               const HostAttribution &rep);
+
+/** Same content as markdown. */
+void renderHostAttributionMarkdown(std::ostream &os,
+                                   const HostAttribution &rep);
+
 } // namespace report
 } // namespace spasm
 

@@ -175,12 +175,17 @@ loadStatsFile(const std::string &path)
         // sections plus numeric leaves), so the same flatten applies:
         // per-job outcomes land as context, counters as metrics.
         flattenStats(out);
+    else if (out.schema == "spasm-prof-v1")
+        // Self-profile records also share the stats-v1 shape; the
+        // region/counter leaves flatten into comparable metrics and
+        // `spasm report` dispatches on the schema tag.
+        flattenStats(out);
     else if (out.schema == "spasm-bench-v1")
         flattenBench(out);
     else
         spasm_fatal("%s: unknown schema '%s' (expected "
-                    "spasm-stats-v1, spasm-batch-v1 or "
-                    "spasm-bench-v1)",
+                    "spasm-stats-v1, spasm-batch-v1, "
+                    "spasm-prof-v1 or spasm-bench-v1)",
                     path.c_str(), out.schema.c_str());
     return out;
 }

@@ -8,9 +8,8 @@ void
 CancellationToken::setDeadline(double ms_from_now)
 {
     deadlineMs_ = ms_from_now;
-    deadline_ = std::chrono::steady_clock::now() +
-        std::chrono::duration_cast<
-            std::chrono::steady_clock::duration>(
+    deadline_ = monoNow() +
+        std::chrono::duration_cast<MonoClock::duration>(
             std::chrono::duration<double, std::milli>(ms_from_now));
     hasDeadline_ = true;
 }
@@ -30,8 +29,7 @@ CancellationToken::cancelled() const
                   : CancelReason::Cancelled);
         return true;
     }
-    if (hasDeadline_ &&
-        std::chrono::steady_clock::now() >= deadline_) {
+    if (hasDeadline_ && monoNow() >= deadline_) {
         latch(CancelReason::Timeout);
         return true;
     }

@@ -25,8 +25,9 @@
 #define SPASM_SUPPORT_CANCELLATION_HH
 
 #include <atomic>
-#include <chrono>
 #include <csignal>
+
+#include "support/timer.hh"
 
 namespace spasm {
 
@@ -104,7 +105,7 @@ class CancellationToken
     mutable std::atomic<int> reason_{0};
     bool hasDeadline_ = false;
     double deadlineMs_ = 0.0;
-    std::chrono::steady_clock::time_point deadline_{};
+    MonoClock::time_point deadline_{};
 };
 
 } // namespace spasm

@@ -256,7 +256,7 @@ Registry::nowUs() const
     const std::int64_t epoch =
         epochNs_.load(std::memory_order_relaxed);
     const std::int64_t d = now > epoch ? now - epoch : 0;
-    using Ns = std::chrono::steady_clock::duration;
+    using Ns = Clock::duration;
     return static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(Ns(d))
             .count());

@@ -37,7 +37,6 @@
 #define SPASM_SUPPORT_OBS_HH
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -45,6 +44,8 @@
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "support/timer.hh"
 
 namespace spasm {
 namespace obs {
@@ -172,7 +173,7 @@ class Registry
     std::vector<SpanRecord> spans() const;
 
   private:
-    using Clock = std::chrono::steady_clock;
+    using Clock = MonoClock; // support/timer.hh: the shared source
 
     /** Metric shard: names hash onto one of these so unrelated
      *  counters don't contend on a single lock. */

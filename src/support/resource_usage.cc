@@ -1,0 +1,31 @@
+#include "support/resource_usage.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SPASM_HAVE_GETRUSAGE 1
+#include <sys/resource.h>
+#endif
+
+namespace spasm {
+
+ResourceUsage
+currentResourceUsage()
+{
+    ResourceUsage out;
+#if defined(SPASM_HAVE_GETRUSAGE)
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) == 0) {
+        // ru_maxrss is KiB on Linux, bytes on macOS.
+#if defined(__APPLE__)
+        out.peakRssBytes = static_cast<std::uint64_t>(ru.ru_maxrss);
+#else
+        out.peakRssBytes =
+            static_cast<std::uint64_t>(ru.ru_maxrss) * 1024u;
+#endif
+        out.minorFaults = static_cast<std::uint64_t>(ru.ru_minflt);
+        out.majorFaults = static_cast<std::uint64_t>(ru.ru_majflt);
+    }
+#endif
+    return out;
+}
+
+} // namespace spasm

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * OS-side resource accounting via getrusage(): peak RSS and page
+ * faults for the current process.  Stamped into the stats JSON
+ * `provenance` block and the self-profiler record so the simulator's
+ * own memory-budget numbers (support/memory_budget.hh) can be
+ * sanity-checked against what the kernel actually charged.
+ *
+ * On platforms without getrusage the query returns all zeros — the
+ * fields are still emitted (schema shape never changes), they just
+ * carry no information.
+ */
+
+#ifndef SPASM_SUPPORT_RESOURCE_USAGE_HH
+#define SPASM_SUPPORT_RESOURCE_USAGE_HH
+
+#include <cstdint>
+
+namespace spasm {
+
+/** Point-in-time process resource usage (monotone counters). */
+struct ResourceUsage
+{
+    std::uint64_t peakRssBytes = 0; ///< high-water resident set
+    std::uint64_t minorFaults = 0;  ///< page reclaims (no I/O)
+    std::uint64_t majorFaults = 0;  ///< faults that required I/O
+};
+
+/** RUSAGE_SELF snapshot; all zeros where getrusage is unavailable. */
+ResourceUsage currentResourceUsage();
+
+} // namespace spasm
+
+#endif // SPASM_SUPPORT_RESOURCE_USAGE_HH

@@ -6,6 +6,7 @@
 
 #include "support/cancellation.hh"
 #include "support/random.hh"
+#include "support/timer.hh"
 
 namespace spasm {
 
@@ -43,17 +44,16 @@ errorIsRetryable(const Error &e)
 void
 sleepWithCancel(double ms, const CancellationToken *cancel)
 {
-    using clock = std::chrono::steady_clock;
-    const auto until = clock::now() +
-        std::chrono::duration_cast<clock::duration>(
+    const auto until = monoNow() +
+        std::chrono::duration_cast<MonoClock::duration>(
             std::chrono::duration<double, std::milli>(
                 std::max(ms, 0.0)));
     // Short slices keep a cancelled campaign from idling in backoff.
-    while (clock::now() < until) {
+    while (monoNow() < until) {
         if (cancel != nullptr && cancel->cancelled())
             return;
-        const auto slice = std::min<clock::duration>(
-            until - clock::now(),
+        const auto slice = std::min<MonoClock::duration>(
+            until - monoNow(),
             std::chrono::milliseconds(5));
         std::this_thread::sleep_for(slice);
     }

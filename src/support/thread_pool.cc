@@ -4,8 +4,11 @@
 #include <atomic>
 #include <exception>
 #include <limits>
+#include <string>
 
 #include "support/cancellation.hh"
+#include "support/obs.hh"
+#include "support/timer.hh"
 
 namespace spasm {
 
@@ -26,6 +29,8 @@ struct ThreadPool::Loop
     std::condition_variable cv;
     std::exception_ptr error;
     std::size_t errorIndex = std::numeric_limits<std::size_t>::max();
+    /** Enqueue stamp for queue-wait accounting; 0 = uninstrumented. */
+    std::uint64_t enqueueNs = 0;
 };
 
 ThreadPool::ThreadPool(unsigned concurrency)
@@ -33,8 +38,13 @@ ThreadPool::ThreadPool(unsigned concurrency)
     if (concurrency < 1)
         concurrency = 1;
     workers_.reserve(concurrency - 1);
-    for (unsigned i = 1; i < concurrency; ++i)
-        workers_.emplace_back([this] { workerMain(); });
+    if (concurrency > 1)
+        workerBusyNs_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+            concurrency - 1);
+    for (unsigned i = 1; i < concurrency; ++i) {
+        workerBusyNs_[i - 1].store(0, std::memory_order_relaxed);
+        workers_.emplace_back([this, i] { workerMain(i - 1); });
+    }
 }
 
 ThreadPool::~ThreadPool()
@@ -49,10 +59,11 @@ ThreadPool::~ThreadPool()
 }
 
 void
-ThreadPool::workerMain()
+ThreadPool::workerMain(std::size_t worker_index)
 {
     for (;;) {
         std::shared_ptr<Loop> loop;
+        std::size_t depth = 0;
         {
             std::unique_lock<std::mutex> lock(queueMutex_);
             queueCv_.wait(lock, [this] {
@@ -62,8 +73,33 @@ ThreadPool::workerMain()
                 return; // stopping_ and nothing left to help with
             loop = std::move(queue_.front());
             queue_.pop_front();
+            depth = queue_.size();
         }
-        drain(*loop);
+        if (loop->enqueueNs != 0) {
+            const std::uint64_t now = monoNowNs();
+            const std::uint64_t wait =
+                now > loop->enqueueNs ? now - loop->enqueueNs : 0;
+            queueWaitCount_.fetch_add(1, std::memory_order_relaxed);
+            queueWaitTotalNs_.fetch_add(wait,
+                                        std::memory_order_relaxed);
+            std::uint64_t prev =
+                queueWaitMaxNs_.load(std::memory_order_relaxed);
+            while (wait > prev &&
+                   !queueWaitMaxNs_.compare_exchange_weak(
+                       prev, wait, std::memory_order_relaxed))
+                ;
+            auto &reg = obs::Registry::global();
+            reg.observe("threadpool.queue_wait_us",
+                        static_cast<double>(wait) / 1000.0);
+            reg.set("threadpool.queue_depth",
+                    static_cast<double>(depth));
+            const std::uint64_t t0 = monoNowNs();
+            drain(*loop);
+            workerBusyNs_[worker_index].fetch_add(
+                monoNowNs() - t0, std::memory_order_relaxed);
+        } else {
+            drain(*loop);
+        }
     }
 }
 
@@ -142,11 +178,22 @@ ThreadPool::parallelFor(std::size_t n,
     // worker that pops a request after the loop drained just returns.
     const std::size_t helpers = std::min<std::size_t>(
         workers_.size(), n - 1);
+    const bool observing = obs::enabled();
+    if (observing) {
+        loop->enqueueNs = monoNowNs();
+        loops_.fetch_add(1, std::memory_order_relaxed);
+        obs::Registry::global().add("threadpool.loops");
+    }
+    std::size_t depth = 0;
     {
         std::lock_guard<std::mutex> lock(queueMutex_);
         for (std::size_t i = 0; i < helpers; ++i)
             queue_.push_back(loop);
+        depth = queue_.size();
     }
+    if (observing)
+        obs::Registry::global().set("threadpool.queue_depth",
+                                    static_cast<double>(depth));
     if (helpers == 1)
         queueCv_.notify_one();
     else
@@ -165,6 +212,60 @@ ThreadPool::parallelFor(std::size_t n,
     }
     if (loop->error)
         std::rethrow_exception(loop->error);
+}
+
+ThreadPool::HealthSnapshot
+ThreadPool::healthSnapshot() const
+{
+    HealthSnapshot snap;
+    snap.workers = static_cast<unsigned>(workers_.size());
+    snap.loops = loops_.load(std::memory_order_relaxed);
+    snap.queueWaitCount =
+        queueWaitCount_.load(std::memory_order_relaxed);
+    snap.queueWaitTotalNs =
+        queueWaitTotalNs_.load(std::memory_order_relaxed);
+    snap.queueWaitMaxNs =
+        queueWaitMaxNs_.load(std::memory_order_relaxed);
+    snap.workerBusyNs.reserve(workers_.size());
+    for (std::size_t i = 0; i < workers_.size(); ++i)
+        snap.workerBusyNs.push_back(
+            workerBusyNs_[i].load(std::memory_order_relaxed));
+    return snap;
+}
+
+void
+ThreadPool::resetHealth()
+{
+    loops_.store(0, std::memory_order_relaxed);
+    queueWaitCount_.store(0, std::memory_order_relaxed);
+    queueWaitTotalNs_.store(0, std::memory_order_relaxed);
+    queueWaitMaxNs_.store(0, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < workers_.size(); ++i)
+        workerBusyNs_[i].store(0, std::memory_order_relaxed);
+}
+
+void
+ThreadPool::publishHealth() const
+{
+    auto &reg = obs::Registry::global();
+    if (!reg.enabled())
+        return;
+    const HealthSnapshot snap = healthSnapshot();
+    reg.set("threadpool.workers",
+            static_cast<double>(snap.workers));
+    // Busy fraction over the registry's elapsed window: a helper that
+    // spent the whole window draining loops reads 1.0.
+    const double window_ns = static_cast<double>(reg.nowUs()) * 1000.0;
+    for (std::size_t i = 0; i < snap.workerBusyNs.size(); ++i) {
+        double frac = 0.0;
+        if (window_ns > 0.0)
+            frac = std::min(
+                1.0, static_cast<double>(snap.workerBusyNs[i]) /
+                         window_ns);
+        reg.set("threadpool.worker." + std::to_string(i) +
+                    ".busy_fraction",
+                frac);
+    }
 }
 
 namespace {

@@ -27,13 +27,24 @@
  * and the call returns normally — the *caller* decides whether to
  * throw, typically via `token.throwIfCancelled()`.  Iterations
  * already executing when the token trips run to completion.
+ *
+ * Health accounting: while the obs registry is enabled the pool
+ * tracks queue depth (gauge `threadpool.queue_depth`), help-request
+ * queue wait (histogram `threadpool.queue_wait_us`) and per-worker
+ * busy time (`healthSnapshot()` / `publishHealth()` gauges).  All of
+ * it is wall-clock and scheduling dependent, so the stats JSON drops
+ * every `threadpool.*` metric under `--deterministic` — see
+ * docs/observability.md.  With the registry disabled the hot paths
+ * stay branch-only, and the accounting never affects loop results.
  */
 
 #ifndef SPASM_SUPPORT_THREAD_POOL_HH
 #define SPASM_SUPPORT_THREAD_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -84,6 +95,36 @@ class ThreadPool
                      const std::function<void(std::size_t)> &body,
                      const CancellationToken *cancel);
 
+    /**
+     * Wall-clock health counters, accumulated while the obs registry
+     * is enabled (all zero otherwise).  Queue wait is the time a
+     * help request sat queued before a worker picked it up; busy
+     * time is per helper thread (the caller is not counted — it is
+     * busy by construction).
+     */
+    struct HealthSnapshot
+    {
+        unsigned workers = 0;    ///< helper threads in the pool
+        std::uint64_t loops = 0; ///< parallelFor calls that queued
+        std::uint64_t queueWaitCount = 0;
+        std::uint64_t queueWaitTotalNs = 0;
+        std::uint64_t queueWaitMaxNs = 0;
+        std::vector<std::uint64_t> workerBusyNs; ///< one per helper
+    };
+
+    HealthSnapshot healthSnapshot() const;
+
+    /** Zero the health counters (profile-window lifecycle). */
+    void resetHealth();
+
+    /**
+     * Publish the snapshot into the obs registry as gauges:
+     * `threadpool.workers`, `threadpool.loops` and per-worker
+     * `threadpool.worker.<i>.busy_fraction` over the registry's
+     * elapsed window.  No-op while the registry is disabled.
+     */
+    void publishHealth() const;
+
     /** The process-wide pool (lazily built at defaultConcurrency). */
     static ThreadPool &global();
 
@@ -100,7 +141,7 @@ class ThreadPool
   private:
     struct Loop;
 
-    void workerMain();
+    void workerMain(std::size_t worker_index);
     static void drain(Loop &loop);
 
     std::vector<std::thread> workers_;
@@ -108,6 +149,13 @@ class ThreadPool
     std::condition_variable queueCv_;
     std::deque<std::shared_ptr<Loop>> queue_;
     bool stopping_ = false;
+
+    /** Health accounting (obs-gated; see the file comment). */
+    std::atomic<std::uint64_t> loops_{0};
+    std::atomic<std::uint64_t> queueWaitCount_{0};
+    std::atomic<std::uint64_t> queueWaitTotalNs_{0};
+    std::atomic<std::uint64_t> queueWaitMaxNs_{0};
+    std::unique_ptr<std::atomic<std::uint64_t>[]> workerBusyNs_;
 };
 
 } // namespace spasm

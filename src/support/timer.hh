@@ -1,38 +1,68 @@
 /**
  * @file
- * Wall-clock timing for the preprocessing-cost experiments (Table VIII).
+ * The repo's single monotonic clock source plus a wall-clock
+ * stopwatch (preprocessing-cost experiments, Table VIII).
+ *
+ * Every wall-clock measurement — obs spans, cancellation deadlines,
+ * retry backoff, the self-profiler (src/prof) and the bench
+ * trajectory — reads `MonoClock` through these helpers, so timings
+ * from different layers are directly comparable and a future clock
+ * swap happens in exactly one place.
  */
 
 #ifndef SPASM_SUPPORT_TIMER_HH
 #define SPASM_SUPPORT_TIMER_HH
 
 #include <chrono>
+#include <cstdint>
 
 namespace spasm {
 
-/** Simple wall-clock stopwatch. */
+/** The one monotonic clock all wall-clock timing uses. */
+using MonoClock = std::chrono::steady_clock;
+
+/** Current monotonic time point. */
+inline MonoClock::time_point
+monoNow()
+{
+    return MonoClock::now();
+}
+
+/** Monotonic nanoseconds since the (arbitrary) clock epoch. */
+inline std::uint64_t
+monoNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            MonoClock::now().time_since_epoch())
+            .count());
+}
+
+/** Milliseconds elapsed since @p t0. */
+inline double
+msSince(MonoClock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(monoNow() - t0)
+        .count();
+}
+
+/** Simple wall-clock stopwatch on MonoClock. */
 class Timer
 {
   public:
     Timer() { reset(); }
 
     /** Restart the stopwatch. */
-    void reset() { start_ = Clock::now(); }
+    void reset() { start_ = monoNow(); }
 
     /** Elapsed time in milliseconds since construction or reset(). */
-    double
-    elapsedMs() const
-    {
-        const auto d = Clock::now() - start_;
-        return std::chrono::duration<double, std::milli>(d).count();
-    }
+    double elapsedMs() const { return msSince(start_); }
 
     /** Elapsed time in seconds. */
     double elapsedSec() const { return elapsedMs() / 1e3; }
 
   private:
-    using Clock = std::chrono::steady_clock;
-    Clock::time_point start_;
+    MonoClock::time_point start_;
 };
 
 } // namespace spasm

@@ -1,0 +1,610 @@
+/**
+ * @file
+ * Tests for the host self-profiler (src/prof): region nesting,
+ * cross-thread path merging, the amortized hot-loop sampler,
+ * graceful perf_event degradation, schema conformance of the
+ * `spasm-prof-v1` and `spasm-bench-traj-v1` records against
+ * docs/observability.md, the profiler-on bit-identity guarantee
+ * against the committed goldens, and the deterministic stats-JSON
+ * rules for `threadpool.*` metrics and resource-usage provenance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/framework.hh"
+#include "core/stats_json.hh"
+#include "hw/accelerator.hh"
+#include "hw/config.hh"
+#include "prof/perf_counters.hh"
+#include "prof/prof_json.hh"
+#include "prof/profiler.hh"
+#include "prof/trajectory.hh"
+#include "report/golden.hh"
+#include "report/stats_file.hh"
+#include "support/json_value.hh"
+#include "support/obs.hh"
+#include "support/thread_pool.hh"
+#include "support/timer.hh"
+#include "workloads/suite.hh"
+
+namespace spasm {
+namespace prof {
+namespace {
+
+/** Busy-wait so a region accumulates measurable wall time. */
+void
+spinFor(std::uint64_t ns)
+{
+    const std::uint64_t start = monoNowNs();
+    while (monoNowNs() - start < ns) {
+    }
+}
+
+/** RAII enable/clear window so a failing test never leaks an
+ *  enabled profiler into the rest of the suite. */
+struct ProfWindow
+{
+    ProfWindow()
+    {
+        Profiler::global().setEnabled(true);
+        Profiler::global().clear();
+    }
+    ~ProfWindow()
+    {
+        Profiler::global().setEnabled(false);
+        Profiler::global().clear();
+    }
+};
+
+const RegionStat *
+findPath(const std::vector<RegionStat> &snap, const std::string &path)
+{
+    for (const auto &r : snap) {
+        if (r.path == path)
+            return &r;
+    }
+    return nullptr;
+}
+
+TEST(ProfilerRegions, NestingBuildsPathsAndSelfTime)
+{
+    ProfWindow window;
+    auto &prof = Profiler::global();
+    {
+        Region outer("outer");
+        spinFor(200 * 1000);
+        {
+            Region inner("inner");
+            spinFor(200 * 1000);
+        }
+        {
+            Region inner("inner");
+            spinFor(200 * 1000);
+        }
+    }
+    const auto snap = prof.snapshot();
+
+    const RegionStat *outer = findPath(snap, "outer");
+    ASSERT_NE(outer, nullptr);
+    EXPECT_EQ(outer->depth, 0);
+    EXPECT_EQ(outer->count, 1u);
+    EXPECT_EQ(outer->name, "outer");
+
+    const RegionStat *inner = findPath(snap, "outer;inner");
+    ASSERT_NE(inner, nullptr);
+    EXPECT_EQ(inner->depth, 1);
+    EXPECT_EQ(inner->count, 2u); // two scopes merged by path
+    EXPECT_EQ(inner->name, "inner");
+
+    // Self time excludes nested children; the parent contains them.
+    EXPECT_GE(outer->totalNs, inner->totalNs);
+    EXPECT_EQ(outer->childNs, inner->totalNs);
+    EXPECT_LE(outer->selfNs(), outer->totalNs);
+    EXPECT_GT(inner->totalNs, 0u);
+}
+
+TEST(ProfilerRegions, DisabledRecordsNothing)
+{
+    auto &prof = Profiler::global();
+    prof.setEnabled(false);
+    prof.clear();
+    {
+        Region r("ghost");
+        prof.addSample("ghost.sample", 1000);
+        HotLoopSampler loop("ghost.loop");
+        for (int i = 0; i < 5000; ++i)
+            loop.tick();
+    }
+    EXPECT_TRUE(prof.snapshot().empty());
+    EXPECT_EQ(prof.windowNs(), 0u);
+}
+
+TEST(ProfilerRegions, ThreadsMergeByPath)
+{
+    ProfWindow window;
+    ThreadPool pool(3); // caller + 2 workers
+    pool.parallelFor(8, [&](std::size_t) {
+        Region r("work");
+        spinFor(100 * 1000);
+    });
+    const auto snap = Profiler::global().snapshot();
+
+    // Every thread's "work" region merges into one depth-0 stat.
+    const RegionStat *work = findPath(snap, "work");
+    ASSERT_NE(work, nullptr);
+    EXPECT_EQ(work->count, 8u);
+    EXPECT_GE(work->threads, 1);
+    EXPECT_EQ(snap.size(), 1u);
+}
+
+TEST(HotLoopSampler, BooksBlocksUnderOpenRegion)
+{
+    ProfWindow window;
+    constexpr std::uint64_t kTicks = 4096;
+    {
+        Region outer("sim");
+        HotLoopSampler loop("cycle_loop"); // default 1024-tick blocks
+        for (std::uint64_t i = 0; i < kTicks; ++i) {
+            loop.tick();
+            if ((i & 1023) == 0)
+                spinFor(10 * 1000);
+        }
+        loop.finish();
+    }
+    const auto snap = Profiler::global().snapshot();
+
+    const RegionStat *loop = findPath(snap, "sim;cycle_loop");
+    ASSERT_NE(loop, nullptr);
+    EXPECT_EQ(loop->depth, 1);
+    // One addSample per 1024-tick block, but each sample counts 1
+    // block, so `count` equals the number of booked blocks.
+    EXPECT_EQ(loop->count, kTicks / 1024);
+    EXPECT_GT(loop->totalNs, 0u);
+
+    // The sampled time is charged as the parent's child time.
+    const RegionStat *outer = findPath(snap, "sim");
+    ASSERT_NE(outer, nullptr);
+    EXPECT_EQ(outer->childNs, loop->totalNs);
+}
+
+TEST(HostCounters, ForcedDegradationIsGraceful)
+{
+    HostCounters counters(/*force_unavailable=*/true);
+    EXPECT_FALSE(counters.available());
+    EXPECT_FALSE(counters.degradation().empty());
+
+    // start/stop/read must be safe no-ops in the degraded state.
+    counters.start();
+    counters.stop();
+    const HostCounterValues v = counters.read();
+    EXPECT_FALSE(v.available);
+    EXPECT_FALSE(v.degradation.empty());
+    EXPECT_EQ(v.cycles, 0u);
+    EXPECT_EQ(v.instructions, 0u);
+    EXPECT_DOUBLE_EQ(v.ipc(), 0.0);
+    EXPECT_DOUBLE_EQ(v.cacheMissRate(), 0.0);
+    EXPECT_DOUBLE_EQ(v.branchMissRate(), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Schema conformance (same machinery as tests/test_report.cc, applied
+// to the prof and trajectory sibling schemas).
+
+std::string
+generalizePath(const std::string &path)
+{
+    std::string out;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+        if (path[i] == '[') {
+            out += "[]";
+            while (i < path.size() && path[i] != ']')
+                ++i;
+        } else {
+            out += path[i];
+        }
+    }
+    return out;
+}
+
+void
+collectPaths(const JsonValue &v, const std::string &prefix,
+             std::set<std::string> &out)
+{
+    switch (v.kind) {
+      case JsonValue::Kind::Object:
+        for (const auto &kv : v.object)
+            collectPaths(kv.second,
+                         prefix.empty() ? kv.first
+                                        : prefix + "." + kv.first,
+                         out);
+        break;
+      case JsonValue::Kind::Array:
+        for (const auto &e : v.array)
+            collectPaths(e, prefix + "[]", out);
+        break;
+      default:
+        out.insert(prefix);
+        break;
+    }
+}
+
+/** All ```schema-fields blocks of docs/observability.md in document
+ *  order — blocks 2 and 3 are spasm-prof-v1 / spasm-bench-traj-v1. */
+std::vector<std::set<std::string>>
+documentedFieldBlocks()
+{
+    const std::string doc_path =
+        std::string(SPASM_SOURCE_DIR) + "/docs/observability.md";
+    std::ifstream doc(doc_path);
+    EXPECT_TRUE(doc.good()) << doc_path;
+    std::vector<std::set<std::string>> blocks;
+    std::string line;
+    bool in_block = false;
+    while (std::getline(doc, line)) {
+        if (line == "```schema-fields") {
+            in_block = true;
+            blocks.emplace_back();
+            continue;
+        }
+        if (in_block && line == "```") {
+            in_block = false;
+            continue;
+        }
+        if (in_block && !line.empty())
+            blocks.back().insert(line);
+    }
+    return blocks;
+}
+
+void
+expectBidirectionalMatch(const std::set<std::string> &documented,
+                         const std::set<std::string> &emitted)
+{
+    for (const auto &p : emitted) {
+        EXPECT_TRUE(documented.count(p) != 0)
+            << "emitted but undocumented field: " << p;
+    }
+    for (const auto &p : documented) {
+        EXPECT_TRUE(emitted.count(p) != 0)
+            << "documented but not emitted: " << p;
+    }
+}
+
+/** A ProfReport with every optional section populated, so the full
+ *  documented field set appears in the emitted record. */
+ProfReport
+fullProfReport()
+{
+    ProfReport rep;
+    rep.git = "abc";
+    rep.buildType = "Release";
+    rep.compiler = "GNU";
+    rep.threads = 2;
+    rep.scale = "tiny";
+    rep.rusage.peakRssBytes = 1 << 20;
+    rep.rusage.minorFaults = 42;
+    rep.rusage.majorFaults = 1;
+    rep.inputName = "cfd2";
+    rep.wallMs = 10.0;
+
+    RegionStat pre;
+    pre.path = "preprocess";
+    pre.name = "preprocess";
+    pre.depth = 0;
+    pre.count = 1;
+    pre.totalNs = 4 * 1000 * 1000;
+    pre.childNs = 1 * 1000 * 1000;
+    pre.threads = 1;
+    RegionStat sim;
+    sim.path = "sim.run";
+    sim.name = "sim.run";
+    sim.depth = 0;
+    sim.count = 1;
+    sim.totalNs = 5 * 1000 * 1000;
+    sim.threads = 1;
+    rep.regions = {pre, sim};
+
+    rep.pool.workers = 1;
+    rep.pool.loops = 3;
+    rep.pool.queueWaitCount = 3;
+    rep.pool.queueWaitTotalMs = 0.2;
+    rep.pool.queueWaitMaxMs = 0.1;
+    ProfPoolWorker worker;
+    worker.worker = 0;
+    worker.busyMs = 1.5;
+    worker.busyFraction = 0.15;
+    rep.pool.workersBusy.push_back(worker);
+
+    rep.counters.available = false;
+    rep.counters.degradation = "forced by test";
+
+    rep.simCycles = 666;
+    rep.simSeconds = 666.0 / (265.0 * 1e6);
+    return rep;
+}
+
+TEST(SchemaConformance, ProfJsonMatchesDocumentedFieldList)
+{
+    const auto blocks = documentedFieldBlocks();
+    ASSERT_GE(blocks.size(), 3u)
+        << "no spasm-prof-v1 schema-fields block in "
+           "docs/observability.md";
+    const std::set<std::string> &documented = blocks[2];
+    ASSERT_TRUE(documented.count("regions[].self_ms") != 0)
+        << "third schema-fields block is not the prof schema";
+
+    std::ostringstream os;
+    writeProfJson(os, fullProfReport());
+
+    std::string err;
+    const JsonValue root = parseJson(os.str(), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(root.stringOr("schema"), kProfJsonSchema);
+    std::set<std::string> emitted_raw;
+    collectPaths(root, "", emitted_raw);
+    std::set<std::string> emitted;
+    for (const auto &p : emitted_raw)
+        emitted.insert(generalizePath(p));
+    expectBidirectionalMatch(documented, emitted);
+}
+
+TEST(SchemaConformance, TrajectoryJsonMatchesDocumentedFieldList)
+{
+    const auto blocks = documentedFieldBlocks();
+    ASSERT_GE(blocks.size(), 4u)
+        << "no spasm-bench-traj-v1 schema-fields block in "
+           "docs/observability.md";
+    const std::set<std::string> &documented = blocks[3];
+    ASSERT_TRUE(documented.count("entries[].total_wall_ms") != 0)
+        << "fourth schema-fields block is not the trajectory schema";
+
+    Trajectory traj;
+    TrajectoryEntry entry;
+    entry.label = "test";
+    entry.git = "abc";
+    entry.buildType = "Release";
+    entry.compiler = "GNU";
+    entry.scale = "tiny";
+    entry.threads = 1;
+    entry.iters = 3;
+    entry.countersAvailable = false;
+    entry.totalWallMs = 12.5;
+    entry.simCyclesPerHostSec = 1e8;
+    TrajectoryWorkload w;
+    w.name = "cfd2";
+    w.config = "SPASM_4_1";
+    w.wallMs = 12.5;
+    w.preprocessMs = 10.0;
+    w.simulateMs = 2.5;
+    w.simCycles = 666;
+    w.simCyclesPerHostSec = 1e8;
+    w.ipc = 0.0;
+    w.cacheMissRate = 0.0;
+    entry.workloads.push_back(w);
+    traj.entries.push_back(entry);
+
+    std::ostringstream os;
+    writeTrajectory(os, traj);
+
+    std::string err;
+    const JsonValue root = parseJson(os.str(), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    std::set<std::string> emitted_raw;
+    collectPaths(root, "", emitted_raw);
+    std::set<std::string> emitted;
+    for (const auto &p : emitted_raw)
+        emitted.insert(generalizePath(p));
+    expectBidirectionalMatch(documented, emitted);
+}
+
+TEST(Trajectory, AppendLoadRenderRoundTrip)
+{
+    const std::string path = "/tmp/spasm_test_prof_trajectory.json";
+    std::remove(path.c_str());
+
+    // A missing file is an empty trajectory, not an error.
+    EXPECT_TRUE(loadTrajectory(path).entries.empty());
+
+    TrajectoryEntry first;
+    first.label = "first";
+    first.threads = 1;
+    first.totalWallMs = 20.0;
+    TrajectoryWorkload w;
+    w.name = "cfd2";
+    w.config = "SPASM_4_1";
+    w.wallMs = 20.0;
+    w.simCycles = 666;
+    first.workloads.push_back(w);
+    appendTrajectoryEntry(path, first);
+
+    TrajectoryEntry second = first;
+    second.label = "second";
+    second.totalWallMs = 18.0;
+    second.workloads[0].wallMs = 18.0;
+    appendTrajectoryEntry(path, second);
+
+    const Trajectory traj = loadTrajectory(path);
+    ASSERT_EQ(traj.entries.size(), 2u);
+    EXPECT_EQ(traj.entries[0].label, "first");
+    EXPECT_EQ(traj.entries[1].label, "second");
+    // Append auto-fills provenance from version.hh when empty.
+    EXPECT_FALSE(traj.entries[0].git.empty());
+    ASSERT_EQ(traj.entries[1].workloads.size(), 1u);
+    EXPECT_EQ(traj.entries[1].workloads[0].name, "cfd2");
+    EXPECT_EQ(traj.entries[1].workloads[0].simCycles, 666u);
+    EXPECT_DOUBLE_EQ(traj.entries[1].totalWallMs, 18.0);
+
+    std::ostringstream os;
+    renderTrajectoryTrend(os, traj);
+    EXPECT_NE(os.str().find("2 entries"), std::string::npos);
+    EXPECT_NE(os.str().find("cfd2"), std::string::npos);
+
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// The contract that makes the profiler safe to leave wired into the
+// simulator: enabling it never changes simulated results.
+
+/** Run one golden spec exactly like `spasm bless` and return the
+ *  simulated cycle count. */
+std::uint64_t
+runGoldenSpec(const report::GoldenSpec &spec)
+{
+    const CooMatrix m = generateWorkload(spec.workload, Scale::Tiny);
+    const SpasmFramework framework;
+    PreprocessResult pre = framework.preprocess(m);
+    HwConfig config;
+    for (const auto &c : allHwConfigs()) {
+        if (c.name() == spec.config)
+            config = c;
+    }
+    Accelerator accel(config, pre.portfolio);
+    const auto x = SpasmFramework::defaultX(m.cols());
+    std::vector<Value> y(m.rows(), 0.0f);
+    const RunStats stats = accel.run(pre.encoded, x, y, pre.policy);
+    return stats.cycles;
+}
+
+TEST(BitIdentity, ProfilerOnMatchesCommittedGoldens)
+{
+    for (const auto &spec : report::goldenSpecs()) {
+        std::uint64_t profiled_cycles = 0;
+        {
+            ProfWindow window;
+            profiled_cycles = runGoldenSpec(spec);
+        }
+        const std::uint64_t plain_cycles = runGoldenSpec(spec);
+        EXPECT_EQ(profiled_cycles, plain_cycles)
+            << spec.workload << " x " << spec.config;
+
+        const report::StatsFile golden = report::loadStatsFile(
+            std::string(SPASM_SOURCE_DIR) + "/bench/baselines/" +
+            report::goldenFileName(spec));
+        const report::Metric *cycles = golden.find("sim.cycles");
+        ASSERT_NE(cycles, nullptr) << spec.workload;
+        EXPECT_EQ(profiled_cycles,
+                  static_cast<std::uint64_t>(cycles->value))
+            << spec.workload << " x " << spec.config;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic stats-JSON rules added with schema minor 4.
+
+std::string
+statsJsonWith(bool deterministic)
+{
+    StatsReport rep;
+    rep.inputName = "fix";
+    rep.rows = 10;
+    rep.cols = 10;
+    rep.nnz = 20;
+    rep.deterministic = deterministic;
+    rep.provenance.threads = 1;
+    std::ostringstream os;
+    writeStatsJson(os, rep);
+    return os.str();
+}
+
+TEST(StatsJsonDeterminism, ThreadpoolMetricsOmittedNotZeroed)
+{
+    auto &reg = obs::Registry::global();
+    reg.setEnabled(true);
+    reg.clear();
+    reg.add("threadpool.loops", 3);
+    reg.set("threadpool.queue_depth", 2.0);
+    reg.observe("threadpool.queue_wait_us", 1.5);
+    reg.add("framework.matrices_preprocessed", 1);
+
+    const std::string det = statsJsonWith(true);
+    const std::string live = statsJsonWith(false);
+    reg.clear();
+    reg.setEnabled(false);
+
+    // Scheduling-dependent pool health never reaches a deterministic
+    // record (counts differ across worker counts), but deterministic
+    // metrics stay.
+    EXPECT_EQ(det.find("threadpool."), std::string::npos);
+    EXPECT_NE(det.find("framework.matrices_preprocessed"),
+              std::string::npos);
+    EXPECT_NE(live.find("threadpool.loops"), std::string::npos);
+    EXPECT_NE(live.find("threadpool.queue_depth"),
+              std::string::npos);
+    EXPECT_NE(live.find("threadpool.queue_wait_us"),
+              std::string::npos);
+}
+
+TEST(StatsJsonDeterminism, ResourceUsageZeroedOnlyWhenDeterministic)
+{
+    std::string err;
+    const JsonValue det = parseJson(statsJsonWith(true), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    const JsonValue live = parseJson(statsJsonWith(false), &err);
+    ASSERT_TRUE(err.empty()) << err;
+
+    // Always emitted (compare warns-but-never-gates on provenance,
+    // so goldens did not need a re-bless)...
+    const JsonValue *det_prov = det.find("provenance");
+    ASSERT_NE(det_prov, nullptr);
+    EXPECT_DOUBLE_EQ(det_prov->numberOr("peak_rss_bytes", -1.0), 0.0);
+    EXPECT_DOUBLE_EQ(det_prov->numberOr("minor_faults", -1.0), 0.0);
+    EXPECT_DOUBLE_EQ(det_prov->numberOr("major_faults", -1.0), 0.0);
+
+    // ...and real high-water marks outside --deterministic.
+    const JsonValue *live_prov = live.find("provenance");
+    ASSERT_NE(live_prov, nullptr);
+    EXPECT_GT(live_prov->numberOr("peak_rss_bytes", 0.0), 0.0);
+    EXPECT_GT(live_prov->numberOr("minor_faults", 0.0), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Coverage / attribution helpers used by the CI acceptance check.
+
+TEST(ProfJsonHelpers, CoverageSumsTopLevelRegionsClamped)
+{
+    const ProfReport rep = fullProfReport();
+    // 4ms + 5ms of depth-0 time over 10ms of wall.
+    EXPECT_DOUBLE_EQ(attributedCoverage(rep.regions, rep.wallMs),
+                     0.9);
+    EXPECT_DOUBLE_EQ(attributedCoverage(rep.regions, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(attributedCoverage(rep.regions, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(regionWallMs(rep.regions, "sim.run"), 5.0);
+}
+
+TEST(ProfJsonHelpers, FlamegraphKeepsLeavesSkipsEmptyInteriors)
+{
+    std::vector<RegionStat> regions;
+    RegionStat interior;
+    interior.path = "a";
+    interior.name = "a";
+    interior.totalNs = 1000 * 1000;
+    interior.childNs = 1000 * 1000; // all time in children
+    RegionStat leaf;
+    leaf.path = "a;b";
+    leaf.name = "b";
+    leaf.depth = 1;
+    leaf.totalNs = 1000 * 1000;
+    RegionStat zero_leaf;
+    zero_leaf.path = "c";
+    zero_leaf.name = "c"; // 0 self, no children: kept at 1µs
+    regions = {interior, leaf, zero_leaf};
+
+    std::ostringstream os;
+    writeFlamegraphCollapsed(os, regions);
+    const std::string text = os.str();
+    EXPECT_EQ(text.find("a "), std::string::npos);
+    EXPECT_NE(text.find("a;b 1000"), std::string::npos);
+    EXPECT_NE(text.find("c 1"), std::string::npos);
+}
+
+} // namespace
+} // namespace prof
+} // namespace spasm

@@ -1,0 +1,29 @@
+#!/bin/sh
+# Append one entry to the committed wall-clock trajectory
+# (BENCH_trajectory.json, schema spasm-bench-traj-v1) by running the
+# golden workloads through `spasm bench --record`.
+#
+# Usage: tools/record_trajectory.sh [label] [trajectory-file]
+#
+# Environment:
+#   SPASM_BIN          spasm binary (default: build/tools/spasm)
+#   SPASM_BENCH_ITERS  sim iterations per workload (default: 3)
+#
+# The label defaults to `git describe` so entries self-identify; pass
+# an explicit one (e.g. "ci") where describe is meaningless.
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+label="${1:-$(git -C "$repo_root" describe --always --dirty \
+    2>/dev/null || echo local)}"
+file="${2:-$repo_root/BENCH_trajectory.json}"
+bin="${SPASM_BIN:-$repo_root/build/tools/spasm}"
+
+if [ ! -x "$bin" ]; then
+    echo "record_trajectory: spasm binary not found at $bin" \
+         "(build first, or set SPASM_BIN)" >&2
+    exit 2
+fi
+
+exec "$bin" bench --iters "${SPASM_BENCH_ITERS:-3}" \
+    --record "$file" --label "$label"

@@ -21,9 +21,22 @@
  *   suite                                 list the built-in workloads
  *   compare  <baseline.json> <cand.json>  structured stats/bench diff
  *                                         with tolerances; exit 1 on
- *                                         out-of-tolerance deltas
+ *                                         out-of-tolerance deltas;
+ *            [--wallclock-trend FILE]     render the committed
+ *                                         wall-clock trajectory
  *   report   <stats.json>                 bottleneck attribution:
  *                                         roofline, stalls, imbalance
+ *                                         (spasm-prof-v1 records get
+ *                                         the host-vs-simulated
+ *                                         verdict instead)
+ *   profile  <input> [--json out.json]    self-profile one run:
+ *            [--flame out.txt]            region tree, host perf
+ *            [--overhead]                 counters, flamegraph
+ *                                         stacks and the host-bound
+ *                                         vs simulated-bound verdict
+ *   bench    [--record FILE]              wall-clock the golden
+ *                                         workloads; --record appends
+ *                                         to the committed trajectory
  *   bless    [--dir DIR]                  regenerate the golden
  *                                         baselines (bench/baselines)
  *
@@ -38,6 +51,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -47,6 +61,10 @@
 #include "core/stats_json.hh"
 #include "format/serialize.hh"
 #include "hw/trace_export.hh"
+#include "prof/perf_counters.hh"
+#include "prof/prof_json.hh"
+#include "prof/profiler.hh"
+#include "prof/trajectory.hh"
 #include "report/attribution.hh"
 #include "report/diff.hh"
 #include "report/golden.hh"
@@ -57,9 +75,12 @@
 #include "sparse/spy.hh"
 #include "support/atomic_file.hh"
 #include "support/error.hh"
+#include "support/json_value.hh"
 #include "support/logging.hh"
 #include "support/obs.hh"
+#include "support/resource_usage.hh"
 #include "support/stats.hh"
+#include "support/timer.hh"
 #include "support/thread_pool.hh"
 #include "support/table.hh"
 #include "support/version.hh"
@@ -97,8 +118,25 @@ usage()
         "                 [--markdown out.md]\n"
         "                 exit 1 when any metric moves out of\n"
         "                 tolerance (see docs/regression.md)\n"
+        "  spasm compare  --wallclock-trend BENCH_trajectory.json\n"
+        "                 render the recorded wall-clock trend\n"
         "  spasm report   <stats.json> [--top N] [--markdown out.md]\n"
-        "                 bottleneck attribution for one run\n"
+        "                 bottleneck attribution for one run;\n"
+        "                 spasm-prof-v1 records get the host\n"
+        "                 attribution verdict instead\n"
+        "  spasm profile  <matrix.mtx | workload | file.spasm>\n"
+        "                 [--config NAME] [--iters N]\n"
+        "                 [--json out.json]  spasm-prof-v1 record\n"
+        "                 [--flame out.txt]  flamegraph collapsed\n"
+        "                     stacks (flamegraph.pl / speedscope)\n"
+        "                 [--no-host-counters]  skip perf_event_open\n"
+        "                 [--overhead]  also run unprofiled and\n"
+        "                     print the profiler's overhead\n"
+        "  spasm bench    [--iters N] [--label S]\n"
+        "                 [--no-host-counters]\n"
+        "                 [--record FILE]  append one entry to the\n"
+        "                     committed wall-clock trajectory\n"
+        "                     (spasm-bench-traj-v1)\n"
         "  spasm bless    [--dir DIR]  regenerate golden baselines\n"
         "                 (default DIR: bench/baselines)\n"
         "  spasm chaos    [--seed N] [--campaign default|storage|\n"
@@ -534,6 +572,21 @@ hasFlag(const std::vector<std::string> &args, const char *name)
 int
 cmdCompare(const std::vector<std::string> &args)
 {
+    // Trend rendering is a standalone mode: no baseline/candidate
+    // pair, just the committed trajectory file.
+    const std::string trend_path =
+        optValue(args, "--wallclock-trend");
+    if (!trend_path.empty()) {
+        const prof::Trajectory traj =
+            prof::loadTrajectory(trend_path);
+        if (traj.entries.empty()) {
+            std::printf("no trajectory entries in %s\n",
+                        trend_path.c_str());
+            return 0;
+        }
+        prof::renderTrajectoryTrend(std::cout, traj);
+        return 0;
+    }
     if (args.size() < 2) {
         std::fprintf(stderr, "compare: need <baseline.json> "
                              "<candidate.json>\n");
@@ -566,15 +619,340 @@ cmdReport(const std::vector<std::string> &args)
 {
     const auto file = report::loadStatsFile(args[0]);
     const std::string top_opt = optValue(args, "--top");
+    const std::string md_path = optValue(args, "--markdown");
+
+    // Profile records get the host-side verdict; everything else the
+    // simulated-hardware bottleneck attribution.
+    if (file.schema == "spasm-prof-v1") {
+        const int top_n = top_opt.empty() ? 8 : std::stoi(top_opt);
+        const auto rep = report::attributeHost(file, top_n);
+        report::renderHostAttributionText(std::cout, rep);
+        if (!md_path.empty()) {
+            writeFileAtomic(md_path, [&](std::ostream &out) {
+                report::renderHostAttributionMarkdown(out, rep);
+            });
+        }
+        return 0;
+    }
+
     const int top_n = top_opt.empty() ? 3 : std::stoi(top_opt);
     const auto rep = report::attributeBottleneck(file, top_n);
     report::renderBottleneckText(std::cout, rep);
 
-    const std::string md_path = optValue(args, "--markdown");
     if (!md_path.empty()) {
         writeFileAtomic(md_path, [&](std::ostream &out) {
             report::renderBottleneckMarkdown(out, rep);
         });
+    }
+    return 0;
+}
+
+/**
+ * Self-profile one run: the same load -> preprocess -> simulate
+ * pipeline as `simulate`, executed under the prof registry (plus the
+ * obs registry, which gates the thread-pool health accounting), with
+ * host hardware counters around it.  Emits the spasm-prof-v1 record,
+ * optional flamegraph stacks, and the host-vs-simulated verdict.
+ */
+int
+cmdProfile(const std::string &input,
+           const std::vector<std::string> &args)
+{
+    const std::string iters_opt = optValue(args, "--iters");
+    const int iters = iters_opt.empty() ? 1 : std::stoi(iters_opt);
+    const std::string cfg_opt = optValue(args, "--config");
+    const std::string json_path = optValue(args, "--json");
+    const std::string flame_path = optValue(args, "--flame");
+    const bool no_counters = hasFlag(args, "--no-host-counters");
+    const bool measure_overhead = hasFlag(args, "--overhead");
+
+    HwConfig config;
+    std::uint64_t sim_cycles = 0;
+    double sim_seconds = 0.0;
+    std::uint64_t last_cycles = 0;
+
+    // The profiled workload.  CLI-level regions (load_input) plus the
+    // pipeline's own (preprocess + its six stages, schedule.explore,
+    // sim.run / sim.cycle_loop) cover the whole wall clock, so the
+    // record's depth-0 coverage stays >= 95%.
+    const auto run_once = [&]() -> double {
+        sim_cycles = 0;
+        sim_seconds = 0.0;
+        Timer wall;
+        SpasmMatrix enc;
+        if (endsWith(input, ".spasm")) {
+            prof::Region region("load_input");
+            enc = readSpasmFile(input);
+            config = spasm41();
+        } else {
+            CooMatrix m = [&] {
+                prof::Region region("load_input");
+                return loadInput(input);
+            }();
+            const SpasmFramework framework;
+            PreprocessResult pre = framework.preprocess(m);
+            config = pre.schedule.config;
+            enc = std::move(pre.encoded);
+        }
+        if (!cfg_opt.empty()) {
+            bool found = false;
+            for (const auto &c : allHwConfigs()) {
+                if (c.name() == cfg_opt) {
+                    config = c;
+                    found = true;
+                }
+            }
+            if (!found)
+                spasm_fatal("unknown --config '%s'",
+                            cfg_opt.c_str());
+        }
+        Accelerator accel(config, enc.portfolio());
+        const auto x = SpasmFramework::defaultX(enc.cols());
+        std::vector<Value> y(enc.rows(), 0.0f);
+        for (int i = 0; i < iters; ++i) {
+            std::fill(y.begin(), y.end(), 0.0f);
+            const RunStats stats = accel.run(enc, x, y);
+            sim_cycles += stats.cycles;
+            sim_seconds += stats.seconds;
+            last_cycles = stats.cycles;
+        }
+        return wall.elapsedMs();
+    };
+
+    // Identical obs settings for the baseline and the profiled run,
+    // so --overhead isolates the *profiler's* marginal cost.  One
+    // discarded warm-up plus best-of-two keeps allocator/page-cache
+    // cold-start noise (easily 10%+ on tiny runs) out of the number.
+    auto &reg = obs::Registry::global();
+    reg.setEnabled(true);
+    reg.clear();
+    double baseline_ms = 0.0;
+    if (measure_overhead) {
+        run_once();
+        baseline_ms = std::min(run_once(), run_once());
+    }
+
+    auto &profiler = prof::Profiler::global();
+    profiler.setEnabled(true);
+    profiler.clear();
+    ThreadPool::global().resetHealth();
+    prof::HostCounters counters(
+        no_counters || prof::HostCounters::disabledByEnv());
+    counters.start();
+    double wall_ms = run_once();
+    double profiled_best_ms = wall_ms;
+    if (measure_overhead) {
+        // Best-of-two on the profiled side as well; the record keeps
+        // the *last* run so regions and wall_ms share one window.
+        profiler.clear();
+        ThreadPool::global().resetHealth();
+        wall_ms = run_once();
+        profiled_best_ms = std::min(profiled_best_ms, wall_ms);
+    }
+    counters.stop();
+    ThreadPool::global().publishHealth();
+
+    prof::ProfReport rep;
+    rep.inputName = input;
+    rep.threads =
+        static_cast<int>(ThreadPool::global().concurrency());
+    const bool file_input =
+        endsWith(input, ".mtx") || endsWith(input, ".spasm");
+    if (!file_input)
+        rep.scale = scaleName(scaleFromEnv());
+    rep.rusage = currentResourceUsage();
+    rep.wallMs = wall_ms;
+    rep.regions = profiler.snapshot();
+    const ThreadPool::HealthSnapshot health =
+        ThreadPool::global().healthSnapshot();
+    rep.pool.workers = static_cast<int>(health.workers);
+    rep.pool.loops = health.loops;
+    rep.pool.queueWaitCount = health.queueWaitCount;
+    rep.pool.queueWaitTotalMs =
+        static_cast<double>(health.queueWaitTotalNs) / 1e6;
+    rep.pool.queueWaitMaxMs =
+        static_cast<double>(health.queueWaitMaxNs) / 1e6;
+    for (std::size_t i = 0; i < health.workerBusyNs.size(); ++i) {
+        prof::ProfPoolWorker w;
+        w.worker = static_cast<int>(i);
+        w.busyMs = static_cast<double>(health.workerBusyNs[i]) / 1e6;
+        w.busyFraction =
+            wall_ms > 0.0 ? std::min(1.0, w.busyMs / wall_ms) : 0.0;
+        rep.pool.workersBusy.push_back(w);
+    }
+    rep.counters = counters.read();
+    rep.simCycles = sim_cycles;
+    rep.simSeconds = sim_seconds;
+
+    std::ostringstream record;
+    prof::writeProfJson(record, rep);
+    if (!json_path.empty()) {
+        writeFileAtomic(json_path, [&](std::ostream &out) {
+            out << record.str();
+        });
+        std::printf("profile json      : %s -> %s\n",
+                    prof::kProfJsonSchema, json_path.c_str());
+    }
+    if (!flame_path.empty()) {
+        writeFileAtomic(flame_path, [&](std::ostream &out) {
+            prof::writeFlamegraphCollapsed(out, rep.regions);
+        });
+        std::printf("flamegraph        : %zu regions -> %s\n",
+                    rep.regions.size(), flame_path.c_str());
+    }
+
+    std::printf("cycles            : %llu\n",
+                static_cast<unsigned long long>(last_cycles));
+    std::printf("wall              : %.2f ms (%d iters)\n", wall_ms,
+                iters);
+    std::printf("coverage          : %.1f%% of wall attributed to "
+                "named regions\n",
+                100.0 * prof::attributedCoverage(rep.regions,
+                                                 wall_ms));
+    if (measure_overhead && baseline_ms > 0.0) {
+        std::printf("profiler overhead : %.2f%% (unprofiled %.2f "
+                    "ms, profiled %.2f ms, best of 2 each)\n",
+                    100.0 * (profiled_best_ms - baseline_ms) /
+                        baseline_ms,
+                    baseline_ms, profiled_best_ms);
+    }
+    if (!rep.counters.available) {
+        std::printf("host counters     : unavailable (%s)\n",
+                    rep.counters.degradation.c_str());
+    }
+    std::printf("\n");
+
+    // The verdict, rendered from the same record a consumer would
+    // load — no second code path to drift.
+    std::string parse_error;
+    report::StatsFile pf;
+    pf.path = json_path.empty() ? "<profile>" : json_path;
+    pf.root = parseJson(record.str(), &parse_error);
+    if (!parse_error.empty())
+        spasm_fatal("internal: profile record does not parse: %s",
+                    parse_error.c_str());
+    pf.schema = prof::kProfJsonSchema;
+    pf.schemaMinor = prof::kProfJsonSchemaMinor;
+    const auto verdict = report::attributeHost(pf);
+    report::renderHostAttributionText(std::cout, verdict);
+
+    profiler.setEnabled(false);
+    reg.setEnabled(false);
+    return 0;
+}
+
+/**
+ * Wall-clock the golden workloads (Tiny-pinned, same specs as
+ * `bless`) with the profiler OFF — pure timers plus host counters —
+ * and optionally append one entry to the committed trajectory.
+ */
+int
+cmdBench(const std::vector<std::string> &args)
+{
+    const std::string iters_opt = optValue(args, "--iters");
+    const int iters = iters_opt.empty() ? 3 : std::stoi(iters_opt);
+    const std::string record_path = optValue(args, "--record");
+    const std::string label = optValue(args, "--label");
+
+    prof::HostCounters counters(
+        hasFlag(args, "--no-host-counters") ||
+        prof::HostCounters::disabledByEnv());
+
+    prof::TrajectoryEntry entry;
+    entry.label = label.empty() ? "local" : label;
+    entry.scale = "tiny";
+    entry.threads =
+        static_cast<int>(ThreadPool::global().concurrency());
+    entry.iters = iters;
+    entry.countersAvailable = counters.available();
+
+    TextTable table("golden workload wall clock (Tiny, " +
+                    std::to_string(iters) + " sim iters)");
+    table.setHeader({"workload", "config", "wall ms", "pre ms",
+                     "sim ms", "Mcyc/s", "ipc"});
+
+    double total_wall = 0.0;
+    double total_sim_ms = 0.0;
+    std::uint64_t total_cycles = 0;
+    for (const auto &spec : report::goldenSpecs()) {
+        Timer wall;
+        const CooMatrix m =
+            generateWorkload(spec.workload, Scale::Tiny);
+        const SpasmFramework framework;
+        Timer pre_timer;
+        PreprocessResult pre = framework.preprocess(m);
+        const double pre_ms = pre_timer.elapsedMs();
+
+        HwConfig config;
+        bool found = false;
+        for (const auto &c : allHwConfigs()) {
+            if (c.name() == spec.config) {
+                config = c;
+                found = true;
+            }
+        }
+        if (!found)
+            spasm_fatal("golden spec names unknown config '%s'",
+                        spec.config.c_str());
+
+        Accelerator accel(config, pre.portfolio);
+        const auto x = SpasmFramework::defaultX(m.cols());
+        std::vector<Value> y(m.rows(), 0.0f);
+        counters.start();
+        Timer sim_timer;
+        std::uint64_t cycles = 0;
+        for (int i = 0; i < iters; ++i) {
+            std::fill(y.begin(), y.end(), 0.0f);
+            const RunStats stats =
+                accel.run(pre.encoded, x, y, pre.policy);
+            cycles += stats.cycles;
+        }
+        const double sim_ms = sim_timer.elapsedMs();
+        counters.stop();
+        const prof::HostCounterValues vals = counters.read();
+
+        prof::TrajectoryWorkload w;
+        w.name = spec.workload;
+        w.config = spec.config;
+        w.wallMs = wall.elapsedMs();
+        w.preprocessMs = pre_ms;
+        w.simulateMs = sim_ms;
+        w.simCycles = cycles;
+        w.simCyclesPerHostSec =
+            sim_ms > 0.0 ? static_cast<double>(cycles) /
+                               (sim_ms / 1000.0)
+                         : 0.0;
+        w.ipc = vals.ipc();
+        w.cacheMissRate = vals.cacheMissRate();
+        entry.workloads.push_back(w);
+
+        total_wall += w.wallMs;
+        total_sim_ms += sim_ms;
+        total_cycles += cycles;
+        table.addRow({w.name, w.config, TextTable::fmt(w.wallMs, 2),
+                      TextTable::fmt(pre_ms, 2),
+                      TextTable::fmt(sim_ms, 2),
+                      TextTable::fmt(w.simCyclesPerHostSec / 1e6, 2),
+                      TextTable::fmt(w.ipc, 2)});
+    }
+    entry.totalWallMs = total_wall;
+    entry.simCyclesPerHostSec =
+        total_sim_ms > 0.0 ? static_cast<double>(total_cycles) /
+                                 (total_sim_ms / 1000.0)
+                           : 0.0;
+    table.print(std::cout);
+    std::printf("total: %.2f ms wall, %.3g simulated cycles per "
+                "host second\n",
+                total_wall, entry.simCyclesPerHostSec);
+    if (!counters.available()) {
+        std::printf("host counters: unavailable (%s)\n",
+                    counters.degradation().c_str());
+    }
+
+    if (!record_path.empty()) {
+        prof::appendTrajectoryEntry(record_path, entry);
+        std::printf("trajectory entry appended to %s (%s)\n",
+                    record_path.c_str(), prof::kTrajectorySchema);
     }
     return 0;
 }
@@ -768,10 +1146,14 @@ run(int argc, char **argv)
         return cmdBatch(args);
     if (cmd == "compare")
         return cmdCompare(args);
+    if (cmd == "bench")
+        return cmdBench(args);
     if (args.empty())
         return usage();
     if (cmd == "report")
         return cmdReport(args);
+    if (cmd == "profile")
+        return cmdProfile(args[0], args);
     if (cmd == "analyze")
         return cmdAnalyze(args[0]);
     if (cmd == "encode")
