@@ -153,6 +153,23 @@ class FaultPlan
      */
     bool channelStuck(int channel, std::uint64_t cycle);
 
+    /**
+     * First cycle after @p cycle's stuck window, i.e. the earliest
+     * cycle at which a channel stuck *now* can grant again.  The
+     * fast-forward engine uses this as the wakeup for a PE stalled on
+     * a stuck channel; jumping exactly to the window boundary re-arms
+     * the per-window stuck draw, so episode counts match cycle-exact
+     * simulation.
+     */
+    std::uint64_t stuckWindowEnd(std::uint64_t cycle) const
+    {
+        const auto w =
+            static_cast<std::uint64_t>(config_.channelStuckCycles);
+        if (w == 0)
+            return cycle + 1;
+        return (cycle / w + 1) * w;
+    }
+
     void noteDetected() { ++stats_.detected; }
     void noteRecovered() { ++stats_.recovered; }
     void noteMasked() { ++stats_.masked; }

@@ -1,6 +1,7 @@
 #include "hw/accelerator.hh"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <deque>
 #include <numeric>
@@ -13,6 +14,7 @@
 #include "support/logging.hh"
 #include "support/memory_budget.hh"
 #include "support/obs.hh"
+#include "support/thread_pool.hh"
 
 namespace spasm {
 
@@ -30,6 +32,12 @@ constexpr std::size_t kMaxPendingFlushes = 8;
  */
 constexpr int kHbmReadLatency = 12;
 
+/** Recent psum writes tracked per PE for the hazard model. */
+constexpr int kHazardRing = 8;
+
+/** Sentinel wakeup for stalls only a queue event can clear. */
+constexpr std::uint64_t kNoWake = ~0ULL;
+
 /**
  * One contiguous slice of a tile's word stream assigned to a PE.
  * A whole tile is the common case; heavy tiles are split across PEs
@@ -43,44 +51,18 @@ struct WorkRange
     std::size_t end = 0;
 };
 
-/** Per-PE simulation state. */
-struct PeState
+/**
+ * A maximal run of consecutive work ranges of one PE sharing a tile
+ * row.  Exactly one partial-sum flush ends each segment, so segments
+ * are the natural unit for the split timing/functional execution
+ * mode: each segment's psum accumulation is independent of every
+ * other segment until its flush folds it into y.
+ */
+struct Segment
 {
-    /** Assigned word ranges, in stream order. */
-    std::vector<WorkRange> work;
-
-    std::size_t cur = 0;       ///< current range (index into work)
-    std::size_t word = 0;      ///< next word within the current range
-    int slice = 0;             ///< next batch vector for this word
-    std::size_t loaded = 0;    ///< ranges whose x slice is resident
-    std::size_t requested = 0; ///< ranges enqueued to the x loader
-    bool done = false;
-
-    /** Cycle at which the current range issued its first word. */
-    std::uint64_t rangeStart = 0;
-
-    /** Recent psum writes (r_idx, cycle, slice) for hazard checks. */
-    static constexpr int kHazardRing = 8;
-    std::uint32_t hazRIdx[kHazardRing] = {};
-    std::uint64_t hazCycle[kHazardRing] = {};
-    int hazSlice[kHazardRing] = {};
-    int hazHead = 0;
-
-    /** Partial-sum buffer (tileSize entries). */
-    std::vector<Value> psum;
-
-    // ---- Fault-injection state (used only with a FaultPlan).
-    /** Latched fetch register: the word as it arrived from HBM,
-     *  possibly with an injected bit flip. */
-    EncodedWord latched;
-    /** Detected-uncorrectable word: occupies its issue slots but
-     *  contributes nothing (policy None). */
-    bool dropWord = false;
-    /** A detected corruption is being refetched (policy Retry). */
-    bool retryPending = false;
-    std::uint64_t retryUntil = 0;
-    /** Transient lane stall: no issue while cycle < this. */
-    std::uint64_t faultStallUntil = 0;
+    std::size_t rbegin = 0; ///< first range (global index)
+    std::size_t rend = 0;   ///< one past the last range
+    Index tileRowIdx = 0;
 };
 
 /** A pending bulk transfer (x prefetch or psum/y drain). */
@@ -90,6 +72,20 @@ struct BulkReq
     double remaining = 0.0;
     int latency = 0; ///< cycles before the first byte arrives
 };
+
+/** Fast-forward stall category of a PE during a skipped stretch. */
+enum FfCat : unsigned char
+{
+    FfNone = 0,
+    FfX,      ///< waiting on x prefetch (cleared by a queue pop)
+    FfY,      ///< flush back-pressure (cleared by a queue pop)
+    FfHazard, ///< psum accumulation hazard (known expiry cycle)
+    FfFault,  ///< injected-fault stall (known deadline)
+};
+
+/** Split-mode segment arena cap; beyond it, fall back to the unified
+ *  inline-arithmetic path rather than ballooning memory. */
+constexpr std::int64_t kMaxSegmentArenaBytes = 256LL << 20;
 
 } // namespace
 
@@ -182,10 +178,10 @@ Accelerator::runImpl(const SpasmMatrix &m,
     for (const auto &t : tiles)
         total_words += t.words.size();
 
-    std::vector<PeState> pes(num_pes);
+    std::vector<std::vector<WorkRange>> works(num_pes);
     if (policy == SchedulePolicy::RoundRobin) {
         for (std::size_t i = 0; i < tiles.size(); ++i) {
-            pes[i % num_pes].work.push_back(
+            works[i % num_pes].push_back(
                 {i, 0, tiles[i].words.size()});
         }
     } else {
@@ -206,33 +202,158 @@ Accelerator::runImpl(const SpasmMatrix &m,
                     : static_cast<std::uint64_t>(w - off);
                 const std::size_t take = static_cast<std::size_t>(
                     std::min<std::uint64_t>(w - off, room));
-                pes[p].work.push_back({i, off, off + take});
+                works[p].push_back({i, off, off + take});
                 off += take;
                 cum += take;
             }
         }
     }
+
+    // ---- Flatten the per-PE work lists into one contiguous range
+    // array (structure-of-arrays): PE p owns the global range indices
+    // [range_off[p], range_off[p+1]).  All hot per-PE cursors live in
+    // their own vectors below, so the per-cycle scans touch dense
+    // memory instead of striding over an array of structs.
+    std::vector<WorkRange> all_ranges;
+    std::vector<std::size_t> range_off(num_pes + 1, 0);
+    for (int p = 0; p < num_pes; ++p) {
+        range_off[p] = all_ranges.size();
+        all_ranges.insert(all_ranges.end(), works[p].begin(),
+                          works[p].end());
+    }
+    range_off[num_pes] = all_ranges.size();
+    works.clear();
+    works.shrink_to_fit();
+
+    // ---- Split timing/functional execution: with no fault plan
+    // attached, the cycle-level timing is independent of the computed
+    // values (nothing in the datapath feeds back into stall or queue
+    // behavior), so the arithmetic can be lifted out of the cycle
+    // loop and run data-parallel per segment, then folded into y
+    // serially in the recorded flush order — bit-identical results at
+    // any thread count.
+    std::vector<Segment> segments;
+    std::vector<std::size_t> seg_cursor(num_pes, 0);
+    bool split_mode = fastForward_ && faultPlan_ == nullptr;
+    if (split_mode) {
+        for (int p = 0; p < num_pes; ++p) {
+            seg_cursor[p] = segments.size();
+            std::size_t r = range_off[p];
+            while (r < range_off[p + 1]) {
+                const Index row =
+                    tiles[all_ranges[r].tile].tileRowIdx;
+                std::size_t s = r + 1;
+                while (s < range_off[p + 1] &&
+                       tiles[all_ranges[s].tile].tileRowIdx == row)
+                    ++s;
+                segments.push_back({r, s, row});
+                r = s;
+            }
+        }
+        const std::int64_t arena_bytes =
+            static_cast<std::int64_t>(segments.size()) * T * batch *
+            static_cast<std::int64_t>(sizeof(Value));
+        if (arena_bytes > kMaxSegmentArenaBytes) {
+            split_mode = false;
+        } else if (budget_ != nullptr && budget_->limit() > 0 &&
+                   budget_->limit() - budget_->used() < arena_bytes) {
+            // Not enough headroom for the segment arenas; the unified
+            // path's per-PE buffers are strictly smaller.
+            split_mode = false;
+        }
+        if (!split_mode) {
+            segments.clear();
+            segments.shrink_to_fit();
+        }
+    }
+    const bool do_arith = !split_mode;
+
     // Reserve the partial-sum arenas against the memory budget before
     // materializing them; RAII so the charge is returned even when
     // the run throws (deadline, injected-fault invariant).
+    const std::int64_t slab_bytes = static_cast<std::int64_t>(T) *
+        batch * static_cast<std::int64_t>(sizeof(Value));
+    std::int64_t psum_bytes = 0;
+    if (split_mode) {
+        psum_bytes =
+            static_cast<std::int64_t>(segments.size()) * slab_bytes;
+    } else {
+        for (int p = 0; p < num_pes; ++p) {
+            if (range_off[p] != range_off[p + 1])
+                psum_bytes += slab_bytes;
+        }
+    }
     MemoryReservation psum_reservation;
     if (budget_ != nullptr) {
-        std::int64_t psum_bytes = 0;
-        for (const auto &pe : pes) {
-            if (!pe.work.empty()) {
-                psum_bytes += static_cast<std::int64_t>(T) * batch *
-                    static_cast<std::int64_t>(sizeof(Value));
-            }
-        }
         psum_reservation = MemoryReservation(
             budget_, psum_bytes, "simulator psum buffers");
     }
-    for (auto &pe : pes) {
-        pe.done = pe.work.empty();
-        if (!pe.done) {
-            pe.psum.assign(static_cast<std::size_t>(T) * batch,
-                           0.0f);
+
+    const std::size_t slab =
+        static_cast<std::size_t>(T) * batch;
+    std::vector<Value> psum_arena;   // unified: per PE with work
+    std::vector<std::size_t> psum_off;
+    std::vector<Value> seg_psum;     // split: one slab per segment
+    std::vector<std::uint32_t> flush_order;
+    if (split_mode) {
+        seg_psum.assign(segments.size() * slab, 0.0f);
+        flush_order.reserve(segments.size());
+    } else {
+        psum_off.assign(num_pes, 0);
+        std::size_t off = 0;
+        for (int p = 0; p < num_pes; ++p) {
+            psum_off[p] = off;
+            if (range_off[p] != range_off[p + 1])
+                off += slab;
         }
+        psum_arena.assign(off, 0.0f);
+    }
+
+    // ---- Per-PE state, structure-of-arrays.
+    std::vector<std::size_t> pe_cur(num_pes);   // global range index
+    std::vector<std::size_t> pe_word(num_pes, 0);
+    std::vector<int> pe_slice(num_pes, 0);
+    std::vector<std::size_t> pe_loaded(num_pes);    // global boundary
+    std::vector<std::size_t> pe_requested(num_pes); // global boundary
+    std::vector<unsigned char> pe_done(num_pes, 0);
+    std::vector<std::uint64_t> pe_range_start(num_pes, 0);
+    int active_pes = 0;
+    for (int p = 0; p < num_pes; ++p) {
+        pe_cur[p] = range_off[p];
+        pe_loaded[p] = range_off[p];
+        pe_requested[p] = range_off[p];
+        pe_done[p] = range_off[p] == range_off[p + 1] ? 1 : 0;
+        if (!pe_done[p])
+            ++active_pes;
+    }
+
+    // Hazard rings (only consulted with a non-zero hazard latency).
+    std::vector<std::uint32_t> haz_ridx;
+    std::vector<std::uint64_t> haz_cycle;
+    std::vector<int> haz_slice;
+    std::vector<int> haz_head;
+    if (psumHazardLatency_ > 0) {
+        haz_ridx.assign(
+            static_cast<std::size_t>(num_pes) * kHazardRing, 0);
+        haz_cycle.assign(
+            static_cast<std::size_t>(num_pes) * kHazardRing, 0);
+        haz_slice.assign(
+            static_cast<std::size_t>(num_pes) * kHazardRing, 0);
+        haz_head.assign(num_pes, 0);
+    }
+
+    // Fault-injection state (allocated only with a FaultPlan).
+    std::vector<std::uint64_t> f_stall_until;
+    std::vector<std::uint64_t> f_retry_until;
+    std::vector<unsigned char> f_retry_pending;
+    std::vector<unsigned char> f_drop;
+    std::vector<EncodedWord> f_latched;
+    if (faultPlan_ != nullptr) {
+        f_stall_until.assign(num_pes, 0);
+        f_retry_until.assign(num_pes, 0);
+        f_retry_pending.assign(num_pes, 0);
+        f_drop.assign(num_pes, 0);
+        f_latched.assign(num_pes, EncodedWord{});
     }
 
     // ---- HBM subsystem.
@@ -281,28 +402,43 @@ Accelerator::runImpl(const SpasmMatrix &m,
     std::vector<std::deque<BulkReq>> drain_queue(num_groups);
     std::deque<BulkReq> y_queue;
     std::vector<bool> y_row_seen(m.numTileRows(), false);
+    std::size_t pending_x = 0;
+    std::size_t pending_drain = 0;
 
     auto group_of = [&](int pe) { return pe / kPesPerGroup; };
     auto val_ch_of = [&](int pe) {
         return pe / kPesPerValueChannel;
     };
 
+    std::uint64_t cycle = 0;
+
+    // Channels are advanced lazily: a channel's clock is caught up to
+    // the current cycle only when it is about to be inspected or
+    // consumed.  advanceIdle() replays the per-cycle credit update
+    // until the budget saturates and is then exactly idempotent, so
+    // the byte totals and credits are bit-identical to the eager
+    // beginCycle()-everything-every-cycle schedule — without paying
+    // ~(channels) FP updates per simulated cycle.
+    auto sync_ch = [&](HbmChannel &ch) {
+        ch.advanceIdle(cycle + 1 - ch.cycles());
+    };
+
     auto enqueue_prefetch = [&](int pe_id) {
-        auto &pe = pes[pe_id];
         const std::size_t horizon =
-            std::min(pe.cur + 2, pe.work.size());
-        while (pe.requested < horizon) {
+            std::min(pe_cur[pe_id] + 2, range_off[pe_id + 1]);
+        while (pe_requested[pe_id] < horizon) {
             // Each work range stages its tile's x slice; a tile split
             // across PEs is loaded once per PE (no broadcast path).
             auto &q = x_queue[group_of(pe_id)];
             q.push_back({pe_id,
                          static_cast<double>(T) * 4.0 * batch,
                          q.empty() ? kHbmReadLatency : 0});
-            ++pe.requested;
+            ++pe_requested[pe_id];
+            ++pending_x;
         }
     };
     for (int p = 0; p < num_pes; ++p) {
-        if (!pes[p].done)
+        if (!pe_done[p])
             enqueue_prefetch(p);
     }
 
@@ -315,8 +451,10 @@ Accelerator::runImpl(const SpasmMatrix &m,
     stats.bandwidthGBs = config_.bandwidthGBs();
     stats.peakGflops = config_.peakGflops();
 
-    const std::uint64_t watchdog = 1000000ULL +
-        1000ULL * (stats.totalWords * batch + tiles.size() + 1);
+    const std::uint64_t watchdog = watchdogOverride_ != 0
+        ? watchdogOverride_
+        : 1000000ULL +
+            1000ULL * (stats.totalWords * batch + tiles.size() + 1);
 
     // Occupancy sampling: geometric bucket widening keeps the
     // timeline at <= 128 entries for any run length.
@@ -336,51 +474,176 @@ Accelerator::runImpl(const SpasmMatrix &m,
     std::vector<double> ch_prev_bytes(
         obs_detail ? all_ch.size() : 0, 0.0);
 
+    auto occ_boundary = [&]() {
+        occ_buckets.push_back(occ_acc);
+        occ_acc = 0;
+        occ_fill = 0;
+        if (obs_detail) {
+            // Per-channel delivered bytes on the same buckets.
+            for (std::size_t ci = 0; ci < all_ch.size(); ++ci) {
+                const double total = all_ch[ci]->totalBytes();
+                ch_buckets[ci].push_back(total - ch_prev_bytes[ci]);
+                ch_prev_bytes[ci] = total;
+            }
+        }
+        if (occ_buckets.size() > 128) {
+            for (std::size_t i = 0; i < occ_buckets.size() / 2;
+                 ++i) {
+                occ_buckets[i] =
+                    occ_buckets[2 * i] + occ_buckets[2 * i + 1];
+            }
+            occ_buckets.resize(occ_buckets.size() / 2);
+            for (auto &cb : ch_buckets) {
+                for (std::size_t i = 0; i < cb.size() / 2; ++i)
+                    cb[i] = cb[2 * i] + cb[2 * i + 1];
+                cb.resize(cb.size() / 2);
+            }
+            occ_width *= 2;
+        }
+    };
+    auto occ_step = [&]() {
+        occ_acc += stats.busyPeCycles - occ_prev_busy;
+        occ_prev_busy = stats.busyPeCycles;
+        if (++occ_fill == occ_width)
+            occ_boundary();
+    };
+    // Bulk-advance the occupancy sampler over @p delta idle cycles
+    // (no PE issued during a fast-forward jump, so every skipped
+    // cycle contributes zero busy delta); bucket boundaries and the
+    // geometric halving fire exactly as they would cycle-by-cycle.
+    auto occ_advance = [&](std::uint64_t delta) {
+        while (delta > 0) {
+            const std::uint64_t step =
+                std::min(delta, occ_width - occ_fill);
+            occ_fill += step;
+            delta -= step;
+            if (occ_fill == occ_width)
+                occ_boundary();
+        }
+    };
+
     // Host-side profiling: the run region plus an amortized sampler
     // that attributes the cycle loop in ~1024-iteration blocks.  Both
     // cache the enabled flag at construction — one predictable branch
-    // per cycle when profiling is off.
+    // per cycle when profiling is off.  Fast-forward jumps account
+    // their skipped cycles via advance(), so sampler coverage tracks
+    // simulated cycles, not host loop iterations.
     prof::Region prof_run("sim.run");
     prof::HotLoopSampler prof_loop("sim.cycle_loop");
 
-    std::uint64_t cycle = 0;
-    int rr = 0; // rotating PE priority
-    for (;; ++cycle) {
-        prof_loop.tick();
-        bool all_done = true;
-        for (const auto &pe : pes)
-            all_done = all_done && pe.done;
-        bool queues_empty = y_queue.empty();
-        for (int g = 0; g < num_groups; ++g) {
-            queues_empty = queues_empty && drain_queue[g].empty() &&
-                x_queue[g].empty();
-        }
-        if (all_done && queues_empty)
+    // Cooperative deadline/cancel polling: cheap (pointer test when
+    // detached, one MonoClock read per 1024 cycles when armed), and
+    // it fires *before* the watchdog panic when an injected stuck
+    // channel wedges the run — the job is killed with a typed
+    // Error{Timeout}, not an abort.  Every fast-forward jump is an
+    // unconditional poll point so a deadline can never be jumped
+    // over.
+    const CyclePoller poller(cancel_);
+
+    // ---- Fast-forward bookkeeping.  A cycle in which no PE issued
+    // and no PE stalled on channel credit cannot change PE state
+    // until either (a) a known wakeup deadline (fault stall, retry,
+    // stuck-channel window end, hazard expiry) or (b) a bulk-queue
+    // pop (x-slice completion, drain/y dequeue).  The engine either
+    // jumps straight to the wakeup when all queues are empty, or
+    // iterates a reduced serve-queues-only loop until a pop.  Stall
+    // attribution for the skipped cycles is applied in bulk from the
+    // category census taken at the decision cycle.
+    bool ff_active = false;
+    std::uint64_t ff_until = 0;
+    std::uint64_t ff_pending = 0; // case-B skipped, not yet flushed
+    std::uint32_t ffn_x = 0, ffn_y = 0, ffn_h = 0, ffn_f = 0;
+    std::uint64_t ff_wake = kNoWake;
+    std::vector<unsigned char> ff_cat(fastForward_ ? num_pes : 0, 0);
+
+    auto ff_note = [&](int p, unsigned char cat,
+                       std::uint64_t wake) {
+        if (!fastForward_)
+            return;
+        switch (cat) {
+        case FfX:
+            ++ffn_x;
             break;
-        if (cycle > watchdog) {
+        case FfY:
+            ++ffn_y;
+            break;
+        case FfHazard:
+            ++ffn_h;
+            break;
+        default:
+            ++ffn_f;
+            break;
+        }
+        ff_cat[p] = cat;
+        ff_wake = std::min(ff_wake, wake);
+    };
+    auto flush_ff = [&](std::uint64_t delta) {
+        if (delta == 0)
+            return;
+        stats.stallX += delta * ffn_x;
+        stats.stallY += delta * ffn_y;
+        stats.stallHazard += delta * ffn_h;
+        stats.stallFault += delta * ffn_f;
+        stats.ffSkippedCycles += delta;
+        ++stats.ffJumps;
+        if (obs_detail) {
+            for (int p = 0; p < num_pes; ++p) {
+                switch (ff_cat[p]) {
+                case FfX:
+                    pe_stats[p].stallX += delta;
+                    break;
+                case FfY:
+                    pe_stats[p].stallY += delta;
+                    break;
+                case FfHazard:
+                    pe_stats[p].stallHazard += delta;
+                    break;
+                case FfFault:
+                    pe_stats[p].stallFault += delta;
+                    break;
+                default:
+                    break;
+                }
+            }
+        }
+    };
+
+    for (;; ++cycle) {
+        if (active_pes == 0 && pending_x == 0 &&
+            pending_drain == 0 && y_queue.empty())
+            break;
+        if (cycle >= watchdog) {
             spasm_panic("simulator watchdog: no forward progress "
                         "after %llu cycles",
                         static_cast<unsigned long long>(cycle));
         }
-        // Cooperative deadline/cancel poll: cheap (pointer test when
-        // detached, one MonoClock read per 1024 cycles when armed),
-        // and it fires *before* the watchdog panic when an injected
-        // stuck channel wedges the run — the job is killed with a
-        // typed Error{Timeout}, not an abort.
-        if (cancel_ != nullptr && (cycle & 1023u) == 0)
-            cancel_->throwIfCancelled("simulator");
+        poller.poll(cycle, "simulator");
 
-        for (auto &ch : val_ch)
-            ch.beginCycle();
-        for (auto &ch : pos_ch)
-            ch.beginCycle();
-        for (auto &ch : x_ch)
-            ch.beginCycle();
-        for (auto &ch : drain_ch)
-            ch.beginCycle();
-        y_ch.beginCycle();
+        if (ff_active && pending_x == 0 && pending_drain == 0 &&
+            y_queue.empty()) {
+            // Case A: nothing in flight anywhere — jump straight to
+            // the earliest wakeup (clamped to the watchdog so the
+            // panic still fires at its exact cycle).  The skipped
+            // cycles' stall attribution, profiler ticks, occupancy
+            // buckets and a cancellation poll are applied in bulk.
+            const std::uint64_t delta =
+                ff_pending + (ff_until - cycle);
+            flush_ff(delta);
+            ff_pending = 0;
+            prof_loop.advance(ff_until - cycle);
+            occ_advance(ff_until - cycle);
+            poller.pollNow("simulator");
+            cycle = ff_until - 1;
+            ff_active = false;
+            continue;
+        }
 
-        // Serve bulk queues (x prefetch, psum drain, y merge).
+        prof_loop.tick();
+
+        // Serve bulk queues (x prefetch, psum drain, y merge).  A
+        // pop is the only queue transition a PE can observe, so it is
+        // the fast-forward wake event.
+        bool event = false;
         for (int g = 0; g < num_groups; ++g) {
             auto &q = x_queue[g];
             while (!q.empty()) {
@@ -388,13 +651,16 @@ Accelerator::runImpl(const SpasmMatrix &m,
                     --q.front().latency;
                     break;
                 }
+                sync_ch(x_ch[g]);
                 const double granted =
                     x_ch[g].consumeUpTo(q.front().remaining);
                 q.front().remaining -= granted;
                 if (q.front().remaining > 1e-9)
                     break;
-                ++pes[q.front().pe].loaded;
+                ++pe_loaded[q.front().pe];
                 q.pop_front();
+                --pending_x;
+                event = true;
             }
             auto &dq = drain_queue[g];
             while (!dq.empty()) {
@@ -402,12 +668,15 @@ Accelerator::runImpl(const SpasmMatrix &m,
                     --dq.front().latency;
                     break;
                 }
+                sync_ch(drain_ch[g]);
                 const double granted =
                     drain_ch[g].consumeUpTo(dq.front().remaining);
                 dq.front().remaining -= granted;
                 if (dq.front().remaining > 1e-9)
                     break;
                 dq.pop_front();
+                --pending_drain;
+                event = true;
             }
         }
         while (!y_queue.empty()) {
@@ -415,46 +684,75 @@ Accelerator::runImpl(const SpasmMatrix &m,
                 --y_queue.front().latency;
                 break;
             }
+            sync_ch(y_ch);
             const double granted =
                 y_ch.consumeUpTo(y_queue.front().remaining);
             y_queue.front().remaining -= granted;
             if (y_queue.front().remaining > 1e-9)
                 break;
             y_queue.pop_front();
+            event = true;
         }
 
-        // PEs, in rotating priority order for channel fairness.
-        for (int k = 0; k < num_pes; ++k) {
-            const int p = (k + rr) % num_pes;
-            auto &pe = pes[p];
-            if (pe.done)
+        if (ff_active) {
+            if (!event && cycle < ff_until) {
+                // Case B: requests in flight — keep ticking the
+                // queues but skip the PE phase until a pop or the
+                // wakeup cycle.
+                ++ff_pending;
+                occ_step();
                 continue;
-            if (faultPlan_ && pe.faultStallUntil > cycle) {
+            }
+            flush_ff(ff_pending);
+            ff_pending = 0;
+            ff_active = false;
+        }
+
+        // PEs, in rotating priority order for channel fairness (the
+        // rotation offset is congruent to the cycle index, so no
+        // separate counter has to survive a fast-forward jump).
+        bool any_issue = false;
+        bool credit_stall = false;
+        if (fastForward_) {
+            ffn_x = ffn_y = ffn_h = ffn_f = 0;
+            ff_wake = kNoWake;
+            std::fill(ff_cat.begin(), ff_cat.end(),
+                      static_cast<unsigned char>(FfNone));
+        }
+        const int base = static_cast<int>(
+            cycle % static_cast<std::uint64_t>(num_pes));
+        for (int k = 0; k < num_pes; ++k) {
+            const int p = (k + base) % num_pes;
+            if (pe_done[p])
+                continue;
+            if (faultPlan_ && f_stall_until[p] > cycle) {
                 ++stats.stallFault;
                 if (obs_detail)
                     ++pe_stats[p].stallFault;
+                ff_note(p, FfFault, f_stall_until[p]);
                 continue;
             }
 
-            const WorkRange &range = pe.work[pe.cur];
+            const WorkRange &range = all_ranges[pe_cur[p]];
             const SpasmTile &tile = tiles[range.tile];
-            if (pe.loaded <= pe.cur) {
+            if (pe_loaded[p] <= pe_cur[p]) {
                 ++stats.stallX;
                 if (obs_detail)
                     ++pe_stats[p].stallX;
+                ff_note(p, FfX, kNoWake);
                 continue;
             }
             const EncodedWord &word =
-                tile.words[range.begin + pe.word];
+                tile.words[range.begin + pe_word[p]];
             const bool range_end =
-                range.begin + pe.word + 1 == range.end;
-            const bool last_slice = pe.slice + 1 == batch;
+                range.begin + pe_word[p] + 1 == range.end;
+            const bool last_slice = pe_slice[p] + 1 == batch;
             // The PE flushes its partial sums when its next assigned
             // range starts a different tile row (or it is finished);
             // the merge unit accumulates flushes from all PEs into y.
             const bool will_flush = range_end && last_slice &&
-                (pe.cur + 1 >= pe.work.size() ||
-                 tiles[pe.work[pe.cur + 1].tile].tileRowIdx !=
+                (pe_cur[p] + 1 >= range_off[p + 1] ||
+                 tiles[all_ranges[pe_cur[p] + 1].tile].tileRowIdx !=
                      tile.tileRowIdx);
             const int g = group_of(p);
             if (will_flush &&
@@ -464,19 +762,26 @@ Accelerator::runImpl(const SpasmMatrix &m,
                 ++stats.stallY;
                 if (obs_detail)
                     ++pe_stats[p].stallY;
+                ff_note(p, FfY, kNoWake);
                 continue;
             }
             if (psumHazardLatency_ > 0) {
                 bool hazard = false;
-                for (int h = 0; h < PeState::kHazardRing; ++h) {
-                    if (pe.hazRIdx[h] == word.pos.rIdx() &&
-                        pe.hazSlice[h] == pe.slice &&
-                        pe.hazCycle[h] +
+                std::uint64_t hz_wake = 0;
+                const std::size_t hb =
+                    static_cast<std::size_t>(p) * kHazardRing;
+                for (int h = 0; h < kHazardRing; ++h) {
+                    if (haz_ridx[hb + h] == word.pos.rIdx() &&
+                        haz_slice[hb + h] == pe_slice[p] &&
+                        haz_cycle[hb + h] +
                                 static_cast<std::uint64_t>(
                                     psumHazardLatency_) >
                             cycle &&
-                        pe.hazCycle[h] != 0) {
+                        haz_cycle[hb + h] != 0) {
                         hazard = true;
+                        hz_wake = haz_cycle[hb + h] +
+                            static_cast<std::uint64_t>(
+                                psumHazardLatency_);
                         break;
                     }
                 }
@@ -484,17 +789,19 @@ Accelerator::runImpl(const SpasmMatrix &m,
                     ++stats.stallHazard;
                     if (obs_detail)
                         ++pe_stats[p].stallHazard;
+                    ff_note(p, FfHazard, hz_wake);
                     continue;
                 }
             }
             // The word's stream bytes are fetched once; later batch
             // slices reuse the latched word without channel traffic.
-            if (pe.slice == 0) {
-                if (faultPlan_ && pe.retryPending &&
-                    cycle < pe.retryUntil) {
+            if (pe_slice[p] == 0) {
+                if (faultPlan_ && f_retry_pending[p] &&
+                    cycle < f_retry_until[p]) {
                     ++stats.stallFault;
                     if (obs_detail)
                         ++pe_stats[p].stallFault;
+                    ff_note(p, FfFault, f_retry_until[p]);
                     continue;
                 }
                 if (faultPlan_ &&
@@ -502,18 +809,27 @@ Accelerator::runImpl(const SpasmMatrix &m,
                     ++stats.stallFault;
                     if (obs_detail)
                         ++pe_stats[p].stallFault;
+                    // Waking exactly at the window boundary re-arms
+                    // the per-window stuck draw, so episode counts
+                    // match cycle-exact simulation.
+                    ff_note(p, FfFault,
+                            faultPlan_->stuckWindowEnd(cycle));
                     continue;
                 }
+                sync_ch(pos_ch[g]);
                 if (!pos_ch[g].available(4.0)) {
                     ++stats.stallPos;
                     if (obs_detail)
                         ++pe_stats[p].stallPos;
+                    credit_stall = true;
                     continue;
                 }
+                sync_ch(val_ch[val_ch_of(p)]);
                 if (!val_ch[val_ch_of(p)].tryConsume(16.0)) {
                     ++stats.stallValue;
                     if (obs_detail)
                         ++pe_stats[p].stallValue;
+                    credit_stall = true;
                     continue;
                 }
                 const bool pos_ok = pos_ch[g].tryConsume(4.0);
@@ -526,29 +842,29 @@ Accelerator::runImpl(const SpasmMatrix &m,
                         (static_cast<std::uint64_t>(range.tile)
                          << 32) |
                         static_cast<std::uint64_t>(range.begin +
-                                                   pe.word);
-                    pe.dropWord = false;
-                    pe.latched = word;
-                    if (pe.retryPending) {
+                                                   pe_word[p]);
+                    f_drop[p] = 0;
+                    f_latched[p] = word;
+                    if (f_retry_pending[p]) {
                         // Clean refetch of a detected corruption:
                         // the word register now holds good data.
-                        pe.retryPending = false;
+                        f_retry_pending[p] = 0;
                         faultPlan_->noteRecovered();
-                    } else if (faultPlan_->corruptWord(site,
-                                                       pe.latched)) {
+                    } else if (faultPlan_->corruptWord(
+                                   site, f_latched[p])) {
                         const bool arch_same =
-                            pe.latched.pos.rIdx() ==
+                            f_latched[p].pos.rIdx() ==
                                 word.pos.rIdx() &&
-                            pe.latched.pos.cIdx() ==
+                            f_latched[p].pos.cIdx() ==
                                 word.pos.cIdx() &&
-                            pe.latched.pos.tIdx() ==
+                            f_latched[p].pos.tIdx() ==
                                 word.pos.tIdx() &&
-                            pe.latched.vals == word.vals;
+                            f_latched[p].vals == word.vals;
                         if (arch_same) {
                             // Flip landed in the CE/RE flags, which
                             // the range-driven scheduler never reads.
                             faultPlan_->noteMasked();
-                            pe.latched = word;
+                            f_latched[p] = word;
                         } else {
                             // Runtime format invariants: template id
                             // inside the LUT, submatrix indices
@@ -556,34 +872,36 @@ Accelerator::runImpl(const SpasmMatrix &m,
                             // an injected word — an out-of-range
                             // r_idx must never reach the psum write.
                             const bool invariant_trip =
-                                pe.latched.pos.tIdx() >=
+                                f_latched[p].pos.tIdx() >=
                                     opcodeLut_.size() ||
                                 static_cast<Index>(
-                                    (pe.latched.pos.rIdx() + 1) *
+                                    (f_latched[p].pos.rIdx() + 1) *
                                     kValuLanes) > T ||
                                 static_cast<Index>(
-                                    (pe.latched.pos.cIdx() + 1) *
+                                    (f_latched[p].pos.cIdx() + 1) *
                                     kValuLanes) > T;
                             if (invariant_trip ||
                                 faultPlan_->config().eccOnStream) {
                                 faultPlan_->noteDetected();
                                 if (faultPlan_->config().policy ==
                                     RecoveryPolicy::Retry) {
-                                    pe.retryPending = true;
-                                    pe.retryUntil = cycle +
+                                    f_retry_pending[p] = 1;
+                                    f_retry_until[p] = cycle +
                                         kHbmReadLatency;
                                     faultPlan_->noteRetryCycles(
                                         kHbmReadLatency);
                                     ++stats.stallFault;
                                     if (obs_detail)
                                         ++pe_stats[p].stallFault;
+                                    ff_note(p, FfFault,
+                                            f_retry_until[p]);
                                     continue;
                                 }
                                 // Policy None: drop the word's
                                 // contribution; the golden-model
                                 // check reports the wrong output.
                                 faultPlan_->noteDropped();
-                                pe.dropWord = true;
+                                f_drop[p] = 1;
                             }
                             // Undetected in-range corruption
                             // executes; the psum-range invariant
@@ -593,29 +911,32 @@ Accelerator::runImpl(const SpasmMatrix &m,
                     }
                     const int sc = faultPlan_->stallCycles(site);
                     if (sc > 0) {
-                        pe.faultStallUntil = cycle + 1 +
+                        f_stall_until[p] = cycle + 1 +
                             static_cast<std::uint64_t>(sc);
                     }
                 }
             }
 
-            if (traceSink_ && pe.word == 0 && pe.slice == 0)
-                pe.rangeStart = cycle;
+            if (traceSink_ && pe_word[p] == 0 && pe_slice[p] == 0)
+                pe_range_start[p] = cycle;
 
             // ---- Execute one batch slice on the VALU datapath.
             // With a fault plan attached the datapath reads the
             // latched fetch register (possibly corrupted); without
-            // one, eword aliases the pristine stream word.
+            // one, eword aliases the pristine stream word.  In split
+            // mode the arithmetic is deferred to the data-parallel
+            // functional pass — timing does not depend on it.
             const EncodedWord &eword =
-                faultPlan_ ? pe.latched : word;
-            if (faultPlan_ && pe.dropWord) {
+                faultPlan_ ? f_latched[p] : word;
+            any_issue = true;
+            if (faultPlan_ && f_drop[p]) {
                 // Detected-uncorrectable word: burns its issue slot
                 // without touching architectural state.
-            } else {
+            } else if (do_arith) {
                 const Index col_base = tile.tileColIdx * T +
                     static_cast<Index>(eword.pos.cIdx()) *
                         kValuLanes;
-                const std::vector<Value> &xv = *xs[pe.slice];
+                const std::vector<Value> &xv = *xs[pe_slice[p]];
                 std::array<Value, 4> xlanes;
                 for (int l = 0; l < kValuLanes; ++l) {
                     const Index c = col_base + l;
@@ -648,29 +969,31 @@ Accelerator::runImpl(const SpasmMatrix &m,
                     const Index psum_base =
                         static_cast<Index>(eword.pos.rIdx()) *
                         kValuLanes;
-                    Value *psum = pe.psum.data() +
-                        static_cast<std::size_t>(pe.slice) * T;
+                    Value *psum = psum_arena.data() + psum_off[p] +
+                        static_cast<std::size_t>(pe_slice[p]) * T;
                     for (int r = 0; r < kValuLanes; ++r)
                         psum[psum_base + r] += out[r];
                 }
             }
 
             if (psumHazardLatency_ > 0) {
-                pe.hazRIdx[pe.hazHead] = eword.pos.rIdx();
-                pe.hazCycle[pe.hazHead] = cycle;
-                pe.hazSlice[pe.hazHead] = pe.slice;
-                pe.hazHead = (pe.hazHead + 1) % PeState::kHazardRing;
+                const std::size_t hb =
+                    static_cast<std::size_t>(p) * kHazardRing;
+                haz_ridx[hb + haz_head[p]] = eword.pos.rIdx();
+                haz_cycle[hb + haz_head[p]] = cycle;
+                haz_slice[hb + haz_head[p]] = pe_slice[p];
+                haz_head[p] = (haz_head[p] + 1) % kHazardRing;
             }
 
             ++stats.busyPeCycles;
             if (obs_detail)
                 ++pe_stats[p].busy;
             if (!last_slice) {
-                ++pe.slice;
+                ++pe_slice[p];
                 continue;
             }
-            pe.slice = 0;
-            ++pe.word;
+            pe_slice[p] = 0;
+            ++pe_word[p];
             if (obs_detail)
                 ++pe_stats[p].words;
 
@@ -682,22 +1005,31 @@ Accelerator::runImpl(const SpasmMatrix &m,
                 // unit (group channel), then y read-modify-write on
                 // the global channel, once per batch vector.
                 const Index row_base = tile.tileRowIdx * T;
-                for (int b = 0; b < batch; ++b) {
-                    Value *pb = pe.psum.data() +
-                        static_cast<std::size_t>(b) * T;
-                    std::vector<Value> &yv = *ys[b];
-                    for (Index i = 0; i < T; ++i) {
-                        const Index row = row_base + i;
-                        if (row < m.rows())
-                            yv[row] += pb[i];
-                        pb[i] = 0.0f;
+                if (do_arith) {
+                    for (int b = 0; b < batch; ++b) {
+                        Value *pb = psum_arena.data() + psum_off[p] +
+                            static_cast<std::size_t>(b) * T;
+                        std::vector<Value> &yv = *ys[b];
+                        for (Index i = 0; i < T; ++i) {
+                            const Index row = row_base + i;
+                            if (row < m.rows())
+                                yv[row] += pb[i];
+                            pb[i] = 0.0f;
+                        }
                     }
+                } else {
+                    // Split mode: record the flush order; the serial
+                    // fold after the functional pass replays the
+                    // psum→y accumulation in exactly this order.
+                    flush_order.push_back(static_cast<std::uint32_t>(
+                        seg_cursor[p]++));
                 }
                 const Index valid = std::min<Index>(
                     T, std::max<Index>(0, m.rows() - row_base));
                 drain_queue[g].push_back(
                     {p, static_cast<double>(valid) * 4.0 * batch,
                      drain_queue[g].empty() ? kHbmReadLatency : 0});
+                ++pending_drain;
                 // The merge unit combines flushes on chip; the global
                 // y channel reads and writes each y element once per
                 // vector, on the first flush touching its tile row.
@@ -715,52 +1047,109 @@ Accelerator::runImpl(const SpasmMatrix &m,
                          static_cast<std::uint64_t>(range.begin),
                          static_cast<std::uint64_t>(range.end -
                                                     range.begin),
-                         pe.rangeStart, cycle, will_flush});
+                         pe_range_start[p], cycle, will_flush});
                 }
-                ++pe.cur;
-                pe.word = 0;
-                if (pe.cur >= pe.work.size()) {
-                    pe.done = true;
+                ++pe_cur[p];
+                pe_word[p] = 0;
+                if (pe_cur[p] == range_off[p + 1]) {
+                    pe_done[p] = 1;
+                    --active_pes;
                 } else {
                     enqueue_prefetch(p);
                 }
             }
         }
-        rr = (rr + 1) % num_pes;
 
-        occ_acc += stats.busyPeCycles - occ_prev_busy;
-        occ_prev_busy = stats.busyPeCycles;
-        if (++occ_fill == occ_width) {
-            occ_buckets.push_back(occ_acc);
-            occ_acc = 0;
-            occ_fill = 0;
-            if (obs_detail) {
-                // Per-channel delivered bytes on the same buckets.
-                for (std::size_t ci = 0; ci < all_ch.size(); ++ci) {
-                    const double total = all_ch[ci]->totalBytes();
-                    ch_buckets[ci].push_back(total -
-                                             ch_prev_bytes[ci]);
-                    ch_prev_bytes[ci] = total;
-                }
-            }
-            if (occ_buckets.size() > 128) {
-                for (std::size_t i = 0; i < occ_buckets.size() / 2;
-                     ++i) {
-                    occ_buckets[i] = occ_buckets[2 * i] +
-                        occ_buckets[2 * i + 1];
-                }
-                occ_buckets.resize(occ_buckets.size() / 2);
-                for (auto &cb : ch_buckets) {
-                    for (std::size_t i = 0; i < cb.size() / 2; ++i)
-                        cb[i] = cb[2 * i] + cb[2 * i + 1];
-                    cb.resize(cb.size() / 2);
-                }
-                occ_width *= 2;
-            }
+        occ_step();
+
+        if (fastForward_ && !any_issue && !credit_stall) {
+            // Census says nothing can change until the earliest
+            // deadline or a queue pop; arm a fast-forward stretch.
+            // Clamp to the watchdog so an overshooting jump still
+            // panics at the exact boundary cycle.
+            ff_until = std::min(ff_wake, watchdog);
+            ff_active = ff_until > cycle + 1;
         }
     }
 
     prof_loop.finish();
+
+    // Catch every channel's clock up to the break cycle so the
+    // utilization denominators match the eager per-cycle schedule.
+    for (auto &ch : val_ch)
+        ch.advanceIdle(cycle - ch.cycles());
+    for (auto &ch : pos_ch)
+        ch.advanceIdle(cycle - ch.cycles());
+    for (auto &ch : x_ch)
+        ch.advanceIdle(cycle - ch.cycles());
+    for (auto &ch : drain_ch)
+        ch.advanceIdle(cycle - ch.cycles());
+    y_ch.advanceIdle(cycle - y_ch.cycles());
+
+    // ---- Split-mode functional pass: the arithmetic skipped by the
+    // timing loop, data-parallel over segments (each accumulates into
+    // its own arena slab, in the same per-word, per-slice order the
+    // datapath uses), then a SERIAL fold into y in the recorded flush
+    // order — floating-point-identical to the unified path at any
+    // thread count.
+    if (split_mode) {
+        ThreadPool::global().parallelFor(
+            segments.size(),
+            [&](std::size_t s) {
+                const Segment &seg = segments[s];
+                Value *psum = seg_psum.data() + s * slab;
+                for (std::size_t r = seg.rbegin; r < seg.rend;
+                     ++r) {
+                    const WorkRange &range = all_ranges[r];
+                    const SpasmTile &tile = tiles[range.tile];
+                    for (std::size_t w = range.begin;
+                         w < range.end; ++w) {
+                        const EncodedWord &word = tile.words[w];
+                        const Index col_base =
+                            tile.tileColIdx * T +
+                            static_cast<Index>(word.pos.cIdx()) *
+                                kValuLanes;
+                        const Index psum_base =
+                            static_cast<Index>(word.pos.rIdx()) *
+                            kValuLanes;
+                        for (int b = 0; b < batch; ++b) {
+                            const std::vector<Value> &xv = *xs[b];
+                            std::array<Value, 4> xlanes;
+                            for (int l = 0; l < kValuLanes; ++l) {
+                                const Index c = col_base + l;
+                                xlanes[l] =
+                                    c < m.cols() ? xv[c] : 0.0f;
+                            }
+                            const auto out = valuEvaluate(
+                                opcodeLut_[word.pos.tIdx()],
+                                word.vals, xlanes);
+                            Value *pb = psum +
+                                static_cast<std::size_t>(b) * T;
+                            for (int r4 = 0; r4 < kValuLanes; ++r4)
+                                pb[psum_base + r4] += out[r4];
+                        }
+                    }
+                }
+            },
+            cancel_);
+        if (cancel_ != nullptr)
+            cancel_->throwIfCancelled("simulator");
+        for (std::uint32_t s : flush_order) {
+            const Segment &seg = segments[s];
+            const Index row_base = seg.tileRowIdx * T;
+            const Value *psum = seg_psum.data() + s * slab;
+            for (int b = 0; b < batch; ++b) {
+                const Value *pb =
+                    psum + static_cast<std::size_t>(b) * T;
+                std::vector<Value> &yv = *ys[b];
+                for (Index i = 0; i < T; ++i) {
+                    const Index row = row_base + i;
+                    if (row < m.rows())
+                        yv[row] += pb[i];
+                }
+            }
+        }
+    }
 
     stats.occupancyBucketCycles = occ_width;
     stats.occupancyTimeline.reserve(occ_buckets.size() + 1);
@@ -916,6 +1305,10 @@ printStats(std::ostream &os, const RunStats &stats)
           "PE-cycles stalled on psum accumulation hazards");
     iline("sim.stall.fault", stats.stallFault,
           "PE-cycles stalled on injected faults and recovery");
+    iline("sim.ff.jumps", stats.ffJumps,
+          "fast-forward episodes taken (host-side diagnostic)");
+    iline("sim.ff.skipped_cycles", stats.ffSkippedCycles,
+          "cycles simulated without running the per-PE phase");
     iline("faults.injected", stats.faults.injected(),
           "injected faults (word corruption, PE stall, stuck ch)");
     iline("faults.detected", stats.faults.detected,
@@ -947,4 +1340,3 @@ printStats(std::ostream &os, const RunStats &stats)
 }
 
 } // namespace spasm
-

@@ -141,6 +141,17 @@ struct RunStats
     /** Partial-sum buffer flushes to the merge unit. */
     std::uint64_t psumFlushes = 0;
 
+    /**
+     * Fast-forward engine accounting (host-side diagnostics).  These
+     * are printStats-only: they never enter the stats JSON or the obs
+     * registry, so golden baselines stay byte-identical whether the
+     * engine is on or off.  ffJumps counts fast-forward episodes;
+     * ffSkippedCycles counts simulated cycles whose per-PE phase was
+     * skipped (their stall attribution is accounted in bulk).
+     */
+    std::uint64_t ffJumps = 0;
+    std::uint64_t ffSkippedCycles = 0;
+
     /** Per-channel end-of-run summaries (always populated). */
     std::vector<ChannelStats> channels;
 
@@ -250,6 +261,36 @@ class Accelerator
     void setMemoryBudget(MemoryBudget *budget) { budget_ = budget; }
 
     /**
+     * Enable/disable the event-driven fast path (on by default).
+     *
+     * When on, the simulator (a) fast-forwards over cycle runs in
+     * which no PE can issue — stall attribution, occupancy sampling,
+     * profiler coverage, the watchdog and cancellation deadlines all
+     * account for the skipped cycles — and (b) splits execution into
+     * a timing pass and a data-parallel functional pass when the run
+     * is value-independent (no fault plan), folding partial sums into
+     * y serially in the recorded flush order so results are
+     * bit-identical at any thread count.
+     *
+     * Both modes are cycle- and bit-exact by construction; `false`
+     * (the CLI's --no-fast-forward) selects the straight-line
+     * cycle-by-cycle interpreter, kept as the reference
+     * implementation and regression oracle.
+     */
+    void setFastForward(bool enabled) { fastForward_ = enabled; }
+    bool fastForward() const { return fastForward_; }
+
+    /**
+     * Override the forward-progress watchdog (0 = the default
+     * heuristic bound derived from the work size).  Test/ops hook:
+     * lets a harness pin the panic boundary to a known cycle.
+     */
+    void setWatchdogCycles(std::uint64_t cycles)
+    {
+        watchdogOverride_ = cycles;
+    }
+
+    /**
      * Multi-vector extension (SpMM-style): Y[b] = A * X[b] + Y[b]
      * for every vector of the batch, streaming the encoded matrix
      * through the PEs ONCE.  A word occupies its PE for `batch`
@@ -279,6 +320,8 @@ class Accelerator
     const CancellationToken *cancel_ = nullptr;
     MemoryBudget *budget_ = nullptr;
     int psumHazardLatency_ = 0;
+    bool fastForward_ = true;
+    std::uint64_t watchdogOverride_ = 0;
 };
 
 } // namespace spasm

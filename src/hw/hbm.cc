@@ -20,6 +20,19 @@ HbmChannel::beginCycle()
     ++cycles_;
 }
 
+void
+HbmChannel::advanceIdle(std::uint64_t n)
+{
+    while (n > 0 && credit_ != maxCredit_) {
+        beginCycle();
+        --n;
+    }
+    // Saturated: min(maxCredit_ + bytesPerCycle_, maxCredit_) is
+    // exactly maxCredit_, so skipping the FP op per cycle is
+    // bit-identical.
+    cycles_ += n;
+}
+
 bool
 HbmChannel::tryConsume(double bytes)
 {

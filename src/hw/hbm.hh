@@ -32,6 +32,18 @@ class HbmChannel
     /** Advance one cycle: accrue budget. */
     void beginCycle();
 
+    /**
+     * Advance @p n cycles with no consumption, bit-identical to @p n
+     * beginCycle() calls.  The credit update is replayed per cycle
+     * until the budget saturates (at most burst_cycles + 1 FP ops);
+     * once `credit_ == maxCredit_` the per-cycle update is exactly
+     * idempotent, so the remaining cycles are added in O(1).  This is
+     * what lets the simulator's fast-forward engine skip idle stretches
+     * without perturbing the double-precision byte totals that the
+     * golden baselines pin.
+     */
+    void advanceIdle(std::uint64_t n);
+
     /** Try to consume @p bytes this cycle; false if over budget. */
     bool tryConsume(double bytes);
 

@@ -200,7 +200,13 @@ void
 HotLoopSampler::sample()
 {
     const std::uint64_t now = monoNowNs();
-    profiler_->addSample(name_, now > lastNs_ ? now - lastNs_ : 0);
+    // Book the block with its *actual* tick count: the final block is
+    // usually partial (a loop rarely runs a multiple of mask_+1
+    // cycles), and a fast-forward advance() can book arbitrarily many
+    // skipped iterations at once.  Counting blocks instead of ticks
+    // under-attributed both.
+    profiler_->addSample(name_, now > lastNs_ ? now - lastNs_ : 0,
+                         ticks_ - sampledTicks_);
     lastNs_ = now;
     sampledTicks_ = ticks_;
 }

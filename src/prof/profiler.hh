@@ -185,6 +185,23 @@ class HotLoopSampler
             sample();
     }
 
+    /**
+     * Account @p n iterations at once — the fast-forward path: the
+     * simulator jumped @p n cycles without running the loop body, but
+     * the skipped cycles still belong to the loop's coverage.  Books
+     * a sample as soon as the open block reaches the sampling period,
+     * so coverage accounting stays on the same cadence as tick().
+     */
+    void
+    advance(std::uint64_t n)
+    {
+        if (!active_)
+            return;
+        ticks_ += n;
+        if (ticks_ - sampledTicks_ > mask_)
+            sample();
+    }
+
     /** Flush the in-progress partial block (idempotent). */
     void finish();
 

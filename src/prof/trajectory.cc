@@ -61,8 +61,15 @@ Trajectory
 loadTrajectory(const std::string &path)
 {
     Trajectory traj;
-    if (!std::filesystem::exists(path))
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec))
         return traj; // first --record starts the file
+    if (std::filesystem::file_size(path, ec) == 0 && !ec) {
+        // A zero-byte file (interrupted write, `touch`ed placeholder)
+        // is treated as missing so --record can (re)create it
+        // atomically instead of dying on a parse error.
+        return traj;
+    }
     const JsonValue root = parseJsonFile(path);
     if (!root.isObject())
         spasm_fatal("%s: top-level JSON value is not an object",
@@ -139,7 +146,23 @@ appendTrajectoryEntry(const std::string &path,
         filled.buildType = buildType();
     if (filled.compiler.empty())
         filled.compiler = compilerId();
-    traj.entries.push_back(std::move(filled));
+    // Re-recording under an existing label replaces that entry in
+    // place: a curve point per label, not a silently doubled one
+    // (re-running `spasm bench --record --label prN` after a fix
+    // must update the point, and the trend table's deltas would be
+    // nonsense with duplicates).
+    bool replaced = false;
+    if (!filled.label.empty()) {
+        for (auto &e : traj.entries) {
+            if (e.label == filled.label) {
+                e = filled;
+                replaced = true;
+                break;
+            }
+        }
+    }
+    if (!replaced)
+        traj.entries.push_back(std::move(filled));
     writeFileAtomic(path, [&](std::ostream &os) {
         writeTrajectory(os, traj);
     });

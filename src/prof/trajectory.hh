@@ -68,13 +68,16 @@ struct Trajectory
     std::vector<TrajectoryEntry> entries;
 };
 
-/** Parse @p path; a missing file yields an empty trajectory. */
+/** Parse @p path; a missing or zero-byte file yields an empty
+ *  trajectory (the next --record creates it atomically). */
 Trajectory loadTrajectory(const std::string &path);
 
 /** Serialize (pretty-printed, deterministic field order). */
 void writeTrajectory(std::ostream &os, const Trajectory &traj);
 
-/** load + append + atomic rewrite. */
+/** load + append + atomic rewrite.  An entry whose non-empty label
+ *  matches an existing one replaces it in place — one curve point
+ *  per label. */
 void appendTrajectoryEntry(const std::string &path,
                            const TrajectoryEntry &entry);
 

@@ -302,6 +302,8 @@ attributeHost(const StatsFile &file, int top_n)
         rep.inputName = input->stringOr("name", "?");
     rep.wallMs = file.root.numberOr("wall_ms", 0.0);
     rep.coverage = file.root.numberOr("coverage", 0.0);
+    rep.lowCoverage =
+        rep.coverage > 0.0 && rep.coverage < kMinTrustworthyCoverage;
 
     // Walk the region table: `sim.run` totals give the simulated
     // side; the largest self-time region on each side names its
@@ -391,6 +393,14 @@ attributeHost(const StatsFile &file, int top_n)
                  ? std::string()
                  : "; dominated by '" + rep.bindingRegion + "' (" +
                        fmt("%.2f ms self", rep.bindingSelfMs) + ")");
+    }
+    if (rep.lowCoverage) {
+        rep.rationale +=
+            fmt("; CAUTION: region coverage is only %.1f%% of "
+                "wall-clock (< %.0f%%) — the verdict may "
+                "mis-attribute unsampled phases",
+                100.0 * rep.coverage,
+                100.0 * kMinTrustworthyCoverage);
     }
     return rep;
 }

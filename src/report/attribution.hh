@@ -106,6 +106,10 @@ struct BottleneckReport
 BottleneckReport attributeBottleneck(const StatsFile &file,
                                      int top_n = 3);
 
+/** Region-table coverage below this fraction of wall-clock makes a
+ *  host verdict suspect (HostAttribution::lowCoverage). */
+inline constexpr double kMinTrustworthyCoverage = 0.95;
+
 /** One profiled region echoed into the host verdict. */
 struct HostRegionSlice
 {
@@ -126,6 +130,16 @@ struct HostAttribution
     std::string inputName;
     double wallMs = 0.0;
     double coverage = 0.0; ///< wall fraction inside named regions
+
+    /**
+     * coverage < kMinTrustworthyCoverage: enough of the wall-clock is
+     * outside every named region that the verdict may mis-attribute.
+     * Under-accounted samplers (a hot loop advancing its tick count
+     * without booking samples — e.g. a fast-forwarding simulator) are
+     * the classic cause, so the rationale carries the caveat.
+     */
+    bool lowCoverage = false;
+
     double simMs = 0.0;    ///< total inside `sim.run`
     double hostMs = 0.0;   ///< wall - simMs
     bool hostBound = false;

@@ -108,6 +108,48 @@ class CancellationToken
     MonoClock::time_point deadline_{};
 };
 
+/**
+ * Amortized poll helper for cycle-granular loops (the simulator).
+ *
+ * A tight loop cannot afford a clock read per iteration, so it polls
+ * on a power-of-two cycle mask (`poll`).  A loop that *fast-forwards*
+ * — jumping the cycle counter over a stretch of provably-idle cycles
+ * — can jump straight over every masked poll point, delaying a
+ * Timeout arbitrarily past its deadline; such jumps must call
+ * `pollNow` instead, so each jump is a poll point of its own and a
+ * deadline fires no later than it would have cycle-by-cycle.
+ *
+ * A null token makes both calls a single pointer test, keeping the
+ * detached hot loop branch-identical to a build without the feature.
+ */
+class CyclePoller
+{
+  public:
+    explicit CyclePoller(const CancellationToken *token,
+                         std::uint32_t period_mask = 1023)
+        : token_(token), mask_(period_mask)
+    {
+    }
+
+    /** Masked poll: checks the token every (mask + 1) cycles. */
+    void poll(std::uint64_t cycle, const char *where) const
+    {
+        if (token_ != nullptr && (cycle & mask_) == 0)
+            token_->throwIfCancelled(where);
+    }
+
+    /** Unconditional poll — required on every fast-forward jump. */
+    void pollNow(const char *where) const
+    {
+        if (token_ != nullptr)
+            token_->throwIfCancelled(where);
+    }
+
+  private:
+    const CancellationToken *token_;
+    std::uint32_t mask_;
+};
+
 } // namespace spasm
 
 #endif // SPASM_SUPPORT_CANCELLATION_HH

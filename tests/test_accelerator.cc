@@ -12,6 +12,7 @@
 #include <sstream>
 
 #include "hw/accelerator.hh"
+#include "support/obs.hh"
 #include "support/random.hh"
 #include "workloads/generators.hh"
 
@@ -285,6 +286,231 @@ TEST(Accelerator, RepeatedRunsAreDeterministic)
     const auto s2 = accel.run(enc, x, y2);
     EXPECT_EQ(s1.cycles, s2.cycles);
     EXPECT_EQ(y1, y2);
+}
+
+// ---------------------------------------------------------------------
+// Fast-forward engine: the event-driven fast path must be cycle- and
+// bit-exact against the straight-line cycle-by-cycle interpreter
+// (setFastForward(false)), which is kept as the regression oracle.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Obs-registry RAII so per-PE attribution is collected (and the
+ *  registry is restored even when an assertion fires). */
+struct ObsWindow
+{
+    ObsWindow() { obs::Registry::global().setEnabled(true); }
+    ~ObsWindow() { obs::Registry::global().setEnabled(false); }
+};
+
+void
+expectSameRun(const RunStats &a, const RunStats &b,
+              const std::vector<Value> &ya,
+              const std::vector<Value> &yb, const std::string &what)
+{
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.busyPeCycles, b.busyPeCycles) << what;
+    EXPECT_EQ(a.psumFlushes, b.psumFlushes) << what;
+    EXPECT_EQ(a.stallValue, b.stallValue) << what;
+    EXPECT_EQ(a.stallPos, b.stallPos) << what;
+    EXPECT_EQ(a.stallX, b.stallX) << what;
+    EXPECT_EQ(a.stallY, b.stallY) << what;
+    EXPECT_EQ(a.stallHazard, b.stallHazard) << what;
+    EXPECT_EQ(a.stallFault, b.stallFault) << what;
+    // Bit-exact functional output (vector operator== is exact float
+    // comparison; the fast path must not reassociate).
+    ASSERT_EQ(ya, yb) << what;
+    // Per-PE attribution, stall by stall.
+    ASSERT_EQ(a.perPe.size(), b.perPe.size()) << what;
+    for (std::size_t p = 0; p < a.perPe.size(); ++p) {
+        const PeStats &pa = a.perPe[p];
+        const PeStats &pb = b.perPe[p];
+        EXPECT_EQ(pa.busy, pb.busy) << what << " pe " << p;
+        EXPECT_EQ(pa.words, pb.words) << what << " pe " << p;
+        EXPECT_EQ(pa.flushes, pb.flushes) << what << " pe " << p;
+        EXPECT_EQ(pa.stallValue, pb.stallValue) << what << " pe " << p;
+        EXPECT_EQ(pa.stallPos, pb.stallPos) << what << " pe " << p;
+        EXPECT_EQ(pa.stallX, pb.stallX) << what << " pe " << p;
+        EXPECT_EQ(pa.stallY, pb.stallY) << what << " pe " << p;
+        EXPECT_EQ(pa.stallHazard, pb.stallHazard)
+            << what << " pe " << p;
+        EXPECT_EQ(pa.stallFault, pb.stallFault) << what << " pe " << p;
+    }
+}
+
+CooMatrix
+randomTinyMatrix(Rng &rng, int trial)
+{
+    const int seed = 100 + trial;
+    switch (rng.nextBounded(5)) {
+    case 0:
+        return genBlockGrid(
+            256, 8, 1 + static_cast<int>(rng.nextBounded(4)),
+            0.5 + 0.5 * rng.nextDouble(), seed);
+    case 1:
+        return genBandedBlocks(
+            256, 4, 1 + static_cast<int>(rng.nextBounded(3)),
+            0.5 + 0.5 * rng.nextDouble(), seed);
+    case 2:
+        return genPowerLawGraph(
+            192, 1000 + static_cast<Count>(rng.nextBounded(2000)),
+            0.6 + 0.4 * rng.nextDouble(), seed);
+    case 3:
+        return genScatteredLp(
+            256, 800 + static_cast<Count>(rng.nextBounded(1500)), 2,
+            1, seed);
+    default:
+        return genStencil(
+            256,
+            {0, 1, -1, static_cast<Index>(8 + rng.nextBounded(48))});
+    }
+}
+
+} // namespace
+
+TEST(AcceleratorFastForward, FiftyRandomTinyConfigsMatchExactPath)
+{
+    const ObsWindow obs_on;
+    Rng rng(20260809);
+    const auto &cfgs = allHwConfigs();
+
+    for (int trial = 0; trial < 50; ++trial) {
+        const auto &cfg = cfgs[rng.nextBounded(cfgs.size())];
+        const auto p = candidatePortfolio(
+            static_cast<int>(rng.nextBounded(10)), grid4);
+        const Index tile =
+            static_cast<Index>(64u << rng.nextBounded(3));
+        const auto policy = rng.nextBounded(2) == 0
+            ? SchedulePolicy::LoadBalanced
+            : SchedulePolicy::RoundRobin;
+        const int hazard = rng.nextBounded(3) == 0
+            ? 4 + static_cast<int>(rng.nextBounded(12))
+            : 0;
+
+        const auto m = randomTinyMatrix(rng, trial);
+        const auto enc = SpasmEncoder(p, tile).encode(m);
+
+        std::vector<Value> x(m.cols());
+        for (auto &v : x)
+            v = static_cast<Value>(rng.nextDouble() * 2.0 - 1.0);
+        std::vector<Value> y_exact(m.rows(), 0.25f);
+        std::vector<Value> y_fast(m.rows(), 0.25f);
+
+        Accelerator exact(cfg, p);
+        exact.setFastForward(false);
+        exact.setPsumHazardLatency(hazard);
+        Accelerator fast(cfg, p);
+        fast.setPsumHazardLatency(hazard);
+
+        const auto se = exact.run(enc, x, y_exact, policy);
+        const auto sf = fast.run(enc, x, y_fast, policy);
+
+        std::ostringstream what;
+        what << "trial " << trial << " cfg=" << cfg.name()
+             << " tile=" << tile << " hazard=" << hazard << " "
+             << m.name();
+        expectSameRun(se, sf, y_exact, y_fast, what.str());
+        EXPECT_EQ(se.ffSkippedCycles, 0u) << what.str();
+        if (::testing::Test::HasFailure())
+            break; // one full dump is enough
+    }
+}
+
+TEST(AcceleratorFastForward, EngineActuallyEngagesOnStallHeavyRun)
+{
+    // Guard against the fast path silently degrading into the
+    // cycle-by-cycle interpreter: a bandwidth-starved power-law graph
+    // must take at least one fast-forward episode.
+    const auto m = genPowerLawGraph(512, 6000, 0.8, 13);
+    const auto p = candidatePortfolio(0, grid4);
+    const auto enc = SpasmEncoder(p, 128).encode(m);
+    Accelerator accel(spasm32(), p);
+    std::vector<Value> x(m.cols(), 0.5f), y(m.rows(), 0.0f);
+
+    const auto s = accel.run(enc, x, y);
+    EXPECT_GT(s.ffJumps, 0u);
+    EXPECT_GT(s.ffSkippedCycles, 0u);
+    EXPECT_LT(s.ffSkippedCycles, s.cycles);
+
+    accel.setFastForward(false);
+    std::vector<Value> y2(m.rows(), 0.0f);
+    const auto s2 = accel.run(enc, x, y2);
+    EXPECT_EQ(s2.ffJumps, 0u);
+    EXPECT_EQ(s2.ffSkippedCycles, 0u);
+    EXPECT_EQ(s.cycles, s2.cycles);
+}
+
+TEST(AcceleratorFastForward, StuckChannelFaultsRearmWakeups)
+{
+    // Stuck-channel faults gate a channel in windows of
+    // channelStuckCycles; a fast-forward jump that lands inside a
+    // stuck window must re-arm its wakeup at the *next* window
+    // boundary (FaultPlan::stuckWindowEnd), not spin or skip the
+    // episode.  Identical FaultStats between the paths proves the
+    // per-window episode accounting survives the jumps.
+    const ObsWindow obs_on;
+    FaultConfig fc;
+    fc.seed = 7;
+    fc.channelStuckRate = 0.08;
+    fc.channelStuckCycles = 32;
+    fc.peStallRate = 0.01;
+    fc.peStallCycles = 8;
+
+    const auto m = genBandedBlocks(512, 4, 2, 0.9, 3);
+    const auto p = candidatePortfolio(1, grid4);
+    const auto enc = SpasmEncoder(p, 128).encode(m);
+    std::vector<Value> x(m.cols(), 1.0f);
+
+    FaultPlan plan_exact(fc);
+    Accelerator exact(spasm34(), p);
+    exact.setFastForward(false);
+    exact.setFaultPlan(&plan_exact);
+    std::vector<Value> y_exact(m.rows(), 0.0f);
+    const auto se = exact.run(enc, x, y_exact);
+
+    FaultPlan plan_fast(fc);
+    Accelerator fast(spasm34(), p);
+    fast.setFaultPlan(&plan_fast);
+    std::vector<Value> y_fast(m.rows(), 0.0f);
+    const auto sf = fast.run(enc, x, y_fast);
+
+    expectSameRun(se, sf, y_exact, y_fast, "stuck-channel faults");
+    EXPECT_GT(sf.faults.injectedChannelStuck, 0u);
+    EXPECT_EQ(se.faults.injectedChannelStuck,
+              sf.faults.injectedChannelStuck);
+    EXPECT_EQ(se.faults.injectedPeStall, sf.faults.injectedPeStall);
+    EXPECT_EQ(se.faults.retryCycles, sf.faults.retryCycles);
+}
+
+TEST(AcceleratorDeath, WatchdogFiresAtExactCycleWithoutFastForward)
+{
+    // Regression for the off-by-one: `cycle > watchdog` fired one
+    // cycle late; the panic must report the configured bound exactly.
+    const auto m = genBlockGrid(1024, 8, 4, 1.0, 1);
+    const auto p = candidatePortfolio(0, grid4);
+    const auto enc = SpasmEncoder(p, 256).encode(m);
+    Accelerator accel(spasm41(), p);
+    accel.setFastForward(false);
+    accel.setWatchdogCycles(100);
+    std::vector<Value> x(m.cols(), 1.0f), y(m.rows(), 0.0f);
+    EXPECT_DEATH(accel.run(enc, x, y),
+                 "watchdog: no forward progress after 100 cycles");
+}
+
+TEST(AcceleratorDeath, FastForwardJumpClampsToWatchdog)
+{
+    // A fast-forward jump whose wakeup lies past the watchdog must
+    // clamp to it, so the panic still reports the exact bound instead
+    // of a cycle count the simulator never actually reached.
+    const auto m = genPowerLawGraph(512, 6000, 0.8, 13);
+    const auto p = candidatePortfolio(0, grid4);
+    const auto enc = SpasmEncoder(p, 128).encode(m);
+    Accelerator accel(spasm32(), p);
+    accel.setWatchdogCycles(100);
+    std::vector<Value> x(m.cols(), 1.0f), y(m.rows(), 0.0f);
+    EXPECT_DEATH(accel.run(enc, x, y),
+                 "watchdog: no forward progress after 100 cycles");
 }
 
 } // namespace

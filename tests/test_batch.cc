@@ -10,6 +10,8 @@
 #include <cmath>
 
 #include "hw/accelerator.hh"
+#include "support/cancellation.hh"
+#include "support/error.hh"
 #include "support/random.hh"
 #include "workloads/generators.hh"
 
@@ -147,6 +149,34 @@ TEST(Batch, ComputeUtilizationRisesWithBatch)
     EXPECT_GT(batched.computeUtilization,
               single.computeUtilization * 1.3);
     EXPECT_GT(batched.computeUtilization, 0.6);
+}
+
+TEST(Batch, ExpiredDeadlineTripsUnderFastForward)
+{
+    // Deadline isolation under the fast path: fast-forward jumps can
+    // leap over the 1024-cycle-aligned poll points, so the engine
+    // polls the token on every jump as well.  A tripped deadline must
+    // surface as the typed Error{Timeout} — not ride a multi-thousand
+    // cycle skip until the run completes (or the watchdog panics).
+    BatchFixture f;
+    Accelerator accel(spasm41(), f.p);
+    ASSERT_TRUE(accel.fastForward());
+    CancellationToken token;
+    token.setDeadline(0.0); // already expired when the run starts
+    accel.setCancellation(&token);
+
+    const int batch = 4;
+    auto xs = f.makeX(batch);
+    std::vector<std::vector<Value>> ys(
+        batch, std::vector<Value>(f.m.rows(), 0.0f));
+    try {
+        accel.runBatch(f.enc, xs, ys);
+        FAIL() << "expected spasm::Error";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Timeout);
+        EXPECT_NE(std::string(e.what()).find("simulator"),
+                  std::string::npos);
+    }
 }
 
 TEST(BatchDeath, RejectsOversizedBatchBuffers)

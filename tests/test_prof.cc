@@ -163,15 +163,56 @@ TEST(HotLoopSampler, BooksBlocksUnderOpenRegion)
     const RegionStat *loop = findPath(snap, "sim;cycle_loop");
     ASSERT_NE(loop, nullptr);
     EXPECT_EQ(loop->depth, 1);
-    // One addSample per 1024-tick block, but each sample counts 1
-    // block, so `count` equals the number of booked blocks.
-    EXPECT_EQ(loop->count, kTicks / 1024);
+    // Each sample books the block's actual tick count, so `count`
+    // equals the iterations the loop ran — not the block count.
+    EXPECT_EQ(loop->count, kTicks);
     EXPECT_GT(loop->totalNs, 0u);
 
     // The sampled time is charged as the parent's child time.
     const RegionStat *outer = findPath(snap, "sim");
     ASSERT_NE(outer, nullptr);
     EXPECT_EQ(outer->childNs, loop->totalNs);
+}
+
+TEST(HotLoopSampler, TailBlockFlushesExactTickCount)
+{
+    ProfWindow window;
+    // Deliberately NOT a multiple of the 1024-tick block: the last
+    // 277 ticks form a partial block that finish() must still book.
+    constexpr std::uint64_t kTicks = 3 * 1024 + 277;
+    {
+        Region outer("sim");
+        HotLoopSampler loop("cycle_loop");
+        for (std::uint64_t i = 0; i < kTicks; ++i)
+            loop.tick();
+        loop.finish();
+    }
+    const auto snap = Profiler::global().snapshot();
+    const RegionStat *loop = findPath(snap, "sim;cycle_loop");
+    ASSERT_NE(loop, nullptr);
+    // Sampled iterations == executed iterations, tail included.
+    EXPECT_EQ(loop->count, kTicks);
+}
+
+TEST(HotLoopSampler, AdvanceAccountsSkippedIterations)
+{
+    ProfWindow window;
+    {
+        Region outer("sim");
+        HotLoopSampler loop("cycle_loop");
+        // A fast-forward-style trajectory: a few real iterations,
+        // one bulk jump, a few more, then a partial tail.
+        for (int i = 0; i < 100; ++i)
+            loop.tick();
+        loop.advance(100000); // jump over 100k simulated cycles
+        for (int i = 0; i < 37; ++i)
+            loop.tick();
+        loop.finish();
+    }
+    const auto snap = Profiler::global().snapshot();
+    const RegionStat *loop = findPath(snap, "sim;cycle_loop");
+    ASSERT_NE(loop, nullptr);
+    EXPECT_EQ(loop->count, 100u + 100000u + 37u);
 }
 
 TEST(HostCounters, ForcedDegradationIsGraceful)
@@ -445,6 +486,65 @@ TEST(Trajectory, AppendLoadRenderRoundTrip)
     renderTrajectoryTrend(os, traj);
     EXPECT_NE(os.str().find("2 entries"), std::string::npos);
     EXPECT_NE(os.str().find("cfd2"), std::string::npos);
+
+    std::remove(path.c_str());
+}
+
+TEST(Trajectory, DuplicateLabelReplacesInPlace)
+{
+    const std::string path =
+        "/tmp/spasm_test_prof_trajectory_dup.json";
+    std::remove(path.c_str());
+
+    TrajectoryEntry a;
+    a.label = "pr7";
+    a.threads = 1;
+    a.totalWallMs = 30.0;
+    appendTrajectoryEntry(path, a);
+
+    TrajectoryEntry b;
+    b.label = "pr8";
+    b.threads = 1;
+    b.totalWallMs = 25.0;
+    appendTrajectoryEntry(path, b);
+
+    // Re-recording pr7 must replace the existing point, keeping its
+    // position in the curve, not append a duplicate.
+    TrajectoryEntry a2 = a;
+    a2.totalWallMs = 12.0;
+    appendTrajectoryEntry(path, a2);
+
+    const Trajectory traj = loadTrajectory(path);
+    ASSERT_EQ(traj.entries.size(), 2u);
+    EXPECT_EQ(traj.entries[0].label, "pr7");
+    EXPECT_DOUBLE_EQ(traj.entries[0].totalWallMs, 12.0);
+    EXPECT_EQ(traj.entries[1].label, "pr8");
+
+    std::remove(path.c_str());
+}
+
+TEST(Trajectory, EmptyFileIsTreatedAsMissing)
+{
+    const std::string path =
+        "/tmp/spasm_test_prof_trajectory_empty.json";
+    std::remove(path.c_str());
+    {
+        std::ofstream touch(path); // zero-byte file
+    }
+
+    // A zero-byte file (interrupted write) parses as empty instead
+    // of dying, and the next append recreates it atomically.
+    EXPECT_TRUE(loadTrajectory(path).entries.empty());
+
+    TrajectoryEntry e;
+    e.label = "recovered";
+    e.threads = 1;
+    e.totalWallMs = 5.0;
+    appendTrajectoryEntry(path, e);
+
+    const Trajectory traj = loadTrajectory(path);
+    ASSERT_EQ(traj.entries.size(), 1u);
+    EXPECT_EQ(traj.entries[0].label, "recovered");
 
     std::remove(path.c_str());
 }

@@ -408,6 +408,51 @@ TEST(Attribution, RealRunMatchesSimulatorCounters)
     EXPECT_GE(rep.channelImbalance, 1.0);
 }
 
+/** Minimal prof-v1 fixture with a controllable region coverage. */
+std::string
+profFixtureJson(double coverage)
+{
+    std::ostringstream os;
+    os << "{\n"
+          "  \"schema\": \"spasm-prof-v1\",\n"
+          "  \"schema_minor\": 0,\n"
+          "  \"input\": {\"name\": \"fix\"},\n"
+          "  \"wall_ms\": 100.0,\n"
+          "  \"coverage\": "
+       << coverage
+       << ",\n"
+          "  \"regions\": [\n"
+          "    {\"path\": \"sim.run\", \"name\": \"sim.run\", "
+          "\"total_ms\": 80.0, \"self_ms\": 80.0},\n"
+          "    {\"path\": \"preprocess\", \"name\": \"preprocess\", "
+          "\"total_ms\": 10.0, \"self_ms\": 10.0}\n"
+          "  ],\n"
+          "  \"sim\": {\"cycles_per_host_sec\": 1e8}\n"
+          "}\n";
+    return os.str();
+}
+
+TEST(Attribution, LowSamplerCoverageFlagsHostVerdict)
+{
+    // An under-accounted sampler (the failure mode the fast-forward
+    // engine's tick accounting guards against) shows up as region
+    // coverage well below wall-clock; the verdict must carry the
+    // caveat instead of silently mis-attributing the missing time.
+    const StatsFile ok =
+        loadFixture("att_cov_ok.json", profFixtureJson(0.97));
+    const HostAttribution good = attributeHost(ok, 4);
+    EXPECT_FALSE(good.lowCoverage);
+    EXPECT_EQ(good.rationale.find("CAUTION"), std::string::npos);
+    EXPECT_FALSE(good.hostBound);
+
+    const StatsFile low =
+        loadFixture("att_cov_low.json", profFixtureJson(0.42));
+    const HostAttribution bad = attributeHost(low, 4);
+    EXPECT_TRUE(bad.lowCoverage);
+    EXPECT_NE(bad.rationale.find("CAUTION"), std::string::npos);
+    EXPECT_NE(bad.rationale.find("42.0%"), std::string::npos);
+}
+
 TEST(Golden, PortfolioIsValid)
 {
     const auto &specs = goldenSpecs();

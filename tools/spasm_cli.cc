@@ -109,6 +109,11 @@ usage()
         "                     trace (open at ui.perfetto.dev)\n"
         "                 [--deterministic]  zero wall-clock fields\n"
         "                     for byte-reproducible JSON output\n"
+        "                 [--no-fast-forward]  force the cycle-by-\n"
+        "                     cycle reference simulator path (also\n"
+        "                     accepted by profile and bench); the\n"
+        "                     fast path is bit-identical, this is\n"
+        "                     the regression oracle\n"
         "  spasm verify   <matrix.mtx | workload>\n"
         "  spasm spy      <matrix.mtx | workload> [-o out.pgm]\n"
         "                 [--resolution N]\n"
@@ -346,8 +351,12 @@ cmdSimulate(const std::string &input,
     const std::string trace_json_path =
         optValue(args, "--trace-json");
     bool deterministic = false;
-    for (const auto &a : args)
+    bool no_fast_forward = false;
+    for (const auto &a : args) {
         deterministic = deterministic || a == "--deterministic";
+        no_fast_forward =
+            no_fast_forward || a == "--no-fast-forward";
+    }
 
     // The JSON sinks need the registry's spans/counters; plain text
     // runs keep observability off (and its cost at zero).
@@ -398,6 +407,7 @@ cmdSimulate(const std::string &input,
     }
 
     Accelerator accel(config, enc.portfolio());
+    accel.setFastForward(!no_fast_forward);
     const std::string trace_path = optValue(args, "--trace");
     std::vector<TraceEvent> trace;
     if (!trace_path.empty() || !trace_json_path.empty())
@@ -665,6 +675,7 @@ cmdProfile(const std::string &input,
     const std::string flame_path = optValue(args, "--flame");
     const bool no_counters = hasFlag(args, "--no-host-counters");
     const bool measure_overhead = hasFlag(args, "--overhead");
+    const bool no_fast_forward = hasFlag(args, "--no-fast-forward");
 
     HwConfig config;
     std::uint64_t sim_cycles = 0;
@@ -707,6 +718,7 @@ cmdProfile(const std::string &input,
                             cfg_opt.c_str());
         }
         Accelerator accel(config, enc.portfolio());
+        accel.setFastForward(!no_fast_forward);
         const auto x = SpasmFramework::defaultX(enc.cols());
         std::vector<Value> y(enc.rows(), 0.0f);
         for (int i = 0; i < iters; ++i) {
@@ -896,6 +908,8 @@ cmdBench(const std::vector<std::string> &args)
                         spec.config.c_str());
 
         Accelerator accel(config, pre.portfolio);
+        accel.setFastForward(
+            !hasFlag(args, "--no-fast-forward"));
         const auto x = SpasmFramework::defaultX(m.cols());
         std::vector<Value> y(m.rows(), 0.0f);
         counters.start();
