@@ -19,6 +19,7 @@
 #include "support/json_value.hh"
 #include "support/logging.hh"
 #include "support/memory_budget.hh"
+#include "support/telemetry.hh"
 #include "support/thread_pool.hh"
 #include "support/timer.hh"
 #include "support/version.hh"
@@ -446,6 +447,12 @@ runBatchCampaign(const BatchOptions &options)
             pending.push_back(i);
     }
 
+    // Campaign progress for the telemetry sampler (resumed jobs are
+    // pre-counted as done).  Unconditional: a few atomic ops per job.
+    telemetry::beginCampaign(
+        result.manifest.jobs.size(),
+        result.manifest.jobs.size() - pending.size());
+
     // Per-job isolation: runOneJob never throws, so one job's failure
     // (or deadline, or blown budget) is journaled and its siblings
     // keep running.  A tripped campaign token makes parallelFor skip
@@ -458,11 +465,20 @@ runBatchCampaign(const BatchOptions &options)
             const std::string line = runOneJob(
                 result.manifest.jobs[job_index], job_index, campaign,
                 result.manifest.retry, options.deterministic);
-            std::lock_guard<std::mutex> lock(journal_mutex);
-            result.journalLines.push_back(line);
-            flushJournal();
+            {
+                std::lock_guard<std::mutex> lock(journal_mutex);
+                result.journalLines.push_back(line);
+                flushJournal();
+            }
+            // Cheap substring test instead of a parse: compact
+            // journal lines spell a clean outcome exactly this way.
+            telemetry::noteJobDone(
+                line.find("\"outcome\":\"ok\"") != std::string::npos);
+            logDebug("batch", "job %s done",
+                     result.manifest.jobs[job_index].id.c_str());
         },
         &campaign);
+    telemetry::endCampaign();
 
     result.interrupted = campaign.cancelled();
     for (std::size_t i = 0; i < result.journalLines.size(); ++i) {

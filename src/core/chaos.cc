@@ -12,6 +12,7 @@
 #include "support/json.hh"
 #include "support/logging.hh"
 #include "support/random.hh"
+#include "support/telemetry.hh"
 
 namespace spasm {
 
@@ -132,6 +133,7 @@ storageCase(const ChaosFixture &fx, const ChaosOptions &opt,
                           "flipped bit %d of byte %zu", bit, byte);
         }
         ++c.outcomes.trials;
+        telemetry::noteJobDone(true);
         try {
             std::istringstream in(corrupted);
             const SpasmMatrix loaded =
@@ -173,6 +175,7 @@ simCase(const char *name, const ChaosFixture &fx,
     for (int t = 0; t < opt.simTrials; ++t) {
         cfg.seed = opt.seed * 1024 + static_cast<std::uint64_t>(t);
         ++c.outcomes.trials;
+        telemetry::noteJobDone(true);
         try {
             FaultPlan plan(cfg);
             CancellationToken deadline;
@@ -252,6 +255,7 @@ degradeCase(const char *name, Poison poison, const ChaosFixture &fx,
         static_cast<std::uint64_t>(poison);
     for (int t = 0; t < opt.simTrials; ++t) {
         ++c.outcomes.trials;
+        telemetry::noteJobDone(true);
         try {
             PreprocessResult pre = fx.pre;
             auto &tiles = SpasmMatrixMutator::tiles(pre.encoded);
@@ -329,6 +333,10 @@ runChaosCampaign(const ChaosOptions &options)
 
     ChaosReport report;
     report.options = options;
+    // Trial-level progress for the telemetry sampler; total 0 =
+    // unknown size (cases vary by campaign), so tail shows a count
+    // and rate but no ETA.
+    telemetry::beginCampaign(0);
     const ChaosFixture fx = buildFixture(options);
 
     if (wants(options, "storage")) {
@@ -367,6 +375,7 @@ runChaosCampaign(const ChaosOptions &options)
                         Poison::BadTemplateId, fx, options));
     }
 
+    telemetry::endCampaign();
     for (const ChaosCase &c : report.cases)
         report.totals.accumulate(c.outcomes);
     return report;

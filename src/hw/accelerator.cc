@@ -14,6 +14,7 @@
 #include "support/logging.hh"
 #include "support/memory_budget.hh"
 #include "support/obs.hh"
+#include "support/telemetry.hh"
 #include "support/thread_pool.hh"
 
 namespace spasm {
@@ -447,6 +448,19 @@ Accelerator::runImpl(const SpasmMatrix &m,
 
     RunStats stats;
     stats.totalWords = static_cast<std::uint64_t>(m.numWords());
+
+    // Live telemetry (support/telemetry.hh): the gate is polled ONCE
+    // per run and cached, so without a sampler the whole feature is
+    // this one null test — the hot loop below never even branches on
+    // it (the masked publish sits behind `live != nullptr`).  All
+    // publication is host-side relaxed atomics; simulated results
+    // cannot observe it, keeping telemetry-on runs bit-identical.
+    telemetry::LiveSim *const live = telemetry::liveSimActive();
+    if (live != nullptr) {
+        live->runsStarted.fetch_add(1, std::memory_order_relaxed);
+        live->currentCycle.store(0, std::memory_order_relaxed);
+        live->busyPeCycles.store(0, std::memory_order_relaxed);
+    }
     stats.hbmChannels = config_.hbmChannels();
     stats.bandwidthGBs = config_.bandwidthGBs();
     stats.peakGflops = config_.peakGflops();
@@ -618,6 +632,11 @@ Accelerator::runImpl(const SpasmMatrix &m,
                         static_cast<unsigned long long>(cycle));
         }
         poller.poll(cycle, "simulator");
+        if (live != nullptr && (cycle & 2047) == 0) {
+            live->currentCycle.store(cycle, std::memory_order_relaxed);
+            live->busyPeCycles.store(stats.busyPeCycles,
+                                     std::memory_order_relaxed);
+        }
 
         if (ff_active && pending_x == 0 && pending_drain == 0 &&
             y_queue.empty()) {
@@ -633,6 +652,9 @@ Accelerator::runImpl(const SpasmMatrix &m,
             prof_loop.advance(ff_until - cycle);
             occ_advance(ff_until - cycle);
             poller.pollNow("simulator");
+            if (live != nullptr)
+                live->currentCycle.store(ff_until,
+                                         std::memory_order_relaxed);
             cycle = ff_until - 1;
             ff_active = false;
             continue;
@@ -1258,6 +1280,15 @@ Accelerator::runImpl(const SpasmMatrix &m,
         }
         for (double o : stats.occupancyTimeline)
             reg.observe("sim.occupancy", o);
+    }
+    if (live != nullptr) {
+        live->runsCompleted.fetch_add(1, std::memory_order_relaxed);
+        live->completedCycles.fetch_add(stats.cycles,
+                                        std::memory_order_relaxed);
+        live->completedWords.fetch_add(stats.totalWords,
+                                       std::memory_order_relaxed);
+        live->currentCycle.store(0, std::memory_order_relaxed);
+        live->busyPeCycles.store(0, std::memory_order_relaxed);
     }
     return stats;
 }

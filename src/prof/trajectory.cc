@@ -200,6 +200,14 @@ renderTrajectoryTrend(std::ostream &os, const Trajectory &traj)
     }
     trend.print(os);
 
+    // A single point has no slope: say so explicitly instead of
+    // comparing the entry against itself below.
+    if (traj.entries.size() == 1) {
+        os << "trend: n/a (single entry; record another with "
+              "`spasm bench --record` to get deltas)\n";
+        return;
+    }
+
     // Per-workload movement over the whole curve (first vs latest).
     const TrajectoryEntry &first = traj.entries.front();
     const TrajectoryEntry &last = traj.entries.back();

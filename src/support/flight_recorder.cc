@@ -1,0 +1,288 @@
+#include "support/flight_recorder.hh"
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <unistd.h>
+
+#include "support/atomic_file.hh"
+#include "support/json.hh"
+#include "support/timer.hh"
+#include "support/version.hh"
+
+namespace spasm {
+
+namespace {
+
+/** Sequential ids are stable across runs, unlike pthread handles. */
+std::uint32_t
+flightThreadId()
+{
+    static std::atomic<std::uint32_t> next{0};
+    thread_local std::uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+void
+copyTruncated(char *dst, std::size_t cap, std::string_view src)
+{
+    const std::size_t n = src.size() < cap - 1 ? src.size() : cap - 1;
+    std::memcpy(dst, src.data(), n);
+    dst[n] = '\0';
+}
+
+const char *
+kindName(FlightKind k)
+{
+    switch (k) {
+      case FlightKind::Log:
+        return "log";
+      case FlightKind::Span:
+        return "span";
+      case FlightKind::Marker:
+        return "marker";
+    }
+    return "marker";
+}
+
+const char *
+signalName(int sig)
+{
+    switch (sig) {
+      case SIGSEGV:
+        return "SIGSEGV";
+      case SIGBUS:
+        return "SIGBUS";
+      case SIGFPE:
+        return "SIGFPE";
+      case SIGILL:
+        return "SIGILL";
+      case SIGABRT:
+        return "SIGABRT";
+    }
+    return "signal";
+}
+
+std::terminate_handler g_prevTerminate = nullptr;
+
+[[noreturn]] void
+flightTerminateHandler()
+{
+    const char *what = "std::terminate";
+    if (auto eptr = std::current_exception()) {
+        try {
+            std::rethrow_exception(eptr);
+        } catch (const std::exception &e) {
+            what = e.what();
+        } catch (...) {
+            what = "unhandled non-std exception";
+        }
+    }
+    FlightRecorder::global().dump("terminate", what);
+    if (g_prevTerminate != nullptr)
+        g_prevTerminate();
+    std::abort();
+}
+
+void
+flightSignalHandler(int sig)
+{
+    // Best-effort by design (see the header): the process is already
+    // dead, and writeFileAtomic's rename keeps any earlier periodic
+    // dump intact if this one fails partway.
+    FlightRecorder::global().dump("signal", signalName(sig));
+    std::signal(sig, SIG_DFL);
+    ::raise(sig);
+}
+
+} // namespace
+
+FlightRecorder &
+FlightRecorder::global()
+{
+    static FlightRecorder recorder;
+    return recorder;
+}
+
+void
+FlightRecorder::arm(const std::string &dump_path, bool deterministic)
+{
+    {
+        std::lock_guard<std::mutex> lock(metaMutex_);
+        path_ = dump_path;
+        lastSnapshot_.clear();
+        deterministic_ = deterministic;
+        epochNs_ = static_cast<std::int64_t>(monoNowNs());
+    }
+    crashLatched_.store(false, std::memory_order_relaxed);
+    armed_.store(true, std::memory_order_release);
+}
+
+void
+FlightRecorder::disarm()
+{
+    armed_.store(false, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(metaMutex_);
+    path_.clear();
+    lastSnapshot_.clear();
+}
+
+std::string
+FlightRecorder::dumpPath() const
+{
+    std::lock_guard<std::mutex> lock(metaMutex_);
+    return path_;
+}
+
+void
+FlightRecorder::note(FlightKind kind, std::string_view level,
+                     std::string_view component, std::string_view message)
+{
+    // Acquire pairs with arm()'s release so deterministic_/epochNs_
+    // (written before arming, constant while armed) are visible.
+    if (!armed_.load(std::memory_order_acquire))
+        return;
+    const std::uint64_t ticket =
+        next_.fetch_add(1, std::memory_order_relaxed);
+    Slot &slot = slots_[ticket % kSlots];
+    // Seqlock write: odd while mutating, even (== 2*generation) when
+    // complete.  A dump that observes an odd or changing seq skips
+    // the slot rather than reading torn text.
+    const std::uint64_t seq = 2 * (ticket / kSlots + 1);
+    slot.seq.store(seq - 1, std::memory_order_release);
+    slot.ticket = ticket;
+    slot.kind = kind;
+    slot.thread = flightThreadId();
+    slot.tMs = deterministic_
+                   ? 0.0
+                   : static_cast<double>(
+                         static_cast<std::int64_t>(monoNowNs()) -
+                         epochNs_) /
+                         1e6;
+    copyTruncated(slot.level, sizeof(slot.level), level);
+    copyTruncated(slot.component, sizeof(slot.component), component);
+    copyTruncated(slot.message, sizeof(slot.message), message);
+    slot.seq.store(seq, std::memory_order_release);
+}
+
+void
+FlightRecorder::setLastSnapshot(std::string_view json_line)
+{
+    if (!armed_.load(std::memory_order_relaxed))
+        return;
+    std::lock_guard<std::mutex> lock(metaMutex_);
+    lastSnapshot_.assign(json_line.data(), json_line.size());
+}
+
+bool
+FlightRecorder::dump(const char *reason, const char *detail) noexcept
+{
+    if (!armed_.load(std::memory_order_acquire))
+        return false;
+    const bool crash = std::strcmp(reason, "periodic") != 0 &&
+                       std::strcmp(reason, "shutdown") != 0;
+    if (crash && crashLatched_.exchange(true, std::memory_order_acq_rel))
+        return false; // a prior crash dump already holds the file
+    if (!crash && crashLatched_.load(std::memory_order_acquire))
+        return false; // never overwrite a crash dump with a periodic one
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lock(metaMutex_);
+        path = path_;
+    }
+    if (path.empty())
+        return false;
+    try {
+        writeFileAtomic(path, [&](std::ostream &os) {
+            writeDump(os, reason, detail);
+        });
+    } catch (...) {
+        return false;
+    }
+    return true;
+}
+
+void
+FlightRecorder::writeDump(std::ostream &os, const char *reason,
+                          const char *detail) const
+{
+    JsonWriter w(os, 2);
+    w.beginObject();
+    w.field("schema", kFlightSchema);
+    w.field("schema_minor", kFlightSchemaMinor);
+    w.field("generator", versionBanner());
+    w.field("reason", reason);
+    w.field("trigger", detail != nullptr ? detail : "");
+    w.field("pid",
+            deterministic_ ? std::int64_t{0}
+                           : static_cast<std::int64_t>(::getpid()));
+    w.field("t_ms",
+            deterministic_
+                ? 0.0
+                : static_cast<double>(
+                      static_cast<std::int64_t>(monoNowNs()) - epochNs_) /
+                      1e6);
+    const std::uint64_t tickets = next_.load(std::memory_order_acquire);
+    w.field("events_total", tickets);
+    w.key("records");
+    w.beginArray();
+    // Oldest first.  Under-filled rings have empty (seq==0) slots;
+    // slots mid-write (odd seq, or seq changed across the read) are
+    // skipped — a torn record is worse than a missing one.
+    const std::uint64_t count = tickets < kSlots ? tickets : kSlots;
+    const std::uint64_t first = tickets - count;
+    for (std::uint64_t t = first; t < tickets; ++t) {
+        const Slot &slot = slots_[t % kSlots];
+        const std::uint64_t seq0 = slot.seq.load(std::memory_order_acquire);
+        if (seq0 == 0 || (seq0 & 1) != 0)
+            continue;
+        Slot copy;
+        copy.ticket = slot.ticket;
+        copy.kind = slot.kind;
+        copy.thread = slot.thread;
+        copy.tMs = slot.tMs;
+        std::memcpy(copy.level, slot.level, sizeof(copy.level));
+        std::memcpy(copy.component, slot.component, sizeof(copy.component));
+        std::memcpy(copy.message, slot.message, sizeof(copy.message));
+        if (slot.seq.load(std::memory_order_acquire) != seq0)
+            continue; // overwritten while copying
+        copy.level[sizeof(copy.level) - 1] = '\0';
+        copy.component[sizeof(copy.component) - 1] = '\0';
+        copy.message[sizeof(copy.message) - 1] = '\0';
+        w.beginObject();
+        w.field("seq", copy.ticket);
+        w.field("kind", kindName(copy.kind));
+        w.field("level", std::string_view(copy.level));
+        w.field("component", std::string_view(copy.component));
+        w.field("thread", static_cast<std::uint64_t>(copy.thread));
+        w.field("t_ms", copy.tMs);
+        w.field("message", std::string_view(copy.message));
+        w.endObject();
+    }
+    w.endArray();
+    {
+        std::lock_guard<std::mutex> lock(metaMutex_);
+        if (lastSnapshot_.empty())
+            w.key("last_telemetry"), w.nullValue();
+        else
+            w.field("last_telemetry", lastSnapshot_);
+    }
+    w.endObject();
+    w.finish();
+}
+
+void
+FlightRecorder::installCrashHandlers()
+{
+    static bool installed = false;
+    if (installed)
+        return;
+    installed = true;
+    g_prevTerminate = std::set_terminate(flightTerminateHandler);
+    for (int sig : {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT})
+        std::signal(sig, flightSignalHandler);
+}
+
+} // namespace spasm

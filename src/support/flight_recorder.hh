@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Crash flight recorder: a fixed-size lock-free ring of recent
+ * events — structured log records (support/logging.hh), span
+ * completions (support/obs.hh) and free-form markers — plus the last
+ * telemetry snapshot line, dumped as one `spasm-flight-v1` JSON file
+ * whenever the process dies abnormally.
+ *
+ * Aviation semantics: the recorder is cheap enough to leave on for a
+ * whole unattended campaign (`note` is an atomic ticket grab plus a
+ * seqlock-guarded slot write, no mutex, no allocation after arming)
+ * and the telemetry sampler persists the ring periodically, so even a
+ * `kill -9` — which no handler can observe — leaves the most recent
+ * periodic dump next to the campaign journal.  For the deaths we CAN
+ * observe, the dump is rewritten synchronously with the triggering
+ * record:
+ *
+ *  - `spasm_panic` / `spasm_fatal` (support/logging.hh) dump before
+ *    aborting/exiting;
+ *  - a `std::terminate` handler dumps on unhandled exceptions;
+ *  - fatal-signal handlers (SIGSEGV/SIGBUS/SIGFPE/SIGILL/SIGABRT,
+ *    installed by `installCrashHandlers`) dump best-effort, then
+ *    restore the default disposition and re-raise so the exit status
+ *    still reports the signal.
+ *
+ * Dumps go through the atomic temp-and-rename idiom
+ * (support/atomic_file.hh): the file at the dump path is always a
+ * complete, parseable record, never a torn one.  Crash-path dumps
+ * latch: the first panic/fatal/terminate/signal dump wins and later
+ * ones (e.g. the SIGABRT raised by the panic's own abort) are
+ * no-ops, while periodic dumps never latch.
+ *
+ * The signal-handler dump is deliberately best-effort: rename-based
+ * file writes are not async-signal-safe in the strict POSIX sense,
+ * but the process is already dead — a corrupt dump costs nothing
+ * over no dump, and the atomic rename means a previously persisted
+ * periodic dump survives any failure.
+ *
+ * Disarmed, every entry point is one relaxed atomic load.
+ */
+
+#ifndef SPASM_SUPPORT_FLIGHT_RECORDER_HH
+#define SPASM_SUPPORT_FLIGHT_RECORDER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace spasm {
+
+/** Schema tag of the dumped post-mortem record. */
+inline constexpr const char *kFlightSchema = "spasm-flight-v1";
+inline constexpr int kFlightSchemaMinor = 0;
+
+/** What kind of event one ring slot holds. */
+enum class FlightKind
+{
+    Log,    ///< a structured log record (warn/inform/error/debug)
+    Span,   ///< an obs span completion
+    Marker, ///< free-form breadcrumb (campaign phase, job start...)
+};
+
+class FlightRecorder
+{
+  public:
+    /** The process-wide recorder used by logging/obs/telemetry. */
+    static FlightRecorder &global();
+
+    /**
+     * Arm the ring and set the dump destination.  @p deterministic
+     * zeroes the wall-clock and pid stamps in dumps (test fixtures).
+     * Lifecycle operation: call from startup code.
+     */
+    void arm(const std::string &dump_path, bool deterministic = false);
+
+    /** Disarm; subsequent note()/dump() calls are no-ops. */
+    void disarm();
+
+    bool armed() const
+    {
+        return armed_.load(std::memory_order_relaxed);
+    }
+
+    /** Dump destination configured by arm() ("" while disarmed). */
+    std::string dumpPath() const;
+
+    /**
+     * Append one event.  Lock-free: a ticket from an atomic counter
+     * picks the slot, a per-slot seqlock keeps a concurrent dump from
+     * reading a half-written record.  Strings are truncated to the
+     * fixed slot width.  No-op while disarmed.
+     */
+    void note(FlightKind kind, std::string_view level,
+              std::string_view component, std::string_view message);
+
+    /** Remember the most recent telemetry sample line (verbatim);
+     *  it is embedded in the next dump. */
+    void setLastSnapshot(std::string_view json_line);
+
+    /**
+     * Write the `spasm-flight-v1` post-mortem at the armed path via
+     * the atomic-file idiom.  @p reason is the death class
+     * ("panic"/"fatal"/"terminate"/"signal"/"periodic"/"shutdown"),
+     * @p detail the triggering record (diagnostic text or signal
+     * name).  Crash reasons (everything except periodic/shutdown)
+     * latch — only the first wins.  Never throws; returns false when
+     * disarmed, latched out, or the write failed.
+     */
+    bool dump(const char *reason, const char *detail) noexcept;
+
+    /**
+     * Install the `std::terminate` handler and the fatal-signal
+     * handlers (SEGV/BUS/FPE/ILL/ABRT) that dump the armed recorder.
+     * Idempotent; handlers are process-wide and chain to the previous
+     * terminate handler / default signal disposition.
+     */
+    static void installCrashHandlers();
+
+    /** Fixed ring capacity (events kept = the most recent 256). */
+    static constexpr std::size_t kSlots = 256;
+
+  private:
+    FlightRecorder() = default;
+
+    struct Slot
+    {
+        /** Seqlock: 0 empty, odd while writing, even complete. */
+        std::atomic<std::uint64_t> seq{0};
+        std::uint64_t ticket = 0;
+        FlightKind kind = FlightKind::Marker;
+        std::uint32_t thread = 0;
+        double tMs = 0.0;
+        char level[12] = {0};
+        char component[24] = {0};
+        char message[192] = {0};
+    };
+
+    void writeDump(std::ostream &os, const char *reason,
+                   const char *detail) const;
+
+    std::atomic<bool> armed_{false};
+    std::atomic<std::uint64_t> next_{0};
+    std::atomic<bool> crashLatched_{false};
+    Slot slots_[kSlots];
+
+    mutable std::mutex metaMutex_; ///< path + snapshot, not the ring
+    std::string path_;
+    std::string lastSnapshot_;
+    bool deterministic_ = false;
+    std::int64_t epochNs_ = 0;
+};
+
+} // namespace spasm
+
+#endif // SPASM_SUPPORT_FLIGHT_RECORDER_HH

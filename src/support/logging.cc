@@ -1,7 +1,13 @@
 #include "support/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "support/flight_recorder.hh"
+#include "support/timer.hh"
 
 namespace spasm {
 
@@ -9,19 +15,162 @@ namespace {
 
 bool inform_enabled = true;
 
+/** Sequential per-process thread ids: stable, small, deterministic
+ *  in single-threaded runs (main thread is always 0). */
+std::uint32_t
+logThreadId()
+{
+    static std::atomic<std::uint32_t> next{0};
+    thread_local std::uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+// --- JSONL sink -----------------------------------------------------
+// The hot disabled path is one relaxed atomic load; everything else
+// (open/close, the per-record append) is mutex-serialised — logging
+// is a cold path by design.
+
+std::atomic<FILE *> g_sink{nullptr};
+std::mutex g_sink_mutex;
+bool g_sink_deterministic = false;
+std::int64_t g_sink_epoch_ns = 0;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug:
+        return "debug";
+      case LogLevel::Info:
+        return "info";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Error:
+        return "error";
+    }
+    return "info";
+}
+
+void
+appendEscaped(std::string &out, const char *s)
+{
+    for (; *s != '\0'; ++s) {
+        const char c = *s;
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+void
+sinkRecord(LogLevel level, const char *component, const char *msg)
+{
+    FILE *sink = g_sink.load(std::memory_order_acquire);
+    if (sink == nullptr)
+        return;
+    std::lock_guard<std::mutex> lock(g_sink_mutex);
+    sink = g_sink.load(std::memory_order_relaxed);
+    if (sink == nullptr)
+        return; // closed while we waited on the lock
+    const double t_ms =
+        g_sink_deterministic
+            ? 0.0
+            : static_cast<double>(static_cast<std::int64_t>(monoNowNs()) -
+                                  g_sink_epoch_ns) /
+                  1e6;
+    const std::uint32_t thread =
+        g_sink_deterministic ? 0u : logThreadId();
+    std::string line;
+    line.reserve(128 + std::strlen(msg));
+    char head[128];
+    std::snprintf(head, sizeof(head),
+                  "{\"kind\":\"log\",\"t_ms\":%.3f,\"thread\":%u,"
+                  "\"level\":\"%s\",\"component\":\"",
+                  t_ms, thread, levelName(level));
+    line += head;
+    appendEscaped(line, component);
+    line += "\",\"msg\":\"";
+    appendEscaped(line, msg);
+    line += "\"}\n";
+    // One fwrite per complete line + flush: a killed process loses at
+    // most the record in flight, never tears an earlier one.
+    std::fwrite(line.data(), 1, line.size(), sink);
+    std::fflush(sink);
+}
+
+/** Render to stderr + sink + flight ring.  @p msg is pre-formatted. */
+void
+logLine(LogLevel level, const char *component, const char *msg)
+{
+    if (level != LogLevel::Debug &&
+        (level != LogLevel::Info || inform_enabled)) {
+        std::fflush(stdout);
+        const char *prefix = level == LogLevel::Error ? "spasm: error"
+                             : level == LogLevel::Warn ? "warn"
+                                                       : "info";
+        std::fprintf(stderr, "%s: %s\n", prefix, msg);
+        std::fflush(stderr);
+    }
+    sinkRecord(level, component, msg);
+    FlightRecorder::global().note(FlightKind::Log, levelName(level),
+                                  component, msg);
+}
+
+void
+vlogLine(LogLevel level, const char *component, const char *fmt,
+         va_list args)
+{
+    char msg[1024];
+    std::vsnprintf(msg, sizeof(msg), fmt, args);
+    logLine(level, component, msg);
+}
+
+/** The terminating channels keep their file:line stderr shape. */
 void
 vreport(const char *tag, const char *file, int line, const char *fmt,
         va_list args)
 {
+    char msg[1024];
+    std::vsnprintf(msg, sizeof(msg), fmt, args);
     std::fflush(stdout);
     if (file) {
-        std::fprintf(stderr, "%s: %s:%d: ", tag, file, line);
+        std::fprintf(stderr, "%s: %s:%d: %s\n", tag, file, line, msg);
     } else {
-        std::fprintf(stderr, "%s: ", tag);
+        std::fprintf(stderr, "%s: %s\n", tag, msg);
     }
-    std::vfprintf(stderr, fmt, args);
-    std::fprintf(stderr, "\n");
     std::fflush(stderr);
+    sinkRecord(LogLevel::Error, tag, msg);
+    FlightRecorder::global().note(FlightKind::Log, tag, "general", msg);
+    // A terminating tag is a death we can observe: persist the flight
+    // ring now, with the diagnostic as the trigger.  (abort() comes
+    // after; the crash latch makes any SIGABRT-handler dump a no-op.)
+    if (std::strcmp(tag, "panic") == 0)
+        FlightRecorder::global().dump("panic", msg);
+    else if (std::strcmp(tag, "fatal") == 0)
+        FlightRecorder::global().dump("fatal", msg);
 }
 
 } // namespace
@@ -51,18 +200,62 @@ warn(const char *fmt, ...)
 {
     va_list args;
     va_start(args, fmt);
-    vreport("warn", nullptr, 0, fmt, args);
+    vlogLine(LogLevel::Warn, "general", fmt, args);
     va_end(args);
 }
 
 void
 inform(const char *fmt, ...)
 {
+    // Suppressed informs skip the sink too: a silenced bench run
+    // should leave a quiet stream, not a secretly chatty one.
     if (!inform_enabled)
         return;
     va_list args;
     va_start(args, fmt);
-    vreport("info", nullptr, 0, fmt, args);
+    vlogLine(LogLevel::Info, "general", fmt, args);
+    va_end(args);
+}
+
+void
+logWarn(const char *component, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlogLine(LogLevel::Warn, component, fmt, args);
+    va_end(args);
+}
+
+void
+logInform(const char *component, const char *fmt, ...)
+{
+    if (!inform_enabled)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vlogLine(LogLevel::Info, component, fmt, args);
+    va_end(args);
+}
+
+void
+logError(const char *component, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlogLine(LogLevel::Error, component, fmt, args);
+    va_end(args);
+}
+
+void
+logDebug(const char *component, const char *fmt, ...)
+{
+    // Free when disabled: one relaxed load, no formatting.
+    if (g_sink.load(std::memory_order_relaxed) == nullptr &&
+        !FlightRecorder::global().armed())
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vlogLine(LogLevel::Debug, component, fmt, args);
     va_end(args);
 }
 
@@ -76,6 +269,41 @@ bool
 informEnabled()
 {
     return inform_enabled;
+}
+
+void
+openLogSink(const std::string &path, bool deterministic)
+{
+    std::lock_guard<std::mutex> lock(g_sink_mutex);
+    FILE *old = g_sink.exchange(nullptr, std::memory_order_acq_rel);
+    if (old != nullptr)
+        std::fclose(old);
+    FILE *f = std::fopen(path.c_str(), "a");
+    if (f == nullptr) {
+        std::fprintf(stderr, "warn: cannot open log sink '%s'\n",
+                     path.c_str());
+        return;
+    }
+    g_sink_deterministic = deterministic;
+    g_sink_epoch_ns = static_cast<std::int64_t>(monoNowNs());
+    g_sink.store(f, std::memory_order_release);
+}
+
+void
+closeLogSink()
+{
+    std::lock_guard<std::mutex> lock(g_sink_mutex);
+    FILE *old = g_sink.exchange(nullptr, std::memory_order_acq_rel);
+    if (old != nullptr) {
+        std::fflush(old);
+        std::fclose(old);
+    }
+}
+
+bool
+logSinkOpen()
+{
+    return g_sink.load(std::memory_order_acquire) != nullptr;
 }
 
 } // namespace spasm

@@ -1,6 +1,7 @@
 /**
  * @file
- * gem5-style status and error reporting helpers.
+ * gem5-style status and error reporting helpers, with an optional
+ * structured JSONL sink and flight-recorder feed behind them.
  *
  * Two classes of error are distinguished, following the gem5 convention:
  *  - panic():  something happened that should never happen regardless of
@@ -9,6 +10,23 @@
  *              (bad configuration, malformed input file).  Exits cleanly
  *              with a non-zero status.
  * Non-terminating channels: warn() and inform().
+ *
+ * Structured logging (PR 8): every record — including the legacy
+ * `warn`/`inform` entry points, which forward with component
+ * "general" — flows through one leveled core that
+ *
+ *  1. renders the familiar human line to stderr ("warn: ...",
+ *     "info: ...", "spasm: error: ..."; Debug is sink-only),
+ *  2. appends a compact JSONL record with timestamp / thread /
+ *     component fields to the sink opened by `openLogSink` (no-op
+ *     while closed — the disabled path is one pointer load), and
+ *  3. feeds the crash flight recorder's ring when armed
+ *     (support/flight_recorder.hh).
+ *
+ * Under `--deterministic` the sink zeroes the timestamp and thread
+ * stamps so log fixtures are byte-stable.  Sink records share the
+ * telemetry stream's line shape (`{"kind":"log",...}`) so a log sink
+ * pointed at the `--telemetry` stream interleaves cleanly.
  */
 
 #ifndef SPASM_SUPPORT_LOGGING_HH
@@ -19,6 +37,15 @@
 
 namespace spasm {
 
+/** Severity of a structured log record. */
+enum class LogLevel
+{
+    Debug,  ///< sink-only; never rendered to stderr
+    Info,   ///< "info: ..." (suppressed with setInformEnabled(false))
+    Warn,   ///< "warn: ..."
+    Error,  ///< "spasm: error: ..." (the CLI's fatal-diagnostic prefix)
+};
+
 /** Terminate with a bug-level diagnostic (calls std::abort). */
 [[noreturn]] void panicImpl(const char *file, int line, const char *fmt,
                             ...);
@@ -27,17 +54,46 @@ namespace spasm {
 [[noreturn]] void fatalImpl(const char *file, int line, const char *fmt,
                             ...);
 
-/** Print a non-fatal warning to stderr. */
+/** Print a non-fatal warning to stderr (component "general"). */
 void warn(const char *fmt, ...);
 
-/** Print an informational message to stderr. */
+/** Print an informational message to stderr (component "general"). */
 void inform(const char *fmt, ...);
+
+/** Component-tagged structured variants.  Same stderr rendering as
+ *  warn()/inform(); the component only shows in the JSONL sink and
+ *  the flight recorder.  (New names, not overloads: C variadics and
+ *  format strings make `warn(component, fmt)` ambiguous.) */
+void logWarn(const char *component, const char *fmt, ...);
+void logInform(const char *component, const char *fmt, ...);
+
+/** Error-level diagnostic: stderr line is "spasm: error: <msg>" —
+ *  the exact prefix the CLI's top-level catch has always printed. */
+void logError(const char *component, const char *fmt, ...);
+
+/** Sink-only record; free when no sink is open. */
+void logDebug(const char *component, const char *fmt, ...);
 
 /** Enable/disable inform() output (benches silence it). */
 void setInformEnabled(bool enabled);
 
 /** @return whether inform() output is currently enabled. */
 bool informEnabled();
+
+/**
+ * Open the structured JSONL sink (append mode, one
+ * `{"kind":"log",...}` line per record, flushed per line so a killed
+ * process loses at most the record being written).  @p deterministic
+ * zeroes t_ms/thread stamps.  Replaces any sink already open.
+ * Lifecycle operation: call from startup code, not per-record.
+ */
+void openLogSink(const std::string &path, bool deterministic = false);
+
+/** Flush and close the sink; records go back to stderr-only. */
+void closeLogSink();
+
+/** @return whether a JSONL sink is currently open. */
+bool logSinkOpen();
 
 } // namespace spasm
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+
+#include "support/flight_recorder.hh"
 
 namespace spasm {
 namespace obs {
@@ -189,13 +192,28 @@ Registry::endSpan(SpanId id)
     if (id == 0)
         return;
     const std::uint64_t now = nowUs();
+    // Only pay for the copy when the crash flight recorder wants a
+    // breadcrumb (support/flight_recorder.hh); disarmed it is one
+    // relaxed load.
+    const bool flight = FlightRecorder::global().armed();
+    std::string flight_note;
     {
         std::lock_guard<std::mutex> lock(spansMutex_);
         if (id > spans_.size())
             return;
         SpanRecord &rec = spans_[id - 1];
         rec.durUs = now > rec.startUs ? now - rec.startUs : 0;
+        if (flight) {
+            char buf[160];
+            std::snprintf(buf, sizeof(buf), "%s (%.3f ms)",
+                          rec.name.c_str(),
+                          static_cast<double>(rec.durUs) / 1e3);
+            flight_note = buf;
+        }
     }
+    if (flight)
+        FlightRecorder::global().note(FlightKind::Span, "info", "obs",
+                                      flight_note);
     // Pop the span (and, defensively, anything this thread opened
     // after it that was never closed — destruction order makes this
     // the common case only for exceptions).

@@ -1,0 +1,739 @@
+#include "support/telemetry.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unistd.h>
+
+#include "support/error.hh"
+#include "support/flight_recorder.hh"
+#include "support/json.hh"
+#include "support/json_value.hh"
+#include "support/logging.hh"
+#include "support/obs.hh"
+#include "support/resource_usage.hh"
+#include "support/thread_pool.hh"
+#include "support/timer.hh"
+#include "support/version.hh"
+
+namespace spasm {
+namespace telemetry {
+
+namespace {
+
+// --- Live simulator counters ---------------------------------------
+
+LiveSim g_live_sim;
+std::atomic<bool> g_live_active{false};
+
+// --- Campaign progress ----------------------------------------------
+// Unconditional (no gate): a handful of relaxed atomic ops per job.
+
+std::atomic<bool> g_prog_active{false};
+std::atomic<std::uint64_t> g_prog_total{0};
+std::atomic<std::uint64_t> g_prog_done{0};
+std::atomic<std::uint64_t> g_prog_ok{0};
+std::atomic<std::uint64_t> g_prog_failed{0};
+
+/** EWMA weight for the throughput estimate: ~0.3 means the last
+ *  handful of samples dominate, so the ETA tracks regime shifts
+ *  (e.g. the campaign reaching its big workloads) within a second
+ *  or two at the default 250 ms interval. */
+constexpr double kEwmaAlpha = 0.3;
+
+/** Persist the flight ring every Nth sample: at 250 ms that is a
+ *  dump per second — cheap (one small atomic file write) yet recent
+ *  enough that a kill -9 post-mortem is at most a second stale. */
+constexpr std::uint64_t kFlightDumpEvery = 4;
+
+std::string
+mib(double bytes)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f MiB", bytes / (1024.0 * 1024.0));
+    return buf;
+}
+
+std::string
+secs(double ms)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1fs", ms / 1e3);
+    return buf;
+}
+
+} // namespace
+
+LiveSim *
+liveSimActive()
+{
+    return g_live_active.load(std::memory_order_acquire) ? &g_live_sim
+                                                         : nullptr;
+}
+
+void
+beginCampaign(std::uint64_t total, std::uint64_t done_already)
+{
+    g_prog_total.store(total, std::memory_order_relaxed);
+    g_prog_done.store(done_already, std::memory_order_relaxed);
+    g_prog_ok.store(done_already, std::memory_order_relaxed);
+    g_prog_failed.store(0, std::memory_order_relaxed);
+    g_prog_active.store(true, std::memory_order_release);
+}
+
+void
+noteJobDone(bool ok)
+{
+    g_prog_done.fetch_add(1, std::memory_order_relaxed);
+    if (ok)
+        g_prog_ok.fetch_add(1, std::memory_order_relaxed);
+    else
+        g_prog_failed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+endCampaign()
+{
+    g_prog_active.store(false, std::memory_order_release);
+}
+
+ProgressSnapshot
+progressSnapshot()
+{
+    ProgressSnapshot s;
+    s.active = g_prog_active.load(std::memory_order_acquire);
+    s.total = g_prog_total.load(std::memory_order_relaxed);
+    s.done = g_prog_done.load(std::memory_order_relaxed);
+    s.ok = g_prog_ok.load(std::memory_order_relaxed);
+    s.failed = g_prog_failed.load(std::memory_order_relaxed);
+    return s;
+}
+
+// --- Sampler --------------------------------------------------------
+
+struct Sampler::Impl
+{
+    TelemetryOptions opts;
+    FILE *out = nullptr;
+    std::thread thread;
+    std::mutex mutex; ///< serialises samples + start/stop state
+    std::condition_variable cv;
+    bool stopRequested = false;
+    std::uint64_t seq = 0;
+    MonoClock::time_point epoch;
+
+    /** EWMA throughput state (campaign units per second). */
+    bool haveRate = false;
+    double rate = 0.0;
+    std::uint64_t lastDone = 0;
+    double lastTMs = 0.0;
+
+    void writeLine(const std::string &line)
+    {
+        // Whole-line append + flush: one write() syscall per line in
+        // O_APPEND mode, so lines from the sampler and the log sink
+        // (same file, separate FILE*) never interleave mid-line and
+        // kill -9 can tear at most the final line.
+        std::fwrite(line.data(), 1, line.size(), out);
+        std::fflush(out);
+    }
+
+    void writeHeader()
+    {
+        std::ostringstream oss;
+        JsonWriter w(oss, -1);
+        w.beginObject();
+        w.field("kind", "header");
+        w.field("schema", kTelemetrySchema);
+        w.field("schema_minor", kTelemetrySchemaMinor);
+        w.field("generator", versionBanner());
+        w.field("interval_ms", opts.intervalMs);
+        w.field("pid", static_cast<std::int64_t>(::getpid()));
+        w.field("deterministic", opts.deterministic);
+        w.endObject();
+        w.finish();
+        writeLine(oss.str());
+    }
+
+    void writeEnd()
+    {
+        const ProgressSnapshot prog = progressSnapshot();
+        std::ostringstream oss;
+        JsonWriter w(oss, -1);
+        w.beginObject();
+        w.field("kind", "end");
+        w.field("t_ms", msSince(epoch));
+        w.field("samples", seq);
+        w.field("done", prog.done);
+        w.field("ok", prog.ok);
+        w.field("failed", prog.failed);
+        w.endObject();
+        w.finish();
+        writeLine(oss.str());
+    }
+
+    /** Called with mutex held. */
+    void sampleLocked()
+    {
+        const double t_ms = msSince(epoch);
+        const ProgressSnapshot prog = progressSnapshot();
+
+        // EWMA throughput -> ETA.  A resumed or restarted campaign
+        // can move `done` backwards; treat that as a fresh start.
+        if (prog.done < lastDone) {
+            lastDone = prog.done;
+            haveRate = false;
+        }
+        const double dt_s = (t_ms - lastTMs) / 1e3;
+        if (dt_s > 1e-6) {
+            const double inst =
+                static_cast<double>(prog.done - lastDone) / dt_s;
+            rate = haveRate ? kEwmaAlpha * inst + (1.0 - kEwmaAlpha) * rate
+                            : inst;
+            haveRate = true;
+            lastDone = prog.done;
+            lastTMs = t_ms;
+        }
+        double eta_ms = -1.0;
+        if (prog.active && prog.total > prog.done && rate > 1e-9)
+            eta_ms =
+                static_cast<double>(prog.total - prog.done) / rate * 1e3;
+
+        const ResourceUsage ru = currentResourceUsage();
+        const ThreadPool::HealthSnapshot pool =
+            ThreadPool::global().healthSnapshot();
+
+        std::ostringstream oss;
+        JsonWriter w(oss, -1);
+        w.beginObject();
+        w.field("kind", "sample");
+        w.field("seq", ++seq);
+        w.field("t_ms", t_ms);
+        w.key("rusage");
+        w.beginObject();
+        w.field("peak_rss_bytes", ru.peakRssBytes);
+        w.field("minor_faults", ru.minorFaults);
+        w.field("major_faults", ru.majorFaults);
+        w.endObject();
+        w.key("pool");
+        w.beginObject();
+        w.field("workers", pool.workers);
+        w.field("loops", pool.loops);
+        w.field("queue_wait_count", pool.queueWaitCount);
+        w.field("queue_wait_total_ms",
+                static_cast<double>(pool.queueWaitTotalNs) / 1e6);
+        w.field("queue_wait_max_ms",
+                static_cast<double>(pool.queueWaitMaxNs) / 1e6);
+        w.endObject();
+        w.key("sim");
+        w.beginObject();
+        w.field("runs_started",
+                g_live_sim.runsStarted.load(std::memory_order_relaxed));
+        w.field("runs_completed",
+                g_live_sim.runsCompleted.load(std::memory_order_relaxed));
+        w.field("cycles",
+                g_live_sim.completedCycles.load(std::memory_order_relaxed));
+        w.field("words",
+                g_live_sim.completedWords.load(std::memory_order_relaxed));
+        w.field("current_cycle",
+                g_live_sim.currentCycle.load(std::memory_order_relaxed));
+        w.field("busy_pe_cycles",
+                g_live_sim.busyPeCycles.load(std::memory_order_relaxed));
+        w.endObject();
+        w.key("progress");
+        w.beginObject();
+        w.field("active", prog.active);
+        w.field("total", prog.total);
+        w.field("done", prog.done);
+        w.field("ok", prog.ok);
+        w.field("failed", prog.failed);
+        w.field("rate_per_sec", haveRate ? rate : 0.0);
+        w.field("eta_ms", eta_ms);
+        w.endObject();
+        // Registry metrics are an open set and can be large; they
+        // only ride along while a sink actually enabled collection.
+        const obs::Registry &reg = obs::Registry::global();
+        if (reg.enabled()) {
+            w.key("counters");
+            w.beginObject();
+            for (const auto &[name, v] : reg.counters())
+                w.field(name, v);
+            w.endObject();
+            w.key("gauges");
+            w.beginObject();
+            for (const auto &[name, v] : reg.gauges())
+                w.field(name, v);
+            w.endObject();
+        }
+        w.endObject();
+        w.finish();
+        const std::string line = oss.str();
+        writeLine(line);
+
+        // Feed the post-mortem: remember this sample verbatim, and
+        // periodically persist the whole ring so even kill -9 — which
+        // no handler observes — leaves a recent flight record.
+        FlightRecorder &fr = FlightRecorder::global();
+        fr.setLastSnapshot(
+            std::string_view(line.data(), line.size() - 1)); // sans \n
+        if (seq % kFlightDumpEvery == 1)
+            fr.dump("periodic", "sampler");
+    }
+
+    void threadMain()
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        while (!stopRequested) {
+            cv.wait_for(lock,
+                        std::chrono::milliseconds(
+                            opts.intervalMs > 0 ? opts.intervalMs : 250),
+                        [this] { return stopRequested; });
+            if (stopRequested)
+                break;
+            sampleLocked();
+        }
+    }
+};
+
+Sampler &
+Sampler::global()
+{
+    static Sampler sampler;
+    return sampler;
+}
+
+bool
+Sampler::running() const
+{
+    return impl_ != nullptr;
+}
+
+bool
+Sampler::start(const TelemetryOptions &opts)
+{
+    if (impl_ != nullptr) {
+        logWarn("telemetry", "sampler already running; ignoring start");
+        return false;
+    }
+    FILE *out = std::fopen(opts.path.c_str(), "a");
+    if (out == nullptr) {
+        logWarn("telemetry", "cannot open telemetry stream '%s'",
+                opts.path.c_str());
+        return false;
+    }
+    auto *impl = new Impl;
+    impl->opts = opts;
+    if (impl->opts.flightPath.empty())
+        impl->opts.flightPath = opts.path + ".flight.json";
+    impl->out = out;
+    impl->epoch = monoNow();
+    impl->writeHeader();
+
+    // The flight recorder and the structured log sink ride on the
+    // same lifecycle: armed/opened with the stream, released with it.
+    FlightRecorder::global().arm(impl->opts.flightPath,
+                                 opts.deterministic);
+    FlightRecorder::installCrashHandlers();
+    openLogSink(opts.path, opts.deterministic);
+
+    // Publish the live-sim gate last: a simulator run that polls the
+    // gate from here on sees fully initialised state.
+    for (auto *c :
+         {&g_live_sim.runsStarted, &g_live_sim.runsCompleted,
+          &g_live_sim.completedCycles, &g_live_sim.completedWords,
+          &g_live_sim.currentCycle, &g_live_sim.busyPeCycles})
+        c->store(0, std::memory_order_relaxed);
+    g_live_active.store(true, std::memory_order_release);
+
+    impl->thread = std::thread([impl] { impl->threadMain(); });
+    impl_ = impl;
+    logDebug("telemetry", "sampler started: %s (interval %d ms)",
+             opts.path.c_str(), impl->opts.intervalMs);
+    return true;
+}
+
+void
+Sampler::stop()
+{
+    if (impl_ == nullptr)
+        return;
+    Impl *impl = impl_;
+    impl_ = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(impl->mutex);
+        impl->stopRequested = true;
+    }
+    impl->cv.notify_all();
+    impl->thread.join();
+    g_live_active.store(false, std::memory_order_release);
+    {
+        // Final sample + end record so a clean run's last line always
+        // reflects the finished campaign.
+        std::lock_guard<std::mutex> lock(impl->mutex);
+        impl->sampleLocked();
+        impl->writeEnd();
+    }
+    closeLogSink();
+    FlightRecorder::global().dump("shutdown", "sampler stop");
+    FlightRecorder::global().disarm();
+    std::fclose(impl->out);
+    delete impl;
+}
+
+void
+Sampler::sampleNow()
+{
+    if (impl_ == nullptr)
+        return;
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->sampleLocked();
+}
+
+// --- Read side ------------------------------------------------------
+
+bool
+looksLikeTelemetry(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::string first;
+    if (!std::getline(in, first))
+        return false;
+    return first.find("\"kind\":\"header\"") != std::string::npos &&
+           first.find(kTelemetrySchema) != std::string::npos;
+}
+
+namespace {
+
+TelemetrySample
+parseSample(const JsonValue &v)
+{
+    TelemetrySample s;
+    s.seq = static_cast<std::uint64_t>(v.numberOr("seq", 0));
+    s.tMs = v.numberOr("t_ms", 0);
+    if (const JsonValue *ru = v.find("rusage"))
+        s.peakRssBytes =
+            static_cast<std::uint64_t>(ru->numberOr("peak_rss_bytes", 0));
+    if (const JsonValue *pool = v.find("pool"))
+        s.poolWorkers =
+            static_cast<std::uint64_t>(pool->numberOr("workers", 0));
+    if (const JsonValue *sim = v.find("sim")) {
+        s.simRunsStarted = static_cast<std::uint64_t>(
+            sim->numberOr("runs_started", 0));
+        s.simRunsCompleted = static_cast<std::uint64_t>(
+            sim->numberOr("runs_completed", 0));
+        s.simCycles =
+            static_cast<std::uint64_t>(sim->numberOr("cycles", 0));
+        s.simCurrentCycle = static_cast<std::uint64_t>(
+            sim->numberOr("current_cycle", 0));
+    }
+    if (const JsonValue *prog = v.find("progress")) {
+        if (const JsonValue *a = prog->find("active"))
+            s.progressActive = a->boolean;
+        s.progressTotal =
+            static_cast<std::uint64_t>(prog->numberOr("total", 0));
+        s.progressDone =
+            static_cast<std::uint64_t>(prog->numberOr("done", 0));
+        s.progressOk =
+            static_cast<std::uint64_t>(prog->numberOr("ok", 0));
+        s.progressFailed =
+            static_cast<std::uint64_t>(prog->numberOr("failed", 0));
+        s.ratePerSec = prog->numberOr("rate_per_sec", 0);
+        s.etaMs = prog->numberOr("eta_ms", -1);
+    }
+    return s;
+}
+
+} // namespace
+
+TelemetryStream
+loadTelemetry(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw Error::atInput(ErrorCode::Io, path,
+                             "cannot open telemetry stream");
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        if (!line.empty())
+            lines.push_back(line);
+    if (lines.empty())
+        throw Error::atInput(ErrorCode::Truncated, path,
+                             "empty telemetry stream");
+
+    TelemetryStream stream;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        std::string err;
+        const JsonValue v = parseJson(lines[i], &err);
+        const bool parsed = err.empty() && v.isObject();
+        if (!parsed) {
+            // The kill -9 artifact: exactly one torn line, and only
+            // at the very end of the stream.
+            if (i + 1 == lines.size()) {
+                ++stream.truncatedLines;
+                continue;
+            }
+            throw Error::atLine(ErrorCode::Parse, path,
+                                static_cast<std::int64_t>(i + 1),
+                                "unparseable telemetry line: %s",
+                                err.c_str());
+        }
+        const std::string kind = v.stringOr("kind");
+        if (kind == "header") {
+            const std::string schema = v.stringOr("schema");
+            if (schema != kTelemetrySchema)
+                throw Error::atLine(
+                    ErrorCode::BadMagic, path,
+                    static_cast<std::int64_t>(i + 1),
+                    "not a telemetry stream (schema '%s')",
+                    schema.c_str());
+            stream.sawHeader = true;
+            stream.generator = v.stringOr("generator");
+            stream.intervalMs =
+                static_cast<int>(v.numberOr("interval_ms", 0));
+            stream.schemaMinor = v.numberOr("schema_minor", 0);
+        } else if (kind == "sample") {
+            stream.samples.push_back(parseSample(v));
+        } else if (kind == "log") {
+            ++stream.logLines;
+        } else if (kind == "end") {
+            stream.sawEnd = true;
+        } else {
+            throw Error::atLine(ErrorCode::Parse, path,
+                                static_cast<std::int64_t>(i + 1),
+                                "unknown telemetry record kind '%s'",
+                                kind.c_str());
+        }
+    }
+    if (!stream.sawHeader)
+        throw Error::atInput(ErrorCode::BadMagic, path,
+                             "no spasm-telemetry-v1 header line");
+    return stream;
+}
+
+void
+renderTelemetrySample(std::ostream &os, const TelemetrySample &s)
+{
+    char buf[256];
+    std::string progress;
+    if (s.progressTotal > 0) {
+        std::snprintf(buf, sizeof(buf), "%llu/%llu (%.0f%%)",
+                      static_cast<unsigned long long>(s.progressDone),
+                      static_cast<unsigned long long>(s.progressTotal),
+                      100.0 * static_cast<double>(s.progressDone) /
+                          static_cast<double>(s.progressTotal));
+        progress = buf;
+    } else {
+        std::snprintf(buf, sizeof(buf), "%llu done",
+                      static_cast<unsigned long long>(s.progressDone));
+        progress = buf;
+    }
+    std::string eta = "n/a";
+    if (s.etaMs >= 0)
+        eta = secs(s.etaMs);
+    std::snprintf(
+        buf, sizeof(buf),
+        "[%7s] jobs %s ok %llu fail %llu | %.2f/s eta %s | "
+        "sim runs %llu cycles %llu | rss %s",
+        secs(s.tMs).c_str(), progress.c_str(),
+        static_cast<unsigned long long>(s.progressOk),
+        static_cast<unsigned long long>(s.progressFailed), s.ratePerSec,
+        eta.c_str(),
+        static_cast<unsigned long long>(s.simRunsCompleted),
+        static_cast<unsigned long long>(s.simCycles +
+                                        s.simCurrentCycle),
+        mib(static_cast<double>(s.peakRssBytes)).c_str());
+    os << buf << '\n';
+}
+
+void
+renderTelemetry(std::ostream &os, const TelemetryStream &stream)
+{
+    os << "telemetry stream: " << stream.generator << " (interval "
+       << stream.intervalMs << " ms, " << stream.samples.size()
+       << " samples, " << stream.logLines << " log lines, "
+       << (stream.sawEnd ? "ended cleanly" : "no end record") << ")\n";
+    if (stream.truncatedLines > 0)
+        os << "  note: " << stream.truncatedLines
+           << " torn trailing line(s) ignored (killed mid-write?)\n";
+    for (const TelemetrySample &s : stream.samples) {
+        os << "  ";
+        renderTelemetrySample(os, s);
+    }
+}
+
+void
+renderTelemetryReport(std::ostream &os, const TelemetryStream &stream)
+{
+    os << "telemetry report: " << stream.generator << "\n";
+    if (stream.samples.empty()) {
+        os << "  no samples (stream "
+           << (stream.sawEnd ? "ended" : "torn") << " before the first "
+           << "interval elapsed)\n";
+        return;
+    }
+    const TelemetrySample &first = stream.samples.front();
+    const TelemetrySample &last = stream.samples.back();
+    const double span_ms = last.tMs - first.tMs;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "  samples: %zu over %s (interval %d ms)%s\n",
+                  stream.samples.size(), secs(span_ms).c_str(),
+                  stream.intervalMs,
+                  stream.sawEnd ? "" : "  [no end record: stream died]");
+    os << buf;
+
+    // Campaign timeline.
+    std::snprintf(
+        buf, sizeof(buf),
+        "  campaign: %llu/%llu done (%llu ok, %llu failed) at t=%s\n",
+        static_cast<unsigned long long>(last.progressDone),
+        static_cast<unsigned long long>(last.progressTotal),
+        static_cast<unsigned long long>(last.progressOk),
+        static_cast<unsigned long long>(last.progressFailed),
+        secs(last.tMs).c_str());
+    os << buf;
+    std::snprintf(
+        buf, sizeof(buf),
+        "  simulator: %llu runs, %llu cycles total, peak rss %s\n",
+        static_cast<unsigned long long>(last.simRunsCompleted),
+        static_cast<unsigned long long>(last.simCycles),
+        mib(static_cast<double>(last.peakRssBytes)).c_str());
+    os << buf;
+
+    // Throughput over time: up to 8 equal-duration buckets of the
+    // completed-units delta.
+    os << "  throughput over time:\n";
+    const std::size_t nbuckets =
+        std::min<std::size_t>(8, stream.samples.size());
+    double max_rate = 0.0;
+    std::vector<double> bucket_rate(nbuckets, 0.0);
+    std::vector<std::pair<double, double>> bucket_span(nbuckets);
+    for (std::size_t b = 0; b < nbuckets; ++b) {
+        const std::size_t lo =
+            b * (stream.samples.size() - 1) / nbuckets;
+        const std::size_t hi =
+            (b + 1) * (stream.samples.size() - 1) / nbuckets;
+        const TelemetrySample &a = stream.samples[lo];
+        const TelemetrySample &z = stream.samples[hi];
+        const double dt_s = (z.tMs - a.tMs) / 1e3;
+        bucket_span[b] = {a.tMs, z.tMs};
+        bucket_rate[b] =
+            dt_s > 1e-9 ? static_cast<double>(z.progressDone -
+                                              a.progressDone) /
+                              dt_s
+                        : 0.0;
+        max_rate = std::max(max_rate, bucket_rate[b]);
+    }
+    for (std::size_t b = 0; b < nbuckets; ++b) {
+        const int bars =
+            max_rate > 0
+                ? static_cast<int>(bucket_rate[b] / max_rate * 20 + 0.5)
+                : 0;
+        std::snprintf(buf, sizeof(buf), "    [%7s - %7s] %6.2f/s  ",
+                      secs(bucket_span[b].first).c_str(),
+                      secs(bucket_span[b].second).c_str(),
+                      bucket_rate[b]);
+        os << buf;
+        for (int i = 0; i < bars; ++i)
+            os << '#';
+        os << '\n';
+    }
+
+    // Rate-regime shifts: adjacent buckets whose throughput moved by
+    // more than 50% relative — the stall-regime analogue at campaign
+    // granularity (a shift usually means the campaign entered its
+    // large workloads or a stall regime change inside one).
+    os << "  rate regime shifts:\n";
+    bool any = false;
+    for (std::size_t b = 1; b < nbuckets; ++b) {
+        const double prev = bucket_rate[b - 1];
+        const double cur = bucket_rate[b];
+        if (prev <= 1e-9 && cur <= 1e-9)
+            continue;
+        const double rel =
+            prev > 1e-9 ? (cur - prev) / prev
+                        : std::numeric_limits<double>::infinity();
+        if (std::fabs(rel) < 0.5)
+            continue;
+        any = true;
+        std::snprintf(buf, sizeof(buf),
+                      "    t=%s: %.2f/s -> %.2f/s (%+.0f%%)\n",
+                      secs(bucket_span[b].first).c_str(), prev, cur,
+                      std::isfinite(rel) ? rel * 100.0 : 999.0);
+        os << buf;
+    }
+    if (!any)
+        os << "    (none)\n";
+}
+
+// --- Prometheus export ----------------------------------------------
+
+namespace {
+
+std::string
+promName(const std::string &name)
+{
+    std::string out = "spasm_";
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+void
+promNumber(std::ostream &os, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    os << buf;
+}
+
+} // namespace
+
+void
+writePrometheusText(std::ostream &os, const obs::Registry &reg)
+{
+    for (const auto &[name, v] : reg.counters()) {
+        const std::string pn = promName(name);
+        os << "# TYPE " << pn << " counter\n";
+        os << pn << ' ' << v << '\n';
+    }
+    for (const auto &[name, v] : reg.gauges()) {
+        const std::string pn = promName(name);
+        os << "# TYPE " << pn << " gauge\n";
+        os << pn << ' ';
+        promNumber(os, v);
+        os << '\n';
+    }
+    for (const auto &[name, h] : reg.histograms()) {
+        const std::string pn = promName(name);
+        os << "# TYPE " << pn << " summary\n";
+        for (double q : {0.5, 0.9, 0.99}) {
+            os << pn << "{quantile=\"";
+            promNumber(os, q);
+            os << "\"} ";
+            promNumber(os, h.percentile(q));
+            os << '\n';
+        }
+        os << pn << "_sum ";
+        promNumber(os, h.sum());
+        os << '\n';
+        os << pn << "_count " << h.count() << '\n';
+    }
+}
+
+} // namespace telemetry
+} // namespace spasm

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Live telemetry: a background sampler thread that periodically
+ * snapshots the obs registry, thread-pool health, the simulator's
+ * live cycle counters, campaign progress and process rusage into an
+ * append-only `spasm-telemetry-v1` JSONL stream.
+ *
+ * Why a stream and not a file: all observability before this layer is
+ * post-hoc — stats JSON, profiles and trajectory entries exist only
+ * after a run completes, so a multi-hour `spasm batch` campaign is a
+ * black box until it finishes or dies.  The sampler turns the same
+ * registries into a durable, tail-able progress feed: `spasm tail`
+ * renders it live (progress, throughput, EWMA-smoothed ETA),
+ * `spasm report` summarises a finished stream (campaign timeline,
+ * throughput-over-time, rate-regime shifts), and the Prometheus
+ * text-exposition export (`writePrometheusText`) is the scrape
+ * surface the future `spasm serve` daemon will reuse.
+ *
+ * Stream shape — one compact JSON object per line, discriminated by
+ * "kind":
+ *   {"kind":"header", schema/generator/interval/pid ...}  (first line)
+ *   {"kind":"sample", seq/t_ms/rusage/pool/sim/progress ...}
+ *   {"kind":"log",    ...}   (interleaved by support/logging's sink)
+ *   {"kind":"end",    final totals}                       (clean stop)
+ * Appends are whole-line writes flushed per sample, so a `kill -9`
+ * loses at most the line in flight; `loadTelemetry` tolerates (and
+ * counts) a torn final line.
+ *
+ * Publication side: the simulator publishes into `LiveSim` atomics at
+ * a masked cadence only when `liveSimActive()` returned non-null at
+ * run start, so telemetry-off runs execute the exact instruction
+ * stream that produced the committed goldens.  Campaign progress
+ * (`beginCampaign`/`noteJobDone`) is unconditional — a handful of
+ * relaxed atomic ops per *job*, not per cycle.
+ *
+ * Under `--deterministic` the sampled *payloads* stay wall-clock
+ * (telemetry is inherently about wall clock); only log-sink and
+ * flight-recorder stamps are zeroed.  Nothing from the telemetry
+ * layer ever feeds back into simulated results.
+ */
+
+#ifndef SPASM_SUPPORT_TELEMETRY_HH
+#define SPASM_SUPPORT_TELEMETRY_HH
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace spasm {
+
+namespace obs {
+class Registry;
+}
+
+namespace telemetry {
+
+/** Schema tag on the stream's header line. */
+inline constexpr const char *kTelemetrySchema = "spasm-telemetry-v1";
+inline constexpr int kTelemetrySchemaMinor = 0;
+
+/**
+ * Live simulator counters, published from the accelerator's timing
+ * loop at a masked cadence (see hw/accelerator.cc) and read by the
+ * sampler.  All relaxed atomics: samples are statistical, not
+ * linearizable snapshots.
+ */
+struct LiveSim
+{
+    std::atomic<std::uint64_t> runsStarted{0};
+    std::atomic<std::uint64_t> runsCompleted{0};
+    /** Totals accumulated over *completed* runs. */
+    std::atomic<std::uint64_t> completedCycles{0};
+    std::atomic<std::uint64_t> completedWords{0};
+    /** Progress of the (most recent) in-flight run. */
+    std::atomic<std::uint64_t> currentCycle{0};
+    std::atomic<std::uint64_t> busyPeCycles{0};
+};
+
+/**
+ * The publication gate the simulator polls once per run: non-null
+ * while a sampler is running, null otherwise.  Callers cache the
+ * pointer for the whole run so the per-cycle cost of telemetry-off is
+ * a cached null test that the masked publish branch never reaches.
+ */
+LiveSim *liveSimActive();
+
+/** Campaign-level progress (batch jobs, bench workloads, chaos
+ *  trials).  Unconditional and cheap: per-job, not per-cycle. */
+struct ProgressSnapshot
+{
+    bool active = false;
+    std::uint64_t total = 0; ///< 0 = unknown (chaos trials)
+    std::uint64_t done = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t failed = 0;
+};
+
+/** Mark a campaign of @p total units started (@p done_already > 0
+ *  when resuming from a journal; 0 total = unknown size). */
+void beginCampaign(std::uint64_t total, std::uint64_t done_already = 0);
+
+/** Record one unit finished (ok or not). */
+void noteJobDone(bool ok);
+
+/** Mark the campaign finished (progress shows inactive). */
+void endCampaign();
+
+ProgressSnapshot progressSnapshot();
+
+/** Sampler configuration (CLI: --telemetry, --telemetry-interval-ms). */
+struct TelemetryOptions
+{
+    std::string path;       ///< JSONL stream destination (appended)
+    int intervalMs = 250;   ///< sampling period
+    bool deterministic = false; ///< zero log/flight stamps
+    /** Flight-recorder dump path; default `<path>.flight.json`. */
+    std::string flightPath;
+};
+
+/**
+ * The background sampler.  `start` opens the stream (writing the
+ * header line), arms the flight recorder + crash handlers, opens the
+ * structured log sink *into the same stream*, and launches the
+ * sampling thread; `stop` takes a final sample, writes the end
+ * record and joins.  One sampler per process (it owns process-wide
+ * registries); start/stop are lifecycle operations.
+ */
+class Sampler
+{
+  public:
+    static Sampler &global();
+
+    /** @return false (with a warning) when the stream can't open. */
+    bool start(const TelemetryOptions &opts);
+
+    void stop();
+
+    bool running() const;
+
+    /** Take one sample immediately (also used by tests). */
+    void sampleNow();
+
+  private:
+    Sampler() = default;
+
+    struct Impl;
+    Impl *impl_ = nullptr;
+};
+
+// --- Read side ------------------------------------------------------
+
+/** One parsed "sample" line (header/log/end lines are counted but not
+ *  materialised here). */
+struct TelemetrySample
+{
+    std::uint64_t seq = 0;
+    double tMs = 0.0;
+    std::uint64_t peakRssBytes = 0;
+    std::uint64_t poolWorkers = 0;
+    std::uint64_t simRunsStarted = 0;
+    std::uint64_t simRunsCompleted = 0;
+    std::uint64_t simCycles = 0;        ///< completed-run total
+    std::uint64_t simCurrentCycle = 0;  ///< in-flight run progress
+    bool progressActive = false;
+    std::uint64_t progressTotal = 0;
+    std::uint64_t progressDone = 0;
+    std::uint64_t progressOk = 0;
+    std::uint64_t progressFailed = 0;
+    double ratePerSec = 0.0; ///< EWMA-smoothed units/s
+    double etaMs = -1.0;     ///< -1 = unknown
+};
+
+/** A loaded stream. */
+struct TelemetryStream
+{
+    std::string generator;
+    int intervalMs = 0;
+    double schemaMinor = 0;
+    std::vector<TelemetrySample> samples;
+    std::uint64_t logLines = 0;
+    bool sawHeader = false;
+    bool sawEnd = false;
+    /** Torn/unparseable trailing lines skipped (kill -9 artifact). */
+    std::uint64_t truncatedLines = 0;
+};
+
+/** Cheap sniff: does the first line look like a telemetry header?
+ *  (Lets `spasm report` dispatch without a full parse.) */
+bool looksLikeTelemetry(const std::string &path);
+
+/**
+ * Parse a telemetry JSONL stream.  Every complete line must parse;
+ * one torn *final* line (the kill -9 artifact) is tolerated and
+ * counted.  Throws a typed Error{Parse} on anything worse.
+ */
+TelemetryStream loadTelemetry(const std::string &path);
+
+/** One sample as one human line (the `tail --follow` unit). */
+void renderTelemetrySample(std::ostream &os, const TelemetrySample &s);
+
+/** `spasm tail` view: one line per sample — elapsed, progress,
+ *  rate, ETA, live cycles, RSS. */
+void renderTelemetry(std::ostream &os, const TelemetryStream &stream);
+
+/** `spasm report` view: campaign timeline, throughput-over-time
+ *  buckets, and rate-regime shifts. */
+void renderTelemetryReport(std::ostream &os,
+                           const TelemetryStream &stream);
+
+/**
+ * Prometheus text exposition (version 0.0.4) of one registry
+ * snapshot: counters as `counter`, gauges as `gauge`, histograms as
+ * `summary` (count/sum + p50/p90/p99 quantiles).  Metric names get a
+ * `spasm_` prefix and dots become underscores.  The scrape surface
+ * `spasm serve` will reuse; `--prom <path>` on simulate writes it
+ * post-run.
+ */
+void writePrometheusText(std::ostream &os, const obs::Registry &reg);
+
+} // namespace telemetry
+} // namespace spasm
+
+#endif // SPASM_SUPPORT_TELEMETRY_HH

@@ -490,6 +490,26 @@ TEST(Trajectory, AppendLoadRenderRoundTrip)
     std::remove(path.c_str());
 }
 
+TEST(Trajectory, SingleEntryTrendSaysNotApplicable)
+{
+    // One point has no slope: the table still renders (CI smoke
+    // greps its "(1 entries)" title) but the trend line must say
+    // n/a instead of comparing the entry against itself.
+    Trajectory traj;
+    TrajectoryEntry only;
+    only.label = "seed";
+    only.threads = 1;
+    only.totalWallMs = 20.0;
+    traj.entries.push_back(only);
+
+    std::ostringstream os;
+    renderTrajectoryTrend(os, traj);
+    EXPECT_NE(os.str().find("1 entries"), std::string::npos);
+    EXPECT_NE(os.str().find("trend: n/a"), std::string::npos);
+    // No per-workload first-vs-latest table from a single point.
+    EXPECT_EQ(os.str().find("per-workload"), std::string::npos);
+}
+
 TEST(Trajectory, DuplicateLabelReplacesInPlace)
 {
     const std::string path =

@@ -1,0 +1,624 @@
+/**
+ * @file
+ * Tests for the live-telemetry subsystem (src/support/telemetry) and
+ * the crash flight recorder (src/support/flight_recorder): campaign
+ * progress accounting, the sampler's JSONL round trip, torn-stream
+ * tolerance (the kill -9 artifact), the lock-free ring's wrap and
+ * crash-latch semantics, the death paths (panic / fatal signal must
+ * leave a parseable post-mortem), Prometheus text exposition, and
+ * schema conformance of both records against the field lists
+ * documented in docs/observability.md.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/error.hh"
+#include "support/flight_recorder.hh"
+#include "support/json_value.hh"
+#include "support/logging.hh"
+#include "support/obs.hh"
+#include "support/telemetry.hh"
+
+namespace spasm {
+namespace telemetry {
+namespace {
+
+std::string
+writeTemp(const std::string &name, const std::string &text)
+{
+    const std::string path = "/tmp/spasm_test_telemetry_" + name;
+    std::ofstream out(path);
+    out << text;
+    return path;
+}
+
+/** A minimal valid stream: header + @p extra lines. */
+std::string
+headerLine()
+{
+    return R"({"kind":"header","schema":"spasm-telemetry-v1",)"
+           R"("schema_minor":0,"generator":"test","interval_ms":250,)"
+           R"("pid":1,"deterministic":true})";
+}
+
+std::string
+sampleLine(int seq, int done)
+{
+    std::ostringstream os;
+    os << R"({"kind":"sample","seq":)" << seq << R"(,"t_ms":)"
+       << seq * 250.0
+       << R"(,"rusage":{"peak_rss_bytes":1048576,"minor_faults":0,)"
+       << R"("major_faults":0},"pool":{"workers":2,"loops":0,)"
+       << R"("queue_wait_count":0,"queue_wait_total_ms":0,)"
+       << R"("queue_wait_max_ms":0},"sim":{"runs_started":1,)"
+       << R"("runs_completed":1,"cycles":666,"words":100,)"
+       << R"("current_cycle":0,"busy_pe_cycles":500},)"
+       << R"("progress":{"active":true,"total":8,"done":)" << done
+       << R"(,"ok":)" << done
+       << R"(,"failed":0,"rate_per_sec":4.0,"eta_ms":1000}})";
+    return os.str();
+}
+
+// --- Campaign progress ----------------------------------------------
+
+TEST(TelemetryProgress, BeginNoteEndRoundTrip)
+{
+    beginCampaign(10, 2); // resumed: 2 jobs already journalled ok
+    ProgressSnapshot s = progressSnapshot();
+    EXPECT_TRUE(s.active);
+    EXPECT_EQ(s.total, 10u);
+    EXPECT_EQ(s.done, 2u);
+    EXPECT_EQ(s.ok, 2u);
+    EXPECT_EQ(s.failed, 0u);
+
+    noteJobDone(true);
+    noteJobDone(false);
+    s = progressSnapshot();
+    EXPECT_EQ(s.done, 4u);
+    EXPECT_EQ(s.ok, 3u);
+    EXPECT_EQ(s.failed, 1u);
+
+    endCampaign();
+    EXPECT_FALSE(progressSnapshot().active);
+}
+
+TEST(TelemetryProgress, LiveSimGateIsNullWithoutSampler)
+{
+    // The publication gate the simulator caches per run: without a
+    // sampler it must be null, so telemetry-off runs never even
+    // reach the masked publish branch.
+    EXPECT_EQ(liveSimActive(), nullptr);
+}
+
+// --- Sampler round trip ---------------------------------------------
+
+TEST(TelemetrySampler, StreamRoundTripWithEndRecord)
+{
+    const std::string path =
+        "/tmp/spasm_test_telemetry_roundtrip.jsonl";
+    const std::string flight = path + ".flight.json";
+    std::remove(path.c_str());
+    std::remove(flight.c_str());
+
+    TelemetryOptions opts;
+    opts.path = path;
+    // Interval far beyond the test's lifetime: every sample in the
+    // stream is an explicit sampleNow() or the final one from stop().
+    opts.intervalMs = 3600 * 1000;
+    opts.deterministic = true;
+    beginCampaign(4);
+    ASSERT_TRUE(Sampler::global().start(opts));
+    EXPECT_TRUE(Sampler::global().running());
+    EXPECT_NE(liveSimActive(), nullptr);
+
+    noteJobDone(true);
+    noteJobDone(false);
+    Sampler::global().sampleNow();
+    endCampaign();
+    Sampler::global().stop();
+    EXPECT_FALSE(Sampler::global().running());
+    EXPECT_EQ(liveSimActive(), nullptr);
+
+    const TelemetryStream stream = loadTelemetry(path);
+    EXPECT_TRUE(stream.sawHeader);
+    EXPECT_TRUE(stream.sawEnd);
+    EXPECT_EQ(stream.truncatedLines, 0u);
+    EXPECT_EQ(stream.intervalMs, 3600 * 1000);
+    ASSERT_GE(stream.samples.size(), 2u); // sampleNow + final
+    const TelemetrySample &last = stream.samples.back();
+    EXPECT_FALSE(last.progressActive); // endCampaign before stop
+    EXPECT_EQ(last.progressTotal, 4u);
+    EXPECT_EQ(last.progressDone, 2u);
+    EXPECT_EQ(last.progressOk, 1u);
+    EXPECT_EQ(last.progressFailed, 1u);
+
+    // The clean-shutdown dump sits next to the stream.
+    const JsonValue dump = parseJsonFile(flight);
+    EXPECT_EQ(dump.stringOr("schema"), kFlightSchema);
+    EXPECT_EQ(dump.stringOr("reason"), "shutdown");
+
+    // Render both views; smoke-assert the load-bearing markers.
+    std::ostringstream tail;
+    renderTelemetry(tail, stream);
+    EXPECT_NE(tail.str().find("ended cleanly"), std::string::npos);
+    EXPECT_NE(tail.str().find("jobs 2/4"), std::string::npos);
+    std::ostringstream report;
+    renderTelemetryReport(report, stream);
+    EXPECT_NE(report.str().find("campaign: 2/4 done"),
+              std::string::npos);
+
+    std::remove(path.c_str());
+    std::remove(flight.c_str());
+}
+
+// --- Loader: torn streams and typed errors --------------------------
+
+TEST(TelemetryLoader, ToleratesOneTornFinalLine)
+{
+    const std::string path = writeTemp(
+        "torn_final.jsonl", headerLine() + "\n" + sampleLine(1, 2) +
+                                "\n" +
+                                R"({"kind":"sample","seq":2,"t_)");
+    const TelemetryStream stream = loadTelemetry(path);
+    EXPECT_TRUE(stream.sawHeader);
+    EXPECT_FALSE(stream.sawEnd);
+    EXPECT_EQ(stream.truncatedLines, 1u);
+    ASSERT_EQ(stream.samples.size(), 1u);
+    EXPECT_EQ(stream.samples[0].progressDone, 2u);
+    EXPECT_DOUBLE_EQ(stream.samples[0].ratePerSec, 4.0);
+
+    std::ostringstream os;
+    renderTelemetry(os, stream);
+    EXPECT_NE(os.str().find("torn trailing line"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(TelemetryLoader, TornMiddleLineIsTypedParseError)
+{
+    const std::string path = writeTemp(
+        "torn_middle.jsonl", headerLine() + "\n" +
+                                 R"({"kind":"sample","seq)" + "\n" +
+                                 sampleLine(2, 3) + "\n");
+    try {
+        loadTelemetry(path);
+        FAIL() << "torn non-final line must not be tolerated";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Parse);
+        EXPECT_EQ(e.line(), 2);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TelemetryLoader, WrongSchemaIsBadMagic)
+{
+    const std::string path = writeTemp(
+        "wrong_schema.jsonl",
+        R"({"kind":"header","schema":"spasm-stats-v1"})" "\n");
+    try {
+        loadTelemetry(path);
+        FAIL() << "foreign schema must be rejected";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::BadMagic);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TelemetryLoader, MissingHeaderIsBadMagic)
+{
+    const std::string path =
+        writeTemp("no_header.jsonl", sampleLine(1, 1) + "\n");
+    try {
+        loadTelemetry(path);
+        FAIL() << "headerless stream must be rejected";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::BadMagic);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TelemetryLoader, EmptyStreamIsTruncated)
+{
+    const std::string path = writeTemp("empty.jsonl", "");
+    try {
+        loadTelemetry(path);
+        FAIL() << "empty stream must be a typed error";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Truncated);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TelemetryLoader, SniffAcceptsOnlyTelemetryHeaders)
+{
+    const std::string yes =
+        writeTemp("sniff_yes.jsonl", headerLine() + "\n");
+    const std::string no = writeTemp(
+        "sniff_no.json", R"({"schema":"spasm-stats-v1"})" "\n");
+    EXPECT_TRUE(looksLikeTelemetry(yes));
+    EXPECT_FALSE(looksLikeTelemetry(no));
+    EXPECT_FALSE(looksLikeTelemetry("/nonexistent/telemetry.jsonl"));
+    std::remove(yes.c_str());
+    std::remove(no.c_str());
+}
+
+// --- Flight recorder: ring, latch, death paths ----------------------
+
+TEST(FlightRecorder, RingWrapsKeepingNewestOldestFirst)
+{
+    const std::string path =
+        "/tmp/spasm_test_telemetry_ring.flight.json";
+    std::remove(path.c_str());
+    FlightRecorder &fr = FlightRecorder::global();
+    fr.arm(path, /*deterministic=*/true);
+    const std::uint64_t total = 600; // > 2x the 256-slot ring
+    for (std::uint64_t i = 0; i < total; ++i) {
+        fr.note(FlightKind::Marker, "info", "ring",
+                "event " + std::to_string(i));
+    }
+    ASSERT_TRUE(fr.dump("periodic", "ring test"));
+    fr.disarm();
+
+    const JsonValue dump = parseJsonFile(path);
+    EXPECT_EQ(dump.stringOr("schema"), kFlightSchema);
+    EXPECT_EQ(static_cast<std::uint64_t>(
+                  dump.numberOr("events_total", 0)),
+              total);
+    EXPECT_EQ(static_cast<std::int64_t>(dump.numberOr("pid", -1)), 0)
+        << "deterministic dump must zero the pid stamp";
+    const JsonValue *records = dump.find("records");
+    ASSERT_NE(records, nullptr);
+    ASSERT_TRUE(records->isArray());
+    // Single-threaded fill: no slot is mid-write, so the dump holds
+    // exactly the newest kSlots events, oldest first.
+    ASSERT_EQ(records->array.size(), FlightRecorder::kSlots);
+    std::uint64_t expect_seq = total - FlightRecorder::kSlots;
+    for (const auto &rec : records->array) {
+        EXPECT_EQ(static_cast<std::uint64_t>(
+                      rec.numberOr("seq", 0)),
+                  expect_seq);
+        EXPECT_EQ(rec.stringOr("kind"), "marker");
+        ++expect_seq;
+    }
+    EXPECT_EQ(records->array.back().stringOr("message"),
+              "event " + std::to_string(total - 1));
+    std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, CrashDumpLatchesOverLaterDumps)
+{
+    const std::string path =
+        "/tmp/spasm_test_telemetry_latch.flight.json";
+    std::remove(path.c_str());
+    FlightRecorder &fr = FlightRecorder::global();
+    fr.arm(path, true);
+    fr.note(FlightKind::Marker, "info", "latch", "before crash");
+
+    EXPECT_TRUE(fr.dump("panic", "first wins"));
+    // Every later dump — crash or periodic — is latched out...
+    EXPECT_FALSE(fr.dump("terminate", "second"));
+    EXPECT_FALSE(fr.dump("signal", "SIGABRT"));
+    EXPECT_FALSE(fr.dump("periodic", "sampler"));
+    EXPECT_FALSE(fr.dump("shutdown", "sampler stop"));
+
+    const JsonValue dump = parseJsonFile(path);
+    EXPECT_EQ(dump.stringOr("reason"), "panic");
+    EXPECT_EQ(dump.stringOr("trigger"), "first wins");
+
+    // ...and re-arming resets the latch for the next campaign.
+    fr.arm(path, true);
+    EXPECT_TRUE(fr.dump("periodic", "fresh"));
+    fr.disarm();
+    EXPECT_FALSE(fr.dump("periodic", "disarmed"));
+    std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, DisarmedEntryPointsAreNoOps)
+{
+    FlightRecorder &fr = FlightRecorder::global();
+    ASSERT_FALSE(fr.armed());
+    fr.note(FlightKind::Log, "warn", "noop", "dropped");
+    fr.setLastSnapshot("{\"kind\":\"sample\"}");
+    EXPECT_FALSE(fr.dump("panic", "nowhere to write"));
+    EXPECT_EQ(fr.dumpPath(), "");
+}
+
+TEST(FlightRecorderDeath, PanicLeavesParseablePostMortem)
+{
+    const std::string path =
+        "/tmp/spasm_test_telemetry_panic.flight.json";
+    std::remove(path.c_str());
+    // The statement runs in the death-test child; the dump it writes
+    // on the way down is what the parent examines.
+    EXPECT_DEATH(
+        {
+            FlightRecorder::global().arm(path, true);
+            logWarn("death", "campaign about to die");
+            spasm_panic("telemetry death test %d", 42);
+        },
+        "telemetry death test 42");
+
+    const JsonValue dump = parseJsonFile(path);
+    EXPECT_EQ(dump.stringOr("schema"), kFlightSchema);
+    EXPECT_EQ(dump.stringOr("reason"), "panic");
+    EXPECT_NE(dump.stringOr("trigger").find("telemetry death test 42"),
+              std::string::npos);
+    // The ring carried the breadcrumbs into the dump: the warn that
+    // preceded the panic and the panic record itself.
+    const JsonValue *records = dump.find("records");
+    ASSERT_NE(records, nullptr);
+    ASSERT_TRUE(records->isArray());
+    bool saw_warn = false;
+    for (const auto &rec : records->array) {
+        saw_warn |= rec.stringOr("message").find(
+                        "campaign about to die") != std::string::npos;
+    }
+    EXPECT_TRUE(saw_warn);
+    std::remove(path.c_str());
+}
+
+TEST(FlightRecorderDeath, FatalSignalLeavesParseablePostMortem)
+{
+    const std::string path =
+        "/tmp/spasm_test_telemetry_sigsegv.flight.json";
+    std::remove(path.c_str());
+    EXPECT_EXIT(
+        {
+            FlightRecorder::global().arm(path, true);
+            FlightRecorder::installCrashHandlers();
+            FlightRecorder::global().note(FlightKind::Marker, "info",
+                                          "death", "before SIGSEGV");
+            ::raise(SIGSEGV);
+        },
+        ::testing::KilledBySignal(SIGSEGV), "");
+
+    // The handler dumped, restored SIG_DFL and re-raised — so the
+    // exit status above still reports the signal AND the post-mortem
+    // exists.
+    const JsonValue dump = parseJsonFile(path);
+    EXPECT_EQ(dump.stringOr("reason"), "signal");
+    EXPECT_EQ(dump.stringOr("trigger"), "SIGSEGV");
+    const JsonValue *records = dump.find("records");
+    ASSERT_NE(records, nullptr);
+    ASSERT_TRUE(records->isArray());
+    ASSERT_FALSE(records->array.empty());
+    EXPECT_EQ(records->array.back().stringOr("message"),
+              "before SIGSEGV");
+    std::remove(path.c_str());
+}
+
+// --- Prometheus export ----------------------------------------------
+
+TEST(PrometheusExport, CountersGaugesAndSummaries)
+{
+    auto &reg = obs::Registry::global();
+    reg.setEnabled(true);
+    reg.clear();
+    reg.add("sim.cycles", 42);
+    reg.set("queue.depth", 1.5);
+    for (int i = 1; i <= 10; ++i)
+        reg.observe("span.ms", static_cast<double>(i));
+
+    std::ostringstream os;
+    writePrometheusText(os, reg);
+    reg.clear();
+    reg.setEnabled(false);
+    const std::string text = os.str();
+
+    // Dots mangle to underscores under the spasm_ prefix.
+    EXPECT_NE(text.find("# TYPE spasm_sim_cycles counter\n"
+                        "spasm_sim_cycles 42\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE spasm_queue_depth gauge\n"
+                        "spasm_queue_depth 1.5\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE spasm_span_ms summary\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("spasm_span_ms{quantile=\"0.5\"} "),
+              std::string::npos);
+    EXPECT_NE(text.find("spasm_span_ms{quantile=\"0.99\"} "),
+              std::string::npos);
+    EXPECT_NE(text.find("spasm_span_ms_sum 55\n"), std::string::npos);
+    EXPECT_NE(text.find("spasm_span_ms_count 10\n"),
+              std::string::npos);
+}
+
+// --- Schema conformance against docs/observability.md ---------------
+
+/** Generalize one concrete flattened path: array indices -> []. */
+std::string
+generalizePath(const std::string &path)
+{
+    std::string out;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+        if (path[i] == '[') {
+            out += "[]";
+            while (i < path.size() && path[i] != ']')
+                ++i;
+        } else {
+            out += path[i];
+        }
+    }
+    return out;
+}
+
+void
+collectPaths(const JsonValue &v, const std::string &prefix,
+             std::set<std::string> &out)
+{
+    switch (v.kind) {
+      case JsonValue::Kind::Object:
+        for (const auto &kv : v.object)
+            collectPaths(kv.second,
+                         prefix.empty() ? kv.first
+                                        : prefix + "." + kv.first,
+                         out);
+        break;
+      case JsonValue::Kind::Array:
+        for (const auto &e : v.array)
+            collectPaths(e, prefix + "[]", out);
+        break;
+      default:
+        out.insert(prefix);
+        break;
+    }
+}
+
+/** Map registry metric names onto the documented open name sets. */
+std::string
+wildcardPath(const std::string &path)
+{
+    for (const char *prefix : {"counters.", "gauges."}) {
+        if (path.rfind(prefix, 0) == 0)
+            return std::string(prefix) + "*";
+    }
+    return path;
+}
+
+/**
+ * All ```schema-fields blocks of docs/observability.md, in document
+ * order — block 4 is the telemetry sample, block 5 the flight dump
+ * (0-3 are stats/batch/prof/trajectory, owned by other test files).
+ */
+std::vector<std::set<std::string>>
+documentedFieldBlocks()
+{
+    const std::string doc_path =
+        std::string(SPASM_SOURCE_DIR) + "/docs/observability.md";
+    std::ifstream doc(doc_path);
+    EXPECT_TRUE(doc.good()) << doc_path;
+    std::vector<std::set<std::string>> blocks;
+    std::string line;
+    bool in_block = false;
+    while (std::getline(doc, line)) {
+        if (line == "```schema-fields") {
+            in_block = true;
+            blocks.emplace_back();
+            continue;
+        }
+        if (in_block && line == "```") {
+            in_block = false;
+            continue;
+        }
+        if (in_block && !line.empty())
+            blocks.back().insert(line);
+    }
+    return blocks;
+}
+
+void
+expectBidirectionalMatch(const std::set<std::string> &documented,
+                         const std::set<std::string> &emitted)
+{
+    for (const auto &p : emitted) {
+        EXPECT_TRUE(documented.count(p) != 0)
+            << "emitted but undocumented field: " << p;
+    }
+    for (const auto &p : documented) {
+        EXPECT_TRUE(emitted.count(p) != 0)
+            << "documented but not emitted: " << p;
+    }
+}
+
+TEST(SchemaConformance, TelemetrySampleMatchesDocumentedFieldList)
+{
+    const auto blocks = documentedFieldBlocks();
+    ASSERT_GE(blocks.size(), 5u)
+        << "no spasm-telemetry-v1 schema-fields block in "
+           "docs/observability.md";
+    const std::set<std::string> &documented = blocks[4];
+    ASSERT_TRUE(documented.count("progress.eta_ms") != 0)
+        << "fifth schema-fields block is not the telemetry schema";
+
+    // Registry enabled with one counter and one gauge so the
+    // optional counters/gauges objects appear in the sample.
+    auto &reg = obs::Registry::global();
+    reg.setEnabled(true);
+    reg.clear();
+    reg.add("conf.counter", 1);
+    reg.set("conf.gauge", 2.0);
+
+    const std::string path =
+        "/tmp/spasm_test_telemetry_conformance.jsonl";
+    const std::string flight = path + ".flight.json";
+    std::remove(path.c_str());
+    std::remove(flight.c_str());
+    TelemetryOptions opts;
+    opts.path = path;
+    opts.intervalMs = 3600 * 1000;
+    opts.deterministic = true;
+    beginCampaign(2);
+    ASSERT_TRUE(Sampler::global().start(opts));
+    noteJobDone(true);
+    Sampler::global().sampleNow();
+    endCampaign();
+    Sampler::global().stop();
+    reg.clear();
+    reg.setEnabled(false);
+
+    // Conformance runs against the raw emitted line, not the loader's
+    // view, so a field the loader ignores still has to be documented.
+    std::ifstream in(path);
+    std::string line;
+    std::string last_sample;
+    while (std::getline(in, line))
+        if (line.find("\"kind\":\"sample\"") != std::string::npos)
+            last_sample = line;
+    ASSERT_FALSE(last_sample.empty());
+
+    std::string err;
+    const JsonValue root = parseJson(last_sample, &err);
+    ASSERT_TRUE(err.empty()) << err;
+    std::set<std::string> emitted_raw;
+    collectPaths(root, "", emitted_raw);
+    std::set<std::string> emitted;
+    for (const auto &p : emitted_raw)
+        emitted.insert(wildcardPath(generalizePath(p)));
+    expectBidirectionalMatch(documented, emitted);
+
+    std::remove(path.c_str());
+    std::remove(flight.c_str());
+}
+
+TEST(SchemaConformance, FlightDumpMatchesDocumentedFieldList)
+{
+    const auto blocks = documentedFieldBlocks();
+    ASSERT_GE(blocks.size(), 6u)
+        << "no spasm-flight-v1 schema-fields block in "
+           "docs/observability.md";
+    const std::set<std::string> &documented = blocks[5];
+    ASSERT_TRUE(documented.count("records[].message") != 0)
+        << "sixth schema-fields block is not the flight schema";
+
+    const std::string path =
+        "/tmp/spasm_test_telemetry_conf.flight.json";
+    std::remove(path.c_str());
+    FlightRecorder &fr = FlightRecorder::global();
+    fr.arm(path, true);
+    fr.note(FlightKind::Log, "warn", "conf", "a log record");
+    fr.note(FlightKind::Span, "info", "obs", "sim.run (1.000 ms)");
+    fr.note(FlightKind::Marker, "info", "conf", "a marker");
+    fr.setLastSnapshot(R"({"kind":"sample","seq":1})");
+    ASSERT_TRUE(fr.dump("periodic", "conformance"));
+    fr.disarm();
+
+    const JsonValue root = parseJsonFile(path);
+    std::set<std::string> emitted_raw;
+    collectPaths(root, "", emitted_raw);
+    std::set<std::string> emitted;
+    for (const auto &p : emitted_raw)
+        emitted.insert(generalizePath(p));
+    expectBidirectionalMatch(documented, emitted);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace telemetry
+} // namespace spasm

@@ -39,12 +39,16 @@
  *                                         to the committed trajectory
  *   bless    [--dir DIR]                  regenerate the golden
  *                                         baselines (bench/baselines)
+ *   tail     <telemetry.jsonl> [--follow] render a live-telemetry
+ *                                         stream: progress, rate,
+ *                                         EWMA ETA
  *
  * <input> is a MatrixMarket path (*.mtx), a .spasm file (simulate
  * only), or the name of a built-in Table II workload (generated at
  * SPASM_SCALE, default small).
  */
 
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -53,6 +57,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/batch.hh"
@@ -80,6 +85,7 @@
 #include "support/obs.hh"
 #include "support/resource_usage.hh"
 #include "support/stats.hh"
+#include "support/telemetry.hh"
 #include "support/timer.hh"
 #include "support/thread_pool.hh"
 #include "support/table.hh"
@@ -158,12 +164,26 @@ usage()
         "                 deadlines, retries and memory budgets\n"
         "                 (docs/robustness.md); exit 0 all ok,\n"
         "                 1 any job failed, 3 interrupted\n"
+        "  spasm tail     <telemetry.jsonl> [--follow]\n"
+        "                 render a spasm-telemetry-v1 stream:\n"
+        "                 progress, throughput, EWMA ETA; --follow\n"
+        "                 keeps watching until the end record\n"
         "  spasm --version\n"
         "global options:\n"
         "  --threads N    worker threads for pattern analysis and\n"
         "                 schedule exploration (default: hardware\n"
         "                 concurrency; results are identical at any\n"
-        "                 thread count)\n");
+        "                 thread count)\n"
+        "  --telemetry FILE [--telemetry-interval-ms N]\n"
+        "                 (simulate/batch/chaos/bench) sample live\n"
+        "                 progress into an append-only JSONL stream\n"
+        "                 (spasm-telemetry-v1, default 250 ms); also\n"
+        "                 arms the crash flight recorder\n"
+        "                 (FILE.flight.json) and routes structured\n"
+        "                 logs into the stream\n"
+        "  --prom FILE    (simulate) write a Prometheus text-\n"
+        "                 exposition snapshot of the obs registry\n"
+        "                 after the run\n");
     return 2;
 }
 
@@ -293,7 +313,7 @@ cmdEncode(const std::string &input,
 {
     const std::string out = optValue(args, "-o");
     if (out.empty()) {
-        std::fprintf(stderr, "encode: missing -o <out.spasm>\n");
+        logError("cli", "encode: missing -o <out.spasm>");
         return 2;
     }
     const CooMatrix m = loadInput(input);
@@ -360,8 +380,9 @@ cmdSimulate(const std::string &input,
 
     // The JSON sinks need the registry's spans/counters; plain text
     // runs keep observability off (and its cost at zero).
-    const bool observe =
-        !stats_json_path.empty() || !trace_json_path.empty();
+    const std::string prom_path = optValue(args, "--prom");
+    const bool observe = !stats_json_path.empty() ||
+        !trace_json_path.empty() || !prom_path.empty();
     if (observe) {
         obs::Registry::global().setEnabled(true);
         obs::Registry::global().clear();
@@ -466,6 +487,14 @@ cmdSimulate(const std::string &input,
         });
         std::printf("stats json        : %s -> %s\n",
                     kStatsJsonSchema, stats_json_path.c_str());
+    }
+    if (!prom_path.empty()) {
+        writeFileAtomic(prom_path, [&](std::ostream &out) {
+            telemetry::writePrometheusText(out,
+                                           obs::Registry::global());
+        });
+        std::printf("prometheus        : registry snapshot -> %s\n",
+                    prom_path.c_str());
     }
 
     std::printf("config            : %s (%d HBM ch, %.0f GB/s, "
@@ -598,8 +627,8 @@ cmdCompare(const std::vector<std::string> &args)
         return 0;
     }
     if (args.size() < 2) {
-        std::fprintf(stderr, "compare: need <baseline.json> "
-                             "<candidate.json>\n");
+        logError("cli",
+                 "compare: need <baseline.json> <candidate.json>");
         return 2;
     }
     const auto baseline = report::loadStatsFile(args[0]);
@@ -627,6 +656,16 @@ cmdCompare(const std::vector<std::string> &args)
 int
 cmdReport(const std::vector<std::string> &args)
 {
+    // Telemetry streams are JSONL, not a single JSON document, so
+    // they are sniffed by their header line before the stats-file
+    // loader (which would choke on line two) gets a chance.
+    if (telemetry::looksLikeTelemetry(args[0])) {
+        const telemetry::TelemetryStream stream =
+            telemetry::loadTelemetry(args[0]);
+        telemetry::renderTelemetryReport(std::cout, stream);
+        return 0;
+    }
+
     const auto file = report::loadStatsFile(args[0]);
     const std::string top_opt = optValue(args, "--top");
     const std::string md_path = optValue(args, "--markdown");
@@ -886,6 +925,7 @@ cmdBench(const std::vector<std::string> &args)
     double total_wall = 0.0;
     double total_sim_ms = 0.0;
     std::uint64_t total_cycles = 0;
+    telemetry::beginCampaign(report::goldenSpecs().size());
     for (const auto &spec : report::goldenSpecs()) {
         Timer wall;
         const CooMatrix m =
@@ -948,7 +988,9 @@ cmdBench(const std::vector<std::string> &args)
                       TextTable::fmt(sim_ms, 2),
                       TextTable::fmt(w.simCyclesPerHostSec / 1e6, 2),
                       TextTable::fmt(w.ipc, 2)});
+        telemetry::noteJobDone(true);
     }
+    telemetry::endCampaign();
     entry.totalWallMs = total_wall;
     entry.simCyclesPerHostSec =
         total_sim_ms > 0.0 ? static_cast<double>(total_cycles) /
@@ -1095,8 +1137,7 @@ cmdBatch(const std::vector<std::string> &args)
     BatchOptions opt;
     opt.manifestPath = optValue(args, "--manifest");
     if (opt.manifestPath.empty()) {
-        std::fprintf(stderr,
-                     "batch: missing --manifest <jobs.json>\n");
+        logError("cli", "batch: missing --manifest <jobs.json>");
         return 2;
     }
     opt.journalPath = optValue(args, "--journal");
@@ -1124,6 +1165,93 @@ cmdBatch(const std::vector<std::string> &args)
     return batchExitCode(result);
 }
 
+/**
+ * Render a spasm-telemetry-v1 stream.  Without --follow: one shot.
+ * With --follow: poll the file, print samples as they appear, exit
+ * when the clean-shutdown end record arrives (a stream that never
+ * gets one — killed producer — is followed until the user ^Cs).
+ */
+int
+cmdTail(const std::string &path, const std::vector<std::string> &args)
+{
+    if (!hasFlag(args, "--follow")) {
+        const telemetry::TelemetryStream stream =
+            telemetry::loadTelemetry(path);
+        telemetry::renderTelemetry(std::cout, stream);
+        return 0;
+    }
+
+    std::uint64_t last_seq = 0;
+    bool header_shown = false;
+    for (;;) {
+        telemetry::TelemetryStream stream;
+        try {
+            stream = telemetry::loadTelemetry(path);
+        } catch (const Error &) {
+            // Not there yet, or only a torn prefix — keep waiting.
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(200));
+            continue;
+        }
+        if (!header_shown) {
+            std::printf("following %s: %s (interval %d ms)\n",
+                        path.c_str(), stream.generator.c_str(),
+                        stream.intervalMs);
+            header_shown = true;
+        }
+        for (const auto &s : stream.samples) {
+            if (s.seq > last_seq) {
+                telemetry::renderTelemetrySample(std::cout, s);
+                last_seq = s.seq;
+            }
+        }
+        std::cout.flush();
+        if (stream.sawEnd) {
+            std::printf("stream ended cleanly (%zu samples)\n",
+                        stream.samples.size());
+            return 0;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+}
+
+/**
+ * RAII lifecycle for `--telemetry <path>`: starts the sampler (which
+ * also arms the flight recorder, installs crash handlers and routes
+ * structured logs into the stream) and stops it — final sample + end
+ * record — when the command returns or unwinds.
+ */
+class TelemetryScope
+{
+  public:
+    explicit TelemetryScope(const std::vector<std::string> &args)
+    {
+        const std::string path = optValue(args, "--telemetry");
+        if (path.empty())
+            return;
+        telemetry::TelemetryOptions opts;
+        opts.path = path;
+        const std::string interval =
+            optValue(args, "--telemetry-interval-ms");
+        if (!interval.empty())
+            opts.intervalMs = std::stoi(interval);
+        opts.deterministic = hasFlag(args, "--deterministic");
+        started_ = telemetry::Sampler::global().start(opts);
+    }
+
+    ~TelemetryScope()
+    {
+        if (started_)
+            telemetry::Sampler::global().stop();
+    }
+
+    TelemetryScope(const TelemetryScope &) = delete;
+    TelemetryScope &operator=(const TelemetryScope &) = delete;
+
+  private:
+    bool started_ = false;
+};
+
 int
 run(int argc, char **argv)
 {
@@ -1150,6 +1278,11 @@ run(int argc, char **argv)
         std::printf("%s\n", versionBanner());
         return 0;
     }
+    // Live telemetry rides on any long-running verb (simulate /
+    // batch / chaos / bench take the flag; it is inert elsewhere).
+    // Scoped here so the end record and flight-recorder disarm
+    // happen on BOTH clean return and exception unwind.
+    TelemetryScope telemetry_scope(args);
     if (cmd == "suite")
         return cmdSuite();
     if (cmd == "bless")
@@ -1164,6 +1297,8 @@ run(int argc, char **argv)
         return cmdBench(args);
     if (args.empty())
         return usage();
+    if (cmd == "tail")
+        return cmdTail(args[0], args);
     if (cmd == "report")
         return cmdReport(args);
     if (cmd == "profile")
@@ -1193,7 +1328,10 @@ main(int argc, char **argv)
     try {
         return run(argc, argv);
     } catch (const Error &e) {
-        std::fprintf(stderr, "spasm: error: %s\n", e.what());
+        // logError renders exactly the historical "spasm: error: "
+        // stderr prefix, and additionally lands the diagnostic in the
+        // JSONL sink / flight recorder when telemetry is on.
+        logError("cli", "%s", e.what());
         return 1;
     }
 }
