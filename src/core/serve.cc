@@ -1,0 +1,747 @@
+#include "core/serve.hh"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <istream>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/framework.hh"
+#include "hw/config.hh"
+#include "sparse/matrix_market.hh"
+#include "format/position_encoding.hh"
+#include "support/crc32.hh"
+#include "support/json.hh"
+#include "support/json_value.hh"
+#include "support/logging.hh"
+#include "support/telemetry.hh"
+#include "support/thread_pool.hh"
+#include "support/timer.hh"
+
+namespace spasm {
+namespace serve {
+
+namespace {
+
+const char *
+policyLabel(SchedulePolicy policy)
+{
+    return policy == SchedulePolicy::RoundRobin ? "round-robin"
+                                                : "load-balanced";
+}
+
+SchedulePolicy
+policyFromLabel(const std::string &label)
+{
+    return label == "round-robin" ? SchedulePolicy::RoundRobin
+                                  : SchedulePolicy::LoadBalanced;
+}
+
+HwConfig
+configByName(const std::string &name)
+{
+    for (const HwConfig &c : allHwConfigs()) {
+        if (c.name() == name)
+            return c;
+    }
+    throw Error::atInput(ErrorCode::Parse, "request",
+                         "unknown hw config '%s'", name.c_str());
+}
+
+const char *
+outcomeLabel(EncodedMatrixCache::Outcome outcome)
+{
+    switch (outcome) {
+      case EncodedMatrixCache::Outcome::Hit:
+        return "hit";
+      case EncodedMatrixCache::Outcome::WarmLoad:
+        return "warm";
+      case EncodedMatrixCache::Outcome::Built:
+        return "miss";
+    }
+    return "?";
+}
+
+/** Write everything or throw; partial socket writes must not tear a
+ *  response line. */
+void
+writeAll(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n =
+            ::write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // client went away; nothing to tell it
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+} // namespace
+
+/** One parsed, validated request. */
+struct Server::Request
+{
+    std::string id;
+    CooMatrix m;
+    std::vector<Value> x; ///< empty = framework default x
+    bool returnY = false;
+    double deadlineMs = 0.0;
+    double budgetMb = 0.0;
+    std::string configName; ///< "" = explore the full library
+    Index tileSize = 0;     ///< 0 = explore the candidate set
+    bool dynamicSelection = true;
+    bool scheduleExploration = true;
+};
+
+Server::Server(ServeOptions options,
+               const volatile std::sig_atomic_t *signal_flag)
+    : options_(std::move(options)), signalFlag_(signal_flag),
+      budget_(options_.budgetBytes > 0
+                  ? std::make_unique<MemoryBudget>(
+                        options_.budgetBytes)
+                  : nullptr),
+      gate_(AdmissionGate::Options{options_.maxInFlight,
+                                   options_.perRequestBytes,
+                                   budget_.get(), "serve"}),
+      cache_(EncodedMatrixCache::Options{
+          options_.cacheDir, options_.cacheCapacity, options_.limits,
+          "serve.cache"})
+{
+}
+
+EncodedMatrixCache::ScanReport
+Server::scanCache()
+{
+    return cache_.scanDisk();
+}
+
+void
+Server::parseInto(const std::string &line, Request &req) const
+{
+    std::string err;
+    const JsonValue doc = parseJson(line, &err);
+    if (!err.empty())
+        throw Error::atInput(ErrorCode::Parse, "request",
+                             "malformed request JSON: %s",
+                             err.c_str());
+    if (!doc.isObject())
+        throw Error::atInput(ErrorCode::Parse, "request",
+                             "request must be a JSON object");
+
+    // The id first, so every later diagnostic can echo it.
+    if (const JsonValue *id = doc.find("id")) {
+        if (!id->isString())
+            throw Error::atInput(ErrorCode::Parse, "request",
+                                 "field 'id' must be a string");
+        req.id = id->string;
+    }
+
+    const JsonValue *matrix = nullptr;
+    const JsonValue *x = nullptr;
+    for (const auto &[key, value] : doc.object) {
+        if (key == "id") {
+            continue; // handled above
+        } else if (key == "matrix") {
+            matrix = &value;
+        } else if (key == "x") {
+            x = &value;
+        } else if (key == "return_y") {
+            if (value.kind != JsonValue::Kind::Bool)
+                throw Error::atInput(
+                    ErrorCode::Parse, "request",
+                    "field 'return_y' must be a boolean");
+            req.returnY = value.boolean;
+        } else if (key == "deadline_ms") {
+            if (!value.isNumber() || value.asNumber() < 0)
+                throw Error::atInput(
+                    ErrorCode::Parse, "request",
+                    "field 'deadline_ms' must be a number >= 0");
+            req.deadlineMs = value.asNumber();
+        } else if (key == "budget_mb") {
+            if (!value.isNumber() || value.asNumber() < 0)
+                throw Error::atInput(
+                    ErrorCode::Parse, "request",
+                    "field 'budget_mb' must be a number >= 0");
+            req.budgetMb = value.asNumber();
+        } else if (key == "config") {
+            if (!value.isString())
+                throw Error::atInput(
+                    ErrorCode::Parse, "request",
+                    "field 'config' must be a string");
+            req.configName = value.string;
+            (void)configByName(req.configName); // validate now
+        } else if (key == "tile_size") {
+            if (!value.isNumber() || !value.isIntegral() ||
+                value.asNumber() <= 0)
+                throw Error::atInput(
+                    ErrorCode::Parse, "request",
+                    "field 'tile_size' must be a positive integer");
+            const double t = value.asNumber();
+            if (t > static_cast<double>(kMaxTileSize) ||
+                static_cast<std::int64_t>(t) % 4 != 0)
+                throw Error::atInput(
+                    ErrorCode::Parse, "request",
+                    "field 'tile_size' must be a multiple of 4, at "
+                    "most %lld",
+                    static_cast<long long>(kMaxTileSize));
+            req.tileSize = static_cast<Index>(t);
+        } else if (key == "dynamic_selection") {
+            if (value.kind != JsonValue::Kind::Bool)
+                throw Error::atInput(
+                    ErrorCode::Parse, "request",
+                    "field 'dynamic_selection' must be a boolean");
+            req.dynamicSelection = value.boolean;
+        } else if (key == "schedule_exploration") {
+            if (value.kind != JsonValue::Kind::Bool)
+                throw Error::atInput(
+                    ErrorCode::Parse, "request",
+                    "field 'schedule_exploration' must be a boolean");
+            req.scheduleExploration = value.boolean;
+        } else {
+            // Strict schema: a typo'd knob must fail loudly, not be
+            // silently ignored (the fuzz gate depends on this).
+            throw Error::atInput(ErrorCode::Parse, "request",
+                                 "unknown field '%s'", key.c_str());
+        }
+    }
+
+    if (matrix == nullptr)
+        throw Error::atInput(ErrorCode::Parse, "request",
+                             "missing required field 'matrix'");
+    if (!matrix->isObject())
+        throw Error::atInput(ErrorCode::Parse, "request",
+                             "field 'matrix' must be an object");
+    const JsonValue *mtx = nullptr;
+    const JsonValue *path = nullptr;
+    for (const auto &[key, value] : matrix->object) {
+        if (key == "mtx")
+            mtx = &value;
+        else if (key == "path")
+            path = &value;
+        else
+            throw Error::atInput(ErrorCode::Parse, "request",
+                                 "unknown matrix field '%s'",
+                                 key.c_str());
+    }
+    if ((mtx != nullptr) == (path != nullptr))
+        throw Error::atInput(
+            ErrorCode::Parse, "request",
+            "'matrix' needs exactly one of 'mtx' or 'path'");
+    if (mtx != nullptr) {
+        if (!mtx->isString())
+            throw Error::atInput(ErrorCode::Parse, "request",
+                                 "matrix field 'mtx' must be a "
+                                 "string");
+        req.m = readMatrixMarketFromString(mtx->string,
+                                           "request.matrix.mtx");
+    } else {
+        if (!path->isString())
+            throw Error::atInput(ErrorCode::Parse, "request",
+                                 "matrix field 'path' must be a "
+                                 "string");
+        req.m = readMatrixMarket(path->string);
+    }
+    if (req.m.rows() < 1 || req.m.cols() < 1)
+        throw Error::atInput(ErrorCode::Parse, "request",
+                             "matrix must be non-empty");
+
+    if (x != nullptr) {
+        if (!x->isArray())
+            throw Error::atInput(ErrorCode::Parse, "request",
+                                 "field 'x' must be an array of "
+                                 "numbers");
+        if (static_cast<Index>(x->array.size()) != req.m.cols())
+            throw Error::atInput(
+                ErrorCode::Parse, "request",
+                "'x' has %zu elements, matrix has %lld columns",
+                x->array.size(),
+                static_cast<long long>(req.m.cols()));
+        req.x.reserve(x->array.size());
+        for (const JsonValue &v : x->array) {
+            if (!v.isNumber())
+                throw Error::atInput(ErrorCode::Parse, "request",
+                                     "field 'x' must be an array of "
+                                     "numbers");
+            req.x.push_back(static_cast<Value>(v.asNumber()));
+        }
+    }
+}
+
+std::string
+Server::errorResponse(const std::string &id, ErrorCode code,
+                      const std::string &message)
+{
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++errors_;
+    }
+    auto &reg = obs::Registry::global();
+    if (reg.enabled()) {
+        reg.add("serve.error");
+        reg.add(std::string("serve.error.") + errorCodeName(code));
+    }
+    telemetry::noteJobDone(false);
+
+    std::ostringstream os;
+    JsonWriter w(os, -1);
+    w.beginObject();
+    w.field("schema", kServeSchema);
+    w.field("id", id);
+    w.field("ok", false);
+    w.key("error");
+    w.beginObject();
+    w.field("code", errorCodeName(code));
+    w.field("message", message);
+    w.endObject();
+    w.endObject();
+    return os.str();
+}
+
+std::string
+Server::process(const Request &req)
+{
+    const std::uint64_t t0 = monoNowNs();
+
+    // Per-request isolation: a child token of the hard-stop parent,
+    // carrying this request's deadline only.  A signal does NOT trip
+    // it — drain lets in-flight work finish; only an expired drain
+    // grace period cancels through the parent.
+    CancellationToken token(&hardStop_);
+    const double deadline = req.deadlineMs > 0.0
+                                ? req.deadlineMs
+                                : options_.defaultDeadlineMs;
+    if (deadline > 0.0)
+        token.setDeadline(deadline);
+
+    std::unique_ptr<MemoryBudget> requestBudget;
+    if (req.budgetMb > 0.0)
+        requestBudget = std::make_unique<MemoryBudget>(
+            static_cast<std::int64_t>(req.budgetMb * 1024.0 *
+                                      1024.0));
+    MemoryBudget *budget = requestBudget.get();
+
+    try {
+        // Cache key: content hash x the encoding-relevant knobs.
+        // Requests differing only in x, deadline or budget share the
+        // entry; requests pinning a different config or tile do not.
+        const std::uint64_t matrixHash = hashMatrixContent(req.m);
+        std::uint64_t configHash = 0x7365727665ULL; // "serve"
+        configHash = hashString(configHash, req.configName);
+        configHash = hashMix(configHash,
+                             static_cast<std::uint64_t>(req.tileSize));
+        configHash = hashMix(
+            configHash,
+            (req.dynamicSelection ? 1ULL : 0ULL) |
+                (req.scheduleExploration ? 2ULL : 0ULL));
+        const std::string key = cacheKey(matrixHash, configHash);
+
+        EncodedMatrixCache::Outcome outcome =
+            EncodedMatrixCache::Outcome::Hit;
+        const auto entry = cache_.getOrBuild(
+            key,
+            [&]() -> EncodedMatrixEntry {
+                // Miss path: the only place preprocessing runs.  The
+                // framework.* stage counters increment here and
+                // nowhere else — the cache-hit proof in the tests.
+                FrameworkOptions popts;
+                popts.dynamicTemplateSelection = req.dynamicSelection;
+                popts.scheduleExploration = req.scheduleExploration;
+                if (!req.configName.empty())
+                    popts.configs = {configByName(req.configName)};
+                if (req.tileSize > 0)
+                    popts.tileSizes = {req.tileSize};
+                popts.cancel = &token;
+                popts.memoryBudget = budget;
+                const SpasmFramework fw(popts);
+                PreprocessResult pre = fw.preprocess(req.m);
+                EncodedMatrixEntry e;
+                e.meta.numPeGroups =
+                    pre.schedule.config.numPeGroups;
+                e.meta.numXvecCh = pre.schedule.config.numXvecCh;
+                e.meta.freqMhz = pre.schedule.config.freqMhz;
+                e.meta.policy = policyLabel(pre.policy);
+                e.meta.portfolioId = pre.portfolioId;
+                e.meta.estCycles = pre.schedule.estCycles;
+                e.meta.estSeconds = pre.schedule.estSeconds;
+                e.encoded = std::move(pre.encoded);
+                return e;
+            },
+            &token, &outcome);
+
+        // Rebuild the execute()-relevant slice of a PreprocessResult
+        // from the cache entry — identical whether the entry was just
+        // built, found in memory, or warm-loaded from disk, which is
+        // what makes restart results byte-identical to a cold run.
+        PreprocessResult pre;
+        pre.portfolio = entry->encoded.portfolio();
+        pre.portfolioId = entry->meta.portfolioId;
+        pre.policy = policyFromLabel(entry->meta.policy);
+        pre.schedule.config.numPeGroups = entry->meta.numPeGroups;
+        pre.schedule.config.numXvecCh = entry->meta.numXvecCh;
+        pre.schedule.config.freqMhz = entry->meta.freqMhz;
+        pre.schedule.tileSize = entry->encoded.tileSize();
+        pre.schedule.estCycles = entry->meta.estCycles;
+        pre.schedule.estSeconds = entry->meta.estSeconds;
+        pre.encoded = entry->encoded;
+
+        FrameworkOptions eopts;
+        eopts.cancel = &token;
+        eopts.memoryBudget = budget;
+        const SpasmFramework fw(eopts);
+        const std::vector<Value> x =
+            req.x.empty() ? SpasmFramework::defaultX(req.m.cols())
+                          : req.x;
+        std::vector<Value> y(static_cast<std::size_t>(req.m.rows()),
+                             0.0f);
+        const ExecutionResult exec = fw.execute(pre, req.m, x, y);
+
+        const double wallMs =
+            static_cast<double>(monoNowNs() - t0) / 1e6;
+        noteLatency(wallMs);
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++ok_;
+        }
+        auto &reg = obs::Registry::global();
+        if (reg.enabled())
+            reg.add("serve.ok");
+        telemetry::noteJobDone(true);
+
+        std::ostringstream os;
+        JsonWriter w(os, -1);
+        w.beginObject();
+        w.field("schema", kServeSchema);
+        w.field("id", req.id);
+        w.field("ok", true);
+        w.field("cache", outcomeLabel(outcome));
+        w.field("key", key);
+        w.field("rows", static_cast<std::int64_t>(req.m.rows()));
+        w.field("cols", static_cast<std::int64_t>(req.m.cols()));
+        w.field("nnz", static_cast<std::int64_t>(req.m.nnz()));
+        w.field("config", pre.schedule.config.name());
+        w.field("tile_size",
+                static_cast<std::int64_t>(pre.schedule.tileSize));
+        w.field("policy", entry->meta.policy);
+        w.field("portfolio_id", entry->meta.portfolioId);
+        w.field("cycles", exec.stats.cycles);
+        w.field("max_abs_error", exec.maxAbsError);
+        w.field("degraded_tiles",
+                static_cast<std::uint64_t>(exec.degraded.size()));
+        w.field("y_crc32",
+                static_cast<std::uint64_t>(crc32(
+                    y.data(), y.size() * sizeof(Value))));
+        if (req.returnY) {
+            w.key("y");
+            w.beginArray();
+            for (const Value v : y)
+                w.value(static_cast<double>(v));
+            w.endArray();
+        }
+        w.field("wall_ms",
+                options_.deterministic ? 0.0 : wallMs);
+        w.endObject();
+        return os.str();
+    } catch (const Error &e) {
+        return errorResponse(req.id, e.code(), e.what());
+    } catch (const std::exception &e) {
+        return errorResponse(req.id, ErrorCode::Invariant, e.what());
+    }
+}
+
+std::string
+Server::handleLine(const std::string &line)
+{
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++requests_;
+    }
+    auto &reg = obs::Registry::global();
+    if (reg.enabled())
+        reg.add("serve.requests");
+
+    Request req;
+    try {
+        if (line.size() > options_.maxLineBytes)
+            throw Error::atInput(
+                ErrorCode::LimitExceeded, "request",
+                "request line of %zu bytes exceeds the %zu-byte "
+                "limit",
+                line.size(), options_.maxLineBytes);
+        parseInto(line, req);
+    } catch (const Error &e) {
+        return errorResponse(req.id, e.code(), e.what());
+    } catch (const std::exception &e) {
+        return errorResponse(req.id, ErrorCode::Parse, e.what());
+    }
+
+    AdmissionGate::Ticket ticket;
+    try {
+        ticket =
+            gate_.admit(req.id.empty() ? "request" : req.id);
+    } catch (const Error &e) {
+        return errorResponse(req.id, e.code(), e.what());
+    }
+    return process(req); // ticket held for the duration
+}
+
+int
+Server::runStdio(std::istream &in, std::ostream &out)
+{
+    telemetry::beginCampaign(0);
+    std::mutex outMutex;
+    auto &pool = ThreadPool::global();
+
+    std::string line;
+    while (!signalled()) {
+        if (!std::getline(in, line))
+            break; // EOF, or a signal interrupted the read
+        if (line.empty())
+            continue;
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++requests_;
+        }
+        auto &reg = obs::Registry::global();
+        if (reg.enabled())
+            reg.add("serve.requests");
+
+        // Parse and admit on the reader thread: the in-flight bound
+        // applies *before* anything is queued, so a 4x overload
+        // burst sheds immediately instead of growing a queue.
+        auto req = std::make_shared<Request>();
+        std::string early;
+        bool dispatched = false;
+        try {
+            if (line.size() > options_.maxLineBytes)
+                throw Error::atInput(
+                    ErrorCode::LimitExceeded, "request",
+                    "request line of %zu bytes exceeds the "
+                    "%zu-byte limit",
+                    line.size(), options_.maxLineBytes);
+            parseInto(line, *req);
+            auto ticket = std::make_shared<AdmissionGate::Ticket>(
+                gate_.admit(req->id.empty() ? "request"
+                                            : req->id));
+            pool.post([this, req, ticket, &out, &outMutex] {
+                const std::string resp = process(*req);
+                std::lock_guard<std::mutex> lock(outMutex);
+                out << resp << '\n' << std::flush;
+            });
+            dispatched = true;
+        } catch (const Error &e) {
+            early = errorResponse(req->id, e.code(), e.what());
+        } catch (const std::exception &e) {
+            early = errorResponse(req->id, ErrorCode::Parse,
+                                  e.what());
+        }
+        if (!dispatched) {
+            std::lock_guard<std::mutex> lock(outMutex);
+            out << early << '\n' << std::flush;
+        }
+    }
+
+    const int code = drain();
+    telemetry::endCampaign();
+    return code;
+}
+
+int
+Server::runUnixSocket(const std::string &path)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        logError("serve", "cannot create socket: %s",
+                 std::strerror(errno));
+        return 1;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        logError("serve", "socket path too long: %s", path.c_str());
+        ::close(fd);
+        return 1;
+    }
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 16) != 0) {
+        logError("serve", "cannot bind/listen on %s: %s",
+                 path.c_str(), std::strerror(errno));
+        ::close(fd);
+        return 1;
+    }
+    logInform("serve", "listening on %s", path.c_str());
+
+    telemetry::beginCampaign(0);
+    std::atomic<bool> stopping{false};
+    std::vector<std::thread> connections;
+    while (!signalled()) {
+        pollfd p{fd, POLLIN, 0};
+        const int rc = ::poll(&p, 1, 200);
+        if (rc <= 0)
+            continue; // timeout or EINTR: re-check the signal flag
+        const int client = ::accept(fd, nullptr, nullptr);
+        if (client < 0)
+            continue;
+        connections.emplace_back([this, client, &stopping] {
+            connectionLoop(client, stopping);
+        });
+    }
+    stopping.store(true);
+    ::close(fd);
+    ::unlink(path.c_str());
+    for (std::thread &t : connections)
+        t.join();
+    const int code = drain();
+    telemetry::endCampaign();
+    return code;
+}
+
+void
+Server::connectionLoop(int fd, const std::atomic<bool> &stopping)
+{
+    std::string buffer;
+    char chunk[4096];
+    while (!stopping.load(std::memory_order_relaxed)) {
+        pollfd p{fd, POLLIN, 0};
+        const int rc = ::poll(&p, 1, 200);
+        if (rc == 0)
+            continue;
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n <= 0)
+            break; // client closed (or hard error)
+        buffer.append(chunk, static_cast<std::size_t>(n));
+        std::size_t pos = 0;
+        while ((pos = buffer.find('\n')) != std::string::npos) {
+            const std::string line = buffer.substr(0, pos);
+            buffer.erase(0, pos + 1);
+            if (line.empty())
+                continue;
+            writeAll(fd, handleLine(line) + "\n");
+        }
+        if (buffer.size() > options_.maxLineBytes) {
+            // A line that never terminates must not grow forever.
+            writeAll(fd,
+                     errorResponse(
+                         "", ErrorCode::LimitExceeded,
+                         "request line exceeds the size limit") +
+                         "\n");
+            break;
+        }
+    }
+    ::close(fd);
+}
+
+int
+Server::drain()
+{
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        if (drained_)
+            return drainForced_ ? 3 : 0;
+    }
+    gate_.close();
+    bool forced = false;
+    if (!gate_.waitIdleFor(options_.drainMs)) {
+        logWarn("serve",
+                "drain grace expired with %zu request(s) in "
+                "flight; cancelling",
+                gate_.inFlight());
+        hardStop_.cancel();
+        forced = true;
+        // Cancellation is cooperative: give the stragglers one more
+        // grace period to hit a poll point and unwind.
+        gate_.waitIdleFor(options_.drainMs < 0 ? 5000
+                                               : options_.drainMs);
+    }
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        drained_ = true;
+        drainForced_ = forced;
+    }
+    return forced ? 3 : 0;
+}
+
+void
+Server::noteLatency(double ms)
+{
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        latencyMs_.observe(ms);
+    }
+    auto &reg = obs::Registry::global();
+    if (reg.enabled())
+        reg.observe("serve.request_ms", ms);
+}
+
+ServeSummary
+Server::summary() const
+{
+    ServeSummary s;
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        s.requests = requests_;
+        s.ok = ok_;
+        s.errors = errors_;
+        s.latencyMs = latencyMs_;
+        s.drainForced = drainForced_;
+    }
+    s.shed = gate_.shedCount();
+    s.admitted = gate_.admittedCount();
+    s.cache = cache_.counters();
+    return s;
+}
+
+void
+Server::writeSummaryJson(std::ostream &os) const
+{
+    const ServeSummary s = summary();
+    const bool det = options_.deterministic;
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", kServeSchema);
+    w.field("requests", s.requests);
+    w.field("ok", s.ok);
+    w.field("errors", s.errors);
+    w.field("shed", s.shed);
+    w.field("admitted", s.admitted);
+    w.key("cache");
+    w.beginObject();
+    w.field("hits", s.cache.hits);
+    w.field("warm_hits", s.cache.warmHits);
+    w.field("misses", s.cache.misses);
+    w.field("evictions", s.cache.evictions);
+    w.field("quarantined", s.cache.quarantined);
+    w.endObject();
+    w.key("latency_ms");
+    w.beginObject();
+    w.field("count", s.latencyMs.count());
+    w.field("mean", det ? 0.0 : s.latencyMs.mean());
+    w.field("p50", det ? 0.0 : s.latencyMs.percentile(0.50));
+    w.field("p99", det ? 0.0 : s.latencyMs.percentile(0.99));
+    w.field("max", det ? 0.0 : s.latencyMs.max());
+    w.endObject();
+    w.field("drain_forced", s.drainForced);
+    w.endObject();
+    w.finish();
+}
+
+} // namespace serve
+} // namespace spasm

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * `spasm serve`: a long-lived SpMV service over line-delimited JSON.
+ *
+ * The daemon is the paper's Table VIII amortization argument running
+ * as a process: every request carries a matrix (inline MatrixMarket
+ * text or a path) and the service preprocesses it at most **once** —
+ * all later requests for the same content hit the
+ * `EncodedMatrixCache` (format/matrix_cache.hh) and go straight to
+ * execution, provably skipping all six preprocessing stages (the
+ * `framework.*` stage counters stay flat on the hit path).
+ *
+ * Transport: one JSON object per line on stdin (responses on stdout,
+ * order not guaranteed — correlate by `id`) or on a local Unix
+ * socket (one connection per client, responses in request order per
+ * connection).  The full request/response schema is documented in
+ * docs/serving.md as machine-checked `schema-fields` blocks.
+ *
+ * Robustness model, built entirely from the PR 4-8 substrate:
+ *  - **Admission control** (support/admission.hh): at most
+ *    `maxInFlight` requests run at once, each optionally reserving
+ *    bytes against a shared `MemoryBudget`.  Excess load is shed
+ *    immediately with a typed `overloaded` error response — the
+ *    queue depth is bounded by construction, and sheds are counted
+ *    (`serve.shed`), never silent.
+ *  - **Per-request isolation**: each request runs under a child
+ *    `CancellationToken` carrying the request's `deadline_ms`, on
+ *    the shared thread pool.  A slow request times out alone;
+ *    tile-validation failures degrade per-tile to the scalar path
+ *    exactly as the framework fallback does (`degraded_tiles` in the
+ *    response).
+ *  - **Crash-safe warm restart**: `scanCache()` CRC-verifies the
+ *    disk cache at startup and quarantines (renames, never deletes)
+ *    torn entries; a `kill -9` mid-write never poisons the cache and
+ *    a restarted daemon serves warm hits byte-identical to the cold
+ *    run without re-preprocessing.
+ *  - **Graceful drain**: SIGINT/SIGTERM stops admission, in-flight
+ *    requests finish against their own deadlines, then stragglers
+ *    are hard-cancelled after `drainMs`.  Exit codes follow the
+ *    batch discipline: 0 clean drain, 1 fatal, 2 usage (CLI layer),
+ *    3 when requests had to be force-cancelled.
+ *
+ * Observability: request/error/shed counters, cache
+ * hit/warm/miss/evict/quarantine counters, queue-depth gauge and the
+ * `serve.request_ms` latency histogram all land in the obs registry
+ * (hence stats JSON and the Prometheus text exposition), and every
+ * finished request ticks the telemetry campaign progress so
+ * `spasm tail --follow` shows live serve traffic.
+ */
+
+#ifndef SPASM_CORE_SERVE_HH
+#define SPASM_CORE_SERVE_HH
+
+#include <atomic>
+#include <csignal>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "format/matrix_cache.hh"
+#include "support/admission.hh"
+#include "support/error.hh"
+#include "support/cancellation.hh"
+#include "support/memory_budget.hh"
+#include "support/obs.hh"
+
+namespace spasm {
+namespace serve {
+
+/** Schema tag on every response line and on the summary record. */
+inline constexpr const char *kServeSchema = "spasm-serve-v1";
+
+struct ServeOptions
+{
+    /** Disk cache directory; empty = in-memory cache only. */
+    std::string cacheDir;
+
+    /** In-memory cache capacity, in entries. */
+    std::size_t cacheCapacity = 8;
+
+    /** Admission slots: max concurrently processed requests. */
+    std::size_t maxInFlight = 4;
+
+    /** Total tracked memory budget (0 = untracked). */
+    std::int64_t budgetBytes = 0;
+
+    /** Bytes reserved per admitted request (0 = slots only). */
+    std::int64_t perRequestBytes = 0;
+
+    /** Default per-request deadline when the request has none
+     *  (0 = no default deadline). */
+    double defaultDeadlineMs = 0.0;
+
+    /** Grace period for in-flight requests at drain before they are
+     *  hard-cancelled; < 0 waits forever. */
+    std::int64_t drainMs = 5000;
+
+    /** Zero wall-clock fields in responses and the summary. */
+    bool deterministic = false;
+
+    /** Reject request lines longer than this (bytes). */
+    std::size_t maxLineBytes = 8u << 20;
+
+    /** Allocation caps for inline matrices and cache reloads. */
+    SerializeLimits limits = SerializeLimits::defaults();
+};
+
+/** Aggregate outcome of a serve session (for the summary record). */
+struct ServeSummary
+{
+    std::uint64_t requests = 0; ///< request lines received
+    std::uint64_t ok = 0;
+    std::uint64_t errors = 0; ///< error responses, sheds included
+    std::uint64_t shed = 0;
+    std::uint64_t admitted = 0;
+    EncodedMatrixCache::Counters cache;
+    obs::HistogramData latencyMs;
+    bool drainForced = false; ///< stragglers were hard-cancelled
+};
+
+class Server
+{
+  public:
+    /**
+     * @param signal_flag Optional `volatile sig_atomic_t` the CLI's
+     *        SIGINT/SIGTERM handler sets; the accept/read loops poll
+     *        it to begin a graceful drain.  Request tokens do NOT
+     *        watch it — in-flight work finishes against its own
+     *        deadline and is only cancelled when the drain grace
+     *        period expires.
+     */
+    explicit Server(ServeOptions options,
+                    const volatile std::sig_atomic_t *signal_flag =
+                        nullptr);
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Startup scan of the disk cache (CRC verify + quarantine). */
+    EncodedMatrixCache::ScanReport scanCache();
+
+    /**
+     * Process one request line synchronously: parse, admit, execute,
+     * and return the response line (compact JSON, no trailing
+     * newline).  Never throws — every failure becomes a typed error
+     * response.  Thread-safe; this is the unit the socket
+     * connections, the tests and the bench client drive directly.
+     */
+    std::string handleLine(const std::string &line);
+
+    /**
+     * Serve line-delimited requests from @p in until EOF or signal,
+     * writing responses to @p out (unordered — requests are
+     * dispatched to the shared thread pool after admission).  Drains
+     * on exit.  Returns the exit code (0 clean, 3 forced-cancel).
+     */
+    int runStdio(std::istream &in, std::ostream &out);
+
+    /**
+     * Serve on a Unix domain socket at @p path (created; an existing
+     * socket file is replaced).  One thread per connection; each
+     * connection gets its responses in request order.  Returns the
+     * exit code like runStdio; 1 when the socket cannot be created.
+     */
+    int runUnixSocket(const std::string &path);
+
+    /** Close admission and wait out / cancel in-flight requests.
+     *  Returns 0 on a clean drain, 3 when stragglers were
+     *  hard-cancelled.  Idempotent. */
+    int drain();
+
+    ServeSummary summary() const;
+
+    /** Write the `spasm-serve-v1` summary record (pretty JSON). */
+    void writeSummaryJson(std::ostream &os) const;
+
+    const ServeOptions &options() const { return options_; }
+
+    /** The cache, exposed for tests and the warm-restart proof. */
+    EncodedMatrixCache &cache() { return cache_; }
+
+  private:
+    struct Request;
+
+    /** Fills @p req from @p line; @p req.id is set as early as
+     *  possible so error responses can echo it.  Throws Error. */
+    void parseInto(const std::string &line, Request &req) const;
+    std::string process(const Request &req);
+    void connectionLoop(int fd, const std::atomic<bool> &stopping);
+    std::string errorResponse(const std::string &id, ErrorCode code,
+                              const std::string &message);
+    void noteLatency(double ms);
+    bool signalled() const
+    {
+        return signalFlag_ != nullptr && *signalFlag_ != 0;
+    }
+
+    ServeOptions options_;
+    const volatile std::sig_atomic_t *signalFlag_;
+    /** Hard-stop parent of every request token; tripped only when
+     *  the drain grace period expires. */
+    CancellationToken hardStop_;
+    std::unique_ptr<MemoryBudget> budget_;
+    AdmissionGate gate_;
+    EncodedMatrixCache cache_;
+
+    mutable std::mutex statsMutex_;
+    std::uint64_t requests_ = 0;
+    std::uint64_t ok_ = 0;
+    std::uint64_t errors_ = 0;
+    obs::HistogramData latencyMs_;
+    bool drainForced_ = false;
+    bool drained_ = false;
+};
+
+} // namespace serve
+} // namespace spasm
+
+#endif // SPASM_CORE_SERVE_HH

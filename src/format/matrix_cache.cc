@@ -1,0 +1,464 @@
+#include "format/matrix_cache.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "sparse/coo.hh"
+#include "support/atomic_file.hh"
+#include "support/cancellation.hh"
+#include "support/error.hh"
+#include "support/json.hh"
+#include "support/json_value.hh"
+#include "support/logging.hh"
+#include "support/obs.hh"
+
+namespace fs = std::filesystem;
+
+namespace spasm {
+
+namespace {
+
+constexpr const char *kMetaSchema = "spasm-cache-meta-v1";
+
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::string
+containerPath(const std::string &dir, const std::string &key)
+{
+    return dir + "/" + key + ".spasm";
+}
+
+std::string
+metaPath(const std::string &dir, const std::string &key)
+{
+    return dir + "/" + key + ".meta.json";
+}
+
+/** Read a whole file; throws Error{Io} when it cannot be opened. */
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw Error::atInput(ErrorCode::Io, path,
+                             "cannot open cache sidecar");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+CacheEntryMeta
+parseMeta(const std::string &path, const std::string &key)
+{
+    const std::string text = slurp(path);
+    std::string err;
+    const JsonValue doc = parseJson(text, &err);
+    if (!err.empty() || !doc.isObject())
+        throw Error::atInput(ErrorCode::Parse, path,
+                             "malformed cache sidecar: %s",
+                             err.empty() ? "not an object"
+                                         : err.c_str());
+    if (doc.stringOr("schema") != kMetaSchema)
+        throw Error::atInput(ErrorCode::BadVersion, path,
+                             "unknown sidecar schema '%s'",
+                             doc.stringOr("schema").c_str());
+    if (doc.stringOr("key") != key)
+        throw Error::atInput(ErrorCode::Invariant, path,
+                             "sidecar key '%s' does not match "
+                             "filename key '%s'",
+                             doc.stringOr("key").c_str(), key.c_str());
+    CacheEntryMeta meta;
+    meta.numPeGroups =
+        static_cast<int>(doc.numberOr("num_pe_groups", 4));
+    meta.numXvecCh = static_cast<int>(doc.numberOr("num_xvec_ch", 1));
+    meta.freqMhz = doc.numberOr("freq_mhz", 252.0);
+    meta.policy = doc.stringOr("policy", "load-balanced");
+    meta.portfolioId =
+        static_cast<int>(doc.numberOr("portfolio_id", 0));
+    meta.estCycles = static_cast<std::uint64_t>(
+        doc.numberOr("est_cycles", 0));
+    meta.estSeconds = doc.numberOr("est_seconds", 0.0);
+    if (meta.policy != "load-balanced" && meta.policy != "round-robin")
+        throw Error::atInput(ErrorCode::Invariant, path,
+                             "unknown schedule policy '%s'",
+                             meta.policy.c_str());
+    if (meta.numPeGroups < 1 || meta.numXvecCh < 1 ||
+        meta.freqMhz <= 0.0)
+        throw Error::atInput(ErrorCode::Invariant, path,
+                             "impossible hw config in sidecar");
+    return meta;
+}
+
+void
+writeMeta(JsonWriter &w, const std::string &key,
+          const CacheEntryMeta &meta)
+{
+    w.beginObject();
+    w.field("schema", kMetaSchema);
+    w.field("key", key);
+    w.field("num_pe_groups", meta.numPeGroups);
+    w.field("num_xvec_ch", meta.numXvecCh);
+    w.field("freq_mhz", meta.freqMhz);
+    w.field("policy", meta.policy);
+    w.field("portfolio_id", meta.portfolioId);
+    w.field("est_cycles", meta.estCycles);
+    w.field("est_seconds", meta.estSeconds);
+    w.endObject();
+    w.finish();
+}
+
+} // namespace
+
+std::uint64_t
+hashMix(std::uint64_t h, std::uint64_t v)
+{
+    return splitmix64(h ^ splitmix64(v));
+}
+
+std::uint64_t
+hashString(std::uint64_t h, const std::string &s)
+{
+    h = hashMix(h, s.size());
+    for (char c : s)
+        h = hashMix(h, static_cast<unsigned char>(c));
+    return h;
+}
+
+std::uint64_t
+hashMatrixContent(const CooMatrix &m)
+{
+    std::uint64_t h = 0x535041534d303031ULL; // "SPASM001"
+    h = hashMix(h, static_cast<std::uint64_t>(m.rows()));
+    h = hashMix(h, static_cast<std::uint64_t>(m.cols()));
+    h = hashMix(h, static_cast<std::uint64_t>(m.nnz()));
+    for (const Triplet &t : m.entries()) {
+        std::uint32_t bits = 0;
+        std::memcpy(&bits, &t.val, sizeof(bits));
+        h = hashMix(h, static_cast<std::uint64_t>(
+                           static_cast<std::uint32_t>(t.row)) << 32 |
+                           static_cast<std::uint32_t>(t.col));
+        h = hashMix(h, bits);
+    }
+    return h;
+}
+
+std::string
+cacheKey(std::uint64_t matrix_hash, std::uint64_t config_hash)
+{
+    return hex16(matrix_hash) + "-" + hex16(config_hash);
+}
+
+EncodedMatrixCache::EncodedMatrixCache(Options options)
+    : options_(std::move(options))
+{
+    if (options_.capacity < 1)
+        options_.capacity = 1;
+    if (!options_.dir.empty()) {
+        std::error_code ec;
+        fs::create_directories(options_.dir, ec);
+        if (ec)
+            throw Error::atInput(ErrorCode::Io, options_.dir,
+                                 "cannot create cache directory: %s",
+                                 ec.message().c_str());
+    }
+}
+
+void
+EncodedMatrixCache::bump(const char *suffix)
+{
+    auto &reg = obs::Registry::global();
+    if (reg.enabled())
+        reg.add(options_.metricPrefix + suffix);
+}
+
+void
+EncodedMatrixCache::quarantineFile(const std::string &path,
+                                   const char *reason,
+                                   ScanReport *report)
+{
+    const std::string target = path + ".quarantined";
+    std::error_code ec;
+    fs::rename(path, target, ec);
+    if (ec) {
+        logWarn("cache", "cannot quarantine %s: %s", path.c_str(),
+                ec.message().c_str());
+        return;
+    }
+    logWarn("cache", "quarantined %s -> %s: %s", path.c_str(),
+            target.c_str(), reason);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.quarantined;
+    }
+    bump(".quarantine");
+    if (report != nullptr) {
+        ++report->quarantined;
+        report->quarantinedFiles.push_back(path);
+    }
+}
+
+EncodedMatrixCache::ScanReport
+EncodedMatrixCache::scanDisk()
+{
+    ScanReport report;
+    if (options_.dir.empty())
+        return report;
+
+    // Snapshot the listing first: quarantine renames files while we
+    // walk, and a mutating directory_iterator is UB on some stdlibs.
+    std::vector<std::string> names;
+    for (const auto &de : fs::directory_iterator(options_.dir)) {
+        if (de.is_regular_file())
+            names.push_back(de.path().filename().string());
+    }
+    std::sort(names.begin(), names.end());
+
+    const auto endsWith = [](const std::string &s,
+                             const std::string &suffix) {
+        return s.size() >= suffix.size() &&
+               s.compare(s.size() - suffix.size(), suffix.size(),
+                         suffix) == 0;
+    };
+
+    for (const std::string &name : names) {
+        const std::string path = options_.dir + "/" + name;
+        if (endsWith(name, ".quarantined"))
+            continue;
+        if (name.find(".tmp.") != std::string::npos) {
+            // A writer died between open and rename; the target was
+            // never touched, but keep the evidence.
+            quarantineFile(path, "orphaned temp file "
+                                 "(writer interrupted)",
+                           &report);
+            continue;
+        }
+        if (endsWith(name, ".meta.json")) {
+            const std::string key =
+                name.substr(0, name.size() - 10);
+            if (!fs::exists(containerPath(options_.dir, key)))
+                quarantineFile(path, "sidecar without container",
+                               &report);
+            continue; // the pair is validated from the .spasm side
+        }
+        if (!endsWith(name, ".spasm"))
+            continue;
+
+        const std::string key = name.substr(0, name.size() - 6);
+        const std::string meta = metaPath(options_.dir, key);
+        if (!fs::exists(meta)) {
+            quarantineFile(path, "container without sidecar "
+                                 "(interrupted write)",
+                           &report);
+            continue;
+        }
+        try {
+            // Full CRC re-verification: readSpasmFile checks every
+            // section checksum against the payload.
+            (void)readSpasmFile(path, options_.limits);
+            (void)parseMeta(meta, key);
+        } catch (const Error &e) {
+            quarantineFile(path, e.what(), &report);
+            quarantineFile(meta, "paired with quarantined container",
+                           nullptr);
+            continue;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            diskKeys_.insert(key);
+        }
+        ++report.usable;
+    }
+    logInform("cache", "scan: %zu usable entries, %zu quarantined",
+              report.usable, report.quarantined);
+    return report;
+}
+
+std::shared_ptr<const EncodedMatrixEntry>
+EncodedMatrixCache::lookupLocked(const std::string &key)
+{
+    auto it = index_.find(key);
+    if (it == index_.end())
+        return nullptr;
+    // Touch: move to the front of the LRU list.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++counters_.hits;
+    return it->second->entry;
+}
+
+void
+EncodedMatrixCache::insertAndEvict(
+    const std::string &key,
+    std::shared_ptr<const EncodedMatrixEntry> e)
+{
+    lru_.push_front(LruSlot{key, std::move(e)});
+    index_[key] = lru_.begin();
+    // Evict from the cold end, skipping pinned entries (use_count
+    // above our own reference means an in-flight request holds it).
+    // When everything is pinned the cache runs over capacity rather
+    // than invalidating live work.
+    auto it = lru_.end();
+    while (lru_.size() > options_.capacity && it != lru_.begin()) {
+        --it;
+        if (it->entry.use_count() > 1)
+            continue;
+        index_.erase(it->key);
+        it = lru_.erase(it);
+        ++counters_.evictions;
+        bump(".evict");
+    }
+    auto &reg = obs::Registry::global();
+    if (reg.enabled())
+        reg.set(options_.metricPrefix + ".entries",
+                static_cast<double>(lru_.size()));
+}
+
+std::shared_ptr<const EncodedMatrixEntry>
+EncodedMatrixCache::loadFromDisk(const std::string &key)
+{
+    auto entry = std::make_shared<EncodedMatrixEntry>();
+    entry->key = key;
+    entry->encoded =
+        readSpasmFile(containerPath(options_.dir, key),
+                      options_.limits);
+    entry->meta = parseMeta(metaPath(options_.dir, key), key);
+    entry->warm = true;
+    return entry;
+}
+
+void
+EncodedMatrixCache::persist(const EncodedMatrixEntry &entry)
+{
+    // Container first, sidecar second: the sidecar is the commit
+    // point, so a kill between the two writes leaves a container the
+    // startup scan recognizes as interrupted and quarantines.
+    writeFileAtomic(containerPath(options_.dir, entry.key),
+                    [&](std::ostream &os) {
+                        writeSpasmFile(entry.encoded, os);
+                    });
+    writeFileAtomic(metaPath(options_.dir, entry.key),
+                    [&](std::ostream &os) {
+                        JsonWriter w(os);
+                        writeMeta(w, entry.key, entry.meta);
+                    });
+}
+
+std::shared_ptr<const EncodedMatrixEntry>
+EncodedMatrixCache::getOrBuild(const std::string &key,
+                               const Builder &build,
+                               const CancellationToken *cancel,
+                               Outcome *outcome)
+{
+    bool tryDisk = false;
+    for (;;) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (auto hit = lookupLocked(key)) {
+            lock.unlock();
+            bump(".hit");
+            if (outcome != nullptr)
+                *outcome = Outcome::Hit;
+            return hit;
+        }
+        if (building_.count(key) == 0) {
+            building_.insert(key);
+            tryDisk = diskKeys_.count(key) != 0;
+            break;
+        }
+        // Another thread is building this key: wait, then re-check.
+        // The wait is bounded so a cancelled waiter notices its token
+        // without depending on the builder's progress.
+        buildCv_.wait_for(lock, std::chrono::milliseconds(50));
+        if (cancel != nullptr)
+            cancel->throwIfCancelled("cache wait");
+    }
+
+    // Builder role from here: must clear building_ on every exit.
+    std::shared_ptr<const EncodedMatrixEntry> result;
+    try {
+        if (tryDisk) {
+            try {
+                result = loadFromDisk(key);
+            } catch (const Error &e) {
+                // Corrupted since the scan: quarantine and fall
+                // through to a transparent re-encode.
+                quarantineFile(containerPath(options_.dir, key),
+                               e.what(), nullptr);
+                quarantineFile(metaPath(options_.dir, key),
+                               "paired with quarantined container",
+                               nullptr);
+                std::lock_guard<std::mutex> lock(mutex_);
+                diskKeys_.erase(key);
+            }
+        }
+        bool persisted = false;
+        if (!result) {
+            EncodedMatrixEntry built = build();
+            built.key = key;
+            built.warm = false;
+            if (!options_.dir.empty()) {
+                persist(built);
+                persisted = true;
+            }
+            result = std::make_shared<EncodedMatrixEntry>(
+                std::move(built));
+        }
+        std::lock_guard<std::mutex> lock(mutex_);
+        building_.erase(key);
+        if (result->warm)
+            ++counters_.warmHits;
+        else
+            ++counters_.misses;
+        if (persisted || result->warm)
+            diskKeys_.insert(key);
+        insertAndEvict(key, result);
+    } catch (...) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            building_.erase(key);
+        }
+        buildCv_.notify_all();
+        throw;
+    }
+    buildCv_.notify_all();
+    bump(result->warm ? ".hit.warm" : ".miss");
+    if (outcome != nullptr)
+        *outcome = result->warm ? Outcome::WarmLoad : Outcome::Built;
+    return result;
+}
+
+EncodedMatrixCache::Counters
+EncodedMatrixCache::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+std::size_t
+EncodedMatrixCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lru_.size();
+}
+
+} // namespace spasm

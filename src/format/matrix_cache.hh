@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Content-addressed cache of SPASM-encoded matrices.
+ *
+ * The paper's Table VIII amortization argument — preprocessing is
+ * worth its cost because an encoded matrix is reused across many
+ * SpMVs — becomes literal in `spasm serve`: the first request for a
+ * matrix pays the six-stage pipeline once, every later request is a
+ * cache hit that goes straight to execution.  The cache key is
+ * content-addressed (a 64-bit hash of the COO triplets crossed with a
+ * hash of the encoding-relevant knobs), so two requests carrying the
+ * same matrix bytes share an entry regardless of how they named it.
+ *
+ * Entries live in a bounded in-memory LRU and, when a cache directory
+ * is configured, as CRC-protected `.spasm` v2 containers on disk
+ * written via `writeFileAtomic`.  Each container has a sidecar
+ * `<key>.meta.json` carrying the schedule decision (hw config, tile,
+ * policy, portfolio id) that the container format itself does not
+ * store.  The sidecar is written *after* the container and is the
+ * commit point: a container without its sidecar is an interrupted
+ * write and is quarantined at the next startup scan.
+ *
+ * Robustness contract:
+ *  - `kill -9` mid-write never poisons the cache: both files are
+ *    temp+rename, and the meta-last ordering makes the pair atomic.
+ *  - `scanDisk()` re-verifies every container's section CRCs at
+ *    startup and *quarantines* (renames, never deletes) anything
+ *    torn, with the typed reason logged — forensics stay possible.
+ *  - `getOrBuild` is single-flight: N concurrent requests for the
+ *    same uncached key run the expensive builder exactly once.
+ *  - The returned shared_ptr is the pin: eviction skips any entry an
+ *    in-flight request still holds, accepting transient overage
+ *    rather than pulling an encoded stream out from under a run.
+ *  - A disk entry that fails its load *after* passing the scan (bit
+ *    rot, concurrent tampering) is quarantined on the spot and the
+ *    builder runs transparently — callers never see the corruption.
+ *
+ * This layer knows nothing about hardware types: the sidecar fields
+ * are plain numbers (`CacheEntryMeta`) and `core/serve` converts them
+ * to an `HwConfig`, keeping format/ below hw/ in the link order.
+ *
+ * Obs metrics (prefix configurable, serve uses "serve.cache"):
+ * `.hit`, `.hit.warm`, `.miss`, `.evict`, `.quarantine` counters and
+ * an `.entries` gauge.
+ */
+
+#ifndef SPASM_FORMAT_MATRIX_CACHE_HH
+#define SPASM_FORMAT_MATRIX_CACHE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "format/serialize.hh"
+#include "format/spasm_matrix.hh"
+
+namespace spasm {
+
+class CancellationToken;
+class CooMatrix;
+
+/** Deterministic 64-bit content hash of a COO matrix (dims, nnz and
+ *  every triplet, value bit patterns included). */
+std::uint64_t hashMatrixContent(const CooMatrix &m);
+
+/** splitmix64-style mixing step, exposed so callers can fold the
+ *  encoding-relevant request knobs into the key's second axis. */
+std::uint64_t hashMix(std::uint64_t h, std::uint64_t v);
+
+/** Fold a string into a hash (length-prefixed, order-sensitive). */
+std::uint64_t hashString(std::uint64_t h, const std::string &s);
+
+/** Render the two key axes as the canonical on-disk key:
+ *  "<matrix-hash-hex16>-<config-hash-hex16>". */
+std::string cacheKey(std::uint64_t matrix_hash,
+                     std::uint64_t config_hash);
+
+/** Schedule decision persisted in the `<key>.meta.json` sidecar —
+ *  everything execute() needs that the container doesn't store. */
+struct CacheEntryMeta
+{
+    int numPeGroups = 4;
+    int numXvecCh = 1;
+    double freqMhz = 252.0;
+    std::string policy = "load-balanced"; ///< or "round-robin"
+    int portfolioId = 0;
+    std::uint64_t estCycles = 0;
+    double estSeconds = 0.0;
+};
+
+/** One cached preprocessing result. */
+struct EncodedMatrixEntry
+{
+    std::string key;
+    SpasmMatrix encoded;
+    CacheEntryMeta meta;
+    /** True when loaded from the disk cache — this process never ran
+     *  preprocessing for it (the warm-restart proof). */
+    bool warm = false;
+};
+
+class EncodedMatrixCache
+{
+  public:
+    struct Options
+    {
+        /** On-disk cache directory; empty = in-memory only. */
+        std::string dir;
+        /** In-memory LRU capacity in entries (clamped >= 1). */
+        std::size_t capacity = 8;
+        /** Allocation caps for untrusted disk reloads. */
+        SerializeLimits limits = SerializeLimits::defaults();
+        /** Obs metric prefix. */
+        std::string metricPrefix = "cache";
+    };
+
+    /** What a startup scan found. */
+    struct ScanReport
+    {
+        std::size_t usable = 0;      ///< CRC-clean entries indexed
+        std::size_t quarantined = 0; ///< torn/corrupt files renamed
+        std::vector<std::string> quarantinedFiles;
+    };
+
+    explicit EncodedMatrixCache(Options options);
+
+    EncodedMatrixCache(const EncodedMatrixCache &) = delete;
+    EncodedMatrixCache &operator=(const EncodedMatrixCache &) = delete;
+
+    /**
+     * Verify every `<key>.spasm` + `<key>.meta.json` pair in the
+     * cache directory: section CRCs, meta JSON shape, key match.
+     * Clean pairs are indexed for warm loading (lazily, on first
+     * request); anything torn — container without sidecar, sidecar
+     * without container, CRC mismatch, unparseable meta — is renamed
+     * to `<file>.quarantined` with the reason logged.  Leftover
+     * `*.tmp.*` files from a killed writer are quarantined too.
+     * No-op (empty report) without a cache dir.
+     */
+    ScanReport scanDisk();
+
+    /** Builds one entry on a miss; runs outside all cache locks. */
+    using Builder = std::function<EncodedMatrixEntry()>;
+
+    /** How getOrBuild satisfied one specific call. */
+    enum class Outcome
+    {
+        Hit,      ///< found in memory (or a waiter joined a build)
+        WarmLoad, ///< loaded from the disk cache, no preprocessing
+        Built,    ///< the builder ran for this call
+    };
+
+    /**
+     * Single-flight lookup: returns the pinned entry for @p key,
+     * loading it from the disk cache (warm hit) or running @p build
+     * (miss; result persisted when a dir is configured).  Concurrent
+     * callers for the same key wait for the in-flight build; @p
+     * cancel (optional) is polled while waiting, and a builder
+     * failure is rethrown to the builder while waiters retry (one of
+     * them becomes the next builder).  The returned shared_ptr pins
+     * the entry against eviction for as long as the caller holds it.
+     */
+    std::shared_ptr<const EncodedMatrixEntry>
+    getOrBuild(const std::string &key, const Builder &build,
+               const CancellationToken *cancel = nullptr,
+               Outcome *outcome = nullptr);
+
+    /** Monotonic counters since construction (scan included). */
+    struct Counters
+    {
+        std::uint64_t hits = 0;     ///< in-memory hits
+        std::uint64_t warmHits = 0; ///< loaded from disk, no rebuild
+        std::uint64_t misses = 0;   ///< builder invocations
+        std::uint64_t evictions = 0;
+        std::uint64_t quarantined = 0;
+    };
+
+    Counters counters() const;
+
+    /** Current in-memory entry count. */
+    std::size_t size() const;
+
+    const Options &options() const { return options_; }
+
+  private:
+    struct LruSlot
+    {
+        std::string key;
+        std::shared_ptr<const EncodedMatrixEntry> entry;
+    };
+
+    std::shared_ptr<const EncodedMatrixEntry>
+    lookupLocked(const std::string &key);
+    void insertAndEvict(const std::string &key,
+                        std::shared_ptr<const EncodedMatrixEntry> e);
+    std::shared_ptr<const EncodedMatrixEntry>
+    loadFromDisk(const std::string &key);
+    void quarantineFile(const std::string &path, const char *reason,
+                        ScanReport *report);
+    void persist(const EncodedMatrixEntry &entry);
+    void bump(const char *suffix);
+
+    Options options_;
+    mutable std::mutex mutex_;
+    std::condition_variable buildCv_;
+    std::list<LruSlot> lru_; ///< front = most recently used
+    std::map<std::string, std::list<LruSlot>::iterator> index_;
+    std::set<std::string> building_;
+    std::set<std::string> diskKeys_; ///< scan-verified, not yet loaded
+    Counters counters_;
+};
+
+} // namespace spasm
+
+#endif // SPASM_FORMAT_MATRIX_CACHE_HH

@@ -47,6 +47,8 @@ parseEntry(const JsonValue &v)
         avail->kind == JsonValue::Kind::Bool && avail->boolean;
     e.totalWallMs = v.numberOr("total_wall_ms", 0.0);
     e.simCyclesPerHostSec = v.numberOr("cycles_per_host_sec", 0.0);
+    e.serveRequestsPerHostSec =
+        v.numberOr("serve_requests_per_host_sec", 0.0);
     const JsonValue *workloads = v.find("workloads");
     if (workloads != nullptr && workloads->isArray()) {
         for (const auto &w : workloads->array)
@@ -111,6 +113,8 @@ writeTrajectory(std::ostream &os, const Trajectory &traj)
         json.field("counters_available", e.countersAvailable);
         json.field("total_wall_ms", e.totalWallMs);
         json.field("cycles_per_host_sec", e.simCyclesPerHostSec);
+        json.field("serve_requests_per_host_sec",
+                   e.serveRequestsPerHostSec);
         json.key("workloads");
         json.beginArray();
         for (const auto &w : e.workloads) {
@@ -181,7 +185,7 @@ renderTrajectoryTrend(std::ostream &os, const Trajectory &traj)
                     std::to_string(traj.entries.size()) +
                     " entries)");
     trend.setHeader({"entry", "git", "thr", "scale", "wall ms",
-                     "Mcyc/s", "d wall"});
+                     "Mcyc/s", "srv req/s", "d wall"});
     double prev_wall = 0.0;
     for (const auto &e : traj.entries) {
         std::string delta = "-";
@@ -195,6 +199,10 @@ renderTrajectoryTrend(std::ostream &os, const Trajectory &traj)
                       std::to_string(e.threads), e.scale,
                       TextTable::fmt(e.totalWallMs, 2),
                       TextTable::fmt(e.simCyclesPerHostSec / 1e6, 2),
+                      e.serveRequestsPerHostSec > 0.0
+                          ? TextTable::fmt(
+                                e.serveRequestsPerHostSec, 1)
+                          : "-",
                       delta});
         prev_wall = e.totalWallMs;
     }

@@ -59,6 +59,11 @@ struct TrajectoryEntry
     bool countersAvailable = false;
     double totalWallMs = 0.0;
     double simCyclesPerHostSec = 0.0; ///< aggregate over workloads
+    /** `spasm serve` closed-loop host throughput (requests per
+     *  second, hit-dominated steady state — the
+     *  serve.requests_per_host_sec point); 0 in entries recorded
+     *  before the serving layer existed. */
+    double serveRequestsPerHostSec = 0.0;
     std::vector<TrajectoryWorkload> workloads;
 };
 

@@ -46,6 +46,14 @@ readMatrixMarket(const std::string &path)
 }
 
 CooMatrix
+readMatrixMarketFromString(const std::string &content,
+                           const std::string &name)
+{
+    std::istringstream in(content);
+    return readMatrixMarket(in, name);
+}
+
+CooMatrix
 readMatrixMarket(std::istream &in, const std::string &name)
 {
     std::string line;

@@ -33,6 +33,15 @@ CooMatrix readMatrixMarket(const std::string &path);
 /** Read MatrixMarket content from a stream (stream name for errors). */
 CooMatrix readMatrixMarket(std::istream &in, const std::string &name);
 
+/**
+ * Read MatrixMarket content held in memory (serve requests carry
+ * inline matrices; no temp file needed).  Diagnostics are identical
+ * to the file path: same typed codes, same 1-based line numbers,
+ * prefixed with @p name instead of a filename.
+ */
+CooMatrix readMatrixMarketFromString(const std::string &content,
+                                     const std::string &name);
+
 /** Write a matrix in MatrixMarket coordinate/real/general form. */
 void writeMatrixMarket(const CooMatrix &m, const std::string &path);
 

@@ -1,0 +1,181 @@
+#include "support/admission.hh"
+
+#include <chrono>
+#include <utility>
+
+#include "support/error.hh"
+#include "support/obs.hh"
+
+namespace spasm {
+
+AdmissionGate::AdmissionGate(Options options)
+    : options_(std::move(options))
+{
+    if (options_.maxInFlight < 1)
+        options_.maxInFlight = 1;
+}
+
+AdmissionGate::Ticket::Ticket(Ticket &&other) noexcept
+    : gate_(other.gate_), reservation_(std::move(other.reservation_))
+{
+    other.gate_ = nullptr;
+}
+
+AdmissionGate::Ticket &
+AdmissionGate::Ticket::operator=(Ticket &&other) noexcept
+{
+    if (this != &other) {
+        if (gate_ != nullptr)
+            gate_->releaseSlot();
+        gate_ = other.gate_;
+        reservation_ = std::move(other.reservation_);
+        other.gate_ = nullptr;
+    }
+    return *this;
+}
+
+AdmissionGate::Ticket::~Ticket()
+{
+    // The reservation member destructs after this body, so the bytes
+    // are returned to the budget before any shed retry can observe a
+    // freed slot but a still-charged budget only transiently.
+    if (gate_ != nullptr)
+        gate_->releaseSlot();
+}
+
+AdmissionGate::Ticket
+AdmissionGate::admit(const std::string &what)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_) {
+            ++shed_;
+            noteShed("closed");
+            throw Error::atInput(ErrorCode::Overloaded, what,
+                                 "admission closed (draining)");
+        }
+        if (inFlight_ >= options_.maxInFlight) {
+            ++shed_;
+            noteShed("slots");
+            throw Error::atInput(
+                ErrorCode::Overloaded, what,
+                "in-flight limit reached (%zu requests)",
+                options_.maxInFlight);
+        }
+        ++inFlight_;
+    }
+
+    // Reserve bytes outside the gate lock: MemoryBudget is atomic and
+    // a throwing charge must not hold mutex_ while unwinding.
+    MemoryReservation reservation;
+    if (options_.perRequestBytes > 0 && options_.budget != nullptr) {
+        try {
+            reservation = MemoryReservation(
+                options_.budget, options_.perRequestBytes,
+                "serve request admission");
+        } catch (const Error &) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                --inFlight_;
+                ++shed_;
+                noteShed("budget");
+            }
+            idleCv_.notify_all();
+            throw Error::atInput(
+                ErrorCode::Overloaded, what,
+                "memory budget exhausted (%lld bytes per request)",
+                static_cast<long long>(options_.perRequestBytes));
+        }
+    }
+
+    std::size_t depth = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++admitted_;
+        depth = inFlight_;
+    }
+    auto &reg = obs::Registry::global();
+    if (reg.enabled()) {
+        reg.add(options_.metricPrefix + ".admitted");
+        reg.set(options_.metricPrefix + ".queue_depth",
+                static_cast<double>(depth));
+    }
+    return Ticket(this, std::move(reservation));
+}
+
+void
+AdmissionGate::close()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+}
+
+bool
+AdmissionGate::closed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+}
+
+std::size_t
+AdmissionGate::inFlight() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inFlight_;
+}
+
+std::uint64_t
+AdmissionGate::shedCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return shed_;
+}
+
+std::uint64_t
+AdmissionGate::admittedCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return admitted_;
+}
+
+bool
+AdmissionGate::waitIdleFor(std::int64_t timeout_ms)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto idle = [this] { return inFlight_ == 0; };
+    if (timeout_ms < 0) {
+        idleCv_.wait(lock, idle);
+        return true;
+    }
+    return idleCv_.wait_for(
+        lock, std::chrono::milliseconds(timeout_ms), idle);
+}
+
+void
+AdmissionGate::releaseSlot()
+{
+    std::size_t depth = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (inFlight_ > 0)
+            --inFlight_;
+        depth = inFlight_;
+    }
+    auto &reg = obs::Registry::global();
+    if (reg.enabled())
+        reg.set(options_.metricPrefix + ".queue_depth",
+                static_cast<double>(depth));
+    idleCv_.notify_all();
+}
+
+void
+AdmissionGate::noteShed(const char *cause)
+{
+    auto &reg = obs::Registry::global();
+    if (reg.enabled()) {
+        reg.add(options_.metricPrefix + ".shed");
+        reg.add(options_.metricPrefix + ".shed." + cause);
+    }
+}
+
+} // namespace spasm

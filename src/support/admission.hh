@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Bounded admission control for long-lived request loops.
+ *
+ * `spasm serve` must shed load instead of queueing unboundedly: a
+ * daemon that accepts every request eventually dies of memory
+ * pressure, and dies holding work it can never finish.  The
+ * `AdmissionGate` makes the bound explicit — at most `maxInFlight`
+ * requests hold tickets at once, and each ticket optionally carries a
+ * `MemoryReservation` against a shared budget, so admission fails
+ * fast on *either* axis (slots or bytes) with a typed
+ * `Error{Overloaded}` the transport layer turns into an error
+ * response.  Shed requests are counted; they are never silently
+ * dropped.
+ *
+ * `close()` flips the gate into drain mode: every subsequent admit
+ * sheds with an "admission closed (draining)" diagnostic while
+ * already-admitted requests run to completion.  `waitIdleFor` is the
+ * drain barrier — the serve loop closes the gate on SIGINT/SIGTERM,
+ * waits for in-flight tickets against a deadline, then hard-cancels
+ * stragglers through their request tokens.
+ *
+ * While the obs registry is enabled the gate publishes
+ * `<prefix>.shed` (counter), `<prefix>.admitted` (counter) and
+ * `<prefix>.queue_depth` (gauge, current in-flight count) so the
+ * overload behavior is assertable from stats JSON.
+ */
+
+#ifndef SPASM_SUPPORT_ADMISSION_HH
+#define SPASM_SUPPORT_ADMISSION_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "support/memory_budget.hh"
+
+namespace spasm {
+
+class AdmissionGate
+{
+  public:
+    struct Options
+    {
+        /** Maximum concurrently admitted requests (clamped >= 1). */
+        std::size_t maxInFlight = 8;
+        /** Bytes reserved per admitted request; 0 skips the budget
+         *  axis entirely. */
+        std::int64_t perRequestBytes = 0;
+        /** Budget the per-request bytes are reserved against; null
+         *  with perRequestBytes > 0 is treated as no budget. */
+        MemoryBudget *budget = nullptr;
+        /** Obs metric prefix ("serve" -> serve.shed, ...). */
+        std::string metricPrefix = "admission";
+    };
+
+    explicit AdmissionGate(Options options);
+
+    AdmissionGate(const AdmissionGate &) = delete;
+    AdmissionGate &operator=(const AdmissionGate &) = delete;
+
+    /** RAII admission slot: releases the slot (and any memory
+     *  reservation) on destruction and wakes drain waiters. */
+    class Ticket
+    {
+      public:
+        Ticket() = default;
+        Ticket(Ticket &&other) noexcept;
+        Ticket &operator=(Ticket &&other) noexcept;
+        Ticket(const Ticket &) = delete;
+        Ticket &operator=(const Ticket &) = delete;
+        ~Ticket();
+
+        bool valid() const { return gate_ != nullptr; }
+
+      private:
+        friend class AdmissionGate;
+        Ticket(AdmissionGate *gate, MemoryReservation reservation)
+            : gate_(gate), reservation_(std::move(reservation))
+        {
+        }
+
+        AdmissionGate *gate_ = nullptr;
+        MemoryReservation reservation_;
+    };
+
+    /**
+     * Try to admit @p what (named in diagnostics).  Returns a live
+     * Ticket, or throws `Error{Overloaded}` when the gate is closed,
+     * all slots are taken, or the memory reservation fails.  Never
+     * blocks — shedding is immediate by design.
+     */
+    Ticket admit(const std::string &what);
+
+    /** Stop admitting; in-flight tickets are unaffected. */
+    void close();
+
+    bool closed() const;
+
+    /** Currently admitted (ticket-holding) requests. */
+    std::size_t inFlight() const;
+
+    /** Requests shed since construction (all causes). */
+    std::uint64_t shedCount() const;
+
+    /** Requests admitted since construction. */
+    std::uint64_t admittedCount() const;
+
+    /**
+     * Block until no tickets are outstanding or @p timeout_ms
+     * elapses; returns true when idle.  timeout_ms < 0 waits
+     * indefinitely.
+     */
+    bool waitIdleFor(std::int64_t timeout_ms);
+
+  private:
+    void releaseSlot();
+    void noteShed(const char *cause);
+
+    Options options_;
+    mutable std::mutex mutex_;
+    std::condition_variable idleCv_;
+    std::size_t inFlight_ = 0;
+    bool closed_ = false;
+    std::uint64_t shed_ = 0;
+    std::uint64_t admitted_ = 0;
+};
+
+} // namespace spasm
+
+#endif // SPASM_SUPPORT_ADMISSION_HH

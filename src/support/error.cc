@@ -59,6 +59,8 @@ errorCodeName(ErrorCode code)
         return "cancelled";
       case ErrorCode::BudgetExceeded:
         return "budget-exceeded";
+      case ErrorCode::Overloaded:
+        return "overloaded";
     }
     return "?";
 }

@@ -39,6 +39,7 @@ enum class ErrorCode
     Timeout,          ///< a deadline expired (support/cancellation)
     Cancelled,        ///< work cancelled cooperatively
     BudgetExceeded,   ///< tracked memory budget would be exceeded
+    Overloaded,       ///< admission gate full; request shed (serve)
 };
 
 /** Stable lower-kebab name for an ErrorCode (JSON reports, tests). */

@@ -31,6 +31,9 @@ struct ThreadPool::Loop
     std::size_t errorIndex = std::numeric_limits<std::size_t>::max();
     /** Enqueue stamp for queue-wait accounting; 0 = uninstrumented. */
     std::uint64_t enqueueNs = 0;
+    /** Set for post(): the Loop owns its closure (n == 1, body points
+     *  here) so the detached task outlives the caller's frame. */
+    std::function<void(std::size_t)> ownedBody;
 };
 
 ThreadPool::ThreadPool(unsigned concurrency)
@@ -212,6 +215,35 @@ ThreadPool::parallelFor(std::size_t n,
     }
     if (loop->error)
         std::rethrow_exception(loop->error);
+}
+
+void
+ThreadPool::post(std::function<void()> task)
+{
+    if (workers_.empty()) {
+        // Serial pool: documented inline fallback.  Same "must not
+        // throw" contract as the queued path — swallow here too so
+        // concurrency does not change observable behavior.
+        try {
+            task();
+        } catch (...) {
+        }
+        return;
+    }
+    auto loop = std::make_shared<Loop>();
+    loop->n = 1;
+    loop->ownedBody = [t = std::move(task)](std::size_t) { t(); };
+    loop->body = &loop->ownedBody;
+    if (obs::enabled()) {
+        loop->enqueueNs = monoNowNs();
+        loops_.fetch_add(1, std::memory_order_relaxed);
+        obs::Registry::global().add("threadpool.loops");
+    }
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        queue_.push_back(std::move(loop));
+    }
+    queueCv_.notify_one();
 }
 
 ThreadPool::HealthSnapshot

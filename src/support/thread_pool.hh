@@ -96,6 +96,19 @@ class ThreadPool
                      const CancellationToken *cancel);
 
     /**
+     * Queue a detached task on a worker thread and return
+     * immediately.  Unlike parallelFor the caller does not
+     * participate and does not wait; the task owns its closure.
+     * Tasks must not throw — an escaped exception is swallowed (the
+     * fork-join Loop machinery captures it but nobody joins to
+     * rethrow), so wrap fallible work in its own try/catch.  With a
+     * concurrency-1 pool (no workers) the task runs inline on the
+     * calling thread before post() returns, which keeps a serial
+     * pool exactly equivalent to direct calls.
+     */
+    void post(std::function<void()> task);
+
+    /**
      * Wall-clock health counters, accumulated while the obs registry
      * is enabled (all zero otherwise).  Queue wait is the time a
      * help request sat queued before a worker picked it up; busy

@@ -1,0 +1,372 @@
+/**
+ * @file
+ * Tests for the content-addressed encoded-matrix cache
+ * (format/matrix_cache.hh): hashing, the single-flight guarantee
+ * (concurrent requests for one key run the builder exactly once),
+ * LRU eviction that never evicts pinned entries, disk persistence
+ * with the meta-last commit point, startup-scan quarantine of every
+ * torn-write state, and transparent re-encode after post-scan
+ * corruption.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/framework.hh"
+#include "format/matrix_cache.hh"
+#include "sparse/coo.hh"
+#include "support/error.hh"
+#include "workloads/suite.hh"
+
+namespace fs = std::filesystem;
+
+namespace spasm {
+namespace {
+
+CooMatrix
+smallMatrix(float seed_val = 1.0f)
+{
+    std::vector<Triplet> t;
+    for (Index i = 0; i < 16; ++i)
+        t.push_back({i, i, seed_val + static_cast<float>(i)});
+    t.push_back({0, 15, 0.25f});
+    t.push_back({15, 0, -0.25f});
+    return CooMatrix::fromTriplets(16, 16, t);
+}
+
+EncodedMatrixEntry
+makeEntry(const CooMatrix &m)
+{
+    const SpasmFramework fw;
+    PreprocessResult pre = fw.preprocess(m);
+    EncodedMatrixEntry e;
+    e.meta.numPeGroups = pre.schedule.config.numPeGroups;
+    e.meta.numXvecCh = pre.schedule.config.numXvecCh;
+    e.meta.freqMhz = pre.schedule.config.freqMhz;
+    e.meta.policy = pre.policy == SchedulePolicy::RoundRobin
+                        ? "round-robin"
+                        : "load-balanced";
+    e.meta.portfolioId = pre.portfolioId;
+    e.meta.estCycles = pre.schedule.estCycles;
+    e.meta.estSeconds = pre.schedule.estSeconds;
+    e.encoded = std::move(pre.encoded);
+    return e;
+}
+
+std::string
+freshDir(const std::string &name)
+{
+    const std::string dir = "/tmp/spasm_test_cache_" + name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+// ----------------------------------------------------------------- //
+// Content addressing
+// ----------------------------------------------------------------- //
+
+TEST(MatrixCacheHash, ContentAddressed)
+{
+    const CooMatrix a = smallMatrix();
+    const CooMatrix b = smallMatrix();
+    EXPECT_EQ(hashMatrixContent(a), hashMatrixContent(b));
+
+    // One changed value bit changes the hash.
+    const CooMatrix c = smallMatrix(1.0000001f);
+    EXPECT_NE(hashMatrixContent(a), hashMatrixContent(c));
+
+    // Key format: <hex16>-<hex16>.
+    const std::string key = cacheKey(hashMatrixContent(a), 7);
+    ASSERT_EQ(key.size(), 33u);
+    EXPECT_EQ(key[16], '-');
+
+    // String folding is order- and length-sensitive.
+    EXPECT_NE(hashString(0, "ab"), hashString(0, "ba"));
+    EXPECT_NE(hashString(0, "a"), hashString(0, "ab"));
+    EXPECT_NE(hashMix(0, 1), hashMix(1, 0));
+}
+
+// ----------------------------------------------------------------- //
+// Single flight
+// ----------------------------------------------------------------- //
+
+TEST(MatrixCache, ConcurrentRequestsBuildExactlyOnce)
+{
+    EncodedMatrixCache cache({"", 4, SerializeLimits::defaults(),
+                              "test.cache"});
+    const CooMatrix m = smallMatrix();
+    std::atomic<int> builds{0};
+
+    const int threads = 8;
+    std::vector<std::shared_ptr<const EncodedMatrixEntry>> results(
+        threads);
+    std::atomic<int> ready{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> pool;
+    for (int i = 0; i < threads; ++i) {
+        pool.emplace_back([&, i] {
+            ready.fetch_add(1);
+            while (!go.load())
+                std::this_thread::yield();
+            results[i] = cache.getOrBuild("the-key", [&] {
+                builds.fetch_add(1);
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(30));
+                return makeEntry(m);
+            });
+        });
+    }
+    while (ready.load() < threads)
+        std::this_thread::yield();
+    go.store(true);
+    for (auto &t : pool)
+        t.join();
+
+    // The expensive builder ran exactly once; everyone shares it.
+    EXPECT_EQ(builds.load(), 1);
+    for (int i = 0; i < threads; ++i) {
+        ASSERT_TRUE(results[i] != nullptr);
+        EXPECT_EQ(results[i], results[0]);
+    }
+    const auto counters = cache.counters();
+    EXPECT_EQ(counters.misses, 1u);
+    EXPECT_EQ(counters.hits, static_cast<std::uint64_t>(threads - 1));
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(MatrixCache, BuilderFailureDoesNotWedgeTheKey)
+{
+    EncodedMatrixCache cache({"", 4, SerializeLimits::defaults(),
+                              "test.cache"});
+    EXPECT_THROW(
+        cache.getOrBuild("k",
+                         []() -> EncodedMatrixEntry {
+                             throw Error::atInput(
+                                 ErrorCode::Invariant, "test",
+                                 "builder blew up");
+                         }),
+        Error);
+    // The key is buildable again — the failure cleared the
+    // in-flight marker.
+    const CooMatrix m = smallMatrix();
+    const auto entry = cache.getOrBuild("k", [&] {
+        return makeEntry(m);
+    });
+    ASSERT_TRUE(entry != nullptr);
+    EXPECT_EQ(entry->key, "k");
+}
+
+// ----------------------------------------------------------------- //
+// LRU pinning
+// ----------------------------------------------------------------- //
+
+TEST(MatrixCache, PinnedEntriesAreNeverEvicted)
+{
+    EncodedMatrixCache cache({"", 1, SerializeLimits::defaults(),
+                              "test.cache"});
+    const CooMatrix m = smallMatrix();
+
+    auto a = cache.getOrBuild("a", [&] { return makeEntry(m); });
+    auto b = cache.getOrBuild("b", [&] { return makeEntry(m); });
+    // Capacity 1, but both entries are pinned by the shared_ptrs we
+    // hold: the cache runs over capacity instead of invalidating
+    // live work.
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.counters().evictions, 0u);
+    EXPECT_EQ(a->key, "a");
+    EXPECT_EQ(b->key, "b");
+
+    // A pinned entry is still a hit, not a rebuild.
+    std::atomic<int> rebuilds{0};
+    auto a2 = cache.getOrBuild("a", [&] {
+        rebuilds.fetch_add(1);
+        return makeEntry(m);
+    });
+    EXPECT_EQ(rebuilds.load(), 0);
+    EXPECT_EQ(a2, a);
+
+    // Unpin and insert a third key: now the cold entries go.
+    a.reset();
+    a2.reset();
+    b.reset();
+    auto c = cache.getOrBuild("c", [&] { return makeEntry(m); });
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.counters().evictions, 2u);
+    EXPECT_EQ(c->key, "c");
+}
+
+// ----------------------------------------------------------------- //
+// Disk persistence, scan, quarantine
+// ----------------------------------------------------------------- //
+
+TEST(MatrixCache, WarmLoadSkipsTheBuilder)
+{
+    const std::string dir = freshDir("warm");
+    const CooMatrix m = smallMatrix();
+    CacheEntryMeta written_meta;
+    {
+        EncodedMatrixCache cache({dir, 4,
+                                  SerializeLimits::defaults(),
+                                  "test.cache"});
+        EncodedMatrixCache::Outcome outcome;
+        const auto e = cache.getOrBuild(
+            "w", [&] { return makeEntry(m); }, nullptr, &outcome);
+        EXPECT_EQ(outcome, EncodedMatrixCache::Outcome::Built);
+        EXPECT_FALSE(e->warm);
+        written_meta = e->meta;
+    }
+
+    EncodedMatrixCache cache({dir, 4, SerializeLimits::defaults(),
+                              "test.cache"});
+    const auto scan = cache.scanDisk();
+    EXPECT_EQ(scan.usable, 1u);
+    EXPECT_EQ(scan.quarantined, 0u);
+
+    EncodedMatrixCache::Outcome outcome;
+    const auto e = cache.getOrBuild(
+        "w",
+        []() -> EncodedMatrixEntry {
+            ADD_FAILURE() << "builder ran on the warm path";
+            return {};
+        },
+        nullptr, &outcome);
+    EXPECT_EQ(outcome, EncodedMatrixCache::Outcome::WarmLoad);
+    EXPECT_TRUE(e->warm);
+    EXPECT_EQ(e->meta.numPeGroups, written_meta.numPeGroups);
+    EXPECT_EQ(e->meta.policy, written_meta.policy);
+    EXPECT_EQ(e->meta.estCycles, written_meta.estCycles);
+    EXPECT_EQ(e->encoded.nnz(), m.nnz());
+    EXPECT_EQ(cache.counters().warmHits, 1u);
+    fs::remove_all(dir);
+}
+
+TEST(MatrixCache, ScanQuarantinesEveryTornWriteState)
+{
+    const std::string dir = freshDir("torn");
+    // 1. A writer killed before rename leaves a temp file.
+    { std::ofstream(dir + "/k1.spasm.tmp.1234") << "partial"; }
+    // 2. Killed between container and sidecar: no commit point.
+    { std::ofstream(dir + "/k2.spasm") << "SPSMjunk"; }
+    // 3. Sidecar without container (manual tampering).
+    { std::ofstream(dir + "/k3.meta.json") << "{}"; }
+
+    EncodedMatrixCache cache({dir, 4, SerializeLimits::defaults(),
+                              "test.cache"});
+    const auto scan = cache.scanDisk();
+    EXPECT_EQ(scan.usable, 0u);
+    EXPECT_EQ(scan.quarantined, 3u);
+    ASSERT_EQ(scan.quarantinedFiles.size(), 3u);
+
+    // Quarantine renames — the evidence files all still exist.
+    std::size_t quarantined_on_disk = 0;
+    for (const auto &f : fs::directory_iterator(dir)) {
+        EXPECT_NE(f.path().string().find(".quarantined"),
+                  std::string::npos)
+            << "unquarantined leftover: " << f.path();
+        ++quarantined_on_disk;
+    }
+    EXPECT_EQ(quarantined_on_disk, 3u);
+
+    // A quarantined dir serves builds normally.
+    const CooMatrix m = smallMatrix();
+    const auto e =
+        cache.getOrBuild("k2", [&] { return makeEntry(m); });
+    ASSERT_TRUE(e != nullptr);
+    EXPECT_FALSE(e->warm);
+    fs::remove_all(dir);
+}
+
+TEST(MatrixCache, CorruptSidecarSchemaIsQuarantined)
+{
+    const std::string dir = freshDir("badmeta");
+    const CooMatrix m = smallMatrix();
+    {
+        EncodedMatrixCache cache({dir, 4,
+                                  SerializeLimits::defaults(),
+                                  "test.cache"});
+        (void)cache.getOrBuild("w", [&] { return makeEntry(m); });
+    }
+    {
+        std::ofstream out(dir + "/w.meta.json");
+        out << "{\"schema\":\"spasm-cache-meta-v999\",\"key\":\"w\"}";
+    }
+    EncodedMatrixCache cache({dir, 4, SerializeLimits::defaults(),
+                              "test.cache"});
+    const auto scan = cache.scanDisk();
+    EXPECT_EQ(scan.usable, 0u);
+    EXPECT_GE(scan.quarantined, 1u);
+    fs::remove_all(dir);
+}
+
+TEST(MatrixCache, PostScanCorruptionIsQuarantinedAndRebuilt)
+{
+    const std::string dir = freshDir("bitrot");
+    const CooMatrix m = smallMatrix();
+    {
+        EncodedMatrixCache cache({dir, 4,
+                                  SerializeLimits::defaults(),
+                                  "test.cache"});
+        (void)cache.getOrBuild("w", [&] { return makeEntry(m); });
+    }
+
+    EncodedMatrixCache cache({dir, 4, SerializeLimits::defaults(),
+                              "test.cache"});
+    EXPECT_EQ(cache.scanDisk().usable, 1u);
+
+    // Bit rot AFTER the scan passed: flip payload bytes.
+    {
+        std::fstream f(dir + "/w.spasm",
+                       std::ios::in | std::ios::out |
+                           std::ios::binary);
+        f.seekp(32);
+        f.write("\xde\xad\xbe\xef", 4);
+    }
+
+    std::atomic<int> rebuilds{0};
+    EncodedMatrixCache::Outcome outcome;
+    const auto e = cache.getOrBuild(
+        "w",
+        [&] {
+            rebuilds.fetch_add(1);
+            return makeEntry(m);
+        },
+        nullptr, &outcome);
+    // The caller never sees the corruption: transparent re-encode.
+    ASSERT_TRUE(e != nullptr);
+    EXPECT_EQ(rebuilds.load(), 1);
+    EXPECT_EQ(outcome, EncodedMatrixCache::Outcome::Built);
+    EXPECT_GE(cache.counters().quarantined, 1u);
+
+    // The torn files were renamed, and the rebuild re-persisted a
+    // clean pair: a third process warm-loads again.
+    bool has_quarantined = false;
+    for (const auto &f : fs::directory_iterator(dir))
+        has_quarantined |= f.path().string().find(".quarantined") !=
+            std::string::npos;
+    EXPECT_TRUE(has_quarantined);
+
+    EncodedMatrixCache fresh({dir, 4, SerializeLimits::defaults(),
+                              "test.cache"});
+    EXPECT_EQ(fresh.scanDisk().usable, 1u);
+    EncodedMatrixCache::Outcome fresh_outcome;
+    const auto warm = fresh.getOrBuild(
+        "w",
+        []() -> EncodedMatrixEntry {
+            ADD_FAILURE() << "builder ran after re-persist";
+            return {};
+        },
+        nullptr, &fresh_outcome);
+    EXPECT_EQ(fresh_outcome, EncodedMatrixCache::Outcome::WarmLoad);
+    fs::remove_all(dir);
+}
+
+} // namespace
+} // namespace spasm

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <regex>
 #include <sstream>
 
@@ -261,6 +263,76 @@ TEST(MatrixMarket, PatternWriteRoundTripMaterializesValues)
     const CooMatrix back = readMatrixMarket(back_in, "back");
     ASSERT_EQ(back.nnz(), m.nnz());
     EXPECT_FLOAT_EQ(back.entries()[0].val, 1.0f);
+}
+
+// The in-memory entry point (`spasm serve` inline matrices) must be
+// byte-for-byte equivalent to the file reader: same matrices, same
+// typed line-numbered diagnostics.
+TEST(MatrixMarket, FileAndStringEntryPointsAgree)
+{
+    const CooMatrix m = genUniformRandom(60, 45, 300, 23);
+    const std::string path =
+        "/tmp/spasm_test_mm_string_equiv.mtx";
+    writeMatrixMarket(m, path);
+
+    std::ifstream file_in(path);
+    std::stringstream content;
+    content << file_in.rdbuf();
+
+    const CooMatrix from_file = readMatrixMarket(path);
+    const CooMatrix from_string =
+        readMatrixMarketFromString(content.str(), path);
+
+    EXPECT_EQ(from_string.rows(), from_file.rows());
+    EXPECT_EQ(from_string.cols(), from_file.cols());
+    ASSERT_EQ(from_string.nnz(), from_file.nnz());
+    for (Count i = 0; i < from_file.nnz(); ++i) {
+        EXPECT_EQ(from_string.entries()[i].row,
+                  from_file.entries()[i].row);
+        EXPECT_EQ(from_string.entries()[i].col,
+                  from_file.entries()[i].col);
+        EXPECT_EQ(from_string.entries()[i].val,
+                  from_file.entries()[i].val);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(MatrixMarketError, StringEntryPointThrowsIdenticalErrors)
+{
+    // Malformed at line 4: the string reader must produce the SAME
+    // typed, line-numbered diagnostic the file reader does when
+    // given the same input name.
+    const std::string bad =
+        "%%MatrixMarket matrix coordinate real general\n"
+        "3 3 2\n"
+        "1 1 1.0\n"
+        "9 9 2.0\n";
+    const std::string path = "/tmp/spasm_test_mm_bad_equiv.mtx";
+    {
+        std::ofstream out(path);
+        out << bad;
+    }
+
+    std::string file_what;
+    ErrorCode file_code = ErrorCode::Io;
+    try {
+        (void)readMatrixMarket(path);
+        FAIL() << "file reader accepted malformed input";
+    } catch (const Error &e) {
+        file_what = e.what();
+        file_code = e.code();
+    }
+    try {
+        (void)readMatrixMarketFromString(bad, path);
+        FAIL() << "string reader accepted malformed input";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), file_code);
+        EXPECT_EQ(std::string(e.what()), file_what);
+        // The diagnostic carries the offending line number.
+        EXPECT_NE(std::string(e.what()).find("4"),
+                  std::string::npos);
+    }
+    std::remove(path.c_str());
 }
 
 } // namespace

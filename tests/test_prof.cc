@@ -418,6 +418,7 @@ TEST(SchemaConformance, TrajectoryJsonMatchesDocumentedFieldList)
     entry.countersAvailable = false;
     entry.totalWallMs = 12.5;
     entry.simCyclesPerHostSec = 1e8;
+    entry.serveRequestsPerHostSec = 42.0;
     TrajectoryWorkload w;
     w.name = "cfd2";
     w.config = "SPASM_4_1";

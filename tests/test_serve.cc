@@ -1,0 +1,798 @@
+/**
+ * @file
+ * Tests for the serving layer: the admission gate
+ * (support/admission.hh), the `spasm serve` request/response protocol
+ * (core/serve.hh), the fuzz gate over the request parser, the
+ * cache-hit proof (stage counters stay flat), the crash-safe warm
+ * restart, overload shedding and the drain discipline.  The response,
+ * error and summary schemas are machine-checked against the
+ * ```schema-fields blocks of docs/serving.md, and the documented
+ * request schema is checked against the parser both ways (the
+ * kitchen-sink request covering exactly the documented fields must
+ * parse; an undocumented field must be rejected).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/serve.hh"
+#include "format/matrix_cache.hh"
+#include "sparse/coo.hh"
+#include "sparse/matrix_market.hh"
+#include "support/admission.hh"
+#include "support/error.hh"
+#include "support/json.hh"
+#include "support/json_value.hh"
+#include "support/memory_budget.hh"
+#include "support/obs.hh"
+#include "workloads/suite.hh"
+
+namespace spasm {
+namespace {
+
+// ----------------------------------------------------------------- //
+// Helpers
+// ----------------------------------------------------------------- //
+
+/** A small but non-trivial MatrixMarket body. */
+std::string
+mtxText()
+{
+    return "%%MatrixMarket matrix coordinate real general\n"
+           "4 4 6\n"
+           "1 1 1.0\n"
+           "2 2 2.0\n"
+           "3 3 3.0\n"
+           "4 4 4.0\n"
+           "1 4 0.5\n"
+           "4 1 -0.5\n";
+}
+
+/** Compact request line with an inline matrix and optional extras. */
+std::string
+requestLine(const std::string &id, const std::string &extras = "")
+{
+    std::ostringstream os;
+    JsonWriter w(os, -1);
+    w.beginObject();
+    w.field("id", id);
+    w.key("matrix");
+    w.beginObject();
+    w.field("mtx", mtxText());
+    w.endObject();
+    w.endObject();
+    std::string line = os.str();
+    if (!extras.empty())
+        line = line.substr(0, line.size() - 1) + "," + extras + "}";
+    return line;
+}
+
+JsonValue
+parsed(const std::string &line)
+{
+    std::string err;
+    const JsonValue v = parseJson(line, &err);
+    EXPECT_TRUE(err.empty()) << err << " in: " << line;
+    return v;
+}
+
+/** Temp directory fixture: fresh per call, removed by the caller. */
+std::string
+freshDir(const std::string &name)
+{
+    const std::string dir = "/tmp/spasm_test_serve_" + name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+/** All ```schema-fields blocks of docs/serving.md, document order:
+ *  0 = request, 1 = ok response, 2 = error response, 3 = summary. */
+std::vector<std::set<std::string>>
+servingDocBlocks()
+{
+    const std::string doc_path =
+        std::string(SPASM_SOURCE_DIR) + "/docs/serving.md";
+    std::ifstream doc(doc_path);
+    EXPECT_TRUE(doc.good()) << doc_path;
+    std::vector<std::set<std::string>> blocks;
+    std::string line;
+    bool in_block = false;
+    while (std::getline(doc, line)) {
+        if (line == "```schema-fields") {
+            in_block = true;
+            blocks.emplace_back();
+            continue;
+        }
+        if (in_block && line == "```") {
+            in_block = false;
+            continue;
+        }
+        if (in_block && !line.empty())
+            blocks.back().insert(line);
+    }
+    return blocks;
+}
+
+std::string
+generalizePath(const std::string &path)
+{
+    std::string out;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+        if (path[i] == '[') {
+            out += "[]";
+            while (i < path.size() && path[i] != ']')
+                ++i;
+        } else {
+            out += path[i];
+        }
+    }
+    return out;
+}
+
+void
+collectPaths(const JsonValue &v, const std::string &prefix,
+             std::set<std::string> &out)
+{
+    switch (v.kind) {
+      case JsonValue::Kind::Object:
+        for (const auto &kv : v.object)
+            collectPaths(kv.second,
+                         prefix.empty() ? kv.first
+                                        : prefix + "." + kv.first,
+                         out);
+        break;
+      case JsonValue::Kind::Array:
+        for (const auto &e : v.array)
+            collectPaths(e, prefix + "[]", out);
+        break;
+      default:
+        out.insert(prefix);
+        break;
+    }
+}
+
+std::set<std::string>
+emittedPaths(const std::string &json)
+{
+    std::set<std::string> raw;
+    collectPaths(parsed(json), "", raw);
+    std::set<std::string> out;
+    for (const auto &p : raw)
+        out.insert(generalizePath(p));
+    return out;
+}
+
+void
+expectBidirectional(const std::set<std::string> &documented,
+                    const std::set<std::string> &emitted)
+{
+    for (const auto &p : emitted)
+        EXPECT_TRUE(documented.count(p) != 0)
+            << "emitted but undocumented field: " << p;
+    for (const auto &p : documented)
+        EXPECT_TRUE(emitted.count(p) != 0)
+            << "documented but not emitted: " << p;
+}
+
+// ----------------------------------------------------------------- //
+// AdmissionGate
+// ----------------------------------------------------------------- //
+
+TEST(Admission, SlotsExhaustedShedsTyped)
+{
+    AdmissionGate gate({2, 0, nullptr, "test.adm"});
+    AdmissionGate::Ticket a = gate.admit("a");
+    AdmissionGate::Ticket b = gate.admit("b");
+    EXPECT_EQ(gate.inFlight(), 2u);
+    try {
+        gate.admit("c");
+        FAIL() << "expected Error{Overloaded}";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Overloaded);
+        EXPECT_NE(std::string(e.what()).find("c"),
+                  std::string::npos);
+    }
+    EXPECT_EQ(gate.shedCount(), 1u);
+    EXPECT_EQ(gate.admittedCount(), 2u);
+
+    { AdmissionGate::Ticket moved = std::move(a); }
+    // The released slot is admittable again.
+    AdmissionGate::Ticket c = gate.admit("c");
+    EXPECT_TRUE(c.valid());
+    EXPECT_EQ(gate.inFlight(), 2u);
+}
+
+TEST(Admission, ClosedGateShedsEverything)
+{
+    AdmissionGate gate({8, 0, nullptr, "test.adm"});
+    gate.close();
+    EXPECT_TRUE(gate.closed());
+    try {
+        gate.admit("late");
+        FAIL() << "expected Error{Overloaded}";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Overloaded);
+    }
+    EXPECT_EQ(gate.shedCount(), 1u);
+}
+
+TEST(Admission, BudgetAxisSheds)
+{
+    MemoryBudget budget(1024);
+    AdmissionGate gate({8, 4096, &budget, "test.adm"});
+    try {
+        gate.admit("fat");
+        FAIL() << "expected Error{Overloaded}";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Overloaded);
+    }
+    // The failed admission must not leak the slot.
+    EXPECT_EQ(gate.inFlight(), 0u);
+    EXPECT_TRUE(gate.waitIdleFor(0));
+}
+
+TEST(Admission, WaitIdleForBlocksOnOutstandingTicket)
+{
+    AdmissionGate gate({2, 0, nullptr, "test.adm"});
+    auto ticket = std::make_shared<AdmissionGate::Ticket>(
+        gate.admit("held"));
+    EXPECT_FALSE(gate.waitIdleFor(20));
+    std::thread releaser([ticket = std::move(ticket)]() mutable {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        ticket.reset();
+    });
+    EXPECT_TRUE(gate.waitIdleFor(-1));
+    releaser.join();
+}
+
+// ----------------------------------------------------------------- //
+// Protocol and schema conformance
+// ----------------------------------------------------------------- //
+
+TEST(Serve, OkResponseMatchesDocumentedFieldList)
+{
+    const auto blocks = servingDocBlocks();
+    ASSERT_GE(blocks.size(), 4u);
+    serve::ServeOptions opts;
+    opts.deterministic = true;
+    serve::Server server(opts);
+    const std::string resp = server.handleLine(
+        requestLine("r1", "\"return_y\":true"));
+    const JsonValue doc = parsed(resp);
+    EXPECT_EQ(doc.stringOr("schema"), serve::kServeSchema);
+    EXPECT_TRUE(doc.find("ok") != nullptr);
+    expectBidirectional(blocks[1], emittedPaths(resp));
+}
+
+TEST(Serve, ErrorResponseMatchesDocumentedFieldList)
+{
+    const auto blocks = servingDocBlocks();
+    ASSERT_GE(blocks.size(), 4u);
+    serve::ServeOptions opts;
+    serve::Server server(opts);
+    const std::string resp = server.handleLine("{\"nope\":1}");
+    const JsonValue doc = parsed(resp);
+    EXPECT_EQ(doc.stringOr("schema"), serve::kServeSchema);
+    expectBidirectional(blocks[2], emittedPaths(resp));
+}
+
+TEST(Serve, SummaryMatchesDocumentedFieldList)
+{
+    const auto blocks = servingDocBlocks();
+    ASSERT_GE(blocks.size(), 4u);
+    serve::ServeOptions opts;
+    opts.deterministic = true;
+    serve::Server server(opts);
+    server.handleLine(requestLine("a"));
+    server.handleLine("garbage");
+    EXPECT_EQ(server.drain(), 0);
+    std::ostringstream os;
+    server.writeSummaryJson(os);
+    const JsonValue doc = parsed(os.str());
+    EXPECT_EQ(doc.stringOr("schema"), serve::kServeSchema);
+    EXPECT_EQ(doc.numberOr("requests", 0.0), 2.0);
+    EXPECT_EQ(doc.numberOr("ok", 0.0), 1.0);
+    EXPECT_EQ(doc.numberOr("errors", 0.0), 1.0);
+    expectBidirectional(blocks[3], emittedPaths(os.str()));
+}
+
+TEST(Serve, DocumentedRequestSchemaMatchesParserBothWays)
+{
+    const auto blocks = servingDocBlocks();
+    ASSERT_GE(blocks.size(), 4u);
+    const std::set<std::string> &documented = blocks[0];
+    ASSERT_TRUE(documented.count("matrix.mtx") != 0)
+        << "first serving.md schema-fields block is not the "
+           "request schema";
+
+    // A matrix file for the `matrix.path` variant.
+    const std::string dir = freshDir("reqschema");
+    const std::string mtx_path = dir + "/m.mtx";
+    {
+        std::ofstream out(mtx_path);
+        out << mtxText();
+    }
+
+    // Kitchen sink #1: every documented field except matrix.path.
+    std::ostringstream os1;
+    {
+        JsonWriter w(os1, -1);
+        w.beginObject();
+        w.field("id", "sink");
+        w.key("matrix");
+        w.beginObject();
+        w.field("mtx", mtxText());
+        w.endObject();
+        w.key("x");
+        w.beginArray();
+        for (int i = 0; i < 4; ++i)
+            w.value(1.0);
+        w.endArray();
+        w.field("return_y", true);
+        w.field("deadline_ms", 60000.0);
+        w.field("budget_mb", 256.0);
+        w.field("config", "SPASM_4_1");
+        w.field("tile_size", 256);
+        w.field("dynamic_selection", true);
+        w.field("schedule_exploration", true);
+        w.endObject();
+    }
+    // Kitchen sink #2: the matrix.path variant.
+    std::ostringstream os2;
+    {
+        JsonWriter w(os2, -1);
+        w.beginObject();
+        w.field("id", "sink2");
+        w.key("matrix");
+        w.beginObject();
+        w.field("path", mtx_path);
+        w.endObject();
+        w.endObject();
+    }
+
+    serve::ServeOptions opts;
+    opts.deterministic = true;
+    serve::Server server(opts);
+    const JsonValue r1 = parsed(server.handleLine(os1.str()));
+    ASSERT_TRUE(r1.find("ok") != nullptr);
+    EXPECT_TRUE(r1.find("ok")->boolean)
+        << server.handleLine(os1.str());
+    const JsonValue r2 = parsed(server.handleLine(os2.str()));
+    EXPECT_TRUE(r2.find("ok")->boolean);
+
+    // The union of the two requests' fields IS the documented set:
+    // nothing documented the parser rejects, nothing accepted the
+    // doc omits.
+    std::set<std::string> sent = emittedPaths(os1.str());
+    for (const auto &p : emittedPaths(os2.str()))
+        sent.insert(p);
+    expectBidirectional(documented, sent);
+
+    // Strictness: an unknown field fails loudly.
+    const JsonValue bad = parsed(server.handleLine(
+        requestLine("typo", "\"tilesize\":256")));
+    EXPECT_FALSE(bad.find("ok")->boolean);
+    const JsonValue *err = bad.find("error");
+    ASSERT_TRUE(err != nullptr);
+    EXPECT_EQ(err->stringOr("code"), "parse");
+    EXPECT_NE(err->stringOr("message").find("tilesize"),
+              std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Serve, InlineAndFileMatrixProduceIdenticalResults)
+{
+    const std::string dir = freshDir("inlinefile");
+    const std::string mtx_path = dir + "/m.mtx";
+    {
+        std::ofstream out(mtx_path);
+        out << mtxText();
+    }
+    serve::ServeOptions opts;
+    opts.deterministic = true;
+    serve::Server server(opts);
+    const JsonValue inline_resp =
+        parsed(server.handleLine(requestLine("a")));
+    std::ostringstream os;
+    JsonWriter w(os, -1);
+    w.beginObject();
+    w.field("id", "b");
+    w.key("matrix");
+    w.beginObject();
+    w.field("path", mtx_path);
+    w.endObject();
+    w.endObject();
+    const JsonValue file_resp = parsed(server.handleLine(os.str()));
+    // Same content => same content-addressed key, same result CRC.
+    EXPECT_EQ(inline_resp.stringOr("key"), file_resp.stringOr("key"));
+    EXPECT_EQ(inline_resp.numberOr("y_crc32", -1.0),
+              file_resp.numberOr("y_crc32", -2.0));
+    EXPECT_EQ(file_resp.stringOr("cache"), "hit");
+    std::filesystem::remove_all(dir);
+}
+
+// ----------------------------------------------------------------- //
+// The cache-hit proof: stage counters stay flat on the hit path
+// ----------------------------------------------------------------- //
+
+TEST(Serve, CacheHitSkipsAllPreprocessingStages)
+{
+    auto &reg = obs::Registry::global();
+    reg.setEnabled(true);
+    reg.clear();
+
+    serve::ServeOptions opts;
+    opts.deterministic = true;
+    serve::Server server(opts);
+
+    const JsonValue first =
+        parsed(server.handleLine(requestLine("cold")));
+    EXPECT_EQ(first.stringOr("cache"), "miss");
+    const auto after_miss = reg.counters();
+    ASSERT_TRUE(after_miss.count("framework.matrices_preprocessed"));
+    EXPECT_EQ(after_miss.at("framework.matrices_preprocessed"), 1u);
+
+    const JsonValue second =
+        parsed(server.handleLine(requestLine("hot")));
+    EXPECT_EQ(second.stringOr("cache"), "hit");
+    const auto after_hit = reg.counters();
+    // The whole preprocessing pipeline ran zero additional times.
+    EXPECT_EQ(after_hit.at("framework.matrices_preprocessed"), 1u);
+    EXPECT_EQ(after_hit.at("serve.cache.hit"), 1u);
+    // Identical result regardless of path.
+    EXPECT_EQ(first.numberOr("y_crc32", -1.0),
+              second.numberOr("y_crc32", -2.0));
+    EXPECT_EQ(first.numberOr("cycles", -1.0),
+              second.numberOr("cycles", -2.0));
+
+    reg.clear();
+    reg.setEnabled(false);
+}
+
+TEST(Serve, DifferentKnobsDoNotShareCacheEntries)
+{
+    serve::ServeOptions opts;
+    opts.deterministic = true;
+    serve::Server server(opts);
+    const JsonValue a = parsed(server.handleLine(requestLine("a")));
+    const JsonValue b = parsed(server.handleLine(
+        requestLine("b", "\"config\":\"SPASM_4_1\"")));
+    EXPECT_NE(a.stringOr("key"), b.stringOr("key"));
+    EXPECT_EQ(b.stringOr("cache"), "miss");
+    EXPECT_EQ(b.stringOr("config"), "SPASM_4_1");
+    // x differing must NOT fragment the cache.
+    const JsonValue c = parsed(server.handleLine(requestLine(
+        "c", "\"x\":[1.0,2.0,3.0,4.0]")));
+    EXPECT_EQ(c.stringOr("key"), a.stringOr("key"));
+    EXPECT_EQ(c.stringOr("cache"), "hit");
+}
+
+// ----------------------------------------------------------------- //
+// Crash-safe warm restart
+// ----------------------------------------------------------------- //
+
+TEST(Serve, WarmRestartServesByteIdenticalWithoutPreprocessing)
+{
+    const std::string dir = freshDir("warmrestart");
+    double cold_crc = -1.0;
+    double cold_cycles = -1.0;
+    {
+        serve::ServeOptions opts;
+        opts.cacheDir = dir;
+        opts.deterministic = true;
+        serve::Server server(opts);
+        const JsonValue r =
+            parsed(server.handleLine(requestLine("cold")));
+        EXPECT_EQ(r.stringOr("cache"), "miss");
+        cold_crc = r.numberOr("y_crc32", -1.0);
+        cold_cycles = r.numberOr("cycles", -1.0);
+        EXPECT_EQ(server.drain(), 0);
+    } // process "dies"
+
+    auto &reg = obs::Registry::global();
+    reg.setEnabled(true);
+    reg.clear();
+    {
+        serve::ServeOptions opts;
+        opts.cacheDir = dir;
+        opts.deterministic = true;
+        serve::Server server(opts);
+        const auto scan = server.scanCache();
+        EXPECT_EQ(scan.usable, 1u);
+        EXPECT_EQ(scan.quarantined, 0u);
+        const JsonValue r =
+            parsed(server.handleLine(requestLine("warm")));
+        EXPECT_EQ(r.stringOr("cache"), "warm");
+        EXPECT_EQ(r.numberOr("y_crc32", -2.0), cold_crc);
+        EXPECT_EQ(r.numberOr("cycles", -2.0), cold_cycles);
+        // The restarted process NEVER ran preprocessing.
+        const auto counters = reg.counters();
+        EXPECT_EQ(counters.count("framework.matrices_preprocessed"),
+                  0u);
+        const serve::ServeSummary sum = server.summary();
+        EXPECT_EQ(sum.cache.warmHits, 1u);
+        EXPECT_EQ(sum.cache.misses, 0u);
+    }
+    reg.clear();
+    reg.setEnabled(false);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Serve, TornCacheWriteIsQuarantinedNotServed)
+{
+    const std::string dir = freshDir("torn");
+    {
+        serve::ServeOptions opts;
+        opts.cacheDir = dir;
+        opts.deterministic = true;
+        serve::Server server(opts);
+        parsed(server.handleLine(requestLine("seed")));
+    }
+    // Simulate a kill -9 mid-write: truncate the container to half.
+    std::string container;
+    for (const auto &f : std::filesystem::directory_iterator(dir)) {
+        if (f.path().extension() == ".spasm")
+            container = f.path().string();
+    }
+    ASSERT_FALSE(container.empty());
+    const auto full = std::filesystem::file_size(container);
+    std::filesystem::resize_file(container, full / 2);
+
+    serve::ServeOptions opts;
+    opts.cacheDir = dir;
+    opts.deterministic = true;
+    serve::Server server(opts);
+    const auto scan = server.scanCache();
+    EXPECT_EQ(scan.usable, 0u);
+    EXPECT_GE(scan.quarantined, 1u);
+    // Quarantine renames, never deletes: forensics stay possible.
+    bool quarantined_file = false;
+    for (const auto &f : std::filesystem::directory_iterator(dir))
+        quarantined_file |=
+            f.path().string().find(".quarantined") !=
+            std::string::npos;
+    EXPECT_TRUE(quarantined_file);
+    // The request is served transparently by rebuilding.
+    const JsonValue r = parsed(server.handleLine(requestLine("re")));
+    EXPECT_TRUE(r.find("ok")->boolean);
+    EXPECT_EQ(r.stringOr("cache"), "miss");
+    std::filesystem::remove_all(dir);
+}
+
+// ----------------------------------------------------------------- //
+// Overload, deadlines, drain
+// ----------------------------------------------------------------- //
+
+TEST(Serve, OverloadBurstShedsTypedAndCounted)
+{
+    serve::ServeOptions opts;
+    opts.maxInFlight = 1;
+    opts.deterministic = true;
+    serve::Server server(opts);
+
+    // Warm the cache so each request is hit-path (still long enough
+    // to overlap when released simultaneously).
+    const CooMatrix m = generateWorkload("cfd2", Scale::Tiny);
+    std::ostringstream mtx;
+    writeMatrixMarket(m, mtx);
+    std::ostringstream req;
+    JsonWriter w(req, -1);
+    w.beginObject();
+    w.field("id", "burst");
+    w.key("matrix");
+    w.beginObject();
+    w.field("mtx", mtx.str());
+    w.endObject();
+    w.endObject();
+    const std::string line = req.str();
+    parsed(server.handleLine(line)); // cold
+
+    const int burst = 8;
+    std::vector<std::string> responses(burst);
+    std::atomic<int> ready{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> clients;
+    for (int i = 0; i < burst; ++i) {
+        clients.emplace_back([&, i] {
+            ready.fetch_add(1);
+            while (!go.load())
+                std::this_thread::yield();
+            responses[i] = server.handleLine(line);
+        });
+    }
+    while (ready.load() < burst)
+        std::this_thread::yield();
+    go.store(true);
+    for (auto &t : clients)
+        t.join();
+
+    int ok = 0;
+    int shed = 0;
+    for (const auto &resp : responses) {
+        const JsonValue doc = parsed(resp);
+        if (doc.find("ok")->boolean) {
+            ++ok;
+        } else {
+            const JsonValue *err = doc.find("error");
+            ASSERT_TRUE(err != nullptr) << resp;
+            EXPECT_EQ(err->stringOr("code"), "overloaded") << resp;
+            ++shed;
+        }
+    }
+    EXPECT_GE(ok, 1);
+    EXPECT_GE(shed, 1);
+    EXPECT_EQ(ok + shed, burst);
+
+    const serve::ServeSummary sum = server.summary();
+    // Typed AND counted: the summary's shed count equals the number
+    // of overloaded responses; nothing was silently dropped.
+    EXPECT_EQ(sum.shed, static_cast<std::uint64_t>(shed));
+    EXPECT_EQ(sum.requests, static_cast<std::uint64_t>(burst) + 1);
+    EXPECT_EQ(sum.ok + sum.errors, sum.requests);
+}
+
+TEST(Serve, ExpiredDeadlineYieldsTypedTimeout)
+{
+    serve::ServeOptions opts;
+    opts.deterministic = true;
+    serve::Server server(opts);
+    const JsonValue r = parsed(server.handleLine(
+        requestLine("late", "\"deadline_ms\":1e-6")));
+    EXPECT_FALSE(r.find("ok")->boolean);
+    EXPECT_EQ(r.find("error")->stringOr("code"), "timeout");
+}
+
+TEST(Serve, PerRequestBudgetYieldsTypedBudgetExceeded)
+{
+    serve::ServeOptions opts;
+    opts.deterministic = true;
+    serve::Server server(opts);
+    const JsonValue r = parsed(server.handleLine(
+        requestLine("tight", "\"budget_mb\":0.0001")));
+    EXPECT_FALSE(r.find("ok")->boolean);
+    EXPECT_EQ(r.find("error")->stringOr("code"), "budget-exceeded");
+}
+
+TEST(Serve, DrainClosesAdmissionAndIsIdempotent)
+{
+    serve::ServeOptions opts;
+    opts.deterministic = true;
+    serve::Server server(opts);
+    parsed(server.handleLine(requestLine("before")));
+    EXPECT_EQ(server.drain(), 0);
+    EXPECT_EQ(server.drain(), 0);
+    const JsonValue late =
+        parsed(server.handleLine(requestLine("after")));
+    EXPECT_FALSE(late.find("ok")->boolean);
+    EXPECT_EQ(late.find("error")->stringOr("code"), "overloaded");
+    const serve::ServeSummary sum = server.summary();
+    EXPECT_FALSE(sum.drainForced);
+    EXPECT_EQ(sum.shed, 1u);
+}
+
+TEST(Serve, OversizedLineRejectedTyped)
+{
+    serve::ServeOptions opts;
+    opts.maxLineBytes = 128;
+    serve::Server server(opts);
+    const JsonValue r =
+        parsed(server.handleLine(requestLine("big")));
+    EXPECT_FALSE(r.find("ok")->boolean);
+    EXPECT_EQ(r.find("error")->stringOr("code"), "limit-exceeded");
+}
+
+// ----------------------------------------------------------------- //
+// The fuzz gate: every malformed line yields a typed response
+// ----------------------------------------------------------------- //
+
+TEST(ServeFuzz, CorpusYieldsTypedErrorsZeroSilentZeroCrashed)
+{
+    const std::vector<std::string> corpus = {
+        "",
+        "{",
+        "}",
+        "null",
+        "42",
+        "\"str\"",
+        "[]",
+        "[1,2,3]",
+        "{}",
+        "{\"id\":7}",
+        "{\"id\":\"x\"}",
+        "{\"matrix\":5}",
+        "{\"matrix\":{}}",
+        "{\"matrix\":{\"mtx\":5}}",
+        "{\"matrix\":{\"mtx\":\"\"}}",
+        "{\"matrix\":{\"mtx\":\"not matrix market\"}}",
+        "{\"matrix\":{\"path\":\"/nonexistent/nope.mtx\"}}",
+        "{\"matrix\":{\"path\":42}}",
+        "{\"matrix\":{\"mtx\":\"x\",\"path\":\"y\"}}",
+        "{\"matrix\":{\"surprise\":1}}",
+        "{\"bogus\":true}",
+        "{\"id\":\"a\",\"id\":\"b\"}",
+        "{\"x\":[1]}",
+        "{\"deadline_ms\":-5}",
+        "{\"budget_mb\":\"lots\"}",
+        "{\"tile_size\":3}",
+        "{\"tile_size\":-4}",
+        "{\"tile_size\":4.5}",
+        "{\"tile_size\":1e12}",
+        "{\"config\":\"SPASM_999_999\"}",
+        "{\"config\":17}",
+        "{\"return_y\":\"yes\"}",
+        "{\"dynamic_selection\":1}",
+        "{\"schedule_exploration\":null}",
+        std::string(64, '{'),
+        std::string("\x01\x02\xff\xfe", 4),
+        "{\"matrix\":{\"mtx\":\"%%MatrixMarket matrix coordinate "
+        "real general\\n2 2 1\\n99 99 1.0\\n\"}}",
+    };
+
+    serve::ServeOptions opts;
+    opts.deterministic = true;
+    serve::Server server(opts);
+    for (const auto &line : corpus) {
+        const std::string resp = server.handleLine(line);
+        ASSERT_FALSE(resp.empty())
+            << "silent drop for corpus line: " << line;
+        const JsonValue doc = parsed(resp);
+        ASSERT_TRUE(doc.isObject()) << resp;
+        EXPECT_EQ(doc.stringOr("schema"), serve::kServeSchema);
+        const JsonValue *ok = doc.find("ok");
+        ASSERT_TRUE(ok != nullptr) << resp;
+        EXPECT_FALSE(ok->boolean) << "accepted: " << line;
+        const JsonValue *err = doc.find("error");
+        ASSERT_TRUE(err != nullptr) << resp;
+        EXPECT_FALSE(err->stringOr("code").empty()) << resp;
+        EXPECT_FALSE(err->stringOr("message").empty()) << resp;
+    }
+    const serve::ServeSummary sum = server.summary();
+    EXPECT_EQ(sum.requests, corpus.size());
+    EXPECT_EQ(sum.errors, corpus.size());
+    EXPECT_EQ(sum.ok, 0u);
+}
+
+TEST(ServeFuzz, TruncationsOfValidRequestNeverCrashOrPassSilently)
+{
+    const std::string valid = requestLine("t");
+    serve::ServeOptions opts;
+    opts.deterministic = true;
+    serve::Server server(opts);
+    // Every proper prefix must produce a typed error response.
+    for (std::size_t len = 0; len < valid.size();
+         len += std::max<std::size_t>(1, valid.size() / 97)) {
+        const std::string resp =
+            server.handleLine(valid.substr(0, len));
+        const JsonValue doc = parsed(resp);
+        ASSERT_TRUE(doc.find("ok") != nullptr);
+        EXPECT_FALSE(doc.find("ok")->boolean)
+            << "prefix of length " << len << " was accepted";
+    }
+    // Deterministic single-byte mutations: response always parses.
+    std::uint64_t rng = 0x5eed;
+    for (int i = 0; i < 128; ++i) {
+        rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+        std::string mutant = valid;
+        mutant[rng % mutant.size()] =
+            static_cast<char>((rng >> 32) & 0xff);
+        const std::string resp = server.handleLine(mutant);
+        ASSERT_FALSE(resp.empty());
+        const JsonValue doc = parsed(resp);
+        ASSERT_TRUE(doc.isObject()) << resp;
+        ASSERT_TRUE(doc.find("ok") != nullptr) << resp;
+    }
+}
+
+} // namespace
+} // namespace spasm

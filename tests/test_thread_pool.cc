@@ -9,8 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "pattern/analysis.hh"
@@ -145,6 +147,65 @@ TEST(ThreadPool, NullTokenMatchesPlainOverload)
     pool.parallelFor(
         256, [&](std::size_t) { ++ran; }, nullptr);
     EXPECT_EQ(ran.load(), 256);
+}
+
+TEST(ThreadPool, PostRunsDetachedTasksToCompletion)
+{
+    ThreadPool pool(4);
+    constexpr int kTasks = 64;
+    std::atomic<int> done{0};
+    for (int i = 0; i < kTasks; ++i)
+        pool.post([&done] { ++done; });
+    // post() is fire-and-forget; poll with a generous deadline.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(10);
+    while (done.load() < kTasks &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::yield();
+    EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPool, PostSwallowsExceptionsAndPoolSurvives)
+{
+    ThreadPool pool(2);
+    std::atomic<bool> threw{false};
+    pool.post([&threw] {
+        threw = true;
+        throw std::runtime_error("escaped from post");
+    });
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(10);
+    while (!threw.load() &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::yield();
+    EXPECT_TRUE(threw.load());
+    // The escaped exception must not take a worker down: both
+    // detached and fork-join work still complete afterwards.
+    std::atomic<bool> ran{false};
+    pool.post([&ran] { ran = true; });
+    while (!ran.load() &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::yield();
+    EXPECT_TRUE(ran.load());
+    std::atomic<int> total{0};
+    pool.parallelFor(128, [&](std::size_t) { ++total; });
+    EXPECT_EQ(total.load(), 128);
+}
+
+TEST(ThreadPool, SerialPoolPostRunsInlineBeforeReturning)
+{
+    // A concurrency-1 pool has no workers; post() is documented to
+    // run the task on the calling thread before returning, keeping
+    // serial pools equivalent to direct calls.
+    ThreadPool pool(1);
+    bool ran = false;
+    std::thread::id task_thread;
+    pool.post([&] {
+        ran = true;
+        task_thread = std::this_thread::get_id();
+    });
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(task_thread, std::this_thread::get_id());
 }
 
 TEST(ThreadPool, GlobalPoolResizes)

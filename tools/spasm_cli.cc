@@ -63,6 +63,7 @@
 #include "core/batch.hh"
 #include "core/chaos.hh"
 #include "core/framework.hh"
+#include "core/serve.hh"
 #include "core/stats_json.hh"
 #include "format/serialize.hh"
 #include "hw/trace_export.hh"
@@ -80,6 +81,7 @@
 #include "sparse/spy.hh"
 #include "support/atomic_file.hh"
 #include "support/error.hh"
+#include "support/json.hh"
 #include "support/json_value.hh"
 #include "support/logging.hh"
 #include "support/obs.hh"
@@ -164,6 +166,29 @@ usage()
         "                 deadlines, retries and memory budgets\n"
         "                 (docs/robustness.md); exit 0 all ok,\n"
         "                 1 any job failed, 3 interrupted\n"
+        "  spasm serve    [--socket PATH]  long-lived SpMV service\n"
+        "                 (docs/serving.md): line-delimited JSON\n"
+        "                 requests on stdin (default) or a Unix\n"
+        "                 socket, responses on stdout / the socket\n"
+        "                 [--cache-dir DIR]  crash-safe encoded-\n"
+        "                     matrix cache (CRC-verified at start,\n"
+        "                     torn entries quarantined)\n"
+        "                 [--cache-capacity N]  in-memory LRU\n"
+        "                     entries (default 8)\n"
+        "                 [--max-inflight N]  admission slots;\n"
+        "                     excess load is shed with a typed\n"
+        "                     'overloaded' response (default 4)\n"
+        "                 [--budget-mb N] [--request-budget-mb N]\n"
+        "                     shared memory budget and per-request\n"
+        "                     admission reserve\n"
+        "                 [--deadline-ms X]  default per-request\n"
+        "                     deadline  [--drain-ms N]  drain grace\n"
+        "                 [--stats-json out.json]  spasm-serve-v1\n"
+        "                     summary written at drain\n"
+        "                 [--scan-only]  verify/quarantine the\n"
+        "                     cache dir and exit\n"
+        "                 [--deterministic]  zero wall-clock fields\n"
+        "                 exit 0 clean drain, 3 forced cancel\n"
         "  spasm tail     <telemetry.jsonl> [--follow]\n"
         "                 render a spasm-telemetry-v1 stream:\n"
         "                 progress, throughput, EWMA ETA; --follow\n"
@@ -1000,6 +1025,40 @@ cmdBench(const std::vector<std::string> &args)
     std::printf("total: %.2f ms wall, %.3g simulated cycles per "
                 "host second\n",
                 total_wall, entry.simCyclesPerHostSec);
+
+    // The serving layer's trajectory point: closed-loop requests
+    // over Server::handleLine — one cold miss pays preprocessing,
+    // then a hit-dominated steady state (the common serving regime).
+    {
+        serve::ServeOptions sopts;
+        sopts.deterministic = true;
+        serve::Server server(sopts);
+        const CooMatrix m = generateWorkload("cfd2", Scale::Tiny);
+        std::ostringstream mtx;
+        writeMatrixMarket(m, mtx);
+        std::ostringstream req;
+        JsonWriter w(req, -1);
+        w.beginObject();
+        w.field("id", "bench");
+        w.key("matrix");
+        w.beginObject();
+        w.field("mtx", mtx.str());
+        w.endObject();
+        w.endObject();
+        const std::string line = req.str();
+        server.handleLine(line); // cold: the one preprocessing run
+        const int serve_reqs = 32;
+        Timer serve_timer;
+        for (int i = 0; i < serve_reqs; ++i)
+            server.handleLine(line);
+        const double serve_ms = serve_timer.elapsedMs();
+        server.drain();
+        entry.serveRequestsPerHostSec =
+            serve_ms > 0.0 ? serve_reqs / (serve_ms / 1000.0) : 0.0;
+        std::printf("serve.requests_per_host_sec: %.1f "
+                    "(hit-dominated closed loop, %d requests)\n",
+                    entry.serveRequestsPerHostSec, serve_reqs);
+    }
     if (!counters.available()) {
         std::printf("host counters: unavailable (%s)\n",
                     counters.degradation().c_str());
@@ -1166,6 +1225,116 @@ cmdBatch(const std::vector<std::string> &args)
 }
 
 /**
+ * Long-lived SpMV service (docs/serving.md).  Line-delimited JSON
+ * requests on stdin or a Unix socket; each unique matrix is
+ * preprocessed once and cached (crash-safe on-disk cache when
+ * --cache-dir is given).  SIGINT/SIGTERM starts a graceful drain:
+ * admission closes, in-flight requests finish against their own
+ * deadlines, stragglers are cancelled after --drain-ms.
+ */
+int
+cmdServe(const std::vector<std::string> &args)
+{
+    serve::ServeOptions opt;
+    opt.cacheDir = optValue(args, "--cache-dir");
+    const std::string cap = optValue(args, "--cache-capacity");
+    if (!cap.empty()) {
+        const int n = std::stoi(cap);
+        if (n < 1) {
+            logError("cli", "serve: --cache-capacity must be >= 1");
+            return 2;
+        }
+        opt.cacheCapacity = static_cast<std::size_t>(n);
+    }
+    const std::string inflight = optValue(args, "--max-inflight");
+    if (!inflight.empty()) {
+        const int n = std::stoi(inflight);
+        if (n < 1) {
+            logError("cli", "serve: --max-inflight must be >= 1");
+            return 2;
+        }
+        opt.maxInFlight = static_cast<std::size_t>(n);
+    }
+    const std::string budget_mb = optValue(args, "--budget-mb");
+    if (!budget_mb.empty())
+        opt.budgetBytes = std::stoll(budget_mb) * (1ll << 20);
+    const std::string req_mb = optValue(args, "--request-budget-mb");
+    if (!req_mb.empty())
+        opt.perRequestBytes = std::stoll(req_mb) * (1ll << 20);
+    const std::string deadline = optValue(args, "--deadline-ms");
+    if (!deadline.empty())
+        opt.defaultDeadlineMs = std::stod(deadline);
+    const std::string drain_ms = optValue(args, "--drain-ms");
+    if (!drain_ms.empty())
+        opt.drainMs = std::stoll(drain_ms);
+    opt.deterministic = hasFlag(args, "--deterministic");
+
+    // The serve counters (sheds, cache outcomes, latency histogram)
+    // ARE the product here — observability is always on.
+    obs::Registry::global().setEnabled(true);
+    obs::Registry::global().clear();
+
+    serve::Server server(opt, &g_batchSignal);
+    const EncodedMatrixCache::ScanReport scan = server.scanCache();
+    if (!opt.cacheDir.empty())
+        logInform("serve",
+                  "cache scan: %zu usable, %zu quarantined (%s)",
+                  scan.usable, scan.quarantined, opt.cacheDir.c_str());
+    if (hasFlag(args, "--scan-only"))
+        return 0;
+
+    // No SA_RESTART: a SIGINT/SIGTERM must make the blocked stdin
+    // read (or socket poll) return so the drain can start.  The
+    // request tokens do not watch the flag — in-flight work finishes
+    // against its own deadline.
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = batchSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+
+    const std::string socket_path = optValue(args, "--socket");
+    const int code = socket_path.empty()
+                         ? server.runStdio(std::cin, std::cout)
+                         : server.runUnixSocket(socket_path);
+
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+
+    const std::string stats = optValue(args, "--stats-json");
+    if (!stats.empty()) {
+        writeFileAtomic(stats, [&](std::ostream &os) {
+            server.writeSummaryJson(os);
+        });
+        logInform("serve", "summary written to %s", stats.c_str());
+    }
+    const std::string prom = optValue(args, "--prom");
+    if (!prom.empty()) {
+        writeFileAtomic(prom, [&](std::ostream &os) {
+            telemetry::writePrometheusText(os,
+                                           obs::Registry::global());
+        });
+        logInform("serve", "prometheus text written to %s",
+                  prom.c_str());
+    }
+
+    const serve::ServeSummary sum = server.summary();
+    logInform("serve",
+              "served %llu requests (%llu ok, %llu errors, "
+              "%llu shed); cache %llu hits / %llu warm / %llu miss",
+              static_cast<unsigned long long>(sum.requests),
+              static_cast<unsigned long long>(sum.ok),
+              static_cast<unsigned long long>(sum.errors),
+              static_cast<unsigned long long>(sum.shed),
+              static_cast<unsigned long long>(sum.cache.hits),
+              static_cast<unsigned long long>(sum.cache.warmHits),
+              static_cast<unsigned long long>(sum.cache.misses));
+    return code;
+}
+
+/**
  * Render a spasm-telemetry-v1 stream.  Without --follow: one shot.
  * With --follow: poll the file, print samples as they appear, exit
  * when the clean-shutdown end record arrives (a stream that never
@@ -1291,6 +1460,8 @@ run(int argc, char **argv)
         return cmdChaos(args);
     if (cmd == "batch")
         return cmdBatch(args);
+    if (cmd == "serve")
+        return cmdServe(args);
     if (cmd == "compare")
         return cmdCompare(args);
     if (cmd == "bench")
