@@ -1,13 +1,18 @@
 #include "core/chaos.hh"
 
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <limits>
 #include <sstream>
 
 #include "core/framework.hh"
 #include "faults/fault_plan.hh"
 #include "format/serialize.hh"
+#include "format/spill.hh"
+#include "sparse/matrix_market.hh"
 #include "support/error.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
@@ -312,6 +317,100 @@ degradeCase(const char *name, Poison poison, const ChaosFixture &fx,
     return c;
 }
 
+// ----------------------------------------------------------------- //
+// Ingestion campaign: seeded spill-I/O faults (torn writes, ENOSPC,
+// read-back corruption) over the out-of-core ingest path.  Every
+// injected fault must surface as a typed error before any encoded
+// data is produced; a trial that completes must be bit-identical to
+// the in-memory encode — anything else is silent corruption.
+// ----------------------------------------------------------------- //
+
+ChaosCase
+ingestCase(const char *name, const ChaosFixture &fx,
+           const ChaosOptions &opt, const std::string &mtx_path,
+           const std::string &spill_dir, double spill_io_rate)
+{
+    ChaosCase c;
+    c.name = name;
+
+    // The out-of-core path runs a fixed portfolio (no whole-matrix
+    // analysis); reuse the fixture's selection so the reference bytes
+    // come from the exact same encoder.  The reference is encoded
+    // from the *file* (not fx.m): text serialization rounds values,
+    // and the bit-identity contract is out-of-core vs in-memory on
+    // the same input.
+    const SpasmEncoder encoder(fx.pre.portfolio,
+                               fx.pre.schedule.tileSize);
+    std::ostringstream ref;
+    writeSpasmFile(encoder.encode(readMatrixMarket(mtx_path)), ref);
+    const std::string ref_bytes = ref.str();
+
+    const int trials = spill_io_rate > 0.0 ? opt.ingestTrials : 1;
+    for (int t = 0; t < trials; ++t) {
+        ++c.outcomes.trials;
+        telemetry::noteJobDone(true);
+        FaultConfig cfg;
+        cfg.seed = opt.seed * 4096 + static_cast<std::uint64_t>(t);
+        cfg.spillIoRate = spill_io_rate;
+        FaultPlan plan(cfg);
+        // A failed trial leaves its spill files behind (that is the
+        // crash-safety contract: the sweep quarantines them).  The
+        // tiler appends to spill-<pid>-b*.tmp, so trials must not
+        // share a directory or a torn frame from trial N would
+        // contaminate trial N+1's read-back.
+        const std::string trial_dir =
+            spill_dir + "-t" + std::to_string(t);
+        try {
+            IngestEncodeOptions io;
+            io.forceSpill = true;
+            io.spill.dir = trial_dir;
+            io.spill.flushBytes = 1; // min-clamped: max frame count
+            if (spill_io_rate > 0.0) {
+                io.spill.fault = [&plan](std::uint64_t site) {
+                    return plan.spillFault(site);
+                };
+            }
+            const IngestEncodeResult res =
+                ingestEncodeMatrixMarket(mtx_path, encoder, io);
+            std::ostringstream got;
+            writeSpasmFile(res.matrix, got);
+            char what[96];
+            std::snprintf(
+                what, sizeof(what),
+                "seed %llu: injected %llu, %llu frames",
+                static_cast<unsigned long long>(cfg.seed),
+                static_cast<unsigned long long>(
+                    plan.stats().injectedSpillIo),
+                static_cast<unsigned long long>(res.spill.frames));
+            if (got.str() != ref_bytes) {
+                ++c.outcomes.silent;
+                noteFailure(
+                    c, fmtTrial("out-of-core encode differs from "
+                                "in-memory",
+                                t, what));
+            } else {
+                // Bit-identical result; with an injection in flight
+                // that means the fault never reached durable state.
+                ++c.outcomes.masked;
+            }
+        } catch (const Error &e) {
+            if (plan.stats().injectedSpillIo > 0) {
+                // Typed error out of an injected spill fault: exactly
+                // the contract (never silent, never an escape).
+                ++c.outcomes.detected;
+            } else {
+                ++c.outcomes.crashed;
+                noteFailure(c, fmtTrial("error without injection", t,
+                                        e.what()));
+            }
+        } catch (const std::exception &e) {
+            ++c.outcomes.crashed;
+            noteFailure(c, fmtTrial("crashed", t, e.what()));
+        }
+    }
+    return c;
+}
+
 bool
 wants(const ChaosOptions &opt, const char *campaign)
 {
@@ -325,10 +424,12 @@ runChaosCampaign(const ChaosOptions &options)
 {
     if (options.campaign != "default" &&
         options.campaign != "storage" && options.campaign != "sim" &&
-        options.campaign != "degrade") {
+        options.campaign != "degrade" &&
+        options.campaign != "ingest") {
         throw Error(ErrorCode::Parse,
                     "unknown chaos campaign '" + options.campaign +
-                        "' (default|storage|sim|degrade) [parse]");
+                        "' (default|storage|sim|degrade|ingest) "
+                        "[parse]");
     }
 
     ChaosReport report;
@@ -373,6 +474,23 @@ runChaosCampaign(const ChaosOptions &options)
         report.cases.push_back(
             degradeCase("degrade/bad-template-id",
                         Poison::BadTemplateId, fx, options));
+    }
+    if (wants(options, "ingest")) {
+        namespace fs = std::filesystem;
+        const fs::path scratch =
+            fs::temp_directory_path() /
+            ("spasm-chaos-ingest-" + std::to_string(::getpid()));
+        fs::create_directories(scratch);
+        const std::string mtx = (scratch / "fixture.mtx").string();
+        writeMatrixMarket(fx.m, mtx);
+        report.cases.push_back(
+            ingestCase("ingest/clean", fx, options, mtx,
+                       (scratch / "clean").string(), 0.0));
+        report.cases.push_back(
+            ingestCase("ingest/spill-io", fx, options, mtx,
+                       (scratch / "faulty").string(), 0.02));
+        std::error_code ec;
+        fs::remove_all(scratch, ec); // best-effort scratch cleanup
     }
 
     telemetry::endCampaign();

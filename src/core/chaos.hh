@@ -31,8 +31,9 @@ struct ChaosOptions
 
     /** Which campaign to run: "storage" (container byte flips and
      *  truncations), "sim" (FaultPlan injection sweeps), "degrade"
-     *  (in-memory stream poisoning against the framework guard), or
-     *  "default" (all three). */
+     *  (in-memory stream poisoning against the framework guard),
+     *  "ingest" (spill-I/O fault sweeps over the out-of-core
+     *  ingestion path), or "default" (all of them). */
     std::string campaign = "default";
 
     /** Suite workload the campaign runs against. */
@@ -48,6 +49,9 @@ struct ChaosOptions
 
     /** Seeds per simulator fault case. */
     int simTrials = 4;
+
+    /** Seeds per ingestion spill-I/O fault case. */
+    int ingestTrials = 24;
 
     /**
      * Per-trial deadline (milliseconds) for the simulator campaign;

@@ -15,6 +15,7 @@
 #include "core/framework.hh"
 #include "hw/config.hh"
 #include "sparse/matrix_market.hh"
+#include "sparse/stream_ingest.hh"
 #include "format/position_encoding.hh"
 #include "support/crc32.hh"
 #include "support/json.hh"
@@ -93,6 +94,12 @@ struct Server::Request
 {
     std::string id;
     CooMatrix m;
+    /** Non-empty = a `matrix.path` request whose file has not been
+     *  loaded yet.  The load is deferred to process(), where it runs
+     *  through the chunked streaming parser under the request's own
+     *  deadline token and memory budget — a slow or huge file on disk
+     *  charges the requester, not the accept loop. */
+    std::string matrixPath;
     std::vector<Value> x; ///< empty = framework default x
     bool returnY = false;
     double deadlineMs = 0.0;
@@ -244,23 +251,28 @@ Server::parseInto(const std::string &line, Request &req) const
                                  "string");
         req.m = readMatrixMarketFromString(mtx->string,
                                            "request.matrix.mtx");
+        if (req.m.rows() < 1 || req.m.cols() < 1)
+            throw Error::atInput(ErrorCode::Parse, "request",
+                                 "matrix must be non-empty");
     } else {
         if (!path->isString())
             throw Error::atInput(ErrorCode::Parse, "request",
                                  "matrix field 'path' must be a "
                                  "string");
-        req.m = readMatrixMarket(path->string);
+        // Defer the file load to process(): reading an arbitrary
+        // on-disk matrix is the expensive part of a path request and
+        // must run under the request's deadline/budget, not on the
+        // accept loop.  Shape validation moves there with it.
+        req.matrixPath = path->string;
     }
-    if (req.m.rows() < 1 || req.m.cols() < 1)
-        throw Error::atInput(ErrorCode::Parse, "request",
-                             "matrix must be non-empty");
 
     if (x != nullptr) {
         if (!x->isArray())
             throw Error::atInput(ErrorCode::Parse, "request",
                                  "field 'x' must be an array of "
                                  "numbers");
-        if (static_cast<Index>(x->array.size()) != req.m.cols())
+        if (req.matrixPath.empty() &&
+            static_cast<Index>(x->array.size()) != req.m.cols())
             throw Error::atInput(
                 ErrorCode::Parse, "request",
                 "'x' has %zu elements, matrix has %lld columns",
@@ -308,7 +320,7 @@ Server::errorResponse(const std::string &id, ErrorCode code,
 }
 
 std::string
-Server::process(const Request &req)
+Server::process(Request &req)
 {
     const std::uint64_t t0 = monoNowNs();
 
@@ -331,9 +343,35 @@ Server::process(const Request &req)
     MemoryBudget *budget = requestBudget.get();
 
     try {
+        if (!req.matrixPath.empty()) {
+            // Deferred `matrix.path` load: the chunked streaming
+            // parser, polling this request's token and charging its
+            // transient buffers to the per-request budget.  The
+            // validations parseInto runs for inline matrices happen
+            // here, with the same messages.
+            StreamIngestOptions sopts;
+            sopts.cancel = &token;
+            sopts.budget = budget;
+            req.m = readMatrixMarketStreamed(req.matrixPath, sopts);
+            req.matrixPath.clear();
+            if (req.m.rows() < 1 || req.m.cols() < 1)
+                throw Error::atInput(ErrorCode::Parse, "request",
+                                     "matrix must be non-empty");
+            if (!req.x.empty() &&
+                static_cast<Index>(req.x.size()) != req.m.cols())
+                throw Error::atInput(
+                    ErrorCode::Parse, "request",
+                    "'x' has %zu elements, matrix has %lld columns",
+                    req.x.size(),
+                    static_cast<long long>(req.m.cols()));
+        }
+
         // Cache key: content hash x the encoding-relevant knobs.
         // Requests differing only in x, deadline or budget share the
         // entry; requests pinning a different config or tile do not.
+        // For a path request the matrix was materialized just above,
+        // so this is the identical hash an inline request computes —
+        // both spellings of the same content share one cache entry.
         const std::uint64_t matrixHash = hashMatrixContent(req.m);
         std::uint64_t configHash = 0x7365727665ULL; // "serve"
         configHash = hashString(configHash, req.configName);

@@ -187,7 +187,7 @@ class Server
     /** Fills @p req from @p line; @p req.id is set as early as
      *  possible so error responses can echo it.  Throws Error. */
     void parseInto(const std::string &line, Request &req) const;
-    std::string process(const Request &req);
+    std::string process(Request &req);
     void connectionLoop(int fd, const std::atomic<bool> &stopping);
     std::string errorResponse(const std::string &id, ErrorCode code,
                               const std::string &message);

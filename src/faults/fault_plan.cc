@@ -35,6 +35,8 @@ faultKindName(FaultKind kind)
         return "pe-transient-stall";
       case FaultKind::ChannelStuck:
         return "channel-stuck";
+      case FaultKind::SpillIo:
+        return "spill-io";
     }
     return "unknown";
 }
@@ -126,6 +128,28 @@ FaultPlan::channelStuck(int channel, std::uint64_t cycle)
         ++stats_.recovered;
     }
     return true;
+}
+
+SpillFault
+FaultPlan::spillFault(std::uint64_t site)
+{
+    if (config_.spillIoRate <= 0.0 ||
+        draw(FaultKind::SpillIo, site, 0) >= config_.spillIoRate) {
+        return SpillFault::None;
+    }
+    ++stats_.injectedSpillIo;
+    // Second independent draw picks the failure mode, so a seeded
+    // campaign exercises all three over enough trials.
+    const std::uint64_t h =
+        mix(config_.seed, FaultKind::SpillIo, site, 1);
+    switch (h % 3) {
+      case 0:
+        return SpillFault::ShortWrite;
+      case 1:
+        return SpillFault::NoSpace;
+      default:
+        return SpillFault::CorruptRead;
+    }
 }
 
 void

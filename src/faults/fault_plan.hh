@@ -17,6 +17,10 @@
  *    (clock/voltage transient);
  *  - ChannelStuck: a value pseudo-channel stops granting bytes for a
  *    window of cycles (stuck controller queue).
+ *  - SpillIo: the out-of-core ingestion path's disk I/O fails — a
+ *    torn (short) spill-frame write, an ENOSPC-style write error, or
+ *    payload corruption on the way back in (format/spill.hh defines
+ *    the modes; the spill tiler consults the plan once per frame).
  *
  * The accelerator consults the plan at the matching pipeline points
  * (hw/accelerator.cc) and reports what happened back through the
@@ -31,6 +35,7 @@
 #include <unordered_map>
 
 #include "format/spasm_matrix.hh"
+#include "format/spill.hh"
 
 namespace spasm {
 
@@ -47,6 +52,7 @@ enum class FaultKind
     HbmWordCorrupt,
     PeTransientStall,
     ChannelStuck,
+    SpillIo,
 };
 
 /** Stable lower-kebab name (JSON reports, chaos campaign axes). */
@@ -70,6 +76,10 @@ struct FaultConfig
     double channelStuckRate = 0.0;
     int channelStuckCycles = 64;
 
+    /** Probability one spill-frame I/O (write + read-back) fails,
+     *  per frame; the failure mode is a second deterministic draw. */
+    double spillIoRate = 0.0;
+
     /** Model an ECC/parity code on the value+position stream: every
      *  corrupted fetch is detected, even when the flipped bit lands
      *  in an in-range field. */
@@ -88,6 +98,7 @@ struct FaultStats
     std::uint64_t injectedWordCorrupt = 0;
     std::uint64_t injectedPeStall = 0;
     std::uint64_t injectedChannelStuck = 0;
+    std::uint64_t injectedSpillIo = 0;
 
     /** Faults flagged by a runtime check (ECC, format invariant,
      *  psum range, stuck-channel watchdog). */
@@ -112,7 +123,7 @@ struct FaultStats
     injected() const
     {
         return injectedWordCorrupt + injectedPeStall +
-            injectedChannelStuck;
+            injectedChannelStuck + injectedSpillIo;
     }
 };
 
@@ -152,6 +163,15 @@ class FaultPlan
      * (the performance cost shows up as fault stalls).
      */
     bool channelStuck(int channel, std::uint64_t cycle);
+
+    /**
+     * Maybe fail the spill-frame I/O at @p site (a stable
+     * bucket/frame identity from format/spill.hh).  Drawn once per
+     * frame at write time; the tiler applies write-side modes
+     * immediately and remembers CorruptRead for the read-back.
+     * Counts injectedSpillIo on every non-None return.
+     */
+    SpillFault spillFault(std::uint64_t site);
 
     /**
      * First cycle after @p cycle's stuck window, i.e. the earliest

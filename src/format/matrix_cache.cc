@@ -146,22 +146,37 @@ hashString(std::uint64_t h, const std::string &s)
     return h;
 }
 
+void
+ContentHasher::begin(Index rows, Index cols, Count nnz)
+{
+    std::uint64_t h = 0x535041534d303031ULL; // "SPASM001"
+    h = hashMix(h, static_cast<std::uint64_t>(rows));
+    h = hashMix(h, static_cast<std::uint64_t>(cols));
+    h = hashMix(h, static_cast<std::uint64_t>(nnz));
+    h_ = h;
+}
+
+void
+ContentHasher::add(const Triplet &t)
+{
+    std::uint32_t bits = 0;
+    std::memcpy(&bits, &t.val, sizeof(bits));
+    std::uint64_t h = h_;
+    h = hashMix(h, static_cast<std::uint64_t>(
+                       static_cast<std::uint32_t>(t.row)) << 32 |
+                       static_cast<std::uint32_t>(t.col));
+    h = hashMix(h, bits);
+    h_ = h;
+}
+
 std::uint64_t
 hashMatrixContent(const CooMatrix &m)
 {
-    std::uint64_t h = 0x535041534d303031ULL; // "SPASM001"
-    h = hashMix(h, static_cast<std::uint64_t>(m.rows()));
-    h = hashMix(h, static_cast<std::uint64_t>(m.cols()));
-    h = hashMix(h, static_cast<std::uint64_t>(m.nnz()));
-    for (const Triplet &t : m.entries()) {
-        std::uint32_t bits = 0;
-        std::memcpy(&bits, &t.val, sizeof(bits));
-        h = hashMix(h, static_cast<std::uint64_t>(
-                           static_cast<std::uint32_t>(t.row)) << 32 |
-                           static_cast<std::uint32_t>(t.col));
-        h = hashMix(h, bits);
-    }
-    return h;
+    ContentHasher hasher;
+    hasher.begin(m.rows(), m.cols(), m.nnz());
+    for (const Triplet &t : m.entries())
+        hasher.add(t);
+    return hasher.finish();
 }
 
 std::string

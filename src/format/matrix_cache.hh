@@ -70,6 +70,28 @@ class CooMatrix;
  *  every triplet, value bit patterns included). */
 std::uint64_t hashMatrixContent(const CooMatrix &m);
 
+/**
+ * Incremental form of `hashMatrixContent`: `begin(rows, cols, nnz)`
+ * once, `add` every canonical entry in order, `finish` for the hash.
+ * Produces bit-identical keys to the one-shot function (which is
+ * implemented on top of this class), so a caller that folds entries
+ * as they stream past lands on the same cache entry as one that
+ * hashed a materialized `CooMatrix`.  Note the canonical dims/nnz are
+ * part of the hash *prefix* — a streaming producer that only learns
+ * the canonical nnz at the end must hash in a single fold once the
+ * matrix is assembled (what `spasm serve` does at load time).
+ */
+class ContentHasher
+{
+  public:
+    void begin(Index rows, Index cols, Count nnz);
+    void add(const Triplet &t);
+    std::uint64_t finish() const { return h_; }
+
+  private:
+    std::uint64_t h_ = 0;
+};
+
 /** splitmix64-style mixing step, exposed so callers can fold the
  *  encoding-relevant request knobs into the key's second axis. */
 std::uint64_t hashMix(std::uint64_t h, std::uint64_t v);

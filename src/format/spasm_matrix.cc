@@ -122,21 +122,73 @@ SpasmEncoder::SpasmEncoder(TemplatePortfolio portfolio, Index tile_size,
 SpasmMatrix
 SpasmEncoder::encode(const CooMatrix &m) const
 {
-    const int P = portfolio_.grid().size;
-    const Index T = tileSize_;
-    const Index num_tile_cols =
-        static_cast<Index>(ceilDiv(std::max<Index>(m.cols(), 1), T));
+    // One-shot encode is the single-block special case of the
+    // streaming encoder, so the two paths share every byte of logic.
+    SpasmEncodeStream stream(*this, m.rows(), m.cols());
+    stream.appendRowBlock(m.entries());
+    return stream.finish(m.nnz());
+}
 
-    SpasmMatrix out;
-    out.rows_ = m.rows();
-    out.cols_ = m.cols();
-    out.tileSize_ = T;
-    out.nnz_ = m.nnz();
-    out.portfolio_ = portfolio_;
+SpasmEncodeStream::SpasmEncodeStream(const SpasmEncoder &encoder,
+                                     Index rows, Index cols)
+    : encoder_(encoder),
+      decomposer_(std::make_unique<Decomposer>(encoder.portfolio()))
+{
+    out_.rows_ = rows;
+    out_.cols_ = cols;
+    out_.tileSize_ = encoder.tileSize();
+    out_.portfolio_ = encoder.portfolio();
+    numTileCols_ = static_cast<Index>(
+        ceilDiv(std::max<Index>(cols, 1), encoder.tileSize()));
+}
+
+SpasmEncodeStream::~SpasmEncodeStream() = default;
+
+void
+SpasmEncodeStream::closeTile(bool row_end)
+{
+    if (!tileOpen_)
+        return;
+    spasm_assert(!current_.words.empty());
+    if (encoder_.interleaveRows()) {
+        // Hazard-aware word scheduling: bucket the tile's words
+        // by r_idx and emit round-robin across buckets, so
+        // back-to-back words update different partial-sum rows.
+        std::map<std::uint32_t, std::vector<EncodedWord>> rows;
+        for (const auto &word : current_.words)
+            rows[word.pos.rIdx()].push_back(word);
+        std::vector<EncodedWord> reordered;
+        reordered.reserve(current_.words.size());
+        bool emitted = true;
+        for (std::size_t k = 0; emitted; ++k) {
+            emitted = false;
+            for (auto &[r, bucket] : rows) {
+                if (k < bucket.size()) {
+                    reordered.push_back(bucket[k]);
+                    emitted = true;
+                }
+            }
+        }
+        spasm_assert(reordered.size() == current_.words.size());
+        current_.words = std::move(reordered);
+    }
+    auto &last = current_.words.back();
+    last.pos = last.pos.withFlags(true, row_end);
+    out_.tiles_.push_back(std::move(current_));
+    current_ = SpasmTile{};
+    tileOpen_ = false;
+}
+
+void
+SpasmEncodeStream::appendRowBlock(const std::vector<Triplet> &entries)
+{
+    spasm_assert(!finished_);
+    const int P = out_.portfolio_.grid().size;
+    const Index T = out_.tileSize_;
+    const Index num_tile_cols = numTileCols_;
 
     // Sort entry indices by (tile, submatrix) so tiles stream in
     // row-block-major order and submatrix cells are contiguous.
-    const auto &entries = m.entries();
     auto key_of = [&](const Triplet &t) -> std::uint64_t {
         const std::uint64_t tile =
             static_cast<std::uint64_t>(t.row / T) * num_tile_cols +
@@ -154,45 +206,8 @@ SpasmEncoder::encode(const CooMatrix &m) const
                   return key_of(entries[a]) < key_of(entries[b]);
               });
 
-    Decomposer decomposer(portfolio_);
-    const PatternGrid &grid = portfolio_.grid();
-
-    SpasmTile current;
-    bool tile_open = false;
+    const PatternGrid &grid = out_.portfolio_.grid();
     Value cell_vals[16];
-
-    auto close_tile = [&](bool row_end) {
-        if (!tile_open)
-            return;
-        spasm_assert(!current.words.empty());
-        if (interleaveRows_) {
-            // Hazard-aware word scheduling: bucket the tile's words
-            // by r_idx and emit round-robin across buckets, so
-            // back-to-back words update different partial-sum rows.
-            std::map<std::uint32_t, std::vector<EncodedWord>> rows;
-            for (const auto &word : current.words)
-                rows[word.pos.rIdx()].push_back(word);
-            std::vector<EncodedWord> reordered;
-            reordered.reserve(current.words.size());
-            bool emitted = true;
-            for (std::size_t k = 0; emitted; ++k) {
-                emitted = false;
-                for (auto &[r, bucket] : rows) {
-                    if (k < bucket.size()) {
-                        reordered.push_back(bucket[k]);
-                        emitted = true;
-                    }
-                }
-            }
-            spasm_assert(reordered.size() == current.words.size());
-            current.words = std::move(reordered);
-        }
-        auto &last = current.words.back();
-        last.pos = last.pos.withFlags(true, row_end);
-        out.tiles_.push_back(std::move(current));
-        current = SpasmTile{};
-        tile_open = false;
-    };
 
     std::size_t i = 0;
     while (i < order.size()) {
@@ -201,6 +216,12 @@ SpasmEncoder::encode(const CooMatrix &m) const
         const Index tc = head.col / T;
         const Index sub_r = (head.row % T) / P;
         const Index sub_c = (head.col % T) / P;
+
+        // Blocks must extend the global row-block-major stream:
+        // out-of-order blocks would scramble tile order silently.
+        const std::uint64_t group_key = key_of(head);
+        spasm_assert(out_.numWords_ == 0 || group_key >= lastKey_);
+        lastKey_ = group_key;
 
         // Gather this submatrix's occupancy mask and cell values.
         PatternMask mask = 0;
@@ -220,18 +241,19 @@ SpasmEncoder::encode(const CooMatrix &m) const
 
         // Tile boundary bookkeeping: previous tile (if any) is closed
         // with CE, and additionally RE when its tile row ended.
-        if (tile_open &&
-            (current.tileRowIdx != tr || current.tileColIdx != tc)) {
-            close_tile(current.tileRowIdx != tr);
+        if (tileOpen_ &&
+            (current_.tileRowIdx != tr || current_.tileColIdx != tc)) {
+            closeTile(current_.tileRowIdx != tr);
         }
-        if (!tile_open) {
-            current.tileRowIdx = tr;
-            current.tileColIdx = tc;
-            tile_open = true;
+        if (!tileOpen_) {
+            current_.tileRowIdx = tr;
+            current_.tileColIdx = tc;
+            tileOpen_ = true;
         }
 
-        for (const auto &inst : decomposer.instances(mask)) {
-            const auto &temp = portfolio_.templates()[inst.templateId];
+        for (const auto &inst : decomposer_->instances(mask)) {
+            const auto &temp =
+                out_.portfolio_.templates()[inst.templateId];
             EncodedWord word;
             word.pos = PositionEncoding(
                 static_cast<std::uint32_t>(sub_c),
@@ -244,15 +266,23 @@ SpasmEncoder::encode(const CooMatrix &m) const
                     word.vals[k] = cell_vals[bit];
                 } else {
                     word.vals[k] = 0.0f;
-                    ++out.paddings_;
+                    ++out_.paddings_;
                 }
             }
-            current.words.push_back(word);
-            ++out.numWords_;
+            current_.words.push_back(word);
+            ++out_.numWords_;
         }
     }
-    close_tile(true);
-    return out;
+}
+
+SpasmMatrix
+SpasmEncodeStream::finish(Count nnz)
+{
+    spasm_assert(!finished_);
+    closeTile(true);
+    out_.nnz_ = nnz;
+    finished_ = true;
+    return std::move(out_);
 }
 
 } // namespace spasm

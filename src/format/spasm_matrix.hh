@@ -10,6 +10,7 @@
 #include <array>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,7 @@
 
 namespace spasm {
 
+class Decomposer;
 class SpasmMatrix;
 struct SerializeLimits;
 
@@ -97,6 +99,7 @@ class SpasmMatrix
 
   private:
     friend class SpasmEncoder;
+    friend class SpasmEncodeStream;
     friend SpasmMatrix readSpasmFile(std::istream &in,
                                      const std::string &name,
                                      const SerializeLimits &limits);
@@ -157,11 +160,66 @@ class SpasmEncoder
 
     Index tileSize() const { return tileSize_; }
     bool interleaveRows() const { return interleaveRows_; }
+    const TemplatePortfolio &portfolio() const { return portfolio_; }
 
   private:
     TemplatePortfolio portfolio_;
     Index tileSize_;
     bool interleaveRows_;
+};
+
+/**
+ * Incremental form of `SpasmEncoder::encode` for out-of-core
+ * ingestion: feed canonical COO entries one row block at a time and
+ * finish into a complete `SpasmMatrix` without ever holding the whole
+ * entry list.
+ *
+ * Contract: each block must cover whole tile rows (row range a
+ * multiple of the encoder's tile size), blocks must arrive in
+ * ascending row order, and each block's entries must already be in
+ * canonical COO order (what `CooMatrix::fromTriplets` produces).
+ * Under that contract the emitted word stream is bit-identical to a
+ * one-shot encode of the concatenated entries: tiles stream
+ * row-block-major either way, and the current tile is closed lazily —
+ * on the first entry of the next tile or at `finish` — so the
+ * CE/RE boundary flags land on exactly the same words.
+ * `SpasmEncoder::encode` itself is implemented as a single-block
+ * stream, so the two paths cannot drift apart.
+ *
+ * The encoder must outlive the stream.
+ */
+class SpasmEncodeStream
+{
+  public:
+    SpasmEncodeStream(const SpasmEncoder &encoder, Index rows,
+                      Index cols);
+    ~SpasmEncodeStream();
+
+    SpasmEncodeStream(const SpasmEncodeStream &) = delete;
+    SpasmEncodeStream &operator=(const SpasmEncodeStream &) = delete;
+
+    /** Encode one row block's entries (see the class contract). */
+    void appendRowBlock(const std::vector<Triplet> &entries);
+
+    /** Close the final tile (sets its RE flag) and return the
+     *  finished matrix.  @p nnz is the canonical entry total across
+     *  all appended blocks.  The stream is spent afterwards. */
+    SpasmMatrix finish(Count nnz);
+
+    /** Words emitted so far (progress reporting). */
+    Count wordsSoFar() const { return out_.numWords_; }
+
+  private:
+    void closeTile(bool row_end);
+
+    const SpasmEncoder &encoder_;
+    std::unique_ptr<Decomposer> decomposer_;
+    SpasmMatrix out_;
+    SpasmTile current_;
+    Index numTileCols_ = 0;
+    std::uint64_t lastKey_ = 0;
+    bool tileOpen_ = false;
+    bool finished_ = false;
 };
 
 } // namespace spasm

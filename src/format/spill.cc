@@ -1,0 +1,569 @@
+#include "format/spill.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <unistd.h>
+
+#include "sparse/coo.hh"
+#include "support/bits.hh"
+#include "support/cancellation.hh"
+#include "support/crc32.hh"
+#include "support/error.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
+#include "support/memory_budget.hh"
+#include "support/obs.hh"
+#include "support/telemetry.hh"
+
+namespace fs = std::filesystem;
+
+namespace spasm {
+
+namespace {
+
+constexpr std::uint32_t kFrameMagic = 0x4c495053; // "SPIL"
+
+/** Test-only knob: sleep this many ms inside every flush, so a CI
+ *  crash test can land its `kill -9` while spill temps exist.  Never
+ *  set outside tests (documented in docs/ingestion.md). */
+int
+testFlushDelayMs()
+{
+    static const int delay = [] {
+        const char *env = std::getenv("SPASM_INGEST_TEST_FLUSH_DELAY_MS");
+        return env != nullptr ? std::atoi(env) : 0;
+    }();
+    return delay;
+}
+
+std::uint64_t
+frameSite(std::size_t bucket, std::uint32_t frame)
+{
+    return (static_cast<std::uint64_t>(bucket) << 32) | frame;
+}
+
+} // namespace
+
+const char *
+spillFaultName(SpillFault fault)
+{
+    switch (fault) {
+      case SpillFault::None:
+        return "none";
+      case SpillFault::ShortWrite:
+        return "short-write";
+      case SpillFault::NoSpace:
+        return "no-space";
+      case SpillFault::CorruptRead:
+        return "corrupt-read";
+    }
+    return "unknown";
+}
+
+std::vector<std::string>
+sweepSpillDir(const std::string &dir)
+{
+    std::vector<std::string> quarantined;
+    std::error_code ec;
+    if (dir.empty() || !fs::is_directory(dir, ec))
+        return quarantined;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("spill-", 0) != 0 ||
+            name.size() < 4 ||
+            name.compare(name.size() - 4, 4, ".tmp") != 0) {
+            continue;
+        }
+        const std::string from = entry.path().string();
+        const std::string to = from + ".quarantined";
+        std::error_code rename_ec;
+        fs::rename(from, to, rename_ec);
+        if (rename_ec) {
+            logWarn("ingest", "spill sweep: cannot quarantine %s: %s",
+                     from.c_str(), rename_ec.message().c_str());
+            continue;
+        }
+        logWarn("ingest", "spill sweep: quarantined orphaned spill file %s "
+                 "(previous process died mid-spill)", name.c_str());
+        quarantined.push_back(to);
+        if (obs::enabled())
+            obs::Registry::global().add("ingest.spill.quarantined");
+    }
+    return quarantined;
+}
+
+SpillTiler::SpillTiler(const SpasmEncoder &encoder, SpillOptions options)
+    : options_(std::move(options)), encoder_(encoder)
+{
+    if (options_.dir.empty())
+        spasm_fatal("SpillTiler requires a spill directory");
+    std::error_code ec;
+    fs::create_directories(options_.dir, ec);
+    if (ec) {
+        throw Error::atInput(ErrorCode::Io, options_.dir,
+                             "cannot create spill directory: %s",
+                             ec.message().c_str());
+    }
+    // A budget ceiling overrides the configured flush threshold: the
+    // whole point of spilling is to stay inside the reservation, so
+    // buffer at most a quarter of it before flushing (leaving room
+    // for the chunk window and the per-block merge).
+    if (options_.budget != nullptr && options_.budget->limit() > 0) {
+        options_.flushBytes = std::min<std::int64_t>(
+            options_.flushBytes, options_.budget->limit() / 4);
+    }
+    if (options_.flushBytes < (1 << 16))
+        options_.flushBytes = 1 << 16;
+    if (options_.targetBuckets < 1)
+        options_.targetBuckets = 1;
+}
+
+SpillTiler::~SpillTiler()
+{
+    // Release any still-charged buffer bytes (finish() not reached or
+    // it threw); spill files are deliberately left behind on failure
+    // for the next startup sweep to quarantine.
+    if (options_.budget != nullptr && chargedBytes_ > 0)
+        options_.budget->release(chargedBytes_);
+}
+
+std::string
+SpillTiler::bucketPath(std::size_t bucket) const
+{
+    return options_.dir + "/spill-" + std::to_string(::getpid()) +
+        "-b" + std::to_string(bucket) + ".tmp";
+}
+
+void
+SpillTiler::onHeader(Index rows, Index cols, Count declared_nnz)
+{
+    (void)declared_nnz;
+    rows_ = rows;
+    cols_ = cols;
+    const Index T = encoder_.tileSize();
+    const Index tile_rows = static_cast<Index>(ceilDiv(rows, T));
+    const Index blocks_wanted = std::min<Index>(
+        static_cast<Index>(options_.targetBuckets),
+        std::max<Index>(tile_rows, 1));
+    const Index tile_rows_per_block =
+        static_cast<Index>(ceilDiv(std::max<Index>(tile_rows, 1),
+                                   blocks_wanted));
+    blockRows_ = tile_rows_per_block * T;
+    const auto num_buckets =
+        static_cast<std::size_t>(ceilDiv(rows, blockRows_));
+    buffers_.assign(std::max<std::size_t>(num_buckets, 1), {});
+    framesPerBucket_.assign(buffers_.size(), 0);
+}
+
+void
+SpillTiler::onTriplets(std::vector<Triplet> &&batch)
+{
+    spasm_assert(!finished_ && blockRows_ > 0);
+    const std::int64_t batch_bytes =
+        static_cast<std::int64_t>(batch.size() * sizeof(Triplet));
+    if (options_.budget != nullptr) {
+        options_.budget->charge(batch_bytes, "ingest.spill-buffers");
+        chargedBytes_ += batch_bytes;
+    }
+    for (const Triplet &t : batch) {
+        const auto bucket =
+            static_cast<std::size_t>(t.row / blockRows_);
+        buffers_[bucket].push_back(t);
+    }
+    bufferedBytes_ += batch_bytes;
+    batch.clear();
+    batch.shrink_to_fit();
+    if (bufferedBytes_ >= options_.flushBytes)
+        flushAll();
+}
+
+void
+SpillTiler::writeFrame(std::size_t bucket,
+                       const std::vector<Triplet> &triplets)
+{
+    const std::uint64_t site =
+        frameSite(bucket, framesPerBucket_[bucket]);
+    SpillFault fault = SpillFault::None;
+    if (options_.fault) {
+        fault = options_.fault(site);
+        if (fault != SpillFault::None)
+            ++stats_.injectedFaults;
+    }
+    if (fault == SpillFault::NoSpace) {
+        throw Error::atInput(ErrorCode::Io, bucketPath(bucket),
+                             "no space left on device writing spill "
+                             "frame %u (injected)",
+                             framesPerBucket_[bucket]);
+    }
+    if (fault == SpillFault::CorruptRead)
+        corruptOnRead_.push_back(site);
+
+    std::size_t payload_bytes = triplets.size() * sizeof(Triplet);
+    const std::uint32_t crc = crc32(triplets.data(), payload_bytes);
+    if (fault == SpillFault::ShortWrite && payload_bytes > 0) {
+        // Torn-write model: the frame header promises more payload
+        // than lands on disk.  The reader's short-read check (not the
+        // CRC) catches it, same as a real kill -9 mid-write.
+        payload_bytes -= std::min<std::size_t>(payload_bytes,
+                                               sizeof(Triplet));
+    }
+
+    const std::string path = bucketPath(bucket);
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    if (!out) {
+        throw Error::atInput(ErrorCode::Io, path,
+                             "cannot open spill file for append");
+    }
+    const std::uint32_t header[4] = {
+        kFrameMagic, static_cast<std::uint32_t>(bucket),
+        static_cast<std::uint32_t>(triplets.size()), crc};
+    out.write(reinterpret_cast<const char *>(header), sizeof(header));
+    out.write(reinterpret_cast<const char *>(triplets.data()),
+              static_cast<std::streamsize>(payload_bytes));
+    out.flush();
+    if (!out) {
+        throw Error::atInput(ErrorCode::Io, path,
+                             "short write appending spill frame %u",
+                             framesPerBucket_[bucket]);
+    }
+    ++framesPerBucket_[bucket];
+    ++stats_.frames;
+    stats_.spillBytes += sizeof(header) + payload_bytes;
+    stats_.spilledTriplets += triplets.size();
+}
+
+void
+SpillTiler::flushAll()
+{
+    if (bufferedBytes_ == 0)
+        return;
+    if (testFlushDelayMs() > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(testFlushDelayMs()));
+    }
+    if (options_.cancel != nullptr)
+        options_.cancel->throwIfCancelled("ingest.spill");
+    for (std::size_t b = 0; b < buffers_.size(); ++b) {
+        if (buffers_[b].empty())
+            continue;
+        writeFrame(b, buffers_[b]);
+        buffers_[b].clear();
+        buffers_[b].shrink_to_fit();
+    }
+    spilled_ = true;
+    ++stats_.flushes;
+    if (options_.budget != nullptr && chargedBytes_ > 0) {
+        options_.budget->release(chargedBytes_);
+        chargedBytes_ = 0;
+    }
+    bufferedBytes_ = 0;
+    if (auto *live = telemetry::liveIngestActive()) {
+        live->spillBytes.store(stats_.spillBytes,
+                               std::memory_order_relaxed);
+        live->spillFlushes.store(stats_.flushes,
+                                 std::memory_order_relaxed);
+    }
+}
+
+std::vector<Triplet>
+SpillTiler::readBucket(std::size_t bucket)
+{
+    std::vector<Triplet> triplets;
+    const std::string path = bucketPath(bucket);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw Error::atInput(ErrorCode::Io, path,
+                             "cannot reopen spill file");
+    }
+    for (std::uint32_t frame = 0; frame < framesPerBucket_[bucket];
+         ++frame) {
+        std::uint32_t header[4] = {0, 0, 0, 0};
+        in.read(reinterpret_cast<char *>(header), sizeof(header));
+        if (static_cast<std::size_t>(in.gcount()) != sizeof(header)) {
+            throw Error::atInput(ErrorCode::Truncated, path,
+                                 "spill frame %u: short read in frame "
+                                 "header", frame);
+        }
+        if (header[0] != kFrameMagic) {
+            throw Error::atInput(ErrorCode::BadMagic, path,
+                                 "spill frame %u: bad frame magic "
+                                 "0x%08x", frame, header[0]);
+        }
+        if (header[1] != static_cast<std::uint32_t>(bucket)) {
+            throw Error::atInput(ErrorCode::Invariant, path,
+                                 "spill frame %u: bucket id %u does "
+                                 "not match file bucket %u", frame,
+                                 header[1],
+                                 static_cast<std::uint32_t>(bucket));
+        }
+        const std::size_t count = header[2];
+        const std::size_t base = triplets.size();
+        triplets.resize(base + count);
+        const std::size_t payload_bytes = count * sizeof(Triplet);
+        in.read(reinterpret_cast<char *>(triplets.data() + base),
+                static_cast<std::streamsize>(payload_bytes));
+        if (static_cast<std::size_t>(in.gcount()) != payload_bytes) {
+            throw Error::atInput(ErrorCode::Truncated, path,
+                                 "spill frame %u: short read (%ld of "
+                                 "%ld payload bytes)", frame,
+                                 static_cast<long>(in.gcount()),
+                                 static_cast<long>(payload_bytes));
+        }
+        const std::uint64_t site = frameSite(bucket, frame);
+        if (std::find(corruptOnRead_.begin(), corruptOnRead_.end(),
+                      site) != corruptOnRead_.end() &&
+            payload_bytes > 0) {
+            // Injected read-side corruption: flip one payload byte
+            // before the CRC check sees it.
+            reinterpret_cast<unsigned char *>(
+                triplets.data() + base)[payload_bytes / 2] ^= 0x40;
+        }
+        const std::uint32_t crc =
+            crc32(triplets.data() + base, payload_bytes);
+        if (crc != header[3]) {
+            throw Error::atInput(ErrorCode::ChecksumMismatch, path,
+                                 "spill frame %u: payload CRC "
+                                 "mismatch (stored 0x%08x, computed "
+                                 "0x%08x)", frame, header[3], crc);
+        }
+    }
+    return triplets;
+}
+
+SpasmMatrix
+SpillTiler::finish()
+{
+    spasm_assert(!finished_);
+    finished_ = true;
+
+    SpasmEncodeStream stream(encoder_, rows_, cols_);
+    Count nnz = 0;
+    for (std::size_t b = 0; b < buffers_.size(); ++b) {
+        if (options_.cancel != nullptr)
+            options_.cancel->throwIfCancelled("ingest.merge");
+        std::vector<Triplet> block;
+        if (framesPerBucket_[b] > 0) {
+            block = readBucket(b);
+            // In-memory leftovers of this bucket arrived after every
+            // spilled frame, so appending them preserves the global
+            // arrival order fromTriplets' stable coalesce depends on.
+            block.insert(block.end(), buffers_[b].begin(),
+                         buffers_[b].end());
+        } else {
+            block = std::move(buffers_[b]);
+        }
+        buffers_[b].clear();
+        buffers_[b].shrink_to_fit();
+        if (block.empty())
+            continue;
+        ++stats_.buckets;
+        MemoryReservation block_charge(
+            options_.budget,
+            static_cast<std::int64_t>(block.size() * sizeof(Triplet)),
+            "ingest.merge-block");
+        auto coo = CooMatrix::fromTriplets(rows_, cols_,
+                                           std::move(block));
+        nnz += coo.nnz();
+        stream.appendRowBlock(coo.entries());
+    }
+    if (options_.budget != nullptr && chargedBytes_ > 0) {
+        options_.budget->release(chargedBytes_);
+        chargedBytes_ = 0;
+    }
+    bufferedBytes_ = 0;
+    SpasmMatrix out = stream.finish(nnz);
+
+    // Success: our spill files are spent; remove them (failure paths
+    // leave them for the startup sweep to quarantine).
+    for (std::size_t b = 0; b < framesPerBucket_.size(); ++b) {
+        if (framesPerBucket_[b] == 0)
+            continue;
+        std::error_code ec;
+        fs::remove(bucketPath(b), ec);
+        if (ec) {
+            logWarn("ingest", "cannot remove spent spill file %s: %s",
+                     bucketPath(b).c_str(), ec.message().c_str());
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/**
+ * The graceful-degradation sink: accumulate triplets in memory
+ * (budget-charged) exactly like the plain streamed read; on the first
+ * `BudgetExceeded` — and only when a spill dir is configured — stand
+ * up a `SpillTiler`, replay every buffered batch into it in arrival
+ * order, release the memory and keep going out-of-core.
+ */
+class AdaptiveSink final : public TripletSink
+{
+  public:
+    AdaptiveSink(const SpasmEncoder &encoder,
+                 const IngestEncodeOptions &options)
+        : encoder_(encoder), options_(options)
+    {
+    }
+
+    ~AdaptiveSink() override
+    {
+        if (options_.spill.budget != nullptr && chargedBytes_ > 0)
+            options_.spill.budget->release(chargedBytes_);
+    }
+
+    void onHeader(Index rows, Index cols, Count declared_nnz) override
+    {
+        rows_ = rows;
+        cols_ = cols;
+        declared_ = declared_nnz;
+        if (options_.forceSpill && !options_.spill.dir.empty())
+            degradeToSpill();
+        if (tiler_ != nullptr)
+            tiler_->onHeader(rows, cols, declared_nnz);
+    }
+
+    void onTriplets(std::vector<Triplet> &&batch) override
+    {
+        if (tiler_ != nullptr) {
+            tiler_->onTriplets(std::move(batch));
+            return;
+        }
+        const std::int64_t bytes =
+            static_cast<std::int64_t>(batch.size() * sizeof(Triplet));
+        if (options_.spill.budget != nullptr) {
+            try {
+                options_.spill.budget->charge(bytes,
+                                              "ingest.triplets");
+            } catch (const Error &e) {
+                if (e.code() != ErrorCode::BudgetExceeded ||
+                    options_.spill.dir.empty()) {
+                    throw;
+                }
+                logWarn("ingest", "ingest: triplet buffer exceeds the memory "
+                         "budget; degrading to out-of-core spill in "
+                         "%s", options_.spill.dir.c_str());
+                degradeToSpill();
+                tiler_->onHeader(rows_, cols_, declared_);
+                for (auto &buffered : batches_)
+                    tiler_->onTriplets(std::move(buffered));
+                batches_.clear();
+                tiler_->onTriplets(std::move(batch));
+                return;
+            }
+            chargedBytes_ += bytes;
+        }
+        batches_.push_back(std::move(batch));
+    }
+
+    /** Encode whichever representation we ended up with. */
+    SpasmMatrix finish(IngestEncodeResult *result)
+    {
+        if (tiler_ != nullptr) {
+            SpasmMatrix out = tiler_->finish();
+            result->spill = tiler_->stats();
+            result->spilled = true;
+            return out;
+        }
+        std::vector<Triplet> all;
+        std::size_t total = 0;
+        for (const auto &b : batches_)
+            total += b.size();
+        all.reserve(total);
+        for (auto &b : batches_) {
+            all.insert(all.end(), b.begin(), b.end());
+            b.clear();
+            b.shrink_to_fit();
+        }
+        batches_.clear();
+        auto coo = CooMatrix::fromTriplets(rows_, cols_,
+                                           std::move(all));
+        SpasmMatrix out = encoder_.encode(coo);
+        if (options_.spill.budget != nullptr && chargedBytes_ > 0) {
+            options_.spill.budget->release(chargedBytes_);
+            chargedBytes_ = 0;
+        }
+        return out;
+    }
+
+  private:
+    void degradeToSpill()
+    {
+        if (obs::enabled())
+            obs::Registry::global().add("ingest.spill.engaged");
+        tiler_ = std::make_unique<SpillTiler>(encoder_,
+                                              options_.spill);
+        if (options_.spill.budget != nullptr && chargedBytes_ > 0) {
+            // The tiler re-charges what it buffers itself; our
+            // accumulated charge is handed over via the replay.
+            options_.spill.budget->release(chargedBytes_);
+            chargedBytes_ = 0;
+        }
+    }
+
+    const SpasmEncoder &encoder_;
+    const IngestEncodeOptions &options_;
+    std::unique_ptr<SpillTiler> tiler_;
+    std::vector<std::vector<Triplet>> batches_;
+    Index rows_ = 0;
+    Index cols_ = 0;
+    Count declared_ = 0;
+    std::int64_t chargedBytes_ = 0;
+};
+
+} // namespace
+
+IngestEncodeResult
+ingestEncodeMatrixMarket(const std::string &path,
+                         const SpasmEncoder &encoder,
+                         const IngestEncodeOptions &options)
+{
+    IngestEncodeResult result;
+    AdaptiveSink sink(encoder, options);
+    StreamIngestOptions stream = options.stream;
+    if (stream.budget == nullptr)
+        stream.budget = options.spill.budget;
+    streamMatrixMarket(path, stream, sink, &result.parse);
+    result.matrix = sink.finish(&result);
+    return result;
+}
+
+void
+writeIngestJson(std::ostream &os, const std::string &input,
+                const IngestEncodeResult &result,
+                std::int64_t peak_budget_bytes)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "spasm-ingest-v1");
+    w.field("input", input);
+    w.field("rows", result.matrix.rows());
+    w.field("cols", result.matrix.cols());
+    w.field("nnz", result.matrix.nnz());
+    w.field("parse_bytes", result.parse.bytes);
+    w.field("parse_lines", result.parse.lines);
+    w.field("parse_entries", result.parse.entries);
+    w.field("parse_triplets", result.parse.triplets);
+    w.field("parse_chunks", result.parse.chunks);
+    w.field("parse_windows", result.parse.windows);
+    w.field("payload_crc32", result.parse.payloadCrc32);
+    w.field("spilled", result.spilled);
+    w.field("spill_bytes", result.spill.spillBytes);
+    w.field("spill_frames", result.spill.frames);
+    w.field("spill_flushes", result.spill.flushes);
+    w.field("spill_buckets", result.spill.buckets);
+    w.field("spill_triplets", result.spill.spilledTriplets);
+    w.field("injected_faults", result.spill.injectedFaults);
+    w.field("encoded_words", result.matrix.numWords());
+    w.field("padding_rate", result.matrix.paddingRate());
+    w.field("peak_budget_bytes", peak_budget_bytes);
+    w.endObject();
+    w.finish();
+}
+
+} // namespace spasm

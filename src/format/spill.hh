@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Out-of-core tiling for SPASM encoding: when a matrix's triplets
+ * would blow the memory budget, bucket them into CRC-framed spill
+ * files on disk (one file per tile-aligned row block), then external-
+ * merge the buckets back one row block at a time through the
+ * streaming encoder (`SpasmEncodeStream`).  Peak tracked memory stays
+ * bounded by the flush threshold plus one row block, instead of the
+ * whole entry list.
+ *
+ * Crash safety: spill files are `<dir>/spill-<pid>-b<block>.tmp`,
+ * written append-only in self-checking frames (magic, bucket id,
+ * count, CRC-32 of the payload).  A `kill -9` can tear at most the
+ * frame in flight; a torn or corrupt frame is a typed read error,
+ * never silent data.  `sweepSpillDir` runs at startup and renames any
+ * orphaned `spill-*.tmp` (from a previous killed process) to
+ * `*.quarantined` — forensics stay possible, re-runs never parse a
+ * dead process's leftovers.
+ *
+ * Graceful degradation (`ingestEncodeMatrixMarket`): small inputs
+ * never touch the disk — triplets accumulate in memory and encode
+ * exactly like the non-streaming path.  Only when the accumulation
+ * overruns the `MemoryBudget` (and a spill dir is configured) does
+ * the run degrade to the out-of-core tiler, replaying what was
+ * buffered so far.  The only ways out are success or a typed
+ * `Error{BudgetExceeded | Io | ...}` — never an OOM kill, never a
+ * silent wrong answer.
+ *
+ * The encoded result is bit-identical to the in-memory path: buckets
+ * partition the tile rows, per-block canonicalization composes with
+ * `CooMatrix::fromTriplets` (row-disjoint blocks, arrival order
+ * preserved per bucket), and `SpasmEncoder::encode` is itself the
+ * single-block case of `SpasmEncodeStream`.
+ *
+ * One deliberate degradation: the out-of-core path cannot run
+ * dynamic portfolio *selection* (pattern analysis wants the whole
+ * matrix in memory), so callers pass an explicit `SpasmEncoder` —
+ * the same fixed-portfolio fallback the framework uses when analysis
+ * is skipped.
+ */
+
+#ifndef SPASM_FORMAT_SPILL_HH
+#define SPASM_FORMAT_SPILL_HH
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "format/spasm_matrix.hh"
+#include "sparse/stream_ingest.hh"
+
+namespace spasm {
+
+class MemoryBudget;
+
+/**
+ * Deterministic spill-I/O fault, drawn once per frame at write time
+ * (src/faults/FaultPlan::spillFault implements the draw):
+ *  - ShortWrite: the frame's payload is silently truncated on disk —
+ *    the torn-write model; the reader detects it via framing/CRC;
+ *  - NoSpace: the write fails immediately with a typed Error{Io}
+ *    (ENOSPC model);
+ *  - CorruptRead: a payload byte is flipped on the way back in,
+ *    before the CRC check — detected as Error{ChecksumMismatch}.
+ * All three surface as typed errors; none can yield silent data.
+ */
+enum class SpillFault
+{
+    None,
+    ShortWrite,
+    NoSpace,
+    CorruptRead,
+};
+
+const char *spillFaultName(SpillFault fault);
+
+struct SpillOptions
+{
+    /** Spill directory (created if missing).  Required by SpillTiler;
+     *  empty in IngestEncodeOptions means "never spill". */
+    std::string dir;
+
+    /** Buffered triplet bytes that trigger a flush of all buckets. */
+    std::int64_t flushBytes = 32ll << 20;
+
+    /** Row blocks to bucket into (rounded to whole tile rows). */
+    int targetBuckets = 64;
+
+    /** Charged for buffered triplets and the per-block merge. */
+    MemoryBudget *budget = nullptr;
+
+    const CancellationToken *cancel = nullptr;
+
+    /** Fault-injection hook, consulted once per frame with a stable
+     *  site id; null = no injection. */
+    std::function<SpillFault(std::uint64_t site)> fault;
+};
+
+struct SpillStats
+{
+    std::uint64_t spillBytes = 0;   ///< bytes appended to spill files
+    std::uint64_t frames = 0;       ///< CRC frames written
+    std::uint64_t flushes = 0;      ///< whole-buffer flush passes
+    std::uint64_t buckets = 0;      ///< row blocks with any data
+    std::uint64_t spilledTriplets = 0;
+    std::uint64_t injectedFaults = 0;
+};
+
+/**
+ * Startup sweep: rename every orphaned `spill-*.tmp` in @p dir to
+ * `<name>.quarantined` (rename, never delete).  Returns the files
+ * quarantined.  Missing dir is a no-op.
+ */
+std::vector<std::string> sweepSpillDir(const std::string &dir);
+
+/**
+ * A `TripletSink` that buckets incoming triplets by tile-aligned row
+ * block, spilling buckets to CRC-framed files whenever the in-memory
+ * buffer exceeds `flushBytes`, then merges bucket-by-bucket through a
+ * `SpasmEncodeStream` in `finish()`.  Spill files are removed on
+ * success; on any failure they remain for the next startup sweep to
+ * quarantine.
+ */
+class SpillTiler : public TripletSink
+{
+  public:
+    SpillTiler(const SpasmEncoder &encoder, SpillOptions options);
+    ~SpillTiler() override;
+
+    SpillTiler(const SpillTiler &) = delete;
+    SpillTiler &operator=(const SpillTiler &) = delete;
+
+    void onHeader(Index rows, Index cols, Count declared_nnz) override;
+    void onTriplets(std::vector<Triplet> &&batch) override;
+
+    /** External merge + streaming encode; spent afterwards. */
+    SpasmMatrix finish();
+
+    const SpillStats &stats() const { return stats_; }
+
+  private:
+    void flushAll();
+    void writeFrame(std::size_t bucket,
+                    const std::vector<Triplet> &triplets);
+    std::vector<Triplet> readBucket(std::size_t bucket);
+    std::string bucketPath(std::size_t bucket) const;
+
+    SpillOptions options_;
+    const SpasmEncoder &encoder_;
+    SpillStats stats_;
+    Index rows_ = 0;
+    Index cols_ = 0;
+    Index blockRows_ = 0; ///< rows per bucket (multiple of tile size)
+    std::vector<std::vector<Triplet>> buffers_;
+    std::vector<std::uint32_t> framesPerBucket_;
+    /** Frames whose write-time draw said CorruptRead; applied when
+     *  the frame is read back (site -> corrupt). */
+    std::vector<std::uint64_t> corruptOnRead_;
+    std::int64_t bufferedBytes_ = 0;
+    std::int64_t chargedBytes_ = 0;
+    bool spilled_ = false;
+    bool finished_ = false;
+};
+
+/** Knobs for the one-call ingest-and-encode orchestrator. */
+struct IngestEncodeOptions
+{
+    StreamIngestOptions stream;
+    SpillOptions spill; ///< spill.dir empty = in-memory only
+    /** Skip the in-memory attempt and spill from the first triplet
+     *  (tests / `spasm ingest --force-spill`). */
+    bool forceSpill = false;
+};
+
+/** What `ingestEncodeMatrixMarket` did and produced. */
+struct IngestEncodeResult
+{
+    SpasmMatrix matrix;
+    IngestStats parse;
+    SpillStats spill;
+    bool spilled = false;
+};
+
+/**
+ * Parse @p path with the chunked streaming parser and encode it with
+ * @p encoder, degrading from in-memory accumulation to the
+ * out-of-core spill tiler only when the `MemoryBudget` overflows (and
+ * `spill.dir` is set).  The result is bit-identical either way.
+ */
+IngestEncodeResult
+ingestEncodeMatrixMarket(const std::string &path,
+                         const SpasmEncoder &encoder,
+                         const IngestEncodeOptions &options);
+
+/** `spasm-ingest-v1` stats JSON (documented in docs/ingestion.md). */
+void writeIngestJson(std::ostream &os, const std::string &input,
+                     const IngestEncodeResult &result,
+                     std::int64_t peak_budget_bytes);
+
+} // namespace spasm
+
+#endif // SPASM_FORMAT_SPILL_HH

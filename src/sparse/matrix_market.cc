@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "sparse/mm_detail.hh"
 #include "support/error.hh"
 #include "support/logging.hh"
 
@@ -20,8 +21,10 @@ toLower(std::string s)
     return s;
 }
 
-/** Whitespace-only line, or one whose first non-space char is '%'
- *  (blank-by-CRLF included). */
+} // namespace
+
+namespace mm {
+
 bool
 isBlankOrComment(const std::string &line)
 {
@@ -32,7 +35,109 @@ isBlankOrComment(const std::string &line)
     return true;
 }
 
-} // namespace
+Header
+parseHeader(std::istream &in, const std::string &name)
+{
+    std::string line;
+    if (!std::getline(in, line)) {
+        throw Error::atInput(ErrorCode::Parse, name,
+                             "empty MatrixMarket file");
+    }
+
+    std::istringstream banner(line);
+    std::string tag, object, fmt, field, symmetry;
+    banner >> tag >> object >> fmt >> field >> symmetry;
+    if (tag != "%%MatrixMarket") {
+        throw Error::atLine(ErrorCode::Parse, name, 1,
+                            "missing MatrixMarket banner");
+    }
+    object = toLower(object);
+    fmt = toLower(fmt);
+    field = toLower(field);
+    symmetry = toLower(symmetry);
+    if (object != "matrix" || fmt != "coordinate") {
+        throw Error::atLine(ErrorCode::Parse, name, 1,
+                            "only coordinate matrices are supported");
+    }
+    Header h;
+    h.field = field;
+    h.pattern = field == "pattern";
+    if (!h.pattern && field != "real" && field != "integer") {
+        throw Error::atLine(ErrorCode::Parse, name, 1,
+                            "unsupported field type '%s'",
+                            field.c_str());
+    }
+    h.symmetric = symmetry == "symmetric";
+    h.skew = symmetry == "skew-symmetric";
+    if (!h.symmetric && !h.skew && symmetry != "general") {
+        throw Error::atLine(ErrorCode::Parse, name, 1,
+                            "unsupported symmetry '%s'",
+                            symmetry.c_str());
+    }
+
+    // Skip comments, then read the size line.  Line numbers are
+    // tracked for diagnostics (the banner was line 1).
+    long line_no = 1;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (!isBlankOrComment(line))
+            break;
+    }
+    std::istringstream size_line(line);
+    if (!(size_line >> h.rows >> h.cols >> h.declaredNnz) ||
+        h.rows <= 0 || h.cols <= 0 || h.declaredNnz < 0) {
+        throw Error::atLine(ErrorCode::Parse, name, line_no,
+                            "malformed size line '%s'", line.c_str());
+    }
+    h.sizeLineNo = line_no;
+    return h;
+}
+
+void
+parseEntryLine(const std::string &line, long line_no, const Header &h,
+               const std::string &name, std::vector<Triplet> &out)
+{
+    std::istringstream entry(line);
+    long r = 0, c = 0;
+    double v = 1.0;
+    // Validate every extraction: junk tokens or a missing value
+    // column must fail loudly instead of parsing as 0 / 1.0.
+    if (!(entry >> r >> c)) {
+        throw Error::atLine(
+            ErrorCode::Parse, name, line_no,
+            "malformed entry line '%s' (expected row and column "
+            "indices)",
+            line.c_str());
+    }
+    if (!h.pattern && !(entry >> v)) {
+        throw Error::atLine(
+            ErrorCode::Parse, name, line_no,
+            "entry line '%s' is missing a valid %s value",
+            line.c_str(), h.field.c_str());
+    }
+    if (r < 1 || r > h.rows || c < 1 || c > h.cols) {
+        throw Error::atLine(ErrorCode::Parse, name, line_no,
+                            "entry (%ld, %ld) out of range", r, c);
+    }
+    if (h.skew && r == c) {
+        // The MatrixMarket spec forbids explicit diagonal entries
+        // in skew-symmetric files (the diagonal is implicitly
+        // zero); accepting them would skew the expanded nnz.
+        throw Error::atLine(
+            ErrorCode::Parse, name, line_no,
+            "explicit diagonal entry (%ld, %ld) in a "
+            "skew-symmetric matrix",
+            r, c);
+    }
+    const Index ri = static_cast<Index>(r - 1);
+    const Index ci = static_cast<Index>(c - 1);
+    out.emplace_back(ri, ci, static_cast<Value>(v));
+    if ((h.symmetric || h.skew) && ri != ci) {
+        out.emplace_back(ci, ri, static_cast<Value>(h.skew ? -v : v));
+    }
+}
+
+} // namespace mm
 
 CooMatrix
 readMatrixMarket(const std::string &path)
@@ -56,129 +161,44 @@ readMatrixMarketFromString(const std::string &content,
 CooMatrix
 readMatrixMarket(std::istream &in, const std::string &name)
 {
-    std::string line;
-    if (!std::getline(in, line)) {
-        throw Error::atInput(ErrorCode::Parse, name,
-                             "empty MatrixMarket file");
-    }
-
-    std::istringstream banner(line);
-    std::string tag, object, fmt, field, symmetry;
-    banner >> tag >> object >> fmt >> field >> symmetry;
-    if (tag != "%%MatrixMarket") {
-        throw Error::atLine(ErrorCode::Parse, name, 1,
-                            "missing MatrixMarket banner");
-    }
-    object = toLower(object);
-    fmt = toLower(fmt);
-    field = toLower(field);
-    symmetry = toLower(symmetry);
-    if (object != "matrix" || fmt != "coordinate") {
-        throw Error::atLine(ErrorCode::Parse, name, 1,
-                            "only coordinate matrices are supported");
-    }
-    const bool pattern = field == "pattern";
-    if (!pattern && field != "real" && field != "integer") {
-        throw Error::atLine(ErrorCode::Parse, name, 1,
-                            "unsupported field type '%s'",
-                            field.c_str());
-    }
-    const bool symmetric = symmetry == "symmetric";
-    const bool skew = symmetry == "skew-symmetric";
-    if (!symmetric && !skew && symmetry != "general") {
-        throw Error::atLine(ErrorCode::Parse, name, 1,
-                            "unsupported symmetry '%s'",
-                            symmetry.c_str());
-    }
-
-    // Skip comments, then read the size line.  Line numbers are
-    // tracked for diagnostics (the banner was line 1).
-    long line_no = 1;
-    while (std::getline(in, line)) {
-        ++line_no;
-        if (!isBlankOrComment(line))
-            break;
-    }
-    std::istringstream size_line(line);
-    long rows = 0, cols = 0, declared_nnz = 0;
-    if (!(size_line >> rows >> cols >> declared_nnz) || rows <= 0 ||
-        cols <= 0 || declared_nnz < 0) {
-        throw Error::atLine(ErrorCode::Parse, name, line_no,
-                            "malformed size line '%s'", line.c_str());
-    }
+    const mm::Header h = mm::parseHeader(in, name);
 
     std::vector<Triplet> triplets;
     // The reserve is an optimization only: cap it so a lying size
     // line cannot force a multi-GB allocation before the entry loop
     // discovers the file is short.
-    const std::size_t expect = static_cast<std::size_t>(declared_nnz) *
-        (symmetric || skew ? 2 : 1);
+    const std::size_t expect =
+        static_cast<std::size_t>(h.declaredNnz) *
+        (h.symmetric || h.skew ? 2 : 1);
     triplets.reserve(std::min<std::size_t>(expect, 1u << 22));
+    long line_no = h.sizeLineNo;
     long seen = 0;
-    while (seen < declared_nnz && std::getline(in, line)) {
+    std::string line;
+    while (seen < h.declaredNnz && std::getline(in, line)) {
         ++line_no;
-        if (isBlankOrComment(line))
+        if (mm::isBlankOrComment(line))
             continue;
-        std::istringstream entry(line);
-        long r = 0, c = 0;
-        double v = 1.0;
-        // Validate every extraction: junk tokens or a missing value
-        // column must fail loudly instead of parsing as 0 / 1.0.
-        if (!(entry >> r >> c)) {
-            throw Error::atLine(
-                ErrorCode::Parse, name, line_no,
-                "malformed entry line '%s' (expected row and column "
-                "indices)",
-                line.c_str());
-        }
-        if (!pattern && !(entry >> v)) {
-            throw Error::atLine(
-                ErrorCode::Parse, name, line_no,
-                "entry line '%s' is missing a valid %s value",
-                line.c_str(), field.c_str());
-        }
-        if (r < 1 || r > rows || c < 1 || c > cols) {
-            throw Error::atLine(ErrorCode::Parse, name, line_no,
-                                "entry (%ld, %ld) out of range", r,
-                                c);
-        }
-        if (skew && r == c) {
-            // The MatrixMarket spec forbids explicit diagonal entries
-            // in skew-symmetric files (the diagonal is implicitly
-            // zero); accepting them would skew the expanded nnz.
-            throw Error::atLine(
-                ErrorCode::Parse, name, line_no,
-                "explicit diagonal entry (%ld, %ld) in a "
-                "skew-symmetric matrix",
-                r, c);
-        }
+        mm::parseEntryLine(line, line_no, h, name, triplets);
         ++seen;
-        const Index ri = static_cast<Index>(r - 1);
-        const Index ci = static_cast<Index>(c - 1);
-        triplets.emplace_back(ri, ci, static_cast<Value>(v));
-        if ((symmetric || skew) && ri != ci) {
-            triplets.emplace_back(ci, ri,
-                                  static_cast<Value>(skew ? -v : v));
-        }
     }
-    if (seen != declared_nnz) {
+    if (seen != h.declaredNnz) {
         throw Error::atInput(ErrorCode::Truncated, name,
                              "expected %ld entries, found %ld",
-                             declared_nnz, seen);
+                             h.declaredNnz, seen);
     }
     // Anything but blanks/comments after the declared entry count is
     // a corrupt file, not something to silently drop.
     while (std::getline(in, line)) {
         ++line_no;
-        if (!isBlankOrComment(line)) {
+        if (!mm::isBlankOrComment(line)) {
             throw Error::atLine(
                 ErrorCode::Parse, name, line_no,
                 "trailing data '%s' after the %ld declared entries",
-                line.c_str(), declared_nnz);
+                line.c_str(), h.declaredNnz);
         }
     }
-    auto m = CooMatrix::fromTriplets(static_cast<Index>(rows),
-                                     static_cast<Index>(cols),
+    auto m = CooMatrix::fromTriplets(static_cast<Index>(h.rows),
+                                     static_cast<Index>(h.cols),
                                      std::move(triplets));
     m.setName(name);
     return m;

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Internal MatrixMarket parsing core shared by the serial reader
+ * (matrix_market.cc) and the chunked streaming reader
+ * (stream_ingest.cc).
+ *
+ * Both entry points MUST produce byte-identical typed diagnostics, so
+ * the banner/size-line parse and the per-entry-line parse live here as
+ * the single source of truth.  Line numbers are 1-based file line
+ * numbers, exactly as std::getline would count them.
+ */
+
+#ifndef SPASM_SPARSE_MM_DETAIL_HH
+#define SPASM_SPARSE_MM_DETAIL_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sparse/types.hh"
+
+namespace spasm {
+namespace mm {
+
+/** Whitespace-only line, or one whose first non-space char is '%'
+ *  (blank-by-CRLF included). */
+bool isBlankOrComment(const std::string &line);
+
+/** Parsed banner + size line of a coordinate MatrixMarket file. */
+struct Header
+{
+    bool pattern = false;
+    bool symmetric = false;
+    bool skew = false;
+    std::string field; ///< "real" | "integer" | "pattern" (lowered)
+    long rows = 0;
+    long cols = 0;
+    long declaredNnz = 0;
+    long sizeLineNo = 0; ///< 1-based line number of the size line
+};
+
+/**
+ * Consume the banner, comment block and size line from @p in,
+ * throwing the reader's typed line-numbered errors on any problem.
+ * On return the stream is positioned at the first byte after the
+ * size line.
+ */
+Header parseHeader(std::istream &in, const std::string &name);
+
+/**
+ * Parse one entry line (caller has already skipped blanks/comments)
+ * and append the triplet — plus its symmetric/skew mirror for
+ * off-diagonal entries — to @p out.  Throws the reader's exact typed
+ * errors (malformed tokens, missing value, out-of-range coordinates,
+ * explicit skew diagonal) tagged with @p line_no.
+ */
+void parseEntryLine(const std::string &line, long line_no,
+                    const Header &h, const std::string &name,
+                    std::vector<Triplet> &out);
+
+} // namespace mm
+} // namespace spasm
+
+#endif // SPASM_SPARSE_MM_DETAIL_HH

@@ -1,0 +1,325 @@
+#include "sparse/stream_ingest.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "sparse/matrix_market.hh"
+#include "sparse/mm_detail.hh"
+#include "support/cancellation.hh"
+#include "support/crc32.hh"
+#include "support/error.hh"
+#include "support/memory_budget.hh"
+#include "support/obs.hh"
+#include "support/telemetry.hh"
+#include "support/thread_pool.hh"
+
+namespace spasm {
+
+namespace {
+
+/**
+ * Cuts the stream after the MatrixMarket header into chunks that end
+ * on a line boundary.  A chunk is at least `chunkBytes` long (the
+ * last one may be shorter) and always ends with '\n' except possibly
+ * the final chunk of a file without a trailing newline.
+ */
+class ChunkReader
+{
+  public:
+    ChunkReader(std::istream &in, std::size_t chunk_bytes)
+        : in_(in), chunkBytes_(std::max<std::size_t>(chunk_bytes, 1))
+    {
+    }
+
+    /** @return false once the stream is exhausted. */
+    bool next(std::string &chunk)
+    {
+        chunk.clear();
+        chunk.swap(carry_);
+        while (true) {
+            if (eof_)
+                return !chunk.empty();
+            const std::size_t base = chunk.size();
+            chunk.resize(base + chunkBytes_);
+            in_.read(chunk.data() + base,
+                     static_cast<std::streamsize>(chunkBytes_));
+            const std::size_t got =
+                static_cast<std::size_t>(in_.gcount());
+            chunk.resize(base + got);
+            if (in_.eof())
+                eof_ = true;
+            if (got == 0)
+                return !chunk.empty();
+            const std::size_t nl = chunk.rfind('\n');
+            if (nl != std::string::npos) {
+                carry_.assign(chunk, nl + 1, std::string::npos);
+                chunk.resize(nl + 1);
+                return true;
+            }
+            // No newline yet: a line longer than chunkBytes; keep
+            // growing this chunk until one shows up or EOF.
+        }
+    }
+
+  private:
+    std::istream &in_;
+    std::size_t chunkBytes_;
+    std::string carry_;
+    bool eof_ = false;
+};
+
+/** Per-chunk parse result, merged in chunk order. */
+struct ShardOut
+{
+    std::vector<Triplet> triplets;
+    std::uint64_t entryLines = 0;
+    std::uint64_t lines = 0;
+    /** Some line this shard could not parse (or rejected).  The
+     *  canonical first-in-file diagnostic comes from the serial
+     *  replay, so no position is recorded here. */
+    bool anomaly = false;
+};
+
+/**
+ * Parse one chunk's lines with the shared entry-line core.  Line
+ * numbers passed to the core are 0 — any Error it throws is discarded
+ * and the file is re-read serially for the canonical diagnostic.
+ */
+void
+parseShard(const std::string &chunk, const mm::Header &h,
+           const std::string &name, ShardOut &out)
+{
+    std::size_t pos = 0;
+    std::string line;
+    const std::size_t size = chunk.size();
+    while (pos < size) {
+        std::size_t nl = chunk.find('\n', pos);
+        if (nl == std::string::npos)
+            nl = size;
+        line.assign(chunk, pos, nl - pos);
+        pos = nl + 1;
+        ++out.lines;
+        if (mm::isBlankOrComment(line))
+            continue;
+        try {
+            mm::parseEntryLine(line, 0, h, name, out.triplets);
+        } catch (const Error &) {
+            out.anomaly = true;
+            return;
+        }
+        ++out.entryLines;
+    }
+}
+
+/**
+ * Re-run the serial reader to produce the canonical first-in-file
+ * diagnostic.  If it unexpectedly succeeds, the file changed between
+ * the streamed pass and the replay (the parsers share one line-level
+ * core, so disagreement on stable bytes is impossible).
+ */
+[[noreturn]] void
+replaySerial(const std::string &path)
+{
+    (void)readMatrixMarket(path);
+    throw Error::atInput(ErrorCode::Io, path,
+                         "file changed during streaming parse");
+}
+
+} // namespace
+
+void
+streamMatrixMarket(const std::string &path,
+                   const StreamIngestOptions &opts, TripletSink &sink,
+                   IngestStats *stats)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw Error::atInput(ErrorCode::Io, path,
+                             "cannot open MatrixMarket file");
+    }
+
+    IngestStats st;
+    telemetry::LiveIngest *live = telemetry::liveIngestActive();
+    if (live != nullptr) {
+        live->active.store(1, std::memory_order_relaxed);
+        std::error_code ec;
+        const auto fsize = std::filesystem::file_size(path, ec);
+        live->bytesTotal.store(ec ? 0 : fsize,
+                               std::memory_order_relaxed);
+    }
+    struct LiveGuard
+    {
+        telemetry::LiveIngest *live;
+        ~LiveGuard()
+        {
+            if (live != nullptr)
+                live->active.store(0, std::memory_order_relaxed);
+        }
+    } live_guard{live};
+
+    const mm::Header h = mm::parseHeader(in, path);
+    sink.onHeader(static_cast<Index>(h.rows),
+                  static_cast<Index>(h.cols),
+                  static_cast<Count>(h.declaredNnz));
+    st.lines = static_cast<std::uint64_t>(h.sizeLineNo);
+
+    ThreadPool &pool = ThreadPool::global();
+    const std::size_t window = std::max<std::size_t>(
+        1, static_cast<std::size_t>(pool.concurrency()));
+
+    ChunkReader reader(in, opts.chunkBytes);
+    std::vector<std::string> chunks;
+    std::vector<ShardOut> shards;
+    std::uint64_t seen = 0;
+    bool anomaly = false;
+
+    while (!anomaly) {
+        chunks.clear();
+        std::string chunk;
+        while (chunks.size() < window && reader.next(chunk))
+            chunks.push_back(std::move(chunk));
+        if (chunks.empty())
+            break;
+
+        std::int64_t window_bytes = 0;
+        for (const std::string &c : chunks)
+            window_bytes += static_cast<std::int64_t>(c.size());
+        // Transient chunk buffers are budget-charged for the window's
+        // lifetime; BudgetExceeded propagates before any parse work.
+        MemoryReservation chunk_charge(opts.budget, window_bytes,
+                                       "ingest.chunk-buffers");
+
+        shards.clear();
+        shards.resize(chunks.size());
+        pool.parallelFor(
+            chunks.size(),
+            [&](std::size_t i) {
+                parseShard(chunks[i], h, path, shards[i]);
+            },
+            opts.cancel);
+        if (opts.cancel != nullptr)
+            opts.cancel->throwIfCancelled("ingest");
+
+        ++st.windows;
+        for (std::size_t i = 0; i < shards.size(); ++i) {
+            ShardOut &s = shards[i];
+            st.bytes += chunks[i].size();
+            st.payloadCrc32 = crc32(chunks[i].data(), chunks[i].size(),
+                                    st.payloadCrc32);
+            st.lines += s.lines;
+            ++st.chunks;
+            if (s.anomaly) {
+                anomaly = true;
+                break;
+            }
+            st.entries += s.entryLines;
+            st.triplets += s.triplets.size();
+            seen += s.entryLines;
+            sink.onTriplets(std::move(s.triplets));
+        }
+        if (live != nullptr) {
+            live->bytesRead.store(st.bytes, std::memory_order_relaxed);
+            live->lines.store(st.lines, std::memory_order_relaxed);
+            live->entries.store(st.entries,
+                                std::memory_order_relaxed);
+        }
+    }
+
+    auto &reg = obs::Registry::global();
+    if (anomaly ||
+        seen > static_cast<std::uint64_t>(h.declaredNnz)) {
+        // Some shard rejected a line, or there are more entry lines
+        // than the size line declared (trailing data).  The serial
+        // reader owns first-in-file diagnostics; one replay pass
+        // reproduces its exact typed, line-numbered error.
+        if (reg.enabled())
+            reg.add("ingest.serial_replays");
+        replaySerial(path);
+    }
+    if (seen < static_cast<std::uint64_t>(h.declaredNnz)) {
+        throw Error::atInput(ErrorCode::Truncated, path,
+                             "expected %ld entries, found %ld",
+                             h.declaredNnz,
+                             static_cast<long>(seen));
+    }
+    if (reg.enabled()) {
+        reg.add("ingest.files");
+        reg.add("ingest.bytes", st.bytes);
+        reg.add("ingest.entries", st.entries);
+    }
+    if (stats != nullptr)
+        *stats = st;
+}
+
+namespace {
+
+/** Accumulates the whole parse in memory, budget-charged. */
+class CollectSink final : public TripletSink
+{
+  public:
+    explicit CollectSink(MemoryBudget *budget) : budget_(budget) {}
+
+    void onHeader(Index rows, Index cols, Count declared_nnz) override
+    {
+        rows_ = rows;
+        cols_ = cols;
+        const bool expand = declared_nnz > 0;
+        if (expand) {
+            // Reserve is an optimization only: cap it so a lying size
+            // line cannot force a multi-GB allocation up front.
+            triplets_.reserve(std::min<std::size_t>(
+                static_cast<std::size_t>(declared_nnz) * 2, 1u << 22));
+        }
+    }
+
+    void onTriplets(std::vector<Triplet> &&batch) override
+    {
+        if (budget_ != nullptr) {
+            const std::int64_t bytes = static_cast<std::int64_t>(
+                batch.size() * sizeof(Triplet));
+            budget_->charge(bytes, "ingest.triplets");
+            charged_ += bytes;
+        }
+        triplets_.insert(triplets_.end(), batch.begin(), batch.end());
+    }
+
+    CooMatrix finish(const std::string &name)
+    {
+        auto m = CooMatrix::fromTriplets(rows_, cols_,
+                                         std::move(triplets_));
+        m.setName(name);
+        releaseAll();
+        return m;
+    }
+
+    void releaseAll()
+    {
+        if (budget_ != nullptr && charged_ > 0)
+            budget_->release(charged_);
+        charged_ = 0;
+    }
+
+    ~CollectSink() override { releaseAll(); }
+
+  private:
+    MemoryBudget *budget_;
+    Index rows_ = 0;
+    Index cols_ = 0;
+    std::vector<Triplet> triplets_;
+    std::int64_t charged_ = 0;
+};
+
+} // namespace
+
+CooMatrix
+readMatrixMarketStreamed(const std::string &path,
+                         const StreamIngestOptions &opts,
+                         IngestStats *stats)
+{
+    CollectSink sink(opts.budget);
+    streamMatrixMarket(path, opts, sink, stats);
+    return sink.finish(path);
+}
+
+} // namespace spasm

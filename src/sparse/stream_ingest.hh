@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Chunked, parallel, bounded-memory MatrixMarket ingestion.
+ *
+ * `streamMatrixMarket` reads a .mtx file as a sequence of chunks cut
+ * on line boundaries, parses the chunks of each window in parallel on
+ * the shared `ThreadPool` (per-shard triplet builders using the same
+ * `mm::parseEntryLine` core as the serial reader), and hands the
+ * resulting triplet batches to a `TripletSink` in deterministic file
+ * order.  The triplet sequence delivered to the sink is byte-for-byte
+ * the sequence `readMatrixMarket` would have built, at any chunk size
+ * and any thread count.
+ *
+ * Error contract: diagnostics are IDENTICAL to `readMatrixMarket` —
+ * same typed codes, same line numbers, same message bytes.  The
+ * banner/size-line parse shares the serial code directly; entry-level
+ * anomalies are detected by the shards (which run the same per-line
+ * parser) and then reported by deterministically re-running the
+ * serial reader over the file, which throws the canonical
+ * first-in-file error.  The replay costs one extra pass, on the error
+ * path only.
+ *
+ * Memory: chunk buffers are charged against the optional
+ * `MemoryBudget` for the lifetime of each window; what the sink
+ * retains is the sink's accounting.  The `CancellationToken` is
+ * polled per window and per shard iteration.
+ */
+
+#ifndef SPASM_SPARSE_STREAM_INGEST_HH
+#define SPASM_SPARSE_STREAM_INGEST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/coo.hh"
+#include "sparse/types.hh"
+
+namespace spasm {
+
+class CancellationToken;
+class MemoryBudget;
+
+struct StreamIngestOptions
+{
+    /** Target bytes per shard; chunks extend to the next newline.
+     *  Small values are legal (tests shard per-line). */
+    std::size_t chunkBytes = 1u << 20;
+    const CancellationToken *cancel = nullptr;
+    /** Charged for transient chunk buffers while a window parses. */
+    MemoryBudget *budget = nullptr;
+};
+
+/** Parse-side statistics (also published live via telemetry). */
+struct IngestStats
+{
+    std::uint64_t bytes = 0;   ///< entry-payload bytes streamed
+    std::uint64_t lines = 0;   ///< total file lines consumed
+    std::uint64_t entries = 0; ///< entry lines parsed (pre-mirror)
+    std::uint64_t triplets = 0; ///< triplets emitted (incl. mirrors)
+    std::uint64_t chunks = 0;  ///< shards parsed
+    std::uint64_t windows = 0; ///< parallel windows executed
+    /** zlib CRC-32 of the entry payload (the bytes after the size
+     *  line), folded chunk-by-chunk during the read. */
+    std::uint32_t payloadCrc32 = 0;
+};
+
+/**
+ * Receives a streamed parse in deterministic file order.  `onHeader`
+ * arrives once before any batch; batches are chunk-sized and owned by
+ * the callee.  Everything the sink keeps is the sink's memory
+ * accounting (the parser releases its transient charges per window).
+ */
+class TripletSink
+{
+  public:
+    virtual ~TripletSink() = default;
+    virtual void onHeader(Index rows, Index cols, Count declared_nnz) = 0;
+    virtual void onTriplets(std::vector<Triplet> &&batch) = 0;
+};
+
+/**
+ * Stream-parse @p path into @p sink.  Throws exactly the serial
+ * reader's typed errors on malformed input, `Error{BudgetExceeded}`
+ * when a window's buffers exceed the budget, and
+ * `Error{Timeout|Cancelled}` via the token.
+ */
+void streamMatrixMarket(const std::string &path,
+                        const StreamIngestOptions &opts,
+                        TripletSink &sink,
+                        IngestStats *stats = nullptr);
+
+/**
+ * Drop-in replacement for `readMatrixMarket(path)` built on the
+ * chunked parser: identical matrix (bit-for-bit), identical errors,
+ * parallel parse, transient memory charged to `opts.budget`.
+ */
+CooMatrix readMatrixMarketStreamed(const std::string &path,
+                                   const StreamIngestOptions &opts = {},
+                                   IngestStats *stats = nullptr);
+
+} // namespace spasm
+
+#endif // SPASM_SPARSE_STREAM_INGEST_HH

@@ -31,6 +31,7 @@ namespace {
 // --- Live simulator counters ---------------------------------------
 
 LiveSim g_live_sim;
+LiveIngest g_live_ingest;
 std::atomic<bool> g_live_active{false};
 
 // --- Campaign progress ----------------------------------------------
@@ -76,6 +77,14 @@ liveSimActive()
 {
     return g_live_active.load(std::memory_order_acquire) ? &g_live_sim
                                                          : nullptr;
+}
+
+LiveIngest *
+liveIngestActive()
+{
+    return g_live_active.load(std::memory_order_acquire)
+               ? &g_live_ingest
+               : nullptr;
 }
 
 void
@@ -257,6 +266,28 @@ struct Sampler::Impl
         w.field("rate_per_sec", haveRate ? rate : 0.0);
         w.field("eta_ms", eta_ms);
         w.endObject();
+        // Ingest progress is emitted unconditionally (zeros when no
+        // streaming parse ran): the documented sample field set is
+        // fixed, not data dependent.
+        w.key("ingest");
+        w.beginObject();
+        w.field("active",
+                g_live_ingest.active.load(std::memory_order_relaxed) !=
+                    0);
+        w.field("bytes_read",
+                g_live_ingest.bytesRead.load(std::memory_order_relaxed));
+        w.field("bytes_total",
+                g_live_ingest.bytesTotal.load(std::memory_order_relaxed));
+        w.field("lines",
+                g_live_ingest.lines.load(std::memory_order_relaxed));
+        w.field("entries",
+                g_live_ingest.entries.load(std::memory_order_relaxed));
+        w.field("spill_bytes",
+                g_live_ingest.spillBytes.load(std::memory_order_relaxed));
+        w.field("spill_flushes",
+                g_live_ingest.spillFlushes.load(
+                    std::memory_order_relaxed));
+        w.endObject();
         // Registry metrics are an open set and can be large; they
         // only ride along while a sink actually enabled collection.
         const obs::Registry &reg = obs::Registry::global();
@@ -349,6 +380,12 @@ Sampler::start(const TelemetryOptions &opts)
          {&g_live_sim.runsStarted, &g_live_sim.runsCompleted,
           &g_live_sim.completedCycles, &g_live_sim.completedWords,
           &g_live_sim.currentCycle, &g_live_sim.busyPeCycles})
+        c->store(0, std::memory_order_relaxed);
+    for (auto *c :
+         {&g_live_ingest.active, &g_live_ingest.bytesRead,
+          &g_live_ingest.bytesTotal, &g_live_ingest.lines,
+          &g_live_ingest.entries, &g_live_ingest.spillBytes,
+          &g_live_ingest.spillFlushes})
         c->store(0, std::memory_order_relaxed);
     g_live_active.store(true, std::memory_order_release);
 
@@ -448,6 +485,22 @@ parseSample(const JsonValue &v)
             static_cast<std::uint64_t>(prog->numberOr("failed", 0));
         s.ratePerSec = prog->numberOr("rate_per_sec", 0);
         s.etaMs = prog->numberOr("eta_ms", -1);
+    }
+    if (const JsonValue *ing = v.find("ingest")) {
+        if (const JsonValue *a = ing->find("active"))
+            s.ingestActive = a->boolean;
+        s.ingestBytesRead =
+            static_cast<std::uint64_t>(ing->numberOr("bytes_read", 0));
+        s.ingestBytesTotal =
+            static_cast<std::uint64_t>(ing->numberOr("bytes_total", 0));
+        s.ingestLines =
+            static_cast<std::uint64_t>(ing->numberOr("lines", 0));
+        s.ingestEntries =
+            static_cast<std::uint64_t>(ing->numberOr("entries", 0));
+        s.ingestSpillBytes =
+            static_cast<std::uint64_t>(ing->numberOr("spill_bytes", 0));
+        s.ingestSpillFlushes = static_cast<std::uint64_t>(
+            ing->numberOr("spill_flushes", 0));
     }
     return s;
 }
@@ -552,7 +605,27 @@ renderTelemetrySample(std::ostream &os, const TelemetrySample &s)
         static_cast<unsigned long long>(s.simCycles +
                                         s.simCurrentCycle),
         mib(static_cast<double>(s.peakRssBytes)).c_str());
-    os << buf << '\n';
+    os << buf;
+    // Streaming-parse progress rides along only while (or after) an
+    // ingest actually ran, so idle streams render exactly as before.
+    if (s.ingestBytesRead > 0 || s.ingestActive) {
+        if (s.ingestBytesTotal > 0) {
+            std::snprintf(
+                buf, sizeof(buf), " | ingest %s/%s (%.0f%%)%s",
+                mib(static_cast<double>(s.ingestBytesRead)).c_str(),
+                mib(static_cast<double>(s.ingestBytesTotal)).c_str(),
+                100.0 * static_cast<double>(s.ingestBytesRead) /
+                    static_cast<double>(s.ingestBytesTotal),
+                s.ingestSpillBytes > 0 ? " spilling" : "");
+        } else {
+            std::snprintf(
+                buf, sizeof(buf), " | ingest %s%s",
+                mib(static_cast<double>(s.ingestBytesRead)).c_str(),
+                s.ingestSpillBytes > 0 ? " spilling" : "");
+        }
+        os << buf;
+    }
+    os << '\n';
 }
 
 void

@@ -58,7 +58,9 @@ namespace telemetry {
 
 /** Schema tag on the stream's header line. */
 inline constexpr const char *kTelemetrySchema = "spasm-telemetry-v1";
-inline constexpr int kTelemetrySchemaMinor = 0;
+/** Minor 1 added the `ingest` sample section (streaming parse /
+ *  spill progress); readers of minor 0 streams see zeros. */
+inline constexpr int kTelemetrySchemaMinor = 1;
 
 /**
  * Live simulator counters, published from the accelerator's timing
@@ -85,6 +87,27 @@ struct LiveSim
  * a cached null test that the masked publish branch never reaches.
  */
 LiveSim *liveSimActive();
+
+/**
+ * Live streaming-ingestion counters, published by the chunked
+ * MatrixMarket parser and the spill tiler while a sampler runs (same
+ * gate/lifecycle as `LiveSim`).  Updated at window/flush granularity
+ * from the merge thread — relaxed atomics, never per byte.
+ */
+struct LiveIngest
+{
+    std::atomic<std::uint64_t> active{0}; ///< 1 while a parse runs
+    std::atomic<std::uint64_t> bytesRead{0};
+    std::atomic<std::uint64_t> bytesTotal{0}; ///< 0 = unknown size
+    std::atomic<std::uint64_t> lines{0};
+    std::atomic<std::uint64_t> entries{0};
+    std::atomic<std::uint64_t> spillBytes{0};
+    std::atomic<std::uint64_t> spillFlushes{0};
+};
+
+/** Publication gate for ingest progress: non-null while a sampler is
+ *  running, null otherwise (cache the pointer per parse). */
+LiveIngest *liveIngestActive();
 
 /** Campaign-level progress (batch jobs, bench workloads, chaos
  *  trials).  Unconditional and cheap: per-job, not per-cycle. */
@@ -170,6 +193,13 @@ struct TelemetrySample
     std::uint64_t progressFailed = 0;
     double ratePerSec = 0.0; ///< EWMA-smoothed units/s
     double etaMs = -1.0;     ///< -1 = unknown
+    bool ingestActive = false;
+    std::uint64_t ingestBytesRead = 0;
+    std::uint64_t ingestBytesTotal = 0;
+    std::uint64_t ingestLines = 0;
+    std::uint64_t ingestEntries = 0;
+    std::uint64_t ingestSpillBytes = 0;
+    std::uint64_t ingestSpillFlushes = 0;
 };
 
 /** A loaded stream. */

@@ -26,6 +26,7 @@ tinyOptions()
     opt.storageFlips = 48;
     opt.storageTruncations = 16;
     opt.simTrials = 2;
+    opt.ingestTrials = 8;
     return opt;
 }
 
@@ -38,8 +39,9 @@ TEST(Chaos, DefaultCampaignOnTinyIsClean)
     EXPECT_GT(report.totals.trials, 0u);
     // The storage cases alone guarantee detections.
     EXPECT_GT(report.totals.detected, 0u);
-    // default = storage (2 cases) + sim (4) + degrade (3).
-    EXPECT_EQ(report.cases.size(), 9u);
+    // default = storage (2 cases) + sim (4) + degrade (3) +
+    // ingest (2).
+    EXPECT_EQ(report.cases.size(), 11u);
     for (const ChaosCase &c : report.cases) {
         EXPECT_GT(c.outcomes.trials, 0u) << c.name;
         EXPECT_TRUE(c.firstFailure.empty())

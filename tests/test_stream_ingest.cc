@@ -1,0 +1,599 @@
+/**
+ * @file
+ * Tests for the chunked streaming MatrixMarket parser and the
+ * out-of-core spill-to-disk encode path (docs/ingestion.md):
+ * parse equivalence (matrix and diagnostics) against the serial
+ * reader at any chunk size, bit-identity of the spilled encode,
+ * budget-pressure degradation, crash-safety sweep, spill-I/O fault
+ * injection, the chaos `ingest` campaign, and `spasm-ingest-v1`
+ * schema conformance against docs/ingestion.md.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/chaos.hh"
+#include "format/matrix_cache.hh"
+#include "format/serialize.hh"
+#include "format/spill.hh"
+#include "pattern/template_library.hh"
+#include "sparse/matrix_market.hh"
+#include "sparse/stream_ingest.hh"
+#include "support/cancellation.hh"
+#include "support/error.hh"
+#include "support/json_value.hh"
+#include "support/memory_budget.hh"
+#include "workloads/generators.hh"
+#include "workloads/suite.hh"
+
+namespace spasm {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+tmpPath(const char *name)
+{
+    return std::string("/tmp/spasm_test_ingest_") + name;
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << path;
+    out << content;
+}
+
+void
+expectSameMatrix(const CooMatrix &a, const CooMatrix &b)
+{
+    EXPECT_EQ(a.rows(), b.rows());
+    EXPECT_EQ(a.cols(), b.cols());
+    ASSERT_EQ(a.nnz(), b.nnz());
+    for (Count i = 0; i < a.nnz(); ++i) {
+        EXPECT_EQ(a.entries()[i].row, b.entries()[i].row) << i;
+        EXPECT_EQ(a.entries()[i].col, b.entries()[i].col) << i;
+        // Bit-identity, not FLOAT_EQ: the streamed parse must build
+        // the exact same values the serial reader does.
+        EXPECT_EQ(a.entries()[i].val, b.entries()[i].val) << i;
+    }
+}
+
+/** Streamed parse must match the serial reader exactly at every
+ *  chunk size, including pathological one-line shards. */
+void
+expectStreamedMatchesSerial(const std::string &path)
+{
+    const CooMatrix serial = readMatrixMarket(path);
+    for (const std::size_t chunk : {std::size_t(7), std::size_t(64),
+                                    std::size_t(4096),
+                                    std::size_t(1) << 20}) {
+        StreamIngestOptions opts;
+        opts.chunkBytes = chunk;
+        const CooMatrix streamed =
+            readMatrixMarketStreamed(path, opts);
+        expectSameMatrix(streamed, serial);
+    }
+}
+
+TEST(StreamIngest, MatchesSerialOnRandomMatrix)
+{
+    const std::string path = tmpPath("random.mtx");
+    writeMatrixMarket(genUniformRandom(60, 45, 300, 23), path);
+    expectStreamedMatchesSerial(path);
+    std::remove(path.c_str());
+}
+
+TEST(StreamIngest, MatchesSerialOnSuiteWorkloads)
+{
+    for (const char *name : {"cfd2", "x104", "mip1"}) {
+        const std::string path = tmpPath("suite.mtx");
+        writeMatrixMarket(generateWorkload(name, Scale::Tiny), path);
+        const CooMatrix serial = readMatrixMarket(path);
+        StreamIngestOptions opts;
+        opts.chunkBytes = 4096;
+        IngestStats stats;
+        const CooMatrix streamed =
+            readMatrixMarketStreamed(path, opts, &stats);
+        expectSameMatrix(streamed, serial);
+        EXPECT_GT(stats.chunks, 1u) << name;
+        EXPECT_GT(stats.bytes, 0u);
+        EXPECT_EQ(stats.triplets,
+                  static_cast<std::uint64_t>(serial.nnz()));
+        std::remove(path.c_str());
+    }
+}
+
+TEST(StreamIngest, MatchesSerialOnSymmetricSkewAndPattern)
+{
+    const char *files[] = {
+        // Mirrored entries must interleave exactly like the serial
+        // reader (mirror appended immediately after its primary).
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 3\n"
+        "1 1 1\n"
+        "2 1 5\n"
+        "3 2 6\n",
+        "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+        "2 2 1\n"
+        "2 1 3\n",
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "2 2 2\n"
+        "1 2\n"
+        "2 1\n",
+        // Final entry line without a trailing newline.
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 2\n"
+        "1 1 1.5\n"
+        "2 2 -3",
+    };
+    for (const char *content : files) {
+        const std::string path = tmpPath("variant.mtx");
+        writeFile(path, content);
+        expectStreamedMatchesSerial(path);
+        std::remove(path.c_str());
+    }
+}
+
+/**
+ * The malformed-MM corpus (mirrors tests/test_matrix_market.cc):
+ * the streamed parse must throw the exact serial diagnostic — same
+ * ErrorCode, same message bytes, same line numbers — at any shard
+ * boundary placement.
+ */
+TEST(StreamIngestError, DiagnosticsMatchSerialOnMalformedCorpus)
+{
+    const char *corpus[] = {
+        "",                                           // empty file
+        "3 3 0\n",                                    // no banner
+        "%%MatrixMarket matrix array real general\n"  // bad banner
+        "2 2\n",
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% a comment\n"
+        "2 junk 1\n", // malformed size line
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "3 1 1.0\n", // out of range
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 2\n"
+        "1 1 1.0\n", // truncated
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 2\n"
+        "1 1 1.0\n"
+        "2 2\n", // missing value
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "1 1 abc\n", // non-numeric value
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "x y 1.0\n", // junk row/col tokens
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "1 1 1.0\n"
+        "2 2 5.0\n", // trailing data
+        "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+        "2 2 2\n"
+        "2 1 3\n"
+        "2 2 1\n", // explicit skew diagonal
+    };
+    int case_no = 0;
+    for (const char *content : corpus) {
+        const std::string path = tmpPath("malformed.mtx");
+        writeFile(path, content);
+
+        std::string serial_what;
+        ErrorCode serial_code = ErrorCode::Parse;
+        try {
+            readMatrixMarket(path);
+            FAIL() << "corpus case " << case_no
+                   << ": serial reader accepted malformed input";
+        } catch (const Error &e) {
+            serial_what = e.what();
+            serial_code = e.code();
+        }
+
+        for (const std::size_t chunk :
+             {std::size_t(7), std::size_t(1) << 20}) {
+            StreamIngestOptions opts;
+            opts.chunkBytes = chunk;
+            try {
+                readMatrixMarketStreamed(path, opts);
+                FAIL() << "corpus case " << case_no << " chunk "
+                       << chunk << ": streamed parse accepted input";
+            } catch (const Error &e) {
+                EXPECT_EQ(e.code(), serial_code)
+                    << "case " << case_no << ": " << e.what();
+                EXPECT_STREQ(e.what(), serial_what.c_str())
+                    << "case " << case_no << " chunk " << chunk;
+            }
+        }
+        std::remove(path.c_str());
+        ++case_no;
+    }
+}
+
+TEST(StreamIngestError, MissingFileMatchesSerial)
+{
+    const std::string path = tmpPath("does_not_exist.mtx");
+    std::remove(path.c_str());
+    std::string serial_what;
+    try {
+        readMatrixMarket(path);
+        FAIL();
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Io);
+        serial_what = e.what();
+    }
+    try {
+        readMatrixMarketStreamed(path);
+        FAIL();
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Io);
+        EXPECT_STREQ(e.what(), serial_what.c_str());
+    }
+}
+
+TEST(StreamIngestError, CancellationIsTyped)
+{
+    const std::string path = tmpPath("cancel.mtx");
+    writeMatrixMarket(genUniformRandom(50, 50, 400, 11), path);
+    CancellationToken token;
+    token.cancel();
+    StreamIngestOptions opts;
+    opts.cancel = &token;
+    try {
+        readMatrixMarketStreamed(path, opts);
+        FAIL() << "expected Error{Cancelled}";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Cancelled) << e.what();
+    }
+    std::remove(path.c_str());
+}
+
+TEST(StreamIngestError, BudgetExceededIsTyped)
+{
+    const std::string path = tmpPath("budget.mtx");
+    writeMatrixMarket(genUniformRandom(200, 200, 5000, 13), path);
+    MemoryBudget budget(2048); // far below one chunk window
+    StreamIngestOptions opts;
+    opts.budget = &budget;
+    try {
+        readMatrixMarketStreamed(path, opts);
+        FAIL() << "expected Error{BudgetExceeded}";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::BudgetExceeded) << e.what();
+    }
+    std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------------ //
+// Out-of-core spill path
+// ------------------------------------------------------------------ //
+
+/** Big enough that spilling produces several CRC frames (the flush
+ *  threshold clamps at 64 KiB of buffered triplets). */
+const CooMatrix &
+bigMatrix()
+{
+    static const CooMatrix m = genUniformRandom(500, 400, 20000, 7);
+    return m;
+}
+
+std::string
+bigMatrixFile()
+{
+    const std::string path = tmpPath("big.mtx");
+    writeMatrixMarket(bigMatrix(), path);
+    return path;
+}
+
+SpasmEncoder
+testEncoder()
+{
+    const PatternGrid grid{4};
+    return SpasmEncoder(allCandidatePortfolios(grid)[0], 64);
+}
+
+std::string
+encodedBytes(const SpasmMatrix &m)
+{
+    std::ostringstream out;
+    writeSpasmFile(m, out);
+    return out.str();
+}
+
+TEST(SpillTiler, OutOfCoreEncodeIsBitIdentical)
+{
+    const std::string path = bigMatrixFile();
+    const std::string dir = tmpPath("spill_identity");
+    fs::remove_all(dir);
+
+    const SpasmEncoder encoder = testEncoder();
+    const std::string ref =
+        encodedBytes(encoder.encode(readMatrixMarket(path)));
+
+    IngestEncodeOptions io;
+    io.forceSpill = true;
+    io.spill.dir = dir;
+    io.spill.flushBytes = 1; // min-clamped: maximum frame count
+    const IngestEncodeResult res =
+        ingestEncodeMatrixMarket(path, encoder, io);
+
+    EXPECT_TRUE(res.spilled);
+    EXPECT_GT(res.spill.frames, 1u);
+    EXPECT_GT(res.spill.spillBytes, 0u);
+    EXPECT_EQ(res.spill.spilledTriplets,
+              static_cast<std::uint64_t>(bigMatrix().nnz()));
+    EXPECT_EQ(encodedBytes(res.matrix), ref);
+
+    // Successful runs clean their own spill files up.
+    for (const auto &entry : fs::directory_iterator(dir))
+        ADD_FAILURE() << "leftover spill file: "
+                      << entry.path().string();
+
+    fs::remove_all(dir);
+    std::remove(path.c_str());
+}
+
+TEST(SpillTiler, DegradesUnderBudgetPressureWithinReservation)
+{
+    const std::string path = bigMatrixFile();
+    const std::string dir = tmpPath("spill_pressure");
+    fs::remove_all(dir);
+
+    const SpasmEncoder encoder = testEncoder();
+    const std::string ref =
+        encodedBytes(encoder.encode(readMatrixMarket(path)));
+
+    // ~240 KiB of triplets against a 192 KiB ceiling: the in-memory
+    // attempt must overrun and degrade to the spill tiler, and the
+    // whole run must stay inside the tracked reservation.
+    MemoryBudget budget(192 * 1024);
+    IngestEncodeOptions io;
+    io.stream.chunkBytes = 4096;
+    io.stream.budget = &budget;
+    io.spill.budget = &budget;
+    io.spill.dir = dir;
+    const IngestEncodeResult res =
+        ingestEncodeMatrixMarket(path, encoder, io);
+
+    EXPECT_TRUE(res.spilled);
+    EXPECT_EQ(encodedBytes(res.matrix), ref);
+    EXPECT_LE(budget.peak(), budget.limit());
+    EXPECT_GT(budget.peak(), 0);
+
+    fs::remove_all(dir);
+    std::remove(path.c_str());
+}
+
+TEST(SpillTiler, StaysInMemoryWithoutPressure)
+{
+    const std::string path = bigMatrixFile();
+    const std::string dir = tmpPath("spill_unused");
+    fs::remove_all(dir);
+
+    const SpasmEncoder encoder = testEncoder();
+    MemoryBudget budget(64ll << 20);
+    IngestEncodeOptions io;
+    io.stream.budget = &budget;
+    io.spill.budget = &budget;
+    io.spill.dir = dir;
+    const IngestEncodeResult res =
+        ingestEncodeMatrixMarket(path, encoder, io);
+
+    EXPECT_FALSE(res.spilled);
+    EXPECT_EQ(res.spill.frames, 0u);
+    EXPECT_EQ(
+        encodedBytes(res.matrix),
+        encodedBytes(encoder.encode(readMatrixMarket(path))));
+
+    fs::remove_all(dir);
+    std::remove(path.c_str());
+}
+
+TEST(SpillTiler, BudgetExceededWithoutSpillDirIsTyped)
+{
+    const std::string path = bigMatrixFile();
+    const SpasmEncoder encoder = testEncoder();
+    MemoryBudget budget(32 * 1024);
+    IngestEncodeOptions io;
+    io.stream.chunkBytes = 1024;
+    io.stream.budget = &budget;
+    io.spill.budget = &budget;
+    // no spill.dir: the only way out is the typed budget error
+    try {
+        ingestEncodeMatrixMarket(path, encoder, io);
+        FAIL() << "expected Error{BudgetExceeded}";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::BudgetExceeded) << e.what();
+    }
+    std::remove(path.c_str());
+}
+
+TEST(SpillTiler, SweepQuarantinesOrphansByRename)
+{
+    const std::string dir = tmpPath("sweep");
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    writeFile(dir + "/spill-9999-b0.tmp", "torn frame bytes");
+    writeFile(dir + "/spill-9999-b3.tmp", "more torn bytes");
+    writeFile(dir + "/unrelated.txt", "not a spill file");
+
+    const auto swept = sweepSpillDir(dir);
+    EXPECT_EQ(swept.size(), 2u);
+    EXPECT_TRUE(fs::exists(dir + "/spill-9999-b0.tmp.quarantined"));
+    EXPECT_TRUE(fs::exists(dir + "/spill-9999-b3.tmp.quarantined"));
+    EXPECT_FALSE(fs::exists(dir + "/spill-9999-b0.tmp"));
+    EXPECT_TRUE(fs::exists(dir + "/unrelated.txt"));
+
+    // Idempotent: a second sweep finds nothing to do.
+    EXPECT_TRUE(sweepSpillDir(dir).empty());
+    // Missing dir is a no-op, not an error.
+    EXPECT_TRUE(sweepSpillDir(dir + "/missing").empty());
+
+    fs::remove_all(dir);
+}
+
+/** Every injected spill-I/O fault mode must surface as a typed
+ *  error — never silent data, never a crash. */
+void
+expectSpillFaultDetected(SpillFault mode,
+                         const std::set<ErrorCode> &expected_codes)
+{
+    const std::string path = bigMatrixFile();
+    const std::string dir =
+        tmpPath("spill_fault") + spillFaultName(mode);
+    fs::remove_all(dir);
+
+    const SpasmEncoder encoder = testEncoder();
+    IngestEncodeOptions io;
+    io.forceSpill = true;
+    io.spill.dir = dir;
+    io.spill.flushBytes = 1;
+    io.spill.fault = [mode](std::uint64_t) { return mode; };
+    try {
+        ingestEncodeMatrixMarket(path, encoder, io);
+        FAIL() << "expected a typed error for "
+               << spillFaultName(mode);
+    } catch (const Error &e) {
+        EXPECT_TRUE(expected_codes.count(e.code()) != 0)
+            << spillFaultName(mode) << ": " << e.what();
+    }
+
+    fs::remove_all(dir);
+    std::remove(path.c_str());
+}
+
+TEST(SpillFault, ShortWriteIsDetected)
+{
+    // A torn frame shifts everything after it: the reader sees a
+    // short payload or a CRC mismatch, depending on frame layout.
+    expectSpillFaultDetected(SpillFault::ShortWrite,
+                             {ErrorCode::Truncated,
+                              ErrorCode::ChecksumMismatch});
+}
+
+TEST(SpillFault, NoSpaceIsDetected)
+{
+    expectSpillFaultDetected(SpillFault::NoSpace, {ErrorCode::Io});
+}
+
+TEST(SpillFault, CorruptReadIsDetected)
+{
+    expectSpillFaultDetected(SpillFault::CorruptRead,
+                             {ErrorCode::ChecksumMismatch});
+}
+
+// ------------------------------------------------------------------ //
+// Chaos ingest campaign
+// ------------------------------------------------------------------ //
+
+TEST(ChaosIngest, CampaignIsClean)
+{
+    ChaosOptions opt;
+    opt.campaign = "ingest";
+    opt.scale = Scale::Tiny;
+    opt.seed = 5;
+    opt.ingestTrials = 6;
+    const ChaosReport report = runChaosCampaign(opt);
+    ASSERT_EQ(report.cases.size(), 2u);
+    EXPECT_EQ(report.cases[0].name, "ingest/clean");
+    EXPECT_EQ(report.cases[1].name, "ingest/spill-io");
+    EXPECT_EQ(report.totals.trials, 7u);
+    EXPECT_TRUE(report.clean())
+        << "first failure: " << report.cases[0].firstFailure << " / "
+        << report.cases[1].firstFailure;
+    EXPECT_EQ(report.totals.silent, 0u);
+    EXPECT_EQ(report.totals.crashed, 0u);
+}
+
+TEST(ChaosIngest, UnknownCampaignDiagnosticMentionsIngest)
+{
+    ChaosOptions opt;
+    opt.campaign = "bogus";
+    try {
+        runChaosCampaign(opt);
+        FAIL() << "expected Error{Parse}";
+    } catch (const Error &e) {
+        EXPECT_NE(std::string(e.what()).find("ingest"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+// ------------------------------------------------------------------ //
+// Cache-key and schema conformance
+// ------------------------------------------------------------------ //
+
+TEST(ContentHasher, MatchesBatchHash)
+{
+    const CooMatrix m = genUniformRandom(30, 20, 100, 3);
+    ContentHasher h;
+    h.begin(m.rows(), m.cols(), m.nnz());
+    for (const auto &t : m.entries())
+        h.add(t);
+    EXPECT_EQ(h.finish(), hashMatrixContent(m));
+}
+
+TEST(SchemaConformance, IngestJsonMatchesDocumentedFieldList)
+{
+    // The documented block in docs/ingestion.md.
+    const std::string doc_path =
+        std::string(SPASM_SOURCE_DIR) + "/docs/ingestion.md";
+    std::ifstream doc(doc_path);
+    ASSERT_TRUE(doc.good()) << doc_path;
+    std::set<std::string> documented;
+    std::string line;
+    bool in_block = false;
+    while (std::getline(doc, line)) {
+        if (line == "```schema-fields") {
+            in_block = true;
+            continue;
+        }
+        if (in_block && line == "```")
+            break;
+        if (in_block && !line.empty())
+            documented.insert(line);
+    }
+    ASSERT_FALSE(documented.empty())
+        << "no ```schema-fields block in docs/ingestion.md";
+    ASSERT_TRUE(documented.count("spilled") != 0);
+
+    // The emitted record (in-memory path; the field set is fixed,
+    // not data dependent).
+    const std::string path = tmpPath("schema.mtx");
+    writeMatrixMarket(genUniformRandom(20, 20, 60, 9), path);
+    const SpasmEncoder encoder = testEncoder();
+    const IngestEncodeResult res =
+        ingestEncodeMatrixMarket(path, encoder, {});
+    std::ostringstream out;
+    writeIngestJson(out, path, res, 0);
+    std::string err;
+    const JsonValue root = parseJson(out.str(), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    ASSERT_TRUE(root.isObject());
+    std::set<std::string> emitted;
+    for (const auto &kv : root.object)
+        emitted.insert(kv.first);
+
+    for (const auto &f : emitted) {
+        EXPECT_TRUE(documented.count(f) != 0)
+            << "emitted but undocumented field: " << f;
+    }
+    for (const auto &f : documented) {
+        EXPECT_TRUE(emitted.count(f) != 0)
+            << "documented but not emitted: " << f;
+    }
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace spasm

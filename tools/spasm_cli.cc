@@ -66,6 +66,7 @@
 #include "core/serve.hh"
 #include "core/stats_json.hh"
 #include "format/serialize.hh"
+#include "format/spill.hh"
 #include "hw/trace_export.hh"
 #include "prof/perf_counters.hh"
 #include "prof/prof_json.hh"
@@ -78,12 +79,14 @@
 #include "report/stats_file.hh"
 #include "sparse/matrix_market.hh"
 #include "sparse/matrix_stats.hh"
+#include "sparse/stream_ingest.hh"
 #include "sparse/spy.hh"
 #include "support/atomic_file.hh"
 #include "support/error.hh"
 #include "support/json.hh"
 #include "support/json_value.hh"
 #include "support/logging.hh"
+#include "support/memory_budget.hh"
 #include "support/obs.hh"
 #include "support/resource_usage.hh"
 #include "support/stats.hh"
@@ -107,6 +110,19 @@ usage()
         "  spasm analyze  <matrix.mtx | workload>\n"
         "  spasm encode   <matrix.mtx | workload> -o <out.spasm>\n"
         "                 [--tile N] [--portfolio 0-9]\n"
+        "  spasm ingest   <matrix.mtx> [--out out.spasm]\n"
+        "                 [--portfolio 0-9] [--tile N]\n"
+        "                 [--budget-mb N]  tracked-memory ceiling for\n"
+        "                     the whole parse+encode\n"
+        "                 [--spill-dir DIR]  enable out-of-core\n"
+        "                     spill tiling under budget pressure\n"
+        "                 [--chunk-kb N] [--flush-mb N]\n"
+        "                 [--force-spill]  spill from the first\n"
+        "                     triplet (testing)\n"
+        "                 [--json out.json]  spasm-ingest-v1 stats\n"
+        "                 bounded-memory streaming parse + encode\n"
+        "                 (docs/ingestion.md); result is bit-\n"
+        "                 identical to the in-memory path\n"
         "  spasm simulate <matrix.mtx | workload | file.spasm>\n"
         "                 [--config SPASM_4_1|SPASM_3_4|SPASM_3_2]\n"
         "                 [--tile N] [--iters N] [--stats]\n"
@@ -153,7 +169,7 @@ usage()
         "  spasm bless    [--dir DIR]  regenerate golden baselines\n"
         "                 (default DIR: bench/baselines)\n"
         "  spasm chaos    [--seed N] [--campaign default|storage|\n"
-        "                 sim|degrade] [--workload NAME]\n"
+        "                 sim|degrade|ingest] [--workload NAME]\n"
         "                 [--deadline-ms X]  per-trial deadline for\n"
         "                     the sim campaign (timed-out bucket)\n"
         "                 [--json out.json]  seeded fault-injection\n"
@@ -236,8 +252,11 @@ endsWith(const std::string &s, const char *suffix)
 CooMatrix
 loadInput(const std::string &input)
 {
+    // .mtx paths go through the chunked streaming parser (same typed
+    // errors, same resulting matrix, parallel when the file is big
+    // enough to matter — see docs/ingestion.md).
     if (endsWith(input, ".mtx"))
-        return readMatrixMarket(input);
+        return readMatrixMarketStreamed(input);
     return generateWorkload(input, scaleFromEnv());
 }
 
@@ -381,6 +400,121 @@ cmdEncode(const std::string &input,
                 static_cast<long long>(enc.numWords()),
                 100.0 * enc.paddingRate(),
                 static_cast<double>(enc.encodedBytes()) / 1024.0);
+    return 0;
+}
+
+int
+cmdIngest(const std::string &input,
+          const std::vector<std::string> &args)
+{
+    if (!endsWith(input, ".mtx")) {
+        logError("cli",
+                 "ingest: input must be a MatrixMarket path (*.mtx); "
+                 "built-in workloads are already in memory");
+        return 2;
+    }
+
+    // Out-of-core ingest cannot run whole-matrix pattern analysis,
+    // so the portfolio is fixed up front (default: candidate 0, the
+    // same fallback the framework uses when analysis is skipped).
+    const PatternGrid grid{4};
+    const auto candidates = allCandidatePortfolios(grid);
+    const std::string p_opt = optValue(args, "--portfolio");
+    const int portfolio_id = p_opt.empty() ? 0 : std::stoi(p_opt);
+    if (portfolio_id < 0 ||
+        portfolio_id >= static_cast<int>(candidates.size())) {
+        spasm_fatal("--portfolio must be 0..%zu",
+                    candidates.size() - 1);
+    }
+    const std::string t_opt = optValue(args, "--tile");
+    const Index tile = t_opt.empty()
+        ? 1024
+        : static_cast<Index>(std::stol(t_opt));
+    const SpasmEncoder encoder(candidates[portfolio_id], tile);
+
+    const std::string budget_opt = optValue(args, "--budget-mb");
+    MemoryBudget budget(budget_opt.empty()
+                            ? 0
+                            : std::stoll(budget_opt) << 20);
+
+    IngestEncodeOptions io;
+    io.stream.budget = &budget;
+    io.spill.budget = &budget;
+    io.spill.dir = optValue(args, "--spill-dir");
+    const std::string chunk_opt = optValue(args, "--chunk-kb");
+    if (!chunk_opt.empty())
+        io.stream.chunkBytes =
+            static_cast<std::size_t>(std::stoll(chunk_opt)) << 10;
+    const std::string flush_opt = optValue(args, "--flush-mb");
+    if (!flush_opt.empty())
+        io.spill.flushBytes = std::stoll(flush_opt) << 20;
+    for (const std::string &a : args) {
+        if (a == "--force-spill")
+            io.forceSpill = true;
+    }
+    if (io.forceSpill && io.spill.dir.empty())
+        spasm_fatal("--force-spill requires --spill-dir");
+
+    // Quarantine leftovers of any previously killed run before
+    // writing fresh spill files into the same directory.
+    if (!io.spill.dir.empty()) {
+        const auto swept = sweepSpillDir(io.spill.dir);
+        for (const std::string &f : swept)
+            std::printf("quarantined orphaned spill file %s\n",
+                        f.c_str());
+    }
+
+    const IngestEncodeResult res =
+        ingestEncodeMatrixMarket(input, encoder, io);
+
+    std::printf("ingested %s: %lldx%lld, %lld nnz (%s)\n",
+                input.c_str(),
+                static_cast<long long>(res.matrix.rows()),
+                static_cast<long long>(res.matrix.cols()),
+                static_cast<long long>(res.matrix.nnz()),
+                res.spilled ? "out-of-core" : "in-memory");
+    std::printf("parse: %llu bytes, %llu lines, %llu chunks over "
+                "%llu windows\n",
+                static_cast<unsigned long long>(res.parse.bytes),
+                static_cast<unsigned long long>(res.parse.lines),
+                static_cast<unsigned long long>(res.parse.chunks),
+                static_cast<unsigned long long>(res.parse.windows));
+    if (res.spilled) {
+        std::printf("spill: %llu bytes in %llu frames / %llu "
+                    "buckets, %llu flushes\n",
+                    static_cast<unsigned long long>(
+                        res.spill.spillBytes),
+                    static_cast<unsigned long long>(
+                        res.spill.frames),
+                    static_cast<unsigned long long>(
+                        res.spill.buckets),
+                    static_cast<unsigned long long>(
+                        res.spill.flushes));
+    }
+    std::printf("encode: portfolio %d (%s), tile %d, %lld words, "
+                "padding %.1f%%\n",
+                portfolio_id,
+                candidates[portfolio_id].name().c_str(), tile,
+                static_cast<long long>(res.matrix.numWords()),
+                100.0 * res.matrix.paddingRate());
+    if (budget.limit() > 0) {
+        std::printf("budget: peak %lld of %lld bytes tracked\n",
+                    static_cast<long long>(budget.peak()),
+                    static_cast<long long>(budget.limit()));
+    }
+
+    const std::string out = optValue(args, "--out");
+    if (!out.empty()) {
+        writeSpasmFile(res.matrix, out);
+        std::printf("encoded matrix written to %s\n", out.c_str());
+    }
+    const std::string json = optValue(args, "--json");
+    if (!json.empty()) {
+        writeFileAtomic(json, [&](std::ostream &os) {
+            writeIngestJson(os, input, res, budget.peak());
+        });
+        std::printf("ingest record written to %s\n", json.c_str());
+    }
     return 0;
 }
 
@@ -1478,6 +1612,8 @@ run(int argc, char **argv)
         return cmdAnalyze(args[0]);
     if (cmd == "encode")
         return cmdEncode(args[0], args);
+    if (cmd == "ingest")
+        return cmdIngest(args[0], args);
     if (cmd == "simulate")
         return cmdSimulate(args[0], args);
     if (cmd == "verify")
